@@ -1,0 +1,177 @@
+//! Shared machinery for the baseline code generators: spatial tile/block
+//! mapping and stencil-expression lowering.
+
+use gpu_codegen::ir::{Cond, FExpr, IExpr, Stmt};
+use stencil::{StencilExpr, StencilProgram};
+
+/// A rectangular spatial tiling: per-dimension tile extents, a 1-D grid of
+/// blocks enumerating tiles row-major, and thread coverage of the two
+/// innermost dimensions.
+#[derive(Clone, Debug)]
+pub struct SpaceTiling {
+    /// Grid extents.
+    pub dims: Vec<usize>,
+    /// Tile extents (one per dimension).
+    pub tile: Vec<i64>,
+    /// Tile counts per dimension.
+    pub counts: Vec<i64>,
+}
+
+impl SpaceTiling {
+    /// Builds a tiling of `dims` with the given tile extents.
+    pub fn new(dims: &[usize], tile: &[i64]) -> SpaceTiling {
+        assert_eq!(dims.len(), tile.len(), "tile arity");
+        let counts = dims
+            .iter()
+            .zip(tile)
+            .map(|(&n, &t)| (n as i64 + t - 1) / t)
+            .collect();
+        SpaceTiling {
+            dims: dims.to_vec(),
+            tile: tile.to_vec(),
+            counts,
+        }
+    }
+
+    /// Total number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.counts.iter().product::<i64>() as usize
+    }
+
+    /// Thread-block shape: x covers the innermost tile extent, y the
+    /// next-inner one (clamped to the tile sizes).
+    pub fn block_dim(&self) -> [usize; 3] {
+        let n = self.tile.len();
+        let x = self.tile[n - 1] as usize;
+        let y = if n >= 2 { self.tile[n - 2] as usize } else { 1 };
+        [x, y, 1]
+    }
+
+    /// The tile index of dimension `d` as an expression of `BlockIdx`
+    /// (row-major decomposition).
+    pub fn tile_index(&self, d: usize) -> IExpr {
+        let tail: i64 = self.counts[d + 1..].iter().product();
+        let e = if tail == 1 {
+            IExpr::BlockIdx
+        } else {
+            IExpr::BlockIdx.fdiv(tail)
+        };
+        e.modulo(self.counts[d])
+    }
+
+    /// The global coordinate of dimension `d` covered by this thread:
+    /// `tile_d * w_d + thread_part`, where the two innermost dims map to
+    /// threads and outer dims iterate via the loop variable `var` if given.
+    pub fn global_coord(&self, d: usize, outer_var: Option<usize>) -> IExpr {
+        let n = self.tile.len();
+        let base = self.tile_index(d).scale(self.tile[d]);
+        if d == n - 1 {
+            base.add(IExpr::ThreadIdx(0))
+        } else if d + 2 == n {
+            base.add(IExpr::ThreadIdx(1))
+        } else {
+            match outer_var {
+                Some(v) => base.add(IExpr::Var(v)),
+                None => base,
+            }
+        }
+    }
+
+    /// In-domain guard for the coordinates produced by
+    /// [`SpaceTiling::global_coord`].
+    pub fn interior_guard(&self, coords: &[IExpr], lo: &[i64], hi: &[i64]) -> Cond {
+        let mut c = Cond::True;
+        for (d, e) in coords.iter().enumerate() {
+            c = c.and(Cond::between(
+                e,
+                IExpr::Const(lo[d]),
+                IExpr::Const(hi[d]),
+            ));
+        }
+        c
+    }
+}
+
+/// Lowers a stencil expression to an [`FExpr`], appending one load
+/// statement per access via `make_load(access, reg)`.
+pub fn lower_expr(
+    e: &StencilExpr,
+    next_reg: &mut usize,
+    out: &mut Vec<Stmt>,
+    make_load: &mut impl FnMut(&stencil::Access, usize) -> Stmt,
+) -> FExpr {
+    match e {
+        StencilExpr::Load(a) => {
+            let reg = *next_reg;
+            *next_reg += 1;
+            out.push(make_load(a, reg));
+            FExpr::Reg(reg)
+        }
+        StencilExpr::Const(c) => FExpr::Const(*c),
+        StencilExpr::Add(a, b) => FExpr::Add(
+            Box::new(lower_expr(a, next_reg, out, make_load)),
+            Box::new(lower_expr(b, next_reg, out, make_load)),
+        ),
+        StencilExpr::Sub(a, b) => FExpr::Sub(
+            Box::new(lower_expr(a, next_reg, out, make_load)),
+            Box::new(lower_expr(b, next_reg, out, make_load)),
+        ),
+        StencilExpr::Mul(a, b) => FExpr::Mul(
+            Box::new(lower_expr(a, next_reg, out, make_load)),
+            Box::new(lower_expr(b, next_reg, out, make_load)),
+        ),
+        StencilExpr::Sqrt(a) => {
+            FExpr::Sqrt(Box::new(lower_expr(a, next_reg, out, make_load)))
+        }
+    }
+}
+
+/// Maximum number of loads in any statement (register budget helper).
+pub fn max_loads(program: &StencilProgram) -> usize {
+    program
+        .statements()
+        .iter()
+        .map(|s| s.expr.loads().len())
+        .max()
+        .unwrap_or(1)
+}
+
+/// Default spatial tile extents per dimensionality, innermost a warp
+/// multiple.
+pub fn default_tile(dims: usize) -> Vec<i64> {
+    match dims {
+        1 => vec![256],
+        2 => vec![8, 32],
+        _ => vec![4, 4, 32],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_covers_grid() {
+        let t = SpaceTiling::new(&[100, 64], &[8, 32]);
+        assert_eq!(t.counts, vec![13, 2]);
+        assert_eq!(t.blocks(), 26);
+        assert_eq!(t.block_dim(), [32, 8, 1]);
+    }
+
+    #[test]
+    fn tile_index_decomposition_is_row_major() {
+        let t = SpaceTiling::new(&[64, 64, 64], &[4, 4, 32]);
+        // counts = [16, 16, 2]; block 37 = (1, 2, 1).
+        let b = 37i64;
+        let d0 = b.div_euclid(32).rem_euclid(16);
+        let d1 = b.div_euclid(2).rem_euclid(16);
+        let d2 = b.rem_euclid(2);
+        assert_eq!((d0, d1, d2), (1, 2, 1));
+    }
+
+    #[test]
+    fn default_tiles_are_warp_aligned() {
+        assert_eq!(default_tile(2)[1] % 32, 0);
+        assert_eq!(default_tile(3)[2] % 32, 0);
+    }
+}

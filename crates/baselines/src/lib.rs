@@ -1,0 +1,35 @@
+//! # baselines — the comparator stencil compilers of the CGO'14 evaluation
+//!
+//! Reimplementations of the tiling strategies the paper compares against,
+//! over the same kernel IR and simulator substrate, so that Tables 1 and 2
+//! isolate exactly the variable the paper studies — the tiling scheme:
+//!
+//! * [`par4all`] — Par4All-like: straightforward per-time-step kernels on
+//!   global memory, relying on the hardware cache hierarchy;
+//! * [`ppcg`] — PPCG-like classical spatial tiling: per-time-step kernels
+//!   staging a tile + halo through shared memory (no time tiling, matching
+//!   the configuration the paper measured);
+//! * [`overtile`] — Overtile-like overlapped time tiling: several time
+//!   steps per launch with redundant halo computation, falling back to
+//!   spatial tiling for 3D stencils (the fallback the paper observed in
+//!   Overtile's autotuned configurations);
+//! * [`patus`] — Patus-like autotuned spatial tiling (the paper could only
+//!   run it on the 3D laplacian/heat kernels);
+//! * [`diamond`] — a schedule-level model of diamond tiling used to
+//!   reproduce the §5 claim that diamond tiles contain *varying* numbers
+//!   of integer points (a divergence source hexagonal tiles avoid).
+//!
+//! Every generator returns a [`gpu_codegen::LaunchPlan`] executable on
+//! `gpusim` and validated bit-for-bit against the sequential oracle.
+
+pub mod common;
+pub mod diamond;
+pub mod overtile;
+pub mod par4all;
+pub mod patus;
+pub mod ppcg;
+
+pub use overtile::generate_overtile;
+pub use par4all::generate_par4all;
+pub use patus::generate_patus;
+pub use ppcg::generate_ppcg;

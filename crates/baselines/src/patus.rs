@@ -1,0 +1,61 @@
+//! Patus-like code generation: autotuned spatial tiling.
+//!
+//! Patus is a stencil DSL framework with an autotuner over blocking
+//! strategies. Its (experimental) CUDA backend — the paper could only
+//! generate code for the 3D laplacian and heat kernels with it — amounts
+//! to spatial tiling with shared-memory staging and tuned block shapes.
+//! We model it as the PPCG-like generator with a Patus-flavoured tuned
+//! tile (wider along the coalescing dimension).
+
+use gpu_codegen::ir::LaunchPlan;
+use stencil::StencilProgram;
+
+use crate::ppcg::generate_ppcg_tiled;
+
+/// True if the paper was able to evaluate Patus on this stencil
+/// (laplacian 3D and heat 3D only).
+pub fn supported(program: &StencilProgram) -> bool {
+    matches!(program.name(), "laplacian3d" | "heat3d")
+}
+
+/// Generates the Patus-like plan.
+///
+/// # Panics
+///
+/// Panics when the stencil is outside Patus's supported set (mirroring the
+/// paper's "only laplacian and heat 3D code could be generated").
+pub fn generate_patus(program: &StencilProgram, dims: &[usize], steps: usize) -> LaunchPlan {
+    assert!(
+        supported(program),
+        "patus CUDA backend supports only laplacian3d/heat3d (as in the paper)"
+    );
+    // Autotuned shape: flat tile, wide along the unit-stride dimension.
+    let tile = vec![2, 4, 64];
+    generate_ppcg_tiled(program, dims, steps, &tile, "patus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::gallery;
+
+    #[test]
+    fn supports_exactly_the_paper_set() {
+        assert!(supported(&gallery::laplacian3d()));
+        assert!(supported(&gallery::heat3d()));
+        assert!(!supported(&gallery::jacobi2d()));
+        assert!(!supported(&gallery::gradient3d()));
+    }
+
+    #[test]
+    #[should_panic(expected = "supports only")]
+    fn rejects_unsupported_stencils() {
+        let _ = generate_patus(&gallery::heat2d(), &[16, 16], 1);
+    }
+
+    #[test]
+    fn generates_for_heat3d() {
+        let plan = generate_patus(&gallery::heat3d(), &[16, 16, 64], 2);
+        assert_eq!(plan.launches.len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion: the polyhedral substrate (the isl substitute): simplex LP,
+//! Fourier–Motzkin projection, point counting, and integer set subtraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polylib::{lp, Aff, BasicSet, Objective, Set};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polylib");
+    g.sample_size(30);
+
+    // A hexagon-like set as used throughout §3.
+    let hexagon = || {
+        BasicSet::new(2)
+            .with_ge(Aff::var(2, 0))
+            .with_ge(Aff::from_ints(&[-1, 0], 7))
+            .with_ge(Aff::from_ints(&[-1, 1], 4))
+            .with_ge(Aff::from_ints(&[-1, -1], 14))
+            .with_ge(Aff::from_ints(&[1, 1], -3))
+            .with_ge(Aff::from_ints(&[1, -1], 8))
+    };
+
+    g.bench_function("simplex/hexagon_bounds", |b| {
+        let s = hexagon();
+        let obj = Aff::from_ints(&[1, 3], 0);
+        b.iter(|| lp(s.constraints(), black_box(&obj), Objective::Maximize))
+    });
+
+    g.bench_function("fm/project_hexagon", |b| {
+        let s = hexagon();
+        b.iter(|| black_box(&s).project_out(1))
+    });
+
+    g.bench_function("count/hexagon_points", |b| {
+        let s = hexagon();
+        b.iter(|| black_box(&s).count_points())
+    });
+
+    g.bench_function("subtract/box_minus_diamond", |b| {
+        let big = Set::from_basic(BasicSet::box_set(&[(0, 20), (0, 20)]));
+        let diamond = Set::from_basic(
+            BasicSet::new(2)
+                .with_ge(Aff::from_ints(&[1, 1], -10))
+                .with_ge(Aff::from_ints(&[-1, -1], 30))
+                .with_ge(Aff::from_ints(&[1, -1], 10))
+                .with_ge(Aff::from_ints(&[-1, 1], 10)),
+        );
+        b.iter(|| big.subtract(black_box(&diamond)).count_points())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

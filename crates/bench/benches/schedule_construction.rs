@@ -1,0 +1,58 @@
+//! Criterion: cost of the §3 schedule machinery itself — cone derivation,
+//! hexagon construction, full schedule mapping, and tile-size evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_tiling::{tilesize, DepCone, HexShape, HybridSchedule, TileParams};
+use polylib::Rat;
+use stencil::gallery;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_construction");
+    g.sample_size(20);
+
+    g.bench_function("cone/heat3d", |b| {
+        let p = gallery::heat3d();
+        b.iter(|| DepCone::of_program(black_box(&p)).unwrap())
+    });
+
+    g.bench_function("hexagon/count_points_h3_w5", |b| {
+        b.iter(|| {
+            HexShape::new(Rat::ONE, Rat::from(2), 3, 5)
+                .unwrap()
+                .count_points()
+        })
+    });
+
+    g.bench_function("schedule/compute_heat3d", |b| {
+        let p = gallery::heat3d();
+        let params = TileParams::new(2, &[5, 4, 32]);
+        b.iter(|| HybridSchedule::compute_executable(black_box(&p), &params).unwrap())
+    });
+
+    g.bench_function("schedule/map_1k_instances", |b| {
+        let p = gallery::jacobi2d();
+        let s = HybridSchedule::compute(&p, &TileParams::new(2, &[3, 8])).unwrap();
+        b.iter(|| {
+            let mut acc = 0i64;
+            for tau in 0..10 {
+                for i in 0..10 {
+                    for j in 0..10 {
+                        acc += s.schedule_vector(&[tau, i, j])[0];
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("tilesize/evaluate_jacobi", |b| {
+        let p = gallery::jacobi2d();
+        let params = TileParams::new(2, &[3, 8]);
+        b.iter(|| tilesize::evaluate_tile(black_box(&p), &params).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: the Table 1/2 measurement pipeline — per-compiler sampled
+//! simulation of one stencil on each device. Times the harness itself so
+//! regressions in the simulator or code generators surface here; the table
+//! *values* are produced by the `table12` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::DeviceConfig;
+use hybrid_bench::{measure, Compiler};
+use stencil::gallery;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table12");
+    g.sample_size(10);
+    let p2 = gallery::heat2d();
+    let p3 = gallery::heat3d();
+    for compiler in [Compiler::Ppcg, Compiler::Par4all, Compiler::Overtile, Compiler::Hybrid] {
+        g.bench_function(format!("gtx470/heat2d/{}", compiler.name()), |b| {
+            b.iter(|| measure(compiler, &p2, &DeviceConfig::gtx470(), &[256, 256], 10, 2))
+        });
+    }
+    g.bench_function("nvs5200m/heat3d/hybrid", |b| {
+        b.iter(|| measure(Compiler::Hybrid, &p3, &DeviceConfig::nvs5200m(), &[64, 64, 64], 4, 2))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: the Table 4/5 optimization-ladder pipeline on heat-3d —
+//! generation plus sampled simulation per ladder step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpusim::DeviceConfig;
+use hybrid_bench::{heat3d_ladder_params, measure_plan};
+use stencil::gallery;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_ladder");
+    g.sample_size(10);
+    let program = gallery::heat3d();
+    let params = heat3d_ladder_params();
+    let dims = [64usize, 64, 64];
+    for (label, opts) in CodegenOptions::ladder() {
+        let name = label
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>();
+        g.bench_function(format!("heat3d/{name}"), |b| {
+            b.iter(|| {
+                let plan = generate_hybrid(&program, &params, &dims, 6, opts).unwrap();
+                measure_plan(&plan, 0, &program, &DeviceConfig::gtx470(), &dims, 6, 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

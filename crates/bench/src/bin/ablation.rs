@@ -1,0 +1,106 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * `h`-sweep — time-tile height against throughput: the DRAM
+//!   amortization the whole paper is built on (deeper tiles, fewer
+//!   global round trips) against the shared-memory ceiling;
+//! * `w0`-sweep — the "adjustable peak" of §2: wider hexagon peaks expose
+//!   more fine-grained parallelism per wavefront without changing
+//!   correctness;
+//! * hexagonal vs diamond point-count uniformity (§5);
+//! * full/partial separation on/off — measured through divergence events.
+//!
+//! Usage: `ablation [h|w0|diamond]` (default: all).
+
+use baselines::diamond;
+use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpusim::DeviceConfig;
+use hybrid_bench::{measure_plan, point_updates};
+use hybrid_tiling::{HexShape, TileParams};
+use polylib::Rat;
+use stencil::gallery;
+
+fn sweep_h() {
+    println!("h-sweep (jacobi2d, 512x512, 48 steps, w = (3, 32), GTX 470 model):\n");
+    println!("{:>3} {:>14} {:>14} {:>12} {:>10}", "h", "GStencils/s", "DRAM MB", "launches", "bound by");
+    let program = gallery::jacobi2d();
+    let dims = [512usize, 512];
+    let steps = 48;
+    for h in [0i64, 1, 2, 3, 5, 7] {
+        let params = TileParams::new(h, &[3, 32]);
+        let Ok(plan) = generate_hybrid(&program, &params, &dims, steps, CodegenOptions::best())
+        else {
+            continue;
+        };
+        let m = measure_plan(&plan, 0, &program, &DeviceConfig::gtx470(), &dims, steps, 3);
+        println!(
+            "{:>3} {:>14.2} {:>14.2} {:>12} {:>10}",
+            h,
+            m.gstencils,
+            m.counters.dram_bytes() as f64 / 1e6,
+            m.counters.launches,
+            m.bound_by
+        );
+    }
+    println!("\n(the paper's 2D sweet spot of 8 time steps per tile is h = 3)");
+}
+
+fn sweep_w0() {
+    println!("w0-sweep (jacobi2d; points per wavefront row at the peak):\n");
+    println!(
+        "{:>4} {:>12} {:>18} {:>14}",
+        "w0", "tile points", "peak row width", "GStencils/s"
+    );
+    let program = gallery::jacobi2d();
+    let dims = [512usize, 512];
+    let steps = 24;
+    for w0 in [0i64, 1, 3, 7, 15] {
+        let hex = HexShape::new(Rat::ONE, Rat::ONE, 2, w0).expect("legal width");
+        let top = hex.row_range(2 * 2 + 1).expect("top row");
+        let params = TileParams::new(2, &[w0, 32]);
+        let Ok(plan) = generate_hybrid(&program, &params, &dims, steps, CodegenOptions::best())
+        else {
+            continue;
+        };
+        let m = measure_plan(&plan, 0, &program, &DeviceConfig::gtx470(), &dims, steps, 3);
+        println!(
+            "{:>4} {:>12} {:>18} {:>14.2}",
+            w0,
+            hex.count_points(),
+            top.1 - top.0 + 1,
+            m.gstencils
+        );
+    }
+    println!("\n(diamond tiling has no w0: its peak is always a single point)");
+    let _ = point_updates(&program, &dims, steps);
+}
+
+fn diamond_vs_hexagon() {
+    println!("tile population uniformity (the §5 divergence argument):\n");
+    for p in [3i64, 4, 5] {
+        let pops = diamond::distinct_diamond_populations(p, 60);
+        println!("  diamond period {p}: populations {pops:?}");
+    }
+    for (h, w0) in [(1i64, 1i64), (2, 3), (3, 5)] {
+        let hex = HexShape::new(Rat::ONE, Rat::ONE, h, w0).expect("hexagon");
+        println!(
+            "  hexagon h={h} w0={w0}: population {{{}}} (constant by construction)",
+            hex.count_points()
+        );
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("h") => sweep_h(),
+        Some("w0") => sweep_w0(),
+        Some("diamond") => diamond_vs_hexagon(),
+        _ => {
+            sweep_h();
+            println!("\n{}\n", "-".repeat(66));
+            sweep_w0();
+            println!("\n{}\n", "-".repeat(66));
+            diamond_vs_hexagon();
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Tables 1 and 2: GStencils/second and speedup over PPCG for every
+//! benchmark stencil on both simulated devices.
+//!
+//! Usage: `table12 [gtx470|nvs5200m]` (default: both).
+
+use gpusim::DeviceConfig;
+use hybrid_bench::{measure, scaled_workload, speedup_str, Compiler};
+use stencil::gallery;
+
+fn run_device(device: &DeviceConfig) {
+    let stencils = gallery::table3_stencils();
+    let compilers = [
+        Compiler::Ppcg,
+        Compiler::Par4all,
+        Compiler::Overtile,
+        Compiler::Hybrid,
+    ];
+    println!(
+        "\nTable {}: Performance on {}: GStencils/second & Speedup",
+        if device.name.contains("470") { 1 } else { 2 },
+        device.name
+    );
+    print!("{:<10}", "");
+    for p in &stencils {
+        print!(" {:>16}", p.name());
+    }
+    println!();
+    let mut baseline: Vec<f64> = vec![0.0; stencils.len()];
+    for c in compilers {
+        print!("{:<10}", c.name());
+        for (i, p) in stencils.iter().enumerate() {
+            let (dims, steps) = scaled_workload(p);
+            let m = measure(c, p, device, &dims, steps, 3);
+            if c == Compiler::Ppcg {
+                baseline[i] = m.gstencils;
+                print!(" {:>16.2}", m.gstencils);
+            } else {
+                print!(
+                    " {:>9.2} {:>6}",
+                    m.gstencils,
+                    speedup_str(m.gstencils, baseline[i])
+                );
+            }
+        }
+        println!();
+    }
+    // Patus: the paper reports it only for laplacian3d (prose) / heat3d.
+    print!("{:<10}", "Patus*");
+    for (i, p) in stencils.iter().enumerate() {
+        if baselines::patus::supported(p) {
+            let (dims, steps) = scaled_workload(p);
+            let m = measure(Compiler::Patus, p, device, &dims, steps, 3);
+            print!(
+                " {:>9.2} {:>6}",
+                m.gstencils,
+                speedup_str(m.gstencils, baseline[i])
+            );
+        } else {
+            print!(" {:>16}", "-");
+        }
+    }
+    println!("\n(* Patus CUDA backend covers laplacian3d/heat3d only, as in the paper)");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg.as_deref() {
+        Some("gtx470") => run_device(&DeviceConfig::gtx470()),
+        Some("nvs5200m") => run_device(&DeviceConfig::nvs5200m()),
+        _ => {
+            run_device(&DeviceConfig::gtx470());
+            run_device(&DeviceConfig::nvs5200m());
+        }
+    }
+}

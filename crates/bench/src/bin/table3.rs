@@ -1,0 +1,6 @@
+//! Table 3: static characteristics of the benchmark stencils.
+
+fn main() {
+    println!("Table 3: Characteristics of Stencils\n");
+    print!("{}", stencil::characteristics::table3());
+}

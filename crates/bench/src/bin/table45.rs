@@ -1,0 +1,74 @@
+//! Tables 4 and 5: the shared-memory optimization ladder on heat-3d —
+//! GFLOPS & speedup per step (Table 4) and the hardware counters behind
+//! them (Table 5).
+
+use gpu_codegen::hybrid_gen::alignment_offset_words;
+use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpusim::DeviceConfig;
+use hybrid_bench::{heat3d_ladder_params, measure_plan, Measurement};
+use stencil::gallery;
+
+fn measurements(device: &DeviceConfig) -> Vec<(&'static str, Measurement)> {
+    let program = gallery::heat3d();
+    let params = heat3d_ladder_params();
+    let dims = [96usize, 96, 96];
+    let steps = 12; // 2h+2 = 6: two full time tiles
+    CodegenOptions::ladder()
+        .into_iter()
+        .map(|(label, opts)| {
+            let plan = generate_hybrid(&program, &params, &dims, steps, opts)
+                .expect("heat3d ladder configuration");
+            let align = alignment_offset_words(&program, &params, &opts);
+            let m = measure_plan(&plan, align, &program, device, &dims, steps, 3);
+            (label, m)
+        })
+        .collect()
+}
+
+fn main() {
+    let nvs = measurements(&DeviceConfig::nvs5200m());
+    let gtx = measurements(&DeviceConfig::gtx470());
+
+    println!("Table 4: Optimization steps: GFLOPS & Speedup (heat 3D)");
+    println!(
+        "  tile: h = 2, w = (5, 4, 32) [paper: (7, 10, 32); see EXPERIMENTS.md]\n"
+    );
+    println!("{:<36} {:>14} {:>14}", "", "NVS 5200M", "GTX 470");
+    let mut prev: Option<(f64, f64)> = None;
+    for ((label, m_nvs), (_, m_gtx)) in nvs.iter().zip(&gtx) {
+        let (s_nvs, s_gtx) = match prev {
+            None => ("".to_string(), "".to_string()),
+            Some((p_nvs, p_gtx)) => (
+                format!("{:+.0}%", (m_nvs.gflops / p_nvs - 1.0) * 100.0),
+                format!("{:+.0}%", (m_gtx.gflops / p_gtx - 1.0) * 100.0),
+            ),
+        };
+        println!(
+            "{:<36} {:>7.1} {:>6} {:>7.1} {:>6}",
+            label, m_nvs.gflops, s_nvs, m_gtx.gflops, s_gtx
+        );
+        prev = Some((m_nvs.gflops, m_gtx.gflops));
+    }
+
+    println!("\nTable 5: Performance counters, GTX 470 (units of 10^9 events)\n");
+    println!(
+        "{:<36} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "", "gld inst", "dram rd", "l2 rd", "shld/req", "gld eff"
+    );
+    for (label, m) in &gtx {
+        let c = &m.counters;
+        println!(
+            "{:<36} {:>10.3} {:>10.3} {:>10.3} {:>12.2} {:>7.0}%",
+            label,
+            c.gld_inst as f64 / 1e9,
+            c.dram_read_transactions as f64 / 1e9,
+            c.l2_read_transactions as f64 / 1e9,
+            c.shared_loads_per_request(),
+            c.gld_efficiency() * 100.0
+        );
+    }
+    println!("\nbound-by per step (GTX 470):");
+    for (label, m) in &gtx {
+        println!("  {label:<36} {}", m.bound_by);
+    }
+}

@@ -1,0 +1,147 @@
+//! Code-generation options: the shared-memory strategy ladder of Table 4.
+
+/// Shared-memory management strategy (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmemStrategy {
+    /// (a) No shared memory: all accesses go to global memory (hardware
+    /// caches provide whatever reuse they can).
+    GlobalOnly,
+    /// (b) Explicit shared memory with separate copy-in and copy-out
+    /// phases per tile.
+    CopyInOut,
+    /// (c) Copy-in plus *interleaved* copy-out: results are stored to
+    /// global memory the moment they are computed (§4.2.1).
+    InterleavedCopyOut,
+    /// (e) Inter-tile reuse with a *static* global→shared mapping: shared
+    /// addresses are the global coordinates modulo the buffer extent, so
+    /// overlapping values need no copying but accesses may bank-conflict
+    /// (§4.2.2).
+    ReuseStatic,
+    /// (f) Inter-tile reuse with *dynamic* placement: dense addressing plus
+    /// an explicit move phase shifting the overlap between consecutive
+    /// tiles (§4.2.2).
+    ReuseDynamic,
+}
+
+impl SmemStrategy {
+    /// True if the strategy stages data through shared memory.
+    pub fn uses_shared(self) -> bool {
+        !matches!(self, SmemStrategy::GlobalOnly)
+    }
+
+    /// True if results are written to global memory as they are computed.
+    pub fn interleaved_copy_out(self) -> bool {
+        !matches!(self, SmemStrategy::GlobalOnly | SmemStrategy::CopyInOut)
+    }
+
+    /// True if values are reused between consecutive classical tiles.
+    pub fn inter_tile_reuse(self) -> bool {
+        matches!(self, SmemStrategy::ReuseStatic | SmemStrategy::ReuseDynamic)
+    }
+}
+
+/// Full code-generation configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CodegenOptions {
+    /// Shared-memory strategy.
+    pub smem: SmemStrategy,
+    /// Align the copy-in window start to 128-byte boundaries by widening
+    /// the left halo pad (§4.2.3, ladder step (d)).
+    pub aligned_loads: bool,
+    /// Unroll the intra-tile `b` loop (the `s0` hexagon rows); the time
+    /// loop over `a` is always fully unrolled (§4.3.2).
+    pub unroll: bool,
+}
+
+impl CodegenOptions {
+    /// The (a)–(f) ladder of Table 4, with its row labels.
+    pub fn ladder() -> Vec<(&'static str, CodegenOptions)> {
+        vec![
+            (
+                "(a) no shared memory",
+                CodegenOptions {
+                    smem: SmemStrategy::GlobalOnly,
+                    aligned_loads: false,
+                    unroll: true,
+                },
+            ),
+            (
+                "(b) shared memory",
+                CodegenOptions {
+                    smem: SmemStrategy::CopyInOut,
+                    aligned_loads: false,
+                    unroll: true,
+                },
+            ),
+            (
+                "(c) (b) + interleave copy-out",
+                CodegenOptions {
+                    smem: SmemStrategy::InterleavedCopyOut,
+                    aligned_loads: false,
+                    unroll: true,
+                },
+            ),
+            (
+                "(d) (c) + align loads",
+                CodegenOptions {
+                    smem: SmemStrategy::InterleavedCopyOut,
+                    aligned_loads: true,
+                    unroll: true,
+                },
+            ),
+            (
+                "(e) (d) + value reuse (static)",
+                CodegenOptions {
+                    smem: SmemStrategy::ReuseStatic,
+                    aligned_loads: true,
+                    unroll: true,
+                },
+            ),
+            (
+                "(f) (d) + value reuse (dynamic)",
+                CodegenOptions {
+                    smem: SmemStrategy::ReuseDynamic,
+                    aligned_loads: true,
+                    unroll: true,
+                },
+            ),
+        ]
+    }
+
+    /// The best configuration (ladder step (f)) used for Tables 1 and 2.
+    pub fn best() -> CodegenOptions {
+        CodegenOptions {
+            smem: SmemStrategy::ReuseDynamic,
+            aligned_loads: true,
+            unroll: true,
+        }
+    }
+}
+
+impl Default for CodegenOptions {
+    fn default() -> CodegenOptions {
+        CodegenOptions::best()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_six_steps() {
+        let l = CodegenOptions::ladder();
+        assert_eq!(l.len(), 6);
+        assert_eq!(l[0].1.smem, SmemStrategy::GlobalOnly);
+        assert!(l[5].1.smem.inter_tile_reuse());
+    }
+
+    #[test]
+    fn strategy_predicates() {
+        assert!(!SmemStrategy::GlobalOnly.uses_shared());
+        assert!(SmemStrategy::CopyInOut.uses_shared());
+        assert!(!SmemStrategy::CopyInOut.interleaved_copy_out());
+        assert!(SmemStrategy::InterleavedCopyOut.interleaved_copy_out());
+        assert!(SmemStrategy::ReuseStatic.inter_tile_reuse());
+    }
+}

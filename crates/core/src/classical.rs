@@ -1,0 +1,150 @@
+//! Classical (parallelogram) tiling of the inner spatial dimensions —
+//! equations (14)–(17) of the paper (§3.4–§3.5).
+//!
+//! Each inner dimension `s_i` (`i >= 1`) is strip-mined into tiles of width
+//! `w_i`, skewed against the *local* time coordinate `u` by the slope
+//! `δ1_i` so that all dependences flow toward non-decreasing tile indices:
+//!
+//! ```text
+//! (14)  S_i  = ⌊(s_i + δ1_i·u) / w_i⌋
+//! (17)  s'_i = (s_i + δ1_i·u) mod w_i
+//! ```
+//!
+//! `u` is the phase-local time (equations (15)/(16)), which equals the
+//! hexagon-local coordinate `a` — constant per time tile and phase, which
+//! is what keeps tile start positions (and therefore global-memory load
+//! alignment) independent of `T` (§3.4).
+//!
+//! Only the *lower* slope `δ1_i` is needed: inside a thread block the
+//! classical tiles execute sequentially in increasing `S_i`, so dependences
+//! pointing toward smaller `s_i` (which the skew pushes forward) are the
+//! only hazard. For rational `δ1_i` the skew uses `⌊δ1_i·u⌋`, which
+//! preserves legality (monotonicity of `⌊·⌋`) and coincides with the
+//! paper's formula for the integer slopes of all evaluated stencils.
+
+use polylib::Rat;
+
+/// One classically tiled dimension.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassicalDim {
+    /// Skew slope `δ1_i` for this dimension.
+    pub delta1: Rat,
+    /// Tile width `w_i >= 1`.
+    pub width: i64,
+}
+
+impl ClassicalDim {
+    /// Creates a classical dimension description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 1` or `delta1 < 0`.
+    pub fn new(delta1: Rat, width: i64) -> ClassicalDim {
+        assert!(width >= 1, "classical tile width must be >= 1");
+        assert!(delta1 >= Rat::ZERO, "slope must be non-negative");
+        ClassicalDim { delta1, width }
+    }
+
+    /// The integer skew `⌊δ1_i · u⌋` at local time `u`.
+    pub fn skew(&self, u: i64) -> i64 {
+        (self.delta1 * Rat::from(u)).floor() as i64
+    }
+
+    /// Equation (14): the tile index `S_i` of coordinate `s` at local time
+    /// `u`.
+    pub fn tile_of(&self, s: i64, u: i64) -> i64 {
+        (s + self.skew(u)).div_euclid(self.width)
+    }
+
+    /// Equation (17): the intra-tile coordinate `s'_i ∈ [0, w_i)`.
+    pub fn local_of(&self, s: i64, u: i64) -> i64 {
+        (s + self.skew(u)).rem_euclid(self.width)
+    }
+
+    /// Inverse: the global coordinate for tile `tile` and local `local` at
+    /// local time `u`.
+    pub fn to_global(&self, tile: i64, local: i64, u: i64) -> i64 {
+        tile * self.width + local - self.skew(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_have_exact_width() {
+        let d = ClassicalDim::new(Rat::ONE, 5);
+        for u in 0..8 {
+            for s in -20..20 {
+                let tile = d.tile_of(s, u);
+                let local = d.local_of(s, u);
+                assert!((0..5).contains(&local));
+                assert_eq!(d.to_global(tile, local, u), s);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_slides_windows_with_time() {
+        // δ1 = 1, w = 4: at u=0 tile 0 covers s ∈ [0,3]; at u=2 it covers
+        // s ∈ [-2,1] — the window moved left to chase dependences.
+        let d = ClassicalDim::new(Rat::ONE, 4);
+        assert_eq!(d.tile_of(0, 0), 0);
+        assert_eq!(d.tile_of(3, 0), 0);
+        assert_eq!(d.tile_of(-2, 2), 0);
+        assert_eq!(d.tile_of(2, 2), 1);
+    }
+
+    /// The legality argument of §3.4: for any dependence with
+    /// `-Δs <= δ1·Δτ`, the source tile index never exceeds the target's.
+    #[test]
+    fn dependences_never_point_to_earlier_tiles() {
+        for (num, den) in [(0i128, 1i128), (1, 1), (1, 2), (3, 2), (2, 1)] {
+            let delta1 = Rat::new(num, den);
+            let d = ClassicalDim::new(delta1, 4);
+            for u in 1..10i64 {
+                for dtau in 1..=3i64 {
+                    if dtau > u {
+                        continue;
+                    }
+                    for s in -12..12i64 {
+                        // Worst-case backward spatial distance at this dtau.
+                        let max_back = (delta1 * Rat::from(dtau)).floor() as i64;
+                        for ds in -3..=max_back {
+                            let src_s = s - ds;
+                            let src = d.tile_of(src_s, u - dtau);
+                            let dst = d.tile_of(s, u);
+                            // Only dependences allowed by the slope bound.
+                            if Rat::from(-ds) <= delta1 * Rat::from(dtau) {
+                                assert!(
+                                    src <= dst,
+                                    "δ1={delta1}, u={u}, dtau={dtau}, s={s}, ds={ds}: \
+                                     src tile {src} > dst tile {dst}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slope_is_plain_stripmining() {
+        let d = ClassicalDim::new(Rat::ZERO, 8);
+        for u in 0..5 {
+            assert_eq!(d.tile_of(17, u), 2);
+            assert_eq!(d.local_of(17, u), 1);
+        }
+    }
+
+    #[test]
+    fn fractional_slope_uses_floor_of_skew() {
+        let d = ClassicalDim::new(Rat::new(1, 2), 4);
+        assert_eq!(d.skew(0), 0);
+        assert_eq!(d.skew(1), 0);
+        assert_eq!(d.skew(2), 1);
+        assert_eq!(d.skew(5), 2);
+    }
+}

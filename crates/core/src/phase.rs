@@ -1,0 +1,211 @@
+//! Two-phase hexagonal tile indexing — equations (2)–(5) of the paper
+//! (§3.3.3, Fig. 5).
+//!
+//! The schedule alternates between phase 0 ("blue" tiles) and phase 1
+//! ("green" tiles). Within one time tile `T` all phase-0 tiles execute
+//! first (in parallel across `S0`), then all phase-1 tiles. Phase 0 indexes
+//! time through `t + h + 1` so that its hexagons straddle the boundary
+//! between consecutive phase-1 rows; the `S0` numerators carry the
+//! `T(⌊δ1h⌋ - ⌊δ0h⌋)` drift that keeps boxes of successive time tiles
+//! aligned to the same shape.
+
+use crate::hexagon::HexShape;
+
+/// One of the two wavefront phases.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Phase {
+    /// Phase 0 — executed first within a time tile (eqs. (2)–(3)).
+    Zero,
+    /// Phase 1 — executed second (eqs. (4)–(5)).
+    One,
+}
+
+impl Phase {
+    /// Both phases, in execution order.
+    pub const ALL: [Phase; 2] = [Phase::Zero, Phase::One];
+
+    /// The schedule value of the phase dimension `p`.
+    pub fn index(self) -> i64 {
+        match self {
+            Phase::Zero => 0,
+            Phase::One => 1,
+        }
+    }
+}
+
+/// Tile and local coordinates of one instance under one phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhaseCoords {
+    /// Time-tile index `T`.
+    pub t_tile: i64,
+    /// Hexagonal tile index `S0` within the wavefront.
+    pub s_tile: i64,
+    /// Local time coordinate `a ∈ [0, 2h+2)`.
+    pub a: i64,
+    /// Local space coordinate `b ∈ [0, box_width)`.
+    pub b: i64,
+}
+
+/// Computes `(T, S0, a, b)` of the instance `(tau, s0)` under `phase`
+/// (equations (2)/(3) for phase 0, (4)/(5) for phase 1). The instance
+/// belongs to the tile only if `(a, b)` lies inside the hexagon.
+pub fn coords(hex: &HexShape, phase: Phase, tau: i64, s0: i64) -> PhaseCoords {
+    let height = hex.box_height();
+    let width = hex.box_width();
+    let drift = hex.f1() - hex.f0();
+    // Note: the paper's eq. (3) writes the phase-0 spatial offset as
+    // `⌊δ1h⌋ + w0 + 1`; with the hexagon anchored by the constraint system
+    // (6)-(13) (whose rows start at b = ⌊δ0h⌋ on the top row), the offset
+    // that makes the two phases interlock exactly is `⌊δ0h⌋ + w0 + 1`. The
+    // two coincide for δ0 = δ1 (Fig. 6); the exhaustive partition tests
+    // pin down this orientation for asymmetric cones.
+    let (t_num, s_extra) = match phase {
+        Phase::Zero => (tau + hex.h() + 1, hex.f0() + hex.w0() + 1),
+        Phase::One => (tau, 0),
+    };
+    let t_tile = t_num.div_euclid(height);
+    let a = t_num.rem_euclid(height);
+    let s_num = s0 + s_extra + t_tile * drift;
+    PhaseCoords {
+        t_tile,
+        s_tile: s_num.div_euclid(width),
+        a,
+        b: s_num.rem_euclid(width),
+    }
+}
+
+/// All phases claiming the instance `(tau, s0)` — i.e. whose local
+/// coordinates land inside the hexagon. A correct tiling claims every
+/// instance exactly once; [`crate::verify`] checks this exhaustively.
+pub fn claims(hex: &HexShape, tau: i64, s0: i64) -> Vec<(Phase, PhaseCoords)> {
+    Phase::ALL
+        .iter()
+        .filter_map(|&p| {
+            let c = coords(hex, p, tau, s0);
+            hex.contains_local(c.a, c.b).then_some((p, c))
+        })
+        .collect()
+}
+
+/// The unique phase claiming `(tau, s0)`, or `None` if the tiling is
+/// broken at that instance (zero or two claims).
+pub fn locate(hex: &HexShape, tau: i64, s0: i64) -> Option<(Phase, PhaseCoords)> {
+    let c = claims(hex, tau, s0);
+    if c.len() == 1 {
+        Some(c[0])
+    } else {
+        None
+    }
+}
+
+/// Reconstructs the global `(tau, s0)` of a local hexagon point `(a, b)`
+/// within tile `(phase, T, S0)` — the inverse of [`coords`].
+pub fn to_global(
+    hex: &HexShape,
+    phase: Phase,
+    t_tile: i64,
+    s_tile: i64,
+    a: i64,
+    b: i64,
+) -> (i64, i64) {
+    let height = hex.box_height();
+    let width = hex.box_width();
+    let drift = hex.f1() - hex.f0();
+    let (t_off, s_extra) = match phase {
+        Phase::Zero => (hex.h() + 1, hex.f0() + hex.w0() + 1),
+        Phase::One => (0, 0),
+    };
+    let tau = t_tile * height + a - t_off;
+    let s0 = s_tile * width + b - s_extra - t_tile * drift;
+    (tau, s0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polylib::Rat;
+
+    fn unit_hex(h: i64, w0: i64) -> HexShape {
+        HexShape::new(Rat::ONE, Rat::ONE, h, w0).unwrap()
+    }
+
+    #[test]
+    fn coords_roundtrip_through_to_global() {
+        let hex = unit_hex(2, 3);
+        for tau in -5..15 {
+            for s0 in -8..20 {
+                for p in Phase::ALL {
+                    let c = coords(&hex, p, tau, s0);
+                    let (t2, s2) = to_global(&hex, p, c.t_tile, c.s_tile, c.a, c.b);
+                    assert_eq!((t2, s2), (tau, s0), "phase {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_instance_claimed_exactly_once() {
+        for (h, w0) in [(0, 0), (0, 1), (1, 1), (2, 3), (3, 2)] {
+            let hex = unit_hex(h, w0);
+            for tau in 0..30 {
+                for s0 in -20..40 {
+                    let c = claims(&hex, tau, s0);
+                    assert_eq!(
+                        c.len(),
+                        1,
+                        "h={h} w0={w0}: ({tau},{s0}) claimed {} times",
+                        c.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_slopes_partition_too() {
+        // Fig. 4's example: δ0 = 1, δ1 = 2 (h=2, w0=3).
+        let hex = HexShape::new(Rat::ONE, Rat::from(2), 2, 3).unwrap();
+        for tau in 0..36 {
+            for s0 in -30..60 {
+                assert_eq!(claims(&hex, tau, s0).len(), 1, "({tau},{s0})");
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_slopes_partition() {
+        // δ0 = 1/2, δ1 = 3/2 with h = 3: exercises non-trivial floors
+        // f0 = 1, f1 = 4 and the (d-1)/d slack terms.
+        let hex = HexShape::new(Rat::new(1, 2), Rat::new(3, 2), 3, 2).unwrap();
+        for tau in 0..32 {
+            for s0 in -25..50 {
+                assert_eq!(claims(&hex, tau, s0).len(), 1, "({tau},{s0})");
+            }
+        }
+    }
+
+    #[test]
+    fn phase0_precedes_phase1_on_straddled_rows() {
+        // An instance at small tau lands in a phase-0 tile of the time tile
+        // that *starts* later: phase-0 tiles straddle backwards.
+        let hex = unit_hex(1, 1);
+        // Phase-0 tile time window for T: [T*4 - 2, T*4 + 1].
+        let c = coords(&hex, Phase::Zero, 2, 0);
+        assert_eq!(c.t_tile, 1);
+        let c = coords(&hex, Phase::One, 2, 0);
+        assert_eq!(c.t_tile, 0);
+    }
+
+    #[test]
+    fn wavefront_tiles_disjoint_in_s0() {
+        // Two adjacent S0 tiles of the same phase never claim the same
+        // instance (they are separated by the phase-complementary tiles).
+        let hex = unit_hex(2, 2);
+        for tau in 0..12 {
+            for s0 in 0..40 {
+                let cs = claims(&hex, tau, s0);
+                assert_eq!(cs.len(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Tile-size selection via the load-to-compute-ratio model (§3.7).
+//!
+//! The paper selects `h, w0, .., wn` by exactly counting, for a generic
+//! (non-boundary) tile, the number of iterations and the number of values
+//! loaded from global memory, then picking the parameters with the smallest
+//! load-to-compute ratio among those whose memory tile fits the shared
+//! memory budget. The paper used manually derived closed forms and notes
+//! that "tools to count points in integer polyhedra can automate this" —
+//! here the counting is automated by exact enumeration of a representative
+//! full tile (the [`polylib`] point-counting substitute for Barvinok).
+
+use std::collections::HashSet;
+
+use stencil::StencilProgram;
+
+use crate::params::{TileError, TileParams};
+use crate::phase::Phase;
+use crate::schedule::{HybridSchedule, TileCoord};
+
+/// Exact per-tile cost statistics for one parameter choice.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TileSizeModel {
+    /// The parameters evaluated.
+    pub params: TileParams,
+    /// Statement instances per full tile (`hex points × Π w_i`).
+    pub iterations: u64,
+    /// Distinct externally produced values a *cold* full tile reads.
+    pub cold_loads: u64,
+    /// Loads after inter-tile reuse with the predecessor along the
+    /// innermost classical dimension (§4.2.2) — the steady-state cost.
+    pub steady_loads: u64,
+    /// Shared-memory bytes for the bounding box of all values the tile
+    /// touches (one slab per live time plane, 4-byte floats).
+    pub smem_bytes: u64,
+}
+
+impl TileSizeModel {
+    /// The steady-state load-to-compute ratio the paper minimizes.
+    pub fn ratio(&self) -> f64 {
+        self.steady_loads as f64 / self.iterations as f64
+    }
+}
+
+/// The closed-form §3.7 iteration count for a 3D stencil with
+/// `δ0 = δ1 = 1`: `2(1 + 2h + h² + w0(h+1))·w1·w2`.
+pub fn formula_3d_iterations(h: i64, w0: i64, w1: i64, w2: i64) -> u64 {
+    (2 * (1 + 2 * h + h * h + w0 * (h + 1)) * w1 * w2) as u64
+}
+
+/// Packs a value identity `(field, producer-τ, positions..)` into a hash
+/// key. Positions of representative tiles are small; each component gets a
+/// generous signed range.
+fn value_key(field: usize, tau_w: i64, pos: &[i64]) -> u64 {
+    let mut k = field as u64;
+    k = k.wrapping_mul(0x100_0000_0000).wrapping_add((tau_w + 0x8000) as u64 & 0xFFFF);
+    for &p in pos {
+        k = k
+            .wrapping_mul(0x1_0000)
+            .wrapping_add((p + 0x4000) as u64 & 0xFFFF);
+    }
+    k
+}
+
+/// Evaluates the exact per-tile model for one parameter choice.
+///
+/// # Errors
+///
+/// Propagates schedule-construction failures ([`TileError`]).
+pub fn evaluate_tile(
+    program: &StencilProgram,
+    params: &TileParams,
+) -> Result<TileSizeModel, TileError> {
+    let schedule = HybridSchedule::compute(program, params)?;
+    let n = program.spatial_dims();
+    let k = program.num_statements() as i64;
+
+    // A representative interior tile, far from τ = 0.
+    let tile = TileCoord {
+        t_tile: 8,
+        phase: Phase::One,
+        s_tiles: vec![0; n],
+    };
+    let points = schedule.ideal_tile_points(&tile);
+    let instance_set: HashSet<(i64, Vec<i64>)> = points
+        .iter()
+        .map(|p| (p[0], p[1..].to_vec()))
+        .collect();
+
+    let (reads, writes) = tile_values(program, k, &points, &instance_set);
+    let cold: HashSet<u64> = reads.difference(&writes).copied().collect();
+
+    // Predecessor along the innermost classical dimension (if any): values
+    // it read or produced are already in shared memory (§4.2.2 dynamic
+    // reuse).
+    let steady_loads = if n >= 2 {
+        let mut prev_tile = tile.clone();
+        prev_tile.s_tiles[n - 1] -= 1;
+        let prev_points = schedule.ideal_tile_points(&prev_tile);
+        let prev_set: HashSet<(i64, Vec<i64>)> = prev_points
+            .iter()
+            .map(|p| (p[0], p[1..].to_vec()))
+            .collect();
+        let (prev_reads, prev_writes) = tile_values(program, k, &prev_points, &prev_set);
+        let available: HashSet<u64> = prev_reads.union(&prev_writes).copied().collect();
+        cold.difference(&available).count() as u64
+    } else {
+        cold.len() as u64
+    };
+
+    // Shared-memory bounding box: per field, per live plane, the box of
+    // positions touched.
+    let planes = (program.max_dt() as u64) + 1;
+    let mut smem_bytes = 0u64;
+    for f in 0..program.num_fields() {
+        let mut lo = vec![i64::MAX; n];
+        let mut hi = vec![i64::MIN; n];
+        let mut touched = false;
+        for p in &points {
+            let i = (p[0].rem_euclid(k)) as usize;
+            let st = &program.statements()[i];
+            let mut note = |pos: &[i64]| {
+                for d in 0..n {
+                    lo[d] = lo[d].min(pos[d]);
+                    hi[d] = hi[d].max(pos[d]);
+                }
+                touched = true;
+            };
+            if st.writes.0 == f {
+                note(&p[1..]);
+            }
+            for a in st.expr.loads() {
+                if a.field.0 == f {
+                    let pos: Vec<i64> = p[1..]
+                        .iter()
+                        .zip(&a.offsets)
+                        .map(|(&s, &o)| s + o)
+                        .collect();
+                    note(&pos);
+                }
+            }
+        }
+        if touched {
+            let cells: u64 = lo
+                .iter()
+                .zip(&hi)
+                .map(|(&l, &h)| (h - l + 1) as u64)
+                .product();
+            smem_bytes += cells * planes * 4;
+        }
+    }
+
+    Ok(TileSizeModel {
+        params: params.clone(),
+        iterations: points.len() as u64,
+        cold_loads: cold.len() as u64,
+        steady_loads,
+        smem_bytes,
+    })
+}
+
+/// Returns the (reads, writes) value-identity sets of a tile. A value is
+/// identified by its producing instance `(field, τ_w, position)`.
+fn tile_values(
+    program: &StencilProgram,
+    k: i64,
+    points: &[Vec<i64>],
+    _instances: &HashSet<(i64, Vec<i64>)>,
+) -> (HashSet<u64>, HashSet<u64>) {
+    let mut reads = HashSet::new();
+    let mut writes = HashSet::new();
+    for p in points {
+        let tau = p[0];
+        let i = tau.rem_euclid(k) as usize;
+        let st = &program.statements()[i];
+        writes.insert(value_key(st.writes.0, tau, &p[1..]));
+        for a in st.expr.loads() {
+            let j = program.writer_of(a.field) as i64;
+            let tau_w = tau - (k * a.dt + (i as i64 - j));
+            let pos: Vec<i64> = p[1..]
+                .iter()
+                .zip(&a.offsets)
+                .map(|(&s, &o)| s + o)
+                .collect();
+            reads.insert(value_key(a.field.0, tau_w, &pos));
+        }
+    }
+    (reads, writes)
+}
+
+/// Search space for [`select_tile_sizes`].
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Candidate heights.
+    pub h: Vec<i64>,
+    /// Candidate hexagon widths.
+    pub w0: Vec<i64>,
+    /// Candidate widths per classical dimension.
+    pub wi: Vec<Vec<i64>>,
+}
+
+impl SearchSpace {
+    /// A small default space for `n` spatial dimensions; the innermost
+    /// dimension sticks to warp-size multiples (§4.2.3 alignment argument).
+    pub fn default_for(n: usize) -> SearchSpace {
+        let mut wi: Vec<Vec<i64>> = Vec::new();
+        for d in 1..n {
+            if d == n - 1 {
+                wi.push(vec![32, 64]);
+            } else {
+                wi.push(vec![4, 8, 10, 16]);
+            }
+        }
+        SearchSpace {
+            h: vec![1, 2, 3],
+            w0: vec![1, 3, 5, 7],
+            wi,
+        }
+    }
+}
+
+/// Exhaustively evaluates the search space and returns the model with the
+/// smallest steady-state load-to-compute ratio among those fitting in
+/// `smem_limit` bytes (ties broken toward more iterations per tile).
+///
+/// Returns `None` if no candidate fits.
+pub fn select_tile_sizes(
+    program: &StencilProgram,
+    smem_limit: u64,
+    space: &SearchSpace,
+) -> Option<TileSizeModel> {
+    let mut best: Option<TileSizeModel> = None;
+    let mut stack: Vec<Vec<i64>> = vec![vec![]];
+    // Cartesian product over classical widths.
+    for cands in &space.wi {
+        let mut next = Vec::new();
+        for prefix in &stack {
+            for &w in cands {
+                let mut v = prefix.clone();
+                v.push(w);
+                next.push(v);
+            }
+        }
+        stack = next;
+    }
+    for &h in &space.h {
+        for &w0 in &space.w0 {
+            for rest in &stack {
+                let mut w = vec![w0];
+                w.extend_from_slice(rest);
+                if w.len() != program.spatial_dims() {
+                    continue;
+                }
+                let params = TileParams::new(h, &w);
+                let Ok(model) = evaluate_tile(program, &params) else {
+                    continue;
+                };
+                if model.smem_bytes > smem_limit {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        model.ratio() < b.ratio()
+                            || (model.ratio() == b.ratio()
+                                && model.iterations > b.iterations)
+                    }
+                };
+                if better {
+                    best = Some(model);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::gallery;
+
+    #[test]
+    fn closed_form_matches_enumeration_for_unit_slopes() {
+        let p = gallery::heat3d();
+        for (h, w0, w1, w2) in [(1, 1, 2, 3), (2, 3, 2, 4), (1, 4, 3, 2)] {
+            let m = evaluate_tile(&p, &TileParams::new(h, &[w0, w1, w2])).unwrap();
+            assert_eq!(
+                m.iterations,
+                formula_3d_iterations(h, w0, w1, w2),
+                "h={h} w0={w0}"
+            );
+        }
+    }
+
+    #[test]
+    fn taller_tiles_amortize_loads() {
+        // Raising h must lower the load-to-compute ratio for jacobi2d.
+        let p = gallery::jacobi2d();
+        let flat = evaluate_tile(&p, &TileParams::new(0, &[3, 8])).unwrap();
+        let tall = evaluate_tile(&p, &TileParams::new(3, &[3, 8])).unwrap();
+        assert!(
+            tall.ratio() < flat.ratio(),
+            "tall {} !< flat {}",
+            tall.ratio(),
+            flat.ratio()
+        );
+    }
+
+    #[test]
+    fn inter_tile_reuse_reduces_loads() {
+        let p = gallery::jacobi2d();
+        let m = evaluate_tile(&p, &TileParams::new(2, &[3, 8])).unwrap();
+        assert!(m.steady_loads < m.cold_loads);
+        assert!(m.steady_loads > 0);
+    }
+
+    #[test]
+    fn smem_grows_with_widths() {
+        let p = gallery::jacobi2d();
+        let small = evaluate_tile(&p, &TileParams::new(1, &[1, 4])).unwrap();
+        let large = evaluate_tile(&p, &TileParams::new(1, &[5, 16])).unwrap();
+        assert!(large.smem_bytes > small.smem_bytes);
+    }
+
+    #[test]
+    fn selection_respects_smem_limit() {
+        let p = gallery::jacobi2d();
+        let space = SearchSpace {
+            h: vec![1, 2],
+            w0: vec![1, 3],
+            wi: vec![vec![8, 16]],
+        };
+        let best = select_tile_sizes(&p, 8 * 1024, &space).unwrap();
+        assert!(best.smem_bytes <= 8 * 1024);
+        // An absurdly small limit leaves no candidates.
+        assert!(select_tile_sizes(&p, 64, &space).is_none());
+    }
+
+    #[test]
+    fn selection_prefers_lower_ratio() {
+        let p = gallery::jacobi2d();
+        let space = SearchSpace {
+            h: vec![0, 2],
+            w0: vec![2],
+            wi: vec![vec![8]],
+        };
+        let best = select_tile_sizes(&p, 1 << 20, &space).unwrap();
+        assert_eq!(best.params.h, 2, "taller tile has lower ratio");
+    }
+}

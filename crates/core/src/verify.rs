@@ -1,0 +1,355 @@
+//! Exhaustive schedule verification (the §3.3.3 correctness argument,
+//! checked point-by-point).
+//!
+//! For a bounded scheduled domain, [`verify_schedule`] checks the three
+//! properties the paper proves or argues for:
+//!
+//! 1. **Partition** — every statement instance is claimed by exactly one
+//!    `(T, p, S0)` hexagonal tile (each instance executed once).
+//! 2. **Dependence legality under the CUDA execution model** — for every
+//!    dependence `src -> dst`:
+//!    * tiles with earlier `(T, p)` run in earlier kernel launches: legal;
+//!    * within one launch, different `S0` tiles run on *concurrent* thread
+//!      blocks: a dependence between them is a violation;
+//!    * within one block, classical tiles `(S1..Sn)` run sequentially in
+//!      lexicographic order: `src` must not be in a later classical tile;
+//!    * within one classical tile, time steps are separated by
+//!      `__syncthreads`: the source must have a strictly smaller local
+//!      time `a`.
+//! 3. **Full-tile uniformity** — every tile whose ideal extent lies fully
+//!    inside the domain contains exactly `hex_points × Π w_i` instances
+//!    (the no-thread-divergence argument distinguishing hexagonal from
+//!    diamond tiling).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use stencil::domain::ScheduledDomain;
+use stencil::{distance_vectors, StencilProgram};
+
+use crate::phase;
+use crate::schedule::{HybridSchedule, TileCoord};
+
+/// A verification failure, with the offending instance(s).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// An instance was claimed by zero or two hexagonal tiles.
+    BadClaimCount {
+        /// The instance `[τ, s0, ..]`.
+        point: Vec<i64>,
+        /// How many tiles claimed it.
+        claims: usize,
+    },
+    /// A dependence is ordered incorrectly by the schedule.
+    DependenceViolation {
+        /// Source instance.
+        src: Vec<i64>,
+        /// Target instance (depends on `src`).
+        dst: Vec<i64>,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A full tile had an unexpected number of instances.
+    NonUniformFullTile {
+        /// The tile in question.
+        tile: String,
+        /// Points found.
+        got: u64,
+        /// Points expected.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadClaimCount { point, claims } => {
+                write!(f, "instance {point:?} claimed by {claims} tiles (want 1)")
+            }
+            VerifyError::DependenceViolation { src, dst, reason } => {
+                write!(f, "dependence {src:?} -> {dst:?} broken: {reason}")
+            }
+            VerifyError::NonUniformFullTile { tile, got, expected } => {
+                write!(f, "full tile {tile} has {got} points, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Summary statistics of a successful verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyReport {
+    /// Statement instances checked.
+    pub instances: u64,
+    /// Dependence pairs checked.
+    pub dependences: u64,
+    /// Tiles fully contained in the domain.
+    pub full_tiles: u64,
+    /// Tiles clipped by the domain boundary.
+    pub partial_tiles: u64,
+}
+
+/// Exhaustively verifies `schedule` against `program` on `domain`.
+///
+/// # Errors
+///
+/// Returns the first violated property; see [`VerifyError`].
+pub fn verify_schedule(
+    schedule: &HybridSchedule,
+    program: &StencilProgram,
+    domain: &ScheduledDomain,
+) -> Result<VerifyReport, VerifyError> {
+    verify_with_vectors(schedule, domain, &distance_vectors(program))
+}
+
+/// Like [`verify_schedule`], but additionally checks the storage
+/// anti-dependences of the ring-buffered layout (what executable kernels
+/// must respect; see
+/// [`crate::DepCone::of_program_with_storage`]).
+///
+/// # Errors
+///
+/// See [`verify_schedule`].
+pub fn verify_schedule_storage(
+    schedule: &HybridSchedule,
+    program: &StencilProgram,
+    domain: &ScheduledDomain,
+) -> Result<VerifyReport, VerifyError> {
+    let vectors =
+        stencil::deps::distance_vectors_with_storage(program, program.max_dt() + 1);
+    verify_with_vectors(schedule, domain, &vectors)
+}
+
+/// Verifies against an explicit dependence-distance vector set.
+///
+/// # Errors
+///
+/// See [`verify_schedule`].
+pub fn verify_with_vectors(
+    schedule: &HybridSchedule,
+    domain: &ScheduledDomain,
+    vectors: &[stencil::DistanceVector],
+) -> Result<VerifyReport, VerifyError> {
+    let mut instances = 0u64;
+    let mut dependences = 0u64;
+    let mut tile_counts: HashMap<TileCoord, u64> = HashMap::new();
+
+    for point in domain.iter() {
+        instances += 1;
+        // Property 1: exactly one hexagonal claim.
+        let claims = phase::claims(schedule.hex(), point[0], point[1]);
+        if claims.len() != 1 {
+            return Err(VerifyError::BadClaimCount {
+                point,
+                claims: claims.len(),
+            });
+        }
+        let tile = schedule.tile_of(&point).expect("claimed once");
+        *tile_counts.entry(tile.clone()).or_insert(0) += 1;
+
+        // Property 2: every incoming dependence is legal.
+        for v in vectors {
+            let mut src = point.clone();
+            src[0] -= v.dt;
+            for (d, &ds) in v.ds.iter().enumerate() {
+                src[1 + d] -= ds;
+            }
+            if !domain.contains(&src) {
+                continue;
+            }
+            dependences += 1;
+            let src_vec = schedule.schedule_vector(&src);
+            let dst_vec = schedule.schedule_vector(&point);
+            check_order(schedule, &src_vec, &dst_vec).map_err(|reason| {
+                VerifyError::DependenceViolation {
+                    src: src.clone(),
+                    dst: point.clone(),
+                    reason,
+                }
+            })?;
+        }
+    }
+
+    // Property 3: full tiles all carry the same number of instances.
+    let expected = schedule.points_per_full_tile();
+    let mut full_tiles = 0u64;
+    let mut partial_tiles = 0u64;
+    for (tile, &count) in &tile_counts {
+        let is_full = schedule
+            .ideal_tile_points(tile)
+            .iter()
+            .all(|p| domain.contains(p));
+        if is_full {
+            full_tiles += 1;
+            if count != expected {
+                return Err(VerifyError::NonUniformFullTile {
+                    tile: format!("{tile:?}"),
+                    got: count,
+                    expected,
+                });
+            }
+        } else {
+            partial_tiles += 1;
+        }
+    }
+
+    Ok(VerifyReport {
+        instances,
+        dependences,
+        full_tiles,
+        partial_tiles,
+    })
+}
+
+/// Checks one dependence pair against the CUDA execution-model ordering.
+/// Schedule vectors are `[T, p, S0, S1.., Sn, t'(=a), s'0.., s'n]`.
+fn check_order(
+    schedule: &HybridSchedule,
+    src: &[i64],
+    dst: &[i64],
+) -> Result<(), String> {
+    let n = schedule.spatial_dims();
+    // Kernel launch order: (T, p).
+    let launch_src = (src[0], src[1]);
+    let launch_dst = (dst[0], dst[1]);
+    if launch_src < launch_dst {
+        return Ok(());
+    }
+    if launch_src > launch_dst {
+        return Err(format!(
+            "source launch {launch_src:?} after target launch {launch_dst:?}"
+        ));
+    }
+    // Same launch: S0 tiles execute on concurrent blocks.
+    if src[2] != dst[2] {
+        return Err(format!(
+            "dependence crosses concurrent wavefront tiles S0={} -> S0={}",
+            src[2], dst[2]
+        ));
+    }
+    // Same block: classical tiles S1..Sn run sequentially, lexicographically.
+    let cls_src = &src[3..2 + n];
+    let cls_dst = &dst[3..2 + n];
+    if cls_src < cls_dst {
+        return Ok(());
+    }
+    if cls_src > cls_dst {
+        return Err(format!(
+            "source classical tile {cls_src:?} after target {cls_dst:?}"
+        ));
+    }
+    // Same tile: time steps are barrier-separated; need strictly earlier a.
+    let a_src = src[2 + n];
+    let a_dst = dst[2 + n];
+    if a_src < a_dst {
+        Ok(())
+    } else {
+        Err(format!(
+            "intra-tile dependence with non-increasing local time {a_src} -> {a_dst}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TileParams;
+    use stencil::gallery;
+
+    fn verify(
+        program: &stencil::StencilProgram,
+        h: i64,
+        w: &[i64],
+        dims: &[usize],
+        steps: usize,
+    ) -> VerifyReport {
+        let schedule = HybridSchedule::compute(program, &TileParams::new(h, w)).unwrap();
+        let domain = ScheduledDomain::new(program, dims, steps);
+        verify_schedule(&schedule, program, &domain).unwrap()
+    }
+
+    #[test]
+    fn jacobi2d_small_tiles_verify() {
+        let p = gallery::jacobi2d();
+        let r = verify(&p, 1, &[1, 3], &[14, 12], 8);
+        assert!(r.full_tiles > 0, "domain should contain full tiles");
+        assert!(r.dependences > 0);
+    }
+
+    #[test]
+    fn jacobi2d_various_params_verify() {
+        let p = gallery::jacobi2d();
+        for (h, w0, w1) in [(0, 0, 1), (0, 2, 2), (2, 1, 4), (3, 3, 2)] {
+            let _ = verify(&p, h, &[w0, w1], &[16, 10], 10);
+        }
+    }
+
+    #[test]
+    fn contrived1d_asymmetric_cone_verifies() {
+        // δ0 = 1, δ1 = 2 with dt up to 2: the hardest small case.
+        let p = gallery::contrived1d();
+        for (h, w0) in [(1, 2), (2, 3), (3, 5)] {
+            let _ = verify(&p, h, &[w0], &[40], 12);
+        }
+    }
+
+    #[test]
+    fn fdtd_multi_statement_verifies() {
+        let p = gallery::fdtd2d();
+        // k = 3 statements; fractional cone slopes.
+        let _ = verify(&p, 2, &[2, 4], &[12, 12], 4);
+    }
+
+    #[test]
+    fn heat3d_verifies() {
+        let p = gallery::heat3d();
+        let _ = verify(&p, 1, &[1, 2, 3], &[8, 8, 8], 4);
+    }
+
+    #[test]
+    fn full_tiles_counted_uniform() {
+        let p = gallery::jacobi2d();
+        let schedule = HybridSchedule::compute(&p, &TileParams::new(1, &[2, 3])).unwrap();
+        let domain = ScheduledDomain::new(&p, &[20, 14], 12);
+        let r = verify_schedule(&schedule, &p, &domain).unwrap();
+        assert!(r.full_tiles >= 4);
+        assert_eq!(
+            r.instances,
+            domain.num_points(),
+            "every instance visited once"
+        );
+    }
+
+    #[test]
+    fn order_check_rejects_backward_launch() {
+        let p = gallery::jacobi2d();
+        let s = HybridSchedule::compute(&p, &TileParams::new(1, &[2, 3])).unwrap();
+        // src in a later launch than dst.
+        let src = vec![5, 0, 0, 0, 1, 1, 0];
+        let dst = vec![4, 0, 0, 0, 1, 1, 0];
+        assert!(check_order(&s, &src, &dst).is_err());
+    }
+
+    #[test]
+    fn order_check_rejects_cross_wavefront() {
+        let p = gallery::jacobi2d();
+        let s = HybridSchedule::compute(&p, &TileParams::new(1, &[2, 3])).unwrap();
+        let src = vec![4, 0, 1, 0, 1, 1, 0];
+        let dst = vec![4, 0, 2, 0, 2, 1, 0];
+        let err = check_order(&s, &src, &dst).unwrap_err();
+        assert!(err.contains("concurrent wavefront"));
+    }
+
+    #[test]
+    fn order_check_allows_forward_classical() {
+        let p = gallery::jacobi2d();
+        let s = HybridSchedule::compute(&p, &TileParams::new(1, &[2, 3])).unwrap();
+        // Earlier classical tile, even at a *later* local time: legal,
+        // because classical tiles complete before successors start.
+        let src = vec![4, 0, 1, 0, 3, 1, 0];
+        let dst = vec![4, 0, 1, 1, 1, 1, 0];
+        assert!(check_order(&s, &src, &dst).is_ok());
+    }
+}

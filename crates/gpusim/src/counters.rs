@@ -1,0 +1,192 @@
+//! The performance-counter set of the paper's Table 5.
+
+use std::ops::{Add, AddAssign};
+
+/// Hardware-style event counters accumulated during simulation.
+///
+/// Field names follow `nvprof` conventions used in Table 5 of the paper.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Counters {
+    /// Executed 32-bit global load instructions (per lane).
+    pub gld_inst: u64,
+    /// Executed 32-bit global store instructions (per lane).
+    pub gst_inst: u64,
+    /// Global-memory load transactions (128-byte segments per warp).
+    pub gld_transactions: u64,
+    /// Global-memory store transactions (128-byte segments per warp).
+    pub gst_transactions: u64,
+    /// L1/LSU port transactions for global accesses (every coalesced
+    /// segment occupies the L1 data port, hit or miss — on Fermi the L1
+    /// and shared memory share the same SRAM port).
+    pub l1_transactions: u64,
+    /// Bytes actually requested by global loads (4 per lane).
+    pub gld_requested_bytes: u64,
+    /// L2 read transactions (32-byte sectors).
+    pub l2_read_transactions: u64,
+    /// L2 write transactions (32-byte sectors).
+    pub l2_write_transactions: u64,
+    /// DRAM read transactions (32-byte sectors, L2 misses).
+    pub dram_read_transactions: u64,
+    /// DRAM write transactions (32-byte sectors, write misses/evictions).
+    pub dram_write_transactions: u64,
+    /// Shared-memory load requests (per warp instruction).
+    pub shared_load_requests: u64,
+    /// Shared-memory load transactions (replays due to bank conflicts).
+    pub shared_load_transactions: u64,
+    /// Shared-memory store requests.
+    pub shared_store_requests: u64,
+    /// Shared-memory store transactions.
+    pub shared_store_transactions: u64,
+    /// Single-precision FLOPs executed (`sqrt` weighted 3).
+    pub flops: u64,
+    /// Warp instructions issued (all statement executions).
+    pub warp_instructions: u64,
+    /// `__syncthreads` executions (per block).
+    pub syncs: u64,
+    /// Warp-level divergent branch events (non-uniform `If` masks).
+    pub divergent_branches: u64,
+    /// Stencil point-updates computed (for GStencils/s).
+    pub point_updates: u64,
+    /// Kernel launches performed.
+    pub launches: u64,
+}
+
+impl Counters {
+    /// Global load efficiency: requested bytes / fetched bytes
+    /// (the `gld_efficiency` column of Table 5). 1.0 when no loads ran.
+    pub fn gld_efficiency(&self) -> f64 {
+        if self.gld_transactions == 0 {
+            return 1.0;
+        }
+        self.gld_requested_bytes as f64 / (self.gld_transactions as f64 * 128.0)
+    }
+
+    /// Shared loads per request (bank-conflict replay factor; 1.0 is
+    /// conflict-free).
+    pub fn shared_loads_per_request(&self) -> f64 {
+        if self.shared_load_requests == 0 {
+            return 1.0;
+        }
+        self.shared_load_transactions as f64 / self.shared_load_requests as f64
+    }
+
+    /// Total DRAM traffic in bytes (32-byte sectors both directions).
+    pub fn dram_bytes(&self) -> u64 {
+        (self.dram_read_transactions + self.dram_write_transactions) * 32
+    }
+
+    /// Total L2 traffic in bytes.
+    pub fn l2_bytes(&self) -> u64 {
+        (self.l2_read_transactions + self.l2_write_transactions) * 32
+    }
+
+    /// Scales all counters by an extrapolation factor (sampled simulation).
+    pub fn scaled(&self, factor: f64) -> Counters {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        Counters {
+            gld_inst: s(self.gld_inst),
+            gst_inst: s(self.gst_inst),
+            gld_transactions: s(self.gld_transactions),
+            gst_transactions: s(self.gst_transactions),
+            l1_transactions: s(self.l1_transactions),
+            gld_requested_bytes: s(self.gld_requested_bytes),
+            l2_read_transactions: s(self.l2_read_transactions),
+            l2_write_transactions: s(self.l2_write_transactions),
+            dram_read_transactions: s(self.dram_read_transactions),
+            dram_write_transactions: s(self.dram_write_transactions),
+            shared_load_requests: s(self.shared_load_requests),
+            shared_load_transactions: s(self.shared_load_transactions),
+            shared_store_requests: s(self.shared_store_requests),
+            shared_store_transactions: s(self.shared_store_transactions),
+            flops: s(self.flops),
+            warp_instructions: s(self.warp_instructions),
+            syncs: s(self.syncs),
+            divergent_branches: s(self.divergent_branches),
+            point_updates: s(self.point_updates),
+            launches: self.launches,
+        }
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+    fn add(mut self, rhs: Counters) -> Counters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        self.gld_inst += rhs.gld_inst;
+        self.gst_inst += rhs.gst_inst;
+        self.gld_transactions += rhs.gld_transactions;
+        self.gst_transactions += rhs.gst_transactions;
+        self.l1_transactions += rhs.l1_transactions;
+        self.gld_requested_bytes += rhs.gld_requested_bytes;
+        self.l2_read_transactions += rhs.l2_read_transactions;
+        self.l2_write_transactions += rhs.l2_write_transactions;
+        self.dram_read_transactions += rhs.dram_read_transactions;
+        self.dram_write_transactions += rhs.dram_write_transactions;
+        self.shared_load_requests += rhs.shared_load_requests;
+        self.shared_load_transactions += rhs.shared_load_transactions;
+        self.shared_store_requests += rhs.shared_store_requests;
+        self.shared_store_transactions += rhs.shared_store_transactions;
+        self.flops += rhs.flops;
+        self.warp_instructions += rhs.warp_instructions;
+        self.syncs += rhs.syncs;
+        self.divergent_branches += rhs.divergent_branches;
+        self.point_updates += rhs.point_updates;
+        self.launches += rhs.launches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_of_perfect_coalescing() {
+        let c = Counters {
+            gld_transactions: 10,
+            gld_requested_bytes: 1280,
+            ..Counters::default()
+        };
+        assert_eq!(c.gld_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn efficiency_of_strided_access() {
+        // 32 lanes each in their own segment: 32 * 128 fetched, 128 used.
+        let c = Counters {
+            gld_transactions: 32,
+            gld_requested_bytes: 128,
+            ..Counters::default()
+        };
+        assert!((c.gld_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflict_replay_factor() {
+        let c = Counters {
+            shared_load_requests: 100,
+            shared_load_transactions: 180,
+            ..Counters::default()
+        };
+        assert!((c.shared_loads_per_request() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Counters {
+            flops: 10,
+            gld_inst: 4,
+            ..Counters::default()
+        };
+        let b = a + a;
+        assert_eq!(b.flops, 20);
+        let s = b.scaled(2.5);
+        assert_eq!(s.flops, 50);
+        assert_eq!(s.gld_inst, 20);
+    }
+}

@@ -1,0 +1,98 @@
+//! Device configurations for the two GPUs of the paper's evaluation.
+
+/// Architectural parameters of a simulated device.
+///
+/// Numbers follow the public specifications of the respective boards; the
+/// L2 bandwidth is the usual ~4x DRAM rule of thumb for Fermi-class parts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DeviceConfig {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// L2 bandwidth in GB/s.
+    pub l2_gbps: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Shared memory per block limit in bytes.
+    pub shared_limit: usize,
+    /// Kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA GeForce GTX 470 (Fermi GF100): 14 SMs x 32 cores, 1.215 GHz
+    /// shader clock, 133.9 GB/s GDDR5, 640 KB L2.
+    pub fn gtx470() -> DeviceConfig {
+        DeviceConfig {
+            name: "GTX 470".into(),
+            sms: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.215,
+            dram_gbps: 133.9,
+            l2_gbps: 500.0,
+            l2_bytes: 640 * 1024,
+            shared_limit: 48 * 1024,
+            launch_overhead_s: 4e-6,
+        }
+    }
+
+    /// NVIDIA NVS 5200M (Fermi GF108, mobile): 2 SMs x 48 cores, 1.344 GHz,
+    /// 64-bit DDR3 at 14.3 GB/s, 128 KB L2.
+    pub fn nvs5200m() -> DeviceConfig {
+        DeviceConfig {
+            name: "NVS 5200M".into(),
+            sms: 2,
+            cores_per_sm: 48,
+            clock_ghz: 1.344,
+            dram_gbps: 14.3,
+            l2_gbps: 60.0,
+            l2_bytes: 128 * 1024,
+            shared_limit: 48 * 1024,
+            launch_overhead_s: 6e-6,
+        }
+    }
+
+    /// Peak single-precision throughput in FLOP/s (1 FLOP/core/cycle; no
+    /// FMA fusion credit, matching how stencil FLOPs are counted).
+    pub fn peak_flops(&self) -> f64 {
+        self.sms as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Peak warp-instruction issue rate (1 per SM per cycle).
+    pub fn peak_issue(&self) -> f64 {
+        self.sms as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Peak shared-memory transactions per second (one 128-byte
+    /// bank-parallel transaction per SM per cycle).
+    pub fn peak_shared_transactions(&self) -> f64 {
+        self.sms as f64 * self.clock_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx470_outmuscles_nvs5200m() {
+        let big = DeviceConfig::gtx470();
+        let small = DeviceConfig::nvs5200m();
+        assert!(big.peak_flops() > 4.0 * small.peak_flops());
+        assert!(big.dram_gbps > 8.0 * small.dram_gbps);
+    }
+
+    #[test]
+    fn peak_flops_magnitude() {
+        // 14 * 32 * 1.215e9 ≈ 0.54 TFLOP/s.
+        let f = DeviceConfig::gtx470().peak_flops();
+        assert!((5.4e11..5.5e11).contains(&f));
+    }
+}

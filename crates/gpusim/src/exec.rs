@@ -1,0 +1,679 @@
+//! The warp-synchronous kernel interpreter.
+//!
+//! Blocks execute statement-locked: all warps of a block finish a statement
+//! before the next begins. This is stronger than real hardware but agrees
+//! with it on every kernel whose cross-warp communication is
+//! `__syncthreads`-separated — which the generated stencil kernels are.
+//! Divergence is modeled by per-lane masks on `If`; memory instrumentation
+//! happens per warp (32 consecutive lanes).
+
+use gpu_codegen::ir::{Cond, FExpr, IExpr, Kernel, LaunchPlan, Stmt};
+use stencil::Grid;
+
+use crate::counters::Counters;
+use crate::device::DeviceConfig;
+use crate::memory::{charge_warp_load, charge_warp_store, GlobalMem, L2Cache};
+use crate::shared::{charge_shared_load, charge_shared_store, SharedMem};
+
+/// The simulator: device, global memory, L2 and counters.
+#[derive(Clone, Debug)]
+pub struct GpuSim {
+    device: DeviceConfig,
+    mem: GlobalMem,
+    l2: L2Cache,
+    counters: Counters,
+}
+
+impl GpuSim {
+    /// Creates a simulator with `planes` time planes per field, seeded from
+    /// `init` (one grid per field).
+    pub fn new(device: DeviceConfig, init: &[Grid], planes: usize) -> GpuSim {
+        GpuSim::with_global_offset(device, init, planes, 0)
+    }
+
+    /// Like [`GpuSim::new`], translating global arrays by `word_offset`
+    /// words (the §4.2.3 alignment translation; see
+    /// [`GlobalMem::with_word_offset`]).
+    pub fn with_global_offset(
+        device: DeviceConfig,
+        init: &[Grid],
+        planes: usize,
+        word_offset: i64,
+    ) -> GpuSim {
+        let l2 = L2Cache::new(device.l2_bytes);
+        GpuSim {
+            device,
+            mem: GlobalMem::with_word_offset(init, planes, word_offset),
+            l2,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Records the number of logical stencil point updates the simulated
+    /// plan performs (the GStencils/s numerator; redundant recomputation
+    /// does not count).
+    pub fn set_point_updates(&mut self, n: u64) {
+        self.counters.point_updates = n;
+    }
+
+    /// The device configuration.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Resets the counters (keeps memory contents).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+    }
+
+    /// Read access to one global plane.
+    pub fn plane(&self, field: usize, plane: usize) -> &Grid {
+        self.mem.plane(field, plane)
+    }
+
+    /// Runs every launch of the plan on every block — functionally exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel's shared-memory demand exceeds the device limit
+    /// (the tile-size selection is responsible for avoiding this) or on
+    /// out-of-bounds accesses (code-generation bugs).
+    pub fn run_plan(&mut self, plan: &LaunchPlan) {
+        for launch in &plan.launches {
+            let kernel = &plan.kernels[launch.kernel];
+            self.check_kernel(kernel);
+            self.counters.launches += 1;
+            for b in 0..launch.blocks {
+                self.run_block(kernel, &launch.params, b as i64);
+            }
+        }
+    }
+
+    /// Runs at most `samples` blocks per launch (spread across the grid)
+    /// and scales the counter deltas to the full grid. Memory contents are
+    /// *not* meaningful afterwards — this mode exists to extrapolate
+    /// counters for paper-scale workloads.
+    pub fn run_plan_sampled(&mut self, plan: &LaunchPlan, samples: usize) {
+        assert!(samples > 0, "need at least one sampled block");
+        for launch in &plan.launches {
+            let kernel = &plan.kernels[launch.kernel];
+            self.check_kernel(kernel);
+            self.counters.launches += 1;
+            let n = launch.blocks;
+            if n == 0 {
+                continue;
+            }
+            let take = samples.min(n);
+            // L2 capacity correction: the sampled blocks represent only
+            // `take` of the ~`concurrency` blocks that would share the L2
+            // at any instant, so give them the proportional slice.
+            // Without this, a handful of sampled blocks fit entirely in
+            // cache and DRAM traffic collapses to zero.
+            let concurrency = n.min(8 * self.device.sms as usize).max(1);
+            let effective =
+                (self.device.l2_bytes * take / concurrency).clamp(4 * 1024, self.device.l2_bytes);
+            self.l2 = L2Cache::new(effective);
+            let before = self.counters;
+            self.counters = Counters::default();
+            for i in 0..take {
+                // Spread samples across the grid to include boundary blocks
+                // proportionally.
+                let b = if take == 1 { 0 } else { i * (n - 1) / (take - 1) };
+                self.run_block(kernel, &launch.params, b as i64);
+            }
+            let delta = self.counters.scaled(n as f64 / take as f64);
+            self.counters = before + delta;
+            // `scaled` multiplies the launch counter too; re-adjust.
+            self.counters.launches = before.launches;
+        }
+    }
+
+    fn check_kernel(&self, kernel: &Kernel) {
+        assert!(
+            kernel.shared_bytes() <= self.device.shared_limit,
+            "kernel {} needs {} bytes of shared memory; {} allows {}",
+            kernel.name,
+            kernel.shared_bytes(),
+            self.device.name,
+            self.device.shared_limit
+        );
+    }
+
+    fn run_block(&mut self, kernel: &Kernel, params: &[i64], block: i64) {
+        assert_eq!(params.len(), kernel.n_params, "launch parameter arity");
+        let n_threads = kernel.threads_per_block();
+        let mut exec = BlockExec {
+            params,
+            block,
+            n_threads,
+            tids: (0..n_threads)
+                .map(|t| {
+                    let x = t % kernel.block_dim[0];
+                    let y = (t / kernel.block_dim[0]) % kernel.block_dim[1];
+                    let z = t / (kernel.block_dim[0] * kernel.block_dim[1]);
+                    [x as i64, y as i64, z as i64]
+                })
+                .collect(),
+            vars: vec![vec![0i64; n_threads]; kernel.n_vars],
+            regs: vec![vec![0f32; n_threads]; kernel.n_regs],
+            shared: SharedMem::new(&kernel.shared),
+            // Fermi's 16 KB L1 configuration divided among ~8 resident
+            // blocks per SM: a 2 KB effective slice per block.
+            l1: L2Cache::new(2 * 1024),
+            mem: &mut self.mem,
+            l2: &mut self.l2,
+            counters: &mut self.counters,
+        };
+        let mask = vec![true; n_threads];
+        exec.run(&kernel.body, &mask);
+    }
+}
+
+struct BlockExec<'a> {
+    params: &'a [i64],
+    block: i64,
+    n_threads: usize,
+    tids: Vec<[i64; 3]>,
+    vars: Vec<Vec<i64>>,
+    regs: Vec<Vec<f32>>,
+    shared: SharedMem,
+    l1: L2Cache,
+    mem: &'a mut GlobalMem,
+    l2: &'a mut L2Cache,
+    counters: &'a mut Counters,
+}
+
+impl BlockExec<'_> {
+    fn eval_i(&self, e: &IExpr, lane: usize) -> i64 {
+        match e {
+            IExpr::Const(c) => *c,
+            IExpr::Var(v) => self.vars[*v][lane],
+            IExpr::Param(p) => self.params[*p],
+            IExpr::ThreadIdx(d) => self.tids[lane][*d as usize],
+            IExpr::BlockIdx => self.block,
+            IExpr::Add(a, b) => self.eval_i(a, lane) + self.eval_i(b, lane),
+            IExpr::Sub(a, b) => self.eval_i(a, lane) - self.eval_i(b, lane),
+            IExpr::Mul(a, b) => self.eval_i(a, lane) * self.eval_i(b, lane),
+            IExpr::FloorDiv(a, k) => self.eval_i(a, lane).div_euclid(*k),
+            IExpr::Mod(a, k) => self.eval_i(a, lane).rem_euclid(*k),
+            IExpr::Min(a, b) => self.eval_i(a, lane).min(self.eval_i(b, lane)),
+            IExpr::Max(a, b) => self.eval_i(a, lane).max(self.eval_i(b, lane)),
+        }
+    }
+
+    fn eval_c(&self, c: &Cond, lane: usize) -> bool {
+        match c {
+            Cond::True => true,
+            Cond::Le(a, b) => self.eval_i(a, lane) <= self.eval_i(b, lane),
+            Cond::Lt(a, b) => self.eval_i(a, lane) < self.eval_i(b, lane),
+            Cond::Eq(a, b) => self.eval_i(a, lane) == self.eval_i(b, lane),
+            Cond::And(a, b) => self.eval_c(a, lane) && self.eval_c(b, lane),
+            Cond::Or(a, b) => self.eval_c(a, lane) || self.eval_c(b, lane),
+            Cond::Not(a) => !self.eval_c(a, lane),
+        }
+    }
+
+    fn eval_f(&self, e: &FExpr, lane: usize) -> f32 {
+        match e {
+            FExpr::Reg(r) => self.regs[*r][lane],
+            FExpr::Const(c) => *c,
+            FExpr::Add(a, b) => self.eval_f(a, lane) + self.eval_f(b, lane),
+            FExpr::Sub(a, b) => self.eval_f(a, lane) - self.eval_f(b, lane),
+            FExpr::Mul(a, b) => self.eval_f(a, lane) * self.eval_f(b, lane),
+            FExpr::Sqrt(a) => self.eval_f(a, lane).sqrt(),
+        }
+    }
+
+    /// FLOP weight of an expression (sqrt counts 3).
+    fn flop_weight(e: &FExpr) -> u64 {
+        match e {
+            FExpr::Reg(_) | FExpr::Const(_) => 0,
+            FExpr::Add(a, b) | FExpr::Sub(a, b) | FExpr::Mul(a, b) => {
+                1 + Self::flop_weight(a) + Self::flop_weight(b)
+            }
+            FExpr::Sqrt(a) => 3 + Self::flop_weight(a),
+        }
+    }
+
+    fn active_warps(&self, mask: &[bool]) -> u64 {
+        mask.chunks(32).filter(|w| w.iter().any(|&m| m)).count() as u64
+    }
+
+    fn run(&mut self, stmts: &[Stmt], mask: &[bool]) {
+        for s in stmts {
+            self.exec(s, mask);
+        }
+    }
+
+    fn exec(&mut self, stmt: &Stmt, mask: &[bool]) {
+        if !mask.iter().any(|&m| m) {
+            return;
+        }
+        self.counters.warp_instructions += self.active_warps(mask);
+        match stmt {
+            Stmt::SetVar { var, value } => {
+                for lane in 0..self.n_threads {
+                    if mask[lane] {
+                        self.vars[*var][lane] = self.eval_i(value, lane);
+                    }
+                }
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                assert!(*step > 0, "loop step must be positive");
+                let first = mask.iter().position(|&m| m).expect("non-empty mask");
+                let lo_v = self.eval_i(lo, first);
+                let hi_v = self.eval_i(hi, first);
+                debug_assert!(
+                    (0..self.n_threads)
+                        .filter(|&l| mask[l])
+                        .all(|l| self.eval_i(lo, l) == lo_v && self.eval_i(hi, l) == hi_v),
+                    "loop bounds must be uniform across active lanes"
+                );
+                let mut v = lo_v;
+                while v < hi_v {
+                    for lane in 0..self.n_threads {
+                        if mask[lane] {
+                            self.vars[*var][lane] = v;
+                        }
+                    }
+                    self.run(body, mask);
+                    v += step;
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut tmask = vec![false; self.n_threads];
+                let mut emask = vec![false; self.n_threads];
+                for lane in 0..self.n_threads {
+                    if mask[lane] {
+                        if self.eval_c(cond, lane) {
+                            tmask[lane] = true;
+                        } else {
+                            emask[lane] = true;
+                        }
+                    }
+                }
+                // Divergence: warps where both sub-masks are non-empty.
+                for w in 0..mask.len().div_ceil(32) {
+                    let r = w * 32..((w + 1) * 32).min(mask.len());
+                    let t = tmask[r.clone()].iter().any(|&m| m);
+                    let e = emask[r].iter().any(|&m| m);
+                    if t && e {
+                        self.counters.divergent_branches += 1;
+                    }
+                }
+                self.run(then_, &tmask);
+                if else_.iter().len() > 0 {
+                    self.run(else_, &emask);
+                }
+            }
+            Stmt::GlobalLoad {
+                dst,
+                field,
+                plane,
+                index,
+            } => {
+                for warp in 0..self.n_threads.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(self.n_threads);
+                    let mut addrs = Vec::new();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let pl = self.eval_i(plane, lane) as usize;
+                        let idx: Vec<i64> =
+                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        addrs.push(self.mem.byte_address(*field, pl, &idx));
+                        self.regs[*dst][lane] = self.mem.read(*field, pl, &idx);
+                    }
+                    charge_warp_load(self.counters, &mut self.l1, self.l2, &addrs);
+                }
+            }
+            Stmt::GlobalStore {
+                field,
+                plane,
+                index,
+                src,
+            } => {
+                let extra_flops = Self::flop_weight(src);
+                for warp in 0..self.n_threads.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(self.n_threads);
+                    let mut addrs = Vec::new();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let pl = self.eval_i(plane, lane) as usize;
+                        let idx: Vec<i64> =
+                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        addrs.push(self.mem.byte_address(*field, pl, &idx));
+                        let v = self.eval_f(src, lane);
+                        self.counters.flops += extra_flops;
+                        self.mem.write(*field, pl, &idx, v);
+                    }
+                    charge_warp_store(self.counters, self.l2, &addrs);
+                }
+            }
+            Stmt::SharedLoad { dst, buf, index } => {
+                for warp in 0..self.n_threads.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(self.n_threads);
+                    let mut words = Vec::new();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let idx: Vec<i64> =
+                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        words.push(self.shared.word_address(*buf, &idx));
+                        self.regs[*dst][lane] = self.shared.read(*buf, &idx);
+                    }
+                    charge_shared_load(self.counters, &words);
+                }
+            }
+            Stmt::SharedStore { buf, index, src } => {
+                let extra_flops = Self::flop_weight(src);
+                for warp in 0..self.n_threads.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(self.n_threads);
+                    let mut words = Vec::new();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let idx: Vec<i64> =
+                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        words.push(self.shared.word_address(*buf, &idx));
+                        let v = self.eval_f(src, lane);
+                        self.counters.flops += extra_flops;
+                        self.shared.write(*buf, &idx, v);
+                    }
+                    charge_shared_store(self.counters, &words);
+                }
+            }
+            Stmt::Compute { dst, expr } => {
+                let w = Self::flop_weight(expr);
+                for lane in 0..self.n_threads {
+                    if mask[lane] {
+                        self.regs[*dst][lane] = self.eval_f(expr, lane);
+                        self.counters.flops += w;
+                    }
+                }
+            }
+            Stmt::Sync => {
+                self.counters.syncs += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: run a plan and return `(counters, simulator)` for result
+/// inspection.
+pub fn simulate(
+    device: DeviceConfig,
+    init: &[Grid],
+    planes: usize,
+    plan: &LaunchPlan,
+) -> GpuSim {
+    let mut sim = GpuSim::new(device, init, planes);
+    sim.run_plan(plan);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_codegen::ir::{Kernel, Launch, SharedBuf};
+
+    /// A hand-written "copy with +1" kernel: out[i] = in[i] + 1 for a 1-D
+    /// grid of 128 elements and 4 blocks of 32 threads.
+    fn copy_kernel() -> (LaunchPlan, Vec<Grid>) {
+        let idx = IExpr::BlockIdx.scale(32).add(IExpr::ThreadIdx(0));
+        let kernel = Kernel {
+            name: "copy".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![idx.clone()],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![idx],
+                    src: FExpr::Add(Box::new(FExpr::Reg(0)), Box::new(FExpr::Const(1.0))),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 4,
+            }],
+            description: "copy test".into(),
+        };
+        let mut g = Grid::zeros(&[128]);
+        for i in 0..128 {
+            g.set(&[i], i as f32);
+        }
+        (plan, vec![g])
+    }
+
+    #[test]
+    fn functional_copy() {
+        let (plan, init) = copy_kernel();
+        let sim = simulate(DeviceConfig::gtx470(), &init, 2, &plan);
+        for i in 0..128 {
+            assert_eq!(sim.plane(0, 1).get(&[i]), i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn copy_counters_are_exact() {
+        let (plan, init) = copy_kernel();
+        let sim = simulate(DeviceConfig::gtx470(), &init, 2, &plan);
+        let c = sim.counters();
+        assert_eq!(c.gld_inst, 128);
+        assert_eq!(c.gst_inst, 128);
+        // 4 warps, each perfectly coalesced.
+        assert_eq!(c.gld_transactions, 4);
+        assert_eq!(c.gst_transactions, 4);
+        assert_eq!(c.gld_efficiency(), 1.0);
+        assert_eq!(c.flops, 128);
+        assert_eq!(c.launches, 1);
+        assert_eq!(c.divergent_branches, 0);
+    }
+
+    #[test]
+    fn divergent_if_is_counted() {
+        // Half of each warp takes the branch.
+        let kernel = Kernel {
+            name: "div".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![Stmt::If {
+                cond: Cond::Lt(IExpr::ThreadIdx(0), IExpr::Const(16)),
+                then_: vec![Stmt::Compute {
+                    dst: 0,
+                    expr: FExpr::Const(1.0),
+                }],
+                else_: vec![],
+            }],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "divergence test".into(),
+        };
+        let sim = simulate(DeviceConfig::gtx470(), &[Grid::zeros(&[4])], 1, &plan);
+        assert_eq!(sim.counters().divergent_branches, 1);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip_with_sync() {
+        // Stage through shared memory: s[tx] = in[tx]; sync; out[tx] = s[31-tx].
+        let tx = IExpr::ThreadIdx(0);
+        let kernel = Kernel {
+            name: "stage".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![SharedBuf {
+                name: "s".into(),
+                dims: vec![32],
+            }],
+            n_vars: 0,
+            n_regs: 2,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![tx.clone()],
+                },
+                Stmt::SharedStore {
+                    buf: 0,
+                    index: vec![tx.clone()],
+                    src: FExpr::Reg(0),
+                },
+                Stmt::Sync,
+                Stmt::SharedLoad {
+                    dst: 1,
+                    buf: 0,
+                    index: vec![IExpr::Const(31).sub(tx.clone())],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![tx],
+                    src: FExpr::Reg(1),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "shared stage".into(),
+        };
+        let mut g = Grid::zeros(&[32]);
+        for i in 0..32 {
+            g.set(&[i], i as f32);
+        }
+        let sim = simulate(DeviceConfig::gtx470(), &[g], 2, &plan);
+        for i in 0..32 {
+            assert_eq!(sim.plane(0, 1).get(&[i]), (31 - i) as f32);
+        }
+        let c = sim.counters();
+        assert_eq!(c.shared_store_requests, 1);
+        assert_eq!(c.shared_load_requests, 1);
+        // Reversed unit stride is still conflict-free.
+        assert_eq!(c.shared_load_transactions, 1);
+        assert_eq!(c.syncs, 1);
+    }
+
+    #[test]
+    fn sampled_run_scales_counters() {
+        let (plan, init) = copy_kernel();
+        let mut full = GpuSim::new(DeviceConfig::gtx470(), &init, 2, );
+        full.run_plan(&plan);
+        let mut sampled = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        sampled.run_plan_sampled(&plan, 2);
+        // 2 of 4 identical blocks sampled, scaled by 2: equal totals.
+        assert_eq!(sampled.counters().gld_inst, full.counters().gld_inst);
+        assert_eq!(
+            sampled.counters().gld_transactions,
+            full.counters().gld_transactions
+        );
+        assert_eq!(sampled.counters().launches, 1);
+    }
+
+    #[test]
+    fn loop_with_uniform_bounds() {
+        // Sum 4 values per thread via a loop: out[tx] = sum_{j<4} in[4*tx+j].
+        let tx = IExpr::ThreadIdx(0);
+        let kernel = Kernel {
+            name: "loop".into(),
+            block_dim: [8, 1, 1],
+            shared: vec![],
+            n_vars: 1,
+            n_regs: 2,
+            n_params: 0,
+            body: vec![
+                Stmt::Compute {
+                    dst: 1,
+                    expr: FExpr::Const(0.0),
+                },
+                Stmt::For {
+                    var: 0,
+                    lo: IExpr::Const(0),
+                    hi: IExpr::Const(4),
+                    step: 1,
+                    body: vec![
+                        Stmt::GlobalLoad {
+                            dst: 0,
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![tx.clone().scale(4).add(IExpr::Var(0))],
+                        },
+                        Stmt::Compute {
+                            dst: 1,
+                            expr: FExpr::Add(
+                                Box::new(FExpr::Reg(1)),
+                                Box::new(FExpr::Reg(0)),
+                            ),
+                        },
+                    ],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![tx],
+                    src: FExpr::Reg(1),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "loop sum".into(),
+        };
+        let mut g = Grid::zeros(&[32]);
+        for i in 0..32 {
+            g.set(&[i], 1.0);
+        }
+        let sim = simulate(DeviceConfig::gtx470(), &[g], 2, &plan);
+        for i in 0..8 {
+            assert_eq!(sim.plane(0, 1).get(&[i]), 4.0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Global memory: field/plane-addressed `f32` storage with per-warp
+//! coalescing analysis and a set-associative write-allocate L2 model.
+
+use crate::counters::Counters;
+use stencil::Grid;
+
+/// Global device memory: per field, a ring of time planes, each a dense
+/// grid. Every `(field, plane)` pair has a 128-byte-aligned base address so
+/// coalescing behaves as on real hardware.
+#[derive(Clone, Debug)]
+pub struct GlobalMem {
+    fields: Vec<Vec<Grid>>,
+    /// Base byte address of each (field, plane).
+    bases: Vec<Vec<u64>>,
+    dims: Vec<usize>,
+}
+
+impl GlobalMem {
+    /// Allocates `planes` time planes per field, all seeded from `init`
+    /// (mirroring how the oracle seeds its ring buffers).
+    pub fn new(init: &[Grid], planes: usize) -> GlobalMem {
+        GlobalMem::with_word_offset(init, planes, 0)
+    }
+
+    /// Like [`GlobalMem::new`], but translates every plane base by
+    /// `word_offset` 4-byte words — the array translation of the paper's
+    /// §4.2.3, used to make tile loads cache-line aligned.
+    pub fn with_word_offset(init: &[Grid], planes: usize, word_offset: i64) -> GlobalMem {
+        let dims = init
+            .first()
+            .map(|g| g.dims().to_vec())
+            .unwrap_or_default();
+        let mut bases = Vec::new();
+        let mut next: u64 = 0x1000 + (word_offset.rem_euclid(32) as u64) * 4;
+        let fields: Vec<Vec<Grid>> = init
+            .iter()
+            .map(|g| {
+                let mut pb = Vec::new();
+                for _ in 0..planes {
+                    pb.push(next);
+                    next += (g.len() as u64 * 4 + 127) / 128 * 128 + 128;
+                }
+                bases.push(pb);
+                vec![g.clone(); planes]
+            })
+            .collect();
+        GlobalMem {
+            fields,
+            bases,
+            dims,
+        }
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of planes per field.
+    pub fn planes(&self) -> usize {
+        self.fields.first().map_or(0, Vec::len)
+    }
+
+    /// Read access to one plane.
+    pub fn plane(&self, field: usize, plane: usize) -> &Grid {
+        &self.fields[field][plane]
+    }
+
+    /// The byte address of an element (for coalescing analysis).
+    pub fn byte_address(&self, field: usize, plane: usize, idx: &[i64]) -> u64 {
+        self.bases[field][plane] + self.fields[field][plane].offset(idx) as u64 * 4
+    }
+
+    /// Reads one element.
+    pub fn read(&self, field: usize, plane: usize, idx: &[i64]) -> f32 {
+        self.fields[field][plane].get(idx)
+    }
+
+    /// Writes one element.
+    pub fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
+        self.fields[field][plane].set(idx, v);
+    }
+}
+
+/// Set-associative, write-allocate, LRU L2 cache model with 128-byte lines.
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    sets: Vec<Vec<(u64, u64)>>, // (line tag, lru stamp)
+    ways: usize,
+    n_sets: u64,
+    stamp: u64,
+}
+
+impl L2Cache {
+    /// Builds a cache of `capacity_bytes` with 16 ways and 128-byte lines.
+    pub fn new(capacity_bytes: usize) -> L2Cache {
+        let ways = 16;
+        let n_sets = (capacity_bytes / (128 * ways)).max(1);
+        L2Cache {
+            sets: vec![Vec::new(); n_sets],
+            ways,
+            n_sets: n_sets as u64,
+            stamp: 0,
+        }
+    }
+
+    /// Accesses the 128-byte line containing `addr`; returns `true` on hit.
+    /// Misses allocate (write-allocate for stores as on Fermi).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / 128;
+        let set = (line % self.n_sets) as usize;
+        self.stamp += 1;
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|e| e.0 == line) {
+            e.1 = self.stamp;
+            return true;
+        }
+        if entries.len() >= self.ways {
+            // Evict LRU.
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            entries.swap_remove(lru);
+        }
+        entries.push((line, self.stamp));
+        false
+    }
+}
+
+/// Coalesces one warp's worth of byte addresses into 128-byte segments and
+/// charges the counters for a *load*. `l1` is the per-SM first-level cache
+/// (Fermi's 16 KB configuration): L1 hits cost only the load transaction;
+/// misses go through L2 and possibly DRAM. Returns the number of segments.
+pub fn charge_warp_load(
+    counters: &mut Counters,
+    l1: &mut L2Cache,
+    l2: &mut L2Cache,
+    addrs: &[u64],
+) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    counters.gld_inst += addrs.len() as u64;
+    counters.gld_requested_bytes += addrs.len() as u64 * 4;
+    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    counters.gld_transactions += segments.len() as u64;
+    counters.l1_transactions += segments.len() as u64;
+    for seg in &segments {
+        if l1.access(seg * 128) {
+            continue;
+        }
+        // Each 128-byte segment is 4 L2 sectors of 32 bytes.
+        counters.l2_read_transactions += 4;
+        if !l2.access(seg * 128) {
+            counters.dram_read_transactions += 4;
+        }
+    }
+    segments.len() as u64
+}
+
+/// Coalesces and charges a warp *store*.
+pub fn charge_warp_store(
+    counters: &mut Counters,
+    l2: &mut L2Cache,
+    addrs: &[u64],
+) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    counters.gst_inst += addrs.len() as u64;
+    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    counters.gst_transactions += segments.len() as u64;
+    counters.l1_transactions += segments.len() as u64;
+    for seg in &segments {
+        counters.l2_write_transactions += 4;
+        if !l2.access(seg * 128) {
+            // Write-allocate miss: the line is fetched... unless the warp
+            // fully overwrites it. Stencil stores are dense, so model the
+            // common case: dirty data eventually reaches DRAM.
+            counters.dram_write_transactions += 4;
+        }
+    }
+    segments.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Grid {
+        Grid::zeros(&[n])
+    }
+
+    #[test]
+    fn plane_bases_are_aligned_and_disjoint() {
+        let m = GlobalMem::new(&[grid(100), grid(100)], 2);
+        let a = m.byte_address(0, 0, &[0]);
+        let b = m.byte_address(0, 1, &[0]);
+        let c = m.byte_address(1, 0, &[0]);
+        assert_eq!(a % 128, 0);
+        assert_eq!(b % 128, 0);
+        assert!(b >= a + 400);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn contiguous_warp_load_is_one_segment() {
+        let m = GlobalMem::new(&[grid(1024)], 1);
+        let mut c = Counters::default();
+        let mut l2 = L2Cache::new(64 * 1024);
+        let addrs: Vec<u64> = (0..32).map(|i| m.byte_address(0, 0, &[i])).collect();
+        let mut l1 = L2Cache::new(4 * 1024);
+        let segs = charge_warp_load(&mut c, &mut l1, &mut l2, &addrs);
+        assert_eq!(segs, 1);
+        assert_eq!(c.gld_transactions, 1);
+        assert_eq!(c.gld_inst, 32);
+        assert_eq!(c.gld_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn strided_warp_load_fans_out() {
+        let m = GlobalMem::new(&[grid(32 * 64)], 1);
+        let mut c = Counters::default();
+        let mut l2 = L2Cache::new(64 * 1024);
+        // Stride 64 floats = 256 bytes: every lane its own segment.
+        let addrs: Vec<u64> = (0..32).map(|i| m.byte_address(0, 0, &[i * 64])).collect();
+        let mut l1 = L2Cache::new(1024);
+        let segs = charge_warp_load(&mut c, &mut l1, &mut l2, &addrs);
+        assert_eq!(segs, 32);
+        assert!(c.gld_efficiency() < 0.04);
+    }
+
+    #[test]
+    fn l2_hits_avoid_dram() {
+        let m = GlobalMem::new(&[grid(1024)], 1);
+        let mut c = Counters::default();
+        let mut l2 = L2Cache::new(64 * 1024);
+        let addrs: Vec<u64> = (0..32).map(|i| m.byte_address(0, 0, &[i])).collect();
+        let mut l1 = L2Cache::new(4 * 1024);
+        charge_warp_load(&mut c, &mut l1, &mut l2, &addrs);
+        let dram_first = c.dram_read_transactions;
+        assert_eq!(c.l2_read_transactions, 4, "first access reaches L2");
+        charge_warp_load(&mut c, &mut l1, &mut l2, &addrs);
+        assert_eq!(c.dram_read_transactions, dram_first, "second access hits L1");
+        assert_eq!(c.l2_read_transactions, 4, "L1 absorbs the repeat");
+    }
+
+    #[test]
+    fn l2_capacity_eviction() {
+        let mut l2 = L2Cache::new(2 * 1024); // 16 lines
+        for i in 0..64u64 {
+            l2.access(i * 128);
+        }
+        // The first line has long been evicted.
+        assert!(!l2.access(0));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMem::new(&[grid(16)], 2);
+        m.write(0, 1, &[3], 7.5);
+        assert_eq!(m.read(0, 1, &[3]), 7.5);
+        assert_eq!(m.read(0, 0, &[3]), 0.0);
+    }
+}

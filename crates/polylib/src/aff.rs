@@ -1,0 +1,373 @@
+//! Affine expressions `c0 + c1*x1 + ... + cn*xn` over a fixed dimension count.
+
+use crate::Rat;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An affine expression over `dim` variables: a constant term plus one
+/// rational coefficient per variable.
+///
+/// ```
+/// use polylib::{Aff, Rat};
+/// let e = Aff::var(2, 0) * Rat::from(3) + Aff::constant(2, Rat::from(1));
+/// assert_eq!(e.eval_int(&[2, 0]), Rat::from(7)); // 3*2 + 1
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Aff {
+    coeffs: Vec<Rat>,
+    constant: Rat,
+}
+
+impl Aff {
+    /// The zero expression over `dim` variables.
+    pub fn zero(dim: usize) -> Aff {
+        Aff {
+            coeffs: vec![Rat::ZERO; dim],
+            constant: Rat::ZERO,
+        }
+    }
+
+    /// The constant expression `c` over `dim` variables.
+    pub fn constant(dim: usize, c: Rat) -> Aff {
+        Aff {
+            coeffs: vec![Rat::ZERO; dim],
+            constant: c,
+        }
+    }
+
+    /// The single-variable expression `x_d` over `dim` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim`.
+    pub fn var(dim: usize, d: usize) -> Aff {
+        assert!(d < dim, "variable index {d} out of range for dim {dim}");
+        let mut coeffs = vec![Rat::ZERO; dim];
+        coeffs[d] = Rat::ONE;
+        Aff {
+            coeffs,
+            constant: Rat::ZERO,
+        }
+    }
+
+    /// Builds an expression from integer coefficients and constant.
+    pub fn from_ints(coeffs: &[i64], constant: i64) -> Aff {
+        Aff {
+            coeffs: coeffs.iter().map(|&c| Rat::from(c)).collect(),
+            constant: Rat::from(constant),
+        }
+    }
+
+    /// Number of variables of the space this expression lives in.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable `d`.
+    pub fn coeff(&self, d: usize) -> Rat {
+        self.coeffs[d]
+    }
+
+    /// Sets the coefficient of variable `d` (builder style).
+    pub fn with_coeff(mut self, d: usize, c: Rat) -> Aff {
+        self.coeffs[d] = c;
+        self
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> Rat {
+        self.constant
+    }
+
+    /// Sets the constant term (builder style).
+    pub fn with_constant(mut self, c: Rat) -> Aff {
+        self.constant = c;
+        self
+    }
+
+    /// True if all variable coefficients are zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_zero())
+    }
+
+    /// Evaluates at a rational point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn eval(&self, point: &[Rat]) -> Rat {
+        assert_eq!(point.len(), self.dim(), "point/expression dim mismatch");
+        let mut acc = self.constant;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            if !c.is_zero() {
+                acc += *c * *x;
+            }
+        }
+        acc
+    }
+
+    /// Evaluates at an integer point.
+    pub fn eval_int(&self, point: &[i64]) -> Rat {
+        assert_eq!(point.len(), self.dim(), "point/expression dim mismatch");
+        let mut acc = self.constant;
+        for (c, x) in self.coeffs.iter().zip(point) {
+            if !c.is_zero() {
+                acc += *c * Rat::from(*x);
+            }
+        }
+        acc
+    }
+
+    /// Substitutes variable `d` with the affine expression `repl`
+    /// (which must have the same dimension and a zero coefficient for `d`
+    /// unless it is a pure constant shift of other variables).
+    pub fn substitute(&self, d: usize, repl: &Aff) -> Aff {
+        assert_eq!(self.dim(), repl.dim(), "substitution dim mismatch");
+        let c = self.coeffs[d];
+        if c.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs[d] = Rat::ZERO;
+        out = out + repl.clone() * c;
+        out
+    }
+
+    /// Fixes variable `d` to the constant `v`, producing an expression over
+    /// the same dimension with a zero coefficient for `d`.
+    pub fn fix(&self, d: usize, v: Rat) -> Aff {
+        let mut out = self.clone();
+        out.constant += out.coeffs[d] * v;
+        out.coeffs[d] = Rat::ZERO;
+        out
+    }
+
+    /// Inserts `count` new variables (with zero coefficients) at position
+    /// `at`, shifting later variables up.
+    pub fn insert_dims(&self, at: usize, count: usize) -> Aff {
+        let mut coeffs = Vec::with_capacity(self.dim() + count);
+        coeffs.extend_from_slice(&self.coeffs[..at]);
+        coeffs.extend(std::iter::repeat(Rat::ZERO).take(count));
+        coeffs.extend_from_slice(&self.coeffs[at..]);
+        Aff {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Removes variable `d`, which must have a zero coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficient of `d` is non-zero (the expression would
+    /// change meaning).
+    pub fn remove_dim(&self, d: usize) -> Aff {
+        assert!(
+            self.coeffs[d].is_zero(),
+            "removing dimension {d} with non-zero coefficient"
+        );
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(d);
+        Aff {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
+    /// Multiplies through by the least common multiple of all coefficient
+    /// denominators, yielding an expression with integer coefficients that
+    /// has the same sign everywhere. Returns the scaled expression.
+    pub fn clear_denominators(&self) -> Aff {
+        let mut l: i128 = self.constant.den();
+        for c in &self.coeffs {
+            let d = c.den();
+            let g = {
+                let (mut a, mut b) = (l, d);
+                while b != 0 {
+                    let r = a % b;
+                    a = b;
+                    b = r;
+                }
+                a
+            };
+            l = l / g * d;
+        }
+        let scale = Rat::from(l);
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| *c * scale).collect(),
+            constant: self.constant * scale,
+        }
+    }
+
+    /// Divides by the gcd of all (integer) numerators, keeping signs. Used to
+    /// keep Fourier–Motzkin intermediate constraints small. No-op when the
+    /// expression is zero or has non-integer coefficients.
+    pub fn normalize_gcd(&self) -> Aff {
+        if !self.constant.is_integer() || self.coeffs.iter().any(|c| !c.is_integer()) {
+            return self.clone();
+        }
+        let mut g: i128 = 0;
+        for c in self.coeffs.iter().chain(std::iter::once(&self.constant)) {
+            let (mut a, mut b) = (g, c.num().abs());
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            g = a;
+        }
+        if g <= 1 {
+            return self.clone();
+        }
+        let inv = Rat::new(1, g);
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| *c * inv).collect(),
+            constant: self.constant * inv,
+        }
+    }
+}
+
+impl Add for Aff {
+    type Output = Aff;
+    fn add(self, rhs: Aff) -> Aff {
+        assert_eq!(self.dim(), rhs.dim(), "adding expressions of unequal dim");
+        Aff {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+            constant: self.constant + rhs.constant,
+        }
+    }
+}
+
+impl Sub for Aff {
+    type Output = Aff;
+    fn sub(self, rhs: Aff) -> Aff {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Aff {
+    type Output = Aff;
+    fn neg(self) -> Aff {
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| -*c).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl Mul<Rat> for Aff {
+    type Output = Aff;
+    fn mul(self, rhs: Rat) -> Aff {
+        Aff {
+            coeffs: self.coeffs.iter().map(|c| *c * rhs).collect(),
+            constant: self.constant * rhs,
+        }
+    }
+}
+
+impl fmt::Debug for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (d, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if wrote {
+                write!(f, " {} ", if c.signum() < 0 { "-" } else { "+" })?;
+            } else if c.signum() < 0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            if a != Rat::ONE {
+                write!(f, "{a}*")?;
+            }
+            write!(f, "x{d}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            write!(
+                f,
+                " {} {}",
+                if self.constant.signum() < 0 { "-" } else { "+" },
+                self.constant.abs()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        // 2x - 3y + 5
+        let e = Aff::from_ints(&[2, -3], 5);
+        assert_eq!(e.eval_int(&[4, 1]), Rat::from(10));
+        assert_eq!(e.eval(&[Rat::new(1, 2), Rat::ZERO]), Rat::from(6));
+    }
+
+    #[test]
+    fn substitution_replaces_variable() {
+        // x + 2y with y := x - 1  =>  3x - 2
+        let e = Aff::from_ints(&[1, 2], 0);
+        let repl = Aff::from_ints(&[1, 0], -1);
+        let s = e.substitute(1, &repl);
+        assert_eq!(s, Aff::from_ints(&[3, 0], -2));
+    }
+
+    #[test]
+    fn fix_pins_a_variable() {
+        let e = Aff::from_ints(&[2, -3], 5);
+        let fixed = e.fix(1, Rat::from(2));
+        assert_eq!(fixed, Aff::from_ints(&[2, 0], -1));
+    }
+
+    #[test]
+    fn insert_and_remove_dims_roundtrip() {
+        let e = Aff::from_ints(&[2, -3], 5);
+        let wide = e.insert_dims(1, 2);
+        assert_eq!(wide.dim(), 4);
+        assert_eq!(wide.coeff(0), Rat::from(2));
+        assert_eq!(wide.coeff(3), Rat::from(-3));
+        let back = wide.remove_dim(1).remove_dim(1);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn clear_denominators_scales_uniformly() {
+        let e = Aff::zero(2)
+            .with_coeff(0, Rat::new(1, 2))
+            .with_coeff(1, Rat::new(1, 3))
+            .with_constant(Rat::new(5, 6));
+        let cleared = e.clear_denominators();
+        assert_eq!(cleared, Aff::from_ints(&[3, 2], 5));
+    }
+
+    #[test]
+    fn normalize_gcd_reduces() {
+        let e = Aff::from_ints(&[4, -6], 8);
+        assert_eq!(e.normalize_gcd(), Aff::from_ints(&[2, -3], 4));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Aff::from_ints(&[1, -2], 3);
+        assert_eq!(e.to_string(), "x0 - 2*x1 + 3");
+        assert_eq!(Aff::zero(2).to_string(), "0");
+    }
+}

@@ -1,0 +1,304 @@
+//! Basic sets: conjunctions of affine constraints over `Z^dim`.
+
+use crate::enumerate::{self, Points};
+use crate::simplex::{lp, LpResult, Objective};
+use crate::{fm, Aff, Constraint, ConstraintKind, Rat};
+use std::fmt;
+
+/// A conjunction of affine constraints interpreted over integer points of
+/// `Z^dim` (the rational relaxation is used internally for emptiness and
+/// bounds).
+///
+/// ```
+/// use polylib::{BasicSet, Aff};
+/// let square = BasicSet::box_set(&[(0, 3), (0, 3)]);
+/// assert!(square.contains(&[2, 3]));
+/// assert_eq!(square.count_points(), 16);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BasicSet {
+    dim: usize,
+    cons: Vec<Constraint>,
+}
+
+impl BasicSet {
+    /// The universe set over `dim` variables (no constraints).
+    pub fn new(dim: usize) -> BasicSet {
+        BasicSet {
+            dim,
+            cons: Vec::new(),
+        }
+    }
+
+    /// An axis-aligned integer box: `lo_d <= x_d <= hi_d` for every
+    /// dimension.
+    pub fn box_set(bounds: &[(i64, i64)]) -> BasicSet {
+        let dim = bounds.len();
+        let mut s = BasicSet::new(dim);
+        for (d, &(lo, hi)) in bounds.iter().enumerate() {
+            s = s
+                .with_ge(Aff::var(dim, d) - Aff::constant(dim, Rat::from(lo)))
+                .with_ge(Aff::constant(dim, Rat::from(hi)) - Aff::var(dim, d));
+        }
+        s
+    }
+
+    /// Adds the constraint `expr >= 0` (builder style).
+    pub fn with_ge(mut self, expr: Aff) -> BasicSet {
+        assert_eq!(expr.dim(), self.dim, "constraint dim mismatch");
+        self.cons.push(Constraint::ge0(expr));
+        self
+    }
+
+    /// Adds the constraint `expr == 0` (builder style).
+    pub fn with_eq(mut self, expr: Aff) -> BasicSet {
+        assert_eq!(expr.dim(), self.dim, "constraint dim mismatch");
+        self.cons.push(Constraint::eq0(expr));
+        self
+    }
+
+    /// Adds an arbitrary constraint (builder style).
+    pub fn with_constraint(mut self, c: Constraint) -> BasicSet {
+        assert_eq!(c.dim(), self.dim, "constraint dim mismatch");
+        self.cons.push(c);
+        self
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The constraints of this set.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.cons
+    }
+
+    /// True if the integer point satisfies every constraint.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.dim, "point dim mismatch");
+        self.cons.iter().all(|c| c.holds_at(point))
+    }
+
+    /// True if the rational point satisfies every constraint.
+    pub fn contains_rat(&self, point: &[Rat]) -> bool {
+        assert_eq!(point.len(), self.dim, "point dim mismatch");
+        self.cons.iter().all(|c| c.holds_at_rat(point))
+    }
+
+    /// Intersection with another basic set over the same space.
+    pub fn intersect(&self, other: &BasicSet) -> BasicSet {
+        assert_eq!(self.dim, other.dim, "intersecting sets of unequal dim");
+        let mut cons = self.cons.clone();
+        cons.extend(other.cons.iter().cloned());
+        BasicSet {
+            dim: self.dim,
+            cons: fm::dedupe(cons),
+        }
+    }
+
+    /// True if the *rational relaxation* is empty (which implies the integer
+    /// set is empty). Use [`BasicSet::is_empty_int`] for the exact integer
+    /// test.
+    pub fn is_empty_rat(&self) -> bool {
+        matches!(
+            lp(&self.cons, &Aff::zero(self.dim), Objective::Minimize),
+            LpResult::Infeasible
+        )
+    }
+
+    /// True if the set contains no integer point (exact, via enumeration;
+    /// requires the set to be bounded unless the rational relaxation is
+    /// already empty).
+    pub fn is_empty_int(&self) -> bool {
+        if self.is_empty_rat() {
+            return true;
+        }
+        self.points().next().is_none()
+    }
+
+    /// Minimizes `obj` over the rational relaxation.
+    pub fn min(&self, obj: &Aff) -> LpResult {
+        lp(&self.cons, obj, Objective::Minimize)
+    }
+
+    /// Maximizes `obj` over the rational relaxation.
+    pub fn max(&self, obj: &Aff) -> LpResult {
+        lp(&self.cons, obj, Objective::Maximize)
+    }
+
+    /// Rational lower/upper bounds for every dimension, or `None` for a
+    /// dimension unbounded in either direction. Empty sets yield all-`None`.
+    pub fn bounding_box(&self) -> Vec<Option<(Rat, Rat)>> {
+        (0..self.dim)
+            .map(|d| {
+                let v = Aff::var(self.dim, d);
+                match (self.min(&v), self.max(&v)) {
+                    (
+                        LpResult::Optimal { value: lo, .. },
+                        LpResult::Optimal { value: hi, .. },
+                    ) => Some((lo, hi)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// True if every dimension has finite rational bounds.
+    pub fn is_bounded(&self) -> bool {
+        !self.is_empty_rat() && self.bounding_box().iter().all(Option::is_some)
+    }
+
+    /// Projects out (existentially quantifies) dimension `d`, returning a set
+    /// over `dim - 1` variables. Exact over rationals (Fourier–Motzkin).
+    pub fn project_out(&self, d: usize) -> BasicSet {
+        assert!(d < self.dim, "projecting out non-existent dim {d}");
+        let cons = fm::eliminate_dim(&self.cons, d);
+        let cons = cons
+            .iter()
+            .map(|c| match c.kind() {
+                ConstraintKind::Ge => Constraint::ge0(c.expr().remove_dim(d)),
+                ConstraintKind::Eq => Constraint::eq0(c.expr().remove_dim(d)),
+            })
+            .collect();
+        BasicSet {
+            dim: self.dim - 1,
+            cons,
+        }
+    }
+
+    /// Inserts `count` unconstrained dimensions at position `at`.
+    pub fn insert_dims(&self, at: usize, count: usize) -> BasicSet {
+        BasicSet {
+            dim: self.dim + count,
+            cons: self.cons.iter().map(|c| c.insert_dims(at, count)).collect(),
+        }
+    }
+
+    /// Fixes dimension `d` to the integer value `v` (adds an equality).
+    pub fn fix_dim(&self, d: usize, v: i64) -> BasicSet {
+        let e = Aff::var(self.dim, d) - Aff::constant(self.dim, Rat::from(v));
+        self.clone().with_eq(e)
+    }
+
+    /// Iterates over all integer points in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first use of the iterator) if the set is non-empty but
+    /// unbounded.
+    pub fn points(&self) -> Points {
+        enumerate::points(self)
+    }
+
+    /// Counts the integer points exactly.
+    ///
+    /// This is the stand-in for Barvinok-style counting used by §3.7
+    /// (tile-size selection): tile shapes are small, so explicit enumeration
+    /// is exact and fast.
+    pub fn count_points(&self) -> u64 {
+        enumerate::count(self)
+    }
+}
+
+impl fmt::Debug for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ [x0..x{}] : ", self.dim.saturating_sub(1))?;
+        for (i, c) in self.cons.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if self.cons.is_empty() {
+            write!(f, "true")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_membership_and_count() {
+        let b = BasicSet::box_set(&[(0, 2), (-1, 1)]);
+        assert!(b.contains(&[0, -1]));
+        assert!(b.contains(&[2, 1]));
+        assert!(!b.contains(&[3, 0]));
+        assert_eq!(b.count_points(), 9);
+    }
+
+    #[test]
+    fn emptiness_rational_vs_integer() {
+        // 1 <= 3x <= 2 has a rational solution but no integer one.
+        let dim = 1;
+        let s = BasicSet::new(dim)
+            .with_ge(Aff::from_ints(&[3], -1))
+            .with_ge(Aff::from_ints(&[-3], 2));
+        assert!(!s.is_empty_rat());
+        assert!(s.is_empty_int());
+    }
+
+    #[test]
+    fn bounding_box_of_triangle() {
+        // 0 <= x, 0 <= y, x + y <= 3.
+        let s = BasicSet::new(2)
+            .with_ge(Aff::var(2, 0))
+            .with_ge(Aff::var(2, 1))
+            .with_ge(Aff::from_ints(&[-1, -1], 3));
+        let bb = s.bounding_box();
+        assert_eq!(bb[0], Some((Rat::ZERO, Rat::from(3))));
+        assert_eq!(bb[1], Some((Rat::ZERO, Rat::from(3))));
+        assert_eq!(s.count_points(), 10);
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        let s = BasicSet::new(1).with_ge(Aff::var(1, 0));
+        assert!(!s.is_bounded());
+    }
+
+    #[test]
+    fn projection_matches_enumeration() {
+        // Project the triangle 0 <= y <= x <= 3 onto x: [0, 3].
+        let s = BasicSet::new(2)
+            .with_ge(Aff::var(2, 1))
+            .with_ge(Aff::var(2, 0) - Aff::var(2, 1))
+            .with_ge(Aff::constant(2, Rat::from(3)) - Aff::var(2, 0));
+        let p = s.project_out(1);
+        assert_eq!(p.dim(), 1);
+        for x in -2..6 {
+            assert_eq!(p.contains(&[x]), (0..=3).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn intersect_reduces_points() {
+        let a = BasicSet::box_set(&[(0, 5)]);
+        let b = BasicSet::box_set(&[(3, 9)]);
+        assert_eq!(a.intersect(&b).count_points(), 3); // {3,4,5}
+    }
+
+    #[test]
+    fn fix_dim_slices() {
+        let s = BasicSet::box_set(&[(0, 3), (0, 3)]);
+        assert_eq!(s.fix_dim(0, 2).count_points(), 4);
+        assert_eq!(s.fix_dim(0, 9).count_points(), 0);
+    }
+
+    #[test]
+    fn insert_dims_leaves_new_dims_free() {
+        let s = BasicSet::box_set(&[(0, 1)]).insert_dims(0, 1);
+        assert_eq!(s.dim(), 2);
+        assert!(s.contains(&[12345, 0]));
+        assert!(!s.contains(&[0, 2]));
+    }
+}

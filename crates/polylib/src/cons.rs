@@ -1,0 +1,207 @@
+//! Affine constraints: `expr >= 0` or `expr == 0`.
+
+use crate::{Aff, Rat};
+use std::fmt;
+
+/// The comparison kind of a [`Constraint`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConstraintKind {
+    /// `expr >= 0`
+    Ge,
+    /// `expr == 0`
+    Eq,
+}
+
+/// A single affine constraint over a fixed-dimension space.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    expr: Aff,
+    kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// The constraint `expr >= 0`.
+    pub fn ge0(expr: Aff) -> Constraint {
+        Constraint {
+            expr,
+            kind: ConstraintKind::Ge,
+        }
+    }
+
+    /// The constraint `expr == 0`.
+    pub fn eq0(expr: Aff) -> Constraint {
+        Constraint {
+            expr,
+            kind: ConstraintKind::Eq,
+        }
+    }
+
+    /// The constraint `lhs >= rhs`.
+    pub fn ge(lhs: Aff, rhs: Aff) -> Constraint {
+        Constraint::ge0(lhs - rhs)
+    }
+
+    /// The constraint `lhs <= rhs`.
+    pub fn le(lhs: Aff, rhs: Aff) -> Constraint {
+        Constraint::ge0(rhs - lhs)
+    }
+
+    /// The constraint `lhs == rhs`.
+    pub fn eq(lhs: Aff, rhs: Aff) -> Constraint {
+        Constraint::eq0(lhs - rhs)
+    }
+
+    /// The underlying affine expression (the constraint is `expr >= 0` or
+    /// `expr == 0`).
+    pub fn expr(&self) -> &Aff {
+        &self.expr
+    }
+
+    /// The comparison kind.
+    pub fn kind(&self) -> ConstraintKind {
+        self.kind
+    }
+
+    /// Dimension of the space the constraint lives in.
+    pub fn dim(&self) -> usize {
+        self.expr.dim()
+    }
+
+    /// True if the integer point satisfies the constraint.
+    pub fn holds_at(&self, point: &[i64]) -> bool {
+        let v = self.expr.eval_int(point);
+        match self.kind {
+            ConstraintKind::Ge => v.signum() >= 0,
+            ConstraintKind::Eq => v.is_zero(),
+        }
+    }
+
+    /// True if the rational point satisfies the constraint.
+    pub fn holds_at_rat(&self, point: &[Rat]) -> bool {
+        let v = self.expr.eval(point);
+        match self.kind {
+            ConstraintKind::Ge => v.signum() >= 0,
+            ConstraintKind::Eq => v.is_zero(),
+        }
+    }
+
+    /// The integer negation of a `>=` constraint: `NOT(e >= 0)` over the
+    /// integers is `-e - 1 >= 0` once `e` is scaled to integer coefficients.
+    ///
+    /// Equality constraints negate into *two* disjuncts (`e >= 1` or
+    /// `e <= -1`), so they are returned as a pair.
+    ///
+    /// The negation is exact on integer points; on rational points it is a
+    /// strict over-approximation of the complement.
+    pub fn negate_int(&self) -> Vec<Constraint> {
+        let e = self.expr.clear_denominators().normalize_gcd();
+        match self.kind {
+            ConstraintKind::Ge => {
+                let minus_one = Aff::constant(e.dim(), Rat::from(-1));
+                vec![Constraint::ge0(-e + minus_one)]
+            }
+            ConstraintKind::Eq => {
+                let one = Aff::constant(e.dim(), Rat::ONE);
+                vec![
+                    Constraint::ge0(e.clone() - one.clone()),
+                    Constraint::ge0(-e - one),
+                ]
+            }
+        }
+    }
+
+    /// Rewrites the constraint with `count` extra dimensions inserted at `at`.
+    pub fn insert_dims(&self, at: usize, count: usize) -> Constraint {
+        Constraint {
+            expr: self.expr.insert_dims(at, count),
+            kind: self.kind,
+        }
+    }
+
+    /// Normalizes: clears denominators and divides by the content gcd.
+    pub fn normalized(&self) -> Constraint {
+        Constraint {
+            expr: self.expr.clear_denominators().normalize_gcd(),
+            kind: self.kind,
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.kind {
+            ConstraintKind::Ge => ">=",
+            ConstraintKind::Eq => "=",
+        };
+        write!(f, "{} {} 0", self.expr, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_at_integer_points() {
+        // x - y >= 0
+        let c = Constraint::ge0(Aff::from_ints(&[1, -1], 0));
+        assert!(c.holds_at(&[3, 3]));
+        assert!(c.holds_at(&[4, 3]));
+        assert!(!c.holds_at(&[2, 3]));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let c = Constraint::eq0(Aff::from_ints(&[1, -2], 0));
+        assert!(c.holds_at(&[4, 2]));
+        assert!(!c.holds_at(&[5, 2]));
+    }
+
+    #[test]
+    fn negation_is_exact_on_integers() {
+        // x >= 0  negated ->  -x - 1 >= 0  (x <= -1)
+        let c = Constraint::ge0(Aff::from_ints(&[1], 0));
+        let neg = c.negate_int();
+        assert_eq!(neg.len(), 1);
+        for x in -5..=5 {
+            assert_eq!(c.holds_at(&[x]), !neg[0].holds_at(&[x]), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn negation_of_equality_is_two_disjuncts() {
+        let c = Constraint::eq0(Aff::from_ints(&[1], -2)); // x == 2
+        let neg = c.negate_int();
+        assert_eq!(neg.len(), 2);
+        for x in -5..=5 {
+            let in_neg = neg.iter().any(|n| n.holds_at(&[x]));
+            assert_eq!(c.holds_at(&[x]), !in_neg, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn negation_clears_rational_coefficients() {
+        // x/2 - 1/4 >= 0  ==  2x - 1 >= 0; negation: -2x + 1 - 1 >= 0 => x <= 0
+        let c = Constraint::ge0(
+            Aff::zero(1)
+                .with_coeff(0, Rat::new(1, 2))
+                .with_constant(Rat::new(-1, 4)),
+        );
+        let neg = c.negate_int();
+        for x in -3..=3 {
+            assert_eq!(c.holds_at(&[x]), !neg[0].holds_at(&[x]), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn display_shows_relation() {
+        let c = Constraint::ge(Aff::var(2, 0), Aff::var(2, 1));
+        assert_eq!(c.to_string(), "x0 - x1 >= 0");
+    }
+}

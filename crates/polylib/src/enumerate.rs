@@ -1,0 +1,314 @@
+//! Exact integer-point enumeration and counting via a Fourier–Motzkin
+//! cascade.
+//!
+//! The cascade projects the set onto its dimension prefixes once; the DFS
+//! then derives exact per-level integer bounds from the projected
+//! constraints. Leaf candidates are re-checked against the original
+//! constraints because Fourier–Motzkin is only exact over the rationals.
+
+use crate::{BasicSet, ConstraintKind, Rat};
+
+/// Precomputed projection cascade for one basic set.
+struct Cascade {
+    /// `levels[k]` holds `(coeff_of_xk, rest_expr, kind)` for every
+    /// constraint of the projection onto dims `0..=k` whose coefficient on
+    /// `xk` is non-zero, where `rest_expr` is the constraint with the `xk`
+    /// coefficient zeroed (still over `dim` variables for uniform indexing).
+    levels: Vec<Vec<(Rat, crate::Aff, ConstraintKind)>>,
+    dim: usize,
+}
+
+fn build_cascade(set: &BasicSet) -> Option<Cascade> {
+    let dim = set.dim();
+    if dim == 0 {
+        return Some(Cascade {
+            levels: Vec::new(),
+            dim,
+        });
+    }
+    // proj[k] = constraints over dims 0..=k (with zero coeffs above k).
+    let mut projections: Vec<Vec<crate::Constraint>> = vec![Vec::new(); dim];
+    let mut current: Vec<crate::Constraint> = set.constraints().to_vec();
+    projections[dim - 1] = current.clone();
+    for k in (1..dim).rev() {
+        current = crate::fm::eliminate_dim(&current, k);
+        projections[k - 1] = current.clone();
+    }
+    let mut levels = Vec::with_capacity(dim);
+    for (k, proj) in projections.iter().enumerate() {
+        let mut lv = Vec::new();
+        let mut has_lower = false;
+        let mut has_upper = false;
+        for c in proj {
+            let a = c.expr().coeff(k);
+            if a.is_zero() {
+                continue;
+            }
+            if c.kind() == ConstraintKind::Eq {
+                has_lower = true;
+                has_upper = true;
+            } else if a.signum() > 0 {
+                has_lower = true;
+            } else {
+                has_upper = true;
+            }
+            let rest = c.expr().clone().with_coeff(k, Rat::ZERO);
+            lv.push((a, rest, c.kind()));
+        }
+        if !(has_lower && has_upper) {
+            return None; // unbounded level
+        }
+        levels.push(lv);
+    }
+    Some(Cascade { levels, dim })
+}
+
+impl Cascade {
+    /// Integer bounds `[lo, hi]` for `x_level` given the already-fixed
+    /// prefix, or `None` when the slice is empty.
+    fn bounds(&self, level: usize, point: &[i64]) -> Option<(i64, i64)> {
+        let mut lo = i64::MIN;
+        let mut hi = i64::MAX;
+        for (a, rest, kind) in &self.levels[level] {
+            let r = rest.eval_int(point);
+            // a * x + r (>=|==) 0
+            match kind {
+                ConstraintKind::Ge => {
+                    if a.signum() > 0 {
+                        // x >= -r / a
+                        let b = (-r / *a).ceil();
+                        if b > i64::MAX as i128 {
+                            return None;
+                        }
+                        lo = lo.max(b.max(i64::MIN as i128) as i64);
+                    } else {
+                        // x <= r / (-a)
+                        let b = (r / -*a).floor();
+                        if b < i64::MIN as i128 {
+                            return None;
+                        }
+                        hi = hi.min(b.min(i64::MAX as i128) as i64);
+                    }
+                }
+                ConstraintKind::Eq => {
+                    let v = -r / *a;
+                    match v.to_integer() {
+                        Some(v) => {
+                            let v = i64::try_from(v).ok()?;
+                            lo = lo.max(v);
+                            hi = hi.min(v);
+                        }
+                        None => return None, // fractional: no integer point
+                    }
+                }
+            }
+        }
+        if lo > hi {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+}
+
+/// Iterator over the integer points of a [`BasicSet`], lexicographic order.
+pub struct Points {
+    set: BasicSet,
+    cascade: Option<Cascade>,
+    /// DFS state: per level, the current value and the upper bound.
+    stack: Vec<(i64, i64)>,
+    point: Vec<i64>,
+    started: bool,
+    exhausted: bool,
+    empty: bool,
+}
+
+pub(crate) fn points(set: &BasicSet) -> Points {
+    let feasible = !set.is_empty_rat();
+    let cascade = if feasible { build_cascade(set) } else { None };
+    if feasible && cascade.is_none() {
+        panic!("enumerating an unbounded set: {set}");
+    }
+    Points {
+        set: set.clone(),
+        cascade,
+        stack: Vec::new(),
+        point: vec![0; set.dim()],
+        started: false,
+        exhausted: false,
+        empty: !feasible,
+    }
+}
+
+impl Points {
+    /// Descends from `level` to the deepest level, initializing bounds.
+    /// Returns false if some level slice is empty.
+    fn descend(&mut self, mut level: usize) -> bool {
+        let cascade = self.cascade.as_ref().expect("cascade present");
+        while level < cascade.dim {
+            match cascade.bounds(level, &self.point) {
+                Some((lo, hi)) => {
+                    self.stack.push((lo, hi));
+                    self.point[level] = lo;
+                    level += 1;
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Advances the DFS to the next candidate leaf. Returns false when
+    /// exhausted.
+    fn advance(&mut self) -> bool {
+        let dim = self.point.len();
+        if dim == 0 {
+            // Zero-dimensional set: single (empty) point if constraints hold.
+            if self.started {
+                return false;
+            }
+            self.started = true;
+            return true;
+        }
+        if !self.started {
+            self.started = true;
+            if self.descend(0) {
+                return true;
+            }
+            // Fall through to backtracking with a partially built stack.
+        }
+        loop {
+            // Backtrack to a level that can still advance.
+            while let Some(&(_, hi)) = self.stack.last() {
+                let level = self.stack.len() - 1;
+                if self.point[level] < hi {
+                    self.point[level] += 1;
+                    if self.descend(level + 1) {
+                        return true;
+                    }
+                    // Child slice empty: try the next value at this level.
+                } else {
+                    self.stack.pop();
+                }
+            }
+            return false;
+        }
+    }
+}
+
+impl Iterator for Points {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        if self.empty || self.exhausted {
+            return None;
+        }
+        loop {
+            if !self.advance() {
+                self.exhausted = true;
+                return None;
+            }
+            // FM is exact over rationals only; re-check integrality at the
+            // leaf against the original constraints.
+            if self.set.contains(&self.point) {
+                return Some(self.point.clone());
+            }
+        }
+    }
+}
+
+/// Counts integer points exactly (without materializing them).
+pub(crate) fn count(set: &BasicSet) -> u64 {
+    let mut n = 0u64;
+    for _ in points(set) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aff, BasicSet};
+
+    #[test]
+    fn enumerates_a_box_in_lex_order() {
+        let b = BasicSet::box_set(&[(0, 1), (0, 1)]);
+        let pts: Vec<_> = b.points().collect();
+        assert_eq!(
+            pts,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn respects_equalities() {
+        // x + y == 3 inside a 0..=3 box: (0,3),(1,2),(2,1),(3,0).
+        let b = BasicSet::box_set(&[(0, 3), (0, 3)])
+            .with_eq(Aff::from_ints(&[1, 1], -3));
+        assert_eq!(b.count_points(), 4);
+    }
+
+    #[test]
+    fn fractional_equality_has_no_points() {
+        // 2x == 1.
+        let b = BasicSet::box_set(&[(-5, 5)]).with_eq(Aff::from_ints(&[2], -1));
+        assert_eq!(b.count_points(), 0);
+    }
+
+    #[test]
+    fn skewed_region() {
+        // 0 <= x <= 4, x <= y <= x + 2: 5 * 3 points.
+        let b = BasicSet::box_set(&[(0, 4), (-100, 100)])
+            .with_ge(Aff::from_ints(&[-1, 1], 0))
+            .with_ge(Aff::from_ints(&[1, -1], 2));
+        assert_eq!(b.count_points(), 15);
+    }
+
+    #[test]
+    fn empty_set_has_no_points() {
+        let b = BasicSet::box_set(&[(3, 2)]);
+        assert_eq!(b.count_points(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn unbounded_enumeration_panics() {
+        let b = BasicSet::new(1).with_ge(Aff::var(1, 0));
+        let _ = b.points().next();
+    }
+
+    #[test]
+    fn zero_dim_universe_has_one_point() {
+        let b = BasicSet::new(0);
+        assert_eq!(b.count_points(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_triangles() {
+        // Deterministic pseudo-random triangles, validated against brute
+        // force over a bounding window.
+        for seed in 0..20i64 {
+            let a = (seed * 7 % 5) + 1;
+            let b = (seed * 11 % 4) + 1;
+            let c = (seed * 13 % 30) + 5;
+            // a*x + b*y <= c, x >= 0, y >= 0
+            let s = BasicSet::new(2)
+                .with_ge(Aff::var(2, 0))
+                .with_ge(Aff::var(2, 1))
+                .with_ge(Aff::from_ints(&[-a, -b], c));
+            let brute = {
+                let mut n = 0;
+                for x in 0..=c {
+                    for y in 0..=c {
+                        if a * x + b * y <= c {
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            };
+            assert_eq!(s.count_points() as i64, brute, "seed {seed}");
+        }
+    }
+}

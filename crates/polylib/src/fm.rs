@@ -1,0 +1,155 @@
+//! Fourier–Motzkin elimination over exact rationals.
+//!
+//! Used to project polyhedra onto dimension prefixes, both for the
+//! enumeration cascade ([`crate::enumerate`]) and for the public
+//! [`crate::BasicSet::project_out`]. The projection is exact over the
+//! rationals; integer points of the projection are an over-approximation of
+//! the projection of the integer points (the classic FM caveat), which is why
+//! enumeration re-checks membership at the leaves.
+
+use crate::{Aff, Constraint, ConstraintKind, Rat};
+use std::collections::HashSet;
+
+/// Eliminates dimension `d` from `cons`, returning constraints over the same
+/// dimension count but with a zero coefficient for `d`.
+///
+/// Equalities involving `d` are used as exact substitutions when present;
+/// remaining lower/upper bound pairs are combined pairwise.
+pub fn eliminate_dim(cons: &[Constraint], d: usize) -> Vec<Constraint> {
+    // Prefer substitution through an equality: exact and avoids the
+    // quadratic pair blow-up.
+    if let Some(pos) = cons
+        .iter()
+        .position(|c| c.kind() == ConstraintKind::Eq && !c.expr().coeff(d).is_zero())
+    {
+        let eq = &cons[pos];
+        let cd = eq.expr().coeff(d);
+        // From e == 0 with coefficient cd on d:  d = -(e - cd*d)/cd.
+        let rest = eq.expr().clone().with_coeff(d, Rat::ZERO);
+        let repl = -rest * cd.recip();
+        let mut out = Vec::with_capacity(cons.len() - 1);
+        for (i, c) in cons.iter().enumerate() {
+            if i == pos {
+                continue;
+            }
+            let e = c.expr().substitute(d, &repl).clear_denominators().normalize_gcd();
+            out.push(match c.kind() {
+                ConstraintKind::Ge => Constraint::ge0(e),
+                ConstraintKind::Eq => Constraint::eq0(e),
+            });
+        }
+        return dedupe(out);
+    }
+
+    let mut lowers: Vec<Aff> = Vec::new(); // d >= -rest/coeff, stored as the full expr (coeff>0)
+    let mut uppers: Vec<Aff> = Vec::new(); // coeff < 0
+    let mut keep: Vec<Constraint> = Vec::new();
+    for c in cons {
+        let cd = c.expr().coeff(d);
+        if cd.is_zero() {
+            keep.push(c.clone());
+        } else if cd.signum() > 0 {
+            lowers.push(c.expr().clone());
+        } else {
+            uppers.push(c.expr().clone());
+        }
+    }
+    for lo in &lowers {
+        for up in &uppers {
+            // lo: a*d + p >= 0 (a>0)  =>  d >= -p/a
+            // up: -b*d + q >= 0 (b>0) =>  d <= q/b
+            // combined: q/b >= -p/a  =>  a*q + b*p >= 0.
+            let a = lo.coeff(d);
+            let b = -up.coeff(d);
+            let p = lo.clone().with_coeff(d, Rat::ZERO);
+            let q = up.clone().with_coeff(d, Rat::ZERO);
+            let combined = (q * a + p * b).clear_denominators().normalize_gcd();
+            if combined.is_constant() {
+                if combined.constant_term().signum() < 0 {
+                    // Trivially infeasible projection: return a canonical
+                    // unsatisfiable constraint set.
+                    return vec![Constraint::ge0(Aff::constant(
+                        cons.first().map_or(0, Constraint::dim),
+                        Rat::from(-1),
+                    ))];
+                }
+                continue; // trivially true
+            }
+            keep.push(Constraint::ge0(combined));
+        }
+    }
+    dedupe(keep)
+}
+
+/// Removes duplicate constraints (after normalization) while preserving
+/// order.
+pub fn dedupe(cons: Vec<Constraint>) -> Vec<Constraint> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = Vec::with_capacity(cons.len());
+    for c in cons {
+        let n = c.normalized();
+        let key = format!("{n}");
+        if seen.insert(key) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge(coeffs: &[i64], c0: i64) -> Constraint {
+        Constraint::ge0(Aff::from_ints(coeffs, c0))
+    }
+
+    #[test]
+    fn projects_a_triangle_onto_x() {
+        // 0 <= y <= x <= 4, eliminate y => 0 <= x <= 4.
+        let cons = vec![
+            ge(&[0, 1], 0),   // y >= 0
+            ge(&[1, -1], 0),  // x - y >= 0
+            ge(&[-1, 0], 4),  // x <= 4
+        ];
+        let proj = eliminate_dim(&cons, 1);
+        // x in [0,4] must be exactly characterized.
+        for x in -2..7 {
+            let inside = proj.iter().all(|c| c.holds_at(&[x, 0]));
+            assert_eq!(inside, (0..=4).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn equality_substitution_is_used() {
+        // y == 2x, y <= 6, x >= 0: eliminate y => 2x <= 6, x >= 0.
+        let cons = vec![
+            Constraint::eq0(Aff::from_ints(&[2, -1], 0)),
+            ge(&[0, -1], 6),
+            ge(&[1, 0], 0),
+        ];
+        let proj = eliminate_dim(&cons, 1);
+        for x in -1..6 {
+            let inside = proj.iter().all(|c| c.holds_at(&[x, 0]));
+            assert_eq!(inside, (0..=3).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn detects_empty_projection() {
+        // y >= x + 1 and y <= x - 1: eliminating y exposes infeasibility.
+        let cons = vec![ge(&[-1, 1], -1), ge(&[1, -1], -1)];
+        let proj = eliminate_dim(&cons, 1);
+        assert!(proj.iter().any(|c| {
+            c.expr().is_constant() && c.expr().constant_term().signum() < 0
+        }));
+    }
+
+    #[test]
+    fn unconstrained_dim_elimination_keeps_rest() {
+        let cons = vec![ge(&[1, 0], 0)];
+        let proj = eliminate_dim(&cons, 1);
+        assert_eq!(proj.len(), 1);
+        assert!(proj[0].holds_at(&[3, 99]));
+    }
+}

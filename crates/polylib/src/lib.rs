@@ -1,0 +1,57 @@
+//! # polylib — an exact rational/integer polyhedral library
+//!
+//! A from-scratch replacement for the subset of [isl] that the hybrid
+//! hexagonal/classical tiling paper (CGO 2014) relies on:
+//!
+//! * exact rational arithmetic ([`Rat`]),
+//! * affine expressions and constraints over named spaces ([`Aff`],
+//!   [`Constraint`]),
+//! * basic sets (conjunctions of affine constraints, [`BasicSet`]) and finite
+//!   unions of them ([`Set`]),
+//! * relations between spaces ([`BasicMap`], [`Map`]) with dependence-distance
+//!   (`deltas`) computation,
+//! * an exact two-phase rational simplex ([`simplex::lp`]) used to derive the
+//!   dependence-cone slopes δ0/δ1,
+//! * Fourier–Motzkin projection ([`BasicSet::project_out`]),
+//! * exact integer-point enumeration and counting (the Barvinok substitute
+//!   used for tile-size selection, [`BasicSet::points`] /
+//!   [`BasicSet::count_points`]),
+//! * quasi-affine expressions with `floor`-division and `mod`
+//!   ([`QExpr`]) that describe tiling schedules such as the one in Fig. 6 of
+//!   the paper.
+//!
+//! Everything is exact: no floating point is used anywhere. Overflow is
+//! checked (`i128` intermediates) and panics rather than silently wrapping.
+//!
+//! ```
+//! use polylib::{BasicSet, Aff, Rat};
+//!
+//! // The triangle 0 <= x <= y <= 4 has 15 integer points.
+//! let tri = BasicSet::new(2)
+//!     .with_ge(Aff::var(2, 0))                        // x >= 0
+//!     .with_ge(Aff::var(2, 1) - Aff::var(2, 0))       // y - x >= 0
+//!     .with_ge(Aff::constant(2, Rat::from(4)) - Aff::var(2, 1)); // 4 - y >= 0
+//! assert_eq!(tri.count_points(), 15);
+//! ```
+//!
+//! [isl]: https://libisl.sourceforge.io/
+
+pub mod aff;
+pub mod bset;
+pub mod cons;
+pub mod enumerate;
+pub mod fm;
+pub mod map;
+pub mod quasi;
+pub mod rat;
+pub mod set;
+pub mod simplex;
+
+pub use aff::Aff;
+pub use bset::BasicSet;
+pub use cons::{Constraint, ConstraintKind};
+pub use map::{BasicMap, Map};
+pub use quasi::QExpr;
+pub use rat::Rat;
+pub use set::Set;
+pub use simplex::{lp, LpResult, Objective};

@@ -1,0 +1,269 @@
+//! Relations (maps) between integer spaces, with dependence-distance
+//! computation.
+
+use crate::{Aff, BasicSet, Rat, Set};
+use std::fmt;
+
+/// A conjunctive relation `{ [in] -> [out] : constraints }` represented as a
+/// basic set over the concatenated `in ++ out` dimensions.
+///
+/// This mirrors isl's `basic_map`; the key operation for the paper is
+/// [`BasicMap::deltas`], which computes the set of dependence distance
+/// vectors `out - in` (paper §3.1).
+#[derive(Clone)]
+pub struct BasicMap {
+    n_in: usize,
+    n_out: usize,
+    bset: BasicSet,
+}
+
+impl BasicMap {
+    /// The universe relation with the given arities.
+    pub fn new(n_in: usize, n_out: usize) -> BasicMap {
+        BasicMap {
+            n_in,
+            n_out,
+            bset: BasicSet::new(n_in + n_out),
+        }
+    }
+
+    /// Wraps a basic set over `n_in + n_out` dimensions as a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set's dimension is not `n_in + n_out`.
+    pub fn from_set(n_in: usize, n_out: usize, bset: BasicSet) -> BasicMap {
+        assert_eq!(bset.dim(), n_in + n_out, "wrapped set has wrong dimension");
+        BasicMap { n_in, n_out, bset }
+    }
+
+    /// The uniform translation `{ [x] -> [x + shift] }` intersected with
+    /// `domain` (a set over the input space).
+    pub fn translation(domain: &BasicSet, shift: &[i64]) -> BasicMap {
+        let n = domain.dim();
+        assert_eq!(shift.len(), n, "shift arity mismatch");
+        let total = 2 * n;
+        // Domain constraints apply to the input dims.
+        let mut bset = domain.insert_dims(n, n);
+        for (d, &s) in shift.iter().enumerate() {
+            // out_d - in_d - s == 0
+            let e = Aff::var(total, n + d) - Aff::var(total, d)
+                - Aff::constant(total, Rat::from(s));
+            bset = bset.with_eq(e);
+        }
+        BasicMap {
+            n_in: n,
+            n_out: n,
+            bset,
+        }
+    }
+
+    /// Input arity.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output arity.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The underlying set over `in ++ out` dimensions.
+    pub fn wrapped_set(&self) -> &BasicSet {
+        &self.bset
+    }
+
+    /// True if the pair `(input, output)` is in the relation.
+    pub fn contains_pair(&self, input: &[i64], output: &[i64]) -> bool {
+        assert_eq!(input.len(), self.n_in, "input arity mismatch");
+        assert_eq!(output.len(), self.n_out, "output arity mismatch");
+        let mut p = Vec::with_capacity(self.n_in + self.n_out);
+        p.extend_from_slice(input);
+        p.extend_from_slice(output);
+        self.bset.contains(&p)
+    }
+
+    /// All outputs related to `input` (requires the image to be bounded).
+    pub fn image_of(&self, input: &[i64]) -> Vec<Vec<i64>> {
+        assert_eq!(input.len(), self.n_in, "input arity mismatch");
+        let mut s = self.bset.clone();
+        for (d, &v) in input.iter().enumerate() {
+            s = s.fix_dim(d, v);
+        }
+        s.points()
+            .map(|p| p[self.n_in..].to_vec())
+            .collect()
+    }
+
+    /// The set of distance vectors `{ out - in }` (requires `n_in == n_out`).
+    ///
+    /// This is isl's `deltas`, the input to the dependence-cone construction
+    /// of §3.3.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input and output arities differ.
+    pub fn deltas(&self) -> BasicSet {
+        assert_eq!(self.n_in, self.n_out, "deltas of non-square relation");
+        let n = self.n_in;
+        // Space: [delta (n), in (n), out (n)].
+        let mut s = self.bset.insert_dims(0, n);
+        let total = 3 * n;
+        for d in 0..n {
+            // delta_d - (out_d - in_d) == 0
+            let e = Aff::var(total, d) - Aff::var(total, n + n + d) + Aff::var(total, n + d);
+            s = s.with_eq(e);
+        }
+        // Project out in/out dims (indices n .. 3n), highest first.
+        for d in (n..3 * n).rev() {
+            s = s.project_out(d);
+        }
+        s
+    }
+
+    /// The domain of the relation (projection onto the input dims).
+    pub fn domain(&self) -> BasicSet {
+        let mut s = self.bset.clone();
+        for d in (self.n_in..self.n_in + self.n_out).rev() {
+            s = s.project_out(d);
+        }
+        s
+    }
+
+    /// The range of the relation (projection onto the output dims).
+    pub fn range(&self) -> BasicSet {
+        let mut s = self.bset.clone();
+        for d in (0..self.n_in).rev() {
+            s = s.project_out(d);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BasicMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{ [in:{}] -> [out:{}] : {} }}",
+            self.n_in, self.n_out, self.bset
+        )
+    }
+}
+
+/// A finite union of [`BasicMap`]s with common arities.
+#[derive(Clone, Debug)]
+pub struct Map {
+    n_in: usize,
+    n_out: usize,
+    parts: Vec<BasicMap>,
+}
+
+impl Map {
+    /// The empty relation with the given arities.
+    pub fn empty(n_in: usize, n_out: usize) -> Map {
+        Map {
+            n_in,
+            n_out,
+            parts: Vec::new(),
+        }
+    }
+
+    /// A relation with a single conjunctive piece.
+    pub fn from_basic(m: BasicMap) -> Map {
+        Map {
+            n_in: m.n_in(),
+            n_out: m.n_out(),
+            parts: vec![m],
+        }
+    }
+
+    /// Adds a disjunct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities disagree.
+    pub fn add_basic(&mut self, m: BasicMap) {
+        assert_eq!((m.n_in(), m.n_out()), (self.n_in, self.n_out));
+        self.parts.push(m);
+    }
+
+    /// Input arity.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output arity.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The disjuncts.
+    pub fn parts(&self) -> &[BasicMap] {
+        &self.parts
+    }
+
+    /// True if the pair is in any disjunct.
+    pub fn contains_pair(&self, input: &[i64], output: &[i64]) -> bool {
+        self.parts.iter().any(|m| m.contains_pair(input, output))
+    }
+
+    /// Union of all per-disjunct delta sets.
+    pub fn deltas(&self) -> Set {
+        let mut out = Set::empty(self.n_in);
+        for m in &self.parts {
+            out = out.union(&Set::from_basic(m.deltas()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_image() {
+        let dom = BasicSet::box_set(&[(0, 4), (0, 4)]);
+        let m = BasicMap::translation(&dom, &[1, -2]);
+        assert_eq!(m.image_of(&[2, 3]), vec![vec![3, 1]]);
+        assert!(m.contains_pair(&[0, 0], &[1, -2]));
+        assert!(!m.contains_pair(&[0, 0], &[1, -1]));
+        // Outside the domain: empty image.
+        assert!(m.image_of(&[9, 9]).is_empty());
+    }
+
+    #[test]
+    fn deltas_of_translation_is_singleton() {
+        let dom = BasicSet::box_set(&[(0, 4), (0, 4)]);
+        let m = BasicMap::translation(&dom, &[1, -2]);
+        let d = m.deltas();
+        assert_eq!(d.dim(), 2);
+        let pts: Vec<_> = d.points().collect();
+        assert_eq!(pts, vec![vec![1, -2]]);
+    }
+
+    #[test]
+    fn deltas_of_paper_example() {
+        // Dependences of A[t][i] = f(A[t-2][i-2], A[t-1][i+2]):
+        // distance vectors (2, 2) and (1, -2).
+        let dom = BasicSet::box_set(&[(0, 9), (0, 9)]);
+        let mut m = Map::empty(2, 2);
+        m.add_basic(BasicMap::translation(&dom, &[2, 2]));
+        m.add_basic(BasicMap::translation(&dom, &[1, -2]));
+        let d = m.deltas();
+        assert!(d.contains(&[2, 2]));
+        assert!(d.contains(&[1, -2]));
+        assert!(!d.contains(&[1, 2]));
+        assert_eq!(d.count_points(), 2);
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let dom = BasicSet::box_set(&[(0, 3)]);
+        let m = BasicMap::translation(&dom, &[5]);
+        let d = m.domain();
+        let r = m.range();
+        assert!(d.contains(&[0]) && d.contains(&[3]) && !d.contains(&[4]));
+        assert!(r.contains(&[5]) && r.contains(&[8]) && !r.contains(&[4]));
+    }
+}

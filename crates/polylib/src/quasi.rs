@@ -1,0 +1,267 @@
+//! Quasi-affine expressions: affine terms extended with integer `floor`
+//! division and `mod`.
+//!
+//! The hybrid tiling schedule of the paper (Fig. 6) is exactly a vector of
+//! quasi-affine expressions: `T = floor((t+h+1)/(2h+2))`,
+//! `t' = (t+h+1) mod (2h+2)`, etc. [`QExpr`] provides construction,
+//! exact evaluation with floor semantics, and isl-style pretty-printing.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A quasi-affine expression over integer variables.
+///
+/// Division and modulo use *floor* semantics with a positive divisor
+/// (`div_euclid` / `rem_euclid`), matching the paper's `⌊·⌋` and `mod`.
+///
+/// ```
+/// use polylib::QExpr;
+/// // floor((t + 3) / 4) at t = 5  =>  2
+/// let e = (QExpr::var(0) + QExpr::constant(3)).floor_div(4);
+/// assert_eq!(e.eval(&[5]), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum QExpr {
+    /// Integer literal.
+    Const(i64),
+    /// Variable by index.
+    Var(usize),
+    /// Sum of two expressions.
+    Add(Rc<QExpr>, Rc<QExpr>),
+    /// Difference of two expressions.
+    Sub(Rc<QExpr>, Rc<QExpr>),
+    /// Integer scaling.
+    Mul(i64, Rc<QExpr>),
+    /// `floor(e / k)` with `k > 0`.
+    FloorDiv(Rc<QExpr>, i64),
+    /// `e mod k` with `k > 0`, result in `[0, k)`.
+    Mod(Rc<QExpr>, i64),
+}
+
+impl QExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> QExpr {
+        QExpr::Const(c)
+    }
+
+    /// The variable `x_d`.
+    pub fn var(d: usize) -> QExpr {
+        QExpr::Var(d)
+    }
+
+    /// An affine combination `sum coeffs[d] * x_d + constant`.
+    pub fn affine(coeffs: &[i64], constant: i64) -> QExpr {
+        let mut e = QExpr::Const(constant);
+        for (d, &c) in coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            e = QExpr::Add(Rc::new(e), Rc::new(QExpr::Mul(c, Rc::new(QExpr::Var(d)))));
+        }
+        e
+    }
+
+    /// `floor(self / k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn floor_div(self, k: i64) -> QExpr {
+        assert!(k > 0, "floor_div by non-positive constant {k}");
+        QExpr::FloorDiv(Rc::new(self), k)
+    }
+
+    /// `self mod k`, in `[0, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn modulo(self, k: i64) -> QExpr {
+        assert!(k > 0, "modulo by non-positive constant {k}");
+        QExpr::Mod(Rc::new(self), k)
+    }
+
+    /// Scales by an integer factor.
+    pub fn scale(self, k: i64) -> QExpr {
+        QExpr::Mul(k, Rc::new(self))
+    }
+
+    /// Exact evaluation at an integer point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range or arithmetic overflows.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        match self {
+            QExpr::Const(c) => *c,
+            QExpr::Var(d) => point[*d],
+            QExpr::Add(a, b) => a
+                .eval(point)
+                .checked_add(b.eval(point))
+                .expect("qexpr overflow"),
+            QExpr::Sub(a, b) => a
+                .eval(point)
+                .checked_sub(b.eval(point))
+                .expect("qexpr overflow"),
+            QExpr::Mul(k, e) => k.checked_mul(e.eval(point)).expect("qexpr overflow"),
+            QExpr::FloorDiv(e, k) => e.eval(point).div_euclid(*k),
+            QExpr::Mod(e, k) => e.eval(point).rem_euclid(*k),
+        }
+    }
+
+    /// Pretty-prints with the given variable names (falls back to `x{d}`).
+    pub fn display<'a>(&'a self, names: &'a [&'a str]) -> QExprDisplay<'a> {
+        QExprDisplay { expr: self, names }
+    }
+}
+
+impl std::ops::Add for QExpr {
+    type Output = QExpr;
+    fn add(self, rhs: QExpr) -> QExpr {
+        QExpr::Add(Rc::new(self), Rc::new(rhs))
+    }
+}
+
+impl std::ops::Sub for QExpr {
+    type Output = QExpr;
+    fn sub(self, rhs: QExpr) -> QExpr {
+        QExpr::Sub(Rc::new(self), Rc::new(rhs))
+    }
+}
+
+/// Display adapter returned by [`QExpr::display`].
+pub struct QExprDisplay<'a> {
+    expr: &'a QExpr,
+    names: &'a [&'a str],
+}
+
+fn write_expr(
+    f: &mut fmt::Formatter<'_>,
+    e: &QExpr,
+    names: &[&str],
+    parenthesize_sums: bool,
+) -> fmt::Result {
+    match e {
+        QExpr::Const(c) => write!(f, "{c}"),
+        QExpr::Var(d) => {
+            if *d < names.len() {
+                write!(f, "{}", names[*d])
+            } else {
+                write!(f, "x{d}")
+            }
+        }
+        QExpr::Add(a, b) => {
+            if parenthesize_sums {
+                write!(f, "(")?;
+            }
+            write_expr(f, a, names, false)?;
+            write!(f, " + ")?;
+            write_expr(f, b, names, false)?;
+            if parenthesize_sums {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        QExpr::Sub(a, b) => {
+            if parenthesize_sums {
+                write!(f, "(")?;
+            }
+            write_expr(f, a, names, false)?;
+            write!(f, " - ")?;
+            write_expr(f, b, names, true)?;
+            if parenthesize_sums {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        QExpr::Mul(k, inner) => {
+            write!(f, "{k}*")?;
+            write_expr(f, inner, names, true)
+        }
+        QExpr::FloorDiv(inner, k) => {
+            write!(f, "floor((")?;
+            write_expr(f, inner, names, false)?;
+            write!(f, ")/{k})")
+        }
+        QExpr::Mod(inner, k) => {
+            write!(f, "(")?;
+            write_expr(f, inner, names, false)?;
+            write!(f, ") mod {k}")
+        }
+    }
+}
+
+impl fmt::Display for QExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.expr, self.names, false)
+    }
+}
+
+impl fmt::Debug for QExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, &[], false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_semantics_on_negatives() {
+        let e = QExpr::var(0).floor_div(4);
+        assert_eq!(e.eval(&[7]), 1);
+        assert_eq!(e.eval(&[-1]), -1);
+        assert_eq!(e.eval(&[-4]), -1);
+        assert_eq!(e.eval(&[-5]), -2);
+    }
+
+    #[test]
+    fn mod_is_always_non_negative() {
+        let e = QExpr::var(0).modulo(4);
+        assert_eq!(e.eval(&[7]), 3);
+        assert_eq!(e.eval(&[-1]), 3);
+        assert_eq!(e.eval(&[-4]), 0);
+    }
+
+    #[test]
+    fn div_mod_identity() {
+        // x == k * floor(x/k) + (x mod k)
+        for x in -20..20 {
+            for k in 1..7 {
+                let d = QExpr::var(0).floor_div(k).eval(&[x]);
+                let m = QExpr::var(0).modulo(k).eval(&[x]);
+                assert_eq!(x, k * d + m, "x={x}, k={k}");
+                assert!((0..k).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn affine_builder() {
+        // 2t - 3s + 1
+        let e = QExpr::affine(&[2, -3], 1);
+        assert_eq!(e.eval(&[5, 2]), 5);
+    }
+
+    #[test]
+    fn paper_tile_index_phase0() {
+        // T = floor((t + h + 1) / (2h + 2)), h = 2.
+        let h = 2;
+        let e = (QExpr::var(0) + QExpr::constant(h + 1)).floor_div(2 * h + 2);
+        assert_eq!(e.eval(&[0]), 0);
+        assert_eq!(e.eval(&[2]), 0);
+        assert_eq!(e.eval(&[3]), 1);
+        assert_eq!(e.eval(&[8]), 1);
+        assert_eq!(e.eval(&[9]), 2);
+    }
+
+    #[test]
+    fn pretty_print() {
+        let h = 2;
+        let e = (QExpr::var(0) + QExpr::constant(h + 1)).floor_div(2 * h + 2);
+        assert_eq!(e.display(&["t"]).to_string(), "floor((t + 3)/6)");
+        let m = QExpr::affine(&[1, 1], 0).modulo(5);
+        assert_eq!(m.display(&["t", "s0"]).to_string(), "(0 + 1*t + 1*s0) mod 5");
+    }
+}

@@ -1,0 +1,342 @@
+//! Exact rational numbers over `i128` with checked arithmetic.
+//!
+//! [`Rat`] is the scalar type used throughout `polylib`. Values are kept
+//! normalized (`den > 0`, `gcd(num, den) == 1`), so equality and hashing are
+//! structural. All arithmetic panics on overflow instead of wrapping; the
+//! polyhedra manipulated by the tiling algorithms are tiny (tens of
+//! constraints, single-digit dimensions), so `i128` headroom is ample.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// An exact rational number `num/den` with `den > 0`, always normalized.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Numerator of the normalized representation.
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the normalized representation (always positive).
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(self) -> i32 {
+        self.num.signum() as i32
+    }
+
+    /// Largest integer `<= self` (floor).
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self` (ceiling).
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Fractional part `{x} = x - floor(x)`, always in `[0, 1)`.
+    ///
+    /// This is the `{x}` of inequality (1) in the paper.
+    pub fn fract(self) -> Rat {
+        self - Rat::from(self.floor())
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Exact conversion to `i128` when the value is an integer.
+    pub fn to_integer(self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Approximate conversion for display/diagnostics only.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>) -> Rat {
+        Rat::new(
+            num.expect("rational arithmetic overflow"),
+            den.expect("rational arithmetic overflow"),
+        )
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        let g = gcd(self.den, rhs.den).max(1);
+        let (ld, rd) = (rhs.den / g, self.den / g);
+        Rat::checked(
+            self.num
+                .checked_mul(ld)
+                .and_then(|a| rhs.num.checked_mul(rd).and_then(|b| a.checked_add(b))),
+            self.den.checked_mul(ld),
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying to limit growth.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rat::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_on_construction() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rat::new(3, 4);
+        let b = Rat::new(5, 6);
+        assert_eq!(a + b, Rat::new(19, 12));
+        assert_eq!(a - b, Rat::new(-1, 12));
+        assert_eq!(a * b, Rat::new(5, 8));
+        assert_eq!(a / b, Rat::new(9, 10));
+        assert_eq!(-a, Rat::new(-3, 4));
+    }
+
+    #[test]
+    fn floor_and_ceil_handle_negatives() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from(5).floor(), 5);
+        assert_eq!(Rat::from(5).ceil(), 5);
+    }
+
+    #[test]
+    fn fract_is_in_unit_interval() {
+        assert_eq!(Rat::new(7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::new(-7, 2).fract(), Rat::new(1, 2));
+        assert_eq!(Rat::from(3).fract(), Rat::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 3) > Rat::new(-1, 2));
+        assert_eq!(Rat::new(2, 6).cmp(&Rat::new(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rat::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rat::from(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+}

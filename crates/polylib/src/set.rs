@@ -1,0 +1,253 @@
+//! Finite unions of basic sets, with integer-exact subtraction.
+
+use crate::{BasicSet, Constraint, ConstraintKind};
+use std::fmt;
+
+/// A finite union of [`BasicSet`]s over a common space, interpreted over
+/// integer points.
+///
+/// Subtraction is exact on integer points: constraint negation uses the
+/// integer complement (`e >= 0` becomes `e <= -1` after scaling to integer
+/// coefficients), mirroring how isl subtracts integer sets. This is the
+/// operation used to carve hexagonal tiles out of truncated cones (paper
+/// §3.3.2, Fig. 4).
+#[derive(Clone)]
+pub struct Set {
+    dim: usize,
+    parts: Vec<BasicSet>,
+}
+
+impl Set {
+    /// The empty set over `dim` variables.
+    pub fn empty(dim: usize) -> Set {
+        Set {
+            dim,
+            parts: Vec::new(),
+        }
+    }
+
+    /// The universe over `dim` variables.
+    pub fn universe(dim: usize) -> Set {
+        Set {
+            dim,
+            parts: vec![BasicSet::new(dim)],
+        }
+    }
+
+    /// A set with a single conjunctive piece.
+    pub fn from_basic(b: BasicSet) -> Set {
+        Set {
+            dim: b.dim(),
+            parts: vec![b],
+        }
+    }
+
+    /// Dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The disjuncts of this union.
+    pub fn parts(&self) -> &[BasicSet] {
+        &self.parts
+    }
+
+    /// True if the integer point lies in any disjunct.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.parts.iter().any(|p| p.contains(point))
+    }
+
+    /// Union with another set over the same space.
+    pub fn union(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "union of sets with unequal dim");
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Intersection with another set (distributes over the disjuncts,
+    /// dropping rationally-empty pieces).
+    pub fn intersect(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "intersection of sets with unequal dim");
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                let i = a.intersect(b);
+                if !i.is_empty_rat() {
+                    parts.push(i);
+                }
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Subtracts `other`, exactly over integer points.
+    ///
+    /// `A \ B` for a conjunctive `B = c1 and ... and ck` is
+    /// `union_i (A and not c_i and c_1 and ... and c_{i-1})`; the prefix
+    /// conjunction keeps the disjuncts pairwise disjoint so that point
+    /// counting remains exact without coalescing.
+    pub fn subtract(&self, other: &Set) -> Set {
+        assert_eq!(self.dim, other.dim, "subtraction of sets with unequal dim");
+        let mut current = self.clone();
+        for b in &other.parts {
+            current = current.subtract_basic(b);
+        }
+        current
+    }
+
+    fn subtract_basic(&self, b: &BasicSet) -> Set {
+        let mut parts: Vec<BasicSet> = Vec::new();
+        for a in &self.parts {
+            let mut prefix: Vec<Constraint> = Vec::new();
+            for c in b.constraints() {
+                for neg in c.negate_int() {
+                    let mut piece = a.clone().with_constraint(neg);
+                    for p in &prefix {
+                        piece = piece.with_constraint(p.clone());
+                    }
+                    if !piece.is_empty_rat() {
+                        parts.push(piece);
+                    }
+                }
+                // Keep the (positive) constraint for subsequent pieces so the
+                // pieces partition `a \ b`.
+                match c.kind() {
+                    ConstraintKind::Ge | ConstraintKind::Eq => prefix.push(c.clone()),
+                }
+            }
+            if b.constraints().is_empty() {
+                // Subtracting the universe: nothing remains of `a`.
+            }
+        }
+        Set {
+            dim: self.dim,
+            parts,
+        }
+    }
+
+    /// Counts integer points across all disjuncts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty disjunct is unbounded. Disjuncts produced by
+    /// [`Set::subtract`] are pairwise disjoint, so the sum is exact.
+    pub fn count_points(&self) -> u64 {
+        self.parts.iter().map(BasicSet::count_points).sum()
+    }
+
+    /// Collects all integer points (order: per disjunct, lexicographic).
+    pub fn points_vec(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        for p in &self.parts {
+            out.extend(p.points());
+        }
+        out
+    }
+
+    /// True if no disjunct contains an integer point.
+    pub fn is_empty_int(&self) -> bool {
+        self.parts.iter().all(BasicSet::is_empty_int)
+    }
+}
+
+impl fmt::Debug for Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "{{ empty (dim {}) }}", self.dim);
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " or ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aff, Rat};
+
+    #[test]
+    fn union_and_membership() {
+        let a = Set::from_basic(BasicSet::box_set(&[(0, 2)]));
+        let b = Set::from_basic(BasicSet::box_set(&[(5, 6)]));
+        let u = a.union(&b);
+        assert!(u.contains(&[1]));
+        assert!(u.contains(&[6]));
+        assert!(!u.contains(&[4]));
+    }
+
+    #[test]
+    fn subtract_interval() {
+        // [0,9] \ [3,5] = [0,2] u [6,9], 7 points.
+        let a = Set::from_basic(BasicSet::box_set(&[(0, 9)]));
+        let b = Set::from_basic(BasicSet::box_set(&[(3, 5)]));
+        let d = a.subtract(&b);
+        assert_eq!(d.count_points(), 7);
+        for x in -2..12 {
+            let expect = (0..=9).contains(&x) && !(3..=5).contains(&x);
+            assert_eq!(d.contains(&[x]), expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn subtract_is_disjoint_partition() {
+        // 2D box minus overlapping box; count must equal brute force.
+        let a = Set::from_basic(BasicSet::box_set(&[(0, 6), (0, 6)]));
+        let b = Set::from_basic(BasicSet::box_set(&[(2, 9), (3, 4)]));
+        let d = a.subtract(&b);
+        let mut brute = 0;
+        for x in 0..=6 {
+            for y in 0..=6 {
+                if !((2..=9).contains(&x) && (3..=4).contains(&y)) {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(d.count_points(), brute);
+    }
+
+    #[test]
+    fn subtract_with_diagonal_constraint() {
+        // Triangle x+y<=6 minus half-plane x>=y, exact on integers.
+        let tri = BasicSet::box_set(&[(0, 6), (0, 6)])
+            .with_ge(Aff::from_ints(&[-1, -1], 6));
+        let half = BasicSet::new(2).with_ge(Aff::from_ints(&[1, -1], 0));
+        let d = Set::from_basic(tri.clone()).subtract(&Set::from_basic(half));
+        for x in 0..=6i64 {
+            for y in 0..=6i64 {
+                let expect = x + y <= 6 && !(x >= y);
+                assert_eq!(d.contains(&[x, y]), expect, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_universe_leaves_nothing() {
+        let a = Set::from_basic(BasicSet::box_set(&[(0, 3)]));
+        let d = a.subtract(&Set::universe(1));
+        assert!(d.is_empty_int());
+    }
+
+    #[test]
+    fn subtract_equality_piece() {
+        // [0,4] minus {x == 2}.
+        let a = Set::from_basic(BasicSet::box_set(&[(0, 4)]));
+        let b = Set::from_basic(
+            BasicSet::new(1).with_eq(Aff::var(1, 0) - Aff::constant(1, Rat::from(2))),
+        );
+        let d = a.subtract(&b);
+        assert_eq!(d.count_points(), 4);
+        assert!(!d.contains(&[2]));
+    }
+}

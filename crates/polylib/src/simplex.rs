@@ -1,0 +1,386 @@
+//! Exact two-phase rational simplex.
+//!
+//! This is the LP engine behind the paper's §3.3.2: the slopes δ0 and δ1 of
+//! the opposite dependence cone "can be computed through the solution of an
+//! LP-problem". Variables are unrestricted rationals (split internally into
+//! differences of non-negative variables); Bland's rule guarantees
+//! termination; all arithmetic is exact.
+
+use crate::{Aff, Constraint, ConstraintKind, Rat};
+
+/// Optimization direction for [`lp`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Objective {
+    /// Minimize the objective expression.
+    Minimize,
+    /// Maximize the objective expression.
+    Maximize,
+}
+
+/// Result of an exact LP solve.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LpResult {
+    /// The constraint system has no rational solution.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// Optimum found: the optimal objective value and one optimal point.
+    Optimal {
+        /// Optimal value of the objective expression.
+        value: Rat,
+        /// A point attaining the optimum (dimension = number of variables).
+        point: Vec<Rat>,
+    },
+}
+
+impl LpResult {
+    /// The optimal value, if an optimum was found.
+    pub fn value(&self) -> Option<Rat> {
+        match self {
+            LpResult::Optimal { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// Solves `min/max objective` subject to `constraints` over unrestricted
+/// rational variables.
+///
+/// All constraints and the objective must share the same dimension.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn lp(constraints: &[Constraint], objective: &Aff, direction: Objective) -> LpResult {
+    let dim = objective.dim();
+    for c in constraints {
+        assert_eq!(c.dim(), dim, "constraint/objective dim mismatch");
+    }
+
+    let n_ge = constraints
+        .iter()
+        .filter(|c| c.kind() == ConstraintKind::Ge)
+        .count();
+    let n_rows = constraints.len();
+    // Columns: x+ / x- pairs, slacks, artificials.
+    let n_struct = 2 * dim + n_ge;
+    let n_cols = n_struct + n_rows;
+
+    // Build rows: a.x + c0 (>=|==) 0  ->  a.x [- s] = -c0.
+    let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(n_rows);
+    let mut rhs: Vec<Rat> = Vec::with_capacity(n_rows);
+    let mut slack_idx = 0usize;
+    for c in constraints {
+        let mut row = vec![Rat::ZERO; n_cols];
+        for d in 0..dim {
+            let a = c.expr().coeff(d);
+            row[2 * d] = a;
+            row[2 * d + 1] = -a;
+        }
+        if c.kind() == ConstraintKind::Ge {
+            row[2 * dim + slack_idx] = -Rat::ONE;
+            slack_idx += 1;
+        }
+        let mut b = -c.expr().constant_term();
+        if b.signum() < 0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            b = -b;
+        }
+        rows.push(row);
+        rhs.push(b);
+    }
+    // Artificial basis.
+    let mut basis: Vec<usize> = Vec::with_capacity(n_rows);
+    for (i, row) in rows.iter_mut().enumerate() {
+        row[n_struct + i] = Rat::ONE;
+        basis.push(n_struct + i);
+    }
+
+    let mut t = Tableau {
+        rows,
+        rhs,
+        basis,
+        z: vec![Rat::ZERO; n_cols],
+        z_rhs: Rat::ZERO,
+        banned_from: n_cols, // nothing banned during phase 1
+    };
+
+    // Phase 1: minimize the sum of artificials. With artificial basis of
+    // cost 1 each, the reduced-cost row is the sum of all constraint rows
+    // (artificial columns then get 1 - 1 = 0).
+    for i in 0..n_rows {
+        for j in 0..n_cols {
+            t.z[j] += t.rows[i][j];
+        }
+        t.z_rhs += t.rhs[i];
+    }
+    for j in n_struct..n_cols {
+        t.z[j] = Rat::ZERO;
+    }
+    t.solve_to_optimality();
+    if !t.z_rhs.is_zero() {
+        return LpResult::Infeasible;
+    }
+    // Drive remaining artificials out of the basis where possible.
+    for i in 0..n_rows {
+        if t.basis[i] >= n_struct {
+            if let Some(j) = (0..n_struct).find(|&j| !t.rows[i][j].is_zero()) {
+                t.pivot(i, j);
+            }
+            // Otherwise the row is redundant (all-zero over structurals) and
+            // the artificial stays basic at value zero, which is harmless as
+            // long as artificials never re-enter.
+        }
+    }
+    t.banned_from = n_struct;
+
+    // Phase 2 objective: minimize sign * objective.
+    let sign = match direction {
+        Objective::Minimize => Rat::ONE,
+        Objective::Maximize => -Rat::ONE,
+    };
+    let mut cost = vec![Rat::ZERO; n_cols];
+    for d in 0..dim {
+        let c = objective.coeff(d) * sign;
+        cost[2 * d] = c;
+        cost[2 * d + 1] = -c;
+    }
+    // Rebuild reduced costs: z[j] = c_B . B^-1 A_j - c_j.
+    for j in 0..n_cols {
+        let mut v = -cost[j];
+        for i in 0..n_rows {
+            let cb = cost[t.basis[i]];
+            if !cb.is_zero() {
+                v += cb * t.rows[i][j];
+            }
+        }
+        t.z[j] = v;
+    }
+    t.z_rhs = Rat::ZERO;
+    for i in 0..n_rows {
+        let cb = cost[t.basis[i]];
+        if !cb.is_zero() {
+            t.z_rhs += cb * t.rhs[i];
+        }
+    }
+    if !t.solve_to_optimality() {
+        return LpResult::Unbounded;
+    }
+
+    // Extract the witness point: x_d = y(2d) - y(2d+1).
+    let mut y = vec![Rat::ZERO; n_cols];
+    for i in 0..n_rows {
+        y[t.basis[i]] = t.rhs[i];
+    }
+    let point: Vec<Rat> = (0..dim).map(|d| y[2 * d] - y[2 * d + 1]).collect();
+    // z_rhs holds c_B b = sign * objective(point) since constant term was
+    // excluded; add it back and undo the sign.
+    let value = t.z_rhs * sign + objective.constant_term();
+    debug_assert_eq!(objective.eval(&point), value, "simplex witness mismatch");
+    LpResult::Optimal { value, point }
+}
+
+struct Tableau {
+    rows: Vec<Vec<Rat>>,
+    rhs: Vec<Rat>,
+    basis: Vec<usize>,
+    /// Reduced-cost row: `z[j] = c_B . B^-1 A_j - c_j`.
+    z: Vec<Rat>,
+    /// Current objective value `c_B . B^-1 b`.
+    z_rhs: Rat,
+    /// Columns `>= banned_from` may not enter the basis (artificials in
+    /// phase 2).
+    banned_from: usize,
+}
+
+impl Tableau {
+    /// Pivots until optimal. Returns `false` if the problem is unbounded.
+    fn solve_to_optimality(&mut self) -> bool {
+        loop {
+            // Bland's rule: smallest-index column with positive reduced cost.
+            let enter = (0..self.banned_from.min(self.z.len()))
+                .find(|&j| self.z[j].signum() > 0);
+            let Some(j) = enter else {
+                return true;
+            };
+            // Ratio test, Bland tie-break on smallest basis variable.
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][j];
+                if a.signum() > 0 {
+                    let ratio = self.rhs[i] / a;
+                    let better = match &leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((i, _)) = leave else {
+                return false;
+            };
+            self.pivot(i, j);
+        }
+    }
+
+    fn pivot(&mut self, pi: usize, pj: usize) {
+        let p = self.rows[pi][pj];
+        assert!(!p.is_zero(), "pivot on zero element");
+        let inv = p.recip();
+        for v in self.rows[pi].iter_mut() {
+            *v = *v * inv;
+        }
+        self.rhs[pi] = self.rhs[pi] * inv;
+        for i in 0..self.rows.len() {
+            if i == pi {
+                continue;
+            }
+            let f = self.rows[i][pj];
+            if f.is_zero() {
+                continue;
+            }
+            for j in 0..self.rows[i].len() {
+                let delta = self.rows[pi][j] * f;
+                self.rows[i][j] -= delta;
+            }
+            let delta = self.rhs[pi] * f;
+            self.rhs[i] -= delta;
+        }
+        let f = self.z[pj];
+        if !f.is_zero() {
+            for j in 0..self.z.len() {
+                let delta = self.rows[pi][j] * f;
+                self.z[j] -= delta;
+            }
+            self.z_rhs -= self.rhs[pi] * f;
+        }
+        self.basis[pi] = pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge(coeffs: &[i64], c0: i64) -> Constraint {
+        Constraint::ge0(Aff::from_ints(coeffs, c0))
+    }
+
+    #[test]
+    fn maximize_over_a_box() {
+        // 0 <= x <= 3, 0 <= y <= 5: max x + y = 8 at (3, 5).
+        let cs = vec![
+            ge(&[1, 0], 0),
+            ge(&[-1, 0], 3),
+            ge(&[0, 1], 0),
+            ge(&[0, -1], 5),
+        ];
+        let obj = Aff::from_ints(&[1, 1], 0);
+        match lp(&cs, &obj, Objective::Maximize) {
+            LpResult::Optimal { value, point } => {
+                assert_eq!(value, Rat::from(8));
+                assert_eq!(point, vec![Rat::from(3), Rat::from(5)]);
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_negative_region() {
+        // x >= -4: min x = -4.
+        let cs = vec![ge(&[1], 4)];
+        let obj = Aff::from_ints(&[1], 0);
+        assert_eq!(
+            lp(&cs, &obj, Objective::Minimize).value(),
+            Some(Rat::from(-4))
+        );
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let cs = vec![ge(&[1], 0)]; // x >= 0
+        let obj = Aff::from_ints(&[1], 0);
+        assert_eq!(lp(&cs, &obj, Objective::Maximize), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 1 and x <= -1.
+        let cs = vec![ge(&[1], -1), ge(&[-1], -1)];
+        let obj = Aff::from_ints(&[1], 0);
+        assert_eq!(lp(&cs, &obj, Objective::Minimize), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn handles_equalities() {
+        // x + y == 10, x >= 2, y >= 3: min x = 2 (y = 8).
+        let cs = vec![
+            Constraint::eq0(Aff::from_ints(&[1, 1], -10)),
+            ge(&[1, 0], -2),
+            ge(&[0, 1], -3),
+        ];
+        let obj = Aff::from_ints(&[1, 0], 0);
+        match lp(&cs, &obj, Objective::Minimize) {
+            LpResult::Optimal { value, point } => {
+                assert_eq!(value, Rat::from(2));
+                assert_eq!(point[0] + point[1], Rat::from(10));
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // 2x <= 1, x >= 0: max x = 1/2.
+        let cs = vec![ge(&[-2], 1), ge(&[1], 0)];
+        let obj = Aff::from_ints(&[1], 0);
+        assert_eq!(
+            lp(&cs, &obj, Objective::Maximize).value(),
+            Some(Rat::new(1, 2))
+        );
+    }
+
+    #[test]
+    fn objective_constant_term_is_included() {
+        // max (x + 7) with 0 <= x <= 1 is 8.
+        let cs = vec![ge(&[1], 0), ge(&[-1], 1)];
+        let obj = Aff::from_ints(&[1], 7);
+        assert_eq!(lp(&cs, &obj, Objective::Maximize).value(), Some(Rat::from(8)));
+    }
+
+    #[test]
+    fn paper_delta_lp() {
+        // Distance vectors {(1,-2),(2,2)} from the paper's running example.
+        // delta0 = min d s.t. ds0 <= d * dt for both vectors  =>  d >= -2 and
+        // 2 <= 2d  =>  delta0 = 1.
+        let cs = vec![
+            ge(&[1], 2),  // d*1 - (-2) >= 0
+            ge(&[2], -2), // d*2 - 2 >= 0
+        ];
+        let obj = Aff::from_ints(&[1], 0);
+        assert_eq!(lp(&cs, &obj, Objective::Minimize).value(), Some(Rat::ONE));
+        // delta1 = min d s.t. ds0 >= -d * dt: -2 >= -d, 2 >= -2d => delta1 = 2.
+        let cs = vec![ge(&[1], -2), ge(&[2], 2)];
+        assert_eq!(
+            lp(&cs, &obj, Objective::Minimize).value(),
+            Some(Rat::from(2))
+        );
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        // Duplicate and redundant constraints must not confuse phase 1.
+        let cs = vec![ge(&[1, 0], 0), ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-1, -1], 6)];
+        let obj = Aff::from_ints(&[1, 1], 0);
+        assert_eq!(
+            lp(&cs, &obj, Objective::Maximize).value(),
+            Some(Rat::from(6))
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the polyhedral substrate: the exact algebra the
+//! whole tiling stack rests on.
+
+use polylib::{lp, Aff, BasicSet, LpResult, Objective, Rat, Set};
+use proptest::prelude::*;
+
+/// A random conjunctive polytope inside the window `[-bound, bound]^dim`,
+/// built from a box plus a few random halfplanes. Always bounded.
+fn arb_polytope(dim: usize, bound: i64) -> impl Strategy<Value = BasicSet> {
+    let halfplane = (
+        prop::collection::vec(-3i64..=3, dim),
+        -(2 * bound)..=(2 * bound),
+    );
+    prop::collection::vec(halfplane, 0..4).prop_map(move |planes| {
+        let mut s = BasicSet::box_set(&vec![(-bound, bound); dim]);
+        for (coeffs, c0) in planes {
+            s = s.with_ge(Aff::from_ints(&coeffs, c0));
+        }
+        s
+    })
+}
+
+fn brute_points(s: &BasicSet, bound: i64) -> Vec<Vec<i64>> {
+    let dim = s.dim();
+    let mut out = Vec::new();
+    let mut p = vec![-bound; dim];
+    loop {
+        if s.contains(&p) {
+            out.push(p.clone());
+        }
+        // Odometer increment.
+        let mut d = dim;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            if p[d] < bound {
+                p[d] += 1;
+                for q in p.iter_mut().skip(d + 1) {
+                    *q = -bound;
+                }
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact enumeration agrees with brute force over the window.
+    #[test]
+    fn enumeration_matches_brute_force(s in arb_polytope(2, 6)) {
+        let brute = brute_points(&s, 6);
+        let mut enumerated: Vec<Vec<i64>> = s.points().collect();
+        enumerated.sort();
+        let mut brute_sorted = brute.clone();
+        brute_sorted.sort();
+        prop_assert_eq!(enumerated, brute_sorted);
+        prop_assert_eq!(s.count_points() as usize, brute.len());
+    }
+
+    /// The simplex maximum over the rational relaxation dominates every
+    /// integer point, and is attained when the witness is integral.
+    #[test]
+    fn simplex_bounds_integer_points(
+        s in arb_polytope(2, 5),
+        c0 in -3i64..=3,
+        c1 in -3i64..=3,
+    ) {
+        let obj = Aff::from_ints(&[c0, c1], 0);
+        match lp(s.constraints(), &obj, Objective::Maximize) {
+            LpResult::Optimal { value, point } => {
+                prop_assert!(s.contains_rat(&point), "witness must be feasible");
+                prop_assert_eq!(obj.eval(&point), value);
+                for p in s.points() {
+                    prop_assert!(obj.eval_int(&p) <= value,
+                        "integer point {:?} beats LP optimum {}", p, value);
+                }
+            }
+            LpResult::Infeasible => {
+                prop_assert!(s.points().next().is_none(),
+                    "LP infeasible but integer points exist");
+            }
+            LpResult::Unbounded => {
+                prop_assert!(false, "window-bounded polytope cannot be unbounded");
+            }
+        }
+    }
+
+    /// Fourier–Motzkin projection is sound (every point's prefix lands in
+    /// the projection) and rationally tight on these windows.
+    #[test]
+    fn projection_soundness(s in arb_polytope(3, 4)) {
+        let proj = s.project_out(2);
+        for p in s.points() {
+            prop_assert!(proj.contains(&p[..2]),
+                "projection lost point {:?}", p);
+        }
+    }
+
+    /// Integer subtraction: membership is exactly the boolean difference.
+    #[test]
+    fn subtraction_is_exact(a in arb_polytope(2, 5), b in arb_polytope(2, 5)) {
+        let d = Set::from_basic(a.clone()).subtract(&Set::from_basic(b.clone()));
+        for p in brute_points(&BasicSet::box_set(&[(-5, 5), (-5, 5)]), 5) {
+            let expect = a.contains(&p) && !b.contains(&p);
+            prop_assert_eq!(d.contains(&p), expect, "point {:?}", p);
+        }
+        // Disjuncts of a subtraction partition the difference: counts match.
+        let brute = brute_points(&a, 5).iter().filter(|p| !b.contains(p)).count();
+        prop_assert_eq!(d.count_points() as usize, brute);
+    }
+
+    /// `intersect` is pointwise conjunction.
+    #[test]
+    fn intersection_is_pointwise(a in arb_polytope(2, 5), b in arb_polytope(2, 5)) {
+        let i = a.intersect(&b);
+        for p in brute_points(&BasicSet::box_set(&[(-5, 5), (-5, 5)]), 5) {
+            prop_assert_eq!(i.contains(&p), a.contains(&p) && b.contains(&p));
+        }
+    }
+
+    /// Rational emptiness implies integer emptiness.
+    #[test]
+    fn rational_empty_implies_integer_empty(s in arb_polytope(2, 4)) {
+        if s.is_empty_rat() {
+            prop_assert!(s.points().next().is_none());
+        }
+    }
+}
+
+#[test]
+fn bounding_box_is_tight_for_skewed_parallelogram() {
+    // { (x, y) : 0 <= x <= 5, x <= y <= x + 3 }
+    let s = BasicSet::box_set(&[(0, 5), (-100, 100)])
+        .with_ge(Aff::from_ints(&[-1, 1], 0))
+        .with_ge(Aff::from_ints(&[1, -1], 3));
+    let bb = s.bounding_box();
+    assert_eq!(bb[0], Some((Rat::ZERO, Rat::from(5))));
+    assert_eq!(bb[1], Some((Rat::ZERO, Rat::from(8))));
+}

@@ -1,0 +1,140 @@
+//! Static per-stencil characteristics — the numbers of the paper's Table 3.
+
+use crate::gallery;
+use crate::program::{StencilExpr, StencilProgram};
+
+/// Static characteristics of one stencil program (one Table 3 row; fdtd-2d
+/// produces one entry per statement, matching the paper's three sub-rows).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Characteristics {
+    /// Program name.
+    pub name: String,
+    /// Distinct cells read per statement, in statement order ("Loads").
+    pub loads: Vec<usize>,
+    /// Arithmetic operations per statement ("FLOPs/Stencil"); `sqrt` counts
+    /// as 3 FLOPs.
+    pub flops: Vec<usize>,
+    /// Per-dimension data size of the paper workload.
+    pub data_size: Vec<usize>,
+    /// Time steps of the paper workload.
+    pub steps: usize,
+}
+
+/// Counts the FLOPs of an expression (`sqrt` = 3, following common practice
+/// for throughput accounting; see EXPERIMENTS.md).
+pub fn flop_count(e: &StencilExpr) -> usize {
+    match e {
+        StencilExpr::Load(_) | StencilExpr::Const(_) => 0,
+        // A square `d * d` evaluates its operand once (the compiler keeps it
+        // in a register), so the operand is counted once.
+        StencilExpr::Mul(a, b) if a == b => 1 + flop_count(a),
+        StencilExpr::Add(a, b) | StencilExpr::Sub(a, b) | StencilExpr::Mul(a, b) => {
+            1 + flop_count(a) + flop_count(b)
+        }
+        StencilExpr::Sqrt(a) => 3 + flop_count(a),
+    }
+}
+
+/// Counts the *distinct* cells an expression reads (aliased loads of the
+/// same `(field, dt, offsets)` count once — they hit the same register or
+/// shared-memory slot).
+pub fn load_count(e: &StencilExpr) -> usize {
+    let mut seen: Vec<(usize, i64, Vec<i64>)> = Vec::new();
+    for a in e.loads() {
+        let key = (a.field.0, a.dt, a.offsets.clone());
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    seen.len()
+}
+
+/// Computes the Table 3 characteristics of a program.
+pub fn characteristics(program: &StencilProgram) -> Characteristics {
+    let (data_size, steps) = gallery::paper_workload(program);
+    Characteristics {
+        name: program.name().to_string(),
+        loads: program
+            .statements()
+            .iter()
+            .map(|s| load_count(&s.expr))
+            .collect(),
+        flops: program
+            .statements()
+            .iter()
+            .map(|s| flop_count(&s.expr))
+            .collect(),
+        data_size,
+        steps,
+    }
+}
+
+/// Renders the full Table 3.
+pub fn table3() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>14} {:>12} {:>6}\n",
+        "", "Loads", "FLOPs/Stencil", "Data-size", "Steps"
+    ));
+    for p in gallery::table3_stencils() {
+        let c = characteristics(&p);
+        let size = match c.data_size.as_slice() {
+            [n, _] => format!("{n}^2"),
+            [n, _, _] => format!("{n}^3"),
+            other => format!("{other:?}"),
+        };
+        for (row, (l, f)) in c.loads.iter().zip(&c.flops).enumerate() {
+            let name = if row == 0 { c.name.as_str() } else { "" };
+            out.push_str(&format!(
+                "{:<14} {:>6} {:>14} {:>12} {:>6}\n",
+                name, l, f, size, c.steps
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery::*;
+
+    #[test]
+    fn table3_loads_match_paper() {
+        assert_eq!(characteristics(&laplacian2d()).loads, vec![5]);
+        assert_eq!(characteristics(&heat2d()).loads, vec![9]);
+        assert_eq!(characteristics(&gradient2d()).loads, vec![5]);
+        assert_eq!(characteristics(&fdtd2d()).loads, vec![3, 3, 5]);
+        assert_eq!(characteristics(&laplacian3d()).loads, vec![7]);
+        assert_eq!(characteristics(&heat3d()).loads, vec![27]);
+        assert_eq!(characteristics(&gradient3d()).loads, vec![7]);
+    }
+
+    #[test]
+    fn table3_flops_match_paper() {
+        assert_eq!(characteristics(&laplacian2d()).flops, vec![6]);
+        assert_eq!(characteristics(&heat2d()).flops, vec![9]);
+        assert_eq!(characteristics(&gradient2d()).flops, vec![15]);
+        assert_eq!(characteristics(&fdtd2d()).flops, vec![3, 3, 5]);
+        assert_eq!(characteristics(&laplacian3d()).flops, vec![8]);
+        assert_eq!(characteristics(&heat3d()).flops, vec![27]);
+        assert_eq!(characteristics(&gradient3d()).flops, vec![20]);
+    }
+
+    #[test]
+    fn table3_sizes_match_paper() {
+        let c2 = characteristics(&heat2d());
+        assert_eq!((c2.data_size[0], c2.steps), (3072, 512));
+        let c3 = characteristics(&heat3d());
+        assert_eq!((c3.data_size[0], c3.steps), (384, 128));
+    }
+
+    #[test]
+    fn rendered_table_has_nine_rows() {
+        let t = table3();
+        // Header + 6 single-statement stencils + 3 fdtd statements.
+        assert_eq!(t.lines().count(), 10);
+        assert!(t.contains("laplacian2d"));
+        assert!(t.contains("3072^2"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Dependence analysis: exact distance vectors in the scheduled space.
+//!
+//! After the §3.2 preprocessing schedule `Li[t, s..] -> [k·t + i, s..]`, a
+//! read by statement `i` of the value written by statement `j` at time
+//! distance `dt` with spatial `offsets` induces the scheduled distance
+//! vector `(k·dt + i - j, -offsets..)` — the "difference in the schedule
+//! space between a statement instance and a statement instance on which it
+//! depends" (§3.1). For the paper's running example
+//! `A[t][i] = f(A[t-2][i-2], A[t-1][i+2])` this yields `{(2, 2), (1, -2)}`,
+//! exactly the set shown in Fig. 3.
+
+use crate::program::{FieldId, StencilProgram};
+use polylib::{BasicMap, BasicSet, Map};
+
+/// A dependence distance vector `(Δτ, Δs0, .., Δsn)` in the scheduled space.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DistanceVector {
+    /// Distance along the combined outer (time) dimension; always `>= 1`.
+    pub dt: i64,
+    /// Distances along the spatial dimensions.
+    pub ds: Vec<i64>,
+}
+
+impl DistanceVector {
+    /// Builds a distance vector.
+    pub fn new(dt: i64, ds: &[i64]) -> DistanceVector {
+        DistanceVector {
+            dt,
+            ds: ds.to_vec(),
+        }
+    }
+}
+
+/// Computes the set of distinct dependence distance vectors of `program` in
+/// the scheduled space `[k·t + i, s0, .., sn]`.
+///
+/// All stencil dependences are uniform (constant offsets), so the result is
+/// a finite set. Vectors are deduplicated and sorted for determinism.
+pub fn distance_vectors(program: &StencilProgram) -> Vec<DistanceVector> {
+    let k = program.num_statements() as i64;
+    let mut out: Vec<DistanceVector> = Vec::new();
+    for (i, st) in program.statements().iter().enumerate() {
+        for a in st.expr.loads() {
+            let j = program.writer_of(a.field) as i64;
+            let dt = k * a.dt + (i as i64 - j);
+            debug_assert!(dt >= 1, "validated program carries all deps");
+            let ds: Vec<i64> = a.offsets.iter().map(|&o| -o).collect();
+            let v = DistanceVector { dt, ds };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.dt, &a.ds).cmp(&(b.dt, &b.ds)));
+    out
+}
+
+/// Distance vectors including *storage* (anti/output) dependences for the
+/// ring-buffered array layout with `planes = max_dt + 1` time planes per
+/// field — the layout of the paper's Fig. 1 input (`A[(t+1)%2]`).
+///
+/// A read by statement `i` of the value written by `j` at time distance
+/// `dt` occupies cell `(field, (t-dt+1) mod planes, s+off)`; the next
+/// writer of that cell is `j` at iteration `t - dt + planes`, giving the
+/// anti-dependence vector `(k·(planes-dt) + j - i, +off)`. The paper's
+/// dependence analysis (isl over the modulo-buffered C input) sees these
+/// too; executable schedules must respect them or the ring would be
+/// clobbered while readers still need the old value. For symmetric
+/// stencils the storage vectors coincide with mirrored flow vectors.
+pub fn distance_vectors_with_storage(
+    program: &StencilProgram,
+    planes: i64,
+) -> Vec<DistanceVector> {
+    let k = program.num_statements() as i64;
+    let mut out = distance_vectors(program);
+    for (i, st) in program.statements().iter().enumerate() {
+        for a in st.expr.loads() {
+            let j = program.writer_of(a.field) as i64;
+            let dt_anti = k * (planes - a.dt) + (j - i as i64);
+            if dt_anti < 1 {
+                // Cannot happen for planes > max_dt, but stay defensive.
+                continue;
+            }
+            let v = DistanceVector {
+                dt: dt_anti,
+                ds: a.offsets.clone(),
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.dt, &a.ds).cmp(&(b.dt, &b.ds)));
+    out
+}
+
+/// Builds the full dependence relation of `program` over a bounded scheduled
+/// domain, as a union of uniform translations. `domain` must be a set over
+/// `[τ, s0..sn]` (the scheduled space).
+///
+/// Used by verification: the hybrid schedule must order every pair of this
+/// relation correctly.
+pub fn dependence_relation(program: &StencilProgram, domain: &BasicSet) -> Map {
+    let n = 1 + program.spatial_dims();
+    assert_eq!(domain.dim(), n, "domain must be over [tau, s..]");
+    let mut m = Map::empty(n, n);
+    for v in distance_vectors(program) {
+        let mut shift = Vec::with_capacity(n);
+        shift.push(v.dt);
+        shift.extend_from_slice(&v.ds);
+        m.add_basic(BasicMap::translation(domain, &shift));
+    }
+    m
+}
+
+/// Per-dimension bounds of the distance vectors relative to `dt`:
+/// returns `(max ds[d]/dt, max -ds[d]/dt)` as exact rationals — the raw
+/// material for δ0/δ1 (§3.3.2).
+pub fn slope_bounds(
+    vectors: &[DistanceVector],
+    dim: usize,
+) -> (polylib::Rat, polylib::Rat) {
+    use polylib::Rat;
+    let mut up = Rat::from(0);
+    let mut down = Rat::from(0);
+    for v in vectors {
+        let r = Rat::new(v.ds[dim] as i128, v.dt as i128);
+        up = up.max(r);
+        down = down.max(-r);
+    }
+    (up, down)
+}
+
+/// The field each statement writes, in statement order (convenience for
+/// executors and code generators).
+pub fn written_fields(program: &StencilProgram) -> Vec<FieldId> {
+    program.statements().iter().map(|s| s.writes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    #[test]
+    fn paper_example_distances() {
+        let p = gallery::contrived1d();
+        let vs = distance_vectors(&p);
+        assert_eq!(
+            vs,
+            vec![
+                DistanceVector::new(1, &[-2]),
+                DistanceVector::new(2, &[2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn jacobi2d_distances_are_unit_cross() {
+        let p = gallery::jacobi2d();
+        let vs = distance_vectors(&p);
+        assert_eq!(vs.len(), 5);
+        for v in &vs {
+            assert_eq!(v.dt, 1);
+            assert!(v.ds.iter().all(|d| d.abs() <= 1));
+        }
+    }
+
+    #[test]
+    fn fdtd_has_dt0_cross_statement_deps() {
+        let p = gallery::fdtd2d();
+        let k = p.num_statements() as i64;
+        assert_eq!(k, 3);
+        let vs = distance_vectors(&p);
+        // hz (statement 2) reads ex/ey written this iteration: distance 1, 2.
+        assert!(vs.iter().any(|v| v.dt == 1));
+        assert!(vs.iter().any(|v| v.dt == 2));
+        // ey/ex read hz of the previous iteration (writer index 2):
+        // k*1 + 0 - 2 = 1 and k*1 + 1 - 2 = 2.
+        assert!(vs.iter().all(|v| v.dt >= 1));
+    }
+
+    #[test]
+    fn slope_bounds_of_paper_example() {
+        use polylib::Rat;
+        let p = gallery::contrived1d();
+        let vs = distance_vectors(&p);
+        let (up, down) = slope_bounds(&vs, 0);
+        assert_eq!(up, Rat::ONE); // delta0 = 1
+        assert_eq!(down, Rat::from(2)); // delta1 = 2
+    }
+
+    #[test]
+    fn dependence_relation_contains_expected_pairs() {
+        let p = gallery::jacobi2d();
+        let dom = polylib::BasicSet::box_set(&[(0, 9), (1, 8), (1, 8)]);
+        let rel = dependence_relation(&p, &dom);
+        // (t, i, j) depends on (t+1, i±1, j), etc.
+        assert!(rel.contains_pair(&[3, 4, 4], &[4, 4, 5]));
+        assert!(rel.contains_pair(&[3, 4, 4], &[4, 3, 4]));
+        assert!(!rel.contains_pair(&[3, 4, 4], &[5, 4, 4]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Iteration domains and the §3.2 preprocessing schedule.
+//!
+//! The preprocessing step maps statement instances `Li[t, s0..sn]` to the
+//! scheduled space `[k·t + i, s0..sn]`, after which all dependences are
+//! carried by the combined outer dimension and every spatial dimension is
+//! fully parallel. [`ScheduledDomain`] is the bounded instance set the
+//! tiling and verification machinery enumerate.
+
+use crate::program::StencilProgram;
+use polylib::{Aff, BasicSet, Rat};
+
+/// The bounded scheduled iteration domain `[τ, s0..sn]` of a program run:
+/// `τ = k·t + i` ranges over `[0, k·steps)` and each spatial coordinate over
+/// the interior of the grid.
+#[derive(Clone, Debug)]
+pub struct ScheduledDomain {
+    k: usize,
+    steps: usize,
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+impl ScheduledDomain {
+    /// Builds the scheduled domain for running `program` on a grid of
+    /// `dims` for `steps` outer iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` arity mismatches or any dimension is too small to
+    /// have an interior.
+    pub fn new(program: &StencilProgram, dims: &[usize], steps: usize) -> ScheduledDomain {
+        assert_eq!(dims.len(), program.spatial_dims(), "dims arity mismatch");
+        let radius = program.radius();
+        let lo: Vec<i64> = radius.clone();
+        let hi: Vec<i64> = dims
+            .iter()
+            .zip(&radius)
+            .map(|(&n, &r)| n as i64 - r - 1)
+            .collect();
+        for (d, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(l <= h, "dimension {d} has empty interior");
+        }
+        ScheduledDomain {
+            k: program.num_statements(),
+            steps,
+            lo,
+            hi,
+        }
+    }
+
+    /// Number of statements `k` (the scheduled time stride).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of outer-loop iterations.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Inclusive interior lower bounds per spatial dimension.
+    pub fn lo(&self) -> &[i64] {
+        &self.lo
+    }
+
+    /// Inclusive interior upper bounds per spatial dimension.
+    pub fn hi(&self) -> &[i64] {
+        &self.hi
+    }
+
+    /// Exclusive upper bound of the scheduled time dimension (`k·steps`).
+    pub fn tau_end(&self) -> i64 {
+        (self.k * self.steps) as i64
+    }
+
+    /// True if `[τ, s..]` is a statement instance of this run.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), 1 + self.lo.len(), "point arity mismatch");
+        let tau = point[0];
+        tau >= 0
+            && tau < self.tau_end()
+            && point[1..]
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&s, (&l, &h))| s >= l && s <= h)
+    }
+
+    /// Iterates all instances `[τ, s..]` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        let spatial = self.lo.len();
+        let mut point = vec![0i64; 1 + spatial];
+        point[1..].copy_from_slice(&self.lo);
+        let mut done = self.tau_end() == 0;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let current = point.clone();
+            // Odometer, innermost (last spatial dim) fastest.
+            let mut d = point.len();
+            loop {
+                if d == 0 {
+                    done = true;
+                    break;
+                }
+                d -= 1;
+                let (lo_d, hi_d) = if d == 0 {
+                    (0, self.tau_end() - 1)
+                } else {
+                    (self.lo[d - 1], self.hi[d - 1])
+                };
+                if point[d] < hi_d {
+                    point[d] += 1;
+                    for q in d + 1..point.len() {
+                        point[q] = if q == 0 { 0 } else { self.lo[q - 1] };
+                    }
+                    break;
+                }
+                point[d] = lo_d;
+            }
+            Some(current)
+        })
+    }
+
+    /// Total number of statement instances.
+    pub fn num_points(&self) -> u64 {
+        let spatial: u64 = self
+            .lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| (h - l + 1) as u64)
+            .product();
+        self.tau_end() as u64 * spatial
+    }
+
+    /// The domain as a polyhedral set over `[τ, s0..sn]`.
+    pub fn as_basic_set(&self) -> BasicSet {
+        let n = 1 + self.lo.len();
+        let mut s = BasicSet::new(n)
+            .with_ge(Aff::var(n, 0))
+            .with_ge(Aff::constant(n, Rat::from(self.tau_end() - 1)) - Aff::var(n, 0));
+        for (d, (&l, &h)) in self.lo.iter().zip(&self.hi).enumerate() {
+            s = s
+                .with_ge(Aff::var(n, d + 1) - Aff::constant(n, Rat::from(l)))
+                .with_ge(Aff::constant(n, Rat::from(h)) - Aff::var(n, d + 1));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    #[test]
+    fn domain_bounds_follow_radius() {
+        let p = gallery::jacobi2d();
+        let d = ScheduledDomain::new(&p, &[10, 12], 4);
+        assert_eq!(d.lo(), &[1, 1]);
+        assert_eq!(d.hi(), &[8, 10]);
+        assert_eq!(d.tau_end(), 4);
+        assert!(d.contains(&[0, 1, 1]));
+        assert!(d.contains(&[3, 8, 10]));
+        assert!(!d.contains(&[4, 1, 1]));
+        assert!(!d.contains(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn fdtd_scheduled_time_stride() {
+        let p = gallery::fdtd2d();
+        let d = ScheduledDomain::new(&p, &[8, 8], 5);
+        assert_eq!(d.k(), 3);
+        assert_eq!(d.tau_end(), 15);
+    }
+
+    #[test]
+    fn iteration_matches_count_and_membership() {
+        let p = gallery::jacobi2d();
+        let d = ScheduledDomain::new(&p, &[6, 7], 3);
+        let pts: Vec<_> = d.iter().collect();
+        assert_eq!(pts.len() as u64, d.num_points());
+        assert!(pts.iter().all(|p| d.contains(p)));
+        // Lexicographic order.
+        let mut sorted = pts.clone();
+        sorted.sort();
+        assert_eq!(pts, sorted);
+    }
+
+    #[test]
+    fn basic_set_agrees_with_contains() {
+        let p = gallery::contrived1d();
+        let d = ScheduledDomain::new(&p, &[12], 3);
+        let s = d.as_basic_set();
+        for tau in -1..5 {
+            for x in 0..13 {
+                assert_eq!(
+                    s.contains(&[tau, x]),
+                    d.contains(&[tau, x]),
+                    "({tau},{x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interior")]
+    fn tiny_grid_panics() {
+        let p = gallery::jacobi2d();
+        let _ = ScheduledDomain::new(&p, &[2, 8], 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense n-dimensional `f32` grids with row-major layout.
+
+use std::fmt;
+
+/// A dense, row-major n-dimensional array of `f32` values.
+///
+/// The innermost (last) dimension is contiguous in memory — the "stride one"
+/// dimension the paper's coalescing arguments rely on.
+///
+/// ```
+/// use stencil::Grid;
+/// let mut g = Grid::zeros(&[4, 8]);
+/// g.set(&[1, 2], 3.5);
+/// assert_eq!(g.get(&[1, 2]), 3.5);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Grid {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Grid {
+    /// A grid of the given extents filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Grid {
+        let len = dims.iter().product::<usize>().max(1);
+        let mut strides = vec![1usize; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        Grid {
+            dims: dims.to_vec(),
+            strides,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A grid filled with a deterministic pseudo-random pattern (a small
+    /// LCG), useful for reproducible oracle comparisons without external
+    /// dependencies.
+    pub fn random(dims: &[usize], seed: u64) -> Grid {
+        let mut g = Grid::zeros(dims);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for v in g.data.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map to [0, 1) with 24 bits of entropy — exactly representable.
+            *v = ((state >> 40) as f32) / ((1u64 << 24) as f32);
+        }
+        g
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major linear offset of an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has the wrong arity or is out of bounds.
+    pub fn offset(&self, idx: &[i64]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index arity mismatch");
+        let mut off = 0usize;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(
+                i >= 0 && (i as usize) < self.dims[d],
+                "index {i} out of bounds for dim {d} (extent {})",
+                self.dims[d]
+            );
+            off += self.strides[d] * i as usize;
+        }
+        off
+    }
+
+    /// True if the index is within bounds.
+    pub fn in_bounds(&self, idx: &[i64]) -> bool {
+        idx.len() == self.dims.len()
+            && idx
+                .iter()
+                .zip(&self.dims)
+                .all(|(&i, &d)| i >= 0 && (i as usize) < d)
+    }
+
+    /// Reads the value at an index.
+    pub fn get(&self, idx: &[i64]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Writes the value at an index.
+    pub fn set(&mut self, idx: &[i64], v: f32) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// The raw data slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw mutable data slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute difference against another grid of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Grid) -> f32 {
+        assert_eq!(self.dims, other.dims, "grid shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True if the grids are bitwise identical.
+    pub fn bit_equal(&self, other: &Grid) -> bool {
+        self.dims == other.dims
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl fmt::Debug for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Grid{:?} ({} elements)", self.dims, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let mut g = Grid::zeros(&[2, 3]);
+        g.set(&[0, 0], 1.0);
+        g.set(&[0, 2], 2.0);
+        g.set(&[1, 0], 3.0);
+        assert_eq!(g.as_slice(), &[1.0, 0.0, 2.0, 3.0, 0.0, 0.0]);
+        assert_eq!(g.offset(&[1, 2]), 5);
+    }
+
+    #[test]
+    fn three_d_offsets() {
+        let g = Grid::zeros(&[2, 3, 4]);
+        assert_eq!(g.offset(&[0, 0, 0]), 0);
+        assert_eq!(g.offset(&[0, 0, 3]), 3);
+        assert_eq!(g.offset(&[0, 1, 0]), 4);
+        assert_eq!(g.offset(&[1, 0, 0]), 12);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Grid::random(&[8, 8], 42);
+        let b = Grid::random(&[8, 8], 42);
+        let c = Grid::random(&[8, 8], 43);
+        assert!(a.bit_equal(&b));
+        assert!(!a.bit_equal(&c));
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let g = Grid::zeros(&[4, 4]);
+        assert!(g.in_bounds(&[3, 3]));
+        assert!(!g.in_bounds(&[4, 0]));
+        assert!(!g.in_bounds(&[-1, 0]));
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let mut a = Grid::zeros(&[2, 2]);
+        let b = Grid::zeros(&[2, 2]);
+        a.set(&[1, 1], 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let g = Grid::zeros(&[2, 2]);
+        let _ = g.get(&[2, 0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # stencil — stencil programs, dependence analysis, and the CGO'14 gallery
+//!
+//! This crate replaces the paper's C front end (`pet`): instead of parsing C,
+//! stencil computations are described directly in the canonical form the
+//! paper's preprocessing step (§3.2) produces — an outer time loop containing
+//! `k >= 1` perfectly nested, fully parallel loop nests with constant-offset
+//! accesses.
+//!
+//! Provided here:
+//!
+//! * [`StencilProgram`] / [`Statement`] / [`StencilExpr`]: the program model,
+//!   with validation of the paper's §3.3.1 input constraints,
+//! * [`deps`]: dependence analysis — exact distance vectors in the scheduled
+//!   space `[k·t + i, s0, .., sn]` plus full dependence relations as
+//!   [`polylib::Map`]s,
+//! * [`reference`]: a sequential CPU oracle executor used to validate every
+//!   GPU-simulated kernel bit-for-bit,
+//! * [`gallery`]: the benchmarks of the paper's Table 3 (laplacian/heat/
+//!   gradient in 2D and 3D, the multi-statement fdtd-2d, Fig. 1's jacobi2d,
+//!   and §3.3.2's contrived 1D example),
+//! * [`characteristics`]: the static per-stencil numbers reported in Table 3.
+
+pub mod characteristics;
+pub mod deps;
+pub mod domain;
+pub mod gallery;
+pub mod grid;
+pub mod parse;
+pub mod program;
+pub mod reference;
+
+pub use characteristics::Characteristics;
+pub use deps::{distance_vectors, DistanceVector};
+pub use grid::Grid;
+pub use program::{Access, FieldId, Statement, StencilExpr, StencilProgram};
+pub use reference::ReferenceExecutor;

@@ -1,0 +1,500 @@
+//! A `pet`-like front end: parse Fig. 1-style C loop nests into
+//! [`StencilProgram`]s.
+//!
+//! The paper extracts its polyhedral description from C with `pet`. This
+//! module accepts the same shape of input — an outer time loop containing
+//! one or more perfect spatial loop nests whose bodies are single
+//! assignments with constant-offset accesses — and produces the canonical
+//! program model directly:
+//!
+//! ```
+//! let src = r#"
+//! for (t = 0; t < T; t++)
+//!   for (i = 1; i < N-1; i++)
+//!     for (j = 1; j < N-1; j++)
+//!       A[t+1][i][j] = 0.2f * (A[t][i][j] + A[t][i+1][j] + A[t][i-1][j]
+//!                            + A[t][i][j+1] + A[t][i][j-1]);
+//! "#;
+//! let program = stencil::parse::parse_stencil("jacobi", src).unwrap();
+//! assert_eq!(program.spatial_dims(), 2);
+//! assert_eq!(stencil::characteristics::load_count(&program.statements()[0].expr), 5);
+//! ```
+//!
+//! Time indexing follows the paper's convention: `A[t+1][..]` on the
+//! left-hand side is the value produced this iteration; a read `A[t-d][..]`
+//! has time distance `dt = 1 + d` (`A[t]` reads the previous iteration,
+//! `A[t+1]` reads a value produced earlier in the *same* iteration by an
+//! earlier statement).
+
+use crate::program::{FieldId, Statement, StencilExpr, StencilProgram};
+
+/// A parse failure with a human-readable message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stencil parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Num(String),
+    Sym(char),
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok::Ident(s));
+        } else if c.is_ascii_digit() {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() || c == '.' {
+                    s.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            // An 'f' suffix on float literals is consumed silently.
+            if let Some(&'f') = chars.peek() {
+                chars.next();
+            }
+            out.push(Tok::Num(s));
+        } else if "()[]{}=+-*/;<>,#".contains(c) {
+            chars.next();
+            out.push(Tok::Sym(c));
+        } else {
+            return Err(ParseError(format!("unexpected character {c:?}")));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    /// Spatial loop iterator names, outermost first.
+    iters: Vec<String>,
+    /// Field names in declaration (first-use) order.
+    fields: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(ParseError(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Consumes a `for (x = ...; x < ...; x++)` header, returning the
+    /// iterator name. Bounds are accepted but not interpreted (domains are
+    /// supplied at run time, as in the rest of the pipeline).
+    fn parse_for_header(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(k)) if k == "for" => {}
+            other => return Err(ParseError(format!("expected 'for', found {other:?}"))),
+        }
+        self.expect_sym('(')?;
+        let var = self.expect_ident()?;
+        // Skip everything to the matching ')'.
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Tok::Sym('(')) => depth += 1,
+                Some(Tok::Sym(')')) => depth -= 1,
+                Some(_) => {}
+                None => return Err(ParseError("unterminated for header".into())),
+            }
+        }
+        Ok(var)
+    }
+
+    fn field_id(&mut self, name: &str) -> FieldId {
+        if let Some(i) = self.fields.iter().position(|f| f == name) {
+            FieldId(i)
+        } else {
+            self.fields.push(name.to_string());
+            FieldId(self.fields.len() - 1)
+        }
+    }
+
+    /// Parses an index expression `iter`, `iter+c`, `iter-c`, or for the
+    /// time dimension `t`, `t+1`, `t-c`. Returns `(iter name, offset)`.
+    fn parse_index(&mut self) -> Result<(String, i64), ParseError> {
+        self.expect_sym('[')?;
+        let var = self.expect_ident()?;
+        let off = match self.peek() {
+            Some(Tok::Sym('+')) => {
+                self.next();
+                match self.next() {
+                    Some(Tok::Num(n)) => n
+                        .parse::<i64>()
+                        .map_err(|_| ParseError(format!("bad offset {n}")))?,
+                    other => return Err(ParseError(format!("expected offset, found {other:?}"))),
+                }
+            }
+            Some(Tok::Sym('-')) => {
+                self.next();
+                match self.next() {
+                    Some(Tok::Num(n)) => -n
+                        .parse::<i64>()
+                        .map_err(|_| ParseError(format!("bad offset {n}")))?,
+                    other => return Err(ParseError(format!("expected offset, found {other:?}"))),
+                }
+            }
+            _ => 0,
+        };
+        self.expect_sym(']')?;
+        Ok((var, off))
+    }
+
+    /// Parses an access `F[t±c][i±a][j±b]...`, returning the load.
+    fn parse_access(&mut self, name: String) -> Result<StencilExpr, ParseError> {
+        let field = self.field_id(&name);
+        let (tvar, toff) = self.parse_index()?;
+        if tvar != "t" {
+            return Err(ParseError(format!(
+                "first index of {name} must be the time iterator, found {tvar}"
+            )));
+        }
+        // A[t+off]: produced at iteration t+off-1, read at iteration t:
+        // dt = 1 - off.
+        let dt = 1 - toff;
+        if dt < 0 {
+            return Err(ParseError(format!(
+                "access {name}[t+{toff}] reads the future"
+            )));
+        }
+        let mut offsets = Vec::new();
+        let mut seen = Vec::new();
+        while matches!(self.peek(), Some(Tok::Sym('['))) {
+            let (var, off) = self.parse_index()?;
+            seen.push(var);
+            offsets.push(off);
+        }
+        if seen != self.iters {
+            return Err(ParseError(format!(
+                "access {name} indexes {seen:?}, loop nest uses {:?} (order must match)",
+                self.iters
+            )));
+        }
+        Ok(StencilExpr::load(field, dt, &offsets))
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self) -> Result<StencilExpr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Sym('+')) => {
+                    self.next();
+                    let rhs = self.parse_term()?;
+                    lhs = StencilExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Tok::Sym('-')) => {
+                    self.next();
+                    let rhs = self.parse_term()?;
+                    lhs = StencilExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// term := factor ('*' factor)*
+    fn parse_term(&mut self) -> Result<StencilExpr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        while matches!(self.peek(), Some(Tok::Sym('*'))) {
+            self.next();
+            let rhs = self.parse_factor()?;
+            lhs = StencilExpr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// factor := number | access | sqrtf(expr) | '(' expr ')' | '-' factor
+    fn parse_factor(&mut self) -> Result<StencilExpr, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => n
+                .parse::<f32>()
+                .map(StencilExpr::Const)
+                .map_err(|_| ParseError(format!("bad literal {n}"))),
+            Some(Tok::Sym('(')) => {
+                let e = self.parse_expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Sym('-')) => {
+                let e = self.parse_factor()?;
+                Ok(StencilExpr::Sub(
+                    Box::new(StencilExpr::Const(0.0)),
+                    Box::new(e),
+                ))
+            }
+            Some(Tok::Ident(name)) if name == "sqrtf" => {
+                self.expect_sym('(')?;
+                let e = self.parse_expr()?;
+                self.expect_sym(')')?;
+                Ok(StencilExpr::Sqrt(Box::new(e)))
+            }
+            Some(Tok::Ident(name)) => self.parse_access(name),
+            other => Err(ParseError(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// One statement: spatial `for` headers followed by
+    /// `F[t+1][iters..] = expr ;`.
+    fn parse_statement(&mut self, index: usize) -> Result<Statement, ParseError> {
+        let mut iters = Vec::new();
+        while matches!(self.peek(), Some(Tok::Ident(k)) if k == "for") {
+            iters.push(self.parse_for_header()?);
+            // Optional braces are skipped transparently.
+            if matches!(self.peek(), Some(Tok::Sym('{'))) {
+                self.next();
+            }
+        }
+        if iters.is_empty() {
+            return Err(ParseError("statement without spatial loops".into()));
+        }
+        if self.iters.is_empty() {
+            self.iters = iters.clone();
+        } else if self.iters != iters {
+            return Err(ParseError(format!(
+                "all loop nests must share iterator names/order: {:?} vs {iters:?}",
+                self.iters
+            )));
+        }
+        let name = self.expect_ident()?;
+        let field = self.field_id(&name);
+        let (tvar, toff) = self.parse_index()?;
+        if tvar != "t" || toff != 1 {
+            return Err(ParseError(format!(
+                "left-hand side of {name} must be indexed [t+1]"
+            )));
+        }
+        for expect in self.iters.clone() {
+            let (var, off) = self.parse_index()?;
+            if var != expect || off != 0 {
+                return Err(ParseError(format!(
+                    "left-hand side must be written at [{expect}] exactly"
+                )));
+            }
+        }
+        self.expect_sym('=')?;
+        let expr = self.parse_expr()?;
+        self.expect_sym(';')?;
+        // Consume any closing braces.
+        while matches!(self.peek(), Some(Tok::Sym('}'))) {
+            self.next();
+        }
+        Ok(Statement {
+            name: format!("S{index}"),
+            writes: field,
+            expr,
+        })
+    }
+}
+
+/// Parses a Fig. 1-style C loop nest into a validated [`StencilProgram`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed input, and forwards
+/// [`StencilProgram::new`] validation failures (non-canonical dependence
+/// structure) as parse errors.
+pub fn parse_stencil(name: &str, src: &str) -> Result<StencilProgram, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        iters: Vec::new(),
+        fields: Vec::new(),
+    };
+    // Outer time loop.
+    let tvar = p.parse_for_header()?;
+    if tvar != "t" {
+        return Err(ParseError(format!(
+            "outermost loop must iterate 't', found {tvar}"
+        )));
+    }
+    if matches!(p.peek(), Some(Tok::Sym('{'))) {
+        p.next();
+    }
+    let mut statements = Vec::new();
+    while p.peek().is_some() && !matches!(p.peek(), Some(Tok::Sym('}'))) {
+        // Skip #pragma lines' tokens conservatively.
+        if matches!(p.peek(), Some(Tok::Sym('#'))) {
+            while let Some(t) = p.peek() {
+                let stop = matches!(t, Tok::Ident(k) if k == "for");
+                if stop {
+                    break;
+                }
+                p.next();
+            }
+            continue;
+        }
+        let idx = statements.len();
+        statements.push(p.parse_statement(idx)?);
+    }
+    let spatial = p.iters.len();
+    let field_names: Vec<&str> = p.fields.iter().map(String::as_str).collect();
+    StencilProgram::new(name, spatial, &field_names, statements)
+        .map_err(ParseError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::{flop_count, load_count};
+    use crate::gallery;
+    use crate::reference::ReferenceExecutor;
+    use crate::Grid;
+
+    const JACOBI_SRC: &str = r#"
+        for (t = 0; t < T; t++)
+          for (i = 1; i < N-1; i++)
+            for (j = 1; j < N-1; j++)
+              A[t+1][i][j] = 0.2f * (A[t][i][j] + A[t][i+1][j] + A[t][i-1][j]
+                                   + A[t][i][j+1] + A[t][i][j-1]);
+    "#;
+
+    #[test]
+    fn parses_figure1_jacobi() {
+        let p = parse_stencil("jacobi", JACOBI_SRC).unwrap();
+        assert_eq!(p.spatial_dims(), 2);
+        assert_eq!(p.num_statements(), 1);
+        assert_eq!(load_count(&p.statements()[0].expr), 5);
+        assert_eq!(flop_count(&p.statements()[0].expr), 5);
+        assert_eq!(p.radius(), vec![1, 1]);
+    }
+
+    #[test]
+    fn parsed_jacobi_computes_like_the_gallery_jacobi() {
+        let parsed = parse_stencil("jacobi", JACOBI_SRC).unwrap();
+        let builtin = gallery::jacobi2d();
+        let init = Grid::random(&[12, 12], 9);
+        let mut a = ReferenceExecutor::new(&parsed, &[init.clone()]);
+        let mut b = ReferenceExecutor::new(&builtin, &[init]);
+        a.run(4);
+        b.run(4);
+        // The gallery builds the sum in the same order as the source, so
+        // both must agree bit-for-bit.
+        assert!(a.field(0).bit_equal(b.field(0)));
+    }
+
+    #[test]
+    fn parses_multi_statement_fdtd_style_input() {
+        let src = r#"
+            for (t = 0; t < T; t++) {
+              for (i = 1; i < N-1; i++)
+                for (j = 1; j < N-1; j++)
+                  ey[t+1][i][j] = ey[t][i][j] - 0.5f * (hz[t][i][j] - hz[t][i-1][j]);
+              for (i = 1; i < N-1; i++)
+                for (j = 1; j < N-1; j++)
+                  hz[t+1][i][j] = hz[t][i][j] - 0.7f * (ey[t+1][i+1][j] - ey[t+1][i][j]);
+            }
+        "#;
+        let p = parse_stencil("mini_fdtd", src).unwrap();
+        assert_eq!(p.num_statements(), 2);
+        assert_eq!(p.field_names(), &["ey".to_string(), "hz".to_string()]);
+        // hz reads ey[t+1]: same-iteration (dt = 0) forward dependence.
+        let hz = &p.statements()[1];
+        assert!(hz.expr.loads().iter().any(|a| a.dt == 0));
+    }
+
+    #[test]
+    fn parses_sqrtf_and_unary_minus() {
+        let src = r#"
+            for (t = 0; t < T; t++)
+              for (i = 1; i < N-1; i++)
+                A[t+1][i] = sqrtf(A[t][i+1] * A[t][i+1]) - -1.0f;
+        "#;
+        let p = parse_stencil("g", src).unwrap();
+        assert_eq!(flop_count(&p.statements()[0].expr), 1 + 3 + 1 + 1);
+    }
+
+    #[test]
+    fn rejects_future_reads() {
+        let src = r#"
+            for (t = 0; t < T; t++)
+              for (i = 1; i < N-1; i++)
+                A[t+1][i] = A[t+2][i];
+        "#;
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.0.contains("future"), "{err}");
+    }
+
+    #[test]
+    fn rejects_self_dependence_within_iteration() {
+        // A[t+1] reading A[t+1] of the same field: scheduled distance 0.
+        let src = r#"
+            for (t = 0; t < T; t++)
+              for (i = 1; i < N-1; i++)
+                A[t+1][i] = A[t+1][i-1];
+        "#;
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.0.contains("not carried"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_iterator_order() {
+        let src = r#"
+            for (t = 0; t < T; t++)
+              for (i = 1; i < N-1; i++)
+                for (j = 1; j < N-1; j++)
+                  A[t+1][i][j] = A[t][j][i];
+        "#;
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.0.contains("order must match"), "{err}");
+    }
+
+    #[test]
+    fn pragma_lines_are_ignored() {
+        let src = r#"
+            for (t = 0; t < T; t++)
+              # pragma ivdep
+              for (i = 1; i < N-1; i++)
+                A[t+1][i] = 0.5f * (A[t][i-1] + A[t][i+1]);
+        "#;
+        assert!(parse_stencil("p", src).is_ok());
+    }
+}

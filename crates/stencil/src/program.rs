@@ -1,0 +1,456 @@
+//! The stencil program model: fields, statements, constant-offset accesses
+//! and right-hand-side expressions.
+//!
+//! A [`StencilProgram`] is the canonical form the paper's §3.2 preprocessing
+//! produces: an outer time loop containing `k` perfectly nested, fully
+//! parallel statement nests, where all dependences are carried by the
+//! combined outer dimension `k·t + i`.
+
+use std::fmt;
+
+/// Identifies a field (array) of a stencil program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FieldId(pub usize);
+
+/// A read access `field[t - dt][s + offsets]`.
+///
+/// `dt` counts whole outer-loop iterations backwards from the iteration of
+/// the *reading* statement. `dt == 0` reads the value produced in the same
+/// outer iteration by an *earlier* statement (multi-statement kernels such
+/// as fdtd-2d); `dt >= 1` reads values from previous iterations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Access {
+    /// Field being read.
+    pub field: FieldId,
+    /// Time distance in outer-loop iterations (`>= 0`).
+    pub dt: i64,
+    /// Constant spatial offsets, one per spatial dimension.
+    pub offsets: Vec<i64>,
+}
+
+/// Right-hand-side expression of a statement.
+///
+/// The expression language is deliberately tiny — weighted sums, products,
+/// and square roots cover every stencil in the paper's evaluation — but
+/// general enough that FLOP counting (Table 3) and bit-exact re-evaluation
+/// in the GPU simulator fall out naturally.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StencilExpr {
+    /// A grid read.
+    Load(Access),
+    /// An `f32` literal.
+    Const(f32),
+    /// Addition.
+    Add(Box<StencilExpr>, Box<StencilExpr>),
+    /// Subtraction.
+    Sub(Box<StencilExpr>, Box<StencilExpr>),
+    /// Multiplication.
+    Mul(Box<StencilExpr>, Box<StencilExpr>),
+    /// Square root (counted as 3 FLOPs, see [`crate::characteristics`]).
+    Sqrt(Box<StencilExpr>),
+}
+
+impl StencilExpr {
+    /// A load of `field` at time distance `dt` and spatial `offsets`.
+    pub fn load(field: FieldId, dt: i64, offsets: &[i64]) -> StencilExpr {
+        StencilExpr::Load(Access {
+            field,
+            dt,
+            offsets: offsets.to_vec(),
+        })
+    }
+
+    /// Sums a list of expressions left-to-right.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn sum(terms: Vec<StencilExpr>) -> StencilExpr {
+        let mut it = terms.into_iter();
+        let first = it.next().expect("sum of no terms");
+        it.fold(first, |acc, t| {
+            StencilExpr::Add(Box::new(acc), Box::new(t))
+        })
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scale(self, c: f32) -> StencilExpr {
+        StencilExpr::Mul(Box::new(StencilExpr::Const(c)), Box::new(self))
+    }
+
+    /// Collects all loads in evaluation order.
+    pub fn loads(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.visit_loads(&mut |a| out.push(a));
+        out
+    }
+
+    fn visit_loads<'a>(&'a self, f: &mut impl FnMut(&'a Access)) {
+        match self {
+            StencilExpr::Load(a) => f(a),
+            StencilExpr::Const(_) => {}
+            StencilExpr::Add(a, b) | StencilExpr::Sub(a, b) | StencilExpr::Mul(a, b) => {
+                a.visit_loads(f);
+                b.visit_loads(f);
+            }
+            StencilExpr::Sqrt(a) => a.visit_loads(f),
+        }
+    }
+
+    /// Evaluates with a load resolver, reproducing `f32` semantics exactly.
+    pub fn eval(&self, load: &mut impl FnMut(&Access) -> f32) -> f32 {
+        match self {
+            StencilExpr::Load(a) => load(a),
+            StencilExpr::Const(c) => *c,
+            StencilExpr::Add(a, b) => a.eval(load) + b.eval(load),
+            StencilExpr::Sub(a, b) => a.eval(load) - b.eval(load),
+            StencilExpr::Mul(a, b) => a.eval(load) * b.eval(load),
+            StencilExpr::Sqrt(a) => a.eval(load).sqrt(),
+        }
+    }
+}
+
+/// One statement of the outer time loop: `field[s] = expr`.
+#[derive(Clone, Debug)]
+pub struct Statement {
+    /// Statement name (for diagnostics and emitted code).
+    pub name: String,
+    /// The field this statement writes (each field has one writer).
+    pub writes: FieldId,
+    /// The right-hand side.
+    pub expr: StencilExpr,
+}
+
+/// A complete stencil program in canonical (§3.2) form.
+#[derive(Clone, Debug)]
+pub struct StencilProgram {
+    name: String,
+    spatial_dims: usize,
+    field_names: Vec<String>,
+    statements: Vec<Statement>,
+}
+
+impl StencilProgram {
+    /// Builds and validates a program.
+    ///
+    /// Validation enforces the paper's §3.3.1 input constraints:
+    ///
+    /// * every access arity matches `spatial_dims`;
+    /// * every field is written by exactly one statement;
+    /// * every dependence is carried by the combined outer dimension
+    ///   `k·t + i` — i.e. each read has scheduled time distance
+    ///   `k·dt + (i - j) >= 1` where `j` is the writing statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn new(
+        name: &str,
+        spatial_dims: usize,
+        field_names: &[&str],
+        statements: Vec<Statement>,
+    ) -> Result<StencilProgram, String> {
+        let p = StencilProgram {
+            name: name.to_string(),
+            spatial_dims,
+            field_names: field_names.iter().map(|s| s.to_string()).collect(),
+            statements,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let k = self.statements.len() as i64;
+        if k == 0 {
+            return Err("program has no statements".into());
+        }
+        let mut writer = vec![None; self.field_names.len()];
+        for (i, st) in self.statements.iter().enumerate() {
+            let f = st.writes.0;
+            if f >= self.field_names.len() {
+                return Err(format!("statement {} writes unknown field {f}", st.name));
+            }
+            if let Some(prev) = writer[f] {
+                return Err(format!(
+                    "field {} written by both statement {prev} and {i}",
+                    self.field_names[f]
+                ));
+            }
+            writer[f] = Some(i);
+        }
+        for (i, st) in self.statements.iter().enumerate() {
+            for a in st.expr.loads() {
+                if a.offsets.len() != self.spatial_dims {
+                    return Err(format!(
+                        "access to field {} in {} has arity {} != {}",
+                        self.field_names[a.field.0],
+                        st.name,
+                        a.offsets.len(),
+                        self.spatial_dims
+                    ));
+                }
+                if a.dt < 0 {
+                    return Err(format!("negative time distance in {}", st.name));
+                }
+                let j = writer[a.field.0].ok_or_else(|| {
+                    format!(
+                        "field {} is read but never written",
+                        self.field_names[a.field.0]
+                    )
+                })?;
+                let dtau = k * a.dt + (i as i64 - j as i64);
+                if dtau < 1 {
+                    return Err(format!(
+                        "dependence not carried by outer dimension: statement {} reads \
+                         field {} at scheduled distance {dtau} (must be >= 1)",
+                        st.name, self.field_names[a.field.0]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of spatial dimensions.
+    pub fn spatial_dims(&self) -> usize {
+        self.spatial_dims
+    }
+
+    /// Number of statements `k` in the outer loop body.
+    pub fn num_statements(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// The statements in outer-loop order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// Field names, indexed by [`FieldId`].
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.field_names.len()
+    }
+
+    /// Index of the statement writing `field`.
+    pub fn writer_of(&self, field: FieldId) -> usize {
+        self.statements
+            .iter()
+            .position(|s| s.writes == field)
+            .expect("validated program: every field has a writer")
+    }
+
+    /// Maximum `|offset|` over all accesses and dimensions (the stencil
+    /// radius), per spatial dimension.
+    pub fn radius(&self) -> Vec<i64> {
+        let mut r = vec![0i64; self.spatial_dims];
+        for st in &self.statements {
+            for a in st.expr.loads() {
+                for (d, &o) in a.offsets.iter().enumerate() {
+                    r[d] = r[d].max(o.abs());
+                }
+            }
+        }
+        r
+    }
+
+    /// Maximum time distance `dt` over all accesses.
+    pub fn max_dt(&self) -> i64 {
+        self.statements
+            .iter()
+            .flat_map(|s| s.expr.loads())
+            .map(|a| a.dt)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Renders the program as C-like source (the paper's Fig. 1 view).
+    pub fn to_c_like(&self) -> String {
+        let mut out = String::new();
+        let iters: Vec<String> = (0..self.spatial_dims)
+            .map(|d| {
+                char::from_u32('i' as u32 + d as u32)
+                    .expect("few dims")
+                    .to_string()
+            })
+            .collect();
+        out.push_str("for (t = 0; t < T; t++) {\n");
+        for st in &self.statements {
+            for (d, it) in iters.iter().enumerate() {
+                out.push_str(&"  ".repeat(d + 1));
+                out.push_str(&format!(
+                    "for ({it} = r{d}; {it} < N{d} - r{d}; {it}++)\n"
+                ));
+            }
+            out.push_str(&"  ".repeat(self.spatial_dims + 1));
+            out.push_str(&format!(
+                "{}[t+1]{} = {};\n",
+                self.field_names[st.writes.0],
+                iters.iter().map(|i| format!("[{i}]")).collect::<String>(),
+                self.expr_to_c(&st.expr, &iters)
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn expr_to_c(&self, e: &StencilExpr, iters: &[String]) -> String {
+        match e {
+            StencilExpr::Load(a) => {
+                let idx: String = a
+                    .offsets
+                    .iter()
+                    .zip(iters)
+                    .map(|(&o, it)| match o {
+                        0 => format!("[{it}]"),
+                        o if o > 0 => format!("[{it}+{o}]"),
+                        o => format!("[{it}{o}]"),
+                    })
+                    .collect();
+                format!("{}[t{}]{}", self.field_names[a.field.0],
+                    if a.dt == 0 { "+1".to_string() } else if a.dt == 1 { String::new() } else { format!("-{}", a.dt - 1) },
+                    idx)
+            }
+            StencilExpr::Const(c) => format!("{c:?}f"),
+            StencilExpr::Add(a, b) => {
+                format!("({} + {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+            }
+            StencilExpr::Sub(a, b) => {
+                format!("({} - {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+            }
+            StencilExpr::Mul(a, b) => {
+                format!("({} * {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+            }
+            StencilExpr::Sqrt(a) => format!("sqrtf({})", self.expr_to_c(a, iters)),
+        }
+    }
+}
+
+impl fmt::Display for StencilProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_c_like())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jacobi_like() -> Result<StencilProgram, String> {
+        let a = FieldId(0);
+        StencilProgram::new(
+            "test",
+            1,
+            &["A"],
+            vec![Statement {
+                name: "S0".into(),
+                writes: a,
+                expr: StencilExpr::sum(vec![
+                    StencilExpr::load(a, 1, &[-1]),
+                    StencilExpr::load(a, 1, &[1]),
+                ])
+                .scale(0.5),
+            }],
+        )
+    }
+
+    #[test]
+    fn valid_program_builds() {
+        let p = jacobi_like().unwrap();
+        assert_eq!(p.num_statements(), 1);
+        assert_eq!(p.radius(), vec![1]);
+        assert_eq!(p.max_dt(), 1);
+    }
+
+    #[test]
+    fn rejects_uncarried_dependence() {
+        let a = FieldId(0);
+        // Statement reads its own output at dt=0: scheduled distance 0.
+        let err = StencilProgram::new(
+            "bad",
+            1,
+            &["A"],
+            vec![Statement {
+                name: "S0".into(),
+                writes: a,
+                expr: StencilExpr::load(a, 0, &[1]),
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("not carried"), "{err}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let a = FieldId(0);
+        let err = StencilProgram::new(
+            "bad",
+            2,
+            &["A"],
+            vec![Statement {
+                name: "S0".into(),
+                writes: a,
+                expr: StencilExpr::load(a, 1, &[1]),
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_writer() {
+        let a = FieldId(0);
+        let st = |n: &str| Statement {
+            name: n.into(),
+            writes: a,
+            expr: StencilExpr::load(a, 1, &[0]),
+        };
+        let err =
+            StencilProgram::new("bad", 1, &["A"], vec![st("S0"), st("S1")]).unwrap_err();
+        assert!(err.contains("written by both"), "{err}");
+    }
+
+    #[test]
+    fn multi_statement_dt0_is_legal_forward() {
+        // S1 reads S0's output of the same iteration: distance k*0 + 1 = 1.
+        let (a, b) = (FieldId(0), FieldId(1));
+        let p = StencilProgram::new(
+            "pipe",
+            1,
+            &["A", "B"],
+            vec![
+                Statement {
+                    name: "S0".into(),
+                    writes: a,
+                    expr: StencilExpr::load(b, 1, &[0]),
+                },
+                Statement {
+                    name: "S1".into(),
+                    writes: b,
+                    expr: StencilExpr::load(a, 0, &[-1]),
+                },
+            ],
+        );
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn c_rendering_mentions_fields() {
+        let p = jacobi_like().unwrap();
+        let c = p.to_c_like();
+        assert!(c.contains("for (t = 0; t < T; t++)"));
+        assert!(c.contains("A[t+1][i]"));
+    }
+}

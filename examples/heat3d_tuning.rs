@@ -1,0 +1,70 @@
+//! Tile-size selection for heat-3d with the §3.7 load-to-compute model:
+//! sweep `(h, w0, w1, w2)`, reject candidates exceeding the shared-memory
+//! budget, and report the Pareto view the paper's selection is based on.
+//!
+//! Run with: `cargo run --release --example heat3d_tuning`
+
+use hybrid_tiling::tilesize::{evaluate_tile, select_tile_sizes, SearchSpace};
+use hybrid_tiling::TileParams;
+use stencil::gallery;
+
+fn main() {
+    let program = gallery::heat3d();
+    let smem_limit = 48 * 1024;
+
+    println!("heat 3D tile-size sweep (steady-state loads per iteration):\n");
+    println!(
+        "{:>3} {:>4} {:>4} {:>4} {:>12} {:>12} {:>10} {:>8}",
+        "h", "w0", "w1", "w2", "iterations", "loads", "smem(KB)", "ratio"
+    );
+    let space = SearchSpace {
+        h: vec![1, 2, 3],
+        w0: vec![1, 3, 5],
+        wi: vec![vec![2, 4], vec![32]],
+    };
+    for &h in &space.h {
+        for &w0 in &space.w0 {
+            for &w1 in &space.wi[0] {
+                for &w2 in &space.wi[1] {
+                    let params = TileParams::new(h, &[w0, w1, w2]);
+                    let Ok(m) = evaluate_tile(&program, &params) else {
+                        continue;
+                    };
+                    let fits = m.smem_bytes <= smem_limit;
+                    println!(
+                        "{:>3} {:>4} {:>4} {:>4} {:>12} {:>12} {:>10.1} {:>8.3}{}",
+                        h,
+                        w0,
+                        w1,
+                        w2,
+                        m.iterations,
+                        m.steady_loads,
+                        m.smem_bytes as f64 / 1024.0,
+                        m.ratio(),
+                        if fits { "" } else { "  (exceeds 48KB)" }
+                    );
+                }
+            }
+        }
+    }
+
+    let best = select_tile_sizes(&program, smem_limit, &space)
+        .expect("some candidate fits");
+    println!(
+        "\nselected: h = {}, w = {:?}  (ratio {:.3}, {:.1} KB shared)",
+        best.params.h,
+        best.params.w,
+        best.ratio(),
+        best.smem_bytes as f64 / 1024.0
+    );
+    println!(
+        "paper note: the closed form 2(1+2h+h^2+w0(h+1))·w1·w2 matches the \
+         enumerated iteration count: {}",
+        hybrid_tiling::tilesize::formula_3d_iterations(
+            best.params.h,
+            best.params.w[0],
+            best.params.w[1],
+            best.params.w[2]
+        ) == best.iterations
+    );
+}

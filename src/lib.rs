@@ -1,0 +1,45 @@
+//! # hybrid-hexagonal — reproduction of *Hybrid Hexagonal/Classical Tiling
+//! for GPUs* (Grosser, Cohen, Holewinski, Sadayappan, Verdoolaege — CGO 2014)
+//!
+//! This is the umbrella crate: it re-exports the member crates so examples
+//! and downstream users have a single dependency.
+//!
+//! * [`polylib`] — exact rational polyhedral library (the isl substitute);
+//! * [`stencil`] — stencil programs, dependence analysis, oracle executor,
+//!   and the paper's benchmark gallery;
+//! * [`hybrid_tiling`] — the paper's contribution: hexagonal tile shapes,
+//!   two-phase schedules, classical inner tiling, verification, and the
+//!   §3.7 tile-size model;
+//! * [`gpu_codegen`] — kernel IR, the §4 code-generation strategies, and
+//!   CUDA/PTX pretty-printers;
+//! * [`gpusim`] — the CUDA-execution-model simulator with Table 5's
+//!   hardware counters and the roofline timing model;
+//! * [`baselines`] — PPCG-, Par4All-, Overtile- and Patus-like comparator
+//!   compilers plus the §5 diamond-tiling model.
+//!
+//! ```
+//! use hybrid_hexagonal::prelude::*;
+//!
+//! let program = stencil::gallery::jacobi2d();
+//! let schedule = HybridSchedule::compute(&program, &TileParams::new(2, &[3, 8]))?;
+//! assert_eq!(schedule.hex().count_points(), 2 * 3 * (3 + 3));
+//! # Ok::<(), hybrid_tiling::TileError>(())
+//! ```
+
+pub use baselines;
+pub use gpu_codegen;
+pub use gpusim;
+pub use hybrid_tiling;
+pub use polylib;
+pub use stencil;
+
+/// Convenient single-import surface for examples and tests.
+pub mod prelude {
+    pub use baselines::{generate_overtile, generate_par4all, generate_ppcg};
+    pub use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
+    pub use gpusim::{DeviceConfig, GpuSim};
+    pub use hybrid_tiling::{
+        verify_schedule, DepCone, HexShape, HybridSchedule, TileParams,
+    };
+    pub use stencil::{Grid, ReferenceExecutor, StencilProgram};
+}

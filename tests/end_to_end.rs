@@ -1,0 +1,133 @@
+//! Cross-crate integration: every compiler (hybrid at each optimization
+//! ladder step and every baseline) produces bit-identical results to the
+//! sequential oracle for every gallery stencil, on fully simulated runs.
+
+use baselines::{generate_overtile, generate_par4all, generate_patus, generate_ppcg};
+use gpu_codegen::ir::LaunchPlan;
+use hybrid_hexagonal::prelude::*;
+use stencil::gallery;
+
+fn assert_bit_exact(
+    program: &StencilProgram,
+    dims: &[usize],
+    steps: usize,
+    label: &str,
+    plan: &LaunchPlan,
+) {
+    let planes = (program.max_dt() as usize) + 1;
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(dims, 42 + f as u64))
+        .collect();
+    let mut oracle = ReferenceExecutor::new(program, &init);
+    oracle.run(steps);
+    let mut sim = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
+    sim.run_plan(plan);
+    let out = steps % planes;
+    for f in 0..program.num_fields() {
+        assert!(
+            sim.plane(f, out).bit_equal(oracle.field(f)),
+            "{} {label}: field {f} diverged (max abs diff {:e})",
+            program.name(),
+            sim.plane(f, out).max_abs_diff(oracle.field(f))
+        );
+    }
+}
+
+fn hybrid_plan(program: &StencilProgram, dims: &[usize], steps: usize, opts: CodegenOptions) -> LaunchPlan {
+    let params = match (program.name(), program.spatial_dims()) {
+        (_, 1) => TileParams::new(2, &[3]),
+        ("fdtd2d", _) => TileParams::new(2, &[2, 8]),
+        (_, 2) => TileParams::new(2, &[3, 8]),
+        _ => TileParams::new(1, &[1, 3, 8]),
+    };
+    gpu_codegen::generate_hybrid(program, &params, dims, steps, opts)
+        .expect("hybrid plan")
+}
+
+#[test]
+fn hybrid_ladder_matches_oracle_on_2d_stencils() {
+    for program in [
+        gallery::jacobi2d(),
+        gallery::laplacian2d(),
+        gallery::heat2d(),
+        gallery::gradient2d(),
+        gallery::fdtd2d(),
+    ] {
+        let dims = [20usize, 20];
+        let steps = 5;
+        for (label, opts) in CodegenOptions::ladder() {
+            let plan = hybrid_plan(&program, &dims, steps, opts);
+            assert_bit_exact(&program, &dims, steps, label, &plan);
+        }
+    }
+}
+
+#[test]
+fn hybrid_ladder_matches_oracle_on_3d_stencils() {
+    for program in [
+        gallery::laplacian3d(),
+        gallery::heat3d(),
+        gallery::gradient3d(),
+    ] {
+        let dims = [10usize, 10, 12];
+        let steps = 4;
+        for (label, opts) in CodegenOptions::ladder() {
+            let plan = hybrid_plan(&program, &dims, steps, opts);
+            assert_bit_exact(&program, &dims, steps, label, &plan);
+        }
+    }
+}
+
+#[test]
+fn hybrid_matches_oracle_on_1d_multi_dt_stencil() {
+    let program = gallery::contrived1d();
+    let plan = hybrid_plan(&program, &[40], 6, CodegenOptions::best());
+    assert_bit_exact(&program, &[40], 6, "hybrid-1d", &plan);
+}
+
+#[test]
+fn baselines_match_oracle() {
+    for program in [gallery::jacobi2d(), gallery::heat2d(), gallery::fdtd2d()] {
+        let dims = [24usize, 24];
+        let steps = 10;
+        assert_bit_exact(&program, &dims, steps, "par4all", &generate_par4all(&program, &dims, steps));
+        assert_bit_exact(&program, &dims, steps, "ppcg", &generate_ppcg(&program, &dims, steps));
+        assert_bit_exact(&program, &dims, steps, "overtile", &generate_overtile(&program, &dims, steps));
+    }
+    for program in [gallery::laplacian3d(), gallery::heat3d(), gallery::gradient3d()] {
+        let dims = [10usize, 10, 10];
+        let steps = 3;
+        assert_bit_exact(&program, &dims, steps, "par4all", &generate_par4all(&program, &dims, steps));
+        assert_bit_exact(&program, &dims, steps, "ppcg", &generate_ppcg(&program, &dims, steps));
+        assert_bit_exact(&program, &dims, steps, "overtile", &generate_overtile(&program, &dims, steps));
+        if baselines::patus::supported(&program) {
+            assert_bit_exact(&program, &dims, steps, "patus", &generate_patus(&program, &dims, steps));
+        }
+    }
+}
+
+#[test]
+fn overtile_multi_step_time_tiles_match_oracle() {
+    let program = gallery::jacobi2d();
+    let dims = [20usize, 20];
+    let plan = baselines::overtile::generate_overtile_ts(&program, &dims, 15, 5);
+    assert_bit_exact(&program, &dims, 15, "overtile-ts5", &plan);
+}
+
+#[test]
+fn alignment_translation_preserves_results() {
+    // The §4.2.3 global translation changes addresses, never values.
+    let program = gallery::jacobi2d();
+    let dims = [20usize, 20];
+    let steps = 5;
+    let params = TileParams::new(2, &[3, 8]);
+    let opts = CodegenOptions::best();
+    let plan = gpu_codegen::generate_hybrid(&program, &params, &dims, steps, opts).unwrap();
+    let off = gpu_codegen::hybrid_gen::alignment_offset_words(&program, &params, &opts);
+    let init = vec![Grid::random(&dims, 9)];
+    let mut oracle = ReferenceExecutor::new(&program, &init);
+    oracle.run(steps);
+    let mut sim = GpuSim::with_global_offset(DeviceConfig::gtx470(), &init, 2, off);
+    sim.run_plan(&plan);
+    assert!(sim.plane(0, steps % 2).bit_equal(oracle.field(0)));
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration: the *shape* of the paper's evaluation must
+//! hold on the simulator — who wins, in which direction the optimization
+//! ladder moves, and what the counters say. Absolute numbers are not
+//! asserted (the substrate is a model, not the authors' testbed).
+
+use gpusim::timing;
+use hybrid_bench::{measure, Compiler};
+use gpusim::DeviceConfig;
+use stencil::gallery;
+
+fn gstencils(c: Compiler, p: &stencil::StencilProgram, dims: &[usize], steps: usize) -> f64 {
+    measure(c, p, &DeviceConfig::gtx470(), dims, steps, 2).gstencils
+}
+
+#[test]
+fn hybrid_beats_every_baseline_on_2d_heat() {
+    let p = gallery::heat2d();
+    let dims = [256usize, 256];
+    let steps = 20;
+    let hybrid = gstencils(Compiler::Hybrid, &p, &dims, steps);
+    let ppcg = gstencils(Compiler::Ppcg, &p, &dims, steps);
+    let par4all = gstencils(Compiler::Par4all, &p, &dims, steps);
+    let overtile = gstencils(Compiler::Overtile, &p, &dims, steps);
+    assert!(hybrid > ppcg, "hybrid {hybrid} !> ppcg {ppcg}");
+    assert!(hybrid > par4all, "hybrid {hybrid} !> par4all {par4all}");
+    assert!(hybrid > overtile, "hybrid {hybrid} !> overtile {overtile}");
+    // Overtile's time tiling also beats plain spatial tiling in 2D.
+    assert!(overtile > ppcg, "overtile {overtile} !> ppcg {ppcg}");
+}
+
+#[test]
+fn hybrid_beats_baselines_on_3d_heat() {
+    let p = gallery::heat3d();
+    let dims = [64usize, 64, 64];
+    let steps = 6;
+    let hybrid = gstencils(Compiler::Hybrid, &p, &dims, steps);
+    let ppcg = gstencils(Compiler::Ppcg, &p, &dims, steps);
+    assert!(hybrid > ppcg, "hybrid {hybrid} !> ppcg {ppcg}");
+}
+
+#[test]
+fn space_tiling_baselines_are_dram_bound() {
+    let p = gallery::heat2d();
+    let m = measure(
+        Compiler::Ppcg,
+        &p,
+        &DeviceConfig::gtx470(),
+        &[512, 512],
+        10,
+        2,
+    );
+    assert_eq!(m.bound_by, "dram", "per-step kernels must stream DRAM");
+    // Hybrid lifts the kernel off the DRAM roof.
+    let h = measure(
+        Compiler::Hybrid,
+        &p,
+        &DeviceConfig::gtx470(),
+        &[512, 512],
+        16,
+        2,
+    );
+    assert_ne!(h.bound_by, "dram", "time tiling must amortize DRAM traffic");
+}
+
+#[test]
+fn hybrid_dram_traffic_is_a_fraction_of_ppcg() {
+    let p = gallery::heat2d();
+    let dims = [512usize, 512];
+    let steps = 16;
+    let hybrid = measure(Compiler::Hybrid, &p, &DeviceConfig::gtx470(), &dims, steps, 2);
+    let ppcg = measure(Compiler::Ppcg, &p, &DeviceConfig::gtx470(), &dims, steps, 2);
+    assert!(
+        (hybrid.counters.dram_bytes() as f64) < 0.7 * ppcg.counters.dram_bytes() as f64,
+        "hybrid {} vs ppcg {} DRAM bytes",
+        hybrid.counters.dram_bytes(),
+        ppcg.counters.dram_bytes()
+    );
+}
+
+#[test]
+fn gtx470_is_consistently_faster_than_nvs5200m() {
+    let p = gallery::jacobi2d();
+    let dims = [256usize, 256];
+    let steps = 16;
+    for c in [Compiler::Ppcg, Compiler::Hybrid] {
+        let big = measure(c, &p, &DeviceConfig::gtx470(), &dims, steps, 2).gstencils;
+        let small = measure(c, &p, &DeviceConfig::nvs5200m(), &dims, steps, 2).gstencils;
+        assert!(big > 2.0 * small, "{c:?}: {big} !>> {small}");
+    }
+}
+
+#[test]
+fn static_reuse_bank_conflicts_exceed_dynamic() {
+    // Table 5's (e) vs (f): mod-mapped shared addressing replays loads.
+    use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
+    use hybrid_tiling::TileParams;
+    let p = gallery::heat3d();
+    let params = TileParams::new(2, &[5, 4, 32]);
+    let dims = [64usize, 64, 64];
+    let run = |smem| {
+        let opts = CodegenOptions {
+            smem,
+            aligned_loads: true,
+            unroll: true,
+        };
+        let plan = generate_hybrid(&p, &params, &dims, 6, opts).unwrap();
+        hybrid_bench::measure_plan(&plan, 0, &p, &DeviceConfig::gtx470(), &dims, 6, 2)
+    };
+    let stat = run(SmemStrategy::ReuseStatic);
+    let dynm = run(SmemStrategy::ReuseDynamic);
+    assert!(
+        stat.counters.shared_loads_per_request()
+            > dynm.counters.shared_loads_per_request() + 0.1,
+        "static {} vs dynamic {}",
+        stat.counters.shared_loads_per_request(),
+        dynm.counters.shared_loads_per_request()
+    );
+}
+
+#[test]
+fn launch_overhead_visible_for_many_tiny_kernels() {
+    let p = gallery::jacobi2d();
+    let m = measure(
+        Compiler::Par4all,
+        &p,
+        &DeviceConfig::nvs5200m(),
+        &[64, 64],
+        50,
+        2,
+    );
+    let t = timing::estimate_time(&m.counters, &DeviceConfig::nvs5200m());
+    assert!(t.launch > 0.0);
+    assert_eq!(m.counters.launches, 50);
+}

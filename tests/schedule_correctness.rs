@@ -1,0 +1,144 @@
+//! Cross-crate integration: exhaustive hybrid-schedule verification for
+//! every gallery stencil, including the storage anti-dependences the
+//! executable kernels must respect, plus property-based verification over
+//! random cones and tile parameters.
+
+use hybrid_hexagonal::prelude::*;
+use hybrid_tiling::verify::{verify_schedule_storage, verify_with_vectors};
+use hybrid_tiling::HexShape;
+use polylib::Rat;
+use proptest::prelude::*;
+use stencil::domain::ScheduledDomain;
+use stencil::{gallery, DistanceVector};
+
+#[test]
+fn every_gallery_stencil_verifies_flow_and_storage() {
+    let cases: Vec<(StencilProgram, TileParams, Vec<usize>, usize)> = vec![
+        (gallery::jacobi2d(), TileParams::new(2, &[2, 3]), vec![16, 12], 9),
+        (gallery::laplacian2d(), TileParams::new(1, &[1, 4]), vec![14, 14], 8),
+        (gallery::heat2d(), TileParams::new(2, &[3, 2]), vec![14, 12], 7),
+        (gallery::gradient2d(), TileParams::new(1, &[2, 3]), vec![12, 12], 6),
+        (gallery::fdtd2d(), TileParams::new(2, &[2, 3]), vec![12, 12], 4),
+        (gallery::laplacian3d(), TileParams::new(1, &[1, 2, 3]), vec![8, 8, 8], 4),
+        (gallery::heat3d(), TileParams::new(1, &[2, 2, 2]), vec![8, 8, 8], 4),
+        (gallery::gradient3d(), TileParams::new(1, &[1, 3, 2]), vec![8, 8, 8], 4),
+        (gallery::contrived1d(), TileParams::new(2, &[3]), vec![36], 9),
+    ];
+    for (program, params, dims, steps) in cases {
+        let domain = ScheduledDomain::new(&program, &dims, steps);
+        let flow = HybridSchedule::compute(&program, &params)
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name()));
+        verify_schedule(&flow, &program, &domain)
+            .unwrap_or_else(|e| panic!("{} flow: {e}", program.name()));
+        let exec = HybridSchedule::compute_executable(&program, &params)
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name()));
+        verify_schedule_storage(&exec, &program, &domain)
+            .unwrap_or_else(|e| panic!("{} storage: {e}", program.name()));
+    }
+}
+
+#[test]
+fn full_tiles_all_carry_identical_point_counts() {
+    let program = gallery::jacobi2d();
+    let params = TileParams::new(2, &[3, 4]);
+    let schedule = HybridSchedule::compute(&program, &params).unwrap();
+    let domain = ScheduledDomain::new(&program, &[40, 30], 20);
+    let report = verify_schedule(&schedule, &program, &domain).unwrap();
+    assert!(report.full_tiles >= 8, "want several full tiles, got {}", report.full_tiles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random uniform-dependence cones with random legal tile sizes always
+    /// produce a correct hexagonal tiling of the (τ, s0) plane.
+    #[test]
+    fn random_cones_tile_correctly(
+        up in 0i64..3,
+        down in 0i64..3,
+        dt2 in 1i64..3,
+        h in 0i64..4,
+        extra_w in 0i64..3,
+    ) {
+        // Distance vectors: (1, -up), (1, down), (dt2, up) — a mix of
+        // slopes with dt > 1.
+        let vectors = vec![
+            DistanceVector::new(1, &[-up]),
+            DistanceVector::new(1, &[down]),
+            DistanceVector::new(dt2, &[up]),
+        ];
+        let cone = DepCone::from_vectors(vectors.clone()).unwrap();
+        let w0 = HexShape::min_width(cone.delta0(0), cone.delta1(0), h) + extra_w;
+        let hex = HexShape::new(cone.delta0(0), cone.delta1(0), h, w0).unwrap();
+        // Partition: every instance claimed exactly once.
+        for tau in 0..3 * hex.box_height() {
+            for s0 in -2 * hex.box_width()..2 * hex.box_width() {
+                let claims = hybrid_tiling::phase::claims(&hex, tau, s0);
+                prop_assert_eq!(claims.len(), 1, "({}, {})", tau, s0);
+            }
+        }
+    }
+
+    /// The same schedules order every dependence legally.
+    #[test]
+    fn random_cones_respect_dependences(
+        up in 0i64..3,
+        down in 0i64..3,
+        h in 0i64..3,
+        extra_w in 0i64..2,
+    ) {
+        let a = stencil::FieldId(0);
+        let mut terms = vec![stencil::StencilExpr::load(a, 1, &[0])];
+        if up > 0 {
+            terms.push(stencil::StencilExpr::load(a, 1, &[-up]));
+        }
+        if down > 0 {
+            terms.push(stencil::StencilExpr::load(a, 1, &[down]));
+        }
+        let program = StencilProgram::new(
+            "prop",
+            1,
+            &["A"],
+            vec![stencil::Statement {
+                name: "S".into(),
+                writes: a,
+                expr: stencil::StencilExpr::sum(terms).scale(0.3),
+            }],
+        )
+        .unwrap();
+        let cone = DepCone::of_program(&program).unwrap();
+        let w0 = HexShape::min_width(cone.delta0(0), cone.delta1(0), h) + extra_w;
+        let params = TileParams::new(h, &[w0]);
+        let schedule = HybridSchedule::compute(&program, &params).unwrap();
+        let reach = program.radius()[0].max(1) as usize;
+        let domain = ScheduledDomain::new(&program, &[16 * reach], 10);
+        let report = verify_schedule(&schedule, &program, &domain);
+        prop_assert!(report.is_ok(), "{:?}", report.err());
+    }
+
+    /// Storage-aware verification with explicit vector sets.
+    #[test]
+    fn explicit_vector_sets_verify(h in 1i64..3, w0 in 2i64..4) {
+        let program = gallery::contrived1d();
+        let params = TileParams::new(h, &[w0]);
+        let schedule = HybridSchedule::compute_executable(&program, &params).unwrap();
+        let domain = ScheduledDomain::new(&program, &[30], 8);
+        let vectors = stencil::deps::distance_vectors_with_storage(&program, 3);
+        prop_assert!(verify_with_vectors(&schedule, &domain, &vectors).is_ok());
+    }
+}
+
+#[test]
+fn hexagon_width_bound_is_tight() {
+    // Exactly at the inequality-(1) minimum the tiling works; below it the
+    // constructor refuses.
+    let d0 = Rat::ONE;
+    let d1 = Rat::from(2);
+    for h in 1..4 {
+        let min = HexShape::min_width(d0, d1, h);
+        assert!(HexShape::new(d0, d1, h, min).is_ok());
+        if min > 0 {
+            assert!(HexShape::new(d0, d1, h, min - 1).is_err());
+        }
+    }
+}
