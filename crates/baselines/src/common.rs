@@ -82,11 +82,7 @@ impl SpaceTiling {
     pub fn interior_guard(&self, coords: &[IExpr], lo: &[i64], hi: &[i64]) -> Cond {
         let mut c = Cond::True;
         for (d, e) in coords.iter().enumerate() {
-            c = c.and(Cond::between(
-                e,
-                IExpr::Const(lo[d]),
-                IExpr::Const(hi[d]),
-            ));
+            c = c.and(Cond::between(e, IExpr::Const(lo[d]), IExpr::Const(hi[d])));
         }
         c
     }
@@ -120,9 +116,7 @@ pub fn lower_expr(
             Box::new(lower_expr(a, next_reg, out, make_load)),
             Box::new(lower_expr(b, next_reg, out, make_load)),
         ),
-        StencilExpr::Sqrt(a) => {
-            FExpr::Sqrt(Box::new(lower_expr(a, next_reg, out, make_load)))
-        }
+        StencilExpr::Sqrt(a) => FExpr::Sqrt(Box::new(lower_expr(a, next_reg, out, make_load))),
     }
 }
 
@@ -162,6 +156,7 @@ mod tests {
     fn tile_index_decomposition_is_row_major() {
         let t = SpaceTiling::new(&[64, 64, 64], &[4, 4, 32]);
         // counts = [16, 16, 2]; block 37 = (1, 2, 1).
+        assert_eq!(t.blocks(), 16 * 16 * 2);
         let b = 37i64;
         let d0 = b.div_euclid(32).rem_euclid(16);
         let d1 = b.div_euclid(2).rem_euclid(16);

@@ -14,6 +14,10 @@ use stencil::StencilProgram;
 
 use crate::common::{self, SpaceTiling};
 
+/// Guard factory used by the chunked sweep: maps per-dimension local
+/// coordinates to an extra guard condition plus prologue statements.
+type ExtraGuard<'a> = dyn Fn(&[IExpr]) -> (Cond, Vec<Stmt>) + 'a;
+
 /// Time steps per launch chosen like Overtile's autotuner: time-tile 2D
 /// kernels, fall back to spatial tiling in 3D.
 ///
@@ -40,7 +44,10 @@ pub fn generate_overtile_ts(
     steps: usize,
     ts: usize,
 ) -> LaunchPlan {
-    assert!(ts >= 1 && steps % ts == 0, "steps must be a multiple of ts");
+    assert!(
+        ts >= 1 && steps.is_multiple_of(ts),
+        "steps must be a multiple of ts"
+    );
     let ring = program.max_dt() as usize + 1;
     assert!(
         ts == 1 || ts % ring == 1,
@@ -77,7 +84,9 @@ pub fn generate_overtile_ts(
             r
         })
         .collect();
-    let per_step: Vec<i64> = (0..n).map(|d| stmt_reach.iter().map(|r| r[d]).sum()).collect();
+    let per_step: Vec<i64> = (0..n)
+        .map(|d| stmt_reach.iter().map(|r| r[d]).sum())
+        .collect();
     // Halo consumed by statements *after* j within the same step.
     let extra: Vec<Vec<i64>> = (0..program.num_statements())
         .map(|j| {
@@ -128,9 +137,7 @@ pub fn generate_overtile_ts(
 
     // Helper: chunked sweep over a box of `region` extents; `body(locals)`
     // runs under `lin < cells(region)` plus `extra_guard`.
-    let chunked = |region: &[i64],
-                   extra: &dyn Fn(&[IExpr]) -> (Cond, Vec<Stmt>)|
-     -> Vec<Stmt> {
+    let chunked = |region: &[i64], extra: &ExtraGuard| -> Vec<Stmt> {
         let rc: i64 = region.iter().product();
         let mut locals: Vec<IExpr> = Vec::new();
         for d in 0..n {
@@ -162,21 +169,14 @@ pub fn generate_overtile_ts(
         }]
     };
 
-    let base = |d: usize| -> IExpr {
-        tiling
-            .tile_index(d)
-            .scale(tile[d])
-            .offset(-reach[d])
-    };
+    let base = |d: usize| -> IExpr { tiling.tile_index(d).scale(tile[d]).offset(-reach[d]) };
 
     let mut body: Vec<Stmt> = Vec::new();
     // Copy-in every needed plane of the reach-expanded box, every field.
     for &dt in &entry_dts {
         for field in 0..program.num_fields() {
             body.extend(chunked(&ext, &|locals| {
-                let globals: Vec<IExpr> = (0..n)
-                    .map(|d| base(d).add(locals[d].clone()))
-                    .collect();
+                let globals: Vec<IExpr> = (0..n).map(|d| base(d).add(locals[d].clone())).collect();
                 let mut g = Cond::True;
                 for (d, e) in globals.iter().enumerate() {
                     g = g.and(Cond::between(
@@ -229,28 +229,18 @@ pub fn generate_overtile_ts(
                     .collect();
                 let mut g = Cond::True;
                 for (d, e) in globals.iter().enumerate() {
-                    g = g.and(Cond::between(
-                        e,
-                        IExpr::Const(lo[d]),
-                        IExpr::Const(hi[d]),
-                    ));
+                    g = g.and(Cond::between(e, IExpr::Const(lo[d]), IExpr::Const(hi[d])));
                 }
                 // Shared-local coordinate: global - box base.
                 let slocal = |d: usize, off: i64| -> IExpr {
-                    locals[d]
-                        .clone()
-                        .offset(reach[d] - shrink[d] + off)
+                    locals[d].clone().offset(reach[d] - shrink[d] + off)
                 };
                 let mut point = Vec::new();
                 let mut next_reg = 1usize;
                 let t = IExpr::Param(0).offset(step);
-                let expr = common::lower_expr(
-                    &st.expr,
-                    &mut next_reg,
-                    &mut point,
-                    &mut |acc, reg| {
-                        let mut sidx =
-                            vec![t.clone().offset(1 - acc.dt).modulo(planes)];
+                let expr =
+                    common::lower_expr(&st.expr, &mut next_reg, &mut point, &mut |acc, reg| {
+                        let mut sidx = vec![t.clone().offset(1 - acc.dt).modulo(planes)];
                         for d in 0..n {
                             sidx.push(slocal(d, acc.offsets[d]));
                         }
@@ -259,8 +249,7 @@ pub fn generate_overtile_ts(
                             buf: acc.field.0,
                             index: sidx,
                         }
-                    },
-                );
+                    });
                 let dst = 0usize;
                 point.push(Stmt::Compute { dst, expr });
                 let mut widx = vec![t.clone().offset(1).modulo(planes)];
@@ -288,11 +277,7 @@ pub fn generate_overtile_ts(
                 .collect();
             let mut g = Cond::True;
             for (d, e) in globals.iter().enumerate() {
-                g = g.and(Cond::between(
-                    e,
-                    IExpr::Const(lo[d]),
-                    IExpr::Const(hi[d]),
-                ));
+                g = g.and(Cond::between(e, IExpr::Const(lo[d]), IExpr::Const(hi[d])));
             }
             let mut sidx = vec![out_plane.clone()];
             for d in 0..n {
@@ -344,16 +329,12 @@ pub fn generate_overtile_ts(
 }
 
 /// Generates the Overtile-like plan with the default time-tile depth.
-pub fn generate_overtile(
-    program: &StencilProgram,
-    dims: &[usize],
-    steps: usize,
-) -> LaunchPlan {
+pub fn generate_overtile(program: &StencilProgram, dims: &[usize], steps: usize) -> LaunchPlan {
     let ring = program.max_dt() as usize + 1;
     let max_ts = default_time_tile(program.spatial_dims());
     let ts = (1..=max_ts)
         .rev()
-        .find(|&ts| steps % ts == 0 && (ts == 1 || ts % ring == 1))
+        .find(|&ts| steps.is_multiple_of(ts) && (ts == 1 || ts % ring == 1))
         .unwrap_or(1);
     generate_overtile_ts(program, dims, steps, ts)
 }

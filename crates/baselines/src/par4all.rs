@@ -13,11 +13,7 @@ use stencil::StencilProgram;
 use crate::common::{self, SpaceTiling};
 
 /// Generates the Par4All-like launch plan.
-pub fn generate_par4all(
-    program: &StencilProgram,
-    dims: &[usize],
-    steps: usize,
-) -> LaunchPlan {
+pub fn generate_par4all(program: &StencilProgram, dims: &[usize], steps: usize) -> LaunchPlan {
     let n = program.spatial_dims();
     let planes = program.max_dt() + 1;
     let radius = program.radius();
@@ -38,24 +34,19 @@ pub fn generate_par4all(
             .collect();
         let mut body_point = Vec::new();
         let mut next_reg = 0usize;
-        let expr = common::lower_expr(
-            &st.expr,
-            &mut next_reg,
-            &mut body_point,
-            &mut |acc, reg| {
-                let index: Vec<IExpr> = coords
-                    .iter()
-                    .zip(&acc.offsets)
-                    .map(|(c, &o)| c.clone().offset(o))
-                    .collect();
-                Stmt::GlobalLoad {
-                    dst: reg,
-                    field: acc.field.0,
-                    plane: IExpr::Param(0).offset(1 - acc.dt).modulo(planes),
-                    index,
-                }
-            },
-        );
+        let expr = common::lower_expr(&st.expr, &mut next_reg, &mut body_point, &mut |acc, reg| {
+            let index: Vec<IExpr> = coords
+                .iter()
+                .zip(&acc.offsets)
+                .map(|(c, &o)| c.clone().offset(o))
+                .collect();
+            Stmt::GlobalLoad {
+                dst: reg,
+                field: acc.field.0,
+                plane: IExpr::Param(0).offset(1 - acc.dt).modulo(planes),
+                index,
+            }
+        });
         let dst = next_reg;
         body_point.push(Stmt::Compute { dst, expr });
         body_point.push(Stmt::GlobalStore {

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hybrid_tiling::{tilesize, DepCone, HexShape, HybridSchedule, TileParams};
 use polylib::Rat;
-use stencil::gallery;
 use std::hint::black_box;
+use stencil::gallery;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("schedule_construction");

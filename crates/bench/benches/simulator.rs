@@ -35,9 +35,8 @@ fn bench(c: &mut Criterion) {
                 aligned_loads: false,
                 unroll: true,
             };
-            let plan =
-                generate_hybrid(&program, &TileParams::new(2, &[3, 8]), &dims, steps, opts)
-                    .unwrap();
+            let plan = generate_hybrid(&program, &TileParams::new(2, &[3, 8]), &dims, steps, opts)
+                .unwrap();
             let init = vec![Grid::random(&dims, 3)];
             b.iter(|| {
                 let mut sim = GpuSim::new(DeviceConfig::gtx470(), &init, 2);

@@ -13,13 +13,27 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let p2 = gallery::heat2d();
     let p3 = gallery::heat3d();
-    for compiler in [Compiler::Ppcg, Compiler::Par4all, Compiler::Overtile, Compiler::Hybrid] {
+    for compiler in [
+        Compiler::Ppcg,
+        Compiler::Par4all,
+        Compiler::Overtile,
+        Compiler::Hybrid,
+    ] {
         g.bench_function(format!("gtx470/heat2d/{}", compiler.name()), |b| {
             b.iter(|| measure(compiler, &p2, &DeviceConfig::gtx470(), &[256, 256], 10, 2))
         });
     }
     g.bench_function("nvs5200m/heat3d/hybrid", |b| {
-        b.iter(|| measure(Compiler::Hybrid, &p3, &DeviceConfig::nvs5200m(), &[64, 64, 64], 4, 2))
+        b.iter(|| {
+            measure(
+                Compiler::Hybrid,
+                &p3,
+                &DeviceConfig::nvs5200m(),
+                &[64, 64, 64],
+                4,
+                2,
+            )
+        })
     });
     g.finish();
 }

@@ -21,7 +21,10 @@ use stencil::gallery;
 
 fn sweep_h() {
     println!("h-sweep (jacobi2d, 512x512, 48 steps, w = (3, 32), GTX 470 model):\n");
-    println!("{:>3} {:>14} {:>14} {:>12} {:>10}", "h", "GStencils/s", "DRAM MB", "launches", "bound by");
+    println!(
+        "{:>3} {:>14} {:>14} {:>12} {:>10}",
+        "h", "GStencils/s", "DRAM MB", "launches", "bound by"
+    );
     let program = gallery::jacobi2d();
     let dims = [512usize, 512];
     let steps = 48;

@@ -42,7 +42,11 @@ fn fig3() {
     let cone = DepCone::of_program(&p).expect("cone");
     println!("distance vectors: {:?}", cone.vectors());
     println!("delta0 = {}, delta1 = {}", cone.delta0(0), cone.delta1(0));
-    println!("cone generators: (-1, -{}) and (-1, {})\n", cone.delta0(0), cone.delta1(0));
+    println!(
+        "cone generators: (-1, -{}) and (-1, {})\n",
+        cone.delta0(0),
+        cone.delta1(0)
+    );
     for dt in (-4..=0).rev() {
         let mut row = String::new();
         for ds in -6..=10 {
@@ -88,10 +92,18 @@ fn fig5() {
             let c = phase::claims(&hex, tau, s0);
             row.push(match c.first() {
                 Some((Phase::Zero, pc)) => {
-                    if pc.s_tile.rem_euclid(2) == 0 { '0' } else { 'o' }
+                    if pc.s_tile.rem_euclid(2) == 0 {
+                        '0'
+                    } else {
+                        'o'
+                    }
                 }
                 Some((Phase::One, pc)) => {
-                    if pc.s_tile.rem_euclid(2) == 0 { '1' } else { 'i' }
+                    if pc.s_tile.rem_euclid(2) == 0 {
+                        '1'
+                    } else {
+                        'i'
+                    }
                 }
                 None => '?',
             });

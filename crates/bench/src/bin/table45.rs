@@ -30,9 +30,7 @@ fn main() {
     let gtx = measurements(&DeviceConfig::gtx470());
 
     println!("Table 4: Optimization steps: GFLOPS & Speedup (heat 3D)");
-    println!(
-        "  tile: h = 2, w = (5, 4, 32) [paper: (7, 10, 32); see EXPERIMENTS.md]\n"
-    );
+    println!("  tile: h = 2, w = (5, 4, 32) [paper: (7, 10, 32); see EXPERIMENTS.md]\n");
     println!("{:<36} {:>14} {:>14}", "", "NVS 5200M", "GTX 470");
     let mut prev: Option<(f64, f64)> = None;
     for ((label, m_nvs), (_, m_gtx)) in nvs.iter().zip(&gtx) {

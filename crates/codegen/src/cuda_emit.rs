@@ -160,7 +160,11 @@ pub fn kernel_to_cuda(kernel: &Kernel) -> String {
         let dims: String = b.dims.iter().map(|d| format!("[{d}]")).collect();
         let _ = writeln!(out, "  __shared__ float {}{dims};", b.name);
     }
-    let _ = writeln!(out, "  float r0 /* .. r{} */;", kernel.n_regs.saturating_sub(1));
+    let _ = writeln!(
+        out,
+        "  float r0 /* .. r{} */;",
+        kernel.n_regs.saturating_sub(1)
+    );
     emit_stmts(&mut out, &kernel.body, kernel, 1);
     out.push_str("}\n");
     out

@@ -126,20 +126,30 @@ pub fn generate_hybrid(
     let domain = ScheduledDomain::new(program, dims, steps);
     let hex = schedule.hex();
     let rows: Vec<Option<(i64, i64)>> = (0..height).map(|a| hex.row_range(a)).collect();
-    let b_min = rows.iter().flatten().map(|r| r.0).min().expect("non-empty hexagon");
-    let b_max = rows.iter().flatten().map(|r| r.1).max().expect("non-empty hexagon");
+    let b_min = rows
+        .iter()
+        .flatten()
+        .map(|r| r.0)
+        .min()
+        .expect("non-empty hexagon");
+    let b_max = rows
+        .iter()
+        .flatten()
+        .map(|r| r.1)
+        .max()
+        .expect("non-empty hexagon");
     let radius = program.radius();
     let mut skews = vec![Vec::new()];
     let mut pad_left = vec![0i64];
     let mut ext = vec![(b_max - b_min + 1) + 2 * radius[0]];
-    for d in 1..n {
+    for (d, &rad) in radius.iter().enumerate().take(n).skip(1) {
         let cd = &schedule.classical()[d - 1];
         let per_a: Vec<i64> = (0..height).map(|a| cd.skew(a)).collect();
         let skew_max = *per_a.iter().max().expect("rows");
         skews.push(per_a);
-        let pad = skew_max + radius[d];
+        let pad = skew_max + rad;
         pad_left.push(pad);
-        ext.push(cd.width + pad + radius[d]);
+        ext.push(cd.width + pad + rad);
     }
     let gen = HybridCodegen {
         program,
@@ -199,7 +209,11 @@ impl HybridCodegen<'_> {
     fn block_dim(&self) -> [usize; 3] {
         let widths: Vec<i64> = self.schedule.classical().iter().map(|c| c.width).collect();
         match self.n {
-            1 => [((self.b_max - self.b_min + 1).max(1) as usize).next_multiple_of(32), 1, 1],
+            1 => [
+                ((self.b_max - self.b_min + 1).max(1) as usize).next_multiple_of(32),
+                1,
+                1,
+            ],
             2 => [widths[0] as usize, 1, 1],
             _ => [widths[1] as usize, widths[0] as usize, 1],
         }
@@ -231,7 +245,10 @@ impl HybridCodegen<'_> {
         let lo = self.domain.lo()[d];
         let hi = self.domain.hi()[d];
         let skew_max = *self.skews[d].iter().max().expect("rows");
-        (lo.div_euclid(cd.width), (hi + skew_max).div_euclid(cd.width))
+        (
+            lo.div_euclid(cd.width),
+            (hi + skew_max).div_euclid(cd.width),
+        )
     }
 
     /// Statement index at unrolled local time `a` for the given phase
@@ -351,10 +368,8 @@ impl HybridCodegen<'_> {
     fn point_guard(&self, phase: Phase, a: i64, b: i64) -> Cond {
         let tau_end = self.domain.tau_end();
         let _ = phase;
-        let mut c = Cond::Le(IExpr::Const(0), self.tau(a)).and(Cond::Le(
-            self.tau(a),
-            IExpr::Const(tau_end - 1),
-        ));
+        let mut c = Cond::Le(IExpr::Const(0), self.tau(a))
+            .and(Cond::Le(self.tau(a), IExpr::Const(tau_end - 1)));
         let s0 = self.global_hex(IExpr::Const(b), 0);
         c = c.and(Cond::between(
             &s0,
@@ -374,6 +389,7 @@ impl HybridCodegen<'_> {
 
     /// The FExpr of a statement body with loads resolved through
     /// `make_load`, which appends load statements and returns registers.
+    #[allow(clippy::too_many_arguments)]
     fn build_fexpr(
         &self,
         e: &StencilExpr,
@@ -765,22 +781,18 @@ impl HybridCodegen<'_> {
         let full = {
             let mut v = self.emit_sweep(phase, false, &|p, a, b, g| self.emit_point(p, a, b, g));
             if self.opts.smem == SmemStrategy::CopyInOut {
-                v.extend(
-                    self.emit_sweep(phase, false, &|p, a, b, g| {
-                        self.emit_copyout_point(p, a, b, g)
-                    }),
-                );
+                v.extend(self.emit_sweep(phase, false, &|p, a, b, g| {
+                    self.emit_copyout_point(p, a, b, g)
+                }));
             }
             v
         };
         let partial = {
             let mut v = self.emit_sweep(phase, true, &|p, a, b, g| self.emit_point(p, a, b, g));
             if self.opts.smem == SmemStrategy::CopyInOut {
-                v.extend(
-                    self.emit_sweep(phase, true, &|p, a, b, g| {
-                        self.emit_copyout_point(p, a, b, g)
-                    }),
-                );
+                v.extend(self.emit_sweep(phase, true, &|p, a, b, g| {
+                    self.emit_copyout_point(p, a, b, g)
+                }));
             }
             v
         };
@@ -834,10 +846,14 @@ impl HybridCodegen<'_> {
             .max()
             .unwrap_or(1);
         Kernel {
-            name: format!("hybrid_{}_phase{}", self.program.name(), match phase {
-                Phase::Zero => 0,
-                Phase::One => 1,
-            }),
+            name: format!(
+                "hybrid_{}_phase{}",
+                self.program.name(),
+                match phase {
+                    Phase::Zero => 0,
+                    Phase::One => 1,
+                }
+            ),
             block_dim: self.block_dim(),
             shared: self.shared_bufs(),
             n_vars: V_CLS0 + self.n + 2,
@@ -861,10 +877,7 @@ impl HybridCodegen<'_> {
     fn t_range(&self, phase: Phase) -> (i64, i64) {
         let tau_last = self.domain.tau_end() - 1;
         match phase {
-            Phase::Zero => (
-                0,
-                (tau_last + self.hex().h() + 1).div_euclid(self.height()),
-            ),
+            Phase::Zero => (0, (tau_last + self.hex().h() + 1).div_euclid(self.height())),
             Phase::One => (0, tau_last.div_euclid(self.height())),
         }
     }

@@ -56,6 +56,9 @@ impl IExpr {
     /// Convenience: `self + other`, folding constants so that equal
     /// addresses have equal syntax (the pseudo-PTX emitter uses syntactic
     /// equality for its register-reuse CSE).
+    // Deliberately a by-value builder, not `std::ops::Add`: the operands
+    // are consumed and the result is a folded tree, not field-wise addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: IExpr) -> IExpr {
         match (self, other) {
             (IExpr::Const(a), IExpr::Const(b)) => IExpr::Const(a + b),
@@ -73,6 +76,7 @@ impl IExpr {
     }
 
     /// Convenience: `self - other` (constant-folding).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: IExpr) -> IExpr {
         match (self, other) {
             (a, IExpr::Const(c)) => a.offset(-c),

@@ -83,11 +83,7 @@ impl PtxEmitter {
                     } else {
                         let r = self.fresh();
                         self.loads += 1;
-                        let _ = writeln!(
-                            self.out,
-                            "ld.shared.f32 %f{r}, {};",
-                            addr_display(index)
-                        );
+                        let _ = writeln!(self.out, "ld.shared.f32 %f{r}, {};", addr_display(index));
                         self.loaded.insert(key, r);
                         regs.insert(*dst, r);
                     }
@@ -95,11 +91,7 @@ impl PtxEmitter {
                 Stmt::GlobalLoad { dst, index, .. } => {
                     let r = self.fresh();
                     self.loads += 1;
-                    let _ = writeln!(
-                        self.out,
-                        "ld.global.f32 %f{r}, {};",
-                        addr_display(index)
-                    );
+                    let _ = writeln!(self.out, "ld.global.f32 %f{r}, {};", addr_display(index));
                     regs.insert(*dst, r);
                 }
                 Stmt::Compute { dst, expr } => {
@@ -109,22 +101,14 @@ impl PtxEmitter {
                 Stmt::SharedStore { buf, index, src } => {
                     let r = self.emit_fexpr(src, regs);
                     self.stores += 1;
-                    let _ = writeln!(
-                        self.out,
-                        "st.shared.f32 {}, %f{r};",
-                        addr_display(index)
-                    );
+                    let _ = writeln!(self.out, "st.shared.f32 {}, %f{r};", addr_display(index));
                     // The stored value now lives at this address.
                     self.loaded.insert(addr_key(*buf, index), r);
                 }
                 Stmt::GlobalStore { index, src, .. } => {
                     let r = self.emit_fexpr(src, regs);
                     self.stores += 1;
-                    let _ = writeln!(
-                        self.out,
-                        "st.global.f32 {}, %f{r};",
-                        addr_display(index)
-                    );
+                    let _ = writeln!(self.out, "st.global.f32 {}, %f{r};", addr_display(index));
                 }
                 // Core-tile emission covers straight-line point code only.
                 Stmt::Sync | Stmt::SetVar { .. } => {}

@@ -50,7 +50,10 @@ impl HybridSchedule {
     ///
     /// Propagates [`TileError`] for non-canonical inputs, unbounded cones,
     /// arity mismatches, or a `w0` violating inequality (1).
-    pub fn compute(program: &StencilProgram, params: &TileParams) -> Result<HybridSchedule, TileError> {
+    pub fn compute(
+        program: &StencilProgram,
+        params: &TileParams,
+    ) -> Result<HybridSchedule, TileError> {
         let cone = DepCone::of_program(program)?;
         HybridSchedule::from_cone(program, params, cone)
     }
@@ -180,14 +183,8 @@ impl HybridSchedule {
         let mut out = Vec::new();
         let widths: Vec<i64> = self.classical.iter().map(|c| c.width).collect();
         for (a, b) in self.hex.points() {
-            let (tau, s0) = phase::to_global(
-                &self.hex,
-                tile.phase,
-                tile.t_tile,
-                tile.s_tiles[0],
-                a,
-                b,
-            );
+            let (tau, s0) =
+                phase::to_global(&self.hex, tile.phase, tile.t_tile, tile.s_tiles[0], a, b);
             // Cartesian product over classical local coordinates.
             let mut locals = vec![0i64; widths.len()];
             loop {
@@ -207,8 +204,8 @@ impl HybridSchedule {
                     d -= 1;
                     if locals[d] + 1 < widths[d] {
                         locals[d] += 1;
-                        for q in d + 1..widths.len() {
-                            locals[q] = 0;
+                        for l in locals.iter_mut().take(widths.len()).skip(d + 1) {
+                            *l = 0;
                         }
                         break;
                     }
@@ -264,10 +261,7 @@ impl HybridSchedule {
         let big_t = t_num().floor_div(height);
         // Drift term T(f1 - f0).
         let drift = f1 - f0;
-        let s_num = || {
-            s0() + QExpr::constant(s_shift)
-                + (t_num().floor_div(height)).scale(drift)
-        };
+        let s_num = || s0() + QExpr::constant(s_shift) + (t_num().floor_div(height)).scale(drift);
         let mut v: Vec<(String, QExpr)> = vec![
             ("T".into(), big_t),
             ("p".into(), QExpr::constant(ph.index())),

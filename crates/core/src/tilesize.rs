@@ -52,7 +52,9 @@ pub fn formula_3d_iterations(h: i64, w0: i64, w1: i64, w2: i64) -> u64 {
 /// generous signed range.
 fn value_key(field: usize, tau_w: i64, pos: &[i64]) -> u64 {
     let mut k = field as u64;
-    k = k.wrapping_mul(0x100_0000_0000).wrapping_add((tau_w + 0x8000) as u64 & 0xFFFF);
+    k = k
+        .wrapping_mul(0x100_0000_0000)
+        .wrapping_add((tau_w + 0x8000) as u64 & 0xFFFF);
     for &p in pos {
         k = k
             .wrapping_mul(0x1_0000)
@@ -81,10 +83,8 @@ pub fn evaluate_tile(
         s_tiles: vec![0; n],
     };
     let points = schedule.ideal_tile_points(&tile);
-    let instance_set: HashSet<(i64, Vec<i64>)> = points
-        .iter()
-        .map(|p| (p[0], p[1..].to_vec()))
-        .collect();
+    let instance_set: HashSet<(i64, Vec<i64>)> =
+        points.iter().map(|p| (p[0], p[1..].to_vec())).collect();
 
     let (reads, writes) = tile_values(program, k, &points, &instance_set);
     let cold: HashSet<u64> = reads.difference(&writes).copied().collect();
@@ -261,8 +261,7 @@ pub fn select_tile_sizes(
                     None => true,
                     Some(b) => {
                         model.ratio() < b.ratio()
-                            || (model.ratio() == b.ratio()
-                                && model.iterations > b.iterations)
+                            || (model.ratio() == b.ratio() && model.iterations > b.iterations)
                     }
                 };
                 if better {

@@ -69,7 +69,11 @@ impl fmt::Display for VerifyError {
             VerifyError::DependenceViolation { src, dst, reason } => {
                 write!(f, "dependence {src:?} -> {dst:?} broken: {reason}")
             }
-            VerifyError::NonUniformFullTile { tile, got, expected } => {
+            VerifyError::NonUniformFullTile {
+                tile,
+                got,
+                expected,
+            } => {
                 write!(f, "full tile {tile} has {got} points, expected {expected}")
             }
         }
@@ -117,8 +121,7 @@ pub fn verify_schedule_storage(
     program: &StencilProgram,
     domain: &ScheduledDomain,
 ) -> Result<VerifyReport, VerifyError> {
-    let vectors =
-        stencil::deps::distance_vectors_with_storage(program, program.max_dt() + 1);
+    let vectors = stencil::deps::distance_vectors_with_storage(program, program.max_dt() + 1);
     verify_with_vectors(schedule, domain, &vectors)
 }
 
@@ -205,11 +208,7 @@ pub fn verify_with_vectors(
 
 /// Checks one dependence pair against the CUDA execution-model ordering.
 /// Schedule vectors are `[T, p, S0, S1.., Sn, t'(=a), s'0.., s'n]`.
-fn check_order(
-    schedule: &HybridSchedule,
-    src: &[i64],
-    dst: &[i64],
-) -> Result<(), String> {
+fn check_order(schedule: &HybridSchedule, src: &[i64], dst: &[i64]) -> Result<(), String> {
     let n = schedule.spatial_dims();
     // Kernel launch order: (T, p).
     let launch_src = (src[0], src[1]);

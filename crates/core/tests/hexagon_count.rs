@@ -1,0 +1,104 @@
+//! §3 hexagon point counts: the closed form, the polyhedral counter, and a
+//! brute-force membership scan must all agree across a parameter grid.
+
+use hybrid_tiling::{HexShape, HybridSchedule, TileParams};
+use polylib::Rat;
+use stencil::gallery;
+
+/// Independent brute force: scan the (a, b) bounding window with
+/// `contains_local`, bypassing the polyhedral enumerator entirely.
+fn brute_force_count(hex: &HexShape) -> u64 {
+    let mut n = 0;
+    let b_lo = -hex.box_width() - hex.f0() - 2;
+    let b_hi = 2 * hex.box_width() + hex.f1() + 2;
+    for a in 0..=2 * hex.h() + 1 {
+        for b in b_lo..=b_hi {
+            if hex.contains_local(a, b) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[test]
+fn closed_form_matches_brute_force_for_unit_slopes() {
+    // For δ0 = δ1 = 1 the paper's §3.7 count is 2(h+1)(h+1+w0).
+    for h in 0..5 {
+        for w0 in 0..6 {
+            let hex = HexShape::new(Rat::ONE, Rat::ONE, h, w0).unwrap();
+            let closed_form = (2 * (h + 1) * (h + 1 + w0)) as u64;
+            assert_eq!(hex.count_points(), closed_form, "count h={h} w0={w0}");
+            assert_eq!(brute_force_count(&hex), closed_form, "brute h={h} w0={w0}");
+        }
+    }
+}
+
+#[test]
+fn polyhedral_count_matches_brute_force_for_rational_slopes() {
+    // Fractional slopes exercise the floor terms f0/f1 and the (d-1)/d
+    // slack of constraints (10) and (12).
+    let slopes = [(1, 2), (2, 1), (1, 3), (3, 2), (0, 1), (5, 3)];
+    for &(n0, d0) in &slopes {
+        for &(n1, d1) in &slopes {
+            let delta0 = Rat::new(n0, d0);
+            let delta1 = Rat::new(n1, d1);
+            for h in 0..4 {
+                let min = HexShape::min_width(delta0, delta1, h);
+                for extra in 0..3 {
+                    let w0 = min + extra;
+                    let hex = HexShape::new(delta0, delta1, h, w0).unwrap();
+                    assert_eq!(
+                        hex.count_points(),
+                        brute_force_count(&hex),
+                        "δ0={n0}/{d0} δ1={n1}/{d1} h={h} w0={w0}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_tile_count_scales_by_classical_widths() {
+    // §3.7: a full hybrid tile holds 2(1 + 2h + h² + w0(h+1)) · w1 points —
+    // the hexagon count times the classical widths. Verified through the
+    // complete schedule construction on jacobi2d (δ0 = δ1 = 1) over a grid
+    // of (h, w0, w1).
+    let program = gallery::jacobi2d();
+    for h in 0..3 {
+        for w0 in 1..4 {
+            for w1 in 1..5 {
+                let params = TileParams::new(h, &[w0, w1]);
+                let schedule = HybridSchedule::compute(&program, &params)
+                    .unwrap_or_else(|e| panic!("h={h} w0={w0} w1={w1}: {e}"));
+                let hex_count = (2 * (1 + 2 * h + h * h + w0 * (h + 1))) as u64;
+                assert_eq!(schedule.hex().count_points(), hex_count);
+                assert_eq!(
+                    schedule.points_per_full_tile(),
+                    hex_count * w1 as u64,
+                    "h={h} w0={w0} w1={w1}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn count_is_invariant_across_constructions() {
+    // The constraint-based set and the Fig. 4 cone subtraction must count
+    // the same points over a mixed parameter grid.
+    for (d0, d1) in [(Rat::ONE, Rat::from(2)), (Rat::new(1, 2), Rat::ONE)] {
+        for h in 0..4 {
+            let min = HexShape::min_width(d0, d1, h);
+            for extra in 0..2 {
+                let hex = HexShape::new(d0, d1, h, min + extra).unwrap();
+                assert_eq!(
+                    hex.count_points() as usize,
+                    hex.points_by_cone_subtraction().len(),
+                    "δ0={d0} δ1={d1} h={h} extra={extra}"
+                );
+            }
+        }
+    }
+}

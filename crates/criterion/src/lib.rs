@@ -1,0 +1,276 @@
+//! Offline stand-in for the [criterion] benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! (small) subset of criterion's API that the workspace benches use —
+//! benchmark groups, `bench_function`, `Bencher::iter`, throughput
+//! annotations and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple wall-clock sampler. Numbers are comparable run-to-run on the
+//! same machine; no statistics, plots, or baselines are produced.
+//!
+//! Run with `cargo bench`. Pass a substring argument to filter benchmarks,
+//! or `--test` (as `cargo test` would) to run every benchmark exactly once.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: scales the per-iteration time into an
+/// elements/sec or bytes/sec rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle, passed to every registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Criterion flags that take a separate value argument; their value
+        // must not be mistaken for a positional benchmark filter.
+        const VALUE_FLAGS: &[&str] = &[
+            "--sample-size",
+            "--baseline",
+            "--save-baseline",
+            "--load-baseline",
+            "--measurement-time",
+            "--warm-up-time",
+            "--significance-level",
+            "--noise-threshold",
+            "--confidence-level",
+            "--profile-time",
+            "--output-format",
+            "--color",
+            "--nresamples",
+        ];
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                s if VALUE_FLAGS.contains(&s) => {
+                    args.next(); // accepted and ignored, with its value
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Criterion's configuration hook; accepted and ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up iteration plus `sample_size` timed
+    /// samples, reporting the minimum (least-noise) sample.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.should_run(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up (also the only run in --test mode).
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return self;
+        }
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let per_iter = b.elapsed / b.iters.max(1) as u32;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:.3} Melem/s", n as f64 / best.as_secs_f64() / 1e6)
+            }
+            Throughput::Bytes(n) => format!(
+                "  {:.3} MiB/s",
+                n as f64 / best.as_secs_f64() / (1 << 20) as f64
+            ),
+        });
+        println!(
+            "{full:<56} {:>12}{}",
+            format_duration(best),
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A handful of iterations per sample amortizes timer overhead
+        // without letting one sample run long.
+        self.iters = 4;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects bench functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2).bench_function("one", |b| {
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        drop(g);
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            test_mode: false,
+        };
+        let mut g = c.benchmark_group("t");
+        g.bench_function("one", |_b| panic!("must not run"));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

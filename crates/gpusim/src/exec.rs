@@ -123,7 +123,11 @@ impl GpuSim {
             for i in 0..take {
                 // Spread samples across the grid to include boundary blocks
                 // proportionally.
-                let b = if take == 1 { 0 } else { i * (n - 1) / (take - 1) };
+                let b = if take == 1 {
+                    0
+                } else {
+                    i * (n - 1) / (take - 1)
+                };
                 self.run_block(kernel, &launch.params, b as i64);
             }
             let delta = self.counters.scaled(n as f64 / take as f64);
@@ -257,8 +261,8 @@ impl BlockExec<'_> {
         self.counters.warp_instructions += self.active_warps(mask);
         match stmt {
             Stmt::SetVar { var, value } => {
-                for lane in 0..self.n_threads {
-                    if mask[lane] {
+                for (lane, &m) in mask.iter().enumerate().take(self.n_threads) {
+                    if m {
                         self.vars[*var][lane] = self.eval_i(value, lane);
                     }
                 }
@@ -282,8 +286,8 @@ impl BlockExec<'_> {
                 );
                 let mut v = lo_v;
                 while v < hi_v {
-                    for lane in 0..self.n_threads {
-                        if mask[lane] {
+                    for (lane, &m) in mask.iter().enumerate().take(self.n_threads) {
+                        if m {
                             self.vars[*var][lane] = v;
                         }
                     }
@@ -331,8 +335,7 @@ impl BlockExec<'_> {
                             continue;
                         }
                         let pl = self.eval_i(plane, lane) as usize;
-                        let idx: Vec<i64> =
-                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
                         addrs.push(self.mem.byte_address(*field, pl, &idx));
                         self.regs[*dst][lane] = self.mem.read(*field, pl, &idx);
                     }
@@ -354,8 +357,7 @@ impl BlockExec<'_> {
                             continue;
                         }
                         let pl = self.eval_i(plane, lane) as usize;
-                        let idx: Vec<i64> =
-                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
                         addrs.push(self.mem.byte_address(*field, pl, &idx));
                         let v = self.eval_f(src, lane);
                         self.counters.flops += extra_flops;
@@ -372,8 +374,7 @@ impl BlockExec<'_> {
                         if !mask[lane] {
                             continue;
                         }
-                        let idx: Vec<i64> =
-                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
                         words.push(self.shared.word_address(*buf, &idx));
                         self.regs[*dst][lane] = self.shared.read(*buf, &idx);
                     }
@@ -389,8 +390,7 @@ impl BlockExec<'_> {
                         if !mask[lane] {
                             continue;
                         }
-                        let idx: Vec<i64> =
-                            index.iter().map(|e| self.eval_i(e, lane)).collect();
+                        let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
                         words.push(self.shared.word_address(*buf, &idx));
                         let v = self.eval_f(src, lane);
                         self.counters.flops += extra_flops;
@@ -401,8 +401,8 @@ impl BlockExec<'_> {
             }
             Stmt::Compute { dst, expr } => {
                 let w = Self::flop_weight(expr);
-                for lane in 0..self.n_threads {
-                    if mask[lane] {
+                for (lane, &m) in mask.iter().enumerate().take(self.n_threads) {
+                    if m {
                         self.regs[*dst][lane] = self.eval_f(expr, lane);
                         self.counters.flops += w;
                     }
@@ -417,12 +417,7 @@ impl BlockExec<'_> {
 
 /// Convenience: run a plan and return `(counters, simulator)` for result
 /// inspection.
-pub fn simulate(
-    device: DeviceConfig,
-    init: &[Grid],
-    planes: usize,
-    plan: &LaunchPlan,
-) -> GpuSim {
+pub fn simulate(device: DeviceConfig, init: &[Grid], planes: usize, plan: &LaunchPlan) -> GpuSim {
     let mut sim = GpuSim::new(device, init, planes);
     sim.run_plan(plan);
     sim
@@ -600,7 +595,7 @@ mod tests {
     #[test]
     fn sampled_run_scales_counters() {
         let (plan, init) = copy_kernel();
-        let mut full = GpuSim::new(DeviceConfig::gtx470(), &init, 2, );
+        let mut full = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
         full.run_plan(&plan);
         let mut sampled = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
         sampled.run_plan_sampled(&plan, 2);
@@ -643,10 +638,7 @@ mod tests {
                         },
                         Stmt::Compute {
                             dst: 1,
-                            expr: FExpr::Add(
-                                Box::new(FExpr::Reg(1)),
-                                Box::new(FExpr::Reg(0)),
-                            ),
+                            expr: FExpr::Add(Box::new(FExpr::Reg(1)), Box::new(FExpr::Reg(0))),
                         },
                     ],
                 },

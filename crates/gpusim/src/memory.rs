@@ -26,10 +26,7 @@ impl GlobalMem {
     /// `word_offset` 4-byte words — the array translation of the paper's
     /// §4.2.3, used to make tile loads cache-line aligned.
     pub fn with_word_offset(init: &[Grid], planes: usize, word_offset: i64) -> GlobalMem {
-        let dims = init
-            .first()
-            .map(|g| g.dims().to_vec())
-            .unwrap_or_default();
+        let dims = init.first().map(|g| g.dims().to_vec()).unwrap_or_default();
         let mut bases = Vec::new();
         let mut next: u64 = 0x1000 + (word_offset.rem_euclid(32) as u64) * 4;
         let fields: Vec<Vec<Grid>> = init
@@ -38,7 +35,7 @@ impl GlobalMem {
                 let mut pb = Vec::new();
                 for _ in 0..planes {
                     pb.push(next);
-                    next += (g.len() as u64 * 4 + 127) / 128 * 128 + 128;
+                    next += (g.len() as u64 * 4).div_ceil(128) * 128 + 128;
                 }
                 bases.push(pb);
                 vec![g.clone(); planes]
@@ -164,11 +161,7 @@ pub fn charge_warp_load(
 }
 
 /// Coalesces and charges a warp *store*.
-pub fn charge_warp_store(
-    counters: &mut Counters,
-    l2: &mut L2Cache,
-    addrs: &[u64],
-) -> u64 {
+pub fn charge_warp_store(counters: &mut Counters, l2: &mut L2Cache, addrs: &[u64]) -> u64 {
     if addrs.is_empty() {
         return 0;
     }
@@ -248,7 +241,10 @@ mod tests {
         let dram_first = c.dram_read_transactions;
         assert_eq!(c.l2_read_transactions, 4, "first access reaches L2");
         charge_warp_load(&mut c, &mut l1, &mut l2, &addrs);
-        assert_eq!(c.dram_read_transactions, dram_first, "second access hits L1");
+        assert_eq!(
+            c.dram_read_transactions, dram_first,
+            "second access hits L1"
+        );
         assert_eq!(c.l2_read_transactions, 4, "L1 absorbs the repeat");
     }
 

@@ -147,7 +147,7 @@ impl Aff {
     pub fn insert_dims(&self, at: usize, count: usize) -> Aff {
         let mut coeffs = Vec::with_capacity(self.dim() + count);
         coeffs.extend_from_slice(&self.coeffs[..at]);
-        coeffs.extend(std::iter::repeat(Rat::ZERO).take(count));
+        coeffs.extend(std::iter::repeat_n(Rat::ZERO, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
         Aff {
             coeffs,

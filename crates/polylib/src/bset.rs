@@ -134,10 +134,9 @@ impl BasicSet {
             .map(|d| {
                 let v = Aff::var(self.dim, d);
                 match (self.min(&v), self.max(&v)) {
-                    (
-                        LpResult::Optimal { value: lo, .. },
-                        LpResult::Optimal { value: hi, .. },
-                    ) => Some((lo, hi)),
+                    (LpResult::Optimal { value: lo, .. }, LpResult::Optimal { value: hi, .. }) => {
+                        Some((lo, hi))
+                    }
                     _ => None,
                 }
             })

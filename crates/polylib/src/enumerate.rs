@@ -177,22 +177,20 @@ impl Points {
             }
             // Fall through to backtracking with a partially built stack.
         }
-        loop {
-            // Backtrack to a level that can still advance.
-            while let Some(&(_, hi)) = self.stack.last() {
-                let level = self.stack.len() - 1;
-                if self.point[level] < hi {
-                    self.point[level] += 1;
-                    if self.descend(level + 1) {
-                        return true;
-                    }
-                    // Child slice empty: try the next value at this level.
-                } else {
-                    self.stack.pop();
+        // Backtrack to a level that can still advance.
+        while let Some(&(_, hi)) = self.stack.last() {
+            let level = self.stack.len() - 1;
+            if self.point[level] < hi {
+                self.point[level] += 1;
+                if self.descend(level + 1) {
+                    return true;
                 }
+                // Child slice empty: try the next value at this level.
+            } else {
+                self.stack.pop();
             }
-            return false;
         }
+        false
     }
 }
 
@@ -228,24 +226,19 @@ pub(crate) fn count(set: &BasicSet) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{Aff, BasicSet};
 
     #[test]
     fn enumerates_a_box_in_lex_order() {
         let b = BasicSet::box_set(&[(0, 1), (0, 1)]);
         let pts: Vec<_> = b.points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]
     fn respects_equalities() {
         // x + y == 3 inside a 0..=3 box: (0,3),(1,2),(2,1),(3,0).
-        let b = BasicSet::box_set(&[(0, 3), (0, 3)])
-            .with_eq(Aff::from_ints(&[1, 1], -3));
+        let b = BasicSet::box_set(&[(0, 3), (0, 3)]).with_eq(Aff::from_ints(&[1, 1], -3));
         assert_eq!(b.count_points(), 4);
     }
 

@@ -32,7 +32,11 @@ pub fn eliminate_dim(cons: &[Constraint], d: usize) -> Vec<Constraint> {
             if i == pos {
                 continue;
             }
-            let e = c.expr().substitute(d, &repl).clear_denominators().normalize_gcd();
+            let e = c
+                .expr()
+                .substitute(d, &repl)
+                .clear_denominators()
+                .normalize_gcd();
             out.push(match c.kind() {
                 ConstraintKind::Ge => Constraint::ge0(e),
                 ConstraintKind::Eq => Constraint::eq0(e),
@@ -108,9 +112,9 @@ mod tests {
     fn projects_a_triangle_onto_x() {
         // 0 <= y <= x <= 4, eliminate y => 0 <= x <= 4.
         let cons = vec![
-            ge(&[0, 1], 0),   // y >= 0
-            ge(&[1, -1], 0),  // x - y >= 0
-            ge(&[-1, 0], 4),  // x <= 4
+            ge(&[0, 1], 0),  // y >= 0
+            ge(&[1, -1], 0), // x - y >= 0
+            ge(&[-1, 0], 4), // x <= 4
         ];
         let proj = eliminate_dim(&cons, 1);
         // x in [0,4] must be exactly characterized.
@@ -140,9 +144,9 @@ mod tests {
         // y >= x + 1 and y <= x - 1: eliminating y exposes infeasibility.
         let cons = vec![ge(&[-1, 1], -1), ge(&[1, -1], -1)];
         let proj = eliminate_dim(&cons, 1);
-        assert!(proj.iter().any(|c| {
-            c.expr().is_constant() && c.expr().constant_term().signum() < 0
-        }));
+        assert!(proj
+            .iter()
+            .any(|c| { c.expr().is_constant() && c.expr().constant_term().signum() < 0 }));
     }
 
     #[test]

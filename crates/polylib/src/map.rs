@@ -47,8 +47,8 @@ impl BasicMap {
         let mut bset = domain.insert_dims(n, n);
         for (d, &s) in shift.iter().enumerate() {
             // out_d - in_d - s == 0
-            let e = Aff::var(total, n + d) - Aff::var(total, d)
-                - Aff::constant(total, Rat::from(s));
+            let e =
+                Aff::var(total, n + d) - Aff::var(total, d) - Aff::constant(total, Rat::from(s));
             bset = bset.with_eq(e);
         }
         BasicMap {
@@ -90,9 +90,7 @@ impl BasicMap {
         for (d, &v) in input.iter().enumerate() {
             s = s.fix_dim(d, v);
         }
-        s.points()
-            .map(|p| p[self.n_in..].to_vec())
-            .collect()
+        s.points().map(|p| p[self.n_in..].to_vec()).collect()
     }
 
     /// The set of distance vectors `{ out - in }` (requires `n_in == n_out`).

@@ -262,6 +262,9 @@ mod tests {
         let e = (QExpr::var(0) + QExpr::constant(h + 1)).floor_div(2 * h + 2);
         assert_eq!(e.display(&["t"]).to_string(), "floor((t + 3)/6)");
         let m = QExpr::affine(&[1, 1], 0).modulo(5);
-        assert_eq!(m.display(&["t", "s0"]).to_string(), "(0 + 1*t + 1*s0) mod 5");
+        assert_eq!(
+            m.display(&["t", "s0"]).to_string(),
+            "(0 + 1*t + 1*s0) mod 5"
+        );
     }
 }

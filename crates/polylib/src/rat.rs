@@ -209,6 +209,9 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division via the exact reciprocal keeps one overflow-checked
+    // multiplication path for both operators.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

@@ -200,8 +200,7 @@ impl Tableau {
     fn solve_to_optimality(&mut self) -> bool {
         loop {
             // Bland's rule: smallest-index column with positive reduced cost.
-            let enter = (0..self.banned_from.min(self.z.len()))
-                .find(|&j| self.z[j].signum() > 0);
+            let enter = (0..self.banned_from.min(self.z.len())).find(|&j| self.z[j].signum() > 0);
             let Some(j) = enter else {
                 return true;
             };
@@ -351,7 +350,10 @@ mod tests {
         // max (x + 7) with 0 <= x <= 1 is 8.
         let cs = vec![ge(&[1], 0), ge(&[-1], 1)];
         let obj = Aff::from_ints(&[1], 7);
-        assert_eq!(lp(&cs, &obj, Objective::Maximize).value(), Some(Rat::from(8)));
+        assert_eq!(
+            lp(&cs, &obj, Objective::Maximize).value(),
+            Some(Rat::from(8))
+        );
     }
 
     #[test]
@@ -376,7 +378,12 @@ mod tests {
     #[test]
     fn degenerate_redundant_rows() {
         // Duplicate and redundant constraints must not confuse phase 1.
-        let cs = vec![ge(&[1, 0], 0), ge(&[1, 0], 0), ge(&[0, 1], 0), ge(&[-1, -1], 6)];
+        let cs = vec![
+            ge(&[1, 0], 0),
+            ge(&[1, 0], 0),
+            ge(&[0, 1], 0),
+            ge(&[-1, -1], 6),
+        ];
         let obj = Aff::from_ints(&[1, 1], 0);
         assert_eq!(
             lp(&cs, &obj, Objective::Maximize).value(),

@@ -4,21 +4,8 @@
 use polylib::{lp, Aff, BasicSet, LpResult, Objective, Rat, Set};
 use proptest::prelude::*;
 
-/// A random conjunctive polytope inside the window `[-bound, bound]^dim`,
-/// built from a box plus a few random halfplanes. Always bounded.
-fn arb_polytope(dim: usize, bound: i64) -> impl Strategy<Value = BasicSet> {
-    let halfplane = (
-        prop::collection::vec(-3i64..=3, dim),
-        -(2 * bound)..=(2 * bound),
-    );
-    prop::collection::vec(halfplane, 0..4).prop_map(move |planes| {
-        let mut s = BasicSet::box_set(&vec![(-bound, bound); dim]);
-        for (coeffs, c0) in planes {
-            s = s.with_ge(Aff::from_ints(&coeffs, c0));
-        }
-        s
-    })
-}
+mod common;
+use common::arb_polytope;
 
 fn brute_points(s: &BasicSet, bound: i64) -> Vec<Vec<i64>> {
     let dim = s.dim();

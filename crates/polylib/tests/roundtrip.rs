@@ -1,0 +1,108 @@
+//! Round-trip properties for the exact substrate: rational arithmetic
+//! (`rat.rs`) inverts cleanly, and Fourier–Motzkin elimination (`fm.rs`)
+//! is rationally tight — eliminate-then-sample always lands back inside
+//! the original set.
+
+use polylib::Rat;
+use proptest::prelude::*;
+
+mod common;
+use common::arb_polytope;
+
+/// Rationals with small numerators/denominators (exercises normalization).
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-24i64..=24, 1i64..=9).prop_map(|(n, d)| Rat::new(n as i128, d as i128))
+}
+
+/// Non-zero rationals, for reciprocal/division round-trips.
+fn arb_nonzero_rat() -> impl Strategy<Value = Rat> {
+    (1i64..=24, 1i64..=9, 0i64..=1)
+        .prop_map(|(n, d, neg)| Rat::new(if neg == 1 { -n } else { n } as i128, d as i128))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `recip` is an involution away from zero.
+    #[test]
+    fn rat_recip_roundtrip(r in arb_nonzero_rat()) {
+        prop_assert_eq!(r.recip().recip(), r);
+        prop_assert_eq!(r * r.recip(), Rat::ONE);
+    }
+
+    /// Addition and subtraction invert each other exactly.
+    #[test]
+    fn rat_add_sub_roundtrip(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a - b + b, a);
+    }
+
+    /// Multiplication and division invert each other exactly.
+    #[test]
+    fn rat_mul_div_roundtrip(a in arb_rat(), b in arb_nonzero_rat()) {
+        prop_assert_eq!(a * b / b, a);
+        prop_assert_eq!(a / b * b, a);
+    }
+
+    /// Construction normalizes: scaling numerator and denominator by a
+    /// common factor yields the identical representative.
+    #[test]
+    fn rat_normalization(r in arb_rat(), k in 1i64..=6) {
+        let scaled = Rat::new(r.num() * k as i128, r.den() * k as i128);
+        prop_assert_eq!(scaled, r);
+        prop_assert_eq!(scaled.num(), r.num());
+        prop_assert_eq!(scaled.den(), r.den());
+    }
+
+    /// `floor`/`fract` decompose every rational: r = ⌊r⌋ + {r} with
+    /// 0 <= {r} < 1, and `ceil` agrees with the decomposition.
+    #[test]
+    fn rat_floor_fract_decompose(r in arb_rat()) {
+        let back = Rat::from(r.floor()) + r.fract();
+        prop_assert_eq!(back, r);
+        prop_assert!(r.fract() >= Rat::ZERO && r.fract() < Rat::ONE);
+        let expected_ceil = if r.fract().is_zero() { r.floor() } else { r.floor() + 1 };
+        prop_assert_eq!(r.ceil(), expected_ceil);
+    }
+
+    /// Eliminate-then-sample, inward direction (the outward direction —
+    /// every point of the original lands in the projection — is
+    /// properties.rs's projection_soundness): sampling any point of the
+    /// projection and re-fixing it in the original set leaves a rationally
+    /// non-empty fiber (FM is exact over the rationals — no spurious
+    /// projected points), and every integer point of that fiber is a point
+    /// of the original set extending the sample.
+    #[test]
+    fn fm_eliminate_then_sample_stays_inside(s in arb_polytope(3, 4)) {
+        let proj = s.project_out(2);
+        for p in proj.points() {
+            let fiber = s.fix_dim(0, p[0]).fix_dim(1, p[1]);
+            prop_assert!(
+                !fiber.is_empty_rat(),
+                "projected point {:?} has an empty rational fiber", p
+            );
+            for q in fiber.points() {
+                prop_assert_eq!(&q[..2], &p[..], "fiber moved the prefix");
+                prop_assert!(s.contains(&q), "fiber point {:?} escapes the set", q);
+            }
+        }
+    }
+
+    /// Double elimination commutes with composition: projecting out the two
+    /// inner dimensions one at a time preserves exactly the integer shadow
+    /// computed point-wise.
+    #[test]
+    fn fm_double_elimination_shadow(s in arb_polytope(3, 3)) {
+        let shadow = s.project_out(2).project_out(1);
+        // The rational shadow may strictly contain the integer shadow, but
+        // every actual point projects in, and every shadow sample has a
+        // rationally non-empty fiber.
+        for p in s.points() {
+            prop_assert!(shadow.contains(&p[..1]));
+        }
+        for x in shadow.points() {
+            let fiber = s.fix_dim(0, x[0]);
+            prop_assert!(!fiber.is_empty_rat(), "shadow point {:?} unsupported", x);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Offline stand-in for the [proptest] property-testing crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of proptest's API that the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`, integer range strategies, tuple
+//! strategies, [`collection::vec`], the [`proptest!`] macro with
+//! `proptest_config`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * value generation is **deterministic** — the RNG is seeded from the
+//!   test name, so a failure always reproduces with `cargo test`;
+//! * there is **no shrinking** — instead, the generated inputs of the
+//!   failing case are printed (via `Debug`) alongside the case number;
+//! * `prop_assert*` panics immediately instead of returning `Err`.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runtime configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator; seeded from the test name so every
+/// property sees a stable, reproducible input stream.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the generated tests pass their
+    /// function name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        lo.wrapping_add((self.next_u64() as u128 % span) as i64)
+    }
+
+    /// Uniform draw from `[lo, hi]` over `usize`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_i64(lo as i64, hi as i64) as usize
+    }
+}
+
+/// A reusable recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adaptor produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_i64(*self.start() as i64, *self.end() as i64) as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                rng.gen_i64(self.start as i64, self.end as i64 - 1) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies! {
+    i8 => gen_i64, i16 => gen_i64, i32 => gen_i64, i64 => gen_i64,
+    u8 => gen_i64, u16 => gen_i64, u32 => gen_i64, usize => gen_i64,
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy generating vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_usize(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The names a test file gets from `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property; panics with the formatted
+/// message (no shrinking, the input is reported by the caller's message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Expands each property into a `#[test]` that draws `cases` deterministic
+/// inputs from the argument strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    { ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                $(let $arg = $strat;)*
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)*
+                    // Snapshot the inputs up front: the body may move them,
+                    // and on failure they are the whole diagnosis.
+                    let inputs = [$(format!(
+                        "  {} = {:?}", stringify!($arg), $arg,
+                    )),*].join("\n");
+                    let run = || -> () { $body };
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest: property {} failed on case {}/{} (deterministic seed) with inputs:\n{}",
+                            stringify!($name), case + 1, config.cases, inputs,
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        for _ in 0..16 {
+            assert_eq!(a.gen_i64(-50, 50), b.gen_i64(-50, 50));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..256 {
+            let v = (-3i64..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let w = (0usize..4).generate(&mut rng);
+            assert!(w < 4);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let strat = prop::collection::vec((-2i64..=2, 0i64..=9), 0..5);
+        let mut rng = crate::TestRng::deterministic("compose");
+        for _ in 0..64 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 5);
+            for (a, b) in v {
+                assert!((-2..=2).contains(&a));
+                assert!((0..=9).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, map, and assertions all wire up.
+        #[test]
+        fn macro_generates_cases(x in 0i64..=5, v in prop::collection::vec(1i64..=3, 2)) {
+            prop_assert!(x <= 5);
+            prop_assert_eq!(v.len(), 2);
+            let doubled = (0i64..=3).prop_map(|n| n * 2);
+            let mut rng = crate::TestRng::deterministic("inner");
+            let d = doubled.generate(&mut rng);
+            prop_assert!(d % 2 == 0 && d <= 6);
+        }
+    }
+}

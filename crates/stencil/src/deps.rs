@@ -67,10 +67,7 @@ pub fn distance_vectors(program: &StencilProgram) -> Vec<DistanceVector> {
 /// too; executable schedules must respect them or the ring would be
 /// clobbered while readers still need the old value. For symmetric
 /// stencils the storage vectors coincide with mirrored flow vectors.
-pub fn distance_vectors_with_storage(
-    program: &StencilProgram,
-    planes: i64,
-) -> Vec<DistanceVector> {
+pub fn distance_vectors_with_storage(program: &StencilProgram, planes: i64) -> Vec<DistanceVector> {
     let k = program.num_statements() as i64;
     let mut out = distance_vectors(program);
     for (i, st) in program.statements().iter().enumerate() {
@@ -116,10 +113,7 @@ pub fn dependence_relation(program: &StencilProgram, domain: &BasicSet) -> Map {
 /// Per-dimension bounds of the distance vectors relative to `dt`:
 /// returns `(max ds[d]/dt, max -ds[d]/dt)` as exact rationals — the raw
 /// material for δ0/δ1 (§3.3.2).
-pub fn slope_bounds(
-    vectors: &[DistanceVector],
-    dim: usize,
-) -> (polylib::Rat, polylib::Rat) {
+pub fn slope_bounds(vectors: &[DistanceVector], dim: usize) -> (polylib::Rat, polylib::Rat) {
     use polylib::Rat;
     let mut up = Rat::from(0);
     let mut down = Rat::from(0);
@@ -148,10 +142,7 @@ mod tests {
         let vs = distance_vectors(&p);
         assert_eq!(
             vs,
-            vec![
-                DistanceVector::new(1, &[-2]),
-                DistanceVector::new(2, &[2]),
-            ]
+            vec![DistanceVector::new(1, &[-2]), DistanceVector::new(2, &[2]),]
         );
     }
 

@@ -111,8 +111,8 @@ impl ScheduledDomain {
                 };
                 if point[d] < hi_d {
                     point[d] += 1;
-                    for q in d + 1..point.len() {
-                        point[q] = if q == 0 { 0 } else { self.lo[q - 1] };
+                    for (q, p) in point.iter_mut().enumerate().skip(d + 1) {
+                        *p = if q == 0 { 0 } else { self.lo[q - 1] };
                     }
                     break;
                 }
@@ -194,11 +194,7 @@ mod tests {
         let s = d.as_basic_set();
         for tau in -1..5 {
             for x in 0..13 {
-                assert_eq!(
-                    s.contains(&[tau, x]),
-                    d.contains(&[tau, x]),
-                    "({tau},{x})"
-                );
+                assert_eq!(s.contains(&[tau, x]), d.contains(&[tau, x]), "({tau},{x})");
             }
         }
     }

@@ -96,11 +96,7 @@ pub fn gradient2d() -> StencilProgram {
     // Note: the four `c()` loads alias the same cell; load counting counts
     // distinct cells (see `characteristics`), matching the paper's 5.
     let s = StencilExpr::sum(vec![sq([1, 0]), sq([-1, 0]), sq([0, 1]), sq([0, -1])]);
-    single(
-        "gradient2d",
-        2,
-        StencilExpr::Sqrt(Box::new(s)).scale(0.5),
-    )
+    single("gradient2d", 2, StencilExpr::Sqrt(Box::new(s)).scale(0.5))
 }
 
 /// The 2D FDTD multi-statement kernel (three statements: ey, ex, hz).
@@ -159,8 +155,7 @@ pub fn fdtd2d() -> StencilProgram {
             ),
         },
     ];
-    StencilProgram::new("fdtd2d", 2, &["ey", "ex", "hz"], stmts)
-        .expect("fdtd is canonical")
+    StencilProgram::new("fdtd2d", 2, &["ey", "ex", "hz"], stmts).expect("fdtd is canonical")
 }
 
 /// The 3D Laplacian kernel (7 loads, 8 FLOPs).

@@ -40,7 +40,9 @@ impl Grid {
     /// dependencies.
     pub fn random(dims: &[usize], seed: u64) -> Grid {
         let mut g = Grid::zeros(dims);
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         for v in g.data.iter_mut() {
             state = state
                 .wrapping_mul(6364136223846793005)

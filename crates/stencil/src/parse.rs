@@ -377,8 +377,7 @@ pub fn parse_stencil(name: &str, src: &str) -> Result<StencilProgram, ParseError
     }
     let spatial = p.iters.len();
     let field_names: Vec<&str> = p.fields.iter().map(String::as_str).collect();
-    StencilProgram::new(name, spatial, &field_names, statements)
-        .map_err(ParseError)
+    StencilProgram::new(name, spatial, &field_names, statements).map_err(ParseError)
 }
 
 #[cfg(test)]
@@ -412,7 +411,7 @@ mod tests {
         let parsed = parse_stencil("jacobi", JACOBI_SRC).unwrap();
         let builtin = gallery::jacobi2d();
         let init = Grid::random(&[12, 12], 9);
-        let mut a = ReferenceExecutor::new(&parsed, &[init.clone()]);
+        let mut a = ReferenceExecutor::new(&parsed, std::slice::from_ref(&init));
         let mut b = ReferenceExecutor::new(&builtin, &[init]);
         a.run(4);
         b.run(4);

@@ -68,9 +68,7 @@ impl StencilExpr {
     pub fn sum(terms: Vec<StencilExpr>) -> StencilExpr {
         let mut it = terms.into_iter();
         let first = it.next().expect("sum of no terms");
-        it.fold(first, |acc, t| {
-            StencilExpr::Add(Box::new(acc), Box::new(t))
-        })
+        it.fold(first, |acc, t| StencilExpr::Add(Box::new(acc), Box::new(t)))
     }
 
     /// Multiplies by a scalar constant.
@@ -290,9 +288,7 @@ impl StencilProgram {
         for st in &self.statements {
             for (d, it) in iters.iter().enumerate() {
                 out.push_str(&"  ".repeat(d + 1));
-                out.push_str(&format!(
-                    "for ({it} = r{d}; {it} < N{d} - r{d}; {it}++)\n"
-                ));
+                out.push_str(&format!("for ({it} = r{d}; {it} < N{d} - r{d}; {it}++)\n"));
             }
             out.push_str(&"  ".repeat(self.spatial_dims + 1));
             out.push_str(&format!(
@@ -319,19 +315,40 @@ impl StencilProgram {
                         o => format!("[{it}{o}]"),
                     })
                     .collect();
-                format!("{}[t{}]{}", self.field_names[a.field.0],
-                    if a.dt == 0 { "+1".to_string() } else if a.dt == 1 { String::new() } else { format!("-{}", a.dt - 1) },
-                    idx)
+                format!(
+                    "{}[t{}]{}",
+                    self.field_names[a.field.0],
+                    if a.dt == 0 {
+                        "+1".to_string()
+                    } else if a.dt == 1 {
+                        String::new()
+                    } else {
+                        format!("-{}", a.dt - 1)
+                    },
+                    idx
+                )
             }
             StencilExpr::Const(c) => format!("{c:?}f"),
             StencilExpr::Add(a, b) => {
-                format!("({} + {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+                format!(
+                    "({} + {})",
+                    self.expr_to_c(a, iters),
+                    self.expr_to_c(b, iters)
+                )
             }
             StencilExpr::Sub(a, b) => {
-                format!("({} - {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+                format!(
+                    "({} - {})",
+                    self.expr_to_c(a, iters),
+                    self.expr_to_c(b, iters)
+                )
             }
             StencilExpr::Mul(a, b) => {
-                format!("({} * {})", self.expr_to_c(a, iters), self.expr_to_c(b, iters))
+                format!(
+                    "({} * {})",
+                    self.expr_to_c(a, iters),
+                    self.expr_to_c(b, iters)
+                )
             }
             StencilExpr::Sqrt(a) => format!("sqrtf({})", self.expr_to_c(a, iters)),
         }
@@ -417,8 +434,7 @@ mod tests {
             writes: a,
             expr: StencilExpr::load(a, 1, &[0]),
         };
-        let err =
-            StencilProgram::new("bad", 1, &["A"], vec![st("S0"), st("S1")]).unwrap_err();
+        let err = StencilProgram::new("bad", 1, &["A"], vec![st("S0"), st("S1")]).unwrap_err();
         assert!(err.contains("written by both"), "{err}");
     }
 

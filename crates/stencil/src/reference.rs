@@ -36,10 +36,7 @@ impl ReferenceExecutor {
             "one initial grid per field required"
         );
         let depth = (program.max_dt() as usize) + 1;
-        let planes = init
-            .iter()
-            .map(|g| vec![g.clone(); depth])
-            .collect();
+        let planes = init.iter().map(|g| vec![g.clone(); depth]).collect();
         ReferenceExecutor {
             program: program.clone(),
             planes,
@@ -48,7 +45,11 @@ impl ReferenceExecutor {
     }
 
     /// Convenience: deterministic pseudo-random initial state.
-    pub fn with_random_init(program: &StencilProgram, dims: &[usize], seed: u64) -> ReferenceExecutor {
+    pub fn with_random_init(
+        program: &StencilProgram,
+        dims: &[usize],
+        seed: u64,
+    ) -> ReferenceExecutor {
         let grids: Vec<Grid> = (0..program.num_fields())
             .map(|f| Grid::random(dims, seed.wrapping_add(f as u64)))
             .collect();
@@ -97,16 +98,10 @@ impl ReferenceExecutor {
         for st in program.statements() {
             let writes = st.writes.0;
             // Iterate interior points: radius[d] <= idx[d] < dims[d]-radius[d].
-            for d in 0..spatial {
-                idx[d] = radius[d];
-            }
+            idx[..spatial].copy_from_slice(&radius[..spatial]);
             'points: loop {
                 let value = st.expr.eval(&mut |a: &Access| {
-                    let pos: Vec<i64> = idx
-                        .iter()
-                        .zip(&a.offsets)
-                        .map(|(&i, &o)| i + o)
-                        .collect();
+                    let pos: Vec<i64> = idx.iter().zip(&a.offsets).map(|(&i, &o)| i + o).collect();
                     // dt = 0 reads the in-progress plane (ring[0]); dt >= 1
                     // reads `dt` planes back.
                     self.planes[a.field.0][a.dt as usize].get(&pos)
@@ -123,9 +118,7 @@ impl ReferenceExecutor {
                     let hi = dims[d] as i64 - radius[d] - 1;
                     if idx[d] < hi {
                         idx[d] += 1;
-                        for q in d + 1..spatial {
-                            idx[q] = radius[q];
-                        }
+                        idx[(d + 1)..spatial].copy_from_slice(&radius[(d + 1)..spatial]);
                         break;
                     }
                     idx[d] = radius[d];
@@ -173,7 +166,7 @@ mod tests {
     fn boundary_cells_never_change() {
         let p = gallery::jacobi2d();
         let init = Grid::random(&[10, 10], 7);
-        let mut ex = ReferenceExecutor::new(&p, &[init.clone()]);
+        let mut ex = ReferenceExecutor::new(&p, std::slice::from_ref(&init));
         ex.run(4);
         let out = ex.field(0);
         for i in 0..10i64 {

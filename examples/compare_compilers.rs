@@ -6,8 +6,8 @@
 //! where `stencil` is one of jacobi2d, heat2d, laplacian2d, gradient2d,
 //! fdtd2d, heat3d, laplacian3d, gradient3d (default heat2d).
 
-use hybrid_hexagonal::prelude::*;
 use gpusim::timing;
+use hybrid_hexagonal::prelude::*;
 use stencil::gallery;
 
 fn pick(name: &str) -> StencilProgram {
@@ -56,13 +56,17 @@ fn main() {
         ),
     ];
 
-    println!("{}: {:?} grid, {} steps (fully simulated, no sampling)\n", program.name(), dims, steps);
+    println!(
+        "{}: {:?} grid, {} steps (fully simulated, no sampling)\n",
+        program.name(),
+        dims,
+        steps
+    );
     for (label, plan) in plans {
         let mut sim = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
         sim.run_plan(&plan);
         let out = steps % planes;
-        let exact = (0..program.num_fields())
-            .all(|f| sim.plane(f, out).bit_equal(oracle.field(f)));
+        let exact = (0..program.num_fields()).all(|f| sim.plane(f, out).bit_equal(oracle.field(f)));
         assert!(exact, "{label} diverged from the oracle");
         let mut c = *sim.counters();
         c.point_updates = oracle.point_updates();

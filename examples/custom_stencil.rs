@@ -53,14 +53,9 @@ fn main() {
     // End-to-end: simulate and compare with the oracle.
     let dims = [40usize, 48];
     let steps = 9;
-    let plan = gpu_codegen::generate_hybrid(
-        &program,
-        &params,
-        &dims,
-        steps,
-        CodegenOptions::best(),
-    )
-    .expect("plan");
+    let plan =
+        gpu_codegen::generate_hybrid(&program, &params, &dims, steps, CodegenOptions::best())
+            .expect("plan");
     let init = vec![Grid::random(&dims, 5)];
     let mut sim = GpuSim::new(DeviceConfig::nvs5200m(), &init, 2);
     sim.run_plan(&plan);

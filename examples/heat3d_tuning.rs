@@ -48,8 +48,7 @@ fn main() {
         }
     }
 
-    let best = select_tile_sizes(&program, smem_limit, &space)
-        .expect("some candidate fits");
+    let best = select_tile_sizes(&program, smem_limit, &space).expect("some candidate fits");
     println!(
         "\nselected: h = {}, w = {:?}  (ratio {:.3}, {:.1} KB shared)",
         best.params.h,

@@ -11,20 +11,17 @@ use stencil::gallery;
 fn main() {
     let program = gallery::jacobi2d();
     let params = TileParams::new(2, &[3, 32]);
-    let plan = generate_hybrid(
-        &program,
-        &params,
-        &[512, 512],
-        16,
-        CodegenOptions::best(),
-    )
-    .expect("plan");
+    let plan =
+        generate_hybrid(&program, &params, &[512, 512], 16, CodegenOptions::best()).expect("plan");
 
     println!("=== generated kernels ===");
     for k in &plan.kernels {
         println!(
             "{}: block {}x{}x{}, {} bytes shared",
-            k.name, k.block_dim[0], k.block_dim[1], k.block_dim[2],
+            k.name,
+            k.block_dim[0],
+            k.block_dim[1],
+            k.block_dim[2],
             k.shared_bytes()
         );
     }

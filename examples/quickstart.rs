@@ -16,8 +16,7 @@ fn main() {
 
     // 2. Build the hybrid schedule: dependence cone -> hexagon -> phases.
     let params = TileParams::new(2, &[3, 32]);
-    let schedule =
-        HybridSchedule::compute(&program, &params).expect("jacobi is canonical");
+    let schedule = HybridSchedule::compute(&program, &params).expect("jacobi is canonical");
     println!(
         "dependence cone: delta0 = {}, delta1 = {}",
         schedule.cone().delta0(0),
@@ -32,8 +31,8 @@ fn main() {
     // 3. Exhaustively verify the schedule on a bounded domain.
     let dims = [128usize, 128];
     let steps = 18;
-    let exec_schedule = HybridSchedule::compute_executable(&program, &params)
-        .expect("storage-aware schedule");
+    let exec_schedule =
+        HybridSchedule::compute_executable(&program, &params).expect("storage-aware schedule");
     let domain = ScheduledDomain::new(&program, &dims, steps);
     let report = verify_schedule_storage(&exec_schedule, &program, &domain)
         .expect("schedule must be correct");
@@ -43,8 +42,8 @@ fn main() {
     );
 
     // 4. Generate CUDA-model kernels and simulate them.
-    let plan = generate_hybrid(&program, &params, &dims, steps, CodegenOptions::best())
-        .expect("codegen");
+    let plan =
+        generate_hybrid(&program, &params, &dims, steps, CodegenOptions::best()).expect("codegen");
     println!("{plan}");
     let init = vec![Grid::random(&dims, 1)];
     let mut sim = GpuSim::new(DeviceConfig::gtx470(), &init, 2);

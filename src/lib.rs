@@ -38,8 +38,6 @@ pub mod prelude {
     pub use baselines::{generate_overtile, generate_par4all, generate_ppcg};
     pub use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
     pub use gpusim::{DeviceConfig, GpuSim};
-    pub use hybrid_tiling::{
-        verify_schedule, DepCone, HexShape, HybridSchedule, TileParams,
-    };
+    pub use hybrid_tiling::{verify_schedule, DepCone, HexShape, HybridSchedule, TileParams};
     pub use stencil::{Grid, ReferenceExecutor, StencilProgram};
 }

@@ -53,10 +53,7 @@ fn full_tile_branch_has_no_lane_dependent_conditions() {
                 Stmt::If { cond, then_, else_ } => {
                     if !else_.is_empty() && has_compute(then_) {
                         // This is the full/partial separation point.
-                        assert!(
-                            !cond_uses_tid(cond),
-                            "separation condition must be uniform"
-                        );
+                        assert!(!cond_uses_tid(cond), "separation condition must be uniform");
                         assert_no_lane_ifs(then_);
                         found += 1;
                     } else {

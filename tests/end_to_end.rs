@@ -33,15 +33,19 @@ fn assert_bit_exact(
     }
 }
 
-fn hybrid_plan(program: &StencilProgram, dims: &[usize], steps: usize, opts: CodegenOptions) -> LaunchPlan {
+fn hybrid_plan(
+    program: &StencilProgram,
+    dims: &[usize],
+    steps: usize,
+    opts: CodegenOptions,
+) -> LaunchPlan {
     let params = match (program.name(), program.spatial_dims()) {
         (_, 1) => TileParams::new(2, &[3]),
         ("fdtd2d", _) => TileParams::new(2, &[2, 8]),
         (_, 2) => TileParams::new(2, &[3, 8]),
         _ => TileParams::new(1, &[1, 3, 8]),
     };
-    gpu_codegen::generate_hybrid(program, &params, dims, steps, opts)
-        .expect("hybrid plan")
+    gpu_codegen::generate_hybrid(program, &params, dims, steps, opts).expect("hybrid plan")
 }
 
 #[test]
@@ -90,18 +94,64 @@ fn baselines_match_oracle() {
     for program in [gallery::jacobi2d(), gallery::heat2d(), gallery::fdtd2d()] {
         let dims = [24usize, 24];
         let steps = 10;
-        assert_bit_exact(&program, &dims, steps, "par4all", &generate_par4all(&program, &dims, steps));
-        assert_bit_exact(&program, &dims, steps, "ppcg", &generate_ppcg(&program, &dims, steps));
-        assert_bit_exact(&program, &dims, steps, "overtile", &generate_overtile(&program, &dims, steps));
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "par4all",
+            &generate_par4all(&program, &dims, steps),
+        );
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "ppcg",
+            &generate_ppcg(&program, &dims, steps),
+        );
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "overtile",
+            &generate_overtile(&program, &dims, steps),
+        );
     }
-    for program in [gallery::laplacian3d(), gallery::heat3d(), gallery::gradient3d()] {
+    for program in [
+        gallery::laplacian3d(),
+        gallery::heat3d(),
+        gallery::gradient3d(),
+    ] {
         let dims = [10usize, 10, 10];
         let steps = 3;
-        assert_bit_exact(&program, &dims, steps, "par4all", &generate_par4all(&program, &dims, steps));
-        assert_bit_exact(&program, &dims, steps, "ppcg", &generate_ppcg(&program, &dims, steps));
-        assert_bit_exact(&program, &dims, steps, "overtile", &generate_overtile(&program, &dims, steps));
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "par4all",
+            &generate_par4all(&program, &dims, steps),
+        );
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "ppcg",
+            &generate_ppcg(&program, &dims, steps),
+        );
+        assert_bit_exact(
+            &program,
+            &dims,
+            steps,
+            "overtile",
+            &generate_overtile(&program, &dims, steps),
+        );
         if baselines::patus::supported(&program) {
-            assert_bit_exact(&program, &dims, steps, "patus", &generate_patus(&program, &dims, steps));
+            assert_bit_exact(
+                &program,
+                &dims,
+                steps,
+                "patus",
+                &generate_patus(&program, &dims, steps),
+            );
         }
     }
 }

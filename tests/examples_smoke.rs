@@ -1,0 +1,61 @@
+//! Smoke coverage for the examples: all five compile, and `quickstart`
+//! runs the full pipeline (schedule → codegen → simulation → bit-exact
+//! check) to completion.
+//!
+//! The test shells out to the `cargo` that invoked it; the build lock is
+//! free while tests run, and the shared target directory keeps the builds
+//! incremental.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn all_five_examples_compile() {
+    for name in [
+        "quickstart",
+        "custom_stencil",
+        "inspect_codegen",
+        "compare_compilers",
+        "heat3d_tuning",
+    ] {
+        let src = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples")
+            .join(format!("{name}.rs"));
+        assert!(src.is_file(), "example source {} missing", src.display());
+    }
+    let out = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = cargo()
+        .args(["run", "-q", "--example", "quickstart"])
+        .output()
+        .expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("bit-exact"),
+        "quickstart did not report its bit-exactness check:\n{stdout}"
+    );
+}

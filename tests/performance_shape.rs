@@ -4,8 +4,8 @@
 //! asserted (the substrate is a model, not the authors' testbed).
 
 use gpusim::timing;
-use hybrid_bench::{measure, Compiler};
 use gpusim::DeviceConfig;
+use hybrid_bench::{measure, Compiler};
 use stencil::gallery;
 
 fn gstencils(c: Compiler, p: &stencil::StencilProgram, dims: &[usize], steps: usize) -> f64 {
@@ -67,7 +67,14 @@ fn hybrid_dram_traffic_is_a_fraction_of_ppcg() {
     let p = gallery::heat2d();
     let dims = [512usize, 512];
     let steps = 16;
-    let hybrid = measure(Compiler::Hybrid, &p, &DeviceConfig::gtx470(), &dims, steps, 2);
+    let hybrid = measure(
+        Compiler::Hybrid,
+        &p,
+        &DeviceConfig::gtx470(),
+        &dims,
+        steps,
+        2,
+    );
     let ppcg = measure(Compiler::Ppcg, &p, &DeviceConfig::gtx470(), &dims, steps, 2);
     assert!(
         (hybrid.counters.dram_bytes() as f64) < 0.7 * ppcg.counters.dram_bytes() as f64,
@@ -109,8 +116,7 @@ fn static_reuse_bank_conflicts_exceed_dynamic() {
     let stat = run(SmemStrategy::ReuseStatic);
     let dynm = run(SmemStrategy::ReuseDynamic);
     assert!(
-        stat.counters.shared_loads_per_request()
-            > dynm.counters.shared_loads_per_request() + 0.1,
+        stat.counters.shared_loads_per_request() > dynm.counters.shared_loads_per_request() + 0.1,
         "static {} vs dynamic {}",
         stat.counters.shared_loads_per_request(),
         dynm.counters.shared_loads_per_request()

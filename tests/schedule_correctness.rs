@@ -14,15 +14,60 @@ use stencil::{gallery, DistanceVector};
 #[test]
 fn every_gallery_stencil_verifies_flow_and_storage() {
     let cases: Vec<(StencilProgram, TileParams, Vec<usize>, usize)> = vec![
-        (gallery::jacobi2d(), TileParams::new(2, &[2, 3]), vec![16, 12], 9),
-        (gallery::laplacian2d(), TileParams::new(1, &[1, 4]), vec![14, 14], 8),
-        (gallery::heat2d(), TileParams::new(2, &[3, 2]), vec![14, 12], 7),
-        (gallery::gradient2d(), TileParams::new(1, &[2, 3]), vec![12, 12], 6),
-        (gallery::fdtd2d(), TileParams::new(2, &[2, 3]), vec![12, 12], 4),
-        (gallery::laplacian3d(), TileParams::new(1, &[1, 2, 3]), vec![8, 8, 8], 4),
-        (gallery::heat3d(), TileParams::new(1, &[2, 2, 2]), vec![8, 8, 8], 4),
-        (gallery::gradient3d(), TileParams::new(1, &[1, 3, 2]), vec![8, 8, 8], 4),
-        (gallery::contrived1d(), TileParams::new(2, &[3]), vec![36], 9),
+        (
+            gallery::jacobi2d(),
+            TileParams::new(2, &[2, 3]),
+            vec![16, 12],
+            9,
+        ),
+        (
+            gallery::laplacian2d(),
+            TileParams::new(1, &[1, 4]),
+            vec![14, 14],
+            8,
+        ),
+        (
+            gallery::heat2d(),
+            TileParams::new(2, &[3, 2]),
+            vec![14, 12],
+            7,
+        ),
+        (
+            gallery::gradient2d(),
+            TileParams::new(1, &[2, 3]),
+            vec![12, 12],
+            6,
+        ),
+        (
+            gallery::fdtd2d(),
+            TileParams::new(2, &[2, 3]),
+            vec![12, 12],
+            4,
+        ),
+        (
+            gallery::laplacian3d(),
+            TileParams::new(1, &[1, 2, 3]),
+            vec![8, 8, 8],
+            4,
+        ),
+        (
+            gallery::heat3d(),
+            TileParams::new(1, &[2, 2, 2]),
+            vec![8, 8, 8],
+            4,
+        ),
+        (
+            gallery::gradient3d(),
+            TileParams::new(1, &[1, 3, 2]),
+            vec![8, 8, 8],
+            4,
+        ),
+        (
+            gallery::contrived1d(),
+            TileParams::new(2, &[3]),
+            vec![36],
+            9,
+        ),
     ];
     for (program, params, dims, steps) in cases {
         let domain = ScheduledDomain::new(&program, &dims, steps);
@@ -44,7 +89,11 @@ fn full_tiles_all_carry_identical_point_counts() {
     let schedule = HybridSchedule::compute(&program, &params).unwrap();
     let domain = ScheduledDomain::new(&program, &[40, 30], 20);
     let report = verify_schedule(&schedule, &program, &domain).unwrap();
-    assert!(report.full_tiles >= 8, "want several full tiles, got {}", report.full_tiles);
+    assert!(
+        report.full_tiles >= 8,
+        "want several full tiles, got {}",
+        report.full_tiles
+    );
 }
 
 proptest! {
