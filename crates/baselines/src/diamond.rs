@@ -1,6 +1,6 @@
 //! Diamond tiling, schedule-level: the §5 comparison.
 //!
-//! The paper argues (§2, §5 and reference [9]) that diamond tiling cannot
+//! The paper argues (§2, §5 and reference \[9\]) that diamond tiling cannot
 //! match hybrid hexagonal tiling on GPUs because, among other reasons,
 //! "even though all tiles may have identical shapes, the actual number of
 //! integer points may vary between different tiles", causing thread

@@ -1,0 +1,252 @@
+//! Simulator-backed tile-size autotuning and the sequential-vs-parallel
+//! speedup measurement behind `BENCH_autotune.json`.
+//!
+//! The sweep itself lives in [`hybrid_tiling::tilesize::autotune`] (which
+//! cannot depend on the simulator); this module supplies the missing
+//! half: a scorer that generates the hybrid kernels for each candidate,
+//! interprets them on the block-parallel [`GpuSim`], and returns simulated
+//! GStencils/s — plus wall-clock instrumentation comparing the sequential
+//! and parallel executors on the Table-3 gallery.
+
+use std::time::Instant;
+
+use gpu_codegen::hybrid_gen::alignment_offset_words;
+use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpusim::{timing, DeviceConfig, GpuSim};
+use hybrid_tiling::tilesize::autotune::{autotune, AutotuneConfig, AutotuneReport};
+use hybrid_tiling::{SearchSpace, TileParams};
+use stencil::{Grid, StencilProgram};
+
+use crate::{hybrid_params, point_updates};
+
+/// Small workload used to score autotune candidates: large enough that
+/// tile-grid geometry matters, small enough that a full (unsampled)
+/// functional run per candidate stays cheap.
+pub fn autotune_workload(program: &StencilProgram) -> (Vec<usize>, usize) {
+    match program.spatial_dims() {
+        2 => (vec![96, 96], 12),
+        3 => (vec![20, 20, 36], 6),
+        _ => (vec![256], 12),
+    }
+}
+
+/// The §6 sweep space for `n` spatial dimensions. `smoke` shrinks it for
+/// CI: every stage still runs, on a handful of candidates.
+pub fn sweep_space(n: usize, smoke: bool) -> SearchSpace {
+    if smoke {
+        SearchSpace::for_dims(n, vec![1, 2], vec![1, 3], &[4], &[32])
+    } else {
+        SearchSpace::for_dims(n, vec![0, 1, 2, 3], vec![1, 3, 5], &[4, 8], &[32, 64])
+    }
+}
+
+/// Scores one candidate: generates the hybrid plan, runs it in full on the
+/// block-parallel simulator with `threads` workers, and returns simulated
+/// GStencils/s. `None` when codegen fails or a kernel exceeds the device's
+/// shared-memory limit (the candidate is infeasible on `device` even if it
+/// fit the model's budget).
+pub fn simulate_score(
+    program: &StencilProgram,
+    params: &TileParams,
+    device: &DeviceConfig,
+    dims: &[usize],
+    steps: usize,
+    threads: usize,
+) -> Option<f64> {
+    let opts = CodegenOptions::best();
+    let plan = generate_hybrid(program, params, dims, steps, opts).ok()?;
+    if plan
+        .kernels
+        .iter()
+        .any(|k| k.shared_bytes() > device.shared_limit)
+    {
+        return None;
+    }
+    let align = alignment_offset_words(program, params, &opts);
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(dims, 7 + f as u64))
+        .collect();
+    let planes = program.max_dt() as usize + 1;
+    let mut sim = GpuSim::with_global_offset(device.clone(), &init, planes, align);
+    sim.run_plan_parallel_with(&plan, threads);
+    sim.set_point_updates(point_updates(program, dims, steps));
+    Some(timing::gstencils_per_s(sim.counters(), sim.device()))
+}
+
+/// Runs the full autotune pipeline for one program: sweep under Fermi
+/// budgets, verify the top candidates' schedules exhaustively on a small
+/// domain, score each on the parallel simulator.
+pub fn autotune_program(
+    program: &StencilProgram,
+    device: &DeviceConfig,
+    threads: usize,
+    smoke: bool,
+) -> AutotuneReport {
+    let space = sweep_space(program.spatial_dims(), smoke);
+    let verify_domain = match program.spatial_dims() {
+        2 => (vec![16, 12], 8),
+        3 => (vec![8, 8, 10], 4),
+        _ => (vec![40], 10),
+    };
+    let cfg = AutotuneConfig {
+        smem_limit: device.shared_limit as u64,
+        verify_domain: Some(verify_domain),
+        max_candidates: if smoke { 4 } else { 16 },
+        ..AutotuneConfig::fermi()
+    };
+    let (dims, steps) = autotune_workload(program);
+    autotune(program, &space, &cfg, |model| {
+        simulate_score(program, &model.params, device, &dims, steps, threads)
+    })
+}
+
+/// Wall-clock comparison of one plan on the sequential vs. the parallel
+/// executor, with a bit-exactness cross-check of the merged counters.
+#[derive(Clone, Debug)]
+pub struct SpeedupSample {
+    /// Stencil name.
+    pub stencil: String,
+    /// Sequential `run_plan` wall time in seconds.
+    pub seq_seconds: f64,
+    /// Parallel `run_plan_parallel_with` wall time in seconds.
+    pub par_seconds: f64,
+    /// Thread-block launches executed (workload size indicator).
+    pub launches: u64,
+}
+
+impl SpeedupSample {
+    /// Sequential time over parallel time (> 1 means parallel wins).
+    pub fn speedup(&self) -> f64 {
+        if self.par_seconds <= 0.0 {
+            return 1.0;
+        }
+        self.seq_seconds / self.par_seconds
+    }
+}
+
+/// Workload for the speedup measurement: big enough that per-launch pool
+/// overhead amortizes, small enough for CI smoke runs.
+pub fn speedup_workload(program: &StencilProgram, smoke: bool) -> (Vec<usize>, usize) {
+    match (program.spatial_dims(), smoke) {
+        (2, true) => (vec![96, 96], 8),
+        (2, false) => (vec![256, 256], 16),
+        (3, true) => (vec![20, 20, 36], 4),
+        (3, false) => (vec![40, 40, 64], 8),
+        (_, true) => (vec![512], 8),
+        (_, false) => (vec![2048], 16),
+    }
+}
+
+/// Measures the sequential and parallel executors on one program's hybrid
+/// plan (default tile parameters), asserting that both produce identical
+/// counters before reporting times. Each executor runs `repeats` times and
+/// the **minimum** (least-noise) wall time is reported, so a single
+/// noisy-neighbor stall on a shared CI runner cannot flip a speedup gate.
+///
+/// # Panics
+///
+/// Panics if the two executors disagree — the speedup of a wrong answer
+/// is not worth reporting.
+pub fn measure_speedup(
+    program: &StencilProgram,
+    device: &DeviceConfig,
+    threads: usize,
+    smoke: bool,
+    repeats: usize,
+) -> SpeedupSample {
+    let repeats = repeats.max(1);
+    let params = hybrid_params(program);
+    let opts = CodegenOptions::best();
+    let (dims, steps) = speedup_workload(program, smoke);
+    let plan = generate_hybrid(program, &params, &dims, steps, opts)
+        .expect("default hybrid parameters are schedulable for gallery stencils");
+    let align = alignment_offset_words(program, &params, &opts);
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(&dims, 7 + f as u64))
+        .collect();
+    let planes = program.max_dt() as usize + 1;
+
+    let mut seq_seconds = f64::INFINITY;
+    let mut par_seconds = f64::INFINITY;
+    let mut launches = 0;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut seq = GpuSim::with_global_offset(device.clone(), &init, planes, align);
+        seq.run_plan(&plan);
+        seq_seconds = seq_seconds.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let mut par = GpuSim::with_global_offset(device.clone(), &init, planes, align);
+        par.run_plan_parallel_with(&plan, threads);
+        par_seconds = par_seconds.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(
+            par.counters(),
+            seq.counters(),
+            "{}: parallel executor diverged from sequential",
+            program.name()
+        );
+        launches = seq.counters().launches;
+    }
+    SpeedupSample {
+        stencil: program.name().to_string(),
+        seq_seconds,
+        par_seconds,
+        launches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::gallery;
+
+    #[test]
+    fn scorer_produces_positive_throughput() {
+        let p = gallery::jacobi2d();
+        let (dims, steps) = autotune_workload(&p);
+        let s = simulate_score(
+            &p,
+            &TileParams::new(2, &[3, 32]),
+            &DeviceConfig::gtx470(),
+            &dims,
+            steps,
+            2,
+        )
+        .unwrap();
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn scorer_rejects_oversized_shared_memory() {
+        let p = gallery::heat3d();
+        let (dims, steps) = autotune_workload(&p);
+        // A deliberately huge footprint: 27-point stencil with wide tile.
+        let s = simulate_score(
+            &p,
+            &TileParams::new(3, &[7, 16, 64]),
+            &DeviceConfig::gtx470(),
+            &dims,
+            steps,
+            1,
+        );
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn smoke_autotune_ranks_candidates() {
+        let p = gallery::jacobi2d();
+        let report = autotune_program(&p, &DeviceConfig::gtx470(), 2, true);
+        assert!(!report.ranked.is_empty());
+        assert!(report.ranked.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn speedup_sample_is_bit_exact_and_positive() {
+        let p = gallery::jacobi2d();
+        let s = measure_speedup(&p, &DeviceConfig::gtx470(), 2, true, 2);
+        assert!(s.seq_seconds > 0.0);
+        assert!(s.par_seconds > 0.0);
+        assert!(s.launches > 0);
+    }
+}

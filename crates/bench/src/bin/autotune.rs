@@ -1,0 +1,255 @@
+//! The §6 tile-size autotuner and the parallel-executor speedup gate.
+//!
+//! Sweeps the `(h, w0, w1, ..)` space for the selected stencils under the
+//! Fermi shared-memory/register budgets, verifies the surviving schedules,
+//! scores each candidate on the block-parallel simulator, and prints a
+//! ranked table. Also measures sequential-vs-parallel simulator wall
+//! clock on the Table-3 gallery and writes everything to
+//! `BENCH_autotune.json` (the CI artifact).
+//!
+//! Usage:
+//!
+//! ```text
+//! autotune [--smoke] [--threads N] [--device gtx470|nvs5200m]
+//!          [--min-speedup X] [--out PATH]
+//! ```
+//!
+//! * `--smoke` — tiny sweep and workloads (the CI `bench-smoke` mode);
+//! * `--threads N` — worker-pool width (default: `HYBRID_SIM_THREADS`
+//!   or the machine's available parallelism);
+//! * `--min-speedup X` — exit non-zero if the aggregate parallel speedup
+//!   over the gallery falls below `X`. Only enforced when more than one
+//!   worker is actually in use: on a single-core host the parallel path
+//!   falls back to the sequential executor and a speedup gate would only
+//!   measure timer noise.
+//! * `--out PATH` — where to write the JSON (default `BENCH_autotune.json`).
+
+use gpusim::DeviceConfig;
+use hybrid_bench::autotune::{autotune_program, measure_speedup};
+use hybrid_bench::json::Json;
+use stencil::gallery;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    device: DeviceConfig,
+    min_speedup: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: gpusim::sim_threads(),
+        device: DeviceConfig::gtx470(),
+        min_speedup: None,
+        out: "BENCH_autotune.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                args.threads = v.parse().expect("--threads takes a positive integer");
+                assert!(args.threads >= 1, "--threads takes a positive integer");
+            }
+            "--device" => {
+                let v = it.next().expect("--device needs a value");
+                args.device = match v.as_str() {
+                    "gtx470" => DeviceConfig::gtx470(),
+                    "nvs5200m" => DeviceConfig::nvs5200m(),
+                    other => panic!("unknown device {other:?} (gtx470|nvs5200m)"),
+                };
+            }
+            "--min-speedup" => {
+                let v = it.next().expect("--min-speedup needs a value");
+                args.min_speedup = Some(v.parse().expect("--min-speedup takes a number"));
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "autotune: device = {}, threads = {}, host cpus = {}, mode = {}",
+        args.device.name,
+        args.threads,
+        host_cpus,
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    // --- Sweep: 2D stencils cover the (h, w0, w1) space of §6. ---
+    let sweep_stencils = if args.smoke {
+        vec![gallery::jacobi2d()]
+    } else {
+        vec![gallery::laplacian2d(), gallery::heat2d(), gallery::heat3d()]
+    };
+    let mut sweep_json = Vec::new();
+    for program in &sweep_stencils {
+        let report = autotune_program(program, &args.device, args.threads, args.smoke);
+        println!(
+            "\n{}: {} candidates examined, {} infeasible schedule, {} over smem, \
+             {} over regs, {} pruned, {} rejected by scorer",
+            program.name(),
+            report.examined,
+            report.rejected_schedule,
+            report.rejected_smem,
+            report.rejected_regs,
+            report.pruned,
+            report.rejected_scorer,
+        );
+        println!(
+            "{:>4} {:>4} {:>12} {:>10} {:>12} {:>14}",
+            "h", "w", "ratio", "smem KB", "GStencils/s", ""
+        );
+        for (rank, e) in report.ranked.iter().enumerate() {
+            println!(
+                "{:>4} {:>4?} {:>12.4} {:>10.1} {:>12.3} {:>14}",
+                e.model.params.h,
+                e.model.params.w,
+                e.model.ratio(),
+                e.model.smem_bytes as f64 / 1024.0,
+                e.score,
+                if rank == 0 { "<- selected" } else { "" }
+            );
+        }
+        sweep_json.push(Json::obj(vec![
+            ("stencil", Json::str(program.name())),
+            ("examined", Json::UInt(report.examined as u64)),
+            (
+                "rejected_schedule",
+                Json::UInt(report.rejected_schedule as u64),
+            ),
+            ("rejected_smem", Json::UInt(report.rejected_smem as u64)),
+            ("rejected_regs", Json::UInt(report.rejected_regs as u64)),
+            ("pruned", Json::UInt(report.pruned as u64)),
+            ("rejected_scorer", Json::UInt(report.rejected_scorer as u64)),
+            (
+                "ranked",
+                Json::Arr(
+                    report
+                        .ranked
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("h", Json::Int(e.model.params.h)),
+                                (
+                                    "w",
+                                    Json::Arr(
+                                        e.model.params.w.iter().map(|&w| Json::Int(w)).collect(),
+                                    ),
+                                ),
+                                ("iterations", Json::UInt(e.model.iterations)),
+                                ("steady_loads", Json::UInt(e.model.steady_loads)),
+                                ("load_to_compute_ratio", Json::Num(e.model.ratio())),
+                                ("smem_bytes", Json::UInt(e.model.smem_bytes)),
+                                ("gstencils_per_s", Json::Num(e.score)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    // --- Speedup: sequential vs parallel executor on the Table-3 gallery. ---
+    println!("\nparallel executor vs sequential (Table-3 gallery):");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>9}",
+        "stencil", "seq (s)", "par (s)", "speedup", "launches"
+    );
+    let mut samples = Vec::new();
+    let mut total_seq = 0.0;
+    let mut total_par = 0.0;
+    for program in gallery::table3_stencils() {
+        // Best-of-3 in smoke mode keeps the CI gate robust to runner
+        // noise; full-mode workloads are long enough for a single run.
+        let repeats = if args.smoke { 3 } else { 1 };
+        let s = measure_speedup(&program, &args.device, args.threads, args.smoke, repeats);
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>8.2}x {:>9}",
+            s.stencil,
+            s.seq_seconds,
+            s.par_seconds,
+            s.speedup(),
+            s.launches
+        );
+        total_seq += s.seq_seconds;
+        total_par += s.par_seconds;
+        samples.push(s);
+    }
+    let aggregate = if total_par > 0.0 {
+        total_seq / total_par
+    } else {
+        1.0
+    };
+    println!(
+        "{:<14} {:>10.4} {:>10.4} {:>8.2}x   ({} workers)",
+        "total", total_seq, total_par, aggregate, args.threads
+    );
+
+    let doc = Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("device", Json::str(args.device.name.clone())),
+                ("threads", Json::UInt(args.threads as u64)),
+                ("host_cpus", Json::UInt(host_cpus as u64)),
+                ("smoke", Json::Bool(args.smoke)),
+            ]),
+        ),
+        ("autotune", Json::Arr(sweep_json)),
+        (
+            "parallel_speedup",
+            Json::obj(vec![
+                ("aggregate", Json::Num(aggregate)),
+                ("total_seq_seconds", Json::Num(total_seq)),
+                ("total_par_seconds", Json::Num(total_par)),
+                (
+                    "per_stencil",
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stencil", Json::str(s.stencil.clone())),
+                                    ("seq_seconds", Json::Num(s.seq_seconds)),
+                                    ("par_seconds", Json::Num(s.par_seconds)),
+                                    ("speedup", Json::Num(s.speedup())),
+                                    ("launches", Json::UInt(s.launches)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, doc.render()).expect("write bench JSON");
+    println!("\nwrote {}", args.out);
+
+    if let Some(min) = args.min_speedup {
+        let effective_workers = args.threads.min(host_cpus);
+        if effective_workers <= 1 {
+            println!(
+                "speedup gate skipped: {effective_workers} effective worker(s) — the \
+                 parallel path degenerates to the sequential executor here"
+            );
+        } else if aggregate < min {
+            eprintln!(
+                "FAIL: aggregate parallel speedup {aggregate:.2}x is below the \
+                 required {min:.2}x at {} threads",
+                args.threads
+            );
+            std::process::exit(1);
+        } else {
+            println!("speedup gate passed: {aggregate:.2}x >= {min:.2}x");
+        }
+    }
+}

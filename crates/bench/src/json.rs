@@ -1,0 +1,150 @@
+//! A minimal JSON value + serializer for the `BENCH_*.json` artifacts.
+//!
+//! The build environment has no registry access, so instead of `serde` the
+//! bench binaries assemble a small [`Json`] tree and render it. Output is
+//! deterministic (object keys keep insertion order) so artifact diffs
+//! between CI runs are meaningful.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (kept separate from floats so counters render exactly).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float; non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::obj(vec![
+            ("name", Json::str("jacobi2d")),
+            ("score", Json::Num(1.5)),
+            ("counts", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"jacobi2d\""));
+        assert!(s.contains("\"score\": 1.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings_and_hides_nan() {
+        let v = Json::obj(vec![
+            ("q", Json::str("a\"b\\c\nd")),
+            ("bad", Json::Num(f64::NAN)),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"bad\": null"));
+    }
+}

@@ -9,6 +9,9 @@
 //! ([`gpusim::GpuSim::run_plan_sampled`]). EXPERIMENTS.md records the
 //! scaling next to every reproduced number.
 
+pub mod autotune;
+pub mod json;
+
 use baselines::{generate_overtile, generate_par4all, generate_patus, generate_ppcg};
 use gpu_codegen::hybrid_gen::alignment_offset_words;
 use gpu_codegen::ir::LaunchPlan;

@@ -30,7 +30,11 @@
 //! * [`verify`] — exhaustive correctness checking: unique tile ownership,
 //!   dependence legality under the CUDA execution model, and identical
 //!   point counts across full tiles (the paper's no-divergence argument);
-//! * [`tilesize`] — the load-to-compute-ratio tile-size model of §3.7.
+//! * [`tilesize`] — the load-to-compute-ratio tile-size model of §3.7;
+//! * [`tilesize::autotune`] — the §6 autotuning sweep: enumerate the
+//!   `(h, w0, ..)` space under shared-memory/register budgets, verify the
+//!   surviving schedules, and rank them by a caller-supplied (typically
+//!   simulator-backed) score.
 //!
 //! ```
 //! use hybrid_tiling::{HybridSchedule, TileParams};
@@ -59,5 +63,6 @@ pub use hexagon::HexShape;
 pub use params::{TileError, TileParams};
 pub use phase::{Phase, PhaseCoords};
 pub use schedule::{HybridSchedule, TileCoord};
-pub use tilesize::{select_tile_sizes, TileSizeModel};
+pub use tilesize::autotune::{autotune, AutotuneConfig, AutotuneEntry, AutotuneReport};
+pub use tilesize::{select_tile_sizes, SearchSpace, TileSizeModel};
 pub use verify::{verify_schedule, VerifyError};

@@ -1,0 +1,366 @@
+//! Tile-size autotuning (§6): sweep the `(h, w0, w1, ..)` space subject to
+//! the shared-memory and register-file constraints, and rank the surviving
+//! candidates by a measured score.
+//!
+//! The paper tunes tile sizes per benchmark by combining the static
+//! load-to-compute model of §3.7 with the hardware resource limits of §6
+//! (48 KB of shared memory and a 32 K-register file per SM on Fermi) and a
+//! measurement pass over the remaining candidates. This module reproduces
+//! that pipeline:
+//!
+//! 1. **enumerate** every parameter choice in a [`SearchSpace`] and
+//!    evaluate the exact per-tile model ([`evaluate_tile`]);
+//! 2. **prune** candidates whose shared-memory footprint or estimated
+//!    register demand exceed the [`AutotuneConfig`] budgets;
+//! 3. optionally **verify** each surviving schedule exhaustively on a
+//!    small domain ([`crate::verify`]) — asserting the §3.3.3 properties
+//!    the block-parallel simulator relies on (concurrent `S0` tiles are
+//!    independent, so blocks of one launch never overlap writes);
+//! 4. **score** candidates through a caller-supplied function and return
+//!    the ranked table.
+//!
+//! The scorer is a plain closure because this crate sits below the
+//! simulator in the dependency order: `hybrid_bench` plugs in a
+//! `gpusim`-backed scorer (simulated GStencils/s on the device of
+//! interest) and exposes the whole pipeline as the `autotune` binary.
+
+use stencil::domain::ScheduledDomain;
+use stencil::StencilProgram;
+
+use crate::params::TileParams;
+use crate::schedule::HybridSchedule;
+use crate::tilesize::{evaluate_tile, SearchSpace, TileSizeModel};
+use crate::verify::verify_schedule_storage;
+
+/// Resource budgets and knobs for one autotuning run.
+#[derive(Clone, Debug)]
+pub struct AutotuneConfig {
+    /// Shared-memory budget per block in bytes (§6: 48 KB on Fermi).
+    pub smem_limit: u64,
+    /// Register-file budget per block in 4-byte registers (§6: 32 K per
+    /// SM on Fermi, with one resident block charged the full file —
+    /// a conservative single-occupancy reading of the constraint).
+    pub regs_per_block: u64,
+    /// Exhaustively verify each surviving candidate's executable schedule
+    /// on this `(dims, steps)` domain before scoring. `None` skips
+    /// verification (the schedules are still constructed, just not
+    /// point-checked).
+    pub verify_domain: Option<(Vec<usize>, usize)>,
+    /// Keep at most this many candidates (best static load-to-compute
+    /// ratio first) for the verify/score stages.
+    pub max_candidates: usize,
+}
+
+impl AutotuneConfig {
+    /// Fermi-class budgets (GTX 470 / NVS 5200M): 48 KB shared memory and
+    /// a 32 K-register file, no candidate cap, no verification domain.
+    pub fn fermi() -> AutotuneConfig {
+        AutotuneConfig {
+            smem_limit: 48 * 1024,
+            regs_per_block: 32 * 1024,
+            verify_domain: None,
+            max_candidates: usize::MAX,
+        }
+    }
+}
+
+/// One scored candidate.
+#[derive(Clone, Debug)]
+pub struct AutotuneEntry {
+    /// The static per-tile model (parameters, iteration/load counts,
+    /// shared-memory footprint).
+    pub model: TileSizeModel,
+    /// The scorer's figure of merit; **higher is better** (simulator-backed
+    /// scorers return GStencils/s).
+    pub score: f64,
+}
+
+/// The outcome of an autotuning sweep: the ranked table plus where the
+/// rest of the space went.
+#[derive(Clone, Debug, Default)]
+pub struct AutotuneReport {
+    /// Scored candidates, best first (ties broken toward the lower static
+    /// load-to-compute ratio).
+    pub ranked: Vec<AutotuneEntry>,
+    /// Parameter choices examined in total.
+    pub examined: usize,
+    /// Rejected: no hybrid schedule exists for the parameters.
+    pub rejected_schedule: usize,
+    /// Rejected: shared-memory footprint exceeds the budget.
+    pub rejected_smem: usize,
+    /// Rejected: estimated register demand exceeds the budget.
+    pub rejected_regs: usize,
+    /// Dropped by the `max_candidates` cap after static ranking.
+    pub pruned: usize,
+    /// Rejected by the scorer (`None` — e.g. device limits at codegen).
+    pub rejected_scorer: usize,
+}
+
+impl AutotuneReport {
+    /// The winning candidate, if any survived.
+    pub fn best(&self) -> Option<&AutotuneEntry> {
+        self.ranked.first()
+    }
+}
+
+/// Threads per block the hybrid code generator will use for `params`:
+/// the product of the classical widths `w[1..]` (the innermost width maps
+/// to `threadIdx.x`, the next to `threadIdx.y`), with a warp-size floor
+/// for 1D programs whose block covers the hexagon bounding box.
+pub fn estimated_threads_per_block(params: &TileParams) -> u64 {
+    let classical: u64 = params.w[1..].iter().map(|&w| w as u64).product();
+    if params.w.len() == 1 {
+        32
+    } else {
+        classical
+    }
+}
+
+/// Estimated registers per block: the generated kernels hold one `f32`
+/// register per distinct load of the widest statement plus an accumulator
+/// (`n_regs = max_loads + 1` in the code generator), and roughly eight
+/// integer registers for addressing — times the block's thread count.
+pub fn estimated_regs_per_block(program: &StencilProgram, params: &TileParams) -> u64 {
+    let max_loads = program
+        .statements()
+        .iter()
+        .map(|s| s.expr.loads().len() as u64)
+        .max()
+        .unwrap_or(0);
+    (max_loads + 1 + 8) * estimated_threads_per_block(params)
+}
+
+/// Every parameter combination of the space, in deterministic sweep order
+/// (also the enumeration behind [`crate::tilesize::select_tile_sizes`]).
+pub(crate) fn combinations(space: &SearchSpace) -> Vec<(i64, Vec<i64>)> {
+    let mut tails: Vec<Vec<i64>> = vec![vec![]];
+    for cands in &space.wi {
+        let mut next = Vec::new();
+        for prefix in &tails {
+            for &w in cands {
+                let mut v = prefix.clone();
+                v.push(w);
+                next.push(v);
+            }
+        }
+        tails = next;
+    }
+    let mut out = Vec::new();
+    for &h in &space.h {
+        for &w0 in &space.w0 {
+            for tail in &tails {
+                let mut w = vec![w0];
+                w.extend_from_slice(tail);
+                out.push((h, w));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the sweep: enumerate, prune against `cfg`, statically rank,
+/// optionally verify, then score with `scorer` and rank by score.
+///
+/// The scorer receives each surviving model and returns its figure of
+/// merit (higher is better) or `None` to reject the candidate.
+///
+/// # Panics
+///
+/// Panics if a candidate schedule fails exhaustive verification on
+/// `cfg.verify_domain` — a legal-looking candidate with an illegal
+/// schedule is a construction bug, not an infeasible choice, and silently
+/// dropping it would hide exactly the property the parallel simulator
+/// depends on.
+pub fn autotune<F>(
+    program: &StencilProgram,
+    space: &SearchSpace,
+    cfg: &AutotuneConfig,
+    mut scorer: F,
+) -> AutotuneReport
+where
+    F: FnMut(&TileSizeModel) -> Option<f64>,
+{
+    let mut report = AutotuneReport::default();
+    let mut feasible: Vec<TileSizeModel> = Vec::new();
+
+    for (h, w) in combinations(space) {
+        if w.len() != program.spatial_dims() {
+            continue;
+        }
+        report.examined += 1;
+        let params = TileParams::new(h, &w);
+        let Ok(model) = evaluate_tile(program, &params) else {
+            report.rejected_schedule += 1;
+            continue;
+        };
+        if model.smem_bytes > cfg.smem_limit {
+            report.rejected_smem += 1;
+            continue;
+        }
+        if estimated_regs_per_block(program, &params) > cfg.regs_per_block {
+            report.rejected_regs += 1;
+            continue;
+        }
+        feasible.push(model);
+    }
+
+    // Static pre-ranking: most promising load-to-compute ratio first, so
+    // the candidate cap keeps the right ones.
+    feasible.sort_by(|a, b| {
+        a.ratio()
+            .total_cmp(&b.ratio())
+            .then(b.iterations.cmp(&a.iterations))
+    });
+    if feasible.len() > cfg.max_candidates {
+        report.pruned = feasible.len() - cfg.max_candidates;
+        feasible.truncate(cfg.max_candidates);
+    }
+
+    if let Some((dims, steps)) = &cfg.verify_domain {
+        for model in &feasible {
+            let schedule = HybridSchedule::compute_executable(program, &model.params)
+                .expect("feasible candidate must have an executable schedule");
+            let domain = ScheduledDomain::new(program, dims, *steps);
+            verify_schedule_storage(&schedule, program, &domain).unwrap_or_else(|e| {
+                panic!(
+                    "candidate h={} w={:?} failed schedule verification: {e}",
+                    model.params.h, model.params.w
+                )
+            });
+        }
+    }
+
+    for model in feasible {
+        match scorer(&model) {
+            Some(score) => report.ranked.push(AutotuneEntry { model, score }),
+            None => report.rejected_scorer += 1,
+        }
+    }
+    report.ranked.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.model.ratio().total_cmp(&b.model.ratio()))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil::gallery;
+
+    fn small_space() -> SearchSpace {
+        SearchSpace {
+            h: vec![0, 1, 2],
+            w0: vec![1, 3],
+            wi: vec![vec![8, 16]],
+        }
+    }
+
+    #[test]
+    fn ranking_follows_scorer() {
+        // A scorer preferring tall tiles must rank a taller h first.
+        let p = gallery::jacobi2d();
+        let report = autotune(&p, &small_space(), &AutotuneConfig::fermi(), |m| {
+            Some(m.params.h as f64)
+        });
+        assert!(!report.ranked.is_empty());
+        let best = report.best().unwrap();
+        assert_eq!(best.model.params.h, 2);
+        assert!(report.ranked.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn budgets_prune_candidates() {
+        let p = gallery::jacobi2d();
+        let all = autotune(&p, &small_space(), &AutotuneConfig::fermi(), |_| Some(1.0));
+        // A budget strictly between the smallest and largest feasible
+        // footprint must reject some candidates and keep others.
+        let min = all.ranked.iter().map(|e| e.model.smem_bytes).min().unwrap();
+        let max = all.ranked.iter().map(|e| e.model.smem_bytes).max().unwrap();
+        assert!(min < max, "space too uniform for a pruning test");
+        let tight = AutotuneConfig {
+            smem_limit: (min + max) / 2,
+            ..AutotuneConfig::fermi()
+        };
+        let pruned = autotune(&p, &small_space(), &tight, |_| Some(1.0));
+        assert!(pruned.rejected_smem > 0);
+        assert!(pruned.ranked.len() < all.ranked.len());
+        assert_eq!(
+            pruned.examined,
+            pruned.ranked.len()
+                + pruned.rejected_schedule
+                + pruned.rejected_smem
+                + pruned.rejected_regs
+                + pruned.rejected_scorer
+        );
+    }
+
+    #[test]
+    fn register_budget_rejects_wide_blocks() {
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig {
+            // jacobi2d: (5 loads + 1 + 8) * 16 threads = 224 regs; budget
+            // below that rejects every w1 = 16 candidate.
+            regs_per_block: 200,
+            ..AutotuneConfig::fermi()
+        };
+        let report = autotune(&p, &small_space(), &cfg, |_| Some(1.0));
+        assert!(report.rejected_regs > 0);
+        assert!(report
+            .ranked
+            .iter()
+            .all(|e| estimated_regs_per_block(&p, &e.model.params) <= 200));
+    }
+
+    #[test]
+    fn max_candidates_caps_scoring() {
+        let p = gallery::jacobi2d();
+        let mut scored = 0usize;
+        let cfg = AutotuneConfig {
+            max_candidates: 3,
+            ..AutotuneConfig::fermi()
+        };
+        let report = autotune(&p, &small_space(), &cfg, |_| {
+            scored += 1;
+            Some(1.0)
+        });
+        assert_eq!(scored, 3);
+        assert_eq!(report.ranked.len(), 3);
+        assert!(report.pruned > 0);
+    }
+
+    #[test]
+    fn verified_sweep_passes_for_gallery_program() {
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig {
+            verify_domain: Some((vec![14, 12], 6)),
+            max_candidates: 4,
+            ..AutotuneConfig::fermi()
+        };
+        let report = autotune(&p, &cfg_space(), &cfg, |m| Some(1.0 / (1.0 + m.ratio())));
+        assert!(!report.ranked.is_empty());
+    }
+
+    fn cfg_space() -> SearchSpace {
+        SearchSpace {
+            h: vec![1, 2],
+            w0: vec![1, 3],
+            wi: vec![vec![8]],
+        }
+    }
+
+    #[test]
+    fn thread_estimate_matches_block_shape() {
+        // 2D: block x = w1; 3D: x = w2, y = w1.
+        assert_eq!(
+            estimated_threads_per_block(&TileParams::new(2, &[3, 32])),
+            32
+        );
+        assert_eq!(
+            estimated_threads_per_block(&TileParams::new(1, &[2, 4, 32])),
+            128
+        );
+        assert_eq!(estimated_threads_per_block(&TileParams::new(2, &[3])), 32);
+    }
+}

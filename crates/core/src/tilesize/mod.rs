@@ -9,6 +9,8 @@
 //! here the counting is automated by exact enumeration of a representative
 //! full tile (the [`polylib`] point-counting substitute for Barvinok).
 
+pub mod autotune;
+
 use std::collections::HashSet;
 
 use stencil::StencilProgram;
@@ -199,22 +201,38 @@ pub struct SearchSpace {
 }
 
 impl SearchSpace {
-    /// A small default space for `n` spatial dimensions; the innermost
-    /// dimension sticks to warp-size multiples (§4.2.3 alignment argument).
+    /// A space for `n` spatial dimensions from explicit candidate lists:
+    /// middle classical dimensions draw from `mid`, the innermost from
+    /// `inner` — which should stick to warp-size multiples (the §4.2.3
+    /// alignment argument).
+    pub fn for_dims(
+        n: usize,
+        h: Vec<i64>,
+        w0: Vec<i64>,
+        mid: &[i64],
+        inner: &[i64],
+    ) -> SearchSpace {
+        let wi = (1..n)
+            .map(|d| {
+                if d == n - 1 {
+                    inner.to_vec()
+                } else {
+                    mid.to_vec()
+                }
+            })
+            .collect();
+        SearchSpace { h, w0, wi }
+    }
+
+    /// A small default space for `n` spatial dimensions.
     pub fn default_for(n: usize) -> SearchSpace {
-        let mut wi: Vec<Vec<i64>> = Vec::new();
-        for d in 1..n {
-            if d == n - 1 {
-                wi.push(vec![32, 64]);
-            } else {
-                wi.push(vec![4, 8, 10, 16]);
-            }
-        }
-        SearchSpace {
-            h: vec![1, 2, 3],
-            w0: vec![1, 3, 5, 7],
-            wi,
-        }
+        SearchSpace::for_dims(
+            n,
+            vec![1, 2, 3],
+            vec![1, 3, 5, 7],
+            &[4, 8, 10, 16],
+            &[32, 64],
+        )
     }
 }
 
@@ -229,45 +247,26 @@ pub fn select_tile_sizes(
     space: &SearchSpace,
 ) -> Option<TileSizeModel> {
     let mut best: Option<TileSizeModel> = None;
-    let mut stack: Vec<Vec<i64>> = vec![vec![]];
-    // Cartesian product over classical widths.
-    for cands in &space.wi {
-        let mut next = Vec::new();
-        for prefix in &stack {
-            for &w in cands {
-                let mut v = prefix.clone();
-                v.push(w);
-                next.push(v);
-            }
+    for (h, w) in autotune::combinations(space) {
+        if w.len() != program.spatial_dims() {
+            continue;
         }
-        stack = next;
-    }
-    for &h in &space.h {
-        for &w0 in &space.w0 {
-            for rest in &stack {
-                let mut w = vec![w0];
-                w.extend_from_slice(rest);
-                if w.len() != program.spatial_dims() {
-                    continue;
-                }
-                let params = TileParams::new(h, &w);
-                let Ok(model) = evaluate_tile(program, &params) else {
-                    continue;
-                };
-                if model.smem_bytes > smem_limit {
-                    continue;
-                }
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        model.ratio() < b.ratio()
-                            || (model.ratio() == b.ratio() && model.iterations > b.iterations)
-                    }
-                };
-                if better {
-                    best = Some(model);
-                }
+        let params = TileParams::new(h, &w);
+        let Ok(model) = evaluate_tile(program, &params) else {
+            continue;
+        };
+        if model.smem_bytes > smem_limit {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                model.ratio() < b.ratio()
+                    || (model.ratio() == b.ratio() && model.iterations > b.iterations)
             }
+        };
+        if better {
+            best = Some(model);
         }
     }
     best

@@ -15,13 +15,101 @@ use crate::device::DeviceConfig;
 use crate::memory::{charge_warp_load, charge_warp_store, GlobalMem, L2Cache};
 use crate::shared::{charge_shared_load, charge_shared_store, SharedMem};
 
+/// How a block's global-memory traffic reaches storage and the cache
+/// hierarchy. The sequential executor writes straight through to the
+/// simulator's [`GlobalMem`] and shared L2 ([`DirectBackend`]); the
+/// parallel executor substitutes a logging backend
+/// ([`crate::parallel::LoggedBackend`]) that defers shared-state effects
+/// to a deterministic merge.
+pub(crate) trait GlobalBackend {
+    /// Byte address of an element (for coalescing analysis).
+    fn byte_address(&self, field: usize, plane: usize, idx: &[i64]) -> u64;
+    /// Reads one element (seeing this block's own earlier writes).
+    fn read(&mut self, field: usize, plane: usize, idx: &[i64]) -> f32;
+    /// Writes one element.
+    fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32);
+    /// Charges one warp's coalesced *load* addresses. `l1` is the block's
+    /// private first-level cache.
+    fn charge_load(&mut self, counters: &mut Counters, l1: &mut L2Cache, addrs: &[u64]);
+    /// Charges one warp's coalesced *store* addresses.
+    fn charge_store(&mut self, counters: &mut Counters, addrs: &[u64]);
+}
+
+/// The sequential backend: direct access to the simulator's memory and
+/// shared L2, exactly as `run_plan` has always behaved.
+pub(crate) struct DirectBackend<'a> {
+    pub mem: &'a mut GlobalMem,
+    pub l2: &'a mut L2Cache,
+}
+
+impl GlobalBackend for DirectBackend<'_> {
+    fn byte_address(&self, field: usize, plane: usize, idx: &[i64]) -> u64 {
+        self.mem.byte_address(field, plane, idx)
+    }
+
+    fn read(&mut self, field: usize, plane: usize, idx: &[i64]) -> f32 {
+        self.mem.read(field, plane, idx)
+    }
+
+    fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
+        self.mem.write(field, plane, idx, v);
+    }
+
+    fn charge_load(&mut self, counters: &mut Counters, l1: &mut L2Cache, addrs: &[u64]) {
+        charge_warp_load(counters, l1, self.l2, addrs);
+    }
+
+    fn charge_store(&mut self, counters: &mut Counters, addrs: &[u64]) {
+        charge_warp_store(counters, self.l2, addrs);
+    }
+}
+
+/// Interprets one block of `kernel` against an arbitrary global-memory
+/// backend, charging `counters`. The block gets a fresh private L1 slice
+/// (as on hardware, where resident blocks share the SM's L1 — modeled as
+/// a fixed per-block slice), so everything except the shared-L2 state is
+/// computed locally.
+pub(crate) fn exec_block<B: GlobalBackend>(
+    kernel: &Kernel,
+    params: &[i64],
+    block: i64,
+    glob: &mut B,
+    counters: &mut Counters,
+) {
+    assert_eq!(params.len(), kernel.n_params, "launch parameter arity");
+    let n_threads = kernel.threads_per_block();
+    let mut exec = BlockExec {
+        params,
+        block,
+        n_threads,
+        tids: (0..n_threads)
+            .map(|t| {
+                let x = t % kernel.block_dim[0];
+                let y = (t / kernel.block_dim[0]) % kernel.block_dim[1];
+                let z = t / (kernel.block_dim[0] * kernel.block_dim[1]);
+                [x as i64, y as i64, z as i64]
+            })
+            .collect(),
+        vars: vec![vec![0i64; n_threads]; kernel.n_vars],
+        regs: vec![vec![0f32; n_threads]; kernel.n_regs],
+        shared: SharedMem::new(&kernel.shared),
+        // Fermi's 16 KB L1 configuration divided among ~8 resident
+        // blocks per SM: a 2 KB effective slice per block.
+        l1: L2Cache::new(2 * 1024),
+        glob,
+        counters,
+    };
+    let mask = vec![true; n_threads];
+    exec.run(&kernel.body, &mask);
+}
+
 /// The simulator: device, global memory, L2 and counters.
 #[derive(Clone, Debug)]
 pub struct GpuSim {
-    device: DeviceConfig,
-    mem: GlobalMem,
-    l2: L2Cache,
-    counters: Counters,
+    pub(crate) device: DeviceConfig,
+    pub(crate) mem: GlobalMem,
+    pub(crate) l2: L2Cache,
+    pub(crate) counters: Counters,
 }
 
 impl GpuSim {
@@ -98,6 +186,15 @@ impl GpuSim {
     /// and scales the counter deltas to the full grid. Memory contents are
     /// *not* meaningful afterwards — this mode exists to extrapolate
     /// counters for paper-scale workloads.
+    ///
+    /// `samples` is clamped to each launch's block count: a launch with
+    /// `n <= samples` blocks runs every block exactly once and its counter
+    /// deltas are scaled by `1.0` (i.e. left exact). The clamp is per
+    /// launch, so one plan can mix exact small launches with sampled large
+    /// ones. The per-launch L2 capacity correction still applies in the
+    /// clamped case (the cache is re-sized to its full capacity and
+    /// cleared), so cross-launch L2 reuse is not modeled in this mode —
+    /// use [`GpuSim::run_plan`] when exact counters matter.
     pub fn run_plan_sampled(&mut self, plan: &LaunchPlan, samples: usize) {
         assert!(samples > 0, "need at least one sampled block");
         for launch in &plan.launches {
@@ -137,7 +234,7 @@ impl GpuSim {
         }
     }
 
-    fn check_kernel(&self, kernel: &Kernel) {
+    pub(crate) fn check_kernel(&self, kernel: &Kernel) {
         assert!(
             kernel.shared_bytes() <= self.device.shared_limit,
             "kernel {} needs {} bytes of shared memory; {} allows {}",
@@ -148,37 +245,16 @@ impl GpuSim {
         );
     }
 
-    fn run_block(&mut self, kernel: &Kernel, params: &[i64], block: i64) {
-        assert_eq!(params.len(), kernel.n_params, "launch parameter arity");
-        let n_threads = kernel.threads_per_block();
-        let mut exec = BlockExec {
-            params,
-            block,
-            n_threads,
-            tids: (0..n_threads)
-                .map(|t| {
-                    let x = t % kernel.block_dim[0];
-                    let y = (t / kernel.block_dim[0]) % kernel.block_dim[1];
-                    let z = t / (kernel.block_dim[0] * kernel.block_dim[1]);
-                    [x as i64, y as i64, z as i64]
-                })
-                .collect(),
-            vars: vec![vec![0i64; n_threads]; kernel.n_vars],
-            regs: vec![vec![0f32; n_threads]; kernel.n_regs],
-            shared: SharedMem::new(&kernel.shared),
-            // Fermi's 16 KB L1 configuration divided among ~8 resident
-            // blocks per SM: a 2 KB effective slice per block.
-            l1: L2Cache::new(2 * 1024),
+    pub(crate) fn run_block(&mut self, kernel: &Kernel, params: &[i64], block: i64) {
+        let mut backend = DirectBackend {
             mem: &mut self.mem,
             l2: &mut self.l2,
-            counters: &mut self.counters,
         };
-        let mask = vec![true; n_threads];
-        exec.run(&kernel.body, &mask);
+        exec_block(kernel, params, block, &mut backend, &mut self.counters);
     }
 }
 
-struct BlockExec<'a> {
+struct BlockExec<'a, B: GlobalBackend> {
     params: &'a [i64],
     block: i64,
     n_threads: usize,
@@ -187,12 +263,11 @@ struct BlockExec<'a> {
     regs: Vec<Vec<f32>>,
     shared: SharedMem,
     l1: L2Cache,
-    mem: &'a mut GlobalMem,
-    l2: &'a mut L2Cache,
+    glob: &'a mut B,
     counters: &'a mut Counters,
 }
 
-impl BlockExec<'_> {
+impl<B: GlobalBackend> BlockExec<'_, B> {
     fn eval_i(&self, e: &IExpr, lane: usize) -> i64 {
         match e {
             IExpr::Const(c) => *c,
@@ -336,10 +411,10 @@ impl BlockExec<'_> {
                         }
                         let pl = self.eval_i(plane, lane) as usize;
                         let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
-                        addrs.push(self.mem.byte_address(*field, pl, &idx));
-                        self.regs[*dst][lane] = self.mem.read(*field, pl, &idx);
+                        addrs.push(self.glob.byte_address(*field, pl, &idx));
+                        self.regs[*dst][lane] = self.glob.read(*field, pl, &idx);
                     }
-                    charge_warp_load(self.counters, &mut self.l1, self.l2, &addrs);
+                    self.glob.charge_load(self.counters, &mut self.l1, &addrs);
                 }
             }
             Stmt::GlobalStore {
@@ -358,12 +433,12 @@ impl BlockExec<'_> {
                         }
                         let pl = self.eval_i(plane, lane) as usize;
                         let idx: Vec<i64> = index.iter().map(|e| self.eval_i(e, lane)).collect();
-                        addrs.push(self.mem.byte_address(*field, pl, &idx));
+                        addrs.push(self.glob.byte_address(*field, pl, &idx));
                         let v = self.eval_f(src, lane);
                         self.counters.flops += extra_flops;
-                        self.mem.write(*field, pl, &idx, v);
+                        self.glob.write(*field, pl, &idx, v);
                     }
-                    charge_warp_store(self.counters, self.l2, &addrs);
+                    self.glob.charge_store(self.counters, &addrs);
                 }
             }
             Stmt::SharedLoad { dst, buf, index } => {
@@ -606,6 +681,19 @@ mod tests {
             full.counters().gld_transactions
         );
         assert_eq!(sampled.counters().launches, 1);
+    }
+
+    #[test]
+    fn sampled_run_clamps_samples_to_block_count() {
+        // `samples` beyond the launch's 4 blocks: every block runs exactly
+        // once, the scale factor is 1.0, and counters equal the full run
+        // (the documented per-launch clamp).
+        let (plan, init) = copy_kernel();
+        let mut full = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        full.run_plan(&plan);
+        let mut sampled = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        sampled.run_plan_sampled(&plan, 100);
+        assert_eq!(sampled.counters(), full.counters());
     }
 
     #[test]

@@ -23,15 +23,22 @@
 //! interpreted exactly and counters are scaled by the grid size; functional
 //! results are then meaningless, so correctness always uses full runs on
 //! smaller grids.
+//!
+//! Full runs scale across CPU cores with the block-parallel executor
+//! ([`GpuSim::run_plan_parallel`], module [`parallel`]), which is
+//! bit-exact with the sequential path — same grids, same counters — for
+//! any worker count.
 
 pub mod counters;
 pub mod device;
 pub mod exec;
 pub mod memory;
+pub mod parallel;
 pub mod shared;
 pub mod timing;
 
 pub use counters::Counters;
 pub use device::DeviceConfig;
 pub use exec::GpuSim;
+pub use parallel::sim_threads;
 pub use timing::{estimate_time, TimeBreakdown};

@@ -77,6 +77,23 @@ impl GlobalMem {
     pub fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
         self.fields[field][plane].set(idx, v);
     }
+
+    /// Row-major linear offset of an element within its plane (the key
+    /// used by the parallel executor's write logs).
+    pub fn flat_offset(&self, field: usize, plane: usize, idx: &[i64]) -> usize {
+        self.fields[field][plane].offset(idx)
+    }
+
+    /// Reads one element by plane-linear offset.
+    pub fn read_flat(&self, field: usize, plane: usize, offset: usize) -> f32 {
+        self.fields[field][plane].get_flat(offset)
+    }
+
+    /// Writes one element by plane-linear offset (replaying a block's
+    /// write log during a parallel merge).
+    pub fn write_flat(&mut self, field: usize, plane: usize, offset: usize, v: f32) {
+        self.fields[field][plane].set_flat(offset, v);
+    }
 }
 
 /// Set-associative, write-allocate, LRU L2 cache model with 128-byte lines.
@@ -127,6 +144,27 @@ impl L2Cache {
     }
 }
 
+/// One recorded access that reached the (shared) L2: the 128-byte segment
+/// base address and whether it was a store. Worker threads of the parallel
+/// executor log these instead of touching the shared cache; the log is
+/// replayed in block order afterwards ([`replay_l2`]), so DRAM hit/miss
+/// counters come out bit-exact with the sequential path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct L2Access {
+    /// 128-byte-aligned segment base address.
+    pub segment: u64,
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+}
+
+/// Deduplicated, sorted 128-byte segments of one warp's addresses.
+fn warp_segments(addrs: &[u64]) -> Vec<u64> {
+    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments
+}
+
 /// Coalesces one warp's worth of byte addresses into 128-byte segments and
 /// charges the counters for a *load*. `l1` is the per-SM first-level cache
 /// (Fermi's 16 KB configuration): L1 hits cost only the load transaction;
@@ -142,9 +180,7 @@ pub fn charge_warp_load(
     }
     counters.gld_inst += addrs.len() as u64;
     counters.gld_requested_bytes += addrs.len() as u64 * 4;
-    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
-    segments.sort_unstable();
-    segments.dedup();
+    let segments = warp_segments(addrs);
     counters.gld_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
     for seg in &segments {
@@ -166,9 +202,7 @@ pub fn charge_warp_store(counters: &mut Counters, l2: &mut L2Cache, addrs: &[u64
         return 0;
     }
     counters.gst_inst += addrs.len() as u64;
-    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
-    segments.sort_unstable();
-    segments.dedup();
+    let segments = warp_segments(addrs);
     counters.gst_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
     for seg in &segments {
@@ -181,6 +215,79 @@ pub fn charge_warp_store(counters: &mut Counters, l2: &mut L2Cache, addrs: &[u64
         }
     }
     segments.len() as u64
+}
+
+/// [`charge_warp_load`] for the parallel executor: identical accounting
+/// except that the shared L2 is not consulted — L1-missing segments are
+/// appended to `log` for a later in-order [`replay_l2`]. Everything
+/// except the DRAM counters is already exact here, because
+/// `l2_read_transactions` increments on every L1 miss regardless of L2
+/// state and the L1 is private to the block.
+pub fn charge_warp_load_logged(
+    counters: &mut Counters,
+    l1: &mut L2Cache,
+    log: &mut Vec<L2Access>,
+    addrs: &[u64],
+) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    counters.gld_inst += addrs.len() as u64;
+    counters.gld_requested_bytes += addrs.len() as u64 * 4;
+    let segments = warp_segments(addrs);
+    counters.gld_transactions += segments.len() as u64;
+    counters.l1_transactions += segments.len() as u64;
+    for seg in &segments {
+        if l1.access(seg * 128) {
+            continue;
+        }
+        counters.l2_read_transactions += 4;
+        log.push(L2Access {
+            segment: seg * 128,
+            store: false,
+        });
+    }
+    segments.len() as u64
+}
+
+/// [`charge_warp_store`] for the parallel executor; see
+/// [`charge_warp_load_logged`].
+pub fn charge_warp_store_logged(
+    counters: &mut Counters,
+    log: &mut Vec<L2Access>,
+    addrs: &[u64],
+) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    counters.gst_inst += addrs.len() as u64;
+    let segments = warp_segments(addrs);
+    counters.gst_transactions += segments.len() as u64;
+    counters.l1_transactions += segments.len() as u64;
+    for seg in &segments {
+        counters.l2_write_transactions += 4;
+        log.push(L2Access {
+            segment: seg * 128,
+            store: true,
+        });
+    }
+    segments.len() as u64
+}
+
+/// Replays a block's L2 access log through the shared cache, charging the
+/// DRAM counters for misses. Called with blocks in ascending index order,
+/// this reproduces the exact access sequence — and therefore the exact
+/// hit/miss outcome — of the sequential executor.
+pub fn replay_l2(counters: &mut Counters, l2: &mut L2Cache, log: &[L2Access]) {
+    for acc in log {
+        if !l2.access(acc.segment) {
+            if acc.store {
+                counters.dram_write_transactions += 4;
+            } else {
+                counters.dram_read_transactions += 4;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +371,54 @@ mod tests {
         m.write(0, 1, &[3], 7.5);
         assert_eq!(m.read(0, 1, &[3]), 7.5);
         assert_eq!(m.read(0, 0, &[3]), 0.0);
+    }
+
+    #[test]
+    fn flat_access_matches_indexed() {
+        let mut m = GlobalMem::new(&[Grid::zeros(&[4, 8])], 2);
+        let off = m.flat_offset(0, 1, &[2, 5]);
+        m.write_flat(0, 1, off, 9.25);
+        assert_eq!(m.read(0, 1, &[2, 5]), 9.25);
+        assert_eq!(m.read_flat(0, 1, off), 9.25);
+    }
+
+    #[test]
+    fn logged_charges_replay_to_sequential_counters() {
+        // The same access stream, charged directly vs. logged-then-replayed,
+        // must produce identical counters (the parallel executor's
+        // bit-exactness hinges on this).
+        let m = GlobalMem::new(&[grid(4096)], 1);
+        let warps: Vec<Vec<u64>> = (0..8)
+            .map(|w| {
+                (0..32)
+                    .map(|i| m.byte_address(0, 0, &[(w * 67 + i * 3) % 4096]))
+                    .collect()
+            })
+            .collect();
+
+        let mut seq = Counters::default();
+        let mut seq_l1 = L2Cache::new(2 * 1024);
+        let mut seq_l2 = L2Cache::new(8 * 1024);
+        for (i, addrs) in warps.iter().enumerate() {
+            if i % 2 == 0 {
+                charge_warp_load(&mut seq, &mut seq_l1, &mut seq_l2, addrs);
+            } else {
+                charge_warp_store(&mut seq, &mut seq_l2, addrs);
+            }
+        }
+
+        let mut par = Counters::default();
+        let mut par_l1 = L2Cache::new(2 * 1024);
+        let mut par_l2 = L2Cache::new(8 * 1024);
+        let mut log = Vec::new();
+        for (i, addrs) in warps.iter().enumerate() {
+            if i % 2 == 0 {
+                charge_warp_load_logged(&mut par, &mut par_l1, &mut log, addrs);
+            } else {
+                charge_warp_store_logged(&mut par, &mut log, addrs);
+            }
+        }
+        replay_l2(&mut par, &mut par_l2, &log);
+        assert_eq!(seq, par);
     }
 }

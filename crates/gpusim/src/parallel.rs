@@ -1,0 +1,495 @@
+//! Deterministic block-parallel plan execution.
+//!
+//! Blocks of one launch are independent by construction: the hybrid
+//! schedule places concurrent thread blocks on distinct `S0` wavefront
+//! tiles, and `hybrid_tiling::verify` proves (per schedule, exhaustively
+//! on bounded domains) that no dependence crosses concurrent tiles — in
+//! particular, blocks of one launch never write overlapping locations and
+//! never read another block's same-launch writes. The parallel executor
+//! exploits exactly that property:
+//!
+//! 1. workers on a [`std::thread`] pool pull block indices from a shared
+//!    atomic counter and interpret each block against a **read-only
+//!    snapshot** of global memory plus a private write overlay
+//!    (`LoggedBackend`), accumulating per-block [`Counters`] locally;
+//! 2. every access that would reach the shared L2 is appended to a
+//!    per-block log instead of touching shared cache state;
+//! 3. after all blocks of the launch finish, the main thread merges the
+//!    per-block results **in ascending block order**: counters are summed
+//!    (u64 addition — order-insensitive and exact), the L2 logs are
+//!    replayed through the shared cache in the same order the sequential
+//!    executor would have produced ([`crate::memory::replay_l2`]), and the
+//!    write logs are applied to global memory while asserting that no two
+//!    blocks wrote conflicting values to the same location.
+//!
+//! The result: grids *and* counters are bit-for-bit identical to
+//! [`GpuSim::run_plan`] for any thread count, which the property tests in
+//! `tests/parallel_equivalence.rs` check across random stencils, tile
+//! sizes and pool widths. A plan that violates write-disjointness (a
+//! scheduling bug, never a legal hybrid/classical plan) panics in the
+//! merge instead of returning order-dependent data; under debug
+//! assertions the merge additionally rejects cross-block
+//! *read*/write overlap within a launch — the dependence the
+//! write-conflict check alone cannot see (sequentially the reader might
+//! have observed the writer's value, here it reads the launch-entry
+//! snapshot) — so debug runs, including the property suite, enforce the
+//! full independence contract.
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `HYBRID_SIM_THREADS` environment variable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use gpu_codegen::ir::LaunchPlan;
+
+use crate::counters::Counters;
+use crate::exec::{exec_block, GlobalBackend, GpuSim};
+use crate::memory::{
+    charge_warp_load_logged, charge_warp_store_logged, replay_l2, GlobalMem, L2Access, L2Cache,
+};
+
+/// One recorded global-memory write: plane-linear location plus value.
+#[derive(Clone, Copy, Debug)]
+struct WriteRec {
+    field: u32,
+    plane: u32,
+    offset: usize,
+    value: f32,
+}
+
+impl WriteRec {
+    /// Packed location key (field/plane/offset) for overlay lookups and
+    /// cross-block conflict detection. Offsets are far below 2^40 for any
+    /// simulated grid.
+    fn key(field: usize, plane: usize, offset: usize) -> u64 {
+        debug_assert!(offset < 1 << 40, "grid offset exceeds key packing");
+        ((field as u64) << 56) | ((plane as u64) << 40) | offset as u64
+    }
+}
+
+/// Everything one block produced: its local counters (DRAM fields still
+/// zero), its global writes in program order, and its L2-bound accesses in
+/// program order.
+struct BlockOutcome {
+    counters: Counters,
+    writes: Vec<WriteRec>,
+    l2_log: Vec<L2Access>,
+    /// Locations this block read from the launch-entry snapshot (i.e. not
+    /// through its own overlay). Only tracked under debug assertions,
+    /// where the merge uses it to flag cross-block read/write overlap —
+    /// the violation the write-conflict assert alone cannot see.
+    #[cfg(debug_assertions)]
+    base_reads: std::collections::HashSet<u64>,
+}
+
+/// The worker-side backend: reads fall through a private overlay of this
+/// block's own writes to the launch-entry memory snapshot; writes and
+/// L2-bound traffic are logged for the ordered merge.
+pub(crate) struct LoggedBackend<'a> {
+    base: &'a GlobalMem,
+    /// This block's own writes, newest value per location.
+    overlay: HashMap<u64, f32>,
+    writes: Vec<WriteRec>,
+    l2_log: Vec<L2Access>,
+    #[cfg(debug_assertions)]
+    base_reads: std::collections::HashSet<u64>,
+}
+
+impl<'a> LoggedBackend<'a> {
+    fn new(base: &'a GlobalMem) -> LoggedBackend<'a> {
+        LoggedBackend {
+            base,
+            overlay: HashMap::new(),
+            writes: Vec::new(),
+            l2_log: Vec::new(),
+            #[cfg(debug_assertions)]
+            base_reads: std::collections::HashSet::new(),
+        }
+    }
+
+    fn into_outcome(self, counters: Counters) -> BlockOutcome {
+        BlockOutcome {
+            counters,
+            writes: self.writes,
+            l2_log: self.l2_log,
+            #[cfg(debug_assertions)]
+            base_reads: self.base_reads,
+        }
+    }
+}
+
+impl GlobalBackend for LoggedBackend<'_> {
+    fn byte_address(&self, field: usize, plane: usize, idx: &[i64]) -> u64 {
+        self.base.byte_address(field, plane, idx)
+    }
+
+    fn read(&mut self, field: usize, plane: usize, idx: &[i64]) -> f32 {
+        let offset = self.base.flat_offset(field, plane, idx);
+        let key = WriteRec::key(field, plane, offset);
+        if !self.overlay.is_empty() {
+            if let Some(&v) = self.overlay.get(&key) {
+                return v;
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.base_reads.insert(key);
+        self.base.read_flat(field, plane, offset)
+    }
+
+    fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
+        let offset = self.base.flat_offset(field, plane, idx);
+        self.overlay.insert(WriteRec::key(field, plane, offset), v);
+        self.writes.push(WriteRec {
+            field: field as u32,
+            plane: plane as u32,
+            offset,
+            value: v,
+        });
+    }
+
+    fn charge_load(&mut self, counters: &mut Counters, l1: &mut L2Cache, addrs: &[u64]) {
+        charge_warp_load_logged(counters, l1, &mut self.l2_log, addrs);
+    }
+
+    fn charge_store(&mut self, counters: &mut Counters, addrs: &[u64]) {
+        charge_warp_store_logged(counters, &mut self.l2_log, addrs);
+    }
+}
+
+/// The worker-pool width used by [`GpuSim::run_plan_parallel`]: the
+/// `HYBRID_SIM_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn sim_threads() -> usize {
+    sim_threads_from(std::env::var("HYBRID_SIM_THREADS").ok().as_deref())
+}
+
+/// [`sim_threads`] with the override value injected: a positive integer
+/// (whitespace tolerated) wins; anything else falls back to the machine's
+/// available parallelism.
+fn sim_threads_from(override_value: Option<&str>) -> usize {
+    if let Some(v) = override_value {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl GpuSim {
+    /// Runs the plan with block-level parallelism on [`sim_threads`]
+    /// workers. Results — grids and counters — are bit-exact with
+    /// [`GpuSim::run_plan`]; see the [module docs](crate::parallel) for
+    /// the determinism argument.
+    pub fn run_plan_parallel(&mut self, plan: &LaunchPlan) {
+        self.run_plan_parallel_with(plan, sim_threads());
+    }
+
+    /// Like [`GpuSim::run_plan_parallel`] with an explicit worker count.
+    /// `threads <= 1` falls back to the sequential executor (no logging
+    /// overhead), which produces identical results by definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel exceeds the device's shared-memory limit, on
+    /// out-of-bounds accesses, or if two blocks of one launch write
+    /// different values to the same location — a violation of the
+    /// §3.3.3 concurrent-tile independence that `hybrid_tiling::verify`
+    /// checks at the schedule level.
+    pub fn run_plan_parallel_with(&mut self, plan: &LaunchPlan, threads: usize) {
+        for launch in &plan.launches {
+            let kernel = &plan.kernels[launch.kernel];
+            self.check_kernel(kernel);
+            self.counters.launches += 1;
+            let n = launch.blocks;
+            if n == 0 {
+                continue;
+            }
+            if threads <= 1 || n == 1 {
+                for b in 0..n {
+                    self.run_block(kernel, &launch.params, b as i64);
+                }
+                continue;
+            }
+
+            let workers = threads.min(n);
+            let next = AtomicUsize::new(0);
+            let mem = &self.mem;
+            let params = &launch.params;
+            let mut results: Vec<(usize, BlockOutcome)> = thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                if b >= n {
+                                    break;
+                                }
+                                let mut backend = LoggedBackend::new(mem);
+                                let mut counters = Counters::default();
+                                exec_block(kernel, params, b as i64, &mut backend, &mut counters);
+                                done.push((b, backend.into_outcome(counters)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("simulator worker panicked"))
+                    .collect()
+            });
+            // Deterministic merge order regardless of worker scheduling.
+            results.sort_unstable_by_key(|(b, _)| *b);
+
+            let mut owners: HashMap<u64, (usize, u32)> = HashMap::new();
+            for (b, outcome) in &results {
+                self.counters += outcome.counters;
+                replay_l2(&mut self.counters, &mut self.l2, &outcome.l2_log);
+                for w in &outcome.writes {
+                    let key = WriteRec::key(w.field as usize, w.plane as usize, w.offset);
+                    let bits = w.value.to_bits();
+                    if let Some(&(owner, prev_bits)) = owners.get(&key) {
+                        assert!(
+                            owner == *b || prev_bits == bits,
+                            "write race in launch of kernel {}: blocks {} and {} wrote \
+                             different values to field {} plane {} offset {} — concurrent \
+                             S0 tiles must be write-disjoint (verify the schedule with \
+                             hybrid_tiling::verify)",
+                            kernel.name,
+                            owner,
+                            b,
+                            w.field,
+                            w.plane,
+                            w.offset
+                        );
+                    }
+                    owners.insert(key, (*b, bits));
+                    self.mem
+                        .write_flat(w.field as usize, w.plane as usize, w.offset, w.value);
+                }
+            }
+            // Under debug assertions, also reject cross-block
+            // read-after-write within the launch: block A reading a
+            // location block B wrote is a dependence between concurrent
+            // tiles even when no write *conflict* exists, and the
+            // sequential executor may have served a different value.
+            #[cfg(debug_assertions)]
+            for (b, outcome) in &results {
+                for key in &outcome.base_reads {
+                    if let Some(&(owner, _)) = owners.get(key) {
+                        assert!(
+                            owner == *b,
+                            "read/write overlap in launch of kernel {}: block {} read a \
+                             location block {} wrote in the same launch — concurrent S0 \
+                             tiles must be independent (verify the schedule with \
+                             hybrid_tiling::verify)",
+                            kernel.name,
+                            b,
+                            owner
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use gpu_codegen::ir::{Cond, FExpr, IExpr, Kernel, Launch, Stmt};
+    use stencil::Grid;
+
+    /// `out[i] = in[i] * 2` over 8 blocks of 32 threads, with a second
+    /// launch reading the first launch's output — exercises cross-launch
+    /// visibility of merged writes.
+    fn two_launch_plan() -> (LaunchPlan, Vec<Grid>) {
+        let idx = IExpr::BlockIdx.scale(32).add(IExpr::ThreadIdx(0));
+        let scale = |plane_in: i64, plane_out: i64, factor: f32| Kernel {
+            name: format!("scale{plane_out}"),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(plane_in),
+                    index: vec![idx.clone()],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(plane_out),
+                    index: vec![idx.clone()],
+                    src: FExpr::Mul(Box::new(FExpr::Reg(0)), Box::new(FExpr::Const(factor))),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![scale(0, 1, 2.0), scale(1, 0, 3.0)],
+            launches: vec![
+                Launch {
+                    kernel: 0,
+                    params: vec![],
+                    blocks: 8,
+                },
+                Launch {
+                    kernel: 1,
+                    params: vec![],
+                    blocks: 8,
+                },
+            ],
+            description: "two-launch scale".into(),
+        };
+        (plan, vec![Grid::random(&[256], 11)])
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (plan, init) = two_launch_plan();
+        let mut seq = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        seq.run_plan(&plan);
+        for threads in [1, 2, 3, 8] {
+            let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+            par.run_plan_parallel_with(&plan, threads);
+            assert_eq!(par.counters(), seq.counters(), "threads = {threads}");
+            for plane in 0..2 {
+                assert!(
+                    par.plane(0, plane).bit_equal(seq.plane(0, plane)),
+                    "plane {plane} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_reads_its_own_writes() {
+        // Within one launch a block stores then reloads the same location;
+        // the overlay must serve the fresh value.
+        let idx = IExpr::BlockIdx.scale(32).add(IExpr::ThreadIdx(0));
+        let kernel = Kernel {
+            name: "rmw".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![idx.clone()],
+                    src: FExpr::Const(5.0),
+                },
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![idx.clone()],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![idx],
+                    src: FExpr::Add(Box::new(FExpr::Reg(0)), Box::new(FExpr::Const(1.0))),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 4,
+            }],
+            description: "read-own-write".into(),
+        };
+        let init = vec![Grid::zeros(&[128])];
+        let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        par.run_plan_parallel_with(&plan, 4);
+        for i in 0..128 {
+            assert_eq!(par.plane(0, 0).get(&[i]), 6.0);
+            assert_eq!(par.plane(0, 1).get(&[i]), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write race")]
+    fn conflicting_cross_block_writes_panic() {
+        // Both blocks of one launch store to location 0, with a value that
+        // depends on BlockIdx: blocks 0 and 1 disagree, which the merge
+        // must reject instead of returning order-dependent data.
+        let k = Kernel {
+            name: "race".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 1,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::SetVar {
+                    var: 0,
+                    value: IExpr::BlockIdx,
+                },
+                Stmt::If {
+                    cond: Cond::Eq(IExpr::ThreadIdx(0), IExpr::Const(0)),
+                    then_: vec![Stmt::If {
+                        cond: Cond::Eq(IExpr::Var(0), IExpr::Const(0)),
+                        then_: vec![Stmt::GlobalStore {
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![IExpr::Const(0)],
+                            src: FExpr::Const(1.0),
+                        }],
+                        else_: vec![Stmt::GlobalStore {
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![IExpr::Const(0)],
+                            src: FExpr::Const(2.0),
+                        }],
+                    }],
+                    else_: vec![],
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![k],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 2,
+            }],
+            description: "write race".into(),
+        };
+        let init = vec![Grid::zeros(&[64])];
+        let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 1);
+        par.run_plan_parallel_with(&plan, 2);
+    }
+
+    #[test]
+    fn sim_threads_env_override() {
+        // The parsing is tested through injection — mutating the real
+        // process environment would race libstd's own getenv calls in
+        // concurrently running tests.
+        assert_eq!(sim_threads_from(Some(" 6 ")), 6, "override, whitespace ok");
+        assert_eq!(sim_threads_from(Some("1")), 1);
+        assert!(
+            sim_threads_from(Some("0")) >= 1,
+            "non-positive override falls back"
+        );
+        assert!(
+            sim_threads_from(Some("not-a-number")) >= 1,
+            "garbage override falls back"
+        );
+        assert!(sim_threads_from(None) >= 1, "fallback must be positive");
+        assert!(sim_threads() >= 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property: the block-parallel executor is bit-exact with the sequential
+//! one — identical grids and identical merged counters — across random
+//! gallery stencils, tile sizes, codegen strategies and worker-pool widths
+//! (1, 2 and 8 threads).
+//!
+//! This is the executable form of the determinism contract in
+//! [`gpusim::parallel`]: concurrent `S0` tiles of a hybrid schedule are
+//! independent (the §3.3.3 property `hybrid_tiling::verify` checks
+//! exhaustively at the schedule level), so any interleaving of block
+//! execution merges to the same state.
+
+use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
+use gpusim::{DeviceConfig, GpuSim};
+use hybrid_tiling::TileParams;
+use proptest::prelude::*;
+use stencil::{gallery, Grid, StencilProgram};
+
+/// The stencil pool: all 2D gallery programs plus the 1D contrived cone
+/// and one (small) 3D program.
+fn stencil_pool() -> Vec<StencilProgram> {
+    vec![
+        gallery::jacobi2d(),
+        gallery::laplacian2d(),
+        gallery::heat2d(),
+        gallery::gradient2d(),
+        gallery::fdtd2d(),
+        gallery::contrived1d(),
+        gallery::laplacian3d(),
+    ]
+}
+
+/// Small per-arity workloads so a single property case stays fast.
+fn workload(program: &StencilProgram, size_pick: usize, steps: usize) -> (Vec<usize>, usize) {
+    match program.spatial_dims() {
+        1 => (vec![48 + 8 * size_pick], steps),
+        2 => (vec![20 + 4 * size_pick, 24 + 4 * size_pick], steps),
+        _ => (vec![8 + size_pick, 8, 10], steps.min(4)),
+    }
+}
+
+/// Tile parameters from the raw draws, shaped to the program's arity. The
+/// innermost classical width stays a warp divisor so block shapes remain
+/// small.
+fn tile_params(program: &StencilProgram, h: i64, w0: i64, wi: i64) -> TileParams {
+    let n = program.spatial_dims();
+    let mut w = vec![w0];
+    if n >= 2 {
+        w.resize(n - 1, 2);
+        w.push(8 * wi);
+    }
+    TileParams::new(h, &w)
+}
+
+/// Runs one plan on both executors and asserts bitwise agreement.
+fn assert_bit_exact(program: &StencilProgram, plan: &gpu_codegen::ir::LaunchPlan, dims: &[usize]) {
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(dims, 41 + f as u64))
+        .collect();
+    let planes = program.max_dt() as usize + 1;
+
+    let mut seq = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
+    seq.run_plan(plan);
+
+    for threads in [1usize, 2, 8] {
+        let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
+        par.run_plan_parallel_with(plan, threads);
+        assert_eq!(
+            par.counters(),
+            seq.counters(),
+            "{}: counters diverged at {} threads",
+            program.name(),
+            threads
+        );
+        for f in 0..program.num_fields() {
+            for p in 0..planes {
+                assert!(
+                    par.plane(f, p).bit_equal(seq.plane(f, p)),
+                    "{}: field {} plane {} diverged at {} threads",
+                    program.name(),
+                    f,
+                    p,
+                    threads
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hybrid plans with shared-memory staging (the Table 1/2 path).
+    #[test]
+    fn parallel_equals_sequential_shared(
+        pick in 0usize..7,
+        h in 0i64..=3,
+        w0 in 0i64..=4,
+        wi in 1i64..=2,
+        size_pick in 0usize..4,
+        steps in 4usize..=8,
+    ) {
+        let program = stencil_pool().swap_remove(pick);
+        let params = tile_params(&program, h, w0, wi);
+        let (dims, steps) = workload(&program, size_pick, steps);
+        let opts = CodegenOptions::best();
+        // Not every random (h, w) is schedulable (width lower bound,
+        // multi-statement height divisibility): infeasible draws are
+        // skipped, feasible ones must match bit-for-bit.
+        let Ok(plan) = generate_hybrid(&program, &params, &dims, steps, opts) else {
+            return;
+        };
+        assert_bit_exact(&program, &plan, &dims);
+    }
+
+    /// Global-memory-only plans: exercises the read-own-write overlay of
+    /// the logging backend across multi-step kernels.
+    #[test]
+    fn parallel_equals_sequential_global_only(
+        pick in 0usize..7,
+        h in 0i64..=2,
+        w0 in 1i64..=3,
+        size_pick in 0usize..4,
+        steps in 4usize..=6,
+    ) {
+        let program = stencil_pool().swap_remove(pick);
+        let params = tile_params(&program, h, w0, 1);
+        let (dims, steps) = workload(&program, size_pick, steps);
+        let opts = CodegenOptions {
+            smem: SmemStrategy::GlobalOnly,
+            aligned_loads: false,
+            unroll: true,
+        };
+        let Ok(plan) = generate_hybrid(&program, &params, &dims, steps, opts) else {
+            return;
+        };
+        assert_bit_exact(&program, &plan, &dims);
+    }
+}

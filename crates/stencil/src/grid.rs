@@ -107,6 +107,16 @@ impl Grid {
         self.data[off] = v;
     }
 
+    /// Reads the value at a row-major linear offset (see [`Grid::offset`]).
+    pub fn get_flat(&self, offset: usize) -> f32 {
+        self.data[offset]
+    }
+
+    /// Writes the value at a row-major linear offset (see [`Grid::offset`]).
+    pub fn set_flat(&mut self, offset: usize, v: f32) {
+        self.data[offset] = v;
+    }
+
     /// The raw data slice.
     pub fn as_slice(&self) -> &[f32] {
         &self.data

@@ -13,7 +13,7 @@
 //! * [`deps`]: dependence analysis — exact distance vectors in the scheduled
 //!   space `[k·t + i, s0, .., sn]` plus full dependence relations as
 //!   [`polylib::Map`]s,
-//! * [`reference`]: a sequential CPU oracle executor used to validate every
+//! * [`mod@reference`]: a sequential CPU oracle executor used to validate every
 //!   GPU-simulated kernel bit-for-bit,
 //! * [`gallery`]: the benchmarks of the paper's Table 3 (laplacian/heat/
 //!   gradient in 2D and 3D, the multi-statement fdtd-2d, Fig. 1's jacobi2d,

@@ -8,12 +8,14 @@
 //! * [`stencil`] — stencil programs, dependence analysis, oracle executor,
 //!   and the paper's benchmark gallery;
 //! * [`hybrid_tiling`] — the paper's contribution: hexagonal tile shapes,
-//!   two-phase schedules, classical inner tiling, verification, and the
-//!   §3.7 tile-size model;
+//!   two-phase schedules, classical inner tiling, verification, the §3.7
+//!   tile-size model, and the §6 autotuning sweep
+//!   ([`hybrid_tiling::tilesize::autotune`]);
 //! * [`gpu_codegen`] — kernel IR, the §4 code-generation strategies, and
 //!   CUDA/PTX pretty-printers;
 //! * [`gpusim`] — the CUDA-execution-model simulator with Table 5's
-//!   hardware counters and the roofline timing model;
+//!   hardware counters, the roofline timing model, and deterministic
+//!   block-parallel execution ([`gpusim::parallel`]);
 //! * [`baselines`] — PPCG-, Par4All-, Overtile- and Patus-like comparator
 //!   compilers plus the §5 diamond-tiling model.
 //!
@@ -38,6 +40,9 @@ pub mod prelude {
     pub use baselines::{generate_overtile, generate_par4all, generate_ppcg};
     pub use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
     pub use gpusim::{DeviceConfig, GpuSim};
-    pub use hybrid_tiling::{verify_schedule, DepCone, HexShape, HybridSchedule, TileParams};
+    pub use hybrid_tiling::{
+        autotune, verify_schedule, AutotuneConfig, DepCone, HexShape, HybridSchedule, SearchSpace,
+        TileParams,
+    };
     pub use stencil::{Grid, ReferenceExecutor, StencilProgram};
 }
