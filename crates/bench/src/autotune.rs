@@ -40,11 +40,8 @@ pub fn sweep_space(n: usize, smoke: bool) -> SearchSpace {
     }
 }
 
-/// Scores one candidate: generates the hybrid plan, runs it in full on the
-/// block-parallel simulator with `threads` workers, and returns simulated
-/// GStencils/s. `None` when codegen fails or a kernel exceeds the device's
-/// shared-memory limit (the candidate is infeasible on `device` even if it
-/// fit the model's budget).
+/// Scores one candidate under the default ([`CodegenOptions::best`])
+/// code-generation options; see [`simulate_score_with`].
 pub fn simulate_score(
     program: &StencilProgram,
     params: &TileParams,
@@ -53,7 +50,34 @@ pub fn simulate_score(
     steps: usize,
     threads: usize,
 ) -> Option<f64> {
-    let opts = CodegenOptions::best();
+    simulate_score_with(
+        program,
+        params,
+        device,
+        dims,
+        steps,
+        threads,
+        CodegenOptions::best(),
+    )
+}
+
+/// Scores one candidate: generates the hybrid plan with `opts` (the same
+/// options the caller will emit the final plan with, so the ranking and
+/// the emitted code cannot diverge), runs it in full on the
+/// block-parallel simulator with `threads` workers, and returns simulated
+/// GStencils/s. `None` when codegen fails or a kernel exceeds the
+/// device's shared-memory limit (the candidate is infeasible on `device`
+/// even if it fit the model's budget).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_score_with(
+    program: &StencilProgram,
+    params: &TileParams,
+    device: &DeviceConfig,
+    dims: &[usize],
+    steps: usize,
+    threads: usize,
+    opts: CodegenOptions,
+) -> Option<f64> {
     let plan = generate_hybrid(program, params, dims, steps, opts).ok()?;
     if plan
         .kernels

@@ -1,0 +1,211 @@
+//! `hybridc` — the end-to-end compiler driver for user-supplied stencils.
+//!
+//! Compiles `.stencil` DSL files (see the grammar rustdoc in
+//! `stencil::parse`) through the full pipeline: parse → validate → tile-
+//! size planning under device budgets (with a content-addressed plan
+//! cache) → CUDA + pseudo-PTX emission → simulated execution with
+//! bit-exact verification against the reference oracle.
+//!
+//! Usage:
+//!
+//! ```text
+//! hybridc [options] <file.stencil | directory>...
+//!
+//!   --out DIR          artifact directory (default hybridc-out)
+//!   --cache DIR        plan-cache directory (default <out>/cache)
+//!   --no-cache         disable the plan cache
+//!   --require-cached   exit non-zero if any plan misses the cache
+//!   --autotune         score tile sizes on the simulator (default: static model)
+//!   --smoke            shrink the sweep space (CI mode)
+//!   --device NAME      gtx470 | nvs5200m (default gtx470)
+//!   --threads N        simulator worker threads (default HYBRID_SIM_THREADS)
+//!   --jobs N           concurrent file compiles (default 1)
+//!   --no-verify        skip the bit-exact oracle check
+//!   --size N[,N..]     override the execution grid
+//!   --steps N          override the execution step count
+//!   --report PATH      write the machine-readable JSON report
+//! ```
+//!
+//! Exit status: `0` when every file compiles (and, with `--require-cached`,
+//! every plan came from the cache); `1` otherwise.
+
+use std::path::PathBuf;
+
+use gpusim::DeviceConfig;
+use hybrid_bench::driver::{
+    collect_stencil_files, compile_batch, report_json, DriverConfig, TuneMode,
+};
+
+struct Args {
+    cfg: DriverConfig,
+    inputs: Vec<PathBuf>,
+    report: Option<PathBuf>,
+    require_cached: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hybridc [--out DIR] [--cache DIR | --no-cache] [--require-cached] \
+         [--autotune] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
+         [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>..."
+    );
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut cfg = DriverConfig::new("hybridc-out");
+    cfg.sim_threads = gpusim::sim_threads();
+    let mut inputs = Vec::new();
+    let mut report = None;
+    let mut require_cached = false;
+    let mut cache_override: Option<Option<PathBuf>> = None;
+    let mut size: Option<Vec<usize>> = None;
+    let mut steps: Option<usize> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--out" => cfg.out_dir = PathBuf::from(value("--out")),
+            "--cache" => cache_override = Some(Some(PathBuf::from(value("--cache")))),
+            "--no-cache" => cache_override = Some(None),
+            "--require-cached" => require_cached = true,
+            "--autotune" => cfg.tune = TuneMode::Simulated,
+            "--smoke" => cfg.smoke = true,
+            "--device" => {
+                cfg.device = match value("--device").as_str() {
+                    "gtx470" => DeviceConfig::gtx470(),
+                    "nvs5200m" => DeviceConfig::nvs5200m(),
+                    other => panic!("unknown device {other:?} (gtx470|nvs5200m)"),
+                }
+            }
+            "--threads" => {
+                cfg.sim_threads = value("--threads")
+                    .parse()
+                    .expect("--threads takes a positive integer");
+                assert!(cfg.sim_threads >= 1, "--threads takes a positive integer");
+            }
+            "--jobs" => {
+                cfg.jobs = value("--jobs")
+                    .parse()
+                    .expect("--jobs takes a positive integer");
+                assert!(cfg.jobs >= 1, "--jobs takes a positive integer");
+            }
+            "--no-verify" => cfg.verify = false,
+            "--size" => {
+                size = Some(
+                    value("--size")
+                        .split(',')
+                        .map(|d| d.parse().expect("--size takes N[,N..]"))
+                        .collect(),
+                )
+            }
+            "--steps" => steps = Some(value("--steps").parse().expect("--steps takes a number")),
+            "--report" => report = Some(PathBuf::from(value("--report"))),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    match cache_override {
+        Some(c) => cfg.cache_dir = c,
+        None => cfg.cache_dir = Some(cfg.out_dir.join("cache")),
+    }
+    if let (Some(size), Some(steps)) = (&size, steps) {
+        cfg.workload = Some((size.clone(), steps));
+    } else if size.is_some() || steps.is_some() {
+        panic!("--size and --steps must be given together");
+    }
+    Args {
+        cfg,
+        inputs,
+        report,
+        require_cached,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut files = Vec::new();
+    for input in &args.inputs {
+        match collect_stencil_files(input) {
+            Ok(mut f) => files.append(&mut f),
+            Err(e) => {
+                eprintln!("hybridc: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "hybridc: {} file(s), device = {}, tune = {}, cache = {}, jobs = {}, sim threads = {}",
+        files.len(),
+        args.cfg.device.name,
+        args.cfg.tune.name(),
+        args.cfg
+            .cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |d| d.display().to_string()),
+        args.cfg.jobs,
+        args.cfg.sim_threads,
+    );
+
+    let results = compile_batch(&files, &args.cfg);
+
+    println!(
+        "\n{:<16} {:>5} {:>10} {:>12} {:>10} {:>9} {:>12} {:>7}",
+        "stencil", "h", "w", "GStencils/s", "smem KB", "launches", "verified", "cache"
+    );
+    let mut failed = 0usize;
+    let mut misses = 0usize;
+    for (path, result) in &results {
+        match result {
+            Ok(o) => {
+                if !o.cache_hit {
+                    misses += 1;
+                }
+                println!(
+                    "{:<16} {:>5} {:>10} {:>12.3} {:>10.1} {:>9} {:>12} {:>7}",
+                    o.name,
+                    o.params.h,
+                    format!("{:?}", o.params.w),
+                    o.gstencils,
+                    o.smem_bytes as f64 / 1024.0,
+                    o.launches,
+                    if o.verified { "bit-exact" } else { "skipped" },
+                    if o.cache_hit { "hit" } else { "miss" },
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("{:<16} FAILED: {e}", path.display());
+            }
+        }
+    }
+
+    if let Some(report_path) = &args.report {
+        let doc = report_json(&results, &args.cfg);
+        if let Err(e) = std::fs::write(report_path, doc.render()) {
+            eprintln!(
+                "hybridc: cannot write report {}: {e}",
+                report_path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("\nwrote {}", report_path.display());
+    }
+
+    if failed > 0 {
+        eprintln!("hybridc: {failed} file(s) failed");
+        std::process::exit(1);
+    }
+    if args.require_cached && misses > 0 {
+        eprintln!("hybridc: --require-cached but {misses} plan(s) missed the cache");
+        std::process::exit(1);
+    }
+}

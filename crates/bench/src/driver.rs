@@ -1,0 +1,905 @@
+//! The `hybridc` compiler driver: compile user-supplied `.stencil` DSL
+//! files through the full pipeline, end to end.
+//!
+//! For each input file the driver runs the ladder the gallery binaries
+//! hard-code:
+//!
+//! 1. **parse** — [`stencil::parse::parse_stencil`] (the documented DSL
+//!    grammar: comments, named constants, multi-statement time loops);
+//! 2. **validate** — canonical-form checks (done by the parser) plus the
+//!    driver's own supportability checks (1–3 spatial dimensions);
+//! 3. **plan** — tile-size selection under the device's shared-memory and
+//!    register budgets via [`hybrid_tiling::tilesize::autotune`], scored
+//!    either statically (load-to-compute ratio, the default) or on the
+//!    block-parallel simulator ([`TuneMode::Simulated`]);
+//! 4. **codegen** — hybrid hexagonal/classical kernels emitted as CUDA-C
+//!    (`<name>.cu`) and pseudo-PTX (`<name>.ptx`) into the output
+//!    directory;
+//! 5. **execute + verify** — the plan runs on [`gpusim::GpuSim`] and the
+//!    result is compared *bit-for-bit* against the sequential
+//!    [`stencil::ReferenceExecutor`] oracle.
+//!
+//! Tile-size selection is the expensive step, so chosen plans are kept in
+//! a **content-addressed plan cache**: the key is a fingerprint of the
+//! program's canonical rendering plus the device parameters, codegen
+//! options and tuning mode; the value is a hand-rolled JSON entry (see
+//! [`crate::json`]) holding the chosen tile sizes and a schedule summary.
+//! Repeated compiles and batch runs skip re-tuning; a stale or colliding
+//! entry (the stored program text is compared on load) degrades to a
+//! cache miss, never to a wrong plan.
+//!
+//! Batch compiles fan out over a thread pool ([`compile_batch`]), and
+//! [`report_json`] renders the machine-readable per-stencil result table
+//! behind `hybridc --report`.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gpu_codegen::cuda_emit::kernel_to_cuda;
+use gpu_codegen::hybrid_gen::alignment_offset_words;
+use gpu_codegen::ptx_emit::core_tile_ptx;
+use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpusim::{timing, DeviceConfig, GpuSim};
+use hybrid_tiling::tilesize::autotune::{autotune, AutotuneConfig};
+use hybrid_tiling::TileParams;
+use stencil::characteristics::{flop_count, load_count};
+use stencil::parse::{parse_stencil, ParseError};
+use stencil::{Grid, ReferenceExecutor, StencilProgram};
+
+use crate::autotune::{autotune_workload, simulate_score_with, sweep_space};
+use crate::json::Json;
+use crate::point_updates;
+
+/// How tile sizes are scored during planning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TuneMode {
+    /// Rank candidates by the §3.7 static load-to-compute ratio (fast;
+    /// the default).
+    Static,
+    /// Score the shortlisted candidates on the block-parallel simulator
+    /// (the §6 measurement pass; slower, workload-aware).
+    Simulated,
+}
+
+impl TuneMode {
+    /// Stable name used in fingerprints and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TuneMode::Static => "static",
+            TuneMode::Simulated => "simulated",
+        }
+    }
+}
+
+/// Driver configuration shared by every file of one invocation.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Simulated device (budgets, timing model).
+    pub device: DeviceConfig,
+    /// Code-generation options (defaults to the full Table 4 ladder top).
+    pub opts: CodegenOptions,
+    /// Worker threads for one simulation ([`gpusim::parallel`]).
+    pub sim_threads: usize,
+    /// Concurrent file compiles in [`compile_batch`].
+    pub jobs: usize,
+    /// Tile-size scoring mode.
+    pub tune: TuneMode,
+    /// Shrink the sweep space (CI smoke mode).
+    pub smoke: bool,
+    /// Run the simulated plan and require bit-exact agreement with the
+    /// reference executor.
+    pub verify: bool,
+    /// Where `.cu` / `.ptx` artifacts are written.
+    pub out_dir: PathBuf,
+    /// Plan-cache directory; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Override the execution workload (`dims`, `steps`); defaults to a
+    /// small per-arity workload.
+    pub workload: Option<(Vec<usize>, usize)>,
+}
+
+impl DriverConfig {
+    /// Defaults: GTX 470, best codegen options, static tuning, cache
+    /// enabled under `out_dir/cache`, verification on.
+    pub fn new(out_dir: impl Into<PathBuf>) -> DriverConfig {
+        let out_dir = out_dir.into();
+        let cache_dir = out_dir.join("cache");
+        DriverConfig {
+            device: DeviceConfig::gtx470(),
+            opts: CodegenOptions::best(),
+            sim_threads: 1,
+            jobs: 1,
+            tune: TuneMode::Static,
+            smoke: false,
+            verify: true,
+            out_dir,
+            cache_dir: Some(cache_dir),
+            workload: None,
+        }
+    }
+}
+
+/// A failure compiling one stencil file.
+#[derive(Clone, Debug)]
+pub enum DriverError {
+    /// Filesystem failure (path and cause).
+    Io(String),
+    /// The DSL did not parse or validate.
+    Parse(ParseError),
+    /// The program parsed but the pipeline cannot compile it.
+    Unsupported(String),
+    /// No tile-size candidate survived the budgets and feasibility checks.
+    NoFeasibleTiling(String),
+    /// The simulated result diverged from the reference executor.
+    Verify(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Io(m) => write!(f, "io error: {m}"),
+            DriverError::Parse(e) => write!(f, "{e}"),
+            DriverError::Unsupported(m) => write!(f, "unsupported stencil: {m}"),
+            DriverError::NoFeasibleTiling(m) => write!(f, "no feasible tiling: {m}"),
+            DriverError::Verify(m) => write!(f, "verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The result of compiling one stencil file end to end.
+#[derive(Clone, Debug)]
+pub struct CompileOutcome {
+    /// Program name (sanitized file stem).
+    pub name: String,
+    /// Input path.
+    pub source: PathBuf,
+    /// Content-addressed plan-cache key.
+    pub fingerprint: String,
+    /// Chosen tile parameters.
+    pub params: TileParams,
+    /// True if the plan came from the cache (no tuning sweep ran).
+    pub cache_hit: bool,
+    /// Candidates examined by the tuning sweep (0 on a cache hit).
+    pub examined: usize,
+    /// True if the bit-exact check against the oracle ran and passed
+    /// (false only when `cfg.verify` is off).
+    pub verified: bool,
+    /// Simulated throughput.
+    pub gstencils: f64,
+    /// Estimated device seconds for the workload.
+    pub seconds: f64,
+    /// Thread-block launches executed.
+    pub launches: u64,
+    /// Kernels in the launch plan.
+    pub kernels: usize,
+    /// Largest per-kernel shared-memory footprint in bytes.
+    pub smem_bytes: u64,
+    /// Distinct loads per statement (Table 3 "Loads").
+    pub loads: Vec<usize>,
+    /// FLOPs per statement (Table 3 "FLOPs/Stencil").
+    pub flops: Vec<usize>,
+    /// Workload the plan was executed on.
+    pub dims: Vec<usize>,
+    /// Time steps executed.
+    pub steps: usize,
+    /// Emitted CUDA-C artifact.
+    pub cuda_path: PathBuf,
+    /// Emitted pseudo-PTX artifact.
+    pub ptx_path: PathBuf,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The content-addressed cache key of `program` under `cfg`: everything
+/// that influences tile-size selection is hashed — the canonical program
+/// rendering, the device budgets, the codegen options, the tuning mode
+/// (smoke sweeps search a smaller space, so they key separately), and
+/// any workload override (tuning scores candidates on the workload).
+pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
+    let ident = format!(
+        "{}|{}|{}|{:?}|{}|{}|{:?}",
+        program.to_c_like(),
+        cfg.device.name,
+        cfg.device.shared_limit,
+        cfg.opts,
+        cfg.tune.name(),
+        cfg.smoke,
+        cfg.workload,
+    );
+    format!("{:016x}", fnv1a64(ident.as_bytes()))
+}
+
+/// Collects the `.stencil` files of `path`: a file is taken as-is, a
+/// directory contributes every `*.stencil` inside it, sorted by name.
+///
+/// # Errors
+///
+/// Returns [`DriverError::Io`] when the path does not exist or a
+/// directory contains no stencil files.
+pub fn collect_stencil_files(path: &Path) -> Result<Vec<PathBuf>, DriverError> {
+    if path.is_file() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    if !path.is_dir() {
+        return Err(DriverError::Io(format!(
+            "{} does not exist",
+            path.display()
+        )));
+    }
+    let mut files: Vec<PathBuf> = fs::read_dir(path)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", path.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "stencil"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(DriverError::Io(format!(
+            "{} contains no .stencil files",
+            path.display()
+        )));
+    }
+    Ok(files)
+}
+
+/// Program name from a source path: the file stem with every
+/// non-alphanumeric character mapped to `_`.
+fn program_name(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "stencil".to_string());
+    let mut name: String = stem
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if name.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        name.insert(0, 's');
+    }
+    name
+}
+
+/// Loads a cached plan for `fp`, returning the tile parameters if the
+/// entry exists, parses, and was produced from the same program text
+/// (fingerprint collisions degrade to a miss).
+fn load_cached_params(dir: &Path, fp: &str, program_text: &str) -> Option<TileParams> {
+    let text = fs::read_to_string(dir.join(format!("{fp}.json"))).ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.get("program")?.as_str()? != program_text {
+        return None;
+    }
+    let h = v.get("h")?.as_i64()?;
+    let w: Option<Vec<i64>> = v.get("w")?.as_arr()?.iter().map(Json::as_i64).collect();
+    let w = w?;
+    // Guard the TileParams constructor's panics against a corrupt entry.
+    if h < 0 || w.is_empty() || w[0] < 0 || w[1..].iter().any(|&x| x < 1) {
+        return None;
+    }
+    Some(TileParams::new(h, &w))
+}
+
+/// Persists a freshly chosen plan. Written atomically (temp file +
+/// rename) so concurrent batch workers can only ever observe complete
+/// entries.
+fn store_cached_params(
+    dir: &Path,
+    fp: &str,
+    program: &StencilProgram,
+    cfg: &DriverConfig,
+    params: &TileParams,
+    smem_bytes: u64,
+    score: f64,
+) -> Result<(), DriverError> {
+    fs::create_dir_all(dir).map_err(|e| DriverError::Io(format!("{}: {e}", dir.display())))?;
+    let entry = Json::obj(vec![
+        ("fingerprint", Json::str(fp)),
+        ("stencil", Json::str(program.name())),
+        ("program", Json::str(program.to_c_like())),
+        ("device", Json::str(cfg.device.name.clone())),
+        ("tune", Json::str(cfg.tune.name())),
+        ("h", Json::Int(params.h)),
+        (
+            "w",
+            Json::Arr(params.w.iter().map(|&x| Json::Int(x)).collect()),
+        ),
+        (
+            "schedule",
+            Json::obj(vec![
+                ("time_extent", Json::Int(params.time_extent())),
+                ("statements", Json::UInt(program.num_statements() as u64)),
+                ("smem_bytes", Json::UInt(smem_bytes)),
+            ]),
+        ),
+        ("score", Json::Num(score)),
+    ]);
+    static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = dir.join(format!("{fp}.json"));
+    let tmp = dir.join(format!(
+        "{fp}.json.tmp{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, entry.render())
+        .map_err(|e| DriverError::Io(format!("{}: {e}", tmp.display())))?;
+    fs::rename(&tmp, &path).map_err(|e| DriverError::Io(format!("{}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Execution workload for one program: the explicit override, or a small
+/// per-arity default (the autotune scoring workload).
+fn workload(program: &StencilProgram, cfg: &DriverConfig) -> (Vec<usize>, usize) {
+    cfg.workload
+        .clone()
+        .unwrap_or_else(|| autotune_workload(program))
+}
+
+/// Runs the tuning sweep and returns `(params, examined, smem, score)`.
+fn choose_params(
+    program: &StencilProgram,
+    cfg: &DriverConfig,
+) -> Result<(TileParams, usize, u64, f64), DriverError> {
+    let space = sweep_space(program.spatial_dims(), cfg.smoke);
+    let tune_cfg = AutotuneConfig {
+        smem_limit: cfg.device.shared_limit as u64,
+        verify_domain: None,
+        max_candidates: if cfg.smoke { 4 } else { 12 },
+        ..AutotuneConfig::fermi()
+    };
+    let (dims, steps) = workload(program, cfg);
+    let report = autotune(program, &space, &tune_cfg, |model| match cfg.tune {
+        // Static mode still demands end-to-end feasibility: the candidate
+        // must survive codegen and fit the device's shared memory.
+        TuneMode::Static => {
+            let plan = generate_hybrid(program, &model.params, &dims, steps, cfg.opts).ok()?;
+            if plan
+                .kernels
+                .iter()
+                .any(|k| k.shared_bytes() > cfg.device.shared_limit)
+            {
+                return None;
+            }
+            Some(-model.ratio())
+        }
+        TuneMode::Simulated => simulate_score_with(
+            program,
+            &model.params,
+            &cfg.device,
+            &dims,
+            steps,
+            cfg.sim_threads,
+            cfg.opts,
+        ),
+    });
+    match report.best() {
+        Some(best) => Ok((
+            best.model.params.clone(),
+            report.examined,
+            best.model.smem_bytes,
+            best.score,
+        )),
+        None => Err(DriverError::NoFeasibleTiling(format!(
+            "{}: {} candidates examined ({} unschedulable, {} over shared memory, \
+             {} over registers, {} rejected at codegen/scoring)",
+            program.name(),
+            report.examined,
+            report.rejected_schedule,
+            report.rejected_smem,
+            report.rejected_regs,
+            report.rejected_scorer,
+        ))),
+    }
+}
+
+/// Emits the CUDA-C and pseudo-PTX artifacts for `plan` and returns their
+/// paths.
+fn emit_artifacts(
+    program: &StencilProgram,
+    params: &TileParams,
+    plan: &gpu_codegen::LaunchPlan,
+    cfg: &DriverConfig,
+) -> Result<(PathBuf, PathBuf), DriverError> {
+    fs::create_dir_all(&cfg.out_dir)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", cfg.out_dir.display())))?;
+    let mut cuda = format!(
+        "// {} — hybrid hexagonal/classical tiling, h = {}, w = {:?}\n\
+         // {} kernel(s), {} launch(es); generated by hybridc\n\n",
+        program.name(),
+        params.h,
+        params.w,
+        plan.kernels.len(),
+        plan.launches.len(),
+    );
+    let mut ptx = String::new();
+    for kernel in &plan.kernels {
+        cuda.push_str(&kernel_to_cuda(kernel));
+        cuda.push('\n');
+        let (text, stats) = core_tile_ptx(kernel, 4);
+        ptx.push_str(&format!(
+            "// kernel {} — core tile, first 4 points: {} loads, {} stores, {} arith\n",
+            kernel.name, stats.loads, stats.stores, stats.arith
+        ));
+        ptx.push_str(&text);
+        ptx.push('\n');
+    }
+    let cuda_path = cfg.out_dir.join(format!("{}.cu", program.name()));
+    let ptx_path = cfg.out_dir.join(format!("{}.ptx", program.name()));
+    fs::write(&cuda_path, cuda)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", cuda_path.display())))?;
+    fs::write(&ptx_path, ptx)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", ptx_path.display())))?;
+    Ok((cuda_path, ptx_path))
+}
+
+/// Compiles one stencil file end to end: parse, validate, plan (through
+/// the cache), emit CUDA + PTX, execute on the simulator, and verify
+/// bit-exactly against the reference oracle.
+///
+/// # Errors
+///
+/// Every pipeline stage maps its failure to a [`DriverError`] variant; no
+/// stage panics on user input.
+pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, DriverError> {
+    let src = fs::read_to_string(path)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", path.display())))?;
+    let name = program_name(path);
+    let program = parse_stencil(&name, &src).map_err(DriverError::Parse)?;
+    if !(1..=3).contains(&program.spatial_dims()) {
+        return Err(DriverError::Unsupported(format!(
+            "{} has {} spatial dimensions; the planner supports 1-3",
+            name,
+            program.spatial_dims()
+        )));
+    }
+
+    // An explicit workload override must match the program before it can
+    // reach code paths that assert on it (batch directories mix arities).
+    if let Some((d, _)) = &cfg.workload {
+        if d.len() != program.spatial_dims() {
+            return Err(DriverError::Unsupported(format!(
+                "{} has {} spatial dimensions but --size gives {}",
+                name,
+                program.spatial_dims(),
+                d.len()
+            )));
+        }
+        let radius = program.radius();
+        if d.iter().zip(&radius).any(|(&n, &r)| (n as i64) < 2 * r + 1) {
+            return Err(DriverError::Unsupported(format!(
+                "{name}: workload {d:?} has an empty interior for stencil radius {radius:?}"
+            )));
+        }
+    }
+
+    let fp = fingerprint(&program, cfg);
+    let program_text = program.to_c_like();
+    let cached = cfg
+        .cache_dir
+        .as_deref()
+        .and_then(|dir| load_cached_params(dir, &fp, &program_text));
+
+    let (dims, steps) = workload(&program, cfg);
+    // A cached plan that no longer generates (stale entry from an older
+    // emitter) degrades to a miss.
+    let hit = cached.and_then(|params| {
+        generate_hybrid(&program, &params, &dims, steps, cfg.opts)
+            .ok()
+            .map(|plan| (params, plan))
+    });
+    let (params, plan, examined, cache_hit) = match hit {
+        Some((params, plan)) => (params, plan, 0, true),
+        None => {
+            let (params, examined, smem, score) = choose_params(&program, cfg)?;
+            if let Some(dir) = cfg.cache_dir.as_deref() {
+                store_cached_params(dir, &fp, &program, cfg, &params, smem, score)?;
+            }
+            let plan = generate_hybrid(&program, &params, &dims, steps, cfg.opts)
+                .map_err(|e| DriverError::NoFeasibleTiling(format!("{name}: {e}")))?;
+            (params, plan, examined, false)
+        }
+    };
+    let (cuda_path, ptx_path) = emit_artifacts(&program, &params, &plan, cfg)?;
+
+    // Execute the plan on the simulator.
+    let planes = program.max_dt() as usize + 1;
+    let align = alignment_offset_words(&program, &params, &cfg.opts);
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(&dims, 1234 + f as u64))
+        .collect();
+    let mut sim = GpuSim::with_global_offset(cfg.device.clone(), &init, planes, align);
+    if cfg.sim_threads > 1 {
+        sim.run_plan_parallel_with(&plan, cfg.sim_threads);
+    } else {
+        sim.run_plan(&plan);
+    }
+    sim.set_point_updates(point_updates(&program, &dims, steps));
+
+    // Bit-exact verification against the sequential oracle.
+    let verified = if cfg.verify {
+        let mut oracle = ReferenceExecutor::new(&program, &init);
+        oracle.run(steps);
+        let out = steps % planes;
+        for f in 0..program.num_fields() {
+            if !sim.plane(f, out).bit_equal(oracle.field(f)) {
+                return Err(DriverError::Verify(format!(
+                    "{name}: field {} diverged from the reference (max abs diff {:e})",
+                    program.field_names()[f],
+                    sim.plane(f, out).max_abs_diff(oracle.field(f))
+                )));
+            }
+        }
+        true
+    } else {
+        false
+    };
+
+    let t = timing::estimate_time(sim.counters(), sim.device());
+    Ok(CompileOutcome {
+        name,
+        source: path.to_path_buf(),
+        fingerprint: fp,
+        cache_hit,
+        examined,
+        verified,
+        gstencils: timing::gstencils_per_s(sim.counters(), sim.device()),
+        seconds: t.total,
+        launches: sim.counters().launches,
+        kernels: plan.kernels.len(),
+        smem_bytes: plan
+            .kernels
+            .iter()
+            .map(|k| k.shared_bytes() as u64)
+            .max()
+            .unwrap_or(0),
+        loads: program
+            .statements()
+            .iter()
+            .map(|s| load_count(&s.expr))
+            .collect(),
+        flops: program
+            .statements()
+            .iter()
+            .map(|s| flop_count(&s.expr))
+            .collect(),
+        params,
+        dims,
+        steps,
+        cuda_path,
+        ptx_path,
+    })
+}
+
+/// Compiles a batch of files across `cfg.jobs` worker threads (the PR-2
+/// pool pattern: an atomic work index over the sorted file list). Results
+/// keep input order; one file's failure never aborts the rest.
+pub fn compile_batch(
+    paths: &[PathBuf],
+    cfg: &DriverConfig,
+) -> Vec<(PathBuf, Result<CompileOutcome, DriverError>)> {
+    let jobs = cfg.jobs.clamp(1, paths.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CompileOutcome, DriverError>>>> =
+        paths.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= paths.len() {
+                    break;
+                }
+                let result = compile_file(&paths[i], cfg);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    paths
+        .iter()
+        .cloned()
+        .zip(slots.into_iter().map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by the pool")
+        }))
+        .collect()
+}
+
+/// Renders the machine-readable per-stencil report (the `--report`
+/// artifact).
+pub fn report_json(
+    results: &[(PathBuf, Result<CompileOutcome, DriverError>)],
+    cfg: &DriverConfig,
+) -> Json {
+    let compiled = results.iter().filter(|(_, r)| r.is_ok()).count();
+    let cache_hits = results
+        .iter()
+        .filter(|(_, r)| r.as_ref().is_ok_and(|o| o.cache_hit))
+        .count();
+    Json::obj(vec![
+        (
+            "meta",
+            Json::obj(vec![
+                ("device", Json::str(cfg.device.name.clone())),
+                ("tune", Json::str(cfg.tune.name())),
+                ("smoke", Json::Bool(cfg.smoke)),
+                ("verify", Json::Bool(cfg.verify)),
+                ("sim_threads", Json::UInt(cfg.sim_threads as u64)),
+                ("jobs", Json::UInt(cfg.jobs as u64)),
+            ]),
+        ),
+        (
+            "summary",
+            Json::obj(vec![
+                ("total", Json::UInt(results.len() as u64)),
+                ("compiled", Json::UInt(compiled as u64)),
+                ("failed", Json::UInt((results.len() - compiled) as u64)),
+                ("cache_hits", Json::UInt(cache_hits as u64)),
+            ]),
+        ),
+        (
+            "stencils",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(path, r)| match r {
+                        Ok(o) => Json::obj(vec![
+                            ("name", Json::str(o.name.clone())),
+                            ("source", Json::str(path.display().to_string())),
+                            ("status", Json::str("ok")),
+                            ("fingerprint", Json::str(o.fingerprint.clone())),
+                            ("cache_hit", Json::Bool(o.cache_hit)),
+                            ("examined", Json::UInt(o.examined as u64)),
+                            ("h", Json::Int(o.params.h)),
+                            (
+                                "w",
+                                Json::Arr(o.params.w.iter().map(|&x| Json::Int(x)).collect()),
+                            ),
+                            (
+                                "dims",
+                                Json::Arr(o.dims.iter().map(|&d| Json::UInt(d as u64)).collect()),
+                            ),
+                            ("steps", Json::UInt(o.steps as u64)),
+                            ("verified", Json::Bool(o.verified)),
+                            ("gstencils_per_s", Json::Num(o.gstencils)),
+                            ("est_seconds", Json::Num(o.seconds)),
+                            ("launches", Json::UInt(o.launches)),
+                            ("kernels", Json::UInt(o.kernels as u64)),
+                            ("smem_bytes", Json::UInt(o.smem_bytes)),
+                            (
+                                "loads",
+                                Json::Arr(o.loads.iter().map(|&x| Json::UInt(x as u64)).collect()),
+                            ),
+                            (
+                                "flops",
+                                Json::Arr(o.flops.iter().map(|&x| Json::UInt(x as u64)).collect()),
+                            ),
+                            ("cuda", Json::str(o.cuda_path.display().to_string())),
+                            ("ptx", Json::str(o.ptx_path.display().to_string())),
+                        ]),
+                        Err(e) => Json::obj(vec![
+                            ("source", Json::str(path.display().to_string())),
+                            ("status", Json::str("error")),
+                            ("error", Json::str(e.to_string())),
+                        ]),
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A fresh scratch directory per test invocation.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hybridc_test_{}_{}_{}",
+            std::process::id(),
+            tag,
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_stencil(dir: &Path, name: &str, body: &str) -> PathBuf {
+        let p = dir.join(name);
+        fs::write(&p, body).unwrap();
+        p
+    }
+
+    const JACOBI: &str = "\
+// five-point Jacobi
+const float w = 0.2f;
+for (t = 0; t < T; t++)
+  for (i = 1; i < N-1; i++)
+    for (j = 1; j < N-1; j++)
+      A[t+1][i][j] = w * (A[t][i][j] + A[t][i+1][j] + A[t][i-1][j]
+                        + A[t][i][j+1] + A[t][i][j-1]);
+";
+
+    fn smoke_cfg(out: PathBuf) -> DriverConfig {
+        DriverConfig {
+            smoke: true,
+            ..DriverConfig::new(out)
+        }
+    }
+
+    #[test]
+    fn compiles_verifies_and_caches_a_user_stencil() {
+        let dir = scratch("single");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+
+        let first = compile_file(&file, &cfg).unwrap();
+        assert_eq!(first.name, "jacobi");
+        assert!(!first.cache_hit);
+        assert!(first.examined > 0);
+        assert!(first.verified);
+        assert!(first.gstencils > 0.0);
+        assert!(first.cuda_path.is_file());
+        assert!(first.ptx_path.is_file());
+        let cuda = fs::read_to_string(&first.cuda_path).unwrap();
+        assert!(cuda.contains("__global__ void"), "{cuda}");
+
+        // Second compile: same fingerprint, served from the cache.
+        let second = compile_file(&file, &cfg).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.examined, 0);
+        assert_eq!(second.params, first.params);
+        assert_eq!(second.fingerprint, first.fingerprint);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_degrade_to_a_miss() {
+        let dir = scratch("corrupt");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let first = compile_file(&file, &cfg).unwrap();
+        let entry = cfg
+            .cache_dir
+            .as_ref()
+            .unwrap()
+            .join(format!("{}.json", first.fingerprint));
+        fs::write(&entry, "{ not json").unwrap();
+        let second = compile_file(&file, &cfg).unwrap();
+        assert!(!second.cache_hit, "corrupt entry must not be trusted");
+        assert_eq!(second.params, first.params, "retuning is deterministic");
+    }
+
+    #[test]
+    fn batch_compiles_across_workers_and_reports() {
+        let dir = scratch("batch");
+        write_stencil(&dir, "a_jacobi.stencil", JACOBI);
+        write_stencil(
+            &dir,
+            "b_heat1d.stencil",
+            "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    \
+             A[t+1][i] = 0.25f * A[t][i-1] + 0.5f * A[t][i] + 0.25f * A[t][i+1];\n",
+        );
+        write_stencil(&dir, "c_broken.stencil", "for (t = 0; t < T; t++) oops\n");
+        let files = collect_stencil_files(&dir).unwrap();
+        assert_eq!(files.len(), 3);
+
+        let cfg = DriverConfig {
+            jobs: 2,
+            ..smoke_cfg(dir.join("out"))
+        };
+        let results = compile_batch(&files, &cfg);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].1.is_ok());
+        assert!(results[1].1.is_ok());
+        assert!(matches!(results[2].1, Err(DriverError::Parse(_))));
+
+        let report = report_json(&results, &cfg);
+        let summary = report.get("summary").unwrap();
+        assert_eq!(summary.get("total").and_then(Json::as_u64), Some(3));
+        assert_eq!(summary.get("compiled").and_then(Json::as_u64), Some(2));
+        assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(1));
+        // The parser reads unsigned literals as UInt where the report used
+        // Int, so round-trip equality holds at the text level.
+        let text = report.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), text, "report JSON round-trips");
+    }
+
+    #[test]
+    fn fingerprint_separates_devices_and_modes() {
+        let dir = scratch("fp");
+        let file = write_stencil(&dir, "j.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let program = parse_stencil("j", &fs::read_to_string(&file).unwrap()).unwrap();
+        let base = fingerprint(&program, &cfg);
+        let other_device = DriverConfig {
+            device: DeviceConfig::nvs5200m(),
+            ..cfg.clone()
+        };
+        let other_tune = DriverConfig {
+            tune: TuneMode::Simulated,
+            ..cfg.clone()
+        };
+        assert_ne!(base, fingerprint(&program, &other_device));
+        assert_ne!(base, fingerprint(&program, &other_tune));
+        assert_eq!(base, fingerprint(&program, &cfg.clone()));
+        // The workload feeds tuning scores, so an override keys separately
+        // — a plan tuned for one workload must not serve another.
+        let other_workload = DriverConfig {
+            workload: Some((vec![64, 64], 8)),
+            ..cfg.clone()
+        };
+        assert_ne!(base, fingerprint(&program, &other_workload));
+    }
+
+    #[test]
+    fn workload_overrides_are_validated_not_asserted() {
+        let dir = scratch("workload");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        // Wrong arity: 1D size for a 2D stencil.
+        let cfg = DriverConfig {
+            workload: Some((vec![64], 4)),
+            ..smoke_cfg(dir.join("out"))
+        };
+        assert!(matches!(
+            compile_file(&file, &cfg),
+            Err(DriverError::Unsupported(_))
+        ));
+        // Empty interior: grid smaller than the stencil halo.
+        let cfg = DriverConfig {
+            workload: Some((vec![2, 2], 4)),
+            ..smoke_cfg(dir.join("out"))
+        };
+        assert!(matches!(
+            compile_file(&file, &cfg),
+            Err(DriverError::Unsupported(_))
+        ));
+        // A legal override compiles and verifies on the requested grid.
+        let cfg = DriverConfig {
+            workload: Some((vec![48, 64], 8)),
+            ..smoke_cfg(dir.join("out"))
+        };
+        let out = compile_file(&file, &cfg).unwrap();
+        assert_eq!(out.dims, vec![48, 64]);
+        assert_eq!(out.steps, 8);
+        assert!(out.verified);
+    }
+
+    #[test]
+    fn unsupported_and_missing_inputs_error_cleanly() {
+        let dir = scratch("errs");
+        assert!(matches!(
+            collect_stencil_files(&dir.join("nope")),
+            Err(DriverError::Io(_))
+        ));
+        let empty = dir.join("empty");
+        fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            collect_stencil_files(&empty),
+            Err(DriverError::Io(_))
+        ));
+        // 4D programs parse but the planner cannot tile them.
+        let file = write_stencil(
+            &dir,
+            "hyper.stencil",
+            "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n   for (j = 1; j < N-1; j++)\n    for (k = 1; k < N-1; k++)\n     for (l = 1; l < N-1; l++)\n      A[t+1][i][j][k][l] = A[t][i][j][k][l];\n",
+        );
+        let cfg = smoke_cfg(dir.join("out"));
+        assert!(matches!(
+            compile_file(&file, &cfg),
+            Err(DriverError::Unsupported(_))
+        ));
+    }
+}

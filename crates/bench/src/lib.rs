@@ -10,6 +10,7 @@
 //! scaling next to every reproduced number.
 
 pub mod autotune;
+pub mod driver;
 pub mod json;
 
 use baselines::{generate_overtile, generate_par4all, generate_patus, generate_ppcg};

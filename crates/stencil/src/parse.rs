@@ -20,87 +20,292 @@
 //! assert_eq!(stencil::characteristics::load_count(&program.statements()[0].expr), 5);
 //! ```
 //!
+//! # Grammar reference
+//!
+//! The complete DSL accepted by [`parse_stencil`] (the `.stencil` file
+//! format compiled by the `hybridc` driver):
+//!
+//! ```text
+//! program   := const-decl* time-loop EOF
+//! const-decl:= "const"? ("float" | "double")? name "=" ("+" | "-")? number ";"
+//! time-loop := for-header[t] "{"? statement+ "}"*
+//! statement := pragma* for-header+ assignment
+//! for-header:= "for" "(" name <anything up to the matching ")"> ")" "{"?
+//! assignment:= field time-index space-index+ "=" expr ";" "}"*
+//! time-index:= "[" "t" "+" "1" "]"                  (left-hand side)
+//!            | "[" "t" (("+" | "-") number)? "]"    (in an access)
+//! space-index:= "[" name (("+" | "-") number)? "]"
+//! expr      := term (("+" | "-") term)*
+//! term      := factor ("*" factor)*
+//! factor    := number | constant-name | access
+//!            | "sqrtf" "(" expr ")" | "(" expr ")" | "-" factor
+//! access    := field time-index space-index+
+//! pragma    := "#" <tokens up to the next "for">
+//! comment   := "//" <to end of line> | "/*" <to the matching "*/">
+//! ```
+//!
+//! Rules beyond the grammar:
+//!
+//! * the outermost loop must iterate `t`; loop bounds are accepted but not
+//!   interpreted (domains are supplied at run time, as everywhere else in
+//!   the pipeline);
+//! * every spatial loop nest of a multi-statement program must use the
+//!   same iterator names in the same order, and every access must index
+//!   them in that order;
+//! * a named constant must be declared before the time loop and may then
+//!   be used wherever a numeric literal may; constants cannot be indexed
+//!   like fields;
+//! * the left-hand side is written at `[t+1][i][j]..` exactly (no spatial
+//!   offsets);
+//! * numeric index offsets are limited to ±[`MAX_OFFSET`];
+//! * an `f` suffix on float literals is consumed silently;
+//! * `//` and `/* .. */` comments are ignored everywhere.
+//!
 //! Time indexing follows the paper's convention: `A[t+1][..]` on the
 //! left-hand side is the value produced this iteration; a read `A[t-d][..]`
 //! has time distance `dt = 1 + d` (`A[t]` reads the previous iteration,
 //! `A[t+1]` reads a value produced earlier in the *same* iteration by an
 //! earlier statement).
 
+use std::collections::HashMap;
+use std::fmt;
+
 use crate::program::{FieldId, Statement, StencilExpr, StencilProgram};
 
-/// A parse failure with a human-readable message.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ParseError(pub String);
+/// Largest accepted magnitude for a numeric index offset (spatial or
+/// time). Keeps every derived quantity (`dt`, radii, scheduled distances)
+/// far away from `i64` overflow.
+pub const MAX_OFFSET: i64 = 1_000_000;
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "stencil parse error: {}", self.0)
+/// A source position: 1-based line and column of a token's first
+/// character.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// A parse failure: a human-readable message plus, when the failure is
+/// attributable to a specific token, that token's source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    msg: String,
+    span: Option<Span>,
+}
+
+impl ParseError {
+    /// An error with no particular source position (program-level
+    /// validation failures).
+    pub fn new(msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            span: None,
+        }
+    }
+
+    /// An error anchored at `span`.
+    pub fn at(span: Span, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            span: Some(span),
+        }
+    }
+
+    /// The message, without the `stencil parse error` prefix or position.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// The source position of the offending token, when known.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "stencil parse error at {s}: {}", self.msg),
+            None => write!(f, "stencil parse error: {}", self.msg),
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
 
 #[derive(Clone, PartialEq, Debug)]
-enum Tok {
+enum TokKind {
     Ident(String),
     Num(String),
     Sym(char),
 }
 
-fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
+impl TokKind {
+    /// How the token is named in error messages.
+    fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::Num(s) => format!("number `{s}`"),
+            TokKind::Sym(c) => format!("`{c}`"),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct Tok {
+    kind: TokKind,
+    span: Span,
+}
+
+struct Tokenizer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(src: &'a str) -> Tokenizer<'a> {
+        Tokenizer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Tokenizes `src`, skipping whitespace and `//` / `/* .. */` comments.
+fn tokenize(src: &str) -> Result<(Vec<Tok>, Span), ParseError> {
+    let mut tz = Tokenizer::new(src);
     let mut out = Vec::new();
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    while let Some(&c) = tz.chars.peek() {
+        let span = tz.here();
         if c.is_whitespace() {
-            chars.next();
+            tz.bump();
+        } else if c == '/' {
+            tz.bump();
+            match tz.chars.peek() {
+                Some('/') => {
+                    while let Some(&c) = tz.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        tz.bump();
+                    }
+                }
+                Some('*') => {
+                    tz.bump();
+                    let mut closed = false;
+                    while let Some(c) = tz.bump() {
+                        if c == '*' && tz.chars.peek() == Some(&'/') {
+                            tz.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(ParseError::at(span, "unterminated /* comment".to_string()));
+                    }
+                }
+                _ => {
+                    return Err(ParseError::at(
+                        span,
+                        "unexpected `/` (division is not part of the expression language; \
+                         fold constant divisions into a literal)",
+                    ))
+                }
+            }
         } else if c.is_ascii_alphabetic() || c == '_' {
             let mut s = String::new();
-            while let Some(&c) = chars.peek() {
+            while let Some(&c) = tz.chars.peek() {
                 if c.is_ascii_alphanumeric() || c == '_' {
                     s.push(c);
-                    chars.next();
+                    tz.bump();
                 } else {
                     break;
                 }
             }
-            out.push(Tok::Ident(s));
+            out.push(Tok {
+                kind: TokKind::Ident(s),
+                span,
+            });
         } else if c.is_ascii_digit() {
             let mut s = String::new();
-            while let Some(&c) = chars.peek() {
+            while let Some(&c) = tz.chars.peek() {
                 if c.is_ascii_digit() || c == '.' {
                     s.push(c);
-                    chars.next();
+                    tz.bump();
                 } else {
                     break;
                 }
             }
             // An 'f' suffix on float literals is consumed silently.
-            if let Some(&'f') = chars.peek() {
-                chars.next();
+            if let Some(&'f') = tz.chars.peek() {
+                tz.bump();
             }
-            out.push(Tok::Num(s));
-        } else if "()[]{}=+-*/;<>,#".contains(c) {
-            chars.next();
-            out.push(Tok::Sym(c));
+            out.push(Tok {
+                kind: TokKind::Num(s),
+                span,
+            });
+        } else if "()[]{}=+-*;<>,#".contains(c) {
+            tz.bump();
+            out.push(Tok {
+                kind: TokKind::Sym(c),
+                span,
+            });
         } else {
-            return Err(ParseError(format!("unexpected character {c:?}")));
+            return Err(ParseError::at(span, format!("unexpected character {c:?}")));
         }
     }
-    Ok(out)
+    Ok((out, tz.here()))
 }
 
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Position just past the last token (for end-of-input errors).
+    eof: Span,
     /// Spatial loop iterator names, outermost first.
     iters: Vec<String>,
     /// Field names in declaration (first-use) order.
     fields: Vec<String>,
+    /// Named constants declared before the time loop.
+    consts: HashMap<String, f32>,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos)
+    fn peek(&self) -> Option<&TokKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    /// Span of the next token (or the end of input).
+    fn peek_span(&self) -> Span {
+        self.toks.get(self.pos).map_or(self.eof, |t| t.span)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -111,27 +316,108 @@ impl Parser {
         t
     }
 
-    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
-        match self.next() {
-            Some(Tok::Sym(s)) if s == c => Ok(()),
-            other => Err(ParseError(format!("expected {c:?}, found {other:?}"))),
+    /// Describes the next token for an error message.
+    fn found(&self) -> String {
+        self.toks
+            .get(self.pos)
+            .map_or("end of input".to_string(), |t| t.kind.describe())
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::at(self.peek_span(), msg)
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<Span, ParseError> {
+        match self.peek() {
+            Some(TokKind::Sym(s)) if *s == c => {
+                let span = self.peek_span();
+                self.pos += 1;
+                Ok(span)
+            }
+            _ => Err(self.err_here(format!("expected `{c}`, found {}", self.found()))),
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
-            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Some(TokKind::Ident(s)) => {
+                let out = (s.clone(), self.peek_span());
+                self.pos += 1;
+                Ok(out)
+            }
+            _ => Err(self.err_here(format!("expected identifier, found {}", self.found()))),
+        }
+    }
+
+    /// Consumes an optionally signed numeric literal as `f32`.
+    fn expect_f32(&mut self) -> Result<f32, ParseError> {
+        let neg = match self.peek() {
+            Some(TokKind::Sym('-')) => {
+                self.pos += 1;
+                true
+            }
+            Some(TokKind::Sym('+')) => {
+                self.pos += 1;
+                false
+            }
+            _ => false,
+        };
+        match self.peek() {
+            Some(TokKind::Num(n)) => {
+                let span = self.peek_span();
+                let v = n
+                    .parse::<f32>()
+                    .map_err(|_| ParseError::at(span, format!("bad literal `{n}`")))?;
+                self.pos += 1;
+                Ok(if neg { -v } else { v })
+            }
+            _ => Err(self.err_here(format!("expected number, found {}", self.found()))),
+        }
+    }
+
+    /// Parses leading `const float name = 0.25f;`-style declarations.
+    /// Stops at the first `for`.
+    fn parse_const_decls(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(TokKind::Ident(k)) if k != "for" => {}
+                _ => return Ok(()),
+            }
+            // Optional `const` and type keywords.
+            for kw in ["const", "float", "double"] {
+                if matches!(self.peek(), Some(TokKind::Ident(k)) if k == kw) {
+                    self.pos += 1;
+                }
+            }
+            let (name, span) = self.expect_ident()?;
+            if name == "t" {
+                return Err(ParseError::at(
+                    span,
+                    "`t` is reserved for the time iterator",
+                ));
+            }
+            if self.consts.contains_key(&name) {
+                return Err(ParseError::at(
+                    span,
+                    format!("constant `{name}` declared twice"),
+                ));
+            }
+            self.expect_sym('=')?;
+            let value = self.expect_f32()?;
+            self.expect_sym(';')?;
+            self.consts.insert(name, value);
         }
     }
 
     /// Consumes a `for (x = ...; x < ...; x++)` header, returning the
-    /// iterator name. Bounds are accepted but not interpreted (domains are
-    /// supplied at run time, as in the rest of the pipeline).
-    fn parse_for_header(&mut self) -> Result<String, ParseError> {
-        match self.next() {
-            Some(Tok::Ident(k)) if k == "for" => {}
-            other => return Err(ParseError(format!("expected 'for', found {other:?}"))),
+    /// iterator name and its span. Bounds are accepted but not interpreted
+    /// (domains are supplied at run time, as in the rest of the pipeline).
+    fn parse_for_header(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Some(TokKind::Ident(k)) if k == "for" => {
+                self.pos += 1;
+            }
+            _ => return Err(self.err_here(format!("expected `for`, found {}", self.found()))),
         }
         self.expect_sym('(')?;
         let var = self.expect_ident()?;
@@ -139,10 +425,18 @@ impl Parser {
         let mut depth = 1;
         while depth > 0 {
             match self.next() {
-                Some(Tok::Sym('(')) => depth += 1,
-                Some(Tok::Sym(')')) => depth -= 1,
+                Some(Tok {
+                    kind: TokKind::Sym('('),
+                    ..
+                }) => depth += 1,
+                Some(Tok {
+                    kind: TokKind::Sym(')'),
+                    ..
+                }) => depth -= 1,
                 Some(_) => {}
-                None => return Err(ParseError("unterminated for header".into())),
+                None => {
+                    return Err(ParseError::at(self.eof, "unterminated for header"));
+                }
             }
         }
         Ok(var)
@@ -158,64 +452,72 @@ impl Parser {
     }
 
     /// Parses an index expression `iter`, `iter+c`, `iter-c`, or for the
-    /// time dimension `t`, `t+1`, `t-c`. Returns `(iter name, offset)`.
-    fn parse_index(&mut self) -> Result<(String, i64), ParseError> {
+    /// time dimension `t`, `t+1`, `t-c`. Returns `(iter name, offset,
+    /// span of the iterator token)`.
+    fn parse_index(&mut self) -> Result<(String, i64, Span), ParseError> {
         self.expect_sym('[')?;
-        let var = self.expect_ident()?;
+        let (var, span) = self.expect_ident()?;
         let off = match self.peek() {
-            Some(Tok::Sym('+')) => {
-                self.next();
-                match self.next() {
-                    Some(Tok::Num(n)) => n
-                        .parse::<i64>()
-                        .map_err(|_| ParseError(format!("bad offset {n}")))?,
-                    other => return Err(ParseError(format!("expected offset, found {other:?}"))),
-                }
-            }
-            Some(Tok::Sym('-')) => {
-                self.next();
-                match self.next() {
-                    Some(Tok::Num(n)) => -n
-                        .parse::<i64>()
-                        .map_err(|_| ParseError(format!("bad offset {n}")))?,
-                    other => return Err(ParseError(format!("expected offset, found {other:?}"))),
+            Some(TokKind::Sym(s @ ('+' | '-'))) => {
+                let sign = if *s == '-' { -1 } else { 1 };
+                self.pos += 1;
+                match self.peek() {
+                    Some(TokKind::Num(n)) => {
+                        let nspan = self.peek_span();
+                        let v =
+                            n.parse::<i64>().ok().filter(|v| *v <= MAX_OFFSET).ok_or(
+                                ParseError::at(nspan, format!("offset `{n}` out of range")),
+                            )?;
+                        self.pos += 1;
+                        sign * v
+                    }
+                    _ => {
+                        return Err(
+                            self.err_here(format!("expected offset, found {}", self.found()))
+                        )
+                    }
                 }
             }
             _ => 0,
         };
         self.expect_sym(']')?;
-        Ok((var, off))
+        Ok((var, off, span))
     }
 
     /// Parses an access `F[t±c][i±a][j±b]...`, returning the load.
-    fn parse_access(&mut self, name: String) -> Result<StencilExpr, ParseError> {
+    fn parse_access(&mut self, name: String, name_span: Span) -> Result<StencilExpr, ParseError> {
         let field = self.field_id(&name);
-        let (tvar, toff) = self.parse_index()?;
+        let (tvar, toff, tspan) = self.parse_index()?;
         if tvar != "t" {
-            return Err(ParseError(format!(
-                "first index of {name} must be the time iterator, found {tvar}"
-            )));
+            return Err(ParseError::at(
+                tspan,
+                format!("first index of {name} must be the time iterator, found `{tvar}`"),
+            ));
         }
         // A[t+off]: produced at iteration t+off-1, read at iteration t:
         // dt = 1 - off.
         let dt = 1 - toff;
         if dt < 0 {
-            return Err(ParseError(format!(
-                "access {name}[t+{toff}] reads the future"
-            )));
+            return Err(ParseError::at(
+                name_span,
+                format!("access {name}[t+{toff}] reads the future"),
+            ));
         }
         let mut offsets = Vec::new();
         let mut seen = Vec::new();
-        while matches!(self.peek(), Some(Tok::Sym('['))) {
-            let (var, off) = self.parse_index()?;
+        while matches!(self.peek(), Some(TokKind::Sym('['))) {
+            let (var, off, _) = self.parse_index()?;
             seen.push(var);
             offsets.push(off);
         }
         if seen != self.iters {
-            return Err(ParseError(format!(
-                "access {name} indexes {seen:?}, loop nest uses {:?} (order must match)",
-                self.iters
-            )));
+            return Err(ParseError::at(
+                name_span,
+                format!(
+                    "access {name} indexes {seen:?}, loop nest uses {:?} (order must match)",
+                    self.iters
+                ),
+            ));
         }
         Ok(StencilExpr::load(field, dt, &offsets))
     }
@@ -225,13 +527,13 @@ impl Parser {
         let mut lhs = self.parse_term()?;
         loop {
             match self.peek() {
-                Some(Tok::Sym('+')) => {
-                    self.next();
+                Some(TokKind::Sym('+')) => {
+                    self.pos += 1;
                     let rhs = self.parse_term()?;
                     lhs = StencilExpr::Add(Box::new(lhs), Box::new(rhs));
                 }
-                Some(Tok::Sym('-')) => {
-                    self.next();
+                Some(TokKind::Sym('-')) => {
+                    self.pos += 1;
                     let rhs = self.parse_term()?;
                     lhs = StencilExpr::Sub(Box::new(lhs), Box::new(rhs));
                 }
@@ -243,41 +545,76 @@ impl Parser {
     /// term := factor ('*' factor)*
     fn parse_term(&mut self) -> Result<StencilExpr, ParseError> {
         let mut lhs = self.parse_factor()?;
-        while matches!(self.peek(), Some(Tok::Sym('*'))) {
-            self.next();
+        while matches!(self.peek(), Some(TokKind::Sym('*'))) {
+            self.pos += 1;
             let rhs = self.parse_factor()?;
             lhs = StencilExpr::Mul(Box::new(lhs), Box::new(rhs));
         }
         Ok(lhs)
     }
 
-    /// factor := number | access | sqrtf(expr) | '(' expr ')' | '-' factor
+    /// factor := number | constant | access | sqrtf(expr) | '(' expr ')'
+    ///         | '-' factor
     fn parse_factor(&mut self) -> Result<StencilExpr, ParseError> {
-        match self.next() {
-            Some(Tok::Num(n)) => n
+        let span = self.peek_span();
+        match self.next().map(|t| t.kind) {
+            Some(TokKind::Num(n)) => n
                 .parse::<f32>()
                 .map(StencilExpr::Const)
-                .map_err(|_| ParseError(format!("bad literal {n}"))),
-            Some(Tok::Sym('(')) => {
+                .map_err(|_| ParseError::at(span, format!("bad literal `{n}`"))),
+            Some(TokKind::Sym('(')) => {
                 let e = self.parse_expr()?;
                 self.expect_sym(')')?;
                 Ok(e)
             }
-            Some(Tok::Sym('-')) => {
+            Some(TokKind::Sym('-')) => {
                 let e = self.parse_factor()?;
-                Ok(StencilExpr::Sub(
-                    Box::new(StencilExpr::Const(0.0)),
-                    Box::new(e),
-                ))
+                // A negated literal folds to a negative constant (so
+                // `-4.0f` round-trips as the single constant
+                // `to_c_like` rendered it from); anything else negates
+                // by subtraction from zero.
+                if let StencilExpr::Const(c) = e {
+                    Ok(StencilExpr::Const(-c))
+                } else {
+                    Ok(StencilExpr::Sub(
+                        Box::new(StencilExpr::Const(0.0)),
+                        Box::new(e),
+                    ))
+                }
             }
-            Some(Tok::Ident(name)) if name == "sqrtf" => {
+            Some(TokKind::Ident(name)) if name == "sqrtf" => {
                 self.expect_sym('(')?;
                 let e = self.parse_expr()?;
                 self.expect_sym(')')?;
                 Ok(StencilExpr::Sqrt(Box::new(e)))
             }
-            Some(Tok::Ident(name)) => self.parse_access(name),
-            other => Err(ParseError(format!("unexpected token {other:?}"))),
+            Some(TokKind::Ident(name)) => {
+                let indexed = matches!(self.peek(), Some(TokKind::Sym('[')));
+                if let Some(&v) = self.consts.get(&name) {
+                    if indexed {
+                        return Err(ParseError::at(
+                            span,
+                            format!("constant `{name}` cannot be indexed like a field"),
+                        ));
+                    }
+                    Ok(StencilExpr::Const(v))
+                } else if indexed {
+                    self.parse_access(name, span)
+                } else {
+                    Err(ParseError::at(
+                        span,
+                        format!(
+                            "unknown identifier `{name}` (not a declared constant; a field \
+                             access needs `[t..]` indices)"
+                        ),
+                    ))
+                }
+            }
+            Some(kind) => Err(ParseError::at(
+                span,
+                format!("unexpected token {}", kind.describe()),
+            )),
+            None => Err(ParseError::at(self.eof, "unexpected end of input")),
         }
     }
 
@@ -285,46 +622,58 @@ impl Parser {
     /// `F[t+1][iters..] = expr ;`.
     fn parse_statement(&mut self, index: usize) -> Result<Statement, ParseError> {
         let mut iters = Vec::new();
-        while matches!(self.peek(), Some(Tok::Ident(k)) if k == "for") {
-            iters.push(self.parse_for_header()?);
+        let nest_span = self.peek_span();
+        while matches!(self.peek(), Some(TokKind::Ident(k)) if k == "for") {
+            iters.push(self.parse_for_header()?.0);
             // Optional braces are skipped transparently.
-            if matches!(self.peek(), Some(Tok::Sym('{'))) {
-                self.next();
+            if matches!(self.peek(), Some(TokKind::Sym('{'))) {
+                self.pos += 1;
             }
         }
         if iters.is_empty() {
-            return Err(ParseError("statement without spatial loops".into()));
+            return Err(ParseError::at(nest_span, "statement without spatial loops"));
         }
         if self.iters.is_empty() {
             self.iters = iters.clone();
         } else if self.iters != iters {
-            return Err(ParseError(format!(
-                "all loop nests must share iterator names/order: {:?} vs {iters:?}",
-                self.iters
-            )));
+            return Err(ParseError::at(
+                nest_span,
+                format!(
+                    "all loop nests must share iterator names/order: {:?} vs {iters:?}",
+                    self.iters
+                ),
+            ));
         }
-        let name = self.expect_ident()?;
+        let (name, name_span) = self.expect_ident()?;
+        if self.consts.contains_key(&name) {
+            return Err(ParseError::at(
+                name_span,
+                format!("constant `{name}` cannot be assigned like a field"),
+            ));
+        }
         let field = self.field_id(&name);
-        let (tvar, toff) = self.parse_index()?;
+        let (tvar, toff, tspan) = self.parse_index()?;
         if tvar != "t" || toff != 1 {
-            return Err(ParseError(format!(
-                "left-hand side of {name} must be indexed [t+1]"
-            )));
+            return Err(ParseError::at(
+                tspan,
+                format!("left-hand side of {name} must be indexed [t+1]"),
+            ));
         }
         for expect in self.iters.clone() {
-            let (var, off) = self.parse_index()?;
+            let (var, off, vspan) = self.parse_index()?;
             if var != expect || off != 0 {
-                return Err(ParseError(format!(
-                    "left-hand side must be written at [{expect}] exactly"
-                )));
+                return Err(ParseError::at(
+                    vspan,
+                    format!("left-hand side must be written at [{expect}] exactly"),
+                ));
             }
         }
         self.expect_sym('=')?;
         let expr = self.parse_expr()?;
         self.expect_sym(';')?;
         // Consume any closing braces.
-        while matches!(self.peek(), Some(Tok::Sym('}'))) {
-            self.next();
+        while matches!(self.peek(), Some(TokKind::Sym('}'))) {
+            self.pos += 1;
         }
         Ok(Statement {
             name: format!("S{index}"),
@@ -334,50 +683,71 @@ impl Parser {
     }
 }
 
-/// Parses a Fig. 1-style C loop nest into a validated [`StencilProgram`].
+/// Parses a Fig. 1-style C loop nest (the `.stencil` DSL — see the
+/// [module-level grammar](self)) into a validated [`StencilProgram`].
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] for malformed input, and forwards
+/// Returns [`ParseError`] for malformed input — carrying the offending
+/// token's [`Span`] where one exists — and forwards
 /// [`StencilProgram::new`] validation failures (non-canonical dependence
 /// structure) as parse errors.
 pub fn parse_stencil(name: &str, src: &str) -> Result<StencilProgram, ParseError> {
-    let toks = tokenize(src)?;
+    let (toks, eof) = tokenize(src)?;
     let mut p = Parser {
         toks,
         pos: 0,
+        eof,
         iters: Vec::new(),
         fields: Vec::new(),
+        consts: HashMap::new(),
     };
+    p.parse_const_decls()?;
     // Outer time loop.
-    let tvar = p.parse_for_header()?;
+    let (tvar, tspan) = p.parse_for_header()?;
     if tvar != "t" {
-        return Err(ParseError(format!(
-            "outermost loop must iterate 't', found {tvar}"
-        )));
+        return Err(ParseError::at(
+            tspan,
+            format!("outermost loop must iterate `t`, found `{tvar}`"),
+        ));
     }
-    if matches!(p.peek(), Some(Tok::Sym('{'))) {
-        p.next();
+    if matches!(p.peek(), Some(TokKind::Sym('{'))) {
+        p.pos += 1;
     }
     let mut statements = Vec::new();
-    while p.peek().is_some() && !matches!(p.peek(), Some(Tok::Sym('}'))) {
-        // Skip #pragma lines' tokens conservatively.
-        if matches!(p.peek(), Some(Tok::Sym('#'))) {
-            while let Some(t) = p.peek() {
-                let stop = matches!(t, Tok::Ident(k) if k == "for");
-                if stop {
-                    break;
+    loop {
+        match p.peek() {
+            // Skip #pragma lines' tokens conservatively.
+            Some(TokKind::Sym('#')) => {
+                while let Some(t) = p.peek() {
+                    let stop = matches!(t, TokKind::Ident(k) if k == "for");
+                    if stop {
+                        break;
+                    }
+                    p.pos += 1;
                 }
-                p.next();
             }
-            continue;
+            Some(TokKind::Ident(k)) if k == "for" => {
+                let idx = statements.len();
+                statements.push(p.parse_statement(idx)?);
+            }
+            // `}` or trailing junk: both are reported below.
+            _ => break,
         }
-        let idx = statements.len();
-        statements.push(p.parse_statement(idx)?);
+    }
+    // Closing braces of the time loop, then nothing else.
+    while matches!(p.peek(), Some(TokKind::Sym('}'))) {
+        p.pos += 1;
+    }
+    if p.peek().is_some() {
+        return Err(p.err_here(format!(
+            "unexpected {} after the end of the time loop",
+            p.found()
+        )));
     }
     let spatial = p.iters.len();
     let field_names: Vec<&str> = p.fields.iter().map(String::as_str).collect();
-    StencilProgram::new(name, spatial, &field_names, statements).map_err(ParseError)
+    StencilProgram::new(name, spatial, &field_names, statements).map_err(ParseError::new)
 }
 
 #[cfg(test)]
@@ -448,7 +818,86 @@ mod tests {
                 A[t+1][i] = sqrtf(A[t][i+1] * A[t][i+1]) - -1.0f;
         "#;
         let p = parse_stencil("g", src).unwrap();
-        assert_eq!(flop_count(&p.statements()[0].expr), 1 + 3 + 1 + 1);
+        // `- -1.0f` folds the negated literal into Const(-1.0): one mul
+        // inside sqrtf, the sqrt itself, and the binary minus.
+        assert_eq!(flop_count(&p.statements()[0].expr), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = r#"
+            // Line comment before anything.
+            /* A block
+               comment. */
+            for (t = 0; t < T; t++) // trailing comment
+              for (i = 1; i < N-1; i++) /* inline */
+                A[t+1][i] = 0.5f * (A[t][i-1] + A[t][i+1]); // done
+        "#;
+        let p = parse_stencil("c", src).unwrap();
+        assert_eq!(load_count(&p.statements()[0].expr), 2);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let err = parse_stencil("c", "/* never closed").unwrap_err();
+        assert!(err.message().contains("unterminated"), "{err}");
+        assert_eq!(err.span(), Some(Span { line: 1, col: 1 }));
+    }
+
+    #[test]
+    fn named_constants_substitute_their_value() {
+        let src = r#"
+            const float w = 0.25f;
+            float c = -2.0;
+            for (t = 0; t < T; t++)
+              for (i = 1; i < N-1; i++)
+                A[t+1][i] = w * (A[t][i-1] + A[t][i+1]) + c * A[t][i];
+        "#;
+        let p = parse_stencil("k", src).unwrap();
+        let expr = &p.statements()[0].expr;
+        assert_eq!(load_count(expr), 3);
+        // A negative constant substitutes as a single literal, not 0 - c.
+        let mut consts = Vec::new();
+        let mut collect = |e: &StencilExpr| {
+            if let StencilExpr::Const(c) = e {
+                consts.push(*c);
+            }
+        };
+        fn walk(e: &StencilExpr, f: &mut impl FnMut(&StencilExpr)) {
+            f(e);
+            match e {
+                StencilExpr::Add(a, b) | StencilExpr::Sub(a, b) | StencilExpr::Mul(a, b) => {
+                    walk(a, f);
+                    walk(b, f);
+                }
+                StencilExpr::Sqrt(a) => walk(a, f),
+                _ => {}
+            }
+        }
+        walk(expr, &mut collect);
+        assert_eq!(consts, vec![0.25, -2.0]);
+        // And the whole expression evaluates as the substituted formula.
+        let v = expr.eval(&mut |a| a.offsets[0] as f32 + 10.0);
+        assert_eq!(v, 0.25f32 * (9.0 + 11.0) + -2.0f32 * 10.0);
+    }
+
+    #[test]
+    fn constants_cannot_be_indexed_or_redeclared() {
+        let twice = "const a = 1.0; const a = 2.0;\nfor (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = a;";
+        let err = parse_stencil("k", twice).unwrap_err();
+        assert!(err.message().contains("declared twice"), "{err}");
+
+        let indexed = "const a = 1.0;\nfor (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = a[t][i];";
+        let err = parse_stencil("k", indexed).unwrap_err();
+        assert!(err.message().contains("cannot be indexed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_identifier_is_named_in_the_error() {
+        let src = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = alpha * A[t][i];";
+        let err = parse_stencil("k", src).unwrap_err();
+        assert!(err.message().contains("`alpha`"), "{err}");
+        assert_eq!(err.span(), Some(Span { line: 3, col: 17 }));
     }
 
     #[test]
@@ -459,7 +908,7 @@ mod tests {
                 A[t+1][i] = A[t+2][i];
         "#;
         let err = parse_stencil("bad", src).unwrap_err();
-        assert!(err.0.contains("future"), "{err}");
+        assert!(err.message().contains("future"), "{err}");
     }
 
     #[test]
@@ -471,7 +920,8 @@ mod tests {
                 A[t+1][i] = A[t+1][i-1];
         "#;
         let err = parse_stencil("bad", src).unwrap_err();
-        assert!(err.0.contains("not carried"), "{err}");
+        assert!(err.message().contains("not carried"), "{err}");
+        assert_eq!(err.span(), None, "program-level validation has no span");
     }
 
     #[test]
@@ -483,7 +933,42 @@ mod tests {
                   A[t+1][i][j] = A[t][j][i];
         "#;
         let err = parse_stencil("bad", src).unwrap_err();
-        assert!(err.0.contains("order must match"), "{err}");
+        assert!(err.message().contains("order must match"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_offsets() {
+        let src = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = A[t][i+9999999999999];";
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.message().contains("out of range"), "{err}");
+        // The span names the offending number, not the access.
+        assert_eq!(err.span(), Some(Span { line: 3, col: 24 }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let src = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = A[t][i];\n}} extra";
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.message().contains("identifier `extra`"), "{err}");
+        assert_eq!(err.span(), Some(Span { line: 4, col: 4 }));
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_token() {
+        // Missing semicolon: the error points at the `}` that appears
+        // where `;` was expected.
+        let src =
+            "for (t = 0; t < T; t++) {\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = A[t][i]\n}";
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.message().contains("expected `;`"), "{err}");
+        assert_eq!(err.span(), Some(Span { line: 4, col: 1 }));
+        assert!(err.to_string().contains("line 4, column 1"), "{err}");
+
+        // Bad time index on the left-hand side: points at `t`.
+        let src = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t][i] = A[t][i];";
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(err.message().contains("[t+1]"), "{err}");
+        assert_eq!(err.span(), Some(Span { line: 3, col: 7 }));
     }
 
     #[test]

@@ -274,6 +274,42 @@ impl StencilProgram {
             .max(1)
     }
 
+    /// True if `other` describes the same computation: equal spatial
+    /// dimensionality and, statement by statement, the same written field
+    /// and the same right-hand-side expression tree. Fields are matched by
+    /// *name*, not by [`FieldId`] — a parser may discover fields in a
+    /// different first-use order than the original construction — and
+    /// program/statement names are ignored (they are labels, not
+    /// semantics). Constants compare by bit pattern. A reparsed
+    /// [`Self::to_c_like`] rendering therefore compares equal to its
+    /// original.
+    pub fn same_computation(&self, other: &StencilProgram) -> bool {
+        fn expr_eq(a: &StencilExpr, b: &StencilExpr, an: &[String], bn: &[String]) -> bool {
+            match (a, b) {
+                (StencilExpr::Load(x), StencilExpr::Load(y)) => {
+                    an[x.field.0] == bn[y.field.0] && x.dt == y.dt && x.offsets == y.offsets
+                }
+                (StencilExpr::Const(x), StencilExpr::Const(y)) => x.to_bits() == y.to_bits(),
+                (StencilExpr::Add(a1, a2), StencilExpr::Add(b1, b2))
+                | (StencilExpr::Sub(a1, a2), StencilExpr::Sub(b1, b2))
+                | (StencilExpr::Mul(a1, a2), StencilExpr::Mul(b1, b2)) => {
+                    expr_eq(a1, b1, an, bn) && expr_eq(a2, b2, an, bn)
+                }
+                (StencilExpr::Sqrt(x), StencilExpr::Sqrt(y)) => expr_eq(x, y, an, bn),
+                _ => false,
+            }
+        }
+        // Every field has exactly one writer (validated), so matching the
+        // written field name of every statement pair covers all fields.
+        self.spatial_dims == other.spatial_dims
+            && self.field_names.len() == other.field_names.len()
+            && self.statements.len() == other.statements.len()
+            && self.statements.iter().zip(&other.statements).all(|(a, b)| {
+                self.field_names[a.writes.0] == other.field_names[b.writes.0]
+                    && expr_eq(&a.expr, &b.expr, &self.field_names, &other.field_names)
+            })
+    }
+
     /// Renders the program as C-like source (the paper's Fig. 1 view).
     pub fn to_c_like(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,164 @@
+//! Parser robustness: random mutations and truncations of valid DSL
+//! sources must produce a clean [`stencil::parse::ParseError`] (or, for
+//! the rare mutation that stays grammatical, a valid program) — never a
+//! panic. Errors must be diagnosable: non-empty message, and any span
+//! within the bounds of the source.
+//!
+//! The proptest stand-in generates deterministic inputs, so a failure here
+//! reproduces with plain `cargo test`.
+
+use proptest::prelude::*;
+use stencil::parse::{parse_stencil, ParseError};
+
+/// Valid seed sources covering every syntactic feature: constants,
+/// comments, multi-statement nests, sqrtf, dt = 2 reaches, pragmas.
+fn seeds() -> Vec<&'static str> {
+    vec![
+        r#"
+for (t = 0; t < T; t++)
+  for (i = 1; i < N-1; i++)
+    for (j = 1; j < N-1; j++)
+      A[t+1][i][j] = 0.2f * (A[t][i][j] + A[t][i+1][j] + A[t][i-1][j]
+                           + A[t][i][j+1] + A[t][i][j-1]);
+"#,
+        r#"
+// constants and comments
+const float w = 0.25f;
+float c = -2.0;
+for (t = 0; t < T; t++) /* time */
+  for (i = 1; i < N-1; i++)
+    A[t+1][i] = w * (A[t][i-1] + A[t][i+1]) + c * A[t][i];
+"#,
+        r#"
+for (t = 0; t < T; t++) {
+  for (i = 1; i < N-1; i++)
+    for (j = 1; j < N-1; j++)
+      ey[t+1][i][j] = ey[t][i][j] - 0.5f * (hz[t][i][j] - hz[t][i-1][j]);
+  # pragma unroll
+  for (i = 1; i < N-1; i++)
+    for (j = 1; j < N-1; j++)
+      hz[t+1][i][j] = hz[t][i][j] - 0.7f * (ey[t+1][i+1][j] - ey[t+1][i][j]);
+}
+"#,
+        r#"
+for (t = 0; t < T; t++)
+  for (i = 2; i < N-2; i++)
+    A[t+1][i] = sqrtf(A[t-1][i-2] * A[t-1][i-2]) - -1.0f * A[t][i+2];
+"#,
+    ]
+}
+
+/// The character pool mutations draw from: grammar characters, digits,
+/// letters, and a few that are always illegal.
+const POOL: &[u8] = b"()[]{}=+-*/;<>,#._ \n\t0123456789abtizANw\"@$%&?";
+
+fn check_outcome(src: &str, out: &Result<stencil::StencilProgram, ParseError>) {
+    if let Err(e) = out {
+        let shown = e.to_string();
+        assert!(
+            shown.starts_with("stencil parse error"),
+            "error display lost its prefix: {shown}"
+        );
+        assert!(!e.message().is_empty(), "empty parse error message");
+        if let Some(span) = e.span() {
+            let lines = src.lines().count() as u32;
+            assert!(
+                span.line >= 1 && span.line <= lines + 1,
+                "span {span:?} outside the {lines}-line source"
+            );
+            assert!(span.col >= 1, "columns are 1-based: {span:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Single-character replace / insert / delete anywhere in a valid
+    /// source: parsing must terminate without panicking, and failures
+    /// must be well-formed errors.
+    #[test]
+    fn char_mutations_never_panic(
+        seed in 0usize..4,
+        kind in 0u8..3,
+        pos_pick in 0usize..10_000,
+        chr_pick in 0usize..POOL.len(),
+    ) {
+        let mut chars: Vec<char> = seeds()[seed].chars().collect();
+        let pos = pos_pick % chars.len();
+        let c = POOL[chr_pick] as char;
+        match kind {
+            0 => chars[pos] = c,
+            1 => chars.insert(pos, c),
+            _ => {
+                chars.remove(pos);
+            }
+        }
+        let mutated: String = chars.into_iter().collect();
+        let out = parse_stencil("mutated", &mutated);
+        check_outcome(&mutated, &out);
+    }
+
+    /// Truncations: every proper prefix must parse without panicking.
+    /// (A prefix can still be a smaller valid program — e.g. cutting a
+    /// multi-statement body after its first statement — so `Ok` is legal;
+    /// a panic never is.)
+    #[test]
+    fn truncations_never_panic(seed in 0usize..4, cut_pick in 0usize..10_000) {
+        let chars: Vec<char> = seeds()[seed].chars().collect();
+        let cut = cut_pick % chars.len();
+        let prefix: String = chars[..cut].iter().collect();
+        let out = parse_stencil("truncated", &prefix);
+        check_outcome(&prefix, &out);
+    }
+
+    /// Token-level swaps: exchanging two random whitespace-separated
+    /// chunks of the source keeps every token lexable, so this drives the
+    /// *parser* (not the tokenizer) into unexpected-token paths.
+    #[test]
+    fn token_swaps_never_panic(seed in 0usize..4, a_pick in 0usize..1000, b_pick in 0usize..1000) {
+        let src = seeds()[seed];
+        let mut words: Vec<&str> = src.split_whitespace().collect();
+        let n = words.len();
+        words.swap(a_pick % n, b_pick % n);
+        let swapped = words.join(" ");
+        let out = parse_stencil("swapped", &swapped);
+        check_outcome(&swapped, &out);
+    }
+}
+
+#[test]
+fn seeds_are_valid() {
+    for (i, s) in seeds().iter().enumerate() {
+        parse_stencil("seed", s).unwrap_or_else(|e| panic!("seed {i} invalid: {e}"));
+    }
+}
+
+#[test]
+fn error_messages_name_the_offending_token() {
+    // Each (source, expected-fragment) pair: the fragment quotes the
+    // token the parser should point at.
+    let cases = [
+        (
+            "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = B;",
+            "`B`",
+        ),
+        (
+            "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = A[t][i] * ;",
+            "`;`",
+        ),
+        (
+            "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = A[t][q];",
+            "order must match",
+        ),
+        ("for (x = 0; x < T; x++) {}", "`x`"),
+        ("const float = 1.0;", "`=`"),
+    ];
+    for (src, fragment) in cases {
+        let err = parse_stencil("bad", src).unwrap_err();
+        assert!(
+            err.message().contains(fragment),
+            "error for {src:?} does not name {fragment}: {err}"
+        );
+    }
+}
