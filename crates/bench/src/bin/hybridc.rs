@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! hybridc [options] <file.stencil | directory>...
+//! hybridc serve [options] [--listen ADDR] [--workers N]
 //!
 //!   --out DIR          artifact directory (default hybridc-out)
 //!   --cache DIR        plan-cache directory (default <out>/cache)
@@ -24,31 +25,59 @@
 //!   --size N[,N..]     override the execution grid
 //!   --steps N          override the execution step count
 //!   --report PATH      write the machine-readable JSON report
+//!
+//! serve mode (`hybridd`):
+//!   --listen ADDR      serve TCP connections on ADDR instead of stdin
+//!   --workers N        request worker threads (default --jobs, min 1)
 //! ```
 //!
+//! `serve` turns the driver into `hybridd`, a resident compile service:
+//! newline-delimited JSON requests on stdin (or per TCP connection) are
+//! fanned out over a worker pool, answered with one compact-JSON response
+//! line each, and share a single-flight in-memory plan cache layered
+//! above the on-disk one. See `hybrid_bench::serve` for the protocol. In
+//! serve mode stdout carries only responses; diagnostics go to stderr.
+//!
 //! Exit status: `0` when every file compiles (and, with `--require-cached`,
-//! every plan came from the cache); `1` otherwise.
+//! every plan came from the cache); `1` otherwise. Serve mode exits `0`
+//! at end of input or after a `shutdown` request.
 
+use std::net::TcpListener;
 use std::path::PathBuf;
 
 use gpusim::DeviceConfig;
 use hybrid_bench::driver::{
     collect_stencil_files, compile_batch, report_json, DriverConfig, TuneMode,
 };
+use hybrid_bench::serve::{serve, serve_tcp, ServeState};
 
 struct Args {
     cfg: DriverConfig,
     inputs: Vec<PathBuf>,
     report: Option<PathBuf>,
     require_cached: bool,
+    /// `hybridc serve` mode: run as the resident `hybridd` service.
+    serve: bool,
+    listen: Option<String>,
+    workers: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: hybridc [--out DIR] [--cache DIR | --no-cache] [--require-cached] \
          [--autotune] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
-         [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>..."
+         [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
+         \n\
+         hybridc serve [common options] [--listen ADDR] [--workers N]\n\
+         (reads newline-delimited JSON requests from stdin or ADDR; see README)"
     );
+    std::process::exit(1);
+}
+
+/// Reports a command-line error and exits — no panics on operator input,
+/// matching the abort-free discipline of the pipeline itself.
+fn fail(msg: &str) -> ! {
+    eprintln!("hybridc: {msg}");
     std::process::exit(1);
 }
 
@@ -61,10 +90,20 @@ fn parse_args() -> Args {
     let mut cache_override: Option<Option<PathBuf>> = None;
     let mut size: Option<Vec<usize>> = None;
     let mut steps: Option<usize> = None;
+    let mut serve = false;
+    let mut listen = None;
+    let mut workers = None;
 
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("serve") {
+        it.next();
+        serve = true;
+    }
     while let Some(a) = it.next() {
-        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
         match a.as_str() {
             "--out" => cfg.out_dir = PathBuf::from(value("--out")),
             "--cache" => cache_override = Some(Some(PathBuf::from(value("--cache")))),
@@ -76,32 +115,52 @@ fn parse_args() -> Args {
                 cfg.device = match value("--device").as_str() {
                     "gtx470" => DeviceConfig::gtx470(),
                     "nvs5200m" => DeviceConfig::nvs5200m(),
-                    other => panic!("unknown device {other:?} (gtx470|nvs5200m)"),
+                    other => fail(&format!("unknown device {other:?} (gtx470|nvs5200m)")),
                 }
             }
             "--threads" => {
                 cfg.sim_threads = value("--threads")
                     .parse()
-                    .expect("--threads takes a positive integer");
-                assert!(cfg.sim_threads >= 1, "--threads takes a positive integer");
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| fail("--threads takes a positive integer"));
             }
             "--jobs" => {
                 cfg.jobs = value("--jobs")
                     .parse()
-                    .expect("--jobs takes a positive integer");
-                assert!(cfg.jobs >= 1, "--jobs takes a positive integer");
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| fail("--jobs takes a positive integer"));
             }
             "--no-verify" => cfg.verify = false,
             "--size" => {
-                size = Some(
-                    value("--size")
-                        .split(',')
-                        .map(|d| d.parse().expect("--size takes N[,N..]"))
-                        .collect(),
+                let parsed: Result<Vec<usize>, _> =
+                    value("--size").split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&d| d > 0) => size = Some(v),
+                    _ => fail("--size takes N[,N..] with positive extents"),
+                }
+            }
+            "--steps" => {
+                steps = Some(
+                    value("--steps")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| fail("--steps takes a positive integer")),
                 )
             }
-            "--steps" => steps = Some(value("--steps").parse().expect("--steps takes a number")),
             "--report" => report = Some(PathBuf::from(value("--report"))),
+            "--listen" if serve => listen = Some(value("--listen")),
+            "--workers" if serve => {
+                workers = Some(
+                    value("--workers")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| fail("--workers takes a positive integer")),
+                )
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -110,7 +169,10 @@ fn parse_args() -> Args {
             path => inputs.push(PathBuf::from(path)),
         }
     }
-    if inputs.is_empty() {
+    if serve && !inputs.is_empty() {
+        fail("serve mode takes requests on stdin or --listen, not file arguments");
+    }
+    if !serve && inputs.is_empty() {
         usage();
     }
     match cache_override {
@@ -120,18 +182,64 @@ fn parse_args() -> Args {
     if let (Some(size), Some(steps)) = (&size, steps) {
         cfg.workload = Some((size.clone(), steps));
     } else if size.is_some() || steps.is_some() {
-        panic!("--size and --steps must be given together");
+        fail("--size and --steps must be given together");
     }
     Args {
         cfg,
         inputs,
         report,
         require_cached,
+        serve,
+        listen,
+        workers,
     }
+}
+
+/// The resident-service mode (`hybridd`).
+fn run_serve(args: Args) -> ! {
+    let workers = args.workers.unwrap_or(args.cfg.jobs).max(1);
+    let state = ServeState::new(args.cfg.clone());
+    eprintln!(
+        "hybridd: serving on {}, {} worker(s), device = {}, tune = {}, disk cache = {}",
+        args.listen.as_deref().unwrap_or("stdin"),
+        workers,
+        args.cfg.device.name,
+        args.cfg.tune.name(),
+        args.cfg
+            .cache_dir
+            .as_ref()
+            .map_or("off".to_string(), |d| d.display().to_string()),
+    );
+    match args.listen {
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr)
+                .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
+            if let Err(e) = serve_tcp(&state, listener, workers) {
+                fail(&format!("listener error: {e}"));
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            match serve(&state, stdin.lock(), std::io::stdout(), workers) {
+                Ok(summary) => eprintln!(
+                    "hybridd: {} response(s), {} error(s), {} mem hit(s) / {} miss(es)",
+                    summary.responses,
+                    summary.errors,
+                    state.mem().hits(),
+                    state.mem().misses(),
+                ),
+                Err(e) => fail(&format!("stdin error: {e}")),
+            }
+        }
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let args = parse_args();
+    if args.serve {
+        run_serve(args);
+    }
     let mut files = Vec::new();
     for input in &args.inputs {
         match collect_stencil_files(input) {
@@ -178,7 +286,7 @@ fn main() {
                     o.smem_bytes as f64 / 1024.0,
                     o.launches,
                     if o.verified { "bit-exact" } else { "skipped" },
-                    if o.cache_hit { "hit" } else { "miss" },
+                    o.cache.name(),
                 );
             }
             Err(e) => {

@@ -32,11 +32,13 @@
 //! [`report_json`] renders the machine-readable per-stencil result table
 //! behind `hybridc --report`.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use gpu_codegen::cuda_emit::kernel_to_cuda;
 use gpu_codegen::hybrid_gen::alignment_offset_words;
@@ -44,6 +46,7 @@ use gpu_codegen::ptx_emit::core_tile_ptx;
 use gpu_codegen::{generate_hybrid, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
 use hybrid_tiling::tilesize::autotune::{autotune, AutotuneConfig};
+use hybrid_tiling::tilesize::TileSizeModel;
 use hybrid_tiling::TileParams;
 use stencil::characteristics::{flop_count, load_count};
 use stencil::parse::{parse_stencil, ParseError};
@@ -99,6 +102,11 @@ pub struct DriverConfig {
     /// Override the execution workload (`dims`, `steps`); defaults to a
     /// small per-arity workload.
     pub workload: Option<(Vec<usize>, usize)>,
+    /// Test/extension hook: replaces the tile-size scorer of both tune
+    /// modes. The function pointer's address participates in the
+    /// fingerprint, so plans chosen by a custom scorer never leak into
+    /// caches keyed for the built-in scorers.
+    pub scorer: Option<fn(&TileSizeModel) -> Option<f64>>,
 }
 
 impl DriverConfig {
@@ -118,6 +126,7 @@ impl DriverConfig {
             out_dir,
             cache_dir: Some(cache_dir),
             workload: None,
+            scorer: None,
         }
     }
 }
@@ -133,8 +142,28 @@ pub enum DriverError {
     Unsupported(String),
     /// No tile-size candidate survived the budgets and feasibility checks.
     NoFeasibleTiling(String),
-    /// The simulated result diverged from the reference executor.
+    /// The simulated result diverged from the reference executor, or the
+    /// simulated schedule violated concurrent-tile independence.
     Verify(String),
+    /// A pipeline stage panicked and the panic was contained at the
+    /// worker/request boundary. Always a bug worth reporting — but a
+    /// per-file error entry, never a dead service.
+    Internal(String),
+}
+
+impl DriverError {
+    /// Stable machine-readable discriminant for reports and the serve
+    /// protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DriverError::Io(_) => "io",
+            DriverError::Parse(_) => "parse",
+            DriverError::Unsupported(_) => "unsupported",
+            DriverError::NoFeasibleTiling(_) => "no_feasible_tiling",
+            DriverError::Verify(_) => "verify",
+            DriverError::Internal(_) => "internal",
+        }
+    }
 }
 
 impl fmt::Display for DriverError {
@@ -145,11 +174,40 @@ impl fmt::Display for DriverError {
             DriverError::Unsupported(m) => write!(f, "unsupported stencil: {m}"),
             DriverError::NoFeasibleTiling(m) => write!(f, "no feasible tiling: {m}"),
             DriverError::Verify(m) => write!(f, "verification failed: {m}"),
+            DriverError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// Where a compile's tile plan came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheSource {
+    /// Served by the shared in-memory plan cache (a `hybridd` hit, or a
+    /// single-flight wait on a concurrent identical request).
+    Memory,
+    /// Loaded from the on-disk content-addressed cache.
+    Disk,
+    /// Freshly tuned this compile.
+    Fresh,
+}
+
+impl CacheSource {
+    /// Stable name used in reports (`"mem"` / `"disk"` / `"miss"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheSource::Memory => "mem",
+            CacheSource::Disk => "disk",
+            CacheSource::Fresh => "miss",
+        }
+    }
+
+    /// True when no tuning sweep ran.
+    pub fn is_hit(self) -> bool {
+        self != CacheSource::Fresh
+    }
+}
 
 /// The result of compiling one stencil file end to end.
 #[derive(Clone, Debug)]
@@ -162,8 +220,10 @@ pub struct CompileOutcome {
     pub fingerprint: String,
     /// Chosen tile parameters.
     pub params: TileParams,
-    /// True if the plan came from the cache (no tuning sweep ran).
+    /// True if the plan came from a cache (no tuning sweep ran).
     pub cache_hit: bool,
+    /// Which cache layer (if any) served the plan.
+    pub cache: CacheSource,
     /// Candidates examined by the tuning sweep (0 on a cache hit).
     pub examined: usize,
     /// True if the bit-exact check against the oracle ran and passed
@@ -209,7 +269,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// any workload override (tuning scores candidates on the workload).
 pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     let ident = format!(
-        "{}|{}|{}|{:?}|{}|{}|{:?}",
+        "{}|{}|{}|{:?}|{}|{}|{:?}|{:?}",
         program.to_c_like(),
         cfg.device.name,
         cfg.device.shared_limit,
@@ -217,8 +277,199 @@ pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
         cfg.tune.name(),
         cfg.smoke,
         cfg.workload,
+        cfg.scorer.map(|f| f as usize),
     );
     format!("{:016x}", fnv1a64(ident.as_bytes()))
+}
+
+/// Locks a possibly poisoned mutex: a panic that unwound through a
+/// critical section (contained by the per-request `catch_unwind`
+/// boundary) must not cascade into every later cache access.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One resolved plan in the in-memory cache. The program text rides along
+/// so fingerprint collisions degrade to a bypass, exactly like the
+/// on-disk cache.
+#[derive(Clone)]
+struct MemEntry {
+    program: String,
+    params: TileParams,
+}
+
+enum MemSlot {
+    /// Some request is tuning this fingerprint right now.
+    InFlight,
+    /// A finished plan.
+    Ready(MemEntry),
+}
+
+struct MemShard {
+    map: Mutex<HashMap<String, MemSlot>>,
+    cv: Condvar,
+}
+
+/// The shared in-memory plan cache layered above the on-disk cache by the
+/// `hybridd` compile service.
+///
+/// Lookups are **single-flight**: the first request for a fingerprint
+/// marks it in flight and tunes; concurrent requests for the same
+/// fingerprint block on a condvar until the plan is ready and then count
+/// as memory hits, so N clients hitting the same stencil cost one tuning
+/// sweep. A request that fails (or panics — the guard cleans up on drop)
+/// wakes the waiters, which retune individually. The map is sharded by
+/// fingerprint so unrelated requests never contend on one lock.
+pub struct MemCache {
+    shards: Vec<MemShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Hits that waited on an in-flight compile instead of finding a
+    /// ready entry (the coalesced requests of single-flight).
+    coalesced: AtomicU64,
+}
+
+/// Outcome of a memory-cache lookup.
+enum MemLookup<'a> {
+    /// Ready entry (possibly after waiting on an in-flight compile).
+    Hit(TileParams),
+    /// Nothing cached; the caller must tune and then `fulfill` (or drop,
+    /// which wakes waiters to retune themselves).
+    Miss(MemCacheGuard<'a>),
+    /// Fingerprint collision with a different program: compile without
+    /// touching the cache.
+    Bypass,
+}
+
+/// The in-flight marker of a single-flight compile; see [`MemCache`].
+struct MemCacheGuard<'a> {
+    cache: &'a MemCache,
+    fp: String,
+    done: bool,
+}
+
+impl MemCache {
+    /// An empty cache with 16 shards.
+    pub fn new() -> MemCache {
+        MemCache {
+            shards: (0..16)
+                .map(|_| MemShard {
+                    map: Mutex::new(HashMap::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: &str) -> &MemShard {
+        let h = fnv1a64(fp.as_bytes());
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Ready entries across all shards (in-flight markers not counted).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock_ignore_poison(&s.map)
+                    .values()
+                    .filter(|v| matches!(v, MemSlot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no ready entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from memory (including single-flight waits).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to tune.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits that waited on a concurrent identical request.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    fn lookup_or_begin(&self, fp: &str, program: &str) -> MemLookup<'_> {
+        let shard = self.shard(fp);
+        let mut map = lock_ignore_poison(&shard.map);
+        let mut waited = false;
+        loop {
+            match map.get(fp) {
+                Some(MemSlot::Ready(e)) => {
+                    if e.program != program {
+                        return MemLookup::Bypass;
+                    }
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return MemLookup::Hit(e.params.clone());
+                }
+                Some(MemSlot::InFlight) => {
+                    waited = true;
+                    map = shard.cv.wait(map).unwrap_or_else(|p| p.into_inner());
+                }
+                None => {
+                    map.insert(fp.to_string(), MemSlot::InFlight);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return MemLookup::Miss(MemCacheGuard {
+                        cache: self,
+                        fp: fp.to_string(),
+                        done: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Default for MemCache {
+    fn default() -> MemCache {
+        MemCache::new()
+    }
+}
+
+impl MemCacheGuard<'_> {
+    /// Publishes the tuned plan and wakes every waiter.
+    fn fulfill(mut self, program: &str, params: &TileParams) {
+        let shard = self.cache.shard(&self.fp);
+        let mut map = lock_ignore_poison(&shard.map);
+        map.insert(
+            self.fp.clone(),
+            MemSlot::Ready(MemEntry {
+                program: program.to_string(),
+                params: params.clone(),
+            }),
+        );
+        self.done = true;
+        shard.cv.notify_all();
+    }
+}
+
+impl Drop for MemCacheGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // The compile failed or panicked: clear the in-flight marker so
+        // waiters stop blocking and tune for themselves.
+        let shard = self.cache.shard(&self.fp);
+        lock_ignore_poison(&shard.map).remove(&self.fp);
+        shard.cv.notify_all();
+    }
 }
 
 /// Collects the `.stencil` files of `path`: a file is taken as-is, a
@@ -253,14 +504,13 @@ pub fn collect_stencil_files(path: &Path) -> Result<Vec<PathBuf>, DriverError> {
     Ok(files)
 }
 
-/// Program name from a source path: the file stem with every
-/// non-alphanumeric character mapped to `_`.
-fn program_name(path: &Path) -> String {
-    let stem = path
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "stencil".to_string());
-    let mut name: String = stem
+/// Maps a raw label to a legal program identifier: every
+/// non-alphanumeric character becomes `_`, and a leading digit (or empty
+/// input) gets an `s` prefix. Shared by file-stem naming here and the
+/// serve protocol's inline `name` field, so the two paths can never
+/// diverge on the same logical name.
+pub fn sanitize_program_name(raw: &str) -> String {
+    let mut name: String = raw
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
@@ -268,6 +518,15 @@ fn program_name(path: &Path) -> String {
         name.insert(0, 's');
     }
     name
+}
+
+/// Program name from a source path: the sanitized file stem.
+fn program_name(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "stencil".to_string());
+    sanitize_program_name(&stem)
 }
 
 /// Loads a cached plan for `fp`, returning the tile parameters if the
@@ -357,29 +616,34 @@ fn choose_params(
         ..AutotuneConfig::fermi()
     };
     let (dims, steps) = workload(program, cfg);
-    let report = autotune(program, &space, &tune_cfg, |model| match cfg.tune {
-        // Static mode still demands end-to-end feasibility: the candidate
-        // must survive codegen and fit the device's shared memory.
-        TuneMode::Static => {
-            let plan = generate_hybrid(program, &model.params, &dims, steps, cfg.opts).ok()?;
-            if plan
-                .kernels
-                .iter()
-                .any(|k| k.shared_bytes() > cfg.device.shared_limit)
-            {
-                return None;
-            }
-            Some(-model.ratio())
+    let report = autotune(program, &space, &tune_cfg, |model| {
+        if let Some(f) = cfg.scorer {
+            return f(model);
         }
-        TuneMode::Simulated => simulate_score_with(
-            program,
-            &model.params,
-            &cfg.device,
-            &dims,
-            steps,
-            cfg.sim_threads,
-            cfg.opts,
-        ),
+        match cfg.tune {
+            // Static mode still demands end-to-end feasibility: the candidate
+            // must survive codegen and fit the device's shared memory.
+            TuneMode::Static => {
+                let plan = generate_hybrid(program, &model.params, &dims, steps, cfg.opts).ok()?;
+                if plan
+                    .kernels
+                    .iter()
+                    .any(|k| k.shared_bytes() > cfg.device.shared_limit)
+                {
+                    return None;
+                }
+                Some(-model.ratio())
+            }
+            TuneMode::Simulated => simulate_score_with(
+                program,
+                &model.params,
+                &cfg.device,
+                &dims,
+                steps,
+                cfg.sim_threads,
+                cfg.opts,
+            ),
+        }
     });
     match report.best() {
         Some(best) => Ok((
@@ -402,11 +666,15 @@ fn choose_params(
 }
 
 /// Emits the CUDA-C and pseudo-PTX artifacts for `plan` and returns their
-/// paths.
+/// paths. Filenames carry a fingerprint prefix (`<name>-<fp8>.cu`) so
+/// concurrent serve requests compiling *different* programs under the
+/// same name land on distinct files — two writers on one path would race
+/// and a response could otherwise point at the other program's code.
 fn emit_artifacts(
     program: &StencilProgram,
     params: &TileParams,
     plan: &gpu_codegen::LaunchPlan,
+    fp: &str,
     cfg: &DriverConfig,
 ) -> Result<(PathBuf, PathBuf), DriverError> {
     fs::create_dir_all(&cfg.out_dir)
@@ -432,8 +700,9 @@ fn emit_artifacts(
         ptx.push_str(&text);
         ptx.push('\n');
     }
-    let cuda_path = cfg.out_dir.join(format!("{}.cu", program.name()));
-    let ptx_path = cfg.out_dir.join(format!("{}.ptx", program.name()));
+    let tag = &fp[..8.min(fp.len())];
+    let cuda_path = cfg.out_dir.join(format!("{}-{tag}.cu", program.name()));
+    let ptx_path = cfg.out_dir.join(format!("{}-{tag}.ptx", program.name()));
     fs::write(&cuda_path, cuda)
         .map_err(|e| DriverError::Io(format!("{}: {e}", cuda_path.display())))?;
     fs::write(&ptx_path, ptx)
@@ -450,10 +719,39 @@ fn emit_artifacts(
 /// Every pipeline stage maps its failure to a [`DriverError`] variant; no
 /// stage panics on user input.
 pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, DriverError> {
+    compile_file_with(path, cfg, None)
+}
+
+/// [`compile_file`] with an optional shared in-memory plan cache layered
+/// above the on-disk one (the `hybridd` serve path).
+pub fn compile_file_with(
+    path: &Path,
+    cfg: &DriverConfig,
+    mem: Option<&MemCache>,
+) -> Result<CompileOutcome, DriverError> {
     let src = fs::read_to_string(path)
         .map_err(|e| DriverError::Io(format!("{}: {e}", path.display())))?;
-    let name = program_name(path);
-    let program = parse_stencil(&name, &src).map_err(DriverError::Parse)?;
+    compile_source_with(&program_name(path), &src, path, cfg, mem)
+}
+
+/// Compiles DSL source text directly (no file read): the entry point the
+/// compile service uses for inline `program` requests. `label` is the
+/// path recorded in the outcome/report (for inline programs, a synthetic
+/// `<request>`-style label).
+///
+/// # Errors
+///
+/// Identical to [`compile_file`].
+pub fn compile_source_with(
+    name: &str,
+    src: &str,
+    label: &Path,
+    cfg: &DriverConfig,
+    mem: Option<&MemCache>,
+) -> Result<CompileOutcome, DriverError> {
+    let path = label;
+    let name = name.to_string();
+    let program = parse_stencil(&name, src).map_err(DriverError::Parse)?;
     if !(1..=3).contains(&program.spatial_dims()) {
         return Err(DriverError::Unsupported(format!(
             "{} has {} spatial dimensions; the planner supports 1-3",
@@ -483,32 +781,61 @@ pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, D
 
     let fp = fingerprint(&program, cfg);
     let program_text = program.to_c_like();
-    let cached = cfg
-        .cache_dir
-        .as_deref()
-        .and_then(|dir| load_cached_params(dir, &fp, &program_text));
-
     let (dims, steps) = workload(&program, cfg);
+
+    // Cache layer 1: the shared in-memory cache (single-flight — an
+    // in-flight compile of the same fingerprint is awaited, not repeated).
+    let mut guard = None;
+    let mut cached: Option<(TileParams, CacheSource)> = None;
+    if let Some(mem) = mem {
+        match mem.lookup_or_begin(&fp, &program_text) {
+            MemLookup::Hit(params) => cached = Some((params, CacheSource::Memory)),
+            MemLookup::Miss(g) => guard = Some(g),
+            MemLookup::Bypass => {}
+        }
+    }
+    // Cache layer 2: the on-disk content-addressed cache.
+    if cached.is_none() {
+        if let Some(params) = cfg
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| load_cached_params(dir, &fp, &program_text))
+        {
+            cached = Some((params, CacheSource::Disk));
+        }
+    }
     // A cached plan that no longer generates (stale entry from an older
     // emitter) degrades to a miss.
-    let hit = cached.and_then(|params| {
+    let hit = cached.and_then(|(params, source)| {
         generate_hybrid(&program, &params, &dims, steps, cfg.opts)
             .ok()
-            .map(|plan| (params, plan))
+            .map(|plan| (params, plan, source))
     });
-    let (params, plan, examined, cache_hit) = match hit {
-        Some((params, plan)) => (params, plan, 0, true),
+    let (params, plan, examined, cache) = match hit {
+        Some((params, plan, source)) => {
+            if let Some(g) = guard.take() {
+                // A disk hit under an in-flight marker: promote it to the
+                // memory layer so waiters and later requests skip the disk.
+                g.fulfill(&program_text, &params);
+            }
+            (params, plan, 0, source)
+        }
         None => {
+            // On any failure below, dropping `guard` clears the in-flight
+            // marker and wakes single-flight waiters to tune themselves.
             let (params, examined, smem, score) = choose_params(&program, cfg)?;
             if let Some(dir) = cfg.cache_dir.as_deref() {
                 store_cached_params(dir, &fp, &program, cfg, &params, smem, score)?;
             }
             let plan = generate_hybrid(&program, &params, &dims, steps, cfg.opts)
                 .map_err(|e| DriverError::NoFeasibleTiling(format!("{name}: {e}")))?;
-            (params, plan, examined, false)
+            if let Some(g) = guard.take() {
+                g.fulfill(&program_text, &params);
+            }
+            (params, plan, examined, CacheSource::Fresh)
         }
     };
-    let (cuda_path, ptx_path) = emit_artifacts(&program, &params, &plan, cfg)?;
+    let (cuda_path, ptx_path) = emit_artifacts(&program, &params, &plan, &fp, cfg)?;
 
     // Execute the plan on the simulator.
     let planes = program.max_dt() as usize + 1;
@@ -518,7 +845,10 @@ pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, D
         .collect();
     let mut sim = GpuSim::with_global_offset(cfg.device.clone(), &init, planes, align);
     if cfg.sim_threads > 1 {
-        sim.run_plan_parallel_with(&plan, cfg.sim_threads);
+        // A schedule that violates concurrent-tile independence is a
+        // per-stencil verification failure, never a dead batch/service.
+        sim.try_run_plan_parallel_with(&plan, cfg.sim_threads)
+            .map_err(|e| DriverError::Verify(format!("{name}: {e}")))?;
     } else {
         sim.run_plan(&plan);
     }
@@ -548,7 +878,8 @@ pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, D
         name,
         source: path.to_path_buf(),
         fingerprint: fp,
-        cache_hit,
+        cache_hit: cache.is_hit(),
+        cache,
         examined,
         verified,
         gstencils: timing::gstencils_per_s(sim.counters(), sim.device()),
@@ -579,27 +910,70 @@ pub fn compile_file(path: &Path, cfg: &DriverConfig) -> Result<CompileOutcome, D
     })
 }
 
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else degrades to a fixed message).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Compiles a batch of files across `cfg.jobs` worker threads (the PR-2
 /// pool pattern: an atomic work index over the sorted file list). Results
 /// keep input order; one file's failure never aborts the rest.
+///
+/// Panic isolation: each compile runs under [`catch_unwind`], so a
+/// panicking pipeline stage becomes that file's
+/// [`DriverError::Internal`] entry — and if a worker thread still dies,
+/// its unfilled slots surface as `Internal` errors rather than a process
+/// abort or a silently missing result.
 pub fn compile_batch(
     paths: &[PathBuf],
     cfg: &DriverConfig,
+) -> Vec<(PathBuf, Result<CompileOutcome, DriverError>)> {
+    compile_batch_with(paths, cfg, None)
+}
+
+/// [`compile_batch`] against an optional shared in-memory plan cache.
+pub fn compile_batch_with(
+    paths: &[PathBuf],
+    cfg: &DriverConfig,
+    mem: Option<&MemCache>,
 ) -> Vec<(PathBuf, Result<CompileOutcome, DriverError>)> {
     let jobs = cfg.jobs.clamp(1, paths.len().max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<CompileOutcome, DriverError>>>> =
         paths.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= paths.len() {
-                    break;
-                }
-                let result = compile_file(&paths[i], cfg);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= paths.len() {
+                        break;
+                    }
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| compile_file_with(&paths[i], cfg, mem)))
+                            .unwrap_or_else(|payload| {
+                                Err(DriverError::Internal(format!(
+                                    "compile of {} panicked: {}",
+                                    paths[i].display(),
+                                    panic_message(payload)
+                                )))
+                            });
+                    *lock_ignore_poison(&slots[i]) = Some(result);
+                })
+            })
+            .collect();
+        // Join explicitly: a worker that dies despite the catch_unwind
+        // boundary (e.g. a panic while panicking) must not take the
+        // process down — its slots are reported as Internal below.
+        for h in handles {
+            let _ = h.join();
         }
     });
     paths
@@ -607,8 +981,12 @@ pub fn compile_batch(
         .cloned()
         .zip(slots.into_iter().map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot filled by the pool")
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| {
+                    Err(DriverError::Internal(
+                        "worker thread died before filling this result slot".to_string(),
+                    ))
+                })
         }))
         .collect()
 }
@@ -650,51 +1028,61 @@ pub fn report_json(
             Json::Arr(
                 results
                     .iter()
-                    .map(|(path, r)| match r {
-                        Ok(o) => Json::obj(vec![
-                            ("name", Json::str(o.name.clone())),
-                            ("source", Json::str(path.display().to_string())),
-                            ("status", Json::str("ok")),
-                            ("fingerprint", Json::str(o.fingerprint.clone())),
-                            ("cache_hit", Json::Bool(o.cache_hit)),
-                            ("examined", Json::UInt(o.examined as u64)),
-                            ("h", Json::Int(o.params.h)),
-                            (
-                                "w",
-                                Json::Arr(o.params.w.iter().map(|&x| Json::Int(x)).collect()),
-                            ),
-                            (
-                                "dims",
-                                Json::Arr(o.dims.iter().map(|&d| Json::UInt(d as u64)).collect()),
-                            ),
-                            ("steps", Json::UInt(o.steps as u64)),
-                            ("verified", Json::Bool(o.verified)),
-                            ("gstencils_per_s", Json::Num(o.gstencils)),
-                            ("est_seconds", Json::Num(o.seconds)),
-                            ("launches", Json::UInt(o.launches)),
-                            ("kernels", Json::UInt(o.kernels as u64)),
-                            ("smem_bytes", Json::UInt(o.smem_bytes)),
-                            (
-                                "loads",
-                                Json::Arr(o.loads.iter().map(|&x| Json::UInt(x as u64)).collect()),
-                            ),
-                            (
-                                "flops",
-                                Json::Arr(o.flops.iter().map(|&x| Json::UInt(x as u64)).collect()),
-                            ),
-                            ("cuda", Json::str(o.cuda_path.display().to_string())),
-                            ("ptx", Json::str(o.ptx_path.display().to_string())),
-                        ]),
-                        Err(e) => Json::obj(vec![
-                            ("source", Json::str(path.display().to_string())),
-                            ("status", Json::str("error")),
-                            ("error", Json::str(e.to_string())),
-                        ]),
-                    })
+                    .map(|(path, r)| outcome_json(&path.display().to_string(), r))
                     .collect(),
             ),
         ),
     ])
+}
+
+/// The per-stencil report object for one compile result — the unit both
+/// `hybridc --report` (inside [`report_json`]) and the `hybridd` serve
+/// protocol emit, so a service response is bit-identical to the one-shot
+/// report entry.
+pub fn outcome_json(source: &str, result: &Result<CompileOutcome, DriverError>) -> Json {
+    match result {
+        Ok(o) => Json::obj(vec![
+            ("name", Json::str(o.name.clone())),
+            ("source", Json::str(source)),
+            ("status", Json::str("ok")),
+            ("fingerprint", Json::str(o.fingerprint.clone())),
+            ("cache_hit", Json::Bool(o.cache_hit)),
+            ("cache", Json::str(o.cache.name())),
+            ("examined", Json::UInt(o.examined as u64)),
+            ("h", Json::Int(o.params.h)),
+            (
+                "w",
+                Json::Arr(o.params.w.iter().map(|&x| Json::Int(x)).collect()),
+            ),
+            (
+                "dims",
+                Json::Arr(o.dims.iter().map(|&d| Json::UInt(d as u64)).collect()),
+            ),
+            ("steps", Json::UInt(o.steps as u64)),
+            ("verified", Json::Bool(o.verified)),
+            ("gstencils_per_s", Json::Num(o.gstencils)),
+            ("est_seconds", Json::Num(o.seconds)),
+            ("launches", Json::UInt(o.launches)),
+            ("kernels", Json::UInt(o.kernels as u64)),
+            ("smem_bytes", Json::UInt(o.smem_bytes)),
+            (
+                "loads",
+                Json::Arr(o.loads.iter().map(|&x| Json::UInt(x as u64)).collect()),
+            ),
+            (
+                "flops",
+                Json::Arr(o.flops.iter().map(|&x| Json::UInt(x as u64)).collect()),
+            ),
+            ("cuda", Json::str(o.cuda_path.display().to_string())),
+            ("ptx", Json::str(o.ptx_path.display().to_string())),
+        ]),
+        Err(e) => Json::obj(vec![
+            ("source", Json::str(source)),
+            ("status", Json::str("error")),
+            ("error_kind", Json::str(e.kind())),
+            ("error", Json::str(e.to_string())),
+        ]),
+    }
 }
 
 #[cfg(test)]
@@ -815,6 +1203,138 @@ for (t = 0; t < T; t++)
         let text = report.render();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back.render(), text, "report JSON round-trips");
+    }
+
+    #[test]
+    fn batch_surfaces_worker_panics_as_per_file_errors() {
+        // A scorer that panics on every candidate: the compile thread
+        // unwinds inside the pool, and the batch must report it as that
+        // file's Internal error — not abort, not drop the slot.
+        let dir = scratch("panic_scorer");
+        write_stencil(&dir, "a_jacobi.stencil", JACOBI);
+        write_stencil(
+            &dir,
+            "b_broken.stencil",
+            "for (t = 0; t < T; t++) nonsense\n",
+        );
+        let files = collect_stencil_files(&dir).unwrap();
+        let cfg = DriverConfig {
+            jobs: 2,
+            scorer: Some(|_| panic!("injected scorer panic")),
+            ..smoke_cfg(dir.join("out"))
+        };
+        let results = compile_batch(&files, &cfg);
+        assert_eq!(results.len(), 2);
+        match &results[0].1 {
+            Err(DriverError::Internal(m)) => {
+                assert!(m.contains("injected scorer panic"), "{m}");
+                assert!(m.contains("a_jacobi"), "{m}");
+            }
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+        // The other file still gets its own (parse) verdict.
+        assert!(matches!(results[1].1, Err(DriverError::Parse(_))));
+        let report = report_json(&results, &cfg);
+        assert_eq!(
+            report
+                .get("summary")
+                .and_then(|s| s.get("failed"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        let entry = &report.get("stencils").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            entry.get("error_kind").and_then(Json::as_str),
+            Some("internal")
+        );
+    }
+
+    #[test]
+    fn mem_cache_layers_above_the_disk_cache() {
+        let dir = scratch("mem_cache");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let mem = MemCache::new();
+
+        let first = compile_file_with(&file, &cfg, Some(&mem)).unwrap();
+        assert_eq!(first.cache, CacheSource::Fresh);
+        assert_eq!(mem.len(), 1);
+        assert_eq!((mem.hits(), mem.misses()), (0, 1));
+
+        // Identical request: served from memory, not the disk.
+        let second = compile_file_with(&file, &cfg, Some(&mem)).unwrap();
+        assert_eq!(second.cache, CacheSource::Memory);
+        assert_eq!(second.examined, 0);
+        assert_eq!(second.params, first.params);
+        assert_eq!((mem.hits(), mem.misses()), (1, 1));
+
+        // A fresh memory cache falls back to the disk layer and promotes
+        // the entry into memory.
+        let mem2 = MemCache::new();
+        let third = compile_file_with(&file, &cfg, Some(&mem2)).unwrap();
+        assert_eq!(third.cache, CacheSource::Disk);
+        assert_eq!(mem2.len(), 1);
+        let fourth = compile_file_with(&file, &cfg, Some(&mem2)).unwrap();
+        assert_eq!(fourth.cache, CacheSource::Memory);
+    }
+
+    #[test]
+    fn mem_cache_single_flight_coalesces_concurrent_identical_requests() {
+        let dir = scratch("single_flight");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        // No disk cache: every plan must come from tuning or memory.
+        let cfg = DriverConfig {
+            cache_dir: None,
+            ..smoke_cfg(dir.join("out"))
+        };
+        let mem = MemCache::new();
+        let outcomes: Vec<CompileOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| compile_file_with(&file, &cfg, Some(&mem)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one request tuned; everyone agreed on the plan.
+        assert_eq!(mem.misses(), 1);
+        assert_eq!(mem.hits(), 3);
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| o.cache == CacheSource::Fresh)
+                .count(),
+            1
+        );
+        let params = &outcomes[0].params;
+        assert!(outcomes.iter().all(|o| o.params == *params));
+        assert!(outcomes
+            .iter()
+            .filter(|o| o.cache != CacheSource::Fresh)
+            .all(|o| o.cache == CacheSource::Memory && o.examined == 0));
+    }
+
+    #[test]
+    fn mem_cache_guard_drop_wakes_waiters_after_failure() {
+        // A failing compile (no feasible tiling via a scorer that rejects
+        // everything) must clear its in-flight marker so concurrent
+        // identical requests fail on their own instead of hanging.
+        let dir = scratch("guard_drop");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = DriverConfig {
+            cache_dir: None,
+            scorer: Some(|_| None),
+            ..smoke_cfg(dir.join("out"))
+        };
+        let mem = MemCache::new();
+        let results: Vec<Result<CompileOutcome, DriverError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| s.spawn(|| compile_file_with(&file, &cfg, Some(&mem))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(DriverError::NoFeasibleTiling(_)))));
+        assert!(mem.is_empty(), "failed compiles must not leave markers");
     }
 
     #[test]

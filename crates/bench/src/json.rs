@@ -131,6 +131,61 @@ impl Json {
         out
     }
 
+    /// Renders the value on a single line with no whitespace — the
+    /// newline-delimited wire format of the `hybridd` compile service
+    /// (one response per line, greppable as `"key":value`). Parses back
+    /// with [`Json::parse`] exactly like the pretty form.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         match self {
@@ -417,6 +472,26 @@ mod tests {
             .map(|x| x.as_u64().unwrap())
             .collect();
         assert_eq!(w, vec![3, 32]);
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let v = Json::obj(vec![
+            ("name", Json::str("jacobi\n2d")),
+            ("ok", Json::Bool(true)),
+            ("h", Json::Int(-3)),
+            ("w", Json::Arr(vec![Json::UInt(3), Json::UInt(32)])),
+            ("nested", Json::obj(vec![("x", Json::Null)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let s = v.render_compact();
+        assert!(!s.contains('\n') || s.contains("\\n"), "{s}");
+        assert!(!s.contains(": "), "no space after colons: {s}");
+        assert_eq!(
+            s,
+            r#"{"name":"jacobi\n2d","ok":true,"h":-3,"w":[3,32],"nested":{"x":null},"empty":{}}"#
+        );
+        assert_eq!(Json::parse(&s).unwrap(), v);
     }
 
     #[test]

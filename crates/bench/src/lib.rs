@@ -12,6 +12,7 @@
 pub mod autotune;
 pub mod driver;
 pub mod json;
+pub mod serve;
 
 use baselines::{generate_overtile, generate_par4all, generate_patus, generate_ppcg};
 use gpu_codegen::hybrid_gen::alignment_offset_words;

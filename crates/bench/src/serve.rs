@@ -1,0 +1,690 @@
+//! `hybridd` — the resident compile service behind `hybridc serve`.
+//!
+//! The one-shot driver ([`crate::driver`]) compiles a file set and exits;
+//! this module keeps the pipeline resident so clients pay tuning cost
+//! once and every later identical request is a memory-cache hit. The wire
+//! protocol is newline-delimited JSON over stdin/stdout or TCP: one
+//! request per line, one compact-JSON response per line (responses may
+//! arrive out of request order; match them by `seq`/`id`).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op": "compile", "id": "r1", "path": "examples/stencils/jacobi2d.stencil"}
+//! {"op": "compile", "id": "r2", "program": "for (t = 0; ...", "name": "mine",
+//!  "device": "nvs5200m", "tune": "simulated", "smoke": true,
+//!  "verify": false, "size": [64, 64], "steps": 8}
+//! {"op": "status"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `compile` takes the program inline (`program`, optionally `name`) or
+//! by path (`path`), plus per-request overrides of the same options the
+//! CLI exposes. The response is exactly the per-stencil object of
+//! `hybridc --report` ([`crate::driver::outcome_json`]) with `seq` (the
+//! server's input line number) and the echoed `id` prepended — compile
+//! results are bit-identical to a one-shot run with the same options.
+//!
+//! `status` reports liveness and cache counters; `shutdown` stops the
+//! serving loop after draining in-flight work.
+//!
+//! ## Isolation and caching
+//!
+//! Requests fan out across a worker pool. Every request is handled under
+//! a [`catch_unwind`] boundary *on top of* the driver's typed
+//! [`DriverError`](crate::driver::DriverError)s, so no input — malformed
+//! JSON, unparseable DSL,
+//! budget-infeasible tile requests, conflict-inducing schedules, or an
+//! outright pipeline bug — can take the service down: each failure is
+//! that request's error response. Plans are shared through the
+//! single-flight in-memory [`MemCache`] layered above the on-disk cache,
+//! so N concurrent clients compiling the same stencil cost one tuning
+//! sweep.
+
+use std::io::{self, BufRead, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gpusim::DeviceConfig;
+
+use crate::driver::{
+    compile_file_with, compile_source_with, outcome_json, sanitize_program_name, DriverConfig,
+    MemCache, TuneMode,
+};
+use crate::json::Json;
+
+/// Shared state of one `hybridd` instance: the base configuration, the
+/// in-memory plan cache, and liveness counters. One instance serves any
+/// number of connections/loops concurrently.
+pub struct ServeState {
+    cfg: DriverConfig,
+    mem: MemCache,
+    started: Instant,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl ServeState {
+    /// A fresh service around `cfg` (the per-request defaults; requests
+    /// may override device, tuning, verification and workload).
+    pub fn new(cfg: DriverConfig) -> ServeState {
+        ServeState {
+            cfg,
+            mem: MemCache::new(),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared in-memory plan cache.
+    pub fn mem(&self) -> &MemCache {
+        &self.mem
+    }
+
+    /// True once a `shutdown` request was served.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests handled so far (including failed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Handles one wire line. Returns `None` for blank lines; every other
+    /// input — including unparseable JSON and panicking pipeline stages —
+    /// produces a response object. This is the per-request abort barrier:
+    /// it never panics and never exits.
+    pub fn handle_line(&self, seq: u64, line: &str) -> Option<Json> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(seq, line)));
+        let response = outcome.unwrap_or_else(|payload| {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            error_response(seq, None, "internal", &format!("request panicked: {msg}"))
+        });
+        if response.get("status").and_then(Json::as_str) == Some("error") {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(response)
+    }
+
+    fn dispatch(&self, seq: u64, line: &str) -> Json {
+        let req = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return error_response(seq, None, "bad_request", &format!("malformed JSON: {e}"))
+            }
+        };
+        let id = req.get("id").cloned();
+        let op = match req.get("op").and_then(Json::as_str) {
+            Some(op) => op,
+            None => {
+                return error_response(
+                    seq,
+                    id.as_ref(),
+                    "bad_request",
+                    "missing \"op\" (compile | status | shutdown)",
+                )
+            }
+        };
+        match op {
+            "compile" => self.handle_compile(seq, id.as_ref(), &req),
+            "status" => self.status_response(seq, id.as_ref()),
+            "shutdown" => {
+                self.stop.store(true, Ordering::SeqCst);
+                with_envelope(
+                    seq,
+                    id.as_ref(),
+                    Json::obj(vec![("status", Json::str("stopping"))]),
+                )
+            }
+            other => error_response(
+                seq,
+                id.as_ref(),
+                "bad_request",
+                &format!("unknown op {other:?} (compile | status | shutdown)"),
+            ),
+        }
+    }
+
+    /// Builds the per-request [`DriverConfig`] from the base config plus
+    /// the request's overrides, or a typed error description.
+    fn request_config(&self, req: &Json) -> Result<DriverConfig, String> {
+        let mut cfg = self.cfg.clone();
+        if let Some(d) = req.get("device") {
+            let name = d.as_str().ok_or("\"device\" must be a string")?;
+            cfg.device = match name {
+                "gtx470" => DeviceConfig::gtx470(),
+                "nvs5200m" => DeviceConfig::nvs5200m(),
+                other => return Err(format!("unknown device {other:?} (gtx470 | nvs5200m)")),
+            };
+        }
+        if let Some(t) = req.get("tune") {
+            let name = t.as_str().ok_or("\"tune\" must be a string")?;
+            cfg.tune = match name {
+                "static" => TuneMode::Static,
+                "simulated" => TuneMode::Simulated,
+                other => return Err(format!("unknown tune mode {other:?} (static | simulated)")),
+            };
+        }
+        if let Some(s) = req.get("smoke") {
+            cfg.smoke = s.as_bool().ok_or("\"smoke\" must be a boolean")?;
+        }
+        if let Some(v) = req.get("verify") {
+            cfg.verify = v.as_bool().ok_or("\"verify\" must be a boolean")?;
+        }
+        let size = match req.get("size") {
+            Some(s) => {
+                let arr = s.as_arr().ok_or("\"size\" must be an array of integers")?;
+                let dims: Option<Vec<usize>> = arr
+                    .iter()
+                    .map(|x| x.as_u64().and_then(|v| usize::try_from(v).ok()))
+                    .map(|v| v.filter(|&d| d > 0))
+                    .collect();
+                Some(dims.ok_or("\"size\" entries must be positive integers")?)
+            }
+            None => None,
+        };
+        let steps = match req.get("steps") {
+            Some(s) => Some(
+                s.as_u64()
+                    .and_then(|v| usize::try_from(v).ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("\"steps\" must be a positive integer")?,
+            ),
+            None => None,
+        };
+        match (size, steps) {
+            (Some(d), Some(s)) => cfg.workload = Some((d, s)),
+            (None, None) => {}
+            _ => return Err("\"size\" and \"steps\" must be given together".to_string()),
+        }
+        Ok(cfg)
+    }
+
+    fn handle_compile(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
+        let cfg = match self.request_config(req) {
+            Ok(cfg) => cfg,
+            Err(msg) => return error_response(seq, id, "bad_request", &msg),
+        };
+        let program = req.get("program").map(|p| p.as_str());
+        let path = req.get("path").map(|p| p.as_str());
+        let (source_label, result) = match (program, path) {
+            (Some(Some(text)), None) => {
+                let name = match req.get("name") {
+                    None => "stencil".to_string(),
+                    Some(n) => match n.as_str() {
+                        Some(s) => sanitize_program_name(s),
+                        None => {
+                            return error_response(
+                                seq,
+                                id,
+                                "bad_request",
+                                "\"name\" must be a string",
+                            )
+                        }
+                    },
+                };
+                let label = PathBuf::from(format!("<request:{name}>"));
+                let result = compile_source_with(&name, text, &label, &cfg, Some(&self.mem));
+                (label.display().to_string(), result)
+            }
+            (None, Some(Some(p))) => {
+                let path = Path::new(p);
+                let result = compile_file_with(path, &cfg, Some(&self.mem));
+                (p.to_string(), result)
+            }
+            (Some(None), _) => {
+                return error_response(seq, id, "bad_request", "\"program\" must be a string")
+            }
+            (_, Some(None)) => {
+                return error_response(seq, id, "bad_request", "\"path\" must be a string")
+            }
+            (Some(_), Some(_)) => {
+                return error_response(
+                    seq,
+                    id,
+                    "bad_request",
+                    "give exactly one of \"program\" or \"path\", not both",
+                )
+            }
+            (None, None) => {
+                return error_response(
+                    seq,
+                    id,
+                    "bad_request",
+                    "compile needs \"program\" (inline DSL) or \"path\" (a .stencil file)",
+                )
+            }
+        };
+        with_envelope(seq, id, outcome_json(&source_label, &result))
+    }
+
+    fn status_response(&self, seq: u64, id: Option<&Json>) -> Json {
+        with_envelope(
+            seq,
+            id,
+            Json::obj(vec![
+                ("status", Json::str("alive")),
+                (
+                    "uptime_ms",
+                    Json::UInt(self.started.elapsed().as_millis() as u64),
+                ),
+                (
+                    "requests",
+                    Json::UInt(self.requests.load(Ordering::Relaxed)),
+                ),
+                ("ok", Json::UInt(self.ok.load(Ordering::Relaxed))),
+                ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
+                (
+                    "contained_panics",
+                    Json::UInt(self.panics.load(Ordering::Relaxed)),
+                ),
+                ("mem_entries", Json::UInt(self.mem.len() as u64)),
+                ("mem_hits", Json::UInt(self.mem.hits())),
+                ("mem_misses", Json::UInt(self.mem.misses())),
+                ("mem_coalesced", Json::UInt(self.mem.coalesced())),
+                (
+                    "disk_cache",
+                    match &self.cfg.cache_dir {
+                        Some(d) => Json::str(d.display().to_string()),
+                        None => Json::Null,
+                    },
+                ),
+                ("device", Json::str(self.cfg.device.name.clone())),
+                ("tune", Json::str(self.cfg.tune.name())),
+            ]),
+        )
+    }
+}
+
+/// Prepends the response envelope (`seq`, echoed `id`) to a payload
+/// object.
+fn with_envelope(seq: u64, id: Option<&Json>, payload: Json) -> Json {
+    let mut pairs = vec![("seq".to_string(), Json::UInt(seq))];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    if let Json::Obj(rest) = payload {
+        pairs.extend(rest);
+    } else {
+        pairs.push(("result".to_string(), payload));
+    }
+    Json::Obj(pairs)
+}
+
+fn error_response(seq: u64, id: Option<&Json>, kind: &str, message: &str) -> Json {
+    with_envelope(
+        seq,
+        id,
+        Json::obj(vec![
+            ("status", Json::str("error")),
+            ("error_kind", Json::str(kind)),
+            ("error", Json::str(message)),
+        ]),
+    )
+}
+
+/// True when `line` is a `shutdown` request — the cheap substring test
+/// first, then a real parse so a compile whose program text merely
+/// mentions "shutdown" does not end the session.
+fn is_shutdown_request(line: &str) -> bool {
+    line.contains("shutdown")
+        && Json::parse(line.trim())
+            .ok()
+            .and_then(|v| {
+                v.get("op")
+                    .and_then(Json::as_str)
+                    .map(|op| op == "shutdown")
+            })
+            .unwrap_or(false)
+}
+
+/// Counters of one serving loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written.
+    pub responses: u64,
+    /// Responses with `"status": "error"`.
+    pub errors: u64,
+}
+
+/// Serves newline-delimited requests from `reader`, writing one
+/// compact-JSON response line per request to `writer`, fanning requests
+/// out across `workers` pool threads. Returns at end of input or after a
+/// `shutdown` request; queued requests are drained either way.
+///
+/// Responses are written as workers finish, so they may be out of request
+/// order — clients match on `seq` (input line number, starting at 1) or
+/// their own `id` echo.
+///
+/// # Errors
+///
+/// Only reader I/O errors are returned; write errors to `writer` are
+/// counted but do not stop the loop (a disconnected client must not kill
+/// the service for the others).
+pub fn serve<R: BufRead, W: Write + Send>(
+    state: &ServeState,
+    reader: R,
+    writer: W,
+    workers: usize,
+) -> io::Result<ServeSummary> {
+    let workers = workers.max(1);
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let rx = Mutex::new(rx);
+    let writer = Mutex::new(writer);
+    let responses = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let mut read_err = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let job = match rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok((seq, line)) = job else { break };
+                    let Some(response) = state.handle_line(seq, &line) else {
+                        continue;
+                    };
+                    if response.get("status").and_then(Json::as_str) == Some("error") {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    responses.fetch_add(1, Ordering::Relaxed);
+                    let mut line = response.render_compact();
+                    line.push('\n');
+                    if let Ok(mut w) = writer.lock() {
+                        let _ = w.write_all(line.as_bytes());
+                        let _ = w.flush();
+                    }
+                })
+            })
+            .collect();
+
+        let mut seq = 0u64;
+        for line in reader.lines() {
+            match line {
+                Ok(line) => {
+                    seq += 1;
+                    // A `shutdown` line stops this reader *now* — the
+                    // blocking read must not have to wait for another
+                    // client line (or EOF) to notice the stop flag. The
+                    // worker still answers the queued request.
+                    let stop_after = is_shutdown_request(&line);
+                    if tx.send((seq, line)).is_err() || stop_after {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    read_err = Some(e);
+                    break;
+                }
+            }
+            if state.stopped() {
+                break;
+            }
+        }
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+
+    match read_err {
+        Some(e) => Err(e),
+        None => Ok(ServeSummary {
+            responses: responses.load(Ordering::Relaxed),
+            errors: errors.load(Ordering::Relaxed),
+        }),
+    }
+}
+
+/// Serves TCP connections on `listener`, one serving loop per connection,
+/// all sharing `state` (and therefore the in-memory plan cache). Returns
+/// after a `shutdown` request has been served and every live connection
+/// drained — idle connections are actively disconnected (socket
+/// shutdown) so a blocked read on one client cannot keep the daemon
+/// alive. Connection-level I/O errors are per-client; they never stop
+/// the listener.
+pub fn serve_tcp(state: &ServeState, listener: TcpListener, workers: usize) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let conns: Mutex<Vec<std::net::TcpStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            if state.stopped() {
+                // Wake every connection's reader; their serve() loops
+                // return on the resulting EOF and the scope joins them.
+                if let Ok(conns) = conns.lock() {
+                    for c in conns.iter() {
+                        let _ = c.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    if let (Ok(watch), Ok(mut conns)) = (stream.try_clone(), conns.lock()) {
+                        conns.push(watch);
+                    }
+                    scope.spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let _ = serve(state, io::BufReader::new(read_half), stream, workers);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const JACOBI: &str = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    for (j = 1; j < N-1; j++)\n      A[t+1][i][j] = 0.25f * (A[t][i+1][j] + A[t][i-1][j] + A[t][i][j+1] + A[t][i][j-1]);\n";
+
+    fn test_state(tag: &str) -> ServeState {
+        let dir = std::env::temp_dir().join(format!("hybridd_test_{}_{}", std::process::id(), tag));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            ..DriverConfig::new(dir)
+        };
+        ServeState::new(cfg)
+    }
+
+    fn compile_req(id: &str, program: &str) -> String {
+        Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("id", Json::str(id)),
+            ("name", Json::str(id)),
+            ("program", Json::str(program)),
+        ])
+        .render_compact()
+    }
+
+    #[test]
+    fn malformed_json_and_bad_ops_get_typed_errors() {
+        let state = test_state("bad_ops");
+        for (line, want) in [
+            ("this is not json", "malformed JSON"),
+            ("{\"no\": \"op\"}", "missing \"op\""),
+            ("{\"op\": \"frobnicate\"}", "unknown op"),
+            ("{\"op\": \"compile\"}", "compile needs"),
+            (
+                "{\"op\": \"compile\", \"program\": \"x\", \"path\": \"y\"}",
+                "exactly one",
+            ),
+            (
+                "{\"op\": \"compile\", \"program\": \"x\", \"size\": [4]}",
+                "given together",
+            ),
+            (
+                "{\"op\": \"compile\", \"program\": \"x\", \"device\": \"tpu\"}",
+                "unknown device",
+            ),
+        ] {
+            let resp = state.handle_line(1, line).unwrap();
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("error"),
+                "{line}"
+            );
+            let msg = resp.get("error").and_then(Json::as_str).unwrap();
+            assert!(msg.contains(want), "{line}: {msg}");
+        }
+        // Blank lines are ignored, and the service is still serving.
+        assert!(state.handle_line(9, "   ").is_none());
+        let status = state.handle_line(10, "{\"op\": \"status\"}").unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+        assert_eq!(status.get("errors").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn inline_compile_then_memory_hit() {
+        let state = test_state("inline");
+        let first = state.handle_line(1, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(first.get("id").and_then(Json::as_str), Some("jac"));
+        assert_eq!(first.get("seq").and_then(Json::as_u64), Some(1));
+
+        let second = state.handle_line(2, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(second.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(second.get("cache").and_then(Json::as_str), Some("mem"));
+        // Identical plan and metrics, memory-cache provenance aside.
+        for key in ["h", "w", "gstencils_per_s", "verified", "fingerprint"] {
+            assert_eq!(first.get(key), second.get(key), "{key}");
+        }
+    }
+
+    #[test]
+    fn broken_dsl_and_infeasible_requests_are_per_request_errors() {
+        let state = test_state("broken");
+        let resp = state
+            .handle_line(1, &compile_req("bad", "for (t = 0; t < T; t++) oops"))
+            .unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(resp.get("error_kind").and_then(Json::as_str), Some("parse"));
+
+        // Wrong-arity workload for a 2-D program: typed, not fatal.
+        let req = Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("program", Json::str(JACOBI)),
+            ("size", Json::Arr(vec![Json::UInt(64)])),
+            ("steps", Json::UInt(4)),
+        ])
+        .render_compact();
+        let resp = state.handle_line(2, &req).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("unsupported")
+        );
+
+        // The service is still alive and compiles fine afterwards.
+        let ok = state.handle_line(3, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn shutdown_stops_the_reader_without_another_line() {
+        // The reader must break on the shutdown line itself — a blocked
+        // `lines()` call waiting for the next client line would hang the
+        // daemon. A reader that never yields another line after shutdown
+        // models a client that keeps the connection open: the loop must
+        // still return (and answer everything up to the shutdown).
+        struct AfterShutdownBlocks {
+            fed: Vec<u8>,
+            pos: usize,
+        }
+        impl io::Read for AfterShutdownBlocks {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos >= self.fed.len() {
+                    panic!("reader blocked past shutdown: serve() kept reading");
+                }
+                let n = buf.len().min(self.fed.len() - self.pos);
+                buf[..n].copy_from_slice(&self.fed[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let state = test_state("early_shutdown");
+        let fed = format!(
+            "{}\n{}\n",
+            Json::obj(vec![("op", Json::str("status"))]).render_compact(),
+            Json::obj(vec![("op", Json::str("shutdown"))]).render_compact(),
+        );
+        let reader = io::BufReader::new(AfterShutdownBlocks {
+            fed: fed.into_bytes(),
+            pos: 0,
+        });
+        let mut out = Vec::new();
+        let summary = serve(&state, reader, &mut out, 2).unwrap();
+        assert_eq!(summary.responses, 2);
+        assert!(state.stopped());
+        // A compile request whose *program text* mentions shutdown is not
+        // a shutdown.
+        assert!(!is_shutdown_request(
+            "{\"op\":\"compile\",\"program\":\"// shutdown valve\"}"
+        ));
+        assert!(is_shutdown_request("  {\"op\": \"shutdown\"} "));
+    }
+
+    #[test]
+    fn serve_loop_drains_input_and_honors_shutdown() {
+        let state = test_state("loop");
+        let input = format!(
+            "{}\nnot json\n{}\n{}\n",
+            compile_req("a", JACOBI),
+            Json::obj(vec![("op", Json::str("status"))]).render_compact(),
+            Json::obj(vec![("op", Json::str("shutdown"))]).render_compact(),
+        );
+        let mut out = Vec::new();
+        let summary = serve(&state, Cursor::new(input), &mut out, 2).unwrap();
+        assert_eq!(summary.responses, 4);
+        assert_eq!(summary.errors, 1);
+        assert!(state.stopped());
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Every line is valid compact JSON with a seq.
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.get("seq").and_then(Json::as_u64).is_some(), "{line}");
+        }
+    }
+}

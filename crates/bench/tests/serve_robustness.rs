@@ -1,0 +1,219 @@
+//! Abort-freedom and determinism of the compile pipeline and the
+//! `hybridd` serve surface.
+//!
+//! Property 1: `compile_source_with` on *mutated* DSL sources always
+//! returns a structured [`DriverError`] or a verified outcome — it never
+//! panics, whatever the mutation produced.
+//!
+//! Property 2: `ServeState::handle_line` on *malformed or mutated JSON
+//! request lines* always answers with a structured response object — the
+//! service never dies mid-protocol.
+//!
+//! Property 3 (determinism): N concurrent clients issuing the same
+//! requests against one service receive reports bit-identical to the
+//! one-shot `hybridc` driver's `--report` entries for the same inputs.
+//!
+//! The proptest stand-in generates deterministic inputs, so a failure
+//! here reproduces with plain `cargo test`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use hybrid_bench::driver::{compile_file, compile_source_with, outcome_json, DriverConfig};
+use hybrid_bench::json::Json;
+use hybrid_bench::serve::ServeState;
+use proptest::prelude::*;
+
+/// Valid seed programs the mutators start from (1-D and 2-D, constants,
+/// multi-statement).
+fn seeds() -> Vec<&'static str> {
+    vec![
+        "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    for (j = 1; j < N-1; j++)\n      A[t+1][i][j] = 0.25f * (A[t][i+1][j] + A[t][i-1][j] + A[t][i][j+1] + A[t][i][j-1]);\n",
+        "const float w = 0.5f;\nfor (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = w * (A[t][i-1] + A[t][i+1]);\n",
+        "for (t = 0; t < T; t++) {\n  for (i = 1; i < N-1; i++)\n    ey[t+1][i] = ey[t][i] - 0.5f * (hz[t][i] - hz[t][i-1]);\n  for (i = 1; i < N-1; i++)\n    hz[t+1][i] = hz[t][i] - 0.7f * (ey[t+1][i+1] - ey[t+1][i]);\n}\n",
+    ]
+}
+
+const POOL: &[u8] = b"()[]{}=+-*/;<>,#._ \n\t0123456789abtizANw\"@$%&?";
+
+/// A scratch config that keeps property cases cheap: smoke sweep, no
+/// oracle run, no disk cache (mutations would pollute one directory).
+fn cheap_cfg(tag: &str) -> DriverConfig {
+    let dir = std::env::temp_dir().join(format!("serve_robustness_{}_{}", std::process::id(), tag));
+    DriverConfig {
+        smoke: true,
+        verify: false,
+        cache_dir: None,
+        ..DriverConfig::new(dir)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutated DSL through the full compile pipeline: typed error or
+    /// outcome, never a panic, never a process abort.
+    #[test]
+    fn compile_of_mutated_sources_never_panics(
+        seed in 0usize..3,
+        kind in 0u8..3,
+        pos_pick in 0usize..10_000,
+        chr_pick in 0usize..POOL.len(),
+    ) {
+        let mut chars: Vec<char> = seeds()[seed].chars().collect();
+        let pos = pos_pick % chars.len();
+        let c = POOL[chr_pick] as char;
+        match kind {
+            0 => chars[pos] = c,
+            1 => chars.insert(pos, c),
+            _ => { chars.remove(pos); }
+        }
+        let mutated: String = chars.into_iter().collect();
+        let cfg = cheap_cfg("mutated_dsl");
+        let label = PathBuf::from("<prop>");
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            compile_source_with("mutated", &mutated, &label, &cfg, None)
+        }));
+        // The property: the pipeline returned *some* Result. Both Ok and
+        // every DriverError variant are legal; unwinding is not.
+        prop_assert!(out.is_ok(), "compile panicked on mutation of seed {}", seed);
+    }
+
+    /// Mutated request lines against a live service: every non-blank line
+    /// gets a response object with a seq and a status, and the state
+    /// keeps serving afterwards.
+    #[test]
+    fn mutated_request_lines_always_get_structured_responses(
+        kind in 0u8..3,
+        pos_pick in 0usize..10_000,
+        chr_pick in 0usize..POOL.len(),
+    ) {
+        let base = "{\"op\": \"compile\", \"name\": \"p\", \"program\": \"for (t = 0; t < T; t++)\\n  for (i = 1; i < N-1; i++)\\n    A[t+1][i] = A[t][i];\\n\", \"size\": [64], \"steps\": 4}";
+        let mut chars: Vec<char> = base.chars().collect();
+        let pos = pos_pick % chars.len();
+        let c = POOL[chr_pick] as char;
+        match kind {
+            0 => chars[pos] = c,
+            1 => chars.insert(pos, c),
+            _ => { chars.remove(pos); }
+        }
+        let mutated: String = chars.into_iter().collect();
+        let state = ServeState::new(cheap_cfg("mutated_req"));
+        let resp = catch_unwind(AssertUnwindSafe(|| state.handle_line(1, &mutated)));
+        prop_assert!(resp.is_ok(), "handle_line panicked on {mutated:?}");
+        if let Ok(Some(resp)) = resp {
+            prop_assert_eq!(resp.get("seq").and_then(Json::as_u64), Some(1));
+            let status = resp.get("status").and_then(Json::as_str);
+            prop_assert!(
+                matches!(status, Some("ok" | "error" | "alive" | "stopping")),
+                "unexpected status in {:?}", resp
+            );
+        }
+        // The service survived: a well-formed status request still works.
+        let status = state.handle_line(2, "{\"op\": \"status\"}").unwrap();
+        prop_assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+    }
+}
+
+/// N concurrent clients get bit-exact identical reports to the one-shot
+/// driver: same per-stencil object (modulo the serve envelope and the
+/// source label), across every client and against `compile_file`.
+#[test]
+fn concurrent_clients_match_one_shot_reports_bit_exactly() {
+    let dir = std::env::temp_dir().join(format!("serve_concurrency_{}", std::process::id()));
+    let stencil_dir = dir.join("stencils");
+    std::fs::create_dir_all(&stencil_dir).unwrap();
+    let jacobi = stencil_dir.join("jacobi.stencil");
+    let heat = stencil_dir.join("heat1d.stencil");
+    std::fs::write(&jacobi, seeds()[0]).unwrap();
+    std::fs::write(&heat, seeds()[1]).unwrap();
+
+    // Verification ON here: the equality claim covers the full pipeline.
+    let cfg = DriverConfig {
+        smoke: true,
+        cache_dir: None,
+        ..DriverConfig::new(dir.join("out"))
+    };
+
+    // One-shot reference entries, compiled through the plain driver (its
+    // own fresh config, no shared state).
+    let reference: Vec<Json> = [&jacobi, &heat]
+        .iter()
+        .map(|p| {
+            let r = compile_file(p, &cfg);
+            assert!(r.is_ok(), "{:?}", r.err().map(|e| e.to_string()));
+            outcome_json(&p.display().to_string(), &r)
+        })
+        .collect();
+
+    // Three clients fire the same path requests at one shared service.
+    let state = ServeState::new(cfg);
+    let request = |path: &Path| {
+        Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("path", Json::str(path.display().to_string())),
+        ])
+        .render_compact()
+    };
+    let responses: Vec<Vec<Json>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|client| {
+                let state = &state;
+                let jacobi = &jacobi;
+                let heat = &heat;
+                s.spawn(move || {
+                    [jacobi.as_path(), heat.as_path()]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            state
+                                .handle_line((client * 2 + i + 1) as u64, &request(p))
+                                .unwrap()
+                        })
+                        .collect::<Vec<Json>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Strip the serve envelope and cache provenance: `seq` orders the
+    // wire, and which client won the single-flight race (and therefore
+    // ran the sweep, `examined > 0`) is the only thing legitimately
+    // differing between clients and the one-shot run.
+    let strip = |v: &Json| -> Json {
+        match v {
+            Json::Obj(pairs) => Json::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| {
+                        !matches!(
+                            k.as_str(),
+                            "seq" | "id" | "cache" | "cache_hit" | "examined"
+                        )
+                    })
+                    .cloned()
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    };
+
+    for (c, client) in responses.iter().enumerate() {
+        for (i, resp) in client.iter().enumerate() {
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "client {c} request {i}: {resp:?}"
+            );
+            assert_eq!(
+                strip(resp).render(),
+                strip(&reference[i]).render(),
+                "client {c} request {i} diverged from the one-shot report"
+            );
+        }
+    }
+    // The shared cache did its job: 2 distinct stencils, 6 requests.
+    assert_eq!(state.mem().misses(), 2);
+    assert_eq!(state.mem().hits(), 4);
+}

@@ -20,6 +20,8 @@
 //! ([`HybridSchedule::compute_executable`]), so the ring is never
 //! clobbered while a reader still needs an old value.
 
+use std::fmt;
+
 use hybrid_tiling::phase::Phase;
 use hybrid_tiling::{HybridSchedule, TileError, TileParams};
 use stencil::domain::ScheduledDomain;
@@ -27,6 +29,103 @@ use stencil::{StencilExpr, StencilProgram};
 
 use crate::ir::{Cond, FExpr, IExpr, Kernel, Launch, LaunchPlan, SharedBuf, Stmt};
 use crate::options::{CodegenOptions, SmemStrategy};
+
+/// A typed code-generation failure.
+///
+/// Every input combination [`generate_hybrid`] rejects maps to one of
+/// these variants instead of panicking — the compile service keeps
+/// running no matter what (parseable) program, tile sizes or workload a
+/// request supplies. The variants mirror the validation ladder: schedule
+/// construction ([`CodegenError::Tile`]), workload shape
+/// ([`CodegenError::DimsArity`], [`CodegenError::EmptyInterior`]),
+/// hexagon geometry ([`CodegenError::EmptyHexagon`]) and the
+/// multi-statement height constraint
+/// ([`CodegenError::HeightNotMultiple`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodegenError {
+    /// Hybrid schedule construction failed (§3 constraints).
+    Tile(TileError),
+    /// The workload's spatial arity does not match the program's.
+    DimsArity {
+        /// Dimensions supplied in the workload.
+        got: usize,
+        /// Spatial dimensions of the program.
+        expected: usize,
+    },
+    /// A grid dimension is too small to hold one interior point for the
+    /// stencil's halo.
+    EmptyInterior {
+        /// The offending spatial dimension (0-based).
+        dim: usize,
+        /// Grid extent requested for that dimension.
+        extent: usize,
+        /// Stencil radius along that dimension.
+        radius: i64,
+    },
+    /// The hexagonal tile contains no integer points, so no kernel body
+    /// can be generated.
+    EmptyHexagon {
+        /// Tile height parameter.
+        h: i64,
+        /// Hexagon width parameter.
+        w0: i64,
+    },
+    /// Multi-statement kernels need the tile height `2h+2` to be a
+    /// multiple of the statement count `k` (§4.3.2 unrolling resolves the
+    /// statement index per row at generation time).
+    HeightNotMultiple {
+        /// Tile height `2h+2`.
+        height: i64,
+        /// Statements per outer iteration.
+        k: i64,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Tile(e) => write!(f, "{e}"),
+            CodegenError::DimsArity { got, expected } => write!(
+                f,
+                "workload has {got} spatial dimensions but the program has {expected}"
+            ),
+            CodegenError::EmptyInterior {
+                dim,
+                extent,
+                radius,
+            } => write!(
+                f,
+                "dimension {dim} has extent {extent}, too small for stencil radius \
+                 {radius} (needs at least {})",
+                2 * radius + 1
+            ),
+            CodegenError::EmptyHexagon { h, w0 } => write!(
+                f,
+                "hexagonal tile (h = {h}, w0 = {w0}) contains no integer points"
+            ),
+            CodegenError::HeightNotMultiple { height, k } => write!(
+                f,
+                "multi-statement kernels need the tile height 2h+2 = {height} to be a \
+                 multiple of k = {k} (choose h so that h+1 is a multiple of k)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodegenError::Tile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TileError> for CodegenError {
+    fn from(e: TileError) -> CodegenError {
+        CodegenError::Tile(e)
+    }
+}
 
 /// The hybrid code generator, holding all derived geometry.
 pub struct HybridCodegen<'a> {
@@ -48,6 +147,10 @@ pub struct HybridCodegen<'a> {
     b_max: i64,
     /// Classical skews `⌊δ1_d · a⌋` per dimension (index 1..n) and `a`.
     skews: Vec<Vec<i64>>,
+    /// Maximum classical skew per dimension (index 1..n) — precomputed so
+    /// the per-point emitters never re-derive it from a possibly empty
+    /// slice.
+    skew_max: Vec<i64>,
     /// Left halo pad per classical dimension (index 1..n).
     pad_left: Vec<i64>,
     /// Shared box extents: `ext[0]` for the hexagon dim, `ext[d]` for
@@ -97,25 +200,41 @@ pub fn alignment_offset_words(
 ///
 /// # Errors
 ///
-/// Propagates schedule-construction errors and reports unsupported
-/// configurations (multi-statement kernels need `k | 2h+2`; shared-memory
-/// strategies need at least two spatial dimensions).
+/// Every rejected input maps to a [`CodegenError`]: schedule-construction
+/// failures, workload arity/interior mismatches, degenerate hexagons, and
+/// the multi-statement height constraint (`k | 2h+2`). No input reachable
+/// through this function panics — the compile service depends on that.
 pub fn generate_hybrid(
     program: &StencilProgram,
     params: &TileParams,
     dims: &[usize],
     steps: usize,
     opts: CodegenOptions,
-) -> Result<LaunchPlan, TileError> {
+) -> Result<LaunchPlan, CodegenError> {
     let schedule = HybridSchedule::compute_executable(program, params)?;
     let n = program.spatial_dims();
     let k = program.num_statements() as i64;
     let height = schedule.hex().box_height();
     if k > 1 && height % k != 0 {
-        return Err(TileError::UncarriedDependence(format!(
-            "multi-statement kernels need the tile height 2h+2 = {height} to be a \
-             multiple of k = {k} (choose h so that h+1 is a multiple of k)"
-        )));
+        return Err(CodegenError::HeightNotMultiple { height, k });
+    }
+    let radius = program.radius();
+    // Validate the workload shape before `ScheduledDomain` (which asserts
+    // the same properties) can abort the process.
+    if dims.len() != n {
+        return Err(CodegenError::DimsArity {
+            got: dims.len(),
+            expected: n,
+        });
+    }
+    for (d, (&extent, &rad)) in dims.iter().zip(&radius).enumerate() {
+        if (extent as i64) < 2 * rad + 1 {
+            return Err(CodegenError::EmptyInterior {
+                dim: d,
+                extent,
+                radius: rad,
+            });
+        }
     }
     let mut opts = opts;
     if n == 1 && opts.smem.uses_shared() {
@@ -126,28 +245,26 @@ pub fn generate_hybrid(
     let domain = ScheduledDomain::new(program, dims, steps);
     let hex = schedule.hex();
     let rows: Vec<Option<(i64, i64)>> = (0..height).map(|a| hex.row_range(a)).collect();
-    let b_min = rows
-        .iter()
-        .flatten()
-        .map(|r| r.0)
-        .min()
-        .expect("non-empty hexagon");
-    let b_max = rows
-        .iter()
-        .flatten()
-        .map(|r| r.1)
-        .max()
-        .expect("non-empty hexagon");
-    let radius = program.radius();
+    let b_lo = rows.iter().flatten().map(|r| r.0).min();
+    let b_hi = rows.iter().flatten().map(|r| r.1).max();
+    let (Some(b_min), Some(b_max)) = (b_lo, b_hi) else {
+        return Err(CodegenError::EmptyHexagon {
+            h: hex.h(),
+            w0: hex.w0(),
+        });
+    };
     let mut skews = vec![Vec::new()];
+    let mut skew_max = vec![0i64];
     let mut pad_left = vec![0i64];
     let mut ext = vec![(b_max - b_min + 1) + 2 * radius[0]];
     for (d, &rad) in radius.iter().enumerate().take(n).skip(1) {
         let cd = &schedule.classical()[d - 1];
         let per_a: Vec<i64> = (0..height).map(|a| cd.skew(a)).collect();
-        let skew_max = *per_a.iter().max().expect("rows");
+        // `height = 2h+2 >= 2`, so the per-row skew list is never empty.
+        let sk_max = per_a.iter().copied().max().unwrap_or(0);
         skews.push(per_a);
-        let pad = skew_max + rad;
+        skew_max.push(sk_max);
+        let pad = sk_max + rad;
         pad_left.push(pad);
         ext.push(cd.width + pad + rad);
     }
@@ -165,6 +282,7 @@ pub fn generate_hybrid(
         b_min,
         b_max,
         skews,
+        skew_max,
         pad_left,
         ext,
     };
@@ -244,10 +362,9 @@ impl HybridCodegen<'_> {
         let cd = &self.schedule.classical()[d - 1];
         let lo = self.domain.lo()[d];
         let hi = self.domain.hi()[d];
-        let skew_max = *self.skews[d].iter().max().expect("rows");
         (
             lo.div_euclid(cd.width),
-            (hi + skew_max).div_euclid(cd.width),
+            (hi + self.skew_max[d]).div_euclid(cd.width),
         )
     }
 
@@ -348,11 +465,10 @@ impl HybridCodegen<'_> {
             ));
         for d in 1..self.n {
             let cd = &self.schedule.classical()[d - 1];
-            let skew_max = *self.skews[d].iter().max().expect("rows");
             let base = IExpr::Var(V_CLS0 + d - 1).scale(cd.width);
             c = c
                 .and(Cond::Le(
-                    IExpr::Const(self.domain.lo()[d] + skew_max),
+                    IExpr::Const(self.domain.lo()[d] + self.skew_max[d]),
                     base.clone(),
                 ))
                 .and(Cond::Le(
@@ -988,6 +1104,70 @@ mod tests {
             CodegenOptions::best(),
         );
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn workload_arity_mismatch_is_an_error_not_a_panic() {
+        // Regression: a 1-D workload for a 2-D program used to abort in
+        // `ScheduledDomain::new`'s arity assert; reachable from any serve
+        // request that pairs a program with the wrong `size`.
+        let p = gallery::jacobi2d();
+        let err = generate_hybrid(
+            &p,
+            &TileParams::new(1, &[2, 8]),
+            &[20],
+            6,
+            CodegenOptions::best(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CodegenError::DimsArity {
+                got: 1,
+                expected: 2
+            }
+        );
+        assert!(err.to_string().contains("spatial dimensions"));
+    }
+
+    #[test]
+    fn empty_interior_is_an_error_not_a_panic() {
+        // Regression: a grid smaller than the stencil halo used to abort
+        // in `ScheduledDomain::new`'s interior assert.
+        let p = gallery::jacobi2d();
+        let err = generate_hybrid(
+            &p,
+            &TileParams::new(1, &[2, 8]),
+            &[20, 2],
+            6,
+            CodegenOptions::best(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CodegenError::EmptyInterior {
+                dim: 1,
+                extent: 2,
+                radius: 1
+            }
+        );
+        assert!(err.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn tile_errors_carry_their_source() {
+        let p = gallery::jacobi2d();
+        // Arity mismatch at the schedule level surfaces as Tile(..).
+        let err = generate_hybrid(
+            &p,
+            &TileParams::new(1, &[2]),
+            &[20, 20],
+            6,
+            CodegenOptions::best(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CodegenError::Tile(_)));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

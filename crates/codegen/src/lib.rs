@@ -23,6 +23,6 @@ pub mod ir;
 pub mod options;
 pub mod ptx_emit;
 
-pub use hybrid_gen::{generate_hybrid, HybridCodegen};
+pub use hybrid_gen::{generate_hybrid, CodegenError, HybridCodegen};
 pub use ir::{Cond, FExpr, IExpr, Kernel, LaunchPlan, SharedBuf, Stmt};
 pub use options::{CodegenOptions, SmemStrategy};

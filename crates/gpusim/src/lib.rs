@@ -40,5 +40,5 @@ pub mod timing;
 pub use counters::Counters;
 pub use device::DeviceConfig;
 pub use exec::GpuSim;
-pub use parallel::sim_threads;
+pub use parallel::{sim_threads, ExecError};
 pub use timing::{estimate_time, TimeBreakdown};

@@ -39,6 +39,7 @@
 //! can be pinned with the `HYBRID_SIM_THREADS` environment variable.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -49,6 +50,97 @@ use crate::exec::{exec_block, GlobalBackend, GpuSim};
 use crate::memory::{
     charge_warp_load_logged, charge_warp_store_logged, replay_l2, GlobalMem, L2Access, L2Cache,
 };
+
+/// A typed failure of the block-parallel executor.
+///
+/// [`GpuSim::try_run_plan_parallel_with`] returns these instead of
+/// aborting the process, so a long-lived compile service can map a
+/// schedule that violates concurrent-tile independence to a per-request
+/// error. The panicking API ([`GpuSim::run_plan_parallel_with`]) remains
+/// for direct callers that treat such plans as programming errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// Two blocks of one launch wrote different values to the same
+    /// location — a violation of the §3.3.3 concurrent-tile independence
+    /// that `hybrid_tiling::verify` checks at the schedule level.
+    WriteConflict {
+        /// Name of the launched kernel.
+        kernel: String,
+        /// First block observed writing the location.
+        block_a: usize,
+        /// Conflicting block.
+        block_b: usize,
+        /// Field written.
+        field: u32,
+        /// Time plane written.
+        plane: u32,
+        /// Plane-linear element offset.
+        offset: usize,
+    },
+    /// A block read a location another block of the same launch wrote —
+    /// a cross-tile dependence even without a write *conflict* (the
+    /// sequential executor may have served a different value). Only
+    /// detected under debug assertions, where read tracking is on.
+    ReadWriteOverlap {
+        /// Name of the launched kernel.
+        kernel: String,
+        /// The reading block.
+        reader: usize,
+        /// The writing block.
+        writer: usize,
+    },
+    /// A kernel's shared-memory demand exceeds the device limit.
+    SharedMemExceeded {
+        /// Name of the launched kernel.
+        kernel: String,
+        /// Bytes the kernel needs.
+        needed: u64,
+        /// Bytes the device allows.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WriteConflict {
+                kernel,
+                block_a,
+                block_b,
+                field,
+                plane,
+                offset,
+            } => write!(
+                f,
+                "write race in launch of kernel {kernel}: blocks {block_a} and {block_b} \
+                 wrote different values to field {field} plane {plane} offset {offset} — \
+                 concurrent S0 tiles must be write-disjoint (verify the schedule with \
+                 hybrid_tiling::verify)"
+            ),
+            ExecError::ReadWriteOverlap {
+                kernel,
+                reader,
+                writer,
+            } => write!(
+                f,
+                "read/write overlap in launch of kernel {kernel}: block {reader} read a \
+                 location block {writer} wrote in the same launch — concurrent S0 tiles \
+                 must be independent (verify the schedule with hybrid_tiling::verify)"
+            ),
+            ExecError::SharedMemExceeded {
+                kernel,
+                needed,
+                limit,
+            } => write!(
+                f,
+                "kernel {kernel} needs {needed} bytes of shared memory; the device \
+                 allows {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// One recorded global-memory write: plane-linear location plus value.
 #[derive(Clone, Copy, Debug)]
@@ -194,15 +286,58 @@ impl GpuSim {
     ///
     /// # Panics
     ///
-    /// Panics if a kernel exceeds the device's shared-memory limit, on
-    /// out-of-bounds accesses, or if two blocks of one launch write
-    /// different values to the same location — a violation of the
-    /// §3.3.3 concurrent-tile independence that `hybrid_tiling::verify`
-    /// checks at the schedule level.
+    /// Panics on any [`ExecError`] the non-panicking variant
+    /// ([`GpuSim::try_run_plan_parallel_with`]) would return — shared
+    /// memory over the device limit, cross-block write conflicts, and
+    /// (under debug assertions) cross-block read/write overlap — as well
+    /// as on out-of-bounds accesses (code-generation bugs).
     pub fn run_plan_parallel_with(&mut self, plan: &LaunchPlan, threads: usize) {
+        if let Err(e) = self.try_run_plan_parallel_with(plan, threads) {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`GpuSim::run_plan_parallel`]: executes with
+    /// [`sim_threads`] workers, surfacing independence violations as
+    /// [`ExecError`]s.
+    ///
+    /// # Errors
+    ///
+    /// See [`GpuSim::try_run_plan_parallel_with`].
+    pub fn try_run_plan_parallel(&mut self, plan: &LaunchPlan) -> Result<(), ExecError> {
+        self.try_run_plan_parallel_with(plan, sim_threads())
+    }
+
+    /// Non-panicking [`GpuSim::run_plan_parallel_with`]: a plan that
+    /// violates the concurrent-tile independence contract returns a typed
+    /// [`ExecError`] instead of aborting the process, so a resident
+    /// compile service can report it per request and keep serving.
+    ///
+    /// On `Err` the simulator state (grids, counters, L2) reflects a
+    /// partially merged launch and must not be interpreted further —
+    /// discard the simulator or treat the run as failed.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::SharedMemExceeded`] when a kernel's shared demand is
+    /// over the device limit; [`ExecError::WriteConflict`] when two blocks
+    /// of one launch wrote different values to one location; under debug
+    /// assertions additionally [`ExecError::ReadWriteOverlap`] when a
+    /// block read a location a concurrent block wrote.
+    pub fn try_run_plan_parallel_with(
+        &mut self,
+        plan: &LaunchPlan,
+        threads: usize,
+    ) -> Result<(), ExecError> {
         for launch in &plan.launches {
             let kernel = &plan.kernels[launch.kernel];
-            self.check_kernel(kernel);
+            if kernel.shared_bytes() > self.device.shared_limit {
+                return Err(ExecError::SharedMemExceeded {
+                    kernel: kernel.name.clone(),
+                    needed: kernel.shared_bytes() as u64,
+                    limit: self.device.shared_limit as u64,
+                });
+            }
             self.counters.launches += 1;
             let n = launch.blocks;
             if n == 0 {
@@ -254,19 +389,16 @@ impl GpuSim {
                     let key = WriteRec::key(w.field as usize, w.plane as usize, w.offset);
                     let bits = w.value.to_bits();
                     if let Some(&(owner, prev_bits)) = owners.get(&key) {
-                        assert!(
-                            owner == *b || prev_bits == bits,
-                            "write race in launch of kernel {}: blocks {} and {} wrote \
-                             different values to field {} plane {} offset {} — concurrent \
-                             S0 tiles must be write-disjoint (verify the schedule with \
-                             hybrid_tiling::verify)",
-                            kernel.name,
-                            owner,
-                            b,
-                            w.field,
-                            w.plane,
-                            w.offset
-                        );
+                        if owner != *b && prev_bits != bits {
+                            return Err(ExecError::WriteConflict {
+                                kernel: kernel.name.clone(),
+                                block_a: owner,
+                                block_b: *b,
+                                field: w.field,
+                                plane: w.plane,
+                                offset: w.offset,
+                            });
+                        }
                     }
                     owners.insert(key, (*b, bits));
                     self.mem
@@ -282,20 +414,18 @@ impl GpuSim {
             for (b, outcome) in &results {
                 for key in &outcome.base_reads {
                     if let Some(&(owner, _)) = owners.get(key) {
-                        assert!(
-                            owner == *b,
-                            "read/write overlap in launch of kernel {}: block {} read a \
-                             location block {} wrote in the same launch — concurrent S0 \
-                             tiles must be independent (verify the schedule with \
-                             hybrid_tiling::verify)",
-                            kernel.name,
-                            b,
-                            owner
-                        );
+                        if owner != *b {
+                            return Err(ExecError::ReadWriteOverlap {
+                                kernel: kernel.name.clone(),
+                                reader: *b,
+                                writer: owner,
+                            });
+                        }
                     }
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -472,6 +602,117 @@ mod tests {
         let init = vec![Grid::zeros(&[64])];
         let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 1);
         par.run_plan_parallel_with(&plan, 2);
+    }
+
+    #[test]
+    fn try_run_reports_write_conflicts_without_aborting() {
+        // Same racy plan as the should_panic test above, through the
+        // non-panicking API: the conflict surfaces as a typed error the
+        // compile service can report per request.
+        let k = Kernel {
+            name: "race".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 1,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::SetVar {
+                    var: 0,
+                    value: IExpr::BlockIdx,
+                },
+                Stmt::If {
+                    cond: Cond::Eq(IExpr::ThreadIdx(0), IExpr::Const(0)),
+                    then_: vec![Stmt::If {
+                        cond: Cond::Eq(IExpr::Var(0), IExpr::Const(0)),
+                        then_: vec![Stmt::GlobalStore {
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![IExpr::Const(0)],
+                            src: FExpr::Const(1.0),
+                        }],
+                        else_: vec![Stmt::GlobalStore {
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![IExpr::Const(0)],
+                            src: FExpr::Const(2.0),
+                        }],
+                    }],
+                    else_: vec![],
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![k],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 2,
+            }],
+            description: "write race".into(),
+        };
+        let init = vec![Grid::zeros(&[64])];
+        let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 1);
+        let err = par.try_run_plan_parallel_with(&plan, 2).unwrap_err();
+        match err {
+            ExecError::WriteConflict {
+                ref kernel,
+                block_a,
+                block_b,
+                field,
+                plane,
+                offset,
+            } => {
+                assert_eq!(kernel, "race");
+                assert_eq!((block_a, block_b), (0, 1));
+                assert_eq!((field, plane, offset), (0, 0, 0));
+            }
+            other => panic!("expected WriteConflict, got {other:?}"),
+        }
+        assert!(err.to_string().contains("write race"));
+    }
+
+    #[test]
+    fn try_run_matches_sequential_on_clean_plans() {
+        let (plan, init) = two_launch_plan();
+        let mut seq = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        seq.run_plan(&plan);
+        let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        par.try_run_plan_parallel_with(&plan, 4).unwrap();
+        assert_eq!(par.counters(), seq.counters());
+        for plane in 0..2 {
+            assert!(par.plane(0, plane).bit_equal(seq.plane(0, plane)));
+        }
+    }
+
+    #[test]
+    fn try_run_rejects_oversized_shared_demand() {
+        let k = Kernel {
+            name: "huge".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![gpu_codegen::ir::SharedBuf {
+                name: "s".into(),
+                dims: vec![1 << 20],
+            }],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![k],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "oversized shared".into(),
+        };
+        let mut sim = GpuSim::new(DeviceConfig::gtx470(), &[Grid::zeros(&[32])], 1);
+        assert!(matches!(
+            sim.try_run_plan_parallel_with(&plan, 2),
+            Err(ExecError::SharedMemExceeded { .. })
+        ));
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub use stencil;
 /// Convenient single-import surface for examples and tests.
 pub mod prelude {
     pub use baselines::{generate_overtile, generate_par4all, generate_ppcg};
-    pub use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
-    pub use gpusim::{DeviceConfig, GpuSim};
+    pub use gpu_codegen::{generate_hybrid, CodegenError, CodegenOptions, SmemStrategy};
+    pub use gpusim::{DeviceConfig, ExecError, GpuSim};
     pub use hybrid_tiling::{
         autotune, verify_schedule, AutotuneConfig, DepCone, HexShape, HybridSchedule, SearchSpace,
         TileParams,
