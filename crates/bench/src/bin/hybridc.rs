@@ -26,17 +26,26 @@
 //!   --steps N          override the execution step count
 //!   --report PATH      write the machine-readable JSON report
 //!
-//! serve mode (`hybridd`):
-//!   --listen ADDR      serve TCP connections on ADDR instead of stdin
-//!   --workers N        request worker threads (default --jobs, min 1)
+//! serve mode (`hybridd` / `hybridfleet`):
+//!   --listen ADDR            serve TCP connections on ADDR instead of stdin
+//!   --workers N              request worker threads (default --jobs, min 1)
+//!   --mem-cap-bytes N        cap each device's in-memory plan cache (LRU
+//!                            eviction; default unbounded)
+//!   --max-devices N          per-device service states spun up lazily
+//!                            (default 8)
+//!   --default-deadline-ms N  deadline for requests without their own
+//!                            deadline_ms (default none)
 //! ```
 //!
-//! `serve` turns the driver into `hybridd`, a resident compile service:
-//! newline-delimited JSON requests on stdin (or per TCP connection) are
-//! fanned out over a worker pool, answered with one compact-JSON response
-//! line each, and share a single-flight in-memory plan cache layered
-//! above the on-disk one. See `hybrid_bench::serve` for the protocol. In
-//! serve mode stdout carries only responses; diagnostics go to stderr.
+//! `serve` turns the driver into `hybridd`, a resident compile service
+//! fronted by a device-sharded fleet router: newline-delimited JSON
+//! requests on stdin (or per TCP connection) are routed by their
+//! `device` field to per-device service states, fanned out over a worker
+//! pool, answered with one compact-JSON response line each, and share
+//! per-device single-flight in-memory plan caches layered above the
+//! on-disk one. See `hybrid_bench::serve` and `hybrid_bench::fleet` for
+//! the protocol. In serve mode stdout carries only responses;
+//! diagnostics go to stderr.
 //!
 //! Exit status: `0` when every file compiles (and, with `--require-cached`,
 //! every plan came from the cache); `1` otherwise. Serve mode exits `0`
@@ -49,7 +58,8 @@ use gpusim::DeviceConfig;
 use hybrid_bench::driver::{
     collect_stencil_files, compile_batch, report_json, DriverConfig, TuneMode,
 };
-use hybrid_bench::serve::{serve, serve_tcp, ServeState};
+use hybrid_bench::fleet::{FleetOptions, FleetRouter};
+use hybrid_bench::serve::{serve, serve_tcp};
 
 struct Args {
     cfg: DriverConfig,
@@ -60,6 +70,7 @@ struct Args {
     serve: bool,
     listen: Option<String>,
     workers: Option<usize>,
+    fleet: FleetOptions,
 }
 
 fn usage() -> ! {
@@ -68,7 +79,8 @@ fn usage() -> ! {
          [--autotune] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
          [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
          \n\
-         hybridc serve [common options] [--listen ADDR] [--workers N]\n\
+         hybridc serve [common options] [--listen ADDR] [--workers N] \
+         [--mem-cap-bytes N] [--max-devices N] [--default-deadline-ms N]\n\
          (reads newline-delimited JSON requests from stdin or ADDR; see README)"
     );
     std::process::exit(1);
@@ -93,6 +105,7 @@ fn parse_args() -> Args {
     let mut serve = false;
     let mut listen = None;
     let mut workers = None;
+    let mut fleet = FleetOptions::default();
 
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().map(String::as_str) == Some("serve") {
@@ -161,6 +174,30 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| fail("--workers takes a positive integer")),
                 )
             }
+            "--mem-cap-bytes" if serve => {
+                fleet.mem_cap_bytes = Some(
+                    value("--mem-cap-bytes")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .unwrap_or_else(|| fail("--mem-cap-bytes takes a positive byte count")),
+                )
+            }
+            "--max-devices" if serve => {
+                fleet.max_devices = value("--max-devices")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| fail("--max-devices takes a positive integer"));
+            }
+            "--default-deadline-ms" if serve => {
+                fleet.default_deadline_ms = Some(
+                    value("--default-deadline-ms")
+                        .parse()
+                        .ok()
+                        .unwrap_or_else(|| fail("--default-deadline-ms takes a millisecond count")),
+                )
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}");
@@ -192,15 +229,18 @@ fn parse_args() -> Args {
         serve,
         listen,
         workers,
+        fleet,
     }
 }
 
-/// The resident-service mode (`hybridd`).
+/// The resident-service mode (`hybridd` behind the `hybridfleet`
+/// device-sharded router).
 fn run_serve(args: Args) -> ! {
     let workers = args.workers.unwrap_or(args.cfg.jobs).max(1);
-    let state = ServeState::new(args.cfg.clone());
+    let router = FleetRouter::new(args.cfg.clone(), args.fleet.clone());
     eprintln!(
-        "hybridd: serving on {}, {} worker(s), device = {}, tune = {}, disk cache = {}",
+        "hybridd: serving on {}, {} worker(s), default device = {}, tune = {}, disk cache = {}, \
+         max devices = {}, mem cap = {}, default deadline = {}",
         args.listen.as_deref().unwrap_or("stdin"),
         workers,
         args.cfg.device.name,
@@ -209,25 +249,50 @@ fn run_serve(args: Args) -> ! {
             .cache_dir
             .as_ref()
             .map_or("off".to_string(), |d| d.display().to_string()),
+        args.fleet.max_devices,
+        args.fleet
+            .mem_cap_bytes
+            .map_or("unbounded".to_string(), |b| format!("{b} B")),
+        args.fleet
+            .default_deadline_ms
+            .map_or("none".to_string(), |ms| format!("{ms} ms")),
     );
     match args.listen {
         Some(addr) => {
             let listener = TcpListener::bind(&addr)
                 .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
-            if let Err(e) = serve_tcp(&state, listener, workers) {
+            if let Err(e) = serve_tcp(&router, listener, workers) {
                 fail(&format!("listener error: {e}"));
             }
         }
         None => {
             let stdin = std::io::stdin();
-            match serve(&state, stdin.lock(), std::io::stdout(), workers) {
-                Ok(summary) => eprintln!(
-                    "hybridd: {} response(s), {} error(s), {} mem hit(s) / {} miss(es)",
-                    summary.responses,
-                    summary.errors,
-                    state.mem().hits(),
-                    state.mem().misses(),
-                ),
+            match serve(&router, stdin.lock(), std::io::stdout(), workers) {
+                Ok(summary) => {
+                    let members = router.members();
+                    let (hits, coalesced, misses, evictions) =
+                        members
+                            .iter()
+                            .fold((0u64, 0u64, 0u64, 0u64), |(h, c, m, e), (_, s)| {
+                                (
+                                    h + s.mem().hits(),
+                                    c + s.mem().coalesced(),
+                                    m + s.mem().misses(),
+                                    e + s.mem().evictions(),
+                                )
+                            });
+                    eprintln!(
+                        "hybridd: {} response(s), {} error(s), {} device(s), \
+                         {} mem hit(s) (+{} coalesced) / {} miss(es), {} eviction(s)",
+                        summary.responses,
+                        summary.errors,
+                        members.len(),
+                        hits,
+                        coalesced,
+                        misses,
+                        evictions,
+                    );
+                }
                 Err(e) => fail(&format!("stdin error: {e}")),
             }
         }

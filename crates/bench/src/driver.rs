@@ -35,17 +35,20 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use gpu_codegen::cuda_emit::kernel_to_cuda;
 use gpu_codegen::hybrid_gen::alignment_offset_words;
 use gpu_codegen::ptx_emit::core_tile_ptx;
 use gpu_codegen::{generate_hybrid, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
-use hybrid_tiling::tilesize::autotune::{autotune, AutotuneConfig};
+use hybrid_tiling::cancel::{CancelKind, CancelToken};
+use hybrid_tiling::tilesize::autotune::{autotune_cancellable, AutotuneConfig, AutotuneError};
 use hybrid_tiling::tilesize::TileSizeModel;
 use hybrid_tiling::TileParams;
 use stencil::characteristics::{flop_count, load_count};
@@ -107,6 +110,19 @@ pub struct DriverConfig {
     /// fingerprint, so plans chosen by a custom scorer never leak into
     /// caches keyed for the built-in scorers.
     pub scorer: Option<fn(&TileSizeModel) -> Option<f64>>,
+    /// Cooperative cancellation for this compile: the tuning sweep (and
+    /// the simulation/verification stages) check the token at stage and
+    /// candidate boundaries and return
+    /// [`DriverError::DeadlineExceeded`] / [`DriverError::Cancelled`]
+    /// instead of running to completion. Defaults to
+    /// [`CancelToken::never`].
+    pub cancel: CancelToken,
+    /// Age after which another process's tuning lock file (the
+    /// cross-process single-flight marker next to the disk cache) is
+    /// considered abandoned and stolen. Must comfortably exceed one
+    /// tuning sweep; a premature steal only costs a redundant sweep,
+    /// never a wrong plan (entries are stored atomically).
+    pub lock_stale: Duration,
 }
 
 impl DriverConfig {
@@ -127,6 +143,8 @@ impl DriverConfig {
             cache_dir: Some(cache_dir),
             workload: None,
             scorer: None,
+            cancel: CancelToken::never(),
+            lock_stale: Duration::from_secs(120),
         }
     }
 }
@@ -149,6 +167,12 @@ pub enum DriverError {
     /// worker/request boundary. Always a bug worth reporting — but a
     /// per-file error entry, never a dead service.
     Internal(String),
+    /// The request's deadline passed before the pipeline finished; the
+    /// worker stopped cooperatively at a stage/candidate boundary.
+    DeadlineExceeded(String),
+    /// The request was explicitly cancelled (the serve protocol's
+    /// `cancel` op) before the pipeline finished.
+    Cancelled(String),
 }
 
 impl DriverError {
@@ -162,6 +186,8 @@ impl DriverError {
             DriverError::NoFeasibleTiling(_) => "no_feasible_tiling",
             DriverError::Verify(_) => "verify",
             DriverError::Internal(_) => "internal",
+            DriverError::DeadlineExceeded(_) => "deadline_exceeded",
+            DriverError::Cancelled(_) => "cancelled",
         }
     }
 }
@@ -175,6 +201,8 @@ impl fmt::Display for DriverError {
             DriverError::NoFeasibleTiling(m) => write!(f, "no feasible tiling: {m}"),
             DriverError::Verify(m) => write!(f, "verification failed: {m}"),
             DriverError::Internal(m) => write!(f, "internal error: {m}"),
+            DriverError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            DriverError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }
@@ -262,17 +290,40 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The **canonical device fingerprint**: every architectural parameter
+/// of the [`DeviceConfig`], rendered in a fixed field order. Two
+/// logically identical device descriptions — a named preset, or an
+/// inline device object with its JSON keys in any order — always
+/// resolve to the same fingerprint, so they share one cache shard and
+/// one fleet member; two devices differing in *any* parameter (even
+/// just the clock, which changes simulated tuning scores) key apart.
+pub fn device_fingerprint(device: &DeviceConfig) -> String {
+    format!(
+        "{}|sms={}|cores={}|clock={}|dram={}|l2={}|l2b={}|smem={}|launch={}",
+        device.name,
+        device.sms,
+        device.cores_per_sm,
+        device.clock_ghz,
+        device.dram_gbps,
+        device.l2_gbps,
+        device.l2_bytes,
+        device.shared_limit,
+        device.launch_overhead_s,
+    )
+}
+
 /// The content-addressed cache key of `program` under `cfg`: everything
 /// that influences tile-size selection is hashed — the canonical program
-/// rendering, the device budgets, the codegen options, the tuning mode
-/// (smoke sweeps search a smaller space, so they key separately), and
-/// any workload override (tuning scores candidates on the workload).
+/// rendering, the full canonical device fingerprint (all architectural
+/// parameters, not just the budgets: simulated scores depend on clocks
+/// and bandwidths too), the codegen options, the tuning mode (smoke
+/// sweeps search a smaller space, so they key separately), and any
+/// workload override (tuning scores candidates on the workload).
 pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     let ident = format!(
-        "{}|{}|{}|{:?}|{}|{}|{:?}|{:?}",
+        "{}|{}|{:?}|{}|{}|{:?}|{:?}",
         program.to_c_like(),
-        cfg.device.name,
-        cfg.device.shared_limit,
+        device_fingerprint(&cfg.device),
         cfg.opts,
         cfg.tune.name(),
         cfg.smoke,
@@ -282,6 +333,27 @@ pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     format!("{:016x}", fnv1a64(ident.as_bytes()))
 }
 
+/// Maps a cancellation into the driver's typed error for `what` (a
+/// program name or fingerprint). Messages are deliberately free of
+/// counts and timings so responses to identical cancelled requests are
+/// bit-identical across runs.
+fn cancel_error(kind: CancelKind, what: &str) -> DriverError {
+    match kind {
+        CancelKind::Deadline => {
+            DriverError::DeadlineExceeded(format!("{what}: request deadline exceeded"))
+        }
+        CancelKind::Flag => DriverError::Cancelled(format!("{what}: cancelled by request")),
+    }
+}
+
+/// Errors out if `token` has fired — the per-stage cancellation check.
+fn check_cancel(token: &CancelToken, what: &str) -> Result<(), DriverError> {
+    match token.cancelled() {
+        Some(kind) => Err(cancel_error(kind, what)),
+        None => Ok(()),
+    }
+}
+
 /// Locks a possibly poisoned mutex: a panic that unwound through a
 /// critical section (contained by the per-request `catch_unwind`
 /// boundary) must not cascade into every later cache access.
@@ -289,13 +361,37 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Fixed per-entry bookkeeping overhead charged against the cache cap
+/// (map key, timestamps, slot discriminant — a deliberate overestimate).
+const MEM_ENTRY_OVERHEAD: u64 = 96;
+
+/// The byte cost charged against the cache cap for one entry: the
+/// retained strings (program text, fingerprints) plus the tile
+/// parameters plus the fixed overhead. Public so eviction tests can
+/// model the accounting exactly.
+pub fn mem_entry_bytes(fp: &str, device_fp: &str, program: &str, params: &TileParams) -> u64 {
+    fp.len() as u64
+        + device_fp.len() as u64
+        + program.len() as u64
+        + 8 * (1 + params.w.len() as u64)
+        + MEM_ENTRY_OVERHEAD
+}
+
 /// One resolved plan in the in-memory cache. The program text rides along
 /// so fingerprint collisions degrade to a bypass, exactly like the
-/// on-disk cache.
+/// on-disk cache; the device fingerprint and timestamps drive the
+/// per-shard LRU and the hit-age metric.
 #[derive(Clone)]
 struct MemEntry {
     program: String,
+    device_fp: String,
     params: TileParams,
+    /// Byte cost charged against the cap ([`mem_entry_bytes`]).
+    bytes: u64,
+    /// When the entry was published (hit age = now − inserted_at).
+    inserted_at: Instant,
+    /// Monotonic use tick; the per-shard LRU evicts the smallest.
+    last_used: u64,
 }
 
 enum MemSlot {
@@ -305,68 +401,192 @@ enum MemSlot {
     Ready(MemEntry),
 }
 
+/// Recent hit-age samples kept per shard (the metric reads all shards,
+/// so the fleet sees up to `shards x` this many samples).
+const HIT_AGE_SAMPLES_PER_SHARD: usize = 64;
+
+struct ShardInner {
+    map: HashMap<String, MemSlot>,
+    /// Total byte cost of the Ready entries (in-flight markers are free).
+    ready_bytes: u64,
+    /// Bounded ring of recent hit ages (ms since insert). Kept per
+    /// shard, under the shard lock already held on the hit path, so the
+    /// metric never adds cross-shard contention.
+    hit_ages: Vec<u64>,
+    hit_age_next: usize,
+}
+
+impl ShardInner {
+    fn record_hit_age(&mut self, inserted_at: Instant) {
+        let ms = inserted_at.elapsed().as_millis() as u64;
+        if self.hit_ages.len() < HIT_AGE_SAMPLES_PER_SHARD {
+            self.hit_ages.push(ms);
+        } else {
+            let next = self.hit_age_next;
+            self.hit_ages[next] = ms;
+        }
+        self.hit_age_next = (self.hit_age_next + 1) % HIT_AGE_SAMPLES_PER_SHARD;
+    }
+}
+
 struct MemShard {
-    map: Mutex<HashMap<String, MemSlot>>,
+    inner: Mutex<ShardInner>,
     cv: Condvar,
 }
 
-/// The shared in-memory plan cache layered above the on-disk cache by the
-/// `hybridd` compile service.
+/// The shared in-memory plan cache layered above the on-disk cache by
+/// the `hybridd`/`hybridfleet` compile service: a **device-sharded,
+/// size-capped LRU**.
 ///
 /// Lookups are **single-flight**: the first request for a fingerprint
 /// marks it in flight and tunes; concurrent requests for the same
 /// fingerprint block on a condvar until the plan is ready and then count
-/// as memory hits, so N clients hitting the same stencil cost one tuning
-/// sweep. A request that fails (or panics — the guard cleans up on drop)
-/// wakes the waiters, which retune individually. The map is sharded by
-/// fingerprint so unrelated requests never contend on one lock.
+/// as coalesced hits, so N clients hitting the same stencil cost one
+/// tuning sweep. A request that fails (or panics — the guard cleans up
+/// on drop) wakes the waiters, which retune individually. Waits are
+/// bounded: a waiter whose [`CancelToken`] fires stops waiting and gets
+/// [`MemLookup::Cancelled`].
+///
+/// The map is sharded by the *device fingerprint plus plan fingerprint*,
+/// so requests for different devices (and unrelated programs) never
+/// contend on one lock. With a byte cap set, each shard holds its slice
+/// of the budget (`cap / shards`) and evicts its least-recently-used
+/// ready entries on insert — under the same per-shard lock, so eviction
+/// never blocks other shards. In-flight markers are never evicted.
+///
+/// Counters are disjoint: every lookup is exactly one of `hits`
+/// (immediately ready), `coalesced` (ready after waiting on an in-flight
+/// compile), `misses` (became the tuner), `bypasses` (fingerprint
+/// collision), or `cancelled_waits`.
 pub struct MemCache {
     shards: Vec<MemShard>,
+    /// Total byte cap across all shards; `None` = unbounded.
+    cap_bytes: Option<u64>,
+    /// Monotonic LRU clock.
+    tick: AtomicU64,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
-    /// Hits that waited on an in-flight compile instead of finding a
-    /// ready entry (the coalesced requests of single-flight).
     coalesced: AtomicU64,
+    bypasses: AtomicU64,
+    evictions: AtomicU64,
+    cancelled_waits: AtomicU64,
 }
 
 /// Outcome of a memory-cache lookup.
-enum MemLookup<'a> {
+pub enum MemLookup<'a> {
     /// Ready entry (possibly after waiting on an in-flight compile).
     Hit(TileParams),
-    /// Nothing cached; the caller must tune and then `fulfill` (or drop,
-    /// which wakes waiters to retune themselves).
+    /// Nothing cached; the caller must tune and then
+    /// [`MemCacheGuard::fulfill`] (or drop the guard, which wakes
+    /// waiters to retune themselves).
     Miss(MemCacheGuard<'a>),
     /// Fingerprint collision with a different program: compile without
     /// touching the cache.
     Bypass,
+    /// The caller's [`CancelToken`] fired while waiting on an in-flight
+    /// compile of the same fingerprint.
+    Cancelled(CancelKind),
 }
 
 /// The in-flight marker of a single-flight compile; see [`MemCache`].
-struct MemCacheGuard<'a> {
+pub struct MemCacheGuard<'a> {
     cache: &'a MemCache,
     fp: String,
+    device_fp: String,
     done: bool,
 }
 
 impl MemCache {
-    /// An empty cache with 16 shards.
+    /// An unbounded cache with 16 shards (the PR-4 default).
     pub fn new() -> MemCache {
+        MemCache::with_config(16, None)
+    }
+
+    /// A cache with `shards` shards capped at `cap_bytes` total bytes
+    /// (`None` = unbounded). Each shard owns `cap_bytes / shards` of the
+    /// budget; an entry larger than one shard's slice is evicted
+    /// immediately after insert (the cap is a hard invariant, not a
+    /// hint).
+    pub fn with_config(shards: usize, cap_bytes: Option<u64>) -> MemCache {
+        let shards = shards.max(1);
         MemCache {
-            shards: (0..16)
+            shards: (0..shards)
                 .map(|_| MemShard {
-                    map: Mutex::new(HashMap::new()),
+                    inner: Mutex::new(ShardInner {
+                        map: HashMap::new(),
+                        ready_bytes: 0,
+                        hit_ages: Vec::new(),
+                        hit_age_next: 0,
+                    }),
                     cv: Condvar::new(),
                 })
                 .collect(),
+            cap_bytes,
+            tick: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cancelled_waits: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, fp: &str) -> &MemShard {
-        let h = fnv1a64(fp.as_bytes());
+    fn shard(&self, device_fp: &str, fp: &str) -> &MemShard {
+        let mut h = fnv1a64(device_fp.as_bytes());
+        h ^= fnv1a64(fp.as_bytes()).rotate_left(17);
         &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn per_shard_cap(&self) -> Option<u64> {
+        self.cap_bytes
+            .map(|cap| (cap / self.shards.len() as u64).max(1))
+    }
+
+    /// Evicts least-recently-used ready entries until the shard fits its
+    /// slice of the byte cap. Runs under the shard lock; in-flight
+    /// markers are never touched.
+    fn evict_locked(&self, inner: &mut ShardInner) {
+        let Some(cap) = self.per_shard_cap() else {
+            return;
+        };
+        while inner.ready_bytes > cap {
+            // Select the LRU victim by reference; clone only the one
+            // winning key (the scan runs under the shard lock).
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    MemSlot::Ready(e) => Some((k, e.last_used)),
+                    MemSlot::InFlight => None,
+                })
+                .min_by_key(|&(_, tick)| tick)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else {
+                break;
+            };
+            if let Some(MemSlot::Ready(e)) = inner.map.remove(&key) {
+                inner.ready_bytes = inner.ready_bytes.saturating_sub(e.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Median age (milliseconds between insert and hit) over the most
+    /// recent hits across all shards; `None` before the first hit.
+    pub fn hit_age_p50_ms(&self) -> Option<u64> {
+        let mut ages: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock_ignore_poison(&s.inner).hit_ages.clone())
+            .collect();
+        if ages.is_empty() {
+            return None;
+        }
+        ages.sort_unstable();
+        Some(ages[ages.len() / 2])
     }
 
     /// Ready entries across all shards (in-flight markers not counted).
@@ -374,7 +594,8 @@ impl MemCache {
         self.shards
             .iter()
             .map(|s| {
-                lock_ignore_poison(&s.map)
+                lock_ignore_poison(&s.inner)
+                    .map
                     .values()
                     .filter(|v| matches!(v, MemSlot::Ready(_)))
                     .count()
@@ -387,7 +608,26 @@ impl MemCache {
         self.len() == 0
     }
 
-    /// Lookups served from memory (including single-flight waits).
+    /// Total byte cost of the ready entries across all shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock_ignore_poison(&s.inner).ready_bytes)
+            .sum()
+    }
+
+    /// The configured byte cap (`None` = unbounded).
+    pub fn cap_bytes(&self) -> Option<u64> {
+        self.cap_bytes
+    }
+
+    /// Total lookups (`hits + coalesced + misses + bypasses +
+    /// cancelled_waits`).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found a ready entry immediately.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -397,37 +637,112 @@ impl MemCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Hits that waited on a concurrent identical request.
+    /// Lookups that waited on a concurrent identical request and then
+    /// took its plan (disjoint from [`MemCache::hits`]).
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
     }
 
-    fn lookup_or_begin(&self, fp: &str, program: &str) -> MemLookup<'_> {
-        let shard = self.shard(fp);
-        let mut map = lock_ignore_poison(&shard.map);
+    /// Lookups that hit a fingerprint collision and bypassed the cache.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses.load(Ordering::Relaxed)
+    }
+
+    /// Ready entries evicted by the byte cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Waits on an in-flight compile abandoned because the waiter's
+    /// cancel token fired.
+    pub fn cancelled_waits(&self) -> u64 {
+        self.cancelled_waits.load(Ordering::Relaxed)
+    }
+
+    /// Ready entries whose device fingerprint equals `device_fp` — the
+    /// per-device view behind cache-isolation assertions and fleet
+    /// introspection.
+    pub fn len_for_device(&self, device_fp: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                lock_ignore_poison(&s.inner)
+                    .map
+                    .values()
+                    .filter(|v| matches!(v, MemSlot::Ready(e) if e.device_fp == device_fp))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Read-only presence probe (no counters, no LRU touch) — for tests
+    /// and introspection only; real lookups go through
+    /// [`MemCache::lookup_or_begin`].
+    pub fn contains(&self, device_fp: &str, fp: &str) -> bool {
+        let shard = self.shard(device_fp, fp);
+        matches!(
+            lock_ignore_poison(&shard.inner).map.get(fp),
+            Some(MemSlot::Ready(_))
+        )
+    }
+
+    /// Looks up `fp`, beginning a single-flight compile on a miss; see
+    /// [`MemLookup`] for the four-way outcome. `cancel` bounds the wait
+    /// on a concurrent in-flight compile of the same fingerprint.
+    pub fn lookup_or_begin(
+        &self,
+        fp: &str,
+        device_fp: &str,
+        program: &str,
+        cancel: &CancelToken,
+    ) -> MemLookup<'_> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(device_fp, fp);
+        let mut inner = lock_ignore_poison(&shard.inner);
         let mut waited = false;
         loop {
-            match map.get(fp) {
+            match inner.map.get_mut(fp) {
                 Some(MemSlot::Ready(e)) => {
                     if e.program != program {
+                        self.bypasses.fetch_add(1, Ordering::Relaxed);
                         return MemLookup::Bypass;
                     }
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    let inserted_at = e.inserted_at;
+                    let params = e.params.clone();
                     if waited {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    return MemLookup::Hit(e.params.clone());
+                    inner.record_hit_age(inserted_at);
+                    return MemLookup::Hit(params);
                 }
                 Some(MemSlot::InFlight) => {
+                    if let Some(kind) = cancel.cancelled() {
+                        self.cancelled_waits.fetch_add(1, Ordering::Relaxed);
+                        return MemLookup::Cancelled(kind);
+                    }
                     waited = true;
-                    map = shard.cv.wait(map).unwrap_or_else(|p| p.into_inner());
+                    // Bounded wait so a fired cancel token (deadline or
+                    // flag) is observed within ~50 ms even if the tuner
+                    // never finishes.
+                    let wait = Duration::from_millis(50)
+                        .min(cancel.remaining().unwrap_or(Duration::from_millis(50)))
+                        .max(Duration::from_millis(1));
+                    inner = shard
+                        .cv
+                        .wait_timeout(inner, wait)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0;
                 }
                 None => {
-                    map.insert(fp.to_string(), MemSlot::InFlight);
+                    inner.map.insert(fp.to_string(), MemSlot::InFlight);
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     return MemLookup::Miss(MemCacheGuard {
                         cache: self,
                         fp: fp.to_string(),
+                        device_fp: device_fp.to_string(),
                         done: false,
                     });
                 }
@@ -443,17 +758,25 @@ impl Default for MemCache {
 }
 
 impl MemCacheGuard<'_> {
-    /// Publishes the tuned plan and wakes every waiter.
-    fn fulfill(mut self, program: &str, params: &TileParams) {
-        let shard = self.cache.shard(&self.fp);
-        let mut map = lock_ignore_poison(&shard.map);
-        map.insert(
+    /// Publishes the tuned plan, wakes every waiter, and evicts LRU
+    /// entries if the shard now exceeds its slice of the byte cap.
+    pub fn fulfill(mut self, program: &str, params: &TileParams) {
+        let shard = self.cache.shard(&self.device_fp, &self.fp);
+        let mut inner = lock_ignore_poison(&shard.inner);
+        let bytes = mem_entry_bytes(&self.fp, &self.device_fp, program, params);
+        inner.map.insert(
             self.fp.clone(),
             MemSlot::Ready(MemEntry {
                 program: program.to_string(),
+                device_fp: self.device_fp.clone(),
                 params: params.clone(),
+                bytes,
+                inserted_at: Instant::now(),
+                last_used: self.cache.tick.fetch_add(1, Ordering::Relaxed),
             }),
         );
+        inner.ready_bytes += bytes;
+        self.cache.evict_locked(&mut inner);
         self.done = true;
         shard.cv.notify_all();
     }
@@ -466,9 +789,95 @@ impl Drop for MemCacheGuard<'_> {
         }
         // The compile failed or panicked: clear the in-flight marker so
         // waiters stop blocking and tune for themselves.
-        let shard = self.cache.shard(&self.fp);
-        lock_ignore_poison(&shard.map).remove(&self.fp);
+        let shard = self.cache.shard(&self.device_fp, &self.fp);
+        lock_ignore_poison(&shard.inner).map.remove(&self.fp);
         shard.cv.notify_all();
+    }
+}
+
+/// The cross-process single-flight marker: a lock file next to the disk
+/// cache entry (`<fp>.lock`). The holder tunes and stores the entry;
+/// concurrent `hybridd` processes wait for the entry to appear instead
+/// of tuning redundantly. A lock older than [`DriverConfig::lock_stale`]
+/// (by mtime) is presumed abandoned — crashed process, dead container —
+/// and stolen. Stealing from a live-but-slow holder costs only a
+/// redundant sweep: entries are stored by atomic rename, so the last
+/// writer wins with an identical (deterministic) plan.
+struct DiskLock {
+    path: PathBuf,
+}
+
+/// Outcome of [`DiskLock::acquire`].
+enum DiskFlight {
+    /// We hold the lock; tune, store, then drop (removes the file).
+    Acquired(DiskLock),
+    /// Another process tuned this fingerprint while we waited; the
+    /// entry is ready.
+    Ready(TileParams),
+    /// Lock-file machinery unavailable (exotic filesystem): tune
+    /// without the cross-process guarantee rather than fail.
+    Skip,
+}
+
+impl DiskLock {
+    fn acquire(
+        dir: &Path,
+        fp: &str,
+        program_text: &str,
+        cancel: &CancelToken,
+        stale: Duration,
+    ) -> Result<DiskFlight, DriverError> {
+        fs::create_dir_all(dir).map_err(|e| DriverError::Io(format!("{}: {e}", dir.display())))?;
+        let path = dir.join(format!("{fp}.lock"));
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    // Advisory content only; existence is the lock.
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let lock = DiskLock { path };
+                    // Double-check: the previous holder may have stored
+                    // the entry and unlocked between our disk-cache
+                    // probe and this acquisition.
+                    if let Some(params) = load_cached_params(dir, fp, program_text) {
+                        return Ok(DiskFlight::Ready(params));
+                    }
+                    return Ok(DiskFlight::Acquired(lock));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Another process is tuning. Its entry may already be
+                    // there (it stores before unlocking).
+                    if let Some(params) = load_cached_params(dir, fp, program_text) {
+                        return Ok(DiskFlight::Ready(params));
+                    }
+                    check_cancel(cancel, fp)?;
+                    match fs::metadata(&path).and_then(|m| m.modified()) {
+                        Ok(mtime) => {
+                            if mtime.elapsed().unwrap_or(Duration::ZERO) > stale {
+                                // Presumed abandoned: steal (remove + retry
+                                // create_new; losing the remove race just
+                                // loops).
+                                let _ = fs::remove_file(&path);
+                                continue;
+                            }
+                        }
+                        // Lock vanished between open and stat: retry now.
+                        Err(_) => continue,
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return Ok(DiskFlight::Skip),
+            }
+        }
+    }
+}
+
+impl Drop for DiskLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
     }
 }
 
@@ -604,6 +1013,8 @@ fn workload(program: &StencilProgram, cfg: &DriverConfig) -> (Vec<usize>, usize)
 }
 
 /// Runs the tuning sweep and returns `(params, examined, smem, score)`.
+/// The sweep observes `cfg.cancel` between candidates; a fired token
+/// becomes [`DriverError::DeadlineExceeded`] / [`DriverError::Cancelled`].
 fn choose_params(
     program: &StencilProgram,
     cfg: &DriverConfig,
@@ -616,7 +1027,7 @@ fn choose_params(
         ..AutotuneConfig::fermi()
     };
     let (dims, steps) = workload(program, cfg);
-    let report = autotune(program, &space, &tune_cfg, |model| {
+    let sweep = autotune_cancellable(program, &space, &tune_cfg, &cfg.cancel, |model| {
         if let Some(f) = cfg.scorer {
             return f(model);
         }
@@ -645,6 +1056,16 @@ fn choose_params(
             ),
         }
     });
+    let report = match sweep {
+        Ok(report) => report,
+        Err(AutotuneError::Cancelled { kind, .. }) => {
+            // The partial ranking is intentionally discarded: serving a
+            // possibly-worse plan from a truncated sweep would make
+            // responses depend on how far the sweep got before the
+            // deadline — the opposite of deterministic.
+            return Err(cancel_error(kind, program.name()));
+        }
+    };
     match report.best() {
         Some(best) => Ok((
             best.model.params.clone(),
@@ -708,6 +1129,103 @@ fn emit_artifacts(
     fs::write(&ptx_path, ptx)
         .map_err(|e| DriverError::Io(format!("{}: {e}", ptx_path.display())))?;
     Ok((cuda_path, ptx_path))
+}
+
+/// Resolves the tile plan for one compile through every cache layer:
+///
+/// 1. the shared in-memory cache (in-process single-flight);
+/// 2. the on-disk content-addressed cache;
+/// 3. the cross-process lock file next to the disk cache (a concurrent
+///    `hybridd` process tuning the same fingerprint is awaited, not
+///    duplicated);
+/// 4. a fresh tuning sweep.
+///
+/// Stale cached plans (entries that no longer generate) degrade to a
+/// miss; every layer observes `cfg.cancel`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_plan(
+    program: &StencilProgram,
+    program_text: &str,
+    fp: &str,
+    device_fp: &str,
+    dims: &[usize],
+    steps: usize,
+    cfg: &DriverConfig,
+    mem: Option<&MemCache>,
+) -> Result<(TileParams, gpu_codegen::LaunchPlan, usize, CacheSource), DriverError> {
+    // Cache layer 1: the shared in-memory cache (single-flight — an
+    // in-flight compile of the same fingerprint is awaited, not repeated).
+    let mut guard = None;
+    let mut cached: Option<(TileParams, CacheSource)> = None;
+    if let Some(mem) = mem {
+        match mem.lookup_or_begin(fp, device_fp, program_text, &cfg.cancel) {
+            MemLookup::Hit(params) => cached = Some((params, CacheSource::Memory)),
+            MemLookup::Miss(g) => guard = Some(g),
+            MemLookup::Bypass => {}
+            MemLookup::Cancelled(kind) => return Err(cancel_error(kind, program.name())),
+        }
+    }
+    // Cache layer 2: the on-disk content-addressed cache.
+    if cached.is_none() {
+        if let Some(params) = cfg
+            .cache_dir
+            .as_deref()
+            .and_then(|dir| load_cached_params(dir, fp, program_text))
+        {
+            cached = Some((params, CacheSource::Disk));
+        }
+    }
+    // A cached plan that no longer generates (stale entry from an older
+    // emitter) degrades to a miss.
+    let hit = cached.and_then(|(params, source)| {
+        generate_hybrid(program, &params, dims, steps, cfg.opts)
+            .ok()
+            .map(|plan| (params, plan, source))
+    });
+    if let Some((params, plan, source)) = hit {
+        if let Some(g) = guard.take() {
+            // A disk hit under an in-flight marker: promote it to the
+            // memory layer so waiters and later requests skip the disk.
+            g.fulfill(program_text, &params);
+        }
+        return Ok((params, plan, 0, source));
+    }
+
+    // Cache layer 3: the cross-process single-flight. A concurrent
+    // process tuning this fingerprint is awaited through its lock file;
+    // its stored entry then counts as a disk hit.
+    let mut disk_flight = None;
+    if let Some(dir) = cfg.cache_dir.as_deref() {
+        match DiskLock::acquire(dir, fp, program_text, &cfg.cancel, cfg.lock_stale)? {
+            DiskFlight::Acquired(lock) => disk_flight = Some(lock),
+            DiskFlight::Ready(params) => {
+                if let Ok(plan) = generate_hybrid(program, &params, dims, steps, cfg.opts) {
+                    if let Some(g) = guard.take() {
+                        g.fulfill(program_text, &params);
+                    }
+                    return Ok((params, plan, 0, CacheSource::Disk));
+                }
+                // The other process stored a stale/incompatible entry:
+                // tune for ourselves, without re-contending for the lock.
+            }
+            DiskFlight::Skip => {}
+        }
+    }
+
+    // On any failure below, dropping `guard` clears the in-flight marker
+    // and wakes single-flight waiters to tune themselves; dropping
+    // `disk_flight` removes the lock file so other processes proceed.
+    let (params, examined, smem, score) = choose_params(program, cfg)?;
+    if let Some(dir) = cfg.cache_dir.as_deref() {
+        store_cached_params(dir, fp, program, cfg, &params, smem, score)?;
+    }
+    let plan = generate_hybrid(program, &params, dims, steps, cfg.opts)
+        .map_err(|e| DriverError::NoFeasibleTiling(format!("{}: {e}", program.name())))?;
+    if let Some(g) = guard.take() {
+        g.fulfill(program_text, &params);
+    }
+    drop(disk_flight);
+    Ok((params, plan, examined, CacheSource::Fresh))
 }
 
 /// Compiles one stencil file end to end: parse, validate, plan (through
@@ -779,65 +1297,30 @@ pub fn compile_source_with(
         }
     }
 
+    // A request whose deadline already passed must not be served, not
+    // even from the cache: the client has stopped waiting.
+    check_cancel(&cfg.cancel, &name)?;
+
     let fp = fingerprint(&program, cfg);
+    let device_fp = device_fingerprint(&cfg.device);
     let program_text = program.to_c_like();
     let (dims, steps) = workload(&program, cfg);
 
-    // Cache layer 1: the shared in-memory cache (single-flight — an
-    // in-flight compile of the same fingerprint is awaited, not repeated).
-    let mut guard = None;
-    let mut cached: Option<(TileParams, CacheSource)> = None;
-    if let Some(mem) = mem {
-        match mem.lookup_or_begin(&fp, &program_text) {
-            MemLookup::Hit(params) => cached = Some((params, CacheSource::Memory)),
-            MemLookup::Miss(g) => guard = Some(g),
-            MemLookup::Bypass => {}
-        }
-    }
-    // Cache layer 2: the on-disk content-addressed cache.
-    if cached.is_none() {
-        if let Some(params) = cfg
-            .cache_dir
-            .as_deref()
-            .and_then(|dir| load_cached_params(dir, &fp, &program_text))
-        {
-            cached = Some((params, CacheSource::Disk));
-        }
-    }
-    // A cached plan that no longer generates (stale entry from an older
-    // emitter) degrades to a miss.
-    let hit = cached.and_then(|(params, source)| {
-        generate_hybrid(&program, &params, &dims, steps, cfg.opts)
-            .ok()
-            .map(|plan| (params, plan, source))
-    });
-    let (params, plan, examined, cache) = match hit {
-        Some((params, plan, source)) => {
-            if let Some(g) = guard.take() {
-                // A disk hit under an in-flight marker: promote it to the
-                // memory layer so waiters and later requests skip the disk.
-                g.fulfill(&program_text, &params);
-            }
-            (params, plan, 0, source)
-        }
-        None => {
-            // On any failure below, dropping `guard` clears the in-flight
-            // marker and wakes single-flight waiters to tune themselves.
-            let (params, examined, smem, score) = choose_params(&program, cfg)?;
-            if let Some(dir) = cfg.cache_dir.as_deref() {
-                store_cached_params(dir, &fp, &program, cfg, &params, smem, score)?;
-            }
-            let plan = generate_hybrid(&program, &params, &dims, steps, cfg.opts)
-                .map_err(|e| DriverError::NoFeasibleTiling(format!("{name}: {e}")))?;
-            if let Some(g) = guard.take() {
-                g.fulfill(&program_text, &params);
-            }
-            (params, plan, examined, CacheSource::Fresh)
-        }
-    };
+    let (params, plan, examined, cache) = resolve_plan(
+        &program,
+        &program_text,
+        &fp,
+        &device_fp,
+        &dims,
+        steps,
+        cfg,
+        mem,
+    )?;
     let (cuda_path, ptx_path) = emit_artifacts(&program, &params, &plan, &fp, cfg)?;
 
-    // Execute the plan on the simulator.
+    // Execute the plan on the simulator (stage boundary: a fired
+    // deadline stops here rather than entering a long simulation).
+    check_cancel(&cfg.cancel, &name)?;
     let planes = program.max_dt() as usize + 1;
     let align = alignment_offset_words(&program, &params, &cfg.opts);
     let init: Vec<Grid> = (0..program.num_fields())
@@ -855,6 +1338,7 @@ pub fn compile_source_with(
     sim.set_point_updates(point_updates(&program, &dims, steps));
 
     // Bit-exact verification against the sequential oracle.
+    check_cancel(&cfg.cancel, &name)?;
     let verified = if cfg.verify {
         let mut oracle = ReferenceExecutor::new(&program, &init);
         oracle.run(steps);
@@ -1294,9 +1778,12 @@ for (t = 0; t < T; t++)
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        // Exactly one request tuned; everyone agreed on the plan.
+        // Exactly one request tuned; everyone agreed on the plan. The
+        // other three were immediate hits or coalesced waits, depending
+        // on scheduling.
         assert_eq!(mem.misses(), 1);
-        assert_eq!(mem.hits(), 3);
+        assert_eq!(mem.hits() + mem.coalesced(), 3);
+        assert_eq!(mem.lookups(), 4);
         assert_eq!(
             outcomes
                 .iter()
@@ -1335,6 +1822,219 @@ for (t = 0; t < T; t++)
             .iter()
             .all(|r| matches!(r, Err(DriverError::NoFeasibleTiling(_)))));
         assert!(mem.is_empty(), "failed compiles must not leave markers");
+    }
+
+    #[test]
+    fn mem_cache_guard_survives_a_panicking_scorer_under_the_lru() {
+        // Satellite regression: a MemCacheGuard dropped *via panic*
+        // during single-flight must wake waiters AND leave no permanent
+        // in-flight marker — under the new size-capped LRU. The scorer
+        // panics exactly once (the single-flight leader); the woken
+        // waiters retune with the now-sane scorer and succeed.
+        use std::sync::atomic::AtomicBool;
+        static PANICKED_ONCE: AtomicBool = AtomicBool::new(false);
+        fn panic_once_scorer(m: &TileSizeModel) -> Option<f64> {
+            if !PANICKED_ONCE.swap(true, Ordering::SeqCst) {
+                panic!("injected scorer panic under single-flight");
+            }
+            Some(-m.ratio())
+        }
+        PANICKED_ONCE.store(false, Ordering::SeqCst);
+        let dir = scratch("panic_guard");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = DriverConfig {
+            cache_dir: None,
+            scorer: Some(panic_once_scorer),
+            ..smoke_cfg(dir.join("out"))
+        };
+        // A small cap makes this the LRU path, not the legacy unbounded
+        // one.
+        let mem = MemCache::with_config(16, Some(64 * 1024));
+        let results: Vec<Result<CompileOutcome, DriverError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            compile_file_with(&file, &cfg, Some(&mem))
+                        }))
+                        .unwrap_or_else(|_| Err(DriverError::Internal("panicked".into())))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one thread panicked (contained); at least one waiter
+        // woke up, retuned, and succeeded.
+        let panicked = results
+            .iter()
+            .filter(|r| matches!(r, Err(DriverError::Internal(_))))
+            .count();
+        assert_eq!(panicked, 1, "{results:?}");
+        assert!(
+            results.iter().any(|r| r.is_ok()),
+            "waiters must wake and retune after the leader panics: {results:?}"
+        );
+        // No permanent in-flight marker: a fresh lookup for the same
+        // fingerprint must be a hit (an entry exists) — never a hang.
+        let program = parse_stencil("jacobi", JACOBI).unwrap();
+        let fp = fingerprint(&program, &cfg);
+        let dfp = device_fingerprint(&cfg.device);
+        assert!(mem.contains(&dfp, &fp), "successful retune must publish");
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entries_per_shard() {
+        let mem = MemCache::with_config(1, Some(600));
+        let dfp = "dev";
+        let params = TileParams::new(1, &[3]);
+        let insert = |key: &str, text_len: usize| {
+            let program = "x".repeat(text_len);
+            match mem.lookup_or_begin(key, dfp, &program, &CancelToken::never()) {
+                MemLookup::Miss(g) => g.fulfill(&program, &params),
+                _ => panic!("expected miss for {key}"),
+            }
+        };
+        // Each entry costs text_len + key/device/overhead bytes; with a
+        // 600-byte cap, the third insert must evict the least recently
+        // used of the first two.
+        insert("a", 100);
+        insert("b", 100);
+        assert!(mem.bytes() <= 600);
+        assert_eq!(mem.len(), 2);
+        // Touch "a": it becomes most recently used.
+        match mem.lookup_or_begin("a", dfp, &"x".repeat(100), &CancelToken::never()) {
+            MemLookup::Hit(_) => {}
+            _ => panic!("expected hit on a"),
+        }
+        insert("c", 100);
+        assert!(mem.bytes() <= 600, "cap is a hard invariant");
+        assert!(mem.contains(dfp, "a"), "recently hit entry must survive");
+        assert!(!mem.contains(dfp, "b"), "LRU entry must be evicted");
+        assert!(mem.contains(dfp, "c"));
+        assert_eq!(mem.evictions(), 1);
+        // Counters stay disjoint and complete.
+        assert_eq!(
+            mem.lookups(),
+            mem.hits() + mem.misses() + mem.coalesced() + mem.bypasses() + mem.cancelled_waits()
+        );
+        assert!(mem.hit_age_p50_ms().is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_evicted_rather_than_breaking_the_cap() {
+        let mem = MemCache::with_config(1, Some(200));
+        let params = TileParams::new(1, &[3]);
+        let big = "y".repeat(1000);
+        match mem.lookup_or_begin("huge", "dev", &big, &CancelToken::never()) {
+            MemLookup::Miss(g) => g.fulfill(&big, &params),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(mem.bytes(), 0, "an entry larger than the cap cannot stay");
+        assert_eq!(mem.evictions(), 1);
+    }
+
+    #[test]
+    fn cross_process_lock_coalesces_concurrent_tuning() {
+        // Two "processes" (no shared MemCache) compiling the same
+        // program against one disk cache directory: the lock file must
+        // make exactly one of them tune; the other waits and loads the
+        // stored entry as a disk hit.
+        let dir = scratch("xproc");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let outcomes: Vec<CompileOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| s.spawn(|| compile_file(&file, &cfg).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let fresh = outcomes
+            .iter()
+            .filter(|o| o.cache == CacheSource::Fresh)
+            .count();
+        let disk = outcomes
+            .iter()
+            .filter(|o| o.cache == CacheSource::Disk)
+            .count();
+        assert_eq!((fresh, disk), (1, 1), "{outcomes:?}");
+        assert_eq!(outcomes[0].params, outcomes[1].params);
+        // The lock file is gone after both compiles.
+        let lock = cfg
+            .cache_dir
+            .as_ref()
+            .unwrap()
+            .join(format!("{}.lock", outcomes[0].fingerprint));
+        assert!(!lock.exists(), "lock must be removed on completion");
+    }
+
+    #[test]
+    fn stale_lock_files_are_stolen_by_mtime() {
+        let dir = scratch("stale_lock");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = DriverConfig {
+            // Any existing lock is immediately stale.
+            lock_stale: Duration::ZERO,
+            ..smoke_cfg(dir.join("out"))
+        };
+        // Plant an abandoned lock (as if a prior process crashed
+        // mid-tune).
+        let program = parse_stencil("jacobi", JACOBI).unwrap();
+        let fp = fingerprint(&program, &cfg);
+        let cache_dir = cfg.cache_dir.clone().unwrap();
+        fs::create_dir_all(&cache_dir).unwrap();
+        let lock = cache_dir.join(format!("{fp}.lock"));
+        fs::write(&lock, "dead-process\n").unwrap();
+        // A tiny sleep so the lock's mtime is strictly in the past.
+        std::thread::sleep(Duration::from_millis(5));
+        let out = compile_file(&file, &cfg).unwrap();
+        assert_eq!(out.cache, CacheSource::Fresh, "stale lock must be stolen");
+        assert!(!lock.exists());
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_not_a_compile() {
+        let dir = scratch("deadline");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = DriverConfig {
+            cancel: CancelToken::with_timeout(Duration::ZERO),
+            ..smoke_cfg(dir.join("out"))
+        };
+        match compile_file(&file, &cfg) {
+            Err(DriverError::DeadlineExceeded(m)) => {
+                assert!(m.contains("deadline"), "{m}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // And the error kind is the protocol's name.
+        assert_eq!(
+            DriverError::DeadlineExceeded(String::new()).kind(),
+            "deadline_exceeded"
+        );
+        assert_eq!(DriverError::Cancelled(String::new()).kind(), "cancelled");
+    }
+
+    #[test]
+    fn device_fingerprint_covers_every_architectural_parameter() {
+        let base = DeviceConfig::gtx470();
+        let base_fp = device_fingerprint(&base);
+        assert_ne!(base_fp, device_fingerprint(&DeviceConfig::nvs5200m()));
+        // A clock-only change (which only affects simulated scores, not
+        // budgets) still keys apart.
+        let mut clocked = base.clone();
+        clocked.clock_ghz += 0.1;
+        assert_ne!(base_fp, device_fingerprint(&clocked));
+        // And the compile fingerprint inherits that separation.
+        let program = parse_stencil("j", JACOBI).unwrap();
+        let cfg = smoke_cfg(std::env::temp_dir());
+        let clocked_cfg = DriverConfig {
+            device: clocked,
+            ..cfg.clone()
+        };
+        assert_ne!(
+            fingerprint(&program, &cfg),
+            fingerprint(&program, &clocked_cfg)
+        );
     }
 
     #[test]

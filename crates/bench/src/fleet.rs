@@ -1,0 +1,639 @@
+//! `hybridfleet` — the device-sharded fleet layer above the resident
+//! compile service.
+//!
+//! One [`ServeState`] serves one device
+//! configuration; the paper's §6 sweep (and the tuning literature it
+//! cites) picks tile sizes *per device*, so a fleet-facing service must
+//! route each request to a per-device tuned plan rather than stretch one
+//! base config. The [`FleetRouter`] does exactly that:
+//!
+//! * every `compile` request is routed by its `device` field — a preset
+//!   name or an inline device object
+//!   ([`resolve_device`]) — to the member
+//!   [`ServeState`] keyed by the **canonical device fingerprint**
+//!   ([`device_fingerprint`]), so
+//!   logically identical device descriptions share one member (and one
+//!   plan cache) no matter how their JSON was spelled;
+//! * unknown devices spin a member up lazily, up to `--max-devices`;
+//!   past the cap requests get a typed `fleet_full` error instead of an
+//!   unbounded state explosion;
+//! * `status` aggregates liveness and cache counters across every
+//!   member (per-device request counts included);
+//! * `shutdown` stops the router and broadcasts the stop to all members;
+//! * `cancel` fans out to the member holding the in-flight request.
+//!
+//! Each member owns a size-capped, device-sharded LRU plan cache
+//! (`--mem-cap-bytes`, per device) and applies the fleet's default
+//! request deadline (`--default-deadline-ms`); per-request `deadline_ms`
+//! and explicit `cancel` map onto the same cooperative
+//! [`CancelToken`](hybrid_tiling::cancel::CancelToken) threaded through
+//! the tuning sweep.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::driver::{device_fingerprint, DriverConfig};
+use crate::json::Json;
+use crate::serve::{
+    cancel_response, check_version, error_response, resolve_device, validate_compile_request,
+    with_envelope, RequestHandler, ServeOptions, ServeState,
+};
+
+/// Fleet-level knobs (`hybridc serve` flags).
+#[derive(Clone, Debug)]
+pub struct FleetOptions {
+    /// Byte cap for each member's in-memory plan cache
+    /// (`--mem-cap-bytes`); `None` = unbounded.
+    pub mem_cap_bytes: Option<u64>,
+    /// Maximum number of per-device members spun up lazily
+    /// (`--max-devices`).
+    pub max_devices: usize,
+    /// Deadline applied to requests without their own `deadline_ms`
+    /// (`--default-deadline-ms`); `None` = no default.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            mem_cap_bytes: None,
+            max_devices: 8,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// The device-sharded fleet front-end: owns N per-device
+/// [`ServeState`]s keyed by canonical device fingerprint and implements
+/// the same line protocol, so the serving loops
+/// ([`serve`](crate::serve::serve) / [`serve_tcp`](crate::serve::serve_tcp))
+/// drive it unchanged.
+pub struct FleetRouter {
+    base: DriverConfig,
+    opts: FleetOptions,
+    /// Members in spin-up order (stable `status` output), keyed by
+    /// canonical device fingerprint.
+    members: Mutex<Vec<(String, Arc<ServeState>)>>,
+    started: Instant,
+    /// Lines handled at the router (including ones rejected before
+    /// reaching a member).
+    requests: AtomicU64,
+    /// Responses produced by the router itself (version/routing errors,
+    /// status, cancel, shutdown) with `"status": "error"`.
+    router_errors: AtomicU64,
+    /// Non-error responses produced by the router itself.
+    router_ok: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl FleetRouter {
+    /// A fleet around `base` (the per-request defaults; `base.device` is
+    /// the device of requests that don't name one). The default device's
+    /// member is spun up eagerly so a single-device fleet behaves
+    /// exactly like PR-4 `hybridd`.
+    pub fn new(base: DriverConfig, opts: FleetOptions) -> FleetRouter {
+        let router = FleetRouter {
+            base: base.clone(),
+            opts,
+            members: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            router_errors: AtomicU64::new(0),
+            router_ok: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        };
+        let _ = router.member_for(&base.device.clone());
+        router
+    }
+
+    /// The members spun up so far, in spin-up order.
+    pub fn members(&self) -> Vec<(String, Arc<ServeState>)> {
+        match self.members.lock() {
+            Ok(m) => m.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Lines handled so far (including router-level rejections).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// True when a member for `device` already exists.
+    fn has_member(&self, device: &gpusim::DeviceConfig) -> bool {
+        let fp = device_fingerprint(device);
+        let members = match self.members.lock() {
+            Ok(m) => m,
+            Err(p) => p.into_inner(),
+        };
+        members.iter().any(|(k, _)| *k == fp)
+    }
+
+    /// The member serving `device`, spun up lazily. `Err` carries the
+    /// typed `fleet_full` message once `max_devices` members exist.
+    fn member_for(&self, device: &gpusim::DeviceConfig) -> Result<Arc<ServeState>, String> {
+        let fp = device_fingerprint(device);
+        let mut members = match self.members.lock() {
+            Ok(m) => m,
+            Err(p) => p.into_inner(),
+        };
+        if let Some((_, state)) = members.iter().find(|(k, _)| *k == fp) {
+            return Ok(state.clone());
+        }
+        if members.len() >= self.opts.max_devices.max(1) {
+            return Err(format!(
+                "fleet already serves {} device(s) (--max-devices); not spinning up {:?}",
+                members.len(),
+                device.name
+            ));
+        }
+        let cfg = DriverConfig {
+            device: device.clone(),
+            ..self.base.clone()
+        };
+        let state = Arc::new(ServeState::with_options(
+            cfg,
+            ServeOptions {
+                mem_cap_bytes: self.opts.mem_cap_bytes,
+                default_deadline_ms: self.opts.default_deadline_ms,
+            },
+        ));
+        members.push((fp, state.clone()));
+        Ok(state)
+    }
+
+    /// Handles one wire line, routing compiles to the per-device member
+    /// and answering fleet-wide ops (`status`, `cancel`, `shutdown`)
+    /// itself. Same contract as
+    /// [`ServeState::handle_line`](crate::serve::ServeState::handle_line):
+    /// `None` for blank lines, a response object for everything else,
+    /// never a panic escape (member compiles run under the member's own
+    /// `catch_unwind` boundary).
+    pub fn handle_line(&self, seq: u64, line: &str) -> Option<Json> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.dispatch(seq, line)
+    }
+
+    /// Counts a response the router produced itself (member-produced
+    /// responses are counted by their member) and passes it through.
+    fn track(&self, resp: Json) -> Json {
+        if resp.get("status").and_then(Json::as_str) == Some("error") {
+            self.router_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.router_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    fn dispatch(&self, seq: u64, line: &str) -> Option<Json> {
+        // Parse once at the router to route; the member re-parses the
+        // raw line (requests are one line — the double parse is noise
+        // next to a compile).
+        let req = match Json::parse(line) {
+            // Malformed JSON cannot name a device: the default member
+            // answers it so its error shape (and error counters) live
+            // where single-device clients expect them.
+            Err(_) => return self.route_to_default(seq, line),
+            Ok(v) => v,
+        };
+        let id = req.get("id").cloned();
+        // The version gate applies to router-handled ops exactly as it
+        // does to member-handled ones: a v:9 shutdown must be rejected,
+        // not executed.
+        if let Some(resp) = check_version(seq, id.as_ref(), &req) {
+            return Some(self.track(resp));
+        }
+        match req.get("op").and_then(Json::as_str) {
+            Some("status") => Some(self.track(self.status_response(seq, id.as_ref()))),
+            Some("cancel") => Some(self.track(self.handle_cancel(seq, id.as_ref(), &req))),
+            Some("shutdown") => {
+                self.stop.store(true, Ordering::SeqCst);
+                for (_, member) in self.members() {
+                    member.request_stop();
+                }
+                Some(self.track(with_envelope(
+                    seq,
+                    id.as_ref(),
+                    Json::obj(vec![("status", Json::str("stopping"))]),
+                )))
+            }
+            Some("compile") => {
+                let device = match req.get("device") {
+                    Some(d) => match resolve_device(d, &self.base.device) {
+                        Ok(device) => device,
+                        Err(msg) => {
+                            return Some(self.track(error_response(
+                                seq,
+                                id.as_ref(),
+                                "bad_request",
+                                &msg,
+                            )))
+                        }
+                    },
+                    None => self.base.device.clone(),
+                };
+                // A device slot is a bounded resource: before spinning a
+                // *new* member up, the whole request must validate — a
+                // stream of garbage compiles naming fresh devices must
+                // not exhaust --max-devices.
+                if !self.has_member(&device) {
+                    if let Err(msg) = validate_compile_request(&self.base, &req) {
+                        return Some(self.track(error_response(
+                            seq,
+                            id.as_ref(),
+                            "bad_request",
+                            &msg,
+                        )));
+                    }
+                }
+                match self.member_for(&device) {
+                    Ok(member) => member.handle_line(seq, line),
+                    Err(msg) => {
+                        Some(self.track(error_response(seq, id.as_ref(), "fleet_full", &msg)))
+                    }
+                }
+            }
+            // Version errors, missing/unknown ops: the default member
+            // produces the canonical error responses.
+            _ => self.route_to_default(seq, line),
+        }
+    }
+
+    /// Routes a line to the default device's member (the line is not a
+    /// routable compile: malformed, unknown op, bad version, ...).
+    fn route_to_default(&self, seq: u64, line: &str) -> Option<Json> {
+        match self.member_for(&self.base.device.clone()) {
+            Ok(member) => member.handle_line(seq, line),
+            // max_devices = 0-ish pathology: answer at the router.
+            Err(msg) => Some(self.track(error_response(seq, None, "fleet_full", &msg))),
+        }
+    }
+
+    fn handle_cancel(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
+        cancel_response(seq, id, req, |key| {
+            // Raise the flags on every member (no short-circuit: the
+            // same id may be in flight on several devices at once).
+            let mut found = false;
+            for (_, member) in self.members() {
+                found |= member.cancel(key);
+            }
+            found
+        })
+    }
+
+    /// The aggregated fleet status: totals across every member plus one
+    /// per-device entry (each member's full
+    /// [`status_payload`](ServeState::status_payload), so per-device
+    /// request counts and cache metrics are first-class).
+    pub fn status_payload(&self) -> Json {
+        let members = self.members();
+        let sum =
+            |f: &dyn Fn(&ServeState) -> u64| -> u64 { members.iter().map(|(_, m)| f(m)).sum() };
+        Json::obj(vec![
+            ("status", Json::str("alive")),
+            (
+                "uptime_ms",
+                Json::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "requests",
+                Json::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "ok",
+                Json::UInt(sum(&|m| m.ok_count()) + self.router_ok.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors",
+                Json::UInt(sum(&|m| m.error_count()) + self.router_errors.load(Ordering::Relaxed)),
+            ),
+            ("contained_panics", Json::UInt(sum(&|m| m.panic_count()))),
+            ("device_count", Json::UInt(members.len() as u64)),
+            ("max_devices", Json::UInt(self.opts.max_devices as u64)),
+            (
+                "mem_cap_bytes",
+                match self.opts.mem_cap_bytes {
+                    Some(cap) => Json::UInt(cap),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "default_deadline_ms",
+                match self.opts.default_deadline_ms {
+                    Some(ms) => Json::UInt(ms),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "devices",
+                Json::Arr(members.iter().map(|(_, m)| m.status_payload()).collect()),
+            ),
+        ])
+    }
+
+    fn status_response(&self, seq: u64, id: Option<&Json>) -> Json {
+        with_envelope(seq, id, self.status_payload())
+    }
+}
+
+impl RequestHandler for FleetRouter {
+    fn handle_line(&self, seq: u64, line: &str) -> Option<Json> {
+        FleetRouter::handle_line(self, seq, line)
+    }
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::serve;
+    use std::io::Cursor;
+
+    const JACOBI: &str = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    for (j = 1; j < N-1; j++)\n      A[t+1][i][j] = 0.25f * (A[t][i+1][j] + A[t][i-1][j] + A[t][i][j+1] + A[t][i][j-1]);\n";
+
+    fn test_router(tag: &str, opts: FleetOptions) -> FleetRouter {
+        let dir = std::env::temp_dir().join(format!("fleet_test_{}_{}", std::process::id(), tag));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            ..DriverConfig::new(dir)
+        };
+        FleetRouter::new(cfg, opts)
+    }
+
+    fn compile_req(id: &str, device: Option<&str>) -> String {
+        let mut pairs = vec![
+            ("op", Json::str("compile")),
+            ("id", Json::str(id)),
+            ("name", Json::str("jac")),
+            ("program", Json::str(JACOBI)),
+        ];
+        if let Some(d) = device {
+            pairs.push(("device", Json::str(d)));
+        }
+        Json::obj(pairs).render_compact()
+    }
+
+    #[test]
+    fn routes_by_device_with_per_device_cache_isolation() {
+        let router = test_router("route", FleetOptions::default());
+        // Same program on two devices: two members, two tuning sweeps.
+        let a1 = router.handle_line(1, &compile_req("a1", None)).unwrap();
+        let b1 = router
+            .handle_line(2, &compile_req("b1", Some("nvs5200m")))
+            .unwrap();
+        assert_eq!(a1.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(b1.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(a1.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(
+            b1.get("cache").and_then(Json::as_str),
+            Some("miss"),
+            "a second device must tune for itself, not reuse the first's plan"
+        );
+        assert_ne!(
+            a1.get("fingerprint"),
+            b1.get("fingerprint"),
+            "per-device plans key apart"
+        );
+        // Repeats hit each device's own memory cache.
+        let a2 = router.handle_line(3, &compile_req("a2", None)).unwrap();
+        let b2 = router
+            .handle_line(4, &compile_req("b2", Some("nvs5200m")))
+            .unwrap();
+        assert_eq!(a2.get("cache").and_then(Json::as_str), Some("mem"));
+        assert_eq!(b2.get("cache").and_then(Json::as_str), Some("mem"));
+        // Two members, each with exactly one cached plan for its own
+        // device fingerprint.
+        let members = router.members();
+        assert_eq!(members.len(), 2);
+        for (fp, member) in &members {
+            assert_eq!(member.mem().len(), 1);
+            assert_eq!(member.mem().len_for_device(fp), 1);
+            assert_eq!(member.requests(), 2);
+        }
+    }
+
+    #[test]
+    fn max_devices_caps_lazy_spin_up_with_a_typed_error() {
+        let router = test_router(
+            "cap",
+            FleetOptions {
+                max_devices: 1,
+                ..FleetOptions::default()
+            },
+        );
+        let ok = router.handle_line(1, &compile_req("a", None)).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        let full = router
+            .handle_line(2, &compile_req("b", Some("nvs5200m")))
+            .unwrap();
+        assert_eq!(full.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            full.get("error_kind").and_then(Json::as_str),
+            Some("fleet_full")
+        );
+        assert_eq!(full.get("id").and_then(Json::as_str), Some("b"));
+        assert_eq!(router.members().len(), 1);
+        // The known device keeps serving.
+        let again = router
+            .handle_line(3, &compile_req("c", Some("gtx470")))
+            .unwrap();
+        assert_eq!(again.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn aggregated_status_reports_totals_and_per_device_counters() {
+        let router = test_router("status", FleetOptions::default());
+        let _ = router.handle_line(1, &compile_req("a", None)).unwrap();
+        let _ = router
+            .handle_line(2, &compile_req("b", Some("nvs5200m")))
+            .unwrap();
+        let _ = router.handle_line(3, "not json").unwrap();
+        let status = router
+            .handle_line(4, "{\"op\":\"status\",\"id\":\"st\"}")
+            .unwrap();
+        assert_eq!(status.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+        assert_eq!(status.get("requests").and_then(Json::as_u64), Some(4));
+        // The two compiles; the status request itself is counted only
+        // once its response is written (same semantics as ServeState).
+        assert_eq!(status.get("ok").and_then(Json::as_u64), Some(2));
+        assert_eq!(status.get("errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(status.get("device_count").and_then(Json::as_u64), Some(2));
+        let devices = status.get("devices").and_then(Json::as_arr).unwrap();
+        assert_eq!(devices.len(), 2);
+        // Per-device request counts: the garbage line went to the
+        // default member alongside its compile.
+        let by_name = |name: &str| {
+            devices
+                .iter()
+                .find(|d| d.get("device").and_then(Json::as_str) == Some(name))
+                .unwrap()
+        };
+        assert_eq!(
+            by_name("GTX 470").get("requests").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            by_name("NVS 5200M").get("requests").and_then(Json::as_u64),
+            Some(1)
+        );
+        for d in devices {
+            assert!(d.get("device_fingerprint").is_some());
+            assert!(d.get("mem_evictions").is_some());
+        }
+    }
+
+    #[test]
+    fn fleet_serves_through_the_generic_loop_and_shuts_down() {
+        let router = test_router("loop", FleetOptions::default());
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            compile_req("a", None),
+            compile_req("b", Some("nvs5200m")),
+            "{\"op\":\"status\"}",
+            "{\"op\":\"shutdown\"}",
+        );
+        let mut out = Vec::new();
+        let summary = serve(&router, Cursor::new(input), &mut out, 2).unwrap();
+        assert_eq!(summary.responses, 4);
+        assert_eq!(summary.errors, 0);
+        assert!(RequestHandler::stopped(&router));
+        for (_, member) in router.members() {
+            assert!(member.stopped(), "shutdown must broadcast to members");
+        }
+    }
+
+    #[test]
+    fn deadline_and_cancel_flow_through_the_router() {
+        let router = test_router("deadline", FleetOptions::default());
+        let req = Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("id", Json::str("dl")),
+            ("program", Json::str(JACOBI)),
+            ("device", Json::str("nvs5200m")),
+            ("deadline_ms", Json::UInt(0)),
+        ])
+        .render_compact();
+        let resp = router.handle_line(1, &req).unwrap();
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        // cancel of an unknown id sweeps every member and reports not
+        // found.
+        let cancel = router
+            .handle_line(2, "{\"op\":\"cancel\",\"target\":\"nope\"}")
+            .unwrap();
+        assert_eq!(cancel.get("found"), Some(&Json::Bool(false)));
+        // A default deadline set fleet-wide reaches lazily spun members.
+        let strict = test_router(
+            "deadline_default",
+            FleetOptions {
+                default_deadline_ms: Some(0),
+                ..FleetOptions::default()
+            },
+        );
+        let resp = strict
+            .handle_line(1, &compile_req("x", Some("nvs5200m")))
+            .unwrap();
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected_at_the_default_member() {
+        let router = test_router("version", FleetOptions::default());
+        let resp = router
+            .handle_line(1, "{\"v\":9,\"op\":\"compile\",\"program\":\"x\"}")
+            .unwrap();
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("unsupported_version")
+        );
+    }
+
+    #[test]
+    fn unsupported_version_cannot_drive_router_ops() {
+        // Regression: the version gate must cover the ops the router
+        // answers itself — a v:9 shutdown must be rejected, not stop the
+        // fleet.
+        let router = test_router("version_ops", FleetOptions::default());
+        for line in [
+            "{\"v\":9,\"op\":\"shutdown\"}",
+            "{\"v\":9,\"op\":\"status\"}",
+            "{\"v\":9,\"op\":\"cancel\",\"target\":\"x\"}",
+        ] {
+            let resp = router.handle_line(1, line).unwrap();
+            assert_eq!(
+                resp.get("error_kind").and_then(Json::as_str),
+                Some("unsupported_version"),
+                "{line}"
+            );
+        }
+        assert!(
+            !RequestHandler::stopped(&router),
+            "v:9 shutdown must not stop the fleet"
+        );
+        let status = router.handle_line(2, "{\"op\":\"status\"}").unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+    }
+
+    #[test]
+    fn invalid_compiles_cannot_exhaust_device_slots() {
+        // Regression: a garbage compile naming a fresh device must be
+        // rejected *before* a member is created, so --max-devices cannot
+        // be exhausted by invalid requests.
+        let router = test_router(
+            "slot_guard",
+            FleetOptions {
+                max_devices: 2,
+                ..FleetOptions::default()
+            },
+        );
+        for (i, bad) in [
+            // Missing program/path.
+            "{\"op\":\"compile\",\"device\":\"nvs5200m\"}".to_string(),
+            // Bad tune mode.
+            format!(
+                "{{\"op\":\"compile\",\"program\":{},\"device\":\"nvs5200m\",\"tune\":\"psychic\"}}",
+                Json::str(JACOBI).render_compact()
+            ),
+            // Bad deadline type.
+            format!(
+                "{{\"op\":\"compile\",\"program\":{},\"device\":\"nvs5200m\",\"deadline_ms\":\"soon\"}}",
+                Json::str(JACOBI).render_compact()
+            ),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let resp = router.handle_line(i as u64 + 1, bad).unwrap();
+            assert_eq!(
+                resp.get("error_kind").and_then(Json::as_str),
+                Some("bad_request"),
+                "{bad}"
+            );
+        }
+        assert_eq!(
+            router.members().len(),
+            1,
+            "invalid compiles must not spin up members"
+        );
+        // The slot is still free for a valid request.
+        let ok = router
+            .handle_line(9, &compile_req("ok", Some("nvs5200m")))
+            .unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(router.members().len(), 2);
+    }
+}

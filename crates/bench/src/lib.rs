@@ -11,6 +11,7 @@
 
 pub mod autotune;
 pub mod driver;
+pub mod fleet;
 pub mod json;
 pub mod serve;
 

@@ -13,20 +13,37 @@
 //! {"op": "compile", "id": "r1", "path": "examples/stencils/jacobi2d.stencil"}
 //! {"op": "compile", "id": "r2", "program": "for (t = 0; ...", "name": "mine",
 //!  "device": "nvs5200m", "tune": "simulated", "smoke": true,
-//!  "verify": false, "size": [64, 64], "steps": 8}
+//!  "verify": false, "size": [64, 64], "steps": 8, "deadline_ms": 2000}
+//! {"op": "compile", "id": "r3", "program": "...",
+//!  "device": {"base": "gtx470", "shared_limit": 32768}}
+//! {"op": "cancel", "target": "r2"}
 //! {"op": "status"}
 //! {"op": "shutdown"}
 //! ```
 //!
+//! The envelope is **versioned**: every response starts with `"v": 1`;
+//! a request may carry `"v"` and is rejected with a typed
+//! `unsupported_version` error when it names any other version.
+//!
 //! `compile` takes the program inline (`program`, optionally `name`) or
 //! by path (`path`), plus per-request overrides of the same options the
-//! CLI exposes. The response is exactly the per-stencil object of
-//! `hybridc --report` ([`crate::driver::outcome_json`]) with `seq` (the
-//! server's input line number) and the echoed `id` prepended — compile
-//! results are bit-identical to a one-shot run with the same options.
+//! CLI exposes. `device` is a preset name or an inline device object
+//! ([`resolve_device`]) — objects canonicalize by *resolved parameters*,
+//! so key order never splits the cache. `deadline_ms` bounds the request
+//! (0 = already expired): the pipeline checks the deadline between
+//! tuning candidates and pipeline stages and answers a typed
+//! `deadline_exceeded` error instead of occupying a worker
+//! indefinitely. The response is exactly the per-stencil object of
+//! `hybridc --report` ([`crate::driver::outcome_json`]) with `v`, `seq`
+//! (the server's input line number) and the echoed `id` prepended —
+//! compile results are bit-identical to a one-shot run with the same
+//! options.
 //!
-//! `status` reports liveness and cache counters; `shutdown` stops the
-//! serving loop after draining in-flight work.
+//! `cancel` raises the cooperative cancel flag of the in-flight compile
+//! whose `id` equals `target` (response: `found` true/false). `status`
+//! reports liveness and cache counters (every field documented in the
+//! README protocol table); `shutdown` stops the serving loop after
+//! draining in-flight work.
 //!
 //! ## Isolation and caching
 //!
@@ -41,28 +58,47 @@
 //! so N concurrent clients compiling the same stencil cost one tuning
 //! sweep.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use gpusim::DeviceConfig;
+use hybrid_tiling::cancel::CancelToken;
 
 use crate::driver::{
-    compile_file_with, compile_source_with, outcome_json, sanitize_program_name, DriverConfig,
-    MemCache, TuneMode,
+    compile_file_with, compile_source_with, device_fingerprint, outcome_json,
+    sanitize_program_name, DriverConfig, MemCache, TuneMode,
 };
 use crate::json::Json;
 
+/// The protocol version this service speaks. Responses always carry
+/// `"v": 1`; requests may omit `v` (treated as version 1) or must match.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Service-level knobs shared by `hybridd` and the fleet layer.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Byte cap for the in-memory plan cache (`--mem-cap-bytes`);
+    /// `None` = unbounded (the PR-4 behavior).
+    pub mem_cap_bytes: Option<u64>,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`--default-deadline-ms`); `None` = no default.
+    pub default_deadline_ms: Option<u64>,
+}
+
 /// Shared state of one `hybridd` instance: the base configuration, the
-/// in-memory plan cache, and liveness counters. One instance serves any
-/// number of connections/loops concurrently.
+/// in-memory plan cache, the in-flight request registry (for `cancel`),
+/// and liveness counters. One instance serves any number of
+/// connections/loops concurrently; in a fleet it is one per-device
+/// member.
 pub struct ServeState {
     cfg: DriverConfig,
+    opts: ServeOptions,
     mem: MemCache,
     started: Instant,
     requests: AtomicU64,
@@ -70,27 +106,80 @@ pub struct ServeState {
     errors: AtomicU64,
     panics: AtomicU64,
     stop: AtomicBool,
+    /// Compiles currently executing, keyed by the request's rendered
+    /// `id`: the `cancel` op raises the flags and the workers stop at
+    /// their next cooperative check. A multiset (ids are client-chosen,
+    /// so concurrent duplicates are legal): every compile under one id
+    /// registers its own flag, `cancel` raises them all, and each
+    /// guard's drop removes exactly its own flag.
+    inflight: Mutex<HashMap<String, Vec<Arc<std::sync::atomic::AtomicBool>>>>,
+}
+
+/// Removes an in-flight registry entry when the compile finishes — on
+/// the success path *and* when a panic unwinds through the handler (the
+/// catch_unwind boundary sits above this guard). Removal is by flag
+/// identity, so a concurrent compile sharing the id keeps its own
+/// registration.
+struct InflightGuard<'a> {
+    state: &'a ServeState,
+    key: Option<(String, Arc<std::sync::atomic::AtomicBool>)>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((key, flag)) = &self.key {
+            if let Ok(mut map) = self.state.inflight.lock() {
+                if let Some(flags) = map.get_mut(key) {
+                    flags.retain(|f| !Arc::ptr_eq(f, flag));
+                    if flags.is_empty() {
+                        map.remove(key);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl ServeState {
     /// A fresh service around `cfg` (the per-request defaults; requests
-    /// may override device, tuning, verification and workload).
+    /// may override device, tuning, verification and workload) with
+    /// default [`ServeOptions`].
     pub fn new(cfg: DriverConfig) -> ServeState {
+        ServeState::with_options(cfg, ServeOptions::default())
+    }
+
+    /// [`ServeState::new`] with explicit service options (cache cap,
+    /// default deadline).
+    pub fn with_options(cfg: DriverConfig, opts: ServeOptions) -> ServeState {
+        let mem = MemCache::with_config(16, opts.mem_cap_bytes);
         ServeState {
             cfg,
-            mem: MemCache::new(),
+            opts,
+            mem,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
     /// The shared in-memory plan cache.
     pub fn mem(&self) -> &MemCache {
         &self.mem
+    }
+
+    /// The base driver configuration (the per-request defaults).
+    pub fn cfg(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
+    /// Requests the serving loops to stop (used by the fleet router's
+    /// shutdown broadcast).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
     }
 
     /// True once a `shutdown` request was served.
@@ -101,6 +190,40 @@ impl ServeState {
     /// Requests handled so far (including failed ones).
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with a non-error status.
+    pub fn ok_count(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with `"status": "error"`.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Panics contained at the request boundary.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Raises the cancel flags of every in-flight compile registered
+    /// under `id` (the rendered request id — duplicates are all
+    /// cancelled). Returns whether any was found — `false` means none
+    /// exists or all already finished.
+    pub fn cancel(&self, id: &str) -> bool {
+        match self.inflight.lock() {
+            Ok(map) => match map.get(id) {
+                Some(flags) => {
+                    for flag in flags {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    !flags.is_empty()
+                }
+                None => false,
+            },
+            Err(_) => false,
+        }
     }
 
     /// Handles one wire line. Returns `None` for blank lines; every other
@@ -141,6 +264,9 @@ impl ServeState {
             }
         };
         let id = req.get("id").cloned();
+        if let Some(resp) = check_version(seq, id.as_ref(), &req) {
+            return resp;
+        }
         let op = match req.get("op").and_then(Json::as_str) {
             Some(op) => op,
             None => {
@@ -148,13 +274,14 @@ impl ServeState {
                     seq,
                     id.as_ref(),
                     "bad_request",
-                    "missing \"op\" (compile | status | shutdown)",
+                    "missing \"op\" (compile | status | cancel | shutdown)",
                 )
             }
         };
         match op {
             "compile" => self.handle_compile(seq, id.as_ref(), &req),
             "status" => self.status_response(seq, id.as_ref()),
+            "cancel" => self.handle_cancel(seq, id.as_ref(), &req),
             "shutdown" => {
                 self.stop.store(true, Ordering::SeqCst);
                 with_envelope(
@@ -167,166 +294,407 @@ impl ServeState {
                 seq,
                 id.as_ref(),
                 "bad_request",
-                &format!("unknown op {other:?} (compile | status | shutdown)"),
+                &format!("unknown op {other:?} (compile | status | cancel | shutdown)"),
             ),
         }
     }
 
-    /// Builds the per-request [`DriverConfig`] from the base config plus
-    /// the request's overrides, or a typed error description.
-    fn request_config(&self, req: &Json) -> Result<DriverConfig, String> {
-        let mut cfg = self.cfg.clone();
-        if let Some(d) = req.get("device") {
-            let name = d.as_str().ok_or("\"device\" must be a string")?;
-            cfg.device = match name {
-                "gtx470" => DeviceConfig::gtx470(),
-                "nvs5200m" => DeviceConfig::nvs5200m(),
-                other => return Err(format!("unknown device {other:?} (gtx470 | nvs5200m)")),
-            };
-        }
-        if let Some(t) = req.get("tune") {
-            let name = t.as_str().ok_or("\"tune\" must be a string")?;
-            cfg.tune = match name {
-                "static" => TuneMode::Static,
-                "simulated" => TuneMode::Simulated,
-                other => return Err(format!("unknown tune mode {other:?} (static | simulated)")),
-            };
-        }
-        if let Some(s) = req.get("smoke") {
-            cfg.smoke = s.as_bool().ok_or("\"smoke\" must be a boolean")?;
-        }
-        if let Some(v) = req.get("verify") {
-            cfg.verify = v.as_bool().ok_or("\"verify\" must be a boolean")?;
-        }
-        let size = match req.get("size") {
-            Some(s) => {
-                let arr = s.as_arr().ok_or("\"size\" must be an array of integers")?;
-                let dims: Option<Vec<usize>> = arr
-                    .iter()
-                    .map(|x| x.as_u64().and_then(|v| usize::try_from(v).ok()))
-                    .map(|v| v.filter(|&d| d > 0))
-                    .collect();
-                Some(dims.ok_or("\"size\" entries must be positive integers")?)
-            }
-            None => None,
-        };
-        let steps = match req.get("steps") {
-            Some(s) => Some(
-                s.as_u64()
-                    .and_then(|v| usize::try_from(v).ok())
-                    .filter(|&v| v > 0)
-                    .ok_or("\"steps\" must be a positive integer")?,
-            ),
-            None => None,
-        };
-        match (size, steps) {
-            (Some(d), Some(s)) => cfg.workload = Some((d, s)),
-            (None, None) => {}
-            _ => return Err("\"size\" and \"steps\" must be given together".to_string()),
-        }
-        Ok(cfg)
+    /// The `cancel` op: `{"op":"cancel","target":"<id of an in-flight
+    /// compile>"}`. Raises the target's cooperative cancel flag; the
+    /// response's `found` reports whether such a compile was in flight.
+    fn handle_cancel(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
+        cancel_response(seq, id, req, |key| self.cancel(key))
     }
 
     fn handle_compile(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
-        let cfg = match self.request_config(req) {
+        let mut cfg = match request_config(&self.cfg, req) {
             Ok(cfg) => cfg,
             Err(msg) => return error_response(seq, id, "bad_request", &msg),
         };
-        let program = req.get("program").map(|p| p.as_str());
-        let path = req.get("path").map(|p| p.as_str());
-        let (source_label, result) = match (program, path) {
-            (Some(Some(text)), None) => {
-                let name = match req.get("name") {
-                    None => "stencil".to_string(),
-                    Some(n) => match n.as_str() {
-                        Some(s) => sanitize_program_name(s),
-                        None => {
-                            return error_response(
-                                seq,
-                                id,
-                                "bad_request",
-                                "\"name\" must be a string",
-                            )
-                        }
-                    },
-                };
+        // Deadline: the request's own deadline_ms, else the service
+        // default. The clock starts when the worker picks the request up.
+        let deadline_ms = match parse_deadline_ms(req) {
+            Ok(own) => own.or(self.opts.default_deadline_ms),
+            Err(msg) => return error_response(seq, id, "bad_request", &msg),
+        };
+        let source = match compile_source(req) {
+            Ok(source) => source,
+            Err(msg) => return error_response(seq, id, "bad_request", &msg),
+        };
+        // Cancellation: requests with an id register a shared flag so a
+        // later `cancel` op can stop them cooperatively.
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut token = CancelToken::with_flag(flag.clone());
+        if let Some(ms) = deadline_ms {
+            token = token.and_deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        let _inflight = InflightGuard {
+            state: self,
+            key: id.map(|id| {
+                let key = id.render_compact();
+                if let Ok(mut map) = self.inflight.lock() {
+                    map.entry(key.clone()).or_default().push(flag.clone());
+                }
+                (key, flag.clone())
+            }),
+        };
+        cfg.cancel = token;
+        let (source_label, result) = match source {
+            CompileSource::Inline { name, text } => {
                 let label = PathBuf::from(format!("<request:{name}>"));
-                let result = compile_source_with(&name, text, &label, &cfg, Some(&self.mem));
+                let result = compile_source_with(&name, &text, &label, &cfg, Some(&self.mem));
                 (label.display().to_string(), result)
             }
-            (None, Some(Some(p))) => {
-                let path = Path::new(p);
-                let result = compile_file_with(path, &cfg, Some(&self.mem));
-                (p.to_string(), result)
-            }
-            (Some(None), _) => {
-                return error_response(seq, id, "bad_request", "\"program\" must be a string")
-            }
-            (_, Some(None)) => {
-                return error_response(seq, id, "bad_request", "\"path\" must be a string")
-            }
-            (Some(_), Some(_)) => {
-                return error_response(
-                    seq,
-                    id,
-                    "bad_request",
-                    "give exactly one of \"program\" or \"path\", not both",
-                )
-            }
-            (None, None) => {
-                return error_response(
-                    seq,
-                    id,
-                    "bad_request",
-                    "compile needs \"program\" (inline DSL) or \"path\" (a .stencil file)",
-                )
+            CompileSource::File(p) => {
+                let result = compile_file_with(Path::new(&p), &cfg, Some(&self.mem));
+                (p, result)
             }
         };
         with_envelope(seq, id, outcome_json(&source_label, &result))
     }
 
+    /// The status object of this (single-device) service: liveness,
+    /// request counters, and the full cache metric set. Used directly by
+    /// the `status` op and embedded per device in the fleet's aggregated
+    /// status. Every field is documented in the README protocol table.
+    pub fn status_payload(&self) -> Json {
+        Json::obj(vec![
+            ("status", Json::str("alive")),
+            (
+                "uptime_ms",
+                Json::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "requests",
+                Json::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("ok", Json::UInt(self.ok.load(Ordering::Relaxed))),
+            ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
+            (
+                "contained_panics",
+                Json::UInt(self.panics.load(Ordering::Relaxed)),
+            ),
+            ("mem_entries", Json::UInt(self.mem.len() as u64)),
+            ("mem_bytes", Json::UInt(self.mem.bytes())),
+            (
+                "mem_cap_bytes",
+                match self.mem.cap_bytes() {
+                    Some(cap) => Json::UInt(cap),
+                    None => Json::Null,
+                },
+            ),
+            ("mem_lookups", Json::UInt(self.mem.lookups())),
+            ("mem_hits", Json::UInt(self.mem.hits())),
+            ("mem_misses", Json::UInt(self.mem.misses())),
+            ("mem_coalesced", Json::UInt(self.mem.coalesced())),
+            ("mem_bypasses", Json::UInt(self.mem.bypasses())),
+            ("mem_evictions", Json::UInt(self.mem.evictions())),
+            (
+                "mem_cancelled_waits",
+                Json::UInt(self.mem.cancelled_waits()),
+            ),
+            (
+                "hit_age_p50_ms",
+                match self.mem.hit_age_p50_ms() {
+                    Some(ms) => Json::UInt(ms),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "disk_cache",
+                match &self.cfg.cache_dir {
+                    Some(d) => Json::str(d.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("device", Json::str(self.cfg.device.name.clone())),
+            (
+                "device_fingerprint",
+                Json::str(device_fingerprint(&self.cfg.device)),
+            ),
+            ("tune", Json::str(self.cfg.tune.name())),
+            (
+                "default_deadline_ms",
+                match self.opts.default_deadline_ms {
+                    Some(ms) => Json::UInt(ms),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
     fn status_response(&self, seq: u64, id: Option<&Json>) -> Json {
-        with_envelope(
-            seq,
-            id,
-            Json::obj(vec![
-                ("status", Json::str("alive")),
-                (
-                    "uptime_ms",
-                    Json::UInt(self.started.elapsed().as_millis() as u64),
-                ),
-                (
-                    "requests",
-                    Json::UInt(self.requests.load(Ordering::Relaxed)),
-                ),
-                ("ok", Json::UInt(self.ok.load(Ordering::Relaxed))),
-                ("errors", Json::UInt(self.errors.load(Ordering::Relaxed))),
-                (
-                    "contained_panics",
-                    Json::UInt(self.panics.load(Ordering::Relaxed)),
-                ),
-                ("mem_entries", Json::UInt(self.mem.len() as u64)),
-                ("mem_hits", Json::UInt(self.mem.hits())),
-                ("mem_misses", Json::UInt(self.mem.misses())),
-                ("mem_coalesced", Json::UInt(self.mem.coalesced())),
-                (
-                    "disk_cache",
-                    match &self.cfg.cache_dir {
-                        Some(d) => Json::str(d.display().to_string()),
-                        None => Json::Null,
-                    },
-                ),
-                ("device", Json::str(self.cfg.device.name.clone())),
-                ("tune", Json::str(self.cfg.tune.name())),
-            ]),
-        )
+        with_envelope(seq, id, self.status_payload())
     }
 }
 
-/// Prepends the response envelope (`seq`, echoed `id`) to a payload
-/// object.
-fn with_envelope(seq: u64, id: Option<&Json>, payload: Json) -> Json {
-    let mut pairs = vec![("seq".to_string(), Json::UInt(seq))];
+/// Builds the per-request [`DriverConfig`] from `base` plus the
+/// request's overrides, or a typed error description. Shared by the
+/// single-device compile path and the fleet router's request
+/// validation, so the two can never diverge.
+pub(crate) fn request_config(base: &DriverConfig, req: &Json) -> Result<DriverConfig, String> {
+    let mut cfg = base.clone();
+    if let Some(d) = req.get("device") {
+        cfg.device = resolve_device(d, &base.device)?;
+    }
+    if let Some(t) = req.get("tune") {
+        let name = t.as_str().ok_or("\"tune\" must be a string")?;
+        cfg.tune = match name {
+            "static" => TuneMode::Static,
+            "simulated" => TuneMode::Simulated,
+            other => return Err(format!("unknown tune mode {other:?} (static | simulated)")),
+        };
+    }
+    if let Some(s) = req.get("smoke") {
+        cfg.smoke = s.as_bool().ok_or("\"smoke\" must be a boolean")?;
+    }
+    if let Some(v) = req.get("verify") {
+        cfg.verify = v.as_bool().ok_or("\"verify\" must be a boolean")?;
+    }
+    let size = match req.get("size") {
+        Some(s) => {
+            let arr = s.as_arr().ok_or("\"size\" must be an array of integers")?;
+            let dims: Option<Vec<usize>> = arr
+                .iter()
+                .map(|x| x.as_u64().and_then(|v| usize::try_from(v).ok()))
+                .map(|v| v.filter(|&d| d > 0))
+                .collect();
+            Some(dims.ok_or("\"size\" entries must be positive integers")?)
+        }
+        None => None,
+    };
+    let steps = match req.get("steps") {
+        Some(s) => Some(
+            s.as_u64()
+                .and_then(|v| usize::try_from(v).ok())
+                .filter(|&v| v > 0)
+                .ok_or("\"steps\" must be a positive integer")?,
+        ),
+        None => None,
+    };
+    match (size, steps) {
+        (Some(d), Some(s)) => cfg.workload = Some((d, s)),
+        (None, None) => {}
+        _ => return Err("\"size\" and \"steps\" must be given together".to_string()),
+    }
+    Ok(cfg)
+}
+
+/// The request's own `deadline_ms`, or a typed error description.
+fn parse_deadline_ms(req: &Json) -> Result<Option<u64>, String> {
+    match req.get("deadline_ms") {
+        Some(d) => d
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_string()),
+        None => Ok(None),
+    }
+}
+
+/// How a compile request names its program.
+enum CompileSource {
+    /// Inline DSL text under a (sanitized) name.
+    Inline { name: String, text: String },
+    /// A `.stencil` file path.
+    File(String),
+}
+
+/// Resolves a compile request's `program`/`path`/`name` fields, or a
+/// typed error description.
+fn compile_source(req: &Json) -> Result<CompileSource, String> {
+    let program = req.get("program").map(|p| p.as_str());
+    let path = req.get("path").map(|p| p.as_str());
+    match (program, path) {
+        (Some(Some(text)), None) => {
+            let name = match req.get("name") {
+                None => "stencil".to_string(),
+                Some(n) => sanitize_program_name(n.as_str().ok_or("\"name\" must be a string")?),
+            };
+            Ok(CompileSource::Inline {
+                name,
+                text: text.to_string(),
+            })
+        }
+        (None, Some(Some(p))) => Ok(CompileSource::File(p.to_string())),
+        (Some(None), _) => Err("\"program\" must be a string".to_string()),
+        (_, Some(None)) => Err("\"path\" must be a string".to_string()),
+        (Some(_), Some(_)) => {
+            Err("give exactly one of \"program\" or \"path\", not both".to_string())
+        }
+        (None, None) => {
+            Err("compile needs \"program\" (inline DSL) or \"path\" (a .stencil file)".to_string())
+        }
+    }
+}
+
+/// Full shape validation of a compile request against `base`, without
+/// running anything: exactly the checks [`ServeState`]'s compile path
+/// performs before real work starts. The fleet router runs this before
+/// spending a device slot on an unknown device, so garbage requests can
+/// never exhaust `--max-devices`.
+pub(crate) fn validate_compile_request(base: &DriverConfig, req: &Json) -> Result<(), String> {
+    request_config(base, req)?;
+    parse_deadline_ms(req)?;
+    compile_source(req)?;
+    Ok(())
+}
+
+/// Builds the `cancel` op's response: validates `target`, asks
+/// `cancel_found` to raise the flags for the rendered target key, and
+/// reports `found`. Shared by [`ServeState`] and the fleet router so the
+/// two cancel paths cannot diverge.
+pub(crate) fn cancel_response(
+    seq: u64,
+    id: Option<&Json>,
+    req: &Json,
+    cancel_found: impl FnOnce(&str) -> bool,
+) -> Json {
+    let Some(target) = req.get("target") else {
+        return error_response(
+            seq,
+            id,
+            "bad_request",
+            "cancel needs \"target\" (the id of the compile to cancel)",
+        );
+    };
+    let found = cancel_found(&target.render_compact());
+    with_envelope(
+        seq,
+        id,
+        Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("op", Json::str("cancel")),
+            ("target", target.clone()),
+            ("found", Json::Bool(found)),
+        ]),
+    )
+}
+
+/// Rejects requests carrying an unknown protocol version: a `"v"` field
+/// other than [`PROTOCOL_VERSION`] gets a typed `unsupported_version`
+/// error (requests without `v` are treated as version 1). Returns `None`
+/// when the request may proceed.
+pub(crate) fn check_version(seq: u64, id: Option<&Json>, req: &Json) -> Option<Json> {
+    let v = req.get("v")?;
+    if v.as_u64() == Some(PROTOCOL_VERSION) {
+        return None;
+    }
+    Some(error_response(
+        seq,
+        id,
+        "unsupported_version",
+        &format!(
+            "protocol version {} is not supported (this service speaks v{PROTOCOL_VERSION})",
+            v.render_compact()
+        ),
+    ))
+}
+
+/// Resolves a request's `device` field: a preset name (`"gtx470"` |
+/// `"nvs5200m"`), or a device object — `{"base": "gtx470", "sms": 8,
+/// ...}` — overriding any architectural parameter of the base preset.
+/// An object without `"base"` starts from `default` (the service's
+/// configured device), consistent with requests that omit `device`
+/// entirely. Because the object is resolved into a [`DeviceConfig`]
+/// before fingerprinting, logically identical objects with their keys
+/// in any order canonicalize to the same device (and therefore the same
+/// cache shard and fleet member).
+pub fn resolve_device(v: &Json, default: &DeviceConfig) -> Result<DeviceConfig, String> {
+    fn preset(name: &str) -> Result<DeviceConfig, String> {
+        match name {
+            "gtx470" => Ok(DeviceConfig::gtx470()),
+            "nvs5200m" => Ok(DeviceConfig::nvs5200m()),
+            other => Err(format!("unknown device {other:?} (gtx470 | nvs5200m)")),
+        }
+    }
+    match v {
+        Json::Str(name) => preset(name),
+        Json::Obj(pairs) => {
+            let mut device = match v.get("base") {
+                Some(b) => preset(b.as_str().ok_or("\"base\" must be a device name")?)?,
+                None => default.clone(),
+            };
+            for (key, value) in pairs {
+                let bad = |what: &str| format!("device field {key:?} must be {what}");
+                match key.as_str() {
+                    "base" => {}
+                    "name" => {
+                        device.name = value.as_str().ok_or_else(|| bad("a string"))?.to_string()
+                    }
+                    "sms" => {
+                        device.sms = value
+                            .as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| bad("a positive integer"))?
+                    }
+                    "cores_per_sm" => {
+                        device.cores_per_sm = value
+                            .as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| bad("a positive integer"))?
+                    }
+                    "clock_ghz" => {
+                        device.clock_ghz = value
+                            .as_f64()
+                            .filter(|&x| x > 0.0)
+                            .ok_or_else(|| bad("a positive number"))?
+                    }
+                    "dram_gbps" => {
+                        device.dram_gbps = value
+                            .as_f64()
+                            .filter(|&x| x > 0.0)
+                            .ok_or_else(|| bad("a positive number"))?
+                    }
+                    "l2_gbps" => {
+                        device.l2_gbps = value
+                            .as_f64()
+                            .filter(|&x| x > 0.0)
+                            .ok_or_else(|| bad("a positive number"))?
+                    }
+                    "l2_bytes" => {
+                        device.l2_bytes = value
+                            .as_u64()
+                            .and_then(|x| usize::try_from(x).ok())
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| bad("a positive integer"))?
+                    }
+                    "shared_limit" => {
+                        device.shared_limit = value
+                            .as_u64()
+                            .and_then(|x| usize::try_from(x).ok())
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| bad("a positive integer"))?
+                    }
+                    "launch_overhead_s" => {
+                        device.launch_overhead_s = value
+                            .as_f64()
+                            .filter(|&x| x >= 0.0)
+                            .ok_or_else(|| bad("a non-negative number"))?
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown device field {other:?} (base | name | sms | cores_per_sm | \
+                             clock_ghz | dram_gbps | l2_gbps | l2_bytes | shared_limit | \
+                             launch_overhead_s)"
+                        ))
+                    }
+                }
+            }
+            Ok(device)
+        }
+        _ => Err("\"device\" must be a preset name or a device object".to_string()),
+    }
+}
+
+/// Prepends the response envelope (`v`, `seq`, echoed `id`) to a
+/// payload object.
+pub(crate) fn with_envelope(seq: u64, id: Option<&Json>, payload: Json) -> Json {
+    let mut pairs = vec![
+        ("v".to_string(), Json::UInt(PROTOCOL_VERSION)),
+        ("seq".to_string(), Json::UInt(seq)),
+    ];
     if let Some(id) = id {
         pairs.push(("id".to_string(), id.clone()));
     }
@@ -338,7 +706,7 @@ fn with_envelope(seq: u64, id: Option<&Json>, payload: Json) -> Json {
     Json::Obj(pairs)
 }
 
-fn error_response(seq: u64, id: Option<&Json>, kind: &str, message: &str) -> Json {
+pub(crate) fn error_response(seq: u64, id: Option<&Json>, kind: &str, message: &str) -> Json {
     with_envelope(
         seq,
         id,
@@ -350,19 +718,44 @@ fn error_response(seq: u64, id: Option<&Json>, kind: &str, message: &str) -> Jso
     )
 }
 
-/// True when `line` is a `shutdown` request — the cheap substring test
-/// first, then a real parse so a compile whose program text merely
-/// mentions "shutdown" does not end the session.
+/// True when `line` is a `shutdown` request *that the handler will
+/// honor* — the cheap substring test first, then a real parse so a
+/// compile whose program text merely mentions "shutdown" does not end
+/// the session. The version gate applies here exactly as in dispatch: a
+/// shutdown carrying an unsupported `"v"` is answered with a typed
+/// error, so the reader must keep reading.
 fn is_shutdown_request(line: &str) -> bool {
     line.contains("shutdown")
         && Json::parse(line.trim())
             .ok()
-            .and_then(|v| {
-                v.get("op")
-                    .and_then(Json::as_str)
-                    .map(|op| op == "shutdown")
+            .map(|v| {
+                v.get("op").and_then(Json::as_str) == Some("shutdown")
+                    && v.get("v")
+                        .is_none_or(|x| x.as_u64() == Some(PROTOCOL_VERSION))
             })
             .unwrap_or(false)
+}
+
+/// Anything that can answer protocol lines: a single-device
+/// [`ServeState`] or the multi-device
+/// [`FleetRouter`](crate::fleet::FleetRouter). The serving loops
+/// ([`serve`], [`serve_tcp`]) are generic over this, so one transport
+/// implementation drives both shapes.
+pub trait RequestHandler: Sync {
+    /// Handles one wire line; `None` for blank lines (see
+    /// [`ServeState::handle_line`]).
+    fn handle_line(&self, seq: u64, line: &str) -> Option<Json>;
+    /// True once a `shutdown` request was served.
+    fn stopped(&self) -> bool;
+}
+
+impl RequestHandler for ServeState {
+    fn handle_line(&self, seq: u64, line: &str) -> Option<Json> {
+        ServeState::handle_line(self, seq, line)
+    }
+    fn stopped(&self) -> bool {
+        ServeState::stopped(self)
+    }
 }
 
 /// Counters of one serving loop.
@@ -388,8 +781,8 @@ pub struct ServeSummary {
 /// Only reader I/O errors are returned; write errors to `writer` are
 /// counted but do not stop the loop (a disconnected client must not kill
 /// the service for the others).
-pub fn serve<R: BufRead, W: Write + Send>(
-    state: &ServeState,
+pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
+    state: &H,
     reader: R,
     writer: W,
     workers: usize,
@@ -473,7 +866,11 @@ pub fn serve<R: BufRead, W: Write + Send>(
 /// shutdown) so a blocked read on one client cannot keep the daemon
 /// alive. Connection-level I/O errors are per-client; they never stop
 /// the listener.
-pub fn serve_tcp(state: &ServeState, listener: TcpListener, workers: usize) -> io::Result<()> {
+pub fn serve_tcp<H: RequestHandler + ?Sized>(
+    state: &H,
+    listener: TcpListener,
+    workers: usize,
+) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let conns: Mutex<Vec<std::net::TcpStream>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| -> io::Result<()> {
@@ -619,6 +1016,358 @@ mod tests {
         // The service is still alive and compiles fine afterwards.
         let ok = state.handle_line(3, &compile_req("jac", JACOBI)).unwrap();
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn rejected_version_shutdown_does_not_stop_the_session() {
+        // Regression: the reader's shutdown fast-path must apply the
+        // same version gate as dispatch — a v:9 shutdown is answered
+        // with unsupported_version and the session keeps serving.
+        let state = test_state("v9_shutdown");
+        let input = "{\"v\":9,\"op\":\"shutdown\"}\n{\"op\":\"status\"}\n";
+        let mut out = Vec::new();
+        let summary = serve(&state, Cursor::new(input.to_string()), &mut out, 2).unwrap();
+        assert_eq!(
+            summary.responses, 2,
+            "the status after the rejected shutdown must be answered"
+        );
+        assert_eq!(summary.errors, 1);
+        assert!(!state.stopped(), "v:9 shutdown must not stop the service");
+        assert!(!is_shutdown_request("{\"v\":9,\"op\":\"shutdown\"}"));
+        assert!(is_shutdown_request("{\"v\":1,\"op\":\"shutdown\"}"));
+        assert!(is_shutdown_request("{\"op\":\"shutdown\"}"));
+    }
+
+    #[test]
+    fn device_object_without_base_inherits_the_service_default() {
+        // Regression: an object override without "base" must start from
+        // the service's configured device (here NVS 5200M), exactly like
+        // a request that omits "device" — not silently from gtx470.
+        let dir = std::env::temp_dir().join(format!("hybridd_test_{}_objbase", std::process::id()));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            device: gpusim::DeviceConfig::nvs5200m(),
+            ..DriverConfig::new(dir)
+        };
+        let state = ServeState::new(cfg);
+        let plain = state.handle_line(1, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(plain.get("status").and_then(Json::as_str), Some("ok"));
+        let req = format!(
+            "{{\"op\":\"compile\",\"name\":\"jac\",\"program\":{},\"device\":{{}}}}",
+            Json::str(JACOBI).render_compact()
+        );
+        let via_empty_obj = state.handle_line(2, &req).unwrap();
+        assert_eq!(
+            via_empty_obj.get("fingerprint"),
+            plain.get("fingerprint"),
+            "an empty device object must resolve to the service's device"
+        );
+        assert_eq!(
+            via_empty_obj.get("cache").and_then(Json::as_str),
+            Some("mem")
+        );
+    }
+
+    #[test]
+    fn responses_are_versioned_and_unknown_versions_are_rejected() {
+        let state = test_state("version");
+        // Every response carries v:1.
+        let status = state.handle_line(1, "{\"op\": \"status\"}").unwrap();
+        assert_eq!(status.get("v").and_then(Json::as_u64), Some(1));
+        // An explicit v:1 request is accepted.
+        let ok = state
+            .handle_line(2, "{\"v\": 1, \"op\": \"status\"}")
+            .unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("alive"));
+        // Unknown versions get the typed error, with the envelope.
+        for bad in [
+            "{\"v\": 2, \"op\": \"status\"}",
+            "{\"v\": \"x\", \"op\": \"status\"}",
+        ] {
+            let resp = state.handle_line(3, bad).unwrap();
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+            assert_eq!(
+                resp.get("error_kind").and_then(Json::as_str),
+                Some("unsupported_version"),
+                "{bad}"
+            );
+            assert_eq!(resp.get("v").and_then(Json::as_u64), Some(1));
+        }
+    }
+
+    #[test]
+    fn deadline_zero_is_a_typed_deadline_exceeded_error() {
+        let state = test_state("deadline");
+        let req = Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("id", Json::str("dl")),
+            ("program", Json::str(JACOBI)),
+            ("deadline_ms", Json::UInt(0)),
+        ])
+        .render_compact();
+        let resp = state.handle_line(1, &req).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        // The worker survived; the same program compiles without a
+        // deadline, and the cancelled attempt left no in-flight marker.
+        let ok = state.handle_line(2, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        // Non-integer deadlines are a bad request.
+        let resp = state
+            .handle_line(
+                3,
+                "{\"op\":\"compile\",\"program\":\"x\",\"deadline_ms\":\"soon\"}",
+            )
+            .unwrap();
+        assert_eq!(
+            resp.get("error").and_then(Json::as_str).unwrap(),
+            "\"deadline_ms\" must be a non-negative integer"
+        );
+    }
+
+    #[test]
+    fn default_deadline_applies_to_requests_without_their_own() {
+        let dir = std::env::temp_dir().join(format!("hybridd_test_{}_dd", std::process::id()));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            ..DriverConfig::new(dir)
+        };
+        let state = ServeState::with_options(
+            cfg,
+            ServeOptions {
+                mem_cap_bytes: None,
+                default_deadline_ms: Some(0),
+            },
+        );
+        let resp = state.handle_line(1, &compile_req("jac", JACOBI)).unwrap();
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        // A request can out-vote the default with its own larger budget.
+        let req = Json::obj(vec![
+            ("op", Json::str("compile")),
+            ("program", Json::str(JACOBI)),
+            ("deadline_ms", Json::UInt(600_000)),
+        ])
+        .render_compact();
+        let ok = state.handle_line(2, &req).unwrap();
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn cancel_op_stops_an_inflight_compile() {
+        use std::sync::atomic::AtomicBool;
+        // The scorer blocks until the test has issued the cancel, so the
+        // sweep's next between-candidate check deterministically sees
+        // the raised flag.
+        static CANCEL_SENT: AtomicBool = AtomicBool::new(false);
+        fn blocking_scorer(_: &hybrid_tiling::TileSizeModel) -> Option<f64> {
+            while !CANCEL_SENT.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(1.0)
+        }
+        CANCEL_SENT.store(false, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("hybridd_test_{}_cancel", std::process::id()));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            scorer: Some(blocking_scorer),
+            ..DriverConfig::new(dir)
+        };
+        let state = ServeState::new(cfg);
+        let resp = std::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                state
+                    .handle_line(1, &compile_req("victim", JACOBI))
+                    .unwrap()
+            });
+            // Wait until the compile registered itself, then cancel it.
+            let found = loop {
+                let resp = state
+                    .handle_line(2, "{\"op\":\"cancel\",\"id\":\"c\",\"target\":\"victim\"}")
+                    .unwrap();
+                assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+                if resp.get("found") == Some(&Json::Bool(true)) {
+                    break true;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            assert!(found);
+            CANCEL_SENT.store(true, Ordering::SeqCst);
+            worker.join().unwrap()
+        });
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        // The registry entry is gone: cancelling again finds nothing.
+        let again = state
+            .handle_line(3, "{\"op\":\"cancel\",\"target\":\"victim\"}")
+            .unwrap();
+        assert_eq!(again.get("found"), Some(&Json::Bool(false)));
+        // Cancel without a target is a bad request.
+        let bad = state.handle_line(4, "{\"op\":\"cancel\"}").unwrap();
+        assert_eq!(
+            bad.get("error_kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+
+    #[test]
+    fn cancel_reaches_every_concurrent_compile_sharing_an_id() {
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        // Regression: ids are client-chosen, so two concurrent compiles
+        // may share one. A cancel must stop both, and neither guard's
+        // cleanup may deregister the other.
+        static ENTERED: AtomicU64 = AtomicU64::new(0);
+        static RELEASE: AtomicBool = AtomicBool::new(false);
+        fn gate_scorer(_: &hybrid_tiling::TileSizeModel) -> Option<f64> {
+            ENTERED.fetch_add(1, Ordering::SeqCst);
+            while !RELEASE.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(1.0)
+        }
+        ENTERED.store(0, Ordering::SeqCst);
+        RELEASE.store(false, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("hybridd_test_{}_dup", std::process::id()));
+        let cfg = DriverConfig {
+            smoke: true,
+            cache_dir: None,
+            scorer: Some(gate_scorer),
+            ..DriverConfig::new(dir)
+        };
+        let state = ServeState::new(cfg);
+        // Two *different* programs (distinct fingerprints — no
+        // single-flight interaction), one shared id.
+        let heat1d = "for (t = 0; t < T; t++)\n  for (i = 1; i < N-1; i++)\n    A[t+1][i] = 0.25f * (A[t][i-1] + A[t][i+1]);\n";
+        let req = |program: &str| {
+            Json::obj(vec![
+                ("op", Json::str("compile")),
+                ("id", Json::str("dup")),
+                ("program", Json::str(program)),
+            ])
+            .render_compact()
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let wa = s.spawn(|| state.handle_line(1, &req(JACOBI)).unwrap());
+            let wb = s.spawn(|| state.handle_line(2, &req(heat1d)).unwrap());
+            // Both compiles are inside the scorer, so both flags are
+            // registered under "dup".
+            while ENTERED.load(Ordering::SeqCst) < 2 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let cancel = state
+                .handle_line(3, "{\"op\":\"cancel\",\"target\":\"dup\"}")
+                .unwrap();
+            assert_eq!(cancel.get("found"), Some(&Json::Bool(true)));
+            RELEASE.store(true, Ordering::SeqCst);
+            (wa.join().unwrap(), wb.join().unwrap())
+        });
+        for (tag, resp) in [("a", &a), ("b", &b)] {
+            assert_eq!(
+                resp.get("error_kind").and_then(Json::as_str),
+                Some("cancelled"),
+                "compile {tag} must be cancelled: {resp:?}"
+            );
+        }
+        // Both guards cleaned up their own registrations.
+        let gone = state
+            .handle_line(4, "{\"op\":\"cancel\",\"target\":\"dup\"}")
+            .unwrap();
+        assert_eq!(gone.get("found"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn device_objects_canonicalize_regardless_of_key_order() {
+        // Satellite regression: logically identical device JSON objects
+        // with reordered keys must resolve to the same canonical device
+        // fingerprint — same cache shard, same plan, a memory hit on the
+        // second request.
+        let state = test_state("device_obj");
+        let req = |device_json: &str| {
+            format!(
+                "{{\"op\":\"compile\",\"name\":\"jac\",\"program\":{},\"device\":{}}}",
+                Json::str(JACOBI).render_compact(),
+                device_json
+            )
+        };
+        let first = state
+            .handle_line(1, &req("{\"base\":\"nvs5200m\",\"shared_limit\":32768}"))
+            .unwrap();
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+        let second = state
+            .handle_line(2, &req("{\"shared_limit\":32768,\"base\":\"nvs5200m\"}"))
+            .unwrap();
+        assert_eq!(second.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            second.get("cache").and_then(Json::as_str),
+            Some("mem"),
+            "reordered device keys must hit the same cache entry"
+        );
+        assert_eq!(first.get("fingerprint"), second.get("fingerprint"));
+        // A *different* shared limit is a different device.
+        let third = state
+            .handle_line(3, &req("{\"base\":\"nvs5200m\",\"shared_limit\":16384}"))
+            .unwrap();
+        assert_eq!(third.get("cache").and_then(Json::as_str), Some("miss"));
+        // Unknown device fields are typed errors, not silent typos.
+        let bad = state.handle_line(4, &req("{\"shred_limit\":1}")).unwrap();
+        assert_eq!(
+            bad.get("error_kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+        let msg = bad.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("unknown device field"), "{msg}");
+    }
+
+    #[test]
+    fn status_reports_the_full_cache_metric_set() {
+        let state = test_state("status_fields");
+        let _ = state.handle_line(1, &compile_req("jac", JACOBI)).unwrap();
+        let _ = state.handle_line(2, &compile_req("jac", JACOBI)).unwrap();
+        let status = state.handle_line(3, "{\"op\":\"status\"}").unwrap();
+        for key in [
+            "uptime_ms",
+            "requests",
+            "ok",
+            "errors",
+            "contained_panics",
+            "mem_entries",
+            "mem_bytes",
+            "mem_cap_bytes",
+            "mem_lookups",
+            "mem_hits",
+            "mem_misses",
+            "mem_coalesced",
+            "mem_bypasses",
+            "mem_evictions",
+            "mem_cancelled_waits",
+            "hit_age_p50_ms",
+            "disk_cache",
+            "device",
+            "device_fingerprint",
+            "tune",
+            "default_deadline_ms",
+        ] {
+            assert!(status.get(key).is_some(), "status must report {key}");
+        }
+        assert_eq!(status.get("mem_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(status.get("mem_misses").and_then(Json::as_u64), Some(1));
+        assert!(status.get("mem_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(status
+            .get("hit_age_p50_ms")
+            .and_then(Json::as_u64)
+            .is_some());
     }
 
     #[test]

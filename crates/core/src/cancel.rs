@@ -1,0 +1,188 @@
+//! Cooperative cancellation for long-running sweeps.
+//!
+//! A [`CancelToken`] carries an optional **deadline** and an optional
+//! shared **flag**; work that may run for a long time (the §6 tile-size
+//! sweep, a simulator-backed scoring pass) checks the token at cheap
+//! boundaries — between candidates, between pipeline stages — and
+//! returns a typed partial result instead of occupying its worker
+//! indefinitely. Cancellation is *cooperative*: nothing is interrupted
+//! mid-candidate, so every observable intermediate state is one the
+//! uncancelled computation would also have produced.
+//!
+//! The token is cheap to clone (an `Option<Instant>` plus an
+//! `Option<Arc<AtomicBool>>`) and is plumbed by value through the
+//! driver's configuration; [`CancelToken::never`] is the default and
+//! makes every check free-ish (two `Option` tests).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a computation was cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CancelKind {
+    /// The token's deadline passed (maps to a `deadline_exceeded`
+    /// protocol error).
+    Deadline,
+    /// The token's shared flag was raised (an explicit `cancel` request;
+    /// maps to a `cancelled` protocol error).
+    Flag,
+}
+
+impl CancelKind {
+    /// Stable machine-readable name (`"deadline_exceeded"` /
+    /// `"cancelled"`), matching the serve protocol's `error_kind`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelKind::Deadline => "deadline_exceeded",
+            CancelKind::Flag => "cancelled",
+        }
+    }
+}
+
+/// A cooperative cancellation token: deadline, flag, both, or neither.
+///
+/// When both are set and both have fired, the **flag wins** — an
+/// explicit cancel is more specific than a timeout.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for one-shot compiles).
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that cancels once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// A token that cancels `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        // Saturate instead of panicking on absurd timeouts: a deadline
+        // ~30 years out is indistinguishable from "never" in practice.
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86400 * 10000));
+        CancelToken::with_deadline(deadline)
+    }
+
+    /// A token that cancels once `flag` is raised (see
+    /// [`CancelToken::cancel`] on the returned clone, or raise the
+    /// shared flag directly).
+    pub fn with_flag(flag: Arc<AtomicBool>) -> CancelToken {
+        CancelToken {
+            deadline: None,
+            flag: Some(flag),
+        }
+    }
+
+    /// This token, additionally bounded by `deadline`.
+    pub fn and_deadline(mut self, deadline: Instant) -> CancelToken {
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Raises the shared flag (a no-op for tokens without one). Every
+    /// clone of this token observes the cancellation.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// The shared flag, if this token has one.
+    pub fn flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.flag.as_ref()
+    }
+
+    /// The deadline, if this token has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Checks the token: `None` while work may continue, or the reason
+    /// to stop. An explicit flag takes precedence over the deadline.
+    pub fn cancelled(&self) -> Option<CancelKind> {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::SeqCst) {
+                return Some(CancelKind::Flag);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelKind::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Time remaining until the deadline (`None` for deadline-free
+    /// tokens; zero once the deadline passed). Used to bound condvar
+    /// waits so a cancelled waiter wakes promptly.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("deadline", &self.deadline)
+            .field(
+                "flag",
+                &self.flag.as_ref().map(|x| x.load(Ordering::SeqCst)),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_cancels() {
+        assert_eq!(CancelToken::never().cancelled(), None);
+        assert_eq!(CancelToken::never().remaining(), None);
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels_immediately() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert_eq!(t.cancelled(), Some(CancelKind::Deadline));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn flag_cancels_every_clone_and_wins_over_deadline() {
+        let t = CancelToken::with_flag(Arc::new(AtomicBool::new(false)))
+            .and_deadline(Instant::now() - Duration::from_secs(1));
+        // Deadline already passed, flag not yet raised.
+        assert_eq!(t.cancelled(), Some(CancelKind::Deadline));
+        let clone = t.clone();
+        clone.cancel();
+        assert_eq!(t.cancelled(), Some(CancelKind::Flag));
+    }
+
+    #[test]
+    fn and_deadline_keeps_the_earlier_deadline() {
+        let early = Instant::now();
+        let late = early + Duration::from_secs(3600);
+        let t = CancelToken::with_deadline(late).and_deadline(early);
+        assert_eq!(t.deadline(), Some(early));
+        let t = CancelToken::with_deadline(early).and_deadline(late);
+        assert_eq!(t.deadline(), Some(early));
+    }
+}

@@ -49,6 +49,7 @@
 //! # Ok::<(), hybrid_tiling::TileError>(())
 //! ```
 
+pub mod cancel;
 pub mod classical;
 pub mod cone;
 pub mod hexagon;
@@ -58,11 +59,14 @@ pub mod schedule;
 pub mod tilesize;
 pub mod verify;
 
+pub use cancel::{CancelKind, CancelToken};
 pub use cone::DepCone;
 pub use hexagon::HexShape;
 pub use params::{TileError, TileParams};
 pub use phase::{Phase, PhaseCoords};
 pub use schedule::{HybridSchedule, TileCoord};
-pub use tilesize::autotune::{autotune, AutotuneConfig, AutotuneEntry, AutotuneReport};
+pub use tilesize::autotune::{
+    autotune, autotune_cancellable, AutotuneConfig, AutotuneEntry, AutotuneError, AutotuneReport,
+};
 pub use tilesize::{select_tile_sizes, SearchSpace, TileSizeModel};
 pub use verify::{verify_schedule, VerifyError};

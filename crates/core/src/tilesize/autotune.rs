@@ -24,9 +24,12 @@
 //! `gpusim`-backed scorer (simulated GStencils/s on the device of
 //! interest) and exposes the whole pipeline as the `autotune` binary.
 
+use std::fmt;
+
 use stencil::domain::ScheduledDomain;
 use stencil::StencilProgram;
 
+use crate::cancel::{CancelKind, CancelToken};
 use crate::params::TileParams;
 use crate::schedule::HybridSchedule;
 use crate::tilesize::{evaluate_tile, SearchSpace, TileSizeModel};
@@ -103,6 +106,49 @@ impl AutotuneReport {
     }
 }
 
+/// A sweep that did not run to completion.
+#[derive(Clone, Debug)]
+pub enum AutotuneError {
+    /// The sweep observed its [`CancelToken`] between candidates and
+    /// stopped. `partial` holds everything scored before the check fired
+    /// (ranked, so a caller that wants a best-effort plan can still take
+    /// `partial.best()`).
+    Cancelled {
+        /// Deadline or explicit flag.
+        kind: CancelKind,
+        /// The report as of the cancellation point.
+        partial: AutotuneReport,
+    },
+}
+
+impl AutotuneError {
+    /// The cancellation reason.
+    pub fn kind(&self) -> CancelKind {
+        match self {
+            AutotuneError::Cancelled { kind, .. } => *kind,
+        }
+    }
+}
+
+impl fmt::Display for AutotuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutotuneError::Cancelled { kind, partial } => write!(
+                f,
+                "tuning sweep {}: {} candidate(s) examined, {} scored before the stop",
+                match kind {
+                    CancelKind::Deadline => "exceeded its deadline",
+                    CancelKind::Flag => "was cancelled",
+                },
+                partial.examined,
+                partial.ranked.len(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AutotuneError {}
+
 /// Threads per block the hybrid code generator will use for `params`:
 /// the product of the classical widths `w[1..]` (the innermost width maps
 /// to `threadIdx.x`, the next to `threadIdx.y`), with a warp-size floor
@@ -175,17 +221,68 @@ pub fn autotune<F>(
     program: &StencilProgram,
     space: &SearchSpace,
     cfg: &AutotuneConfig,
-    mut scorer: F,
+    scorer: F,
 ) -> AutotuneReport
+where
+    F: FnMut(&TileSizeModel) -> Option<f64>,
+{
+    match autotune_cancellable(program, space, cfg, &CancelToken::never(), scorer) {
+        Ok(report) => report,
+        // A never-token cannot fire; keep the partial report anyway
+        // rather than panicking on an impossible branch.
+        Err(AutotuneError::Cancelled { partial, .. }) => partial,
+    }
+}
+
+/// [`autotune`] under a [`CancelToken`]: the sweep checks the token
+/// between candidates (during enumeration, verification, and scoring)
+/// and returns [`AutotuneError::Cancelled`] with the partial report when
+/// it fires. Everything scored before the stop is ranked exactly as a
+/// completed sweep would rank it.
+///
+/// # Errors
+///
+/// [`AutotuneError::Cancelled`] when the token fires mid-sweep.
+///
+/// # Panics
+///
+/// Like [`autotune`], panics if a candidate fails exhaustive schedule
+/// verification on `cfg.verify_domain` (a construction bug, not an
+/// infeasible choice).
+pub fn autotune_cancellable<F>(
+    program: &StencilProgram,
+    space: &SearchSpace,
+    cfg: &AutotuneConfig,
+    cancel: &CancelToken,
+    mut scorer: F,
+) -> Result<AutotuneReport, AutotuneError>
 where
     F: FnMut(&TileSizeModel) -> Option<f64>,
 {
     let mut report = AutotuneReport::default();
     let mut feasible: Vec<TileSizeModel> = Vec::new();
 
+    let finish = |mut report: AutotuneReport| {
+        report.ranked.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.model.ratio().total_cmp(&b.model.ratio()))
+        });
+        report
+    };
+    let stop = |kind: CancelKind, report: AutotuneReport| {
+        Err(AutotuneError::Cancelled {
+            kind,
+            partial: finish(report),
+        })
+    };
+
     for (h, w) in combinations(space) {
         if w.len() != program.spatial_dims() {
             continue;
+        }
+        if let Some(kind) = cancel.cancelled() {
+            return stop(kind, report);
         }
         report.examined += 1;
         let params = TileParams::new(h, &w);
@@ -218,6 +315,9 @@ where
 
     if let Some((dims, steps)) = &cfg.verify_domain {
         for model in &feasible {
+            if let Some(kind) = cancel.cancelled() {
+                return stop(kind, report);
+            }
             let schedule = HybridSchedule::compute_executable(program, &model.params)
                 .expect("feasible candidate must have an executable schedule");
             let domain = ScheduledDomain::new(program, dims, *steps);
@@ -231,17 +331,15 @@ where
     }
 
     for model in feasible {
+        if let Some(kind) = cancel.cancelled() {
+            return stop(kind, report);
+        }
         match scorer(&model) {
             Some(score) => report.ranked.push(AutotuneEntry { model, score }),
             None => report.rejected_scorer += 1,
         }
     }
-    report.ranked.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then(a.model.ratio().total_cmp(&b.model.ratio()))
-    });
-    report
+    Ok(finish(report))
 }
 
 #[cfg(test)]
@@ -348,6 +446,78 @@ mod tests {
             w0: vec![1, 3],
             wi: vec![vec![8]],
         }
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_ranked_partial_result() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let p = gallery::jacobi2d();
+        let flag = Arc::new(AtomicBool::new(false));
+        let token = CancelToken::with_flag(flag.clone());
+        let mut scored = 0usize;
+        // The scorer raises the flag after its first call: the sweep must
+        // observe it before the second candidate is scored.
+        let result =
+            autotune_cancellable(&p, &small_space(), &AutotuneConfig::fermi(), &token, |m| {
+                scored += 1;
+                flag.store(true, Ordering::SeqCst);
+                Some(m.params.h as f64)
+            });
+        assert_eq!(scored, 1, "cancellation must stop between candidates");
+        match result {
+            Err(AutotuneError::Cancelled { kind, partial }) => {
+                assert_eq!(kind, CancelKind::Flag);
+                assert_eq!(partial.ranked.len(), 1);
+                assert!(partial.best().is_some());
+                let msg = AutotuneError::Cancelled { kind, partial }.to_string();
+                assert!(msg.contains("was cancelled"), "{msg}");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_any_scoring() {
+        let p = gallery::jacobi2d();
+        let token = CancelToken::with_timeout(std::time::Duration::ZERO);
+        let result = autotune_cancellable(
+            &p,
+            &small_space(),
+            &AutotuneConfig::fermi(),
+            &token,
+            |_| -> Option<f64> { panic!("scorer must not run past an expired deadline") },
+        );
+        match result {
+            Err(AutotuneError::Cancelled { kind, partial }) => {
+                assert_eq!(kind, CancelKind::Deadline);
+                assert!(partial.ranked.is_empty());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_token_matches_plain_autotune() {
+        let p = gallery::jacobi2d();
+        let plain = autotune(&p, &small_space(), &AutotuneConfig::fermi(), |m| {
+            Some(-m.ratio())
+        });
+        let via_token = autotune_cancellable(
+            &p,
+            &small_space(),
+            &AutotuneConfig::fermi(),
+            &CancelToken::never(),
+            |m| Some(-m.ratio()),
+        )
+        .unwrap();
+        assert_eq!(plain.examined, via_token.examined);
+        assert_eq!(plain.ranked.len(), via_token.ranked.len());
+        assert_eq!(
+            plain.best().map(|e| e.model.params.clone()),
+            via_token.best().map(|e| e.model.params.clone())
+        );
     }
 
     #[test]
