@@ -220,6 +220,118 @@ pub fn measure_speedup(
     }
 }
 
+/// Wall-clock comparison of one plan on the interpreting vs. the
+/// compiled-bytecode executor, both single-threaded, with a bit-exactness
+/// cross-check before any time is reported. This is the `points_per_sec`
+/// metric of `BENCH_autotune.json`: simulated stencil point updates per
+/// wall-clock second of *simulator* time — the simulator's own
+/// throughput, which bounds how many tuning candidates the fleet can
+/// score per deadline (not to be confused with the simulated device's
+/// GStencils/s).
+#[derive(Clone, Debug)]
+pub struct ExecThroughputSample {
+    /// Stencil name.
+    pub stencil: String,
+    /// Interpreted (`run_plan`) wall time in seconds.
+    pub interpreted_seconds: f64,
+    /// Compiled (`run_plan_compiled`) wall time in seconds.
+    pub compiled_seconds: f64,
+    /// Logical stencil point updates the plan performs.
+    pub points: u64,
+}
+
+impl ExecThroughputSample {
+    /// Simulated point updates per second of interpreter wall time.
+    pub fn points_per_sec_interpreted(&self) -> f64 {
+        if self.interpreted_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.points as f64 / self.interpreted_seconds
+    }
+
+    /// Simulated point updates per second of compiled-executor wall time.
+    pub fn points_per_sec_compiled(&self) -> f64 {
+        if self.compiled_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.points as f64 / self.compiled_seconds
+    }
+
+    /// Interpreted time over compiled time (> 1 means compilation wins).
+    pub fn speedup(&self) -> f64 {
+        if self.compiled_seconds <= 0.0 {
+            return 1.0;
+        }
+        self.interpreted_seconds / self.compiled_seconds
+    }
+}
+
+/// Measures the interpreting and compiled executors on one program's
+/// hybrid plan (default tile parameters, same workload as
+/// [`measure_speedup`]), asserting grids *and* counters bit-exact before
+/// reporting times. Each executor runs `repeats` times and the
+/// **minimum** wall time is reported, so a noisy CI neighbor cannot flip
+/// the compiled-vs-interpreted gate.
+///
+/// # Panics
+///
+/// Panics if the compiled executor diverges from the `run_plan` oracle —
+/// the speed of a wrong answer is not worth reporting.
+pub fn measure_exec_throughput(
+    program: &StencilProgram,
+    device: &DeviceConfig,
+    smoke: bool,
+    repeats: usize,
+) -> ExecThroughputSample {
+    let repeats = repeats.max(1);
+    let params = hybrid_params(program);
+    let opts = CodegenOptions::best();
+    let (dims, steps) = speedup_workload(program, smoke);
+    let plan = generate_hybrid(program, &params, &dims, steps, opts)
+        .expect("default hybrid parameters are schedulable for gallery stencils");
+    let align = alignment_offset_words(program, &params, &opts);
+    let init: Vec<Grid> = (0..program.num_fields())
+        .map(|f| Grid::random(&dims, 7 + f as u64))
+        .collect();
+    let planes = program.max_dt() as usize + 1;
+
+    let mut interpreted_seconds = f64::INFINITY;
+    let mut compiled_seconds = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut interp = GpuSim::with_global_offset(device.clone(), &init, planes, align);
+        interp.run_plan(&plan);
+        interpreted_seconds = interpreted_seconds.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let mut comp = GpuSim::with_global_offset(device.clone(), &init, planes, align);
+        comp.run_plan_compiled(&plan);
+        compiled_seconds = compiled_seconds.min(t1.elapsed().as_secs_f64());
+
+        assert_eq!(
+            comp.counters(),
+            interp.counters(),
+            "{}: compiled executor counters diverged from run_plan oracle",
+            program.name()
+        );
+        for f in 0..program.num_fields() {
+            for p in 0..planes {
+                assert!(
+                    comp.plane(f, p).bit_equal(interp.plane(f, p)),
+                    "{}: compiled executor grid diverged (field {f} plane {p})",
+                    program.name()
+                );
+            }
+        }
+    }
+    ExecThroughputSample {
+        stencil: program.name().to_string(),
+        interpreted_seconds,
+        compiled_seconds,
+        points: point_updates(program, &dims, steps),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +384,17 @@ mod tests {
         assert!(s.seq_seconds > 0.0);
         assert!(s.par_seconds > 0.0);
         assert!(s.launches > 0);
+    }
+
+    #[test]
+    fn exec_throughput_sample_is_bit_exact_and_positive() {
+        let p = gallery::jacobi2d();
+        let s = measure_exec_throughput(&p, &DeviceConfig::gtx470(), true, 1);
+        assert!(s.interpreted_seconds > 0.0);
+        assert!(s.compiled_seconds > 0.0);
+        assert!(s.points > 0);
+        assert!(s.points_per_sec_interpreted() > 0.0);
+        assert!(s.points_per_sec_compiled() > 0.0);
+        assert!(s.speedup() > 0.0);
     }
 }

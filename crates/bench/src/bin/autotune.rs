@@ -11,21 +11,26 @@
 //!
 //! ```text
 //! autotune [--smoke] [--threads N] [--device gtx470|nvs5200m]
-//!          [--min-speedup X] [--out PATH]
+//!          [--min-speedup X] [--min-compiled-speedup X] [--out PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sweep and workloads (the CI `bench-smoke` mode);
 //! * `--threads N` — worker-pool width (default: `HYBRID_SIM_THREADS`
-//!   or the machine's available parallelism);
+//!   or the machine's available parallelism; `0` means auto);
 //! * `--min-speedup X` — exit non-zero if the aggregate parallel speedup
 //!   over the gallery falls below `X`. Only enforced when more than one
 //!   worker is actually in use: on a single-core host the parallel path
 //!   falls back to the sequential executor and a speedup gate would only
 //!   measure timer noise.
+//! * `--min-compiled-speedup X` — exit non-zero if the aggregate
+//!   single-thread speedup of the compiled-bytecode executor over the
+//!   interpreter falls below `X`. Unlike the parallel gate this one has
+//!   no host-cpu escape hatch: compilation must never lose to
+//!   re-interpretation, even on one core.
 //! * `--out PATH` — where to write the JSON (default `BENCH_autotune.json`).
 
 use gpusim::DeviceConfig;
-use hybrid_bench::autotune::{autotune_program, measure_speedup};
+use hybrid_bench::autotune::{autotune_program, measure_exec_throughput, measure_speedup};
 use hybrid_bench::json::Json;
 use stencil::gallery;
 
@@ -34,6 +39,7 @@ struct Args {
     threads: usize,
     device: DeviceConfig,
     min_speedup: Option<f64>,
+    min_compiled_speedup: Option<f64>,
     out: String,
 }
 
@@ -43,6 +49,7 @@ fn parse_args() -> Args {
         threads: gpusim::sim_threads(),
         device: DeviceConfig::gtx470(),
         min_speedup: None,
+        min_compiled_speedup: None,
         out: "BENCH_autotune.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -51,8 +58,10 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--threads" => {
                 let v = it.next().expect("--threads needs a value");
-                args.threads = v.parse().expect("--threads takes a positive integer");
-                assert!(args.threads >= 1, "--threads takes a positive integer");
+                let n: usize = v.parse().expect("--threads takes a non-negative integer");
+                // 0 means auto, the same contract as HYBRID_SIM_THREADS=0
+                // and `hybridc --threads 0`.
+                args.threads = gpusim::resolve_sim_threads(n);
             }
             "--device" => {
                 let v = it.next().expect("--device needs a value");
@@ -65,6 +74,11 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 let v = it.next().expect("--min-speedup needs a value");
                 args.min_speedup = Some(v.parse().expect("--min-speedup takes a number"));
+            }
+            "--min-compiled-speedup" => {
+                let v = it.next().expect("--min-compiled-speedup needs a value");
+                args.min_compiled_speedup =
+                    Some(v.parse().expect("--min-compiled-speedup takes a number"));
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
             other => panic!("unknown argument {other:?}"),
@@ -194,6 +208,41 @@ fn main() {
         "total", total_seq, total_par, aggregate, args.threads
     );
 
+    // --- Executor throughput: interpreted vs compiled bytecode, 1 thread. ---
+    println!("\ncompiled-bytecode executor vs interpreter (single thread):");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>16} {:>16}",
+        "stencil", "interp (s)", "compiled (s)", "speedup", "pts/s interp", "pts/s compiled"
+    );
+    let mut exec_samples = Vec::new();
+    let mut total_interp = 0.0;
+    let mut total_compiled = 0.0;
+    for program in gallery::table3_stencils() {
+        let repeats = if args.smoke { 3 } else { 1 };
+        let s = measure_exec_throughput(&program, &args.device, args.smoke, repeats);
+        println!(
+            "{:<14} {:>12.4} {:>12.4} {:>8.2}x {:>16.0} {:>16.0}",
+            s.stencil,
+            s.interpreted_seconds,
+            s.compiled_seconds,
+            s.speedup(),
+            s.points_per_sec_interpreted(),
+            s.points_per_sec_compiled(),
+        );
+        total_interp += s.interpreted_seconds;
+        total_compiled += s.compiled_seconds;
+        exec_samples.push(s);
+    }
+    let compiled_aggregate = if total_compiled > 0.0 {
+        total_interp / total_compiled
+    } else {
+        1.0
+    };
+    println!(
+        "{:<14} {:>12.4} {:>12.4} {:>8.2}x",
+        "total", total_interp, total_compiled, compiled_aggregate
+    );
+
     let doc = Json::obj(vec![
         (
             "meta",
@@ -230,6 +279,39 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "exec_throughput",
+            Json::obj(vec![
+                ("aggregate_speedup", Json::Num(compiled_aggregate)),
+                ("total_interpreted_seconds", Json::Num(total_interp)),
+                ("total_compiled_seconds", Json::Num(total_compiled)),
+                (
+                    "per_stencil",
+                    Json::Arr(
+                        exec_samples
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stencil", Json::str(s.stencil.clone())),
+                                    ("points", Json::UInt(s.points)),
+                                    ("interpreted_seconds", Json::Num(s.interpreted_seconds)),
+                                    ("compiled_seconds", Json::Num(s.compiled_seconds)),
+                                    (
+                                        "points_per_sec_interpreted",
+                                        Json::Num(s.points_per_sec_interpreted()),
+                                    ),
+                                    (
+                                        "points_per_sec_compiled",
+                                        Json::Num(s.points_per_sec_compiled()),
+                                    ),
+                                    ("speedup", Json::Num(s.speedup())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ]);
     std::fs::write(&args.out, doc.render()).expect("write bench JSON");
     println!("\nwrote {}", args.out);
@@ -250,6 +332,19 @@ fn main() {
             std::process::exit(1);
         } else {
             println!("speedup gate passed: {aggregate:.2}x >= {min:.2}x");
+        }
+    }
+
+    if let Some(min) = args.min_compiled_speedup {
+        if compiled_aggregate < min {
+            eprintln!(
+                "FAIL: aggregate compiled-executor speedup {compiled_aggregate:.2}x is \
+                 below the required {min:.2}x (compilation must not lose to \
+                 re-interpretation)"
+            );
+            std::process::exit(1);
+        } else {
+            println!("compiled-executor gate passed: {compiled_aggregate:.2}x >= {min:.2}x");
         }
     }
 }

@@ -19,7 +19,8 @@
 //!   --autotune         score tile sizes on the simulator (default: static model)
 //!   --smoke            shrink the sweep space (CI mode)
 //!   --device NAME      gtx470 | nvs5200m (default gtx470)
-//!   --threads N        simulator worker threads (default HYBRID_SIM_THREADS)
+//!   --threads N        simulator worker threads; 0 = auto-detect, same as
+//!                      HYBRID_SIM_THREADS=0 (default HYBRID_SIM_THREADS)
 //!   --jobs N           concurrent file compiles (default 1)
 //!   --no-verify        skip the bit-exact oracle check
 //!   --size N[,N..]     override the execution grid
@@ -132,11 +133,13 @@ fn parse_args() -> Args {
                 }
             }
             "--threads" => {
+                // 0 means auto-detect, the same contract as
+                // HYBRID_SIM_THREADS=0 (see gpusim::resolve_sim_threads).
                 cfg.sim_threads = value("--threads")
                     .parse()
                     .ok()
-                    .filter(|&n: &usize| n >= 1)
-                    .unwrap_or_else(|| fail("--threads takes a positive integer"));
+                    .map(gpusim::resolve_sim_threads)
+                    .unwrap_or_else(|| fail("--threads takes a non-negative integer"));
             }
             "--jobs" => {
                 cfg.jobs = value("--jobs")

@@ -1,0 +1,2039 @@
+//! The compiled-bytecode block executor: specialize once, run flat.
+//!
+//! The interpreter in [`crate::exec`] re-walks every `IExpr`/`FExpr` tree
+//! for every lane of every statement execution — a pointer chase per node
+//! plus a heap-allocated index `Vec` per lane per memory access. For
+//! simulated tuning that tree walk *is* the hot path: a tile-size sweep
+//! interprets the same few kernels thousands of times. This module
+//! removes it by compiling each [`Kernel`] once into a flat bytecode
+//! that the executor then replays with branch-predictable linear loops:
+//!
+//! * expression trees become linear op streams over **slot arrays**
+//!   (three-address code, no recursion, no boxes);
+//! * multi-dimensional global/shared indices are folded into **flat
+//!   row-major offsets** against the strides of the bound memory, so the
+//!   executor uses [`Grid::get_flat`](stencil::Grid::get_flat)-style
+//!   access instead of re-deriving the offset from an index vector
+//!   (twice — once for the byte address, once for the data) per lane;
+//! * per-warp address scratch, divergence masks, shared memory, and the
+//!   slot arrays live in a reusable [`ExecScratch`] pooled across blocks
+//!   and launches instead of being reallocated per block.
+//!
+//! # Op format
+//!
+//! Compilation classifies every value by *rank*, and lowers it to the
+//! cheapest matching storage:
+//!
+//! * **immediate** — a compile-time constant, folded into the consuming
+//!   op ([`Val::SImm`]);
+//! * **scalar** — uniform across lanes of a block: launch parameters,
+//!   `BlockIdx`, and integer vars only ever assigned uniform values
+//!   outside divergent control flow. Scalars occupy one `i64` cell
+//!   ([`Val::SSlot`]) and are computed once per evaluation site by
+//!   [`SOp`]s — or once per *block* when they do not depend on loop
+//!   variables (the hoisted preamble);
+//! * **vector** — lane-dependent: `ThreadIdx`, `f32` registers, and
+//!   anything derived from them. Vectors occupy `n_threads` consecutive
+//!   cells ([`Val::VSlot`]) and are computed by [`VOp`]s/[`FOp`]s that
+//!   loop over the active lanes of the current mask.
+//!
+//! Slot layout: scalar slots are `[params.., block, scalar vars..,
+//! temps..]`; vector `i64` slots are `[tid.x, tid.y, tid.z, vector
+//! vars.., temps..]`; `f32` slots are `[registers.., temps..]`. Var and
+//! register slots are zeroed per block (matching the interpreter);
+//! temporaries are written before read by construction.
+//!
+//! Statements ([`BcStmt`]) mirror the source [`Stmt`]s — control flow
+//! keeps its tree shape, which is cold — but every expression they carry
+//! is a pre-lowered program, and every memory access is flat.
+//!
+//! # Equivalence contract
+//!
+//! The compiled executor is **bit-exact** with the interpreter: same
+//! grids, same [`Counters`] — including warp instructions, divergence
+//! events, coalescing transactions and bank conflicts — for any kernel
+//! the interpreter accepts. `tests/parallel_equivalence.rs` property-
+//! tests this against `run_plan` across random stencils, tile sizes and
+//! shared-memory strategies. [`GpuSim::run_plan`] remains the oracle and
+//! never uses this path; the parallel executor and everything built on
+//! it (the autotune scorer, the fleet) use it by default. Set the
+//! `HYBRID_SIM_INTERPRET` environment variable to any non-empty value to
+//! force the interpreter everywhere for debugging.
+
+use gpu_codegen::ir::{Cond, FExpr, IExpr, Kernel, LaunchPlan, Stmt};
+
+use crate::counters::Counters;
+use crate::exec::{GlobalBackend, GpuSim};
+use crate::memory::{GlobalMem, L2Cache};
+use crate::shared::{charge_shared_load, charge_shared_store};
+
+/// A compiled operand: where a value lives.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Val {
+    /// Compile-time integer constant.
+    SImm(i64),
+    /// Scalar (block-uniform) slot.
+    SSlot(u16),
+    /// Vector (per-lane) slot.
+    VSlot(u16),
+}
+
+/// A scalar op: evaluated once (not per lane) into a scalar slot.
+///
+/// Operands are [`Val::SImm`] or [`Val::SSlot`]; a scalar op never reads
+/// a vector slot.
+#[derive(Clone, Debug)]
+pub enum SOp {
+    /// `dst = a + b`.
+    Add(u16, Val, Val),
+    /// `dst = a - b`.
+    Sub(u16, Val, Val),
+    /// `dst = a * b`.
+    Mul(u16, Val, Val),
+    /// `dst = a.div_euclid(k)`.
+    FloorDiv(u16, Val, i64),
+    /// `dst = a.rem_euclid(k)`.
+    Mod(u16, Val, i64),
+    /// `dst = min(a, b)`.
+    Min(u16, Val, Val),
+    /// `dst = max(a, b)`.
+    Max(u16, Val, Val),
+    /// `dst = (a <= b) as i64`.
+    Le(u16, Val, Val),
+    /// `dst = (a < b) as i64`.
+    Lt(u16, Val, Val),
+    /// `dst = (a == b) as i64`.
+    Eq(u16, Val, Val),
+    /// `dst = a & b` (boolean conjunction over 0/1 values).
+    And(u16, Val, Val),
+    /// `dst = a | b` (boolean disjunction over 0/1 values).
+    Or(u16, Val, Val),
+    /// `dst = 1 - a` (boolean negation over 0/1 values).
+    Not(u16, Val),
+}
+
+/// A vector integer op: evaluated for every active lane of the current
+/// mask into a vector slot. Operands may be scalar (resolved once before
+/// the lane loop) or vector.
+#[derive(Clone, Debug)]
+pub enum VOp {
+    /// `dst[l] = src` for active lanes (scalar/immediate broadcast or
+    /// vector copy — used when a var assignment is a bare operand).
+    Copy(u16, Val),
+    /// `dst[l] = a[l] + b[l]`.
+    Add(u16, Val, Val),
+    /// `dst[l] = a[l] - b[l]`.
+    Sub(u16, Val, Val),
+    /// `dst[l] = a[l] * b[l]`.
+    Mul(u16, Val, Val),
+    /// `dst[l] = a[l].div_euclid(k)`.
+    FloorDiv(u16, Val, i64),
+    /// `dst[l] = a[l].rem_euclid(k)`.
+    Mod(u16, Val, i64),
+    /// `dst[l] = min(a[l], b[l])`.
+    Min(u16, Val, Val),
+    /// `dst[l] = max(a[l], b[l])`.
+    Max(u16, Val, Val),
+    /// `dst[l] = (a[l] <= b[l]) as i64`.
+    Le(u16, Val, Val),
+    /// `dst[l] = (a[l] < b[l]) as i64`.
+    Lt(u16, Val, Val),
+    /// `dst[l] = (a[l] == b[l]) as i64`.
+    Eq(u16, Val, Val),
+    /// `dst[l] = a[l] & b[l]` (boolean over 0/1).
+    And(u16, Val, Val),
+    /// `dst[l] = a[l] | b[l]` (boolean over 0/1).
+    Or(u16, Val, Val),
+    /// `dst[l] = 1 - a[l]` (boolean negation over 0/1).
+    Not(u16, Val),
+}
+
+/// An `f32` operand: an immediate or an `f32` vector slot.
+#[derive(Clone, Copy, Debug)]
+pub enum FVal {
+    /// Compile-time `f32` constant.
+    Imm(f32),
+    /// Per-lane `f32` slot (registers first, then temporaries).
+    Slot(u16),
+}
+
+/// A vector `f32` op: evaluated for every active lane.
+#[derive(Clone, Debug)]
+pub enum FOp {
+    /// `dst[l] = src` (broadcast or copy).
+    Copy(u16, FVal),
+    /// `dst[l] = a[l] + b[l]`.
+    Add(u16, FVal, FVal),
+    /// `dst[l] = a[l] - b[l]`.
+    Sub(u16, FVal, FVal),
+    /// `dst[l] = a[l] * b[l]`.
+    Mul(u16, FVal, FVal),
+    /// `dst[l] = a[l].sqrt()`.
+    Sqrt(u16, FVal),
+}
+
+/// The ops one evaluation site needs, in execution order: scalar ops
+/// first (they never read vectors), then vector ops.
+#[derive(Clone, Default, Debug)]
+pub struct Prog {
+    /// Scalar ops, evaluated once per site execution.
+    pub sops: Vec<SOp>,
+    /// Vector ops, evaluated per active lane.
+    pub vops: Vec<VOp>,
+}
+
+/// A compiled flat memory address: per-dimension index operands plus the
+/// extents/strides of the target array, folded to a bounds-checked
+/// row-major offset at execution time.
+#[derive(Clone, Debug)]
+pub struct FlatIndex {
+    /// One operand per dimension.
+    pub idx: Vec<Val>,
+    /// Extents per dimension (for bounds checks).
+    pub dims: Vec<i64>,
+    /// Row-major strides per dimension.
+    pub strides: Vec<i64>,
+    /// Constant word offset added after the strided sum (shared-memory
+    /// buffer base within the block's shared address space; 0 for
+    /// global).
+    pub base: i64,
+}
+
+impl FlatIndex {
+    /// The flat offset for one lane, given resolved per-dimension index
+    /// values. Panics on out-of-bounds exactly where the interpreter
+    /// would (an OOB access is a code-generation bug).
+    #[inline]
+    fn offset(&self, at: impl Fn(Val) -> i64) -> usize {
+        let mut off = self.base;
+        for d in 0..self.idx.len() {
+            let i = at(self.idx[d]);
+            assert!(
+                i >= 0 && i < self.dims[d],
+                "compiled index {i} out of bounds for dim {d} (extent {})",
+                self.dims[d]
+            );
+            off += self.strides[d] * i;
+        }
+        off as usize
+    }
+}
+
+/// A compiled statement. Control flow keeps its (cold) tree shape; all
+/// expressions are pre-lowered [`Prog`]s with [`Val`] results.
+#[derive(Clone, Debug)]
+pub enum BcStmt {
+    /// Scalar var assignment (uniform value, non-divergent context).
+    SetVarS {
+        /// Value program.
+        prog: Prog,
+        /// Value operand.
+        value: Val,
+        /// Destination scalar slot.
+        dst: u16,
+    },
+    /// Vector var assignment (masked, per lane).
+    SetVarV {
+        /// Value program; its final op targets the var's vector slot.
+        prog: Prog,
+    },
+    /// `for (var = lo; var < hi; var += step)` with uniform bounds.
+    For {
+        /// Bounds program.
+        prog: Prog,
+        /// Lower bound operand.
+        lo: Val,
+        /// Upper bound operand.
+        hi: Val,
+        /// Positive step.
+        step: i64,
+        /// The loop variable's slot (scalar or vector).
+        var: Val,
+        /// Loop body.
+        body: Vec<BcStmt>,
+    },
+    /// Conditional with a block-uniform condition: no mask is built and
+    /// no divergence can occur.
+    IfUniform {
+        /// Condition program (scalar).
+        prog: Prog,
+        /// Condition operand (0/1).
+        cond: Val,
+        /// Taken branch.
+        then_: Vec<BcStmt>,
+        /// Else branch.
+        else_: Vec<BcStmt>,
+    },
+    /// Conditional with a lane-dependent condition: splits the mask and
+    /// counts per-warp divergence exactly as the interpreter does.
+    IfLane {
+        /// Condition program (vector).
+        prog: Prog,
+        /// Condition operand (0/1 per lane).
+        cond: Val,
+        /// Taken branch.
+        then_: Vec<BcStmt>,
+        /// Else branch.
+        else_: Vec<BcStmt>,
+    },
+    /// `reg[dst] = global[field][plane][flat]` with coalescing charges.
+    GlobalLoad {
+        /// Index/plane program.
+        prog: Prog,
+        /// Destination register slot.
+        dst: u16,
+        /// Field identifier.
+        field: u32,
+        /// Time-plane operand.
+        plane: Val,
+        /// Flat spatial address.
+        flat: FlatIndex,
+    },
+    /// `global[field][plane][flat] = src`.
+    GlobalStore {
+        /// Index/plane/value program.
+        prog: Prog,
+        /// Field identifier.
+        field: u32,
+        /// Time-plane operand.
+        plane: Val,
+        /// Flat spatial address.
+        flat: FlatIndex,
+        /// Value ops (evaluated per active lane before the warp loop).
+        fops: Vec<FOp>,
+        /// Value operand.
+        src: FVal,
+        /// FLOP weight of the source expression, charged per lane.
+        flops: u64,
+    },
+    /// `reg[dst] = shared[flat]` with bank-conflict charges.
+    SharedLoad {
+        /// Index program.
+        prog: Prog,
+        /// Destination register slot.
+        dst: u16,
+        /// Flat word address within the block's shared space.
+        flat: FlatIndex,
+    },
+    /// `shared[flat] = src`.
+    SharedStore {
+        /// Index/value program.
+        prog: Prog,
+        /// Flat word address within the block's shared space.
+        flat: FlatIndex,
+        /// Value ops.
+        fops: Vec<FOp>,
+        /// Value operand.
+        src: FVal,
+        /// FLOP weight of the source expression, charged per lane.
+        flops: u64,
+    },
+    /// `reg[dst] = expr`, charging `flops` per active lane.
+    Compute {
+        /// Value ops; the final op targets the destination register.
+        fops: Vec<FOp>,
+        /// FLOP weight charged per active lane.
+        flops: u64,
+    },
+    /// `__syncthreads()`.
+    Sync,
+}
+
+/// One kernel compiled against the shape of a [`GlobalMem`].
+///
+/// The compilation is valid for any launch of the kernel on memory with
+/// the same per-field extents (strides are baked into the flat
+/// addresses).
+#[derive(Clone, Debug)]
+pub struct BcKernel {
+    body: Vec<BcStmt>,
+    /// Scalar ops depending only on params/block: run once per block.
+    preamble: Vec<SOp>,
+    n_threads: usize,
+    n_params: usize,
+    n_sslots: usize,
+    n_vslots: usize,
+    n_fslots: usize,
+    /// Vector-var slots to zero per block (after the 3 tid slots).
+    vector_var_slots: std::ops::Range<usize>,
+    n_regs: usize,
+    shared_words: usize,
+    block_dim: [usize; 3],
+}
+
+/// A whole launch plan compiled kernel-by-kernel; index with the
+/// launch's kernel id.
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    kernels: Vec<BcKernel>,
+}
+
+impl CompiledPlan {
+    /// Compiles every kernel of `plan` against the shape of `mem`.
+    pub(crate) fn new(plan: &LaunchPlan, mem: &GlobalMem) -> CompiledPlan {
+        CompiledPlan {
+            kernels: plan
+                .kernels
+                .iter()
+                .map(|k| compile_kernel(k, mem))
+                .collect(),
+        }
+    }
+
+    /// The compiled form of kernel `i`.
+    pub(crate) fn kernel(&self, i: usize) -> &BcKernel {
+        &self.kernels[i]
+    }
+}
+
+/// True when the `HYBRID_SIM_INTERPRET` environment variable forces the
+/// tree-walking interpreter onto paths that would otherwise use the
+/// compiled executor (a debugging aid; see the module docs).
+pub fn interpreter_forced() -> bool {
+    std::env::var_os("HYBRID_SIM_INTERPRET").is_some_and(|v| !v.is_empty())
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+/// How a kernel var is stored: scalar slot when every assignment is
+/// uniform and outside divergent control flow, vector slot otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VarStorage {
+    Scalar(u16),
+    Vector(u16),
+}
+
+struct Compiler<'a> {
+    kernel: &'a Kernel,
+    mem: &'a GlobalMem,
+    vars: Vec<VarStorage>,
+    n_sslots: usize,
+    n_vslots: usize,
+    n_fslots: usize,
+    preamble: Vec<SOp>,
+    /// Scalar slots whose value is block-uniform (computable in the
+    /// preamble): params, block, and ops over them.
+    hoistable: Vec<bool>,
+    /// Shared-buffer word bases (cumulative, matching `SharedMem`).
+    shared_bases: Vec<i64>,
+}
+
+/// Decides which vars can live in scalar slots: every assignment must be
+/// outside divergent control flow (`If`) and its value must be uniform —
+/// i.e. free of `ThreadIdx` and of vars already known to be vector.
+/// Iterates to a fixpoint because uniformity depends on other vars.
+fn classify_vars(kernel: &Kernel) -> Vec<bool> {
+    let mut scalar = vec![true; kernel.n_vars];
+    loop {
+        let mut changed = false;
+        fn walk(stmts: &[Stmt], divergent: bool, scalar: &mut [bool], changed: &mut bool) {
+            for s in stmts {
+                match s {
+                    Stmt::SetVar { var, value }
+                        if scalar[*var] && (divergent || !uniform_iexpr(value, scalar)) =>
+                    {
+                        scalar[*var] = false;
+                        *changed = true;
+                    }
+                    Stmt::For { var, body, .. } => {
+                        // The loop value itself is uniform; only the
+                        // context matters.
+                        if scalar[*var] && divergent {
+                            scalar[*var] = false;
+                            *changed = true;
+                        }
+                        walk(body, divergent, scalar, changed);
+                    }
+                    Stmt::If { then_, else_, .. } => {
+                        walk(then_, true, scalar, changed);
+                        walk(else_, true, scalar, changed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&kernel.body, false, &mut scalar, &mut changed);
+        if !changed {
+            return scalar;
+        }
+    }
+}
+
+/// True when the expression is lane-independent given the current var
+/// classification.
+fn uniform_iexpr(e: &IExpr, scalar: &[bool]) -> bool {
+    match e {
+        IExpr::Const(_) | IExpr::Param(_) | IExpr::BlockIdx => true,
+        IExpr::ThreadIdx(_) => false,
+        IExpr::Var(v) => scalar[*v],
+        IExpr::Add(a, b) | IExpr::Sub(a, b) | IExpr::Mul(a, b) => {
+            uniform_iexpr(a, scalar) && uniform_iexpr(b, scalar)
+        }
+        IExpr::FloorDiv(a, _) | IExpr::Mod(a, _) => uniform_iexpr(a, scalar),
+        IExpr::Min(a, b) | IExpr::Max(a, b) => uniform_iexpr(a, scalar) && uniform_iexpr(b, scalar),
+    }
+}
+
+impl<'a> Compiler<'a> {
+    fn new(kernel: &'a Kernel, mem: &'a GlobalMem) -> Compiler<'a> {
+        let scalar = classify_vars(kernel);
+        // Scalar slots: [params.., block, scalar vars.., temps..].
+        let mut n_sslots = kernel.n_params + 1;
+        // Vector slots: [tid.x, tid.y, tid.z, vector vars.., temps..].
+        let mut n_vslots = 3;
+        let vars = scalar
+            .iter()
+            .map(|&s| {
+                if s {
+                    let slot = VarStorage::Scalar(n_sslots as u16);
+                    n_sslots += 1;
+                    slot
+                } else {
+                    let slot = VarStorage::Vector(n_vslots as u16);
+                    n_vslots += 1;
+                    slot
+                }
+            })
+            .collect();
+        let mut shared_bases = Vec::new();
+        let mut next = 0i64;
+        for b in &kernel.shared {
+            shared_bases.push(next);
+            next += b.len() as i64;
+        }
+        // Only params and the block index are known at preamble time;
+        // scalar *var* slots are assigned by the body at runtime, so ops
+        // reading them must stay at their site.
+        let mut hoistable = vec![false; n_sslots];
+        for h in hoistable.iter_mut().take(kernel.n_params + 1) {
+            *h = true;
+        }
+        Compiler {
+            kernel,
+            mem,
+            vars,
+            n_sslots,
+            n_vslots,
+            n_fslots: kernel.n_regs,
+            preamble: Vec::new(),
+            hoistable,
+            shared_bases,
+        }
+    }
+
+    fn sslot(&mut self, hoisted: bool) -> u16 {
+        let s = self.n_sslots;
+        self.n_sslots += 1;
+        self.hoistable.push(hoisted);
+        s as u16
+    }
+
+    fn vslot(&mut self) -> u16 {
+        let v = self.n_vslots;
+        self.n_vslots += 1;
+        v as u16
+    }
+
+    fn fslot(&mut self) -> u16 {
+        let f = self.n_fslots;
+        self.n_fslots += 1;
+        f as u16
+    }
+
+    fn is_hoistable(&self, v: Val) -> bool {
+        match v {
+            Val::SImm(_) => true,
+            Val::SSlot(s) => self.hoistable[s as usize],
+            Val::VSlot(_) => false,
+        }
+    }
+
+    /// Emits a scalar op: into the per-block preamble when every operand
+    /// is block-uniform, into the site program otherwise.
+    fn emit_s(&mut self, prog: &mut Prog, hoisted: bool, op: SOp) {
+        if hoisted {
+            self.preamble.push(op);
+        } else {
+            prog.sops.push(op);
+        }
+    }
+
+    /// Lowers an integer expression, returning its operand.
+    fn iexpr(&mut self, e: &IExpr, prog: &mut Prog) -> Val {
+        match e {
+            IExpr::Const(c) => Val::SImm(*c),
+            IExpr::Param(p) => Val::SSlot(*p as u16),
+            IExpr::BlockIdx => Val::SSlot(self.kernel.n_params as u16),
+            IExpr::ThreadIdx(d) => Val::VSlot(*d as u16),
+            IExpr::Var(v) => match self.vars[*v] {
+                VarStorage::Scalar(s) => Val::SSlot(s),
+                VarStorage::Vector(s) => Val::VSlot(s),
+            },
+            IExpr::Add(a, b) => self.ibin(a, b, prog, Ibin::Add),
+            IExpr::Sub(a, b) => self.ibin(a, b, prog, Ibin::Sub),
+            IExpr::Mul(a, b) => self.ibin(a, b, prog, Ibin::Mul),
+            IExpr::Min(a, b) => self.ibin(a, b, prog, Ibin::Min),
+            IExpr::Max(a, b) => self.ibin(a, b, prog, Ibin::Max),
+            IExpr::FloorDiv(a, k) => {
+                let a = self.iexpr(a, prog);
+                match a {
+                    Val::SImm(c) => Val::SImm(c.div_euclid(*k)),
+                    Val::VSlot(_) => {
+                        let dst = self.vslot();
+                        prog.vops.push(VOp::FloorDiv(dst, a, *k));
+                        Val::VSlot(dst)
+                    }
+                    _ => {
+                        let hoisted = self.is_hoistable(a);
+                        let dst = self.sslot(hoisted);
+                        self.emit_s(prog, hoisted, SOp::FloorDiv(dst, a, *k));
+                        Val::SSlot(dst)
+                    }
+                }
+            }
+            IExpr::Mod(a, k) => {
+                let a = self.iexpr(a, prog);
+                match a {
+                    Val::SImm(c) => Val::SImm(c.rem_euclid(*k)),
+                    Val::VSlot(_) => {
+                        let dst = self.vslot();
+                        prog.vops.push(VOp::Mod(dst, a, *k));
+                        Val::VSlot(dst)
+                    }
+                    _ => {
+                        let hoisted = self.is_hoistable(a);
+                        let dst = self.sslot(hoisted);
+                        self.emit_s(prog, hoisted, SOp::Mod(dst, a, *k));
+                        Val::SSlot(dst)
+                    }
+                }
+            }
+        }
+    }
+
+    fn ibin(&mut self, a: &IExpr, b: &IExpr, prog: &mut Prog, kind: Ibin) -> Val {
+        let a = self.iexpr(a, prog);
+        let b = self.iexpr(b, prog);
+        if let (Val::SImm(x), Val::SImm(y)) = (a, b) {
+            return Val::SImm(match kind {
+                Ibin::Add => x + y,
+                Ibin::Sub => x - y,
+                Ibin::Mul => x * y,
+                Ibin::Min => x.min(y),
+                Ibin::Max => x.max(y),
+                Ibin::Le => (x <= y) as i64,
+                Ibin::Lt => (x < y) as i64,
+                Ibin::Eq => (x == y) as i64,
+                Ibin::And => x & y,
+                Ibin::Or => x | y,
+            });
+        }
+        if matches!(a, Val::VSlot(_)) || matches!(b, Val::VSlot(_)) {
+            let dst = self.vslot();
+            prog.vops.push(match kind {
+                Ibin::Add => VOp::Add(dst, a, b),
+                Ibin::Sub => VOp::Sub(dst, a, b),
+                Ibin::Mul => VOp::Mul(dst, a, b),
+                Ibin::Min => VOp::Min(dst, a, b),
+                Ibin::Max => VOp::Max(dst, a, b),
+                Ibin::Le => VOp::Le(dst, a, b),
+                Ibin::Lt => VOp::Lt(dst, a, b),
+                Ibin::Eq => VOp::Eq(dst, a, b),
+                Ibin::And => VOp::And(dst, a, b),
+                Ibin::Or => VOp::Or(dst, a, b),
+            });
+            Val::VSlot(dst)
+        } else {
+            let hoisted = self.is_hoistable(a) && self.is_hoistable(b);
+            let dst = self.sslot(hoisted);
+            let op = match kind {
+                Ibin::Add => SOp::Add(dst, a, b),
+                Ibin::Sub => SOp::Sub(dst, a, b),
+                Ibin::Mul => SOp::Mul(dst, a, b),
+                Ibin::Min => SOp::Min(dst, a, b),
+                Ibin::Max => SOp::Max(dst, a, b),
+                Ibin::Le => SOp::Le(dst, a, b),
+                Ibin::Lt => SOp::Lt(dst, a, b),
+                Ibin::Eq => SOp::Eq(dst, a, b),
+                Ibin::And => SOp::And(dst, a, b),
+                Ibin::Or => SOp::Or(dst, a, b),
+            };
+            self.emit_s(prog, hoisted, op);
+            Val::SSlot(dst)
+        }
+    }
+
+    /// Lowers a condition to a 0/1 operand. Both operands of `And`/`Or`
+    /// are always evaluated (conditions are pure), which the 0/1
+    /// arithmetic then combines without short-circuiting.
+    fn cond(&mut self, c: &Cond, prog: &mut Prog) -> Val {
+        match c {
+            Cond::True => Val::SImm(1),
+            Cond::Le(a, b) => self.ibin(a, b, prog, Ibin::Le),
+            Cond::Lt(a, b) => self.ibin(a, b, prog, Ibin::Lt),
+            Cond::Eq(a, b) => self.ibin(a, b, prog, Ibin::Eq),
+            Cond::And(a, b) => {
+                let a = self.cond(a, prog);
+                let b = self.cond(b, prog);
+                self.bool_bin(a, b, prog, Ibin::And)
+            }
+            Cond::Or(a, b) => {
+                let a = self.cond(a, prog);
+                let b = self.cond(b, prog);
+                self.bool_bin(a, b, prog, Ibin::Or)
+            }
+            Cond::Not(a) => {
+                let a = self.cond(a, prog);
+                match a {
+                    Val::SImm(x) => Val::SImm(1 - x),
+                    Val::VSlot(_) => {
+                        let dst = self.vslot();
+                        prog.vops.push(VOp::Not(dst, a));
+                        Val::VSlot(dst)
+                    }
+                    _ => {
+                        let hoisted = self.is_hoistable(a);
+                        let dst = self.sslot(hoisted);
+                        self.emit_s(prog, hoisted, SOp::Not(dst, a));
+                        Val::SSlot(dst)
+                    }
+                }
+            }
+        }
+    }
+
+    fn bool_bin(&mut self, a: Val, b: Val, prog: &mut Prog, kind: Ibin) -> Val {
+        if let (Val::SImm(x), Val::SImm(y)) = (a, b) {
+            return Val::SImm(match kind {
+                Ibin::And => x & y,
+                _ => x | y,
+            });
+        }
+        if matches!(a, Val::VSlot(_)) || matches!(b, Val::VSlot(_)) {
+            let dst = self.vslot();
+            prog.vops.push(match kind {
+                Ibin::And => VOp::And(dst, a, b),
+                _ => VOp::Or(dst, a, b),
+            });
+            Val::VSlot(dst)
+        } else {
+            let hoisted = self.is_hoistable(a) && self.is_hoistable(b);
+            let dst = self.sslot(hoisted);
+            let op = match kind {
+                Ibin::And => SOp::And(dst, a, b),
+                _ => SOp::Or(dst, a, b),
+            };
+            self.emit_s(prog, hoisted, op);
+            Val::SSlot(dst)
+        }
+    }
+
+    /// Lowers an `f32` expression; `dst` pins the final op's target (used
+    /// to write registers in place).
+    fn fexpr(&mut self, e: &FExpr, fops: &mut Vec<FOp>) -> FVal {
+        match e {
+            FExpr::Reg(r) => FVal::Slot(*r as u16),
+            FExpr::Const(c) => FVal::Imm(*c),
+            FExpr::Add(a, b) => {
+                let (a, b) = (self.fexpr(a, fops), self.fexpr(b, fops));
+                let dst = self.fslot();
+                fops.push(FOp::Add(dst, a, b));
+                FVal::Slot(dst)
+            }
+            FExpr::Sub(a, b) => {
+                let (a, b) = (self.fexpr(a, fops), self.fexpr(b, fops));
+                let dst = self.fslot();
+                fops.push(FOp::Sub(dst, a, b));
+                FVal::Slot(dst)
+            }
+            FExpr::Mul(a, b) => {
+                let (a, b) = (self.fexpr(a, fops), self.fexpr(b, fops));
+                let dst = self.fslot();
+                fops.push(FOp::Mul(dst, a, b));
+                FVal::Slot(dst)
+            }
+            FExpr::Sqrt(a) => {
+                let a = self.fexpr(a, fops);
+                let dst = self.fslot();
+                fops.push(FOp::Sqrt(dst, a));
+                FVal::Slot(dst)
+            }
+        }
+    }
+
+    /// Lowers an `f32` expression whose result must land in register
+    /// `reg`: the final op is retargeted, or a copy is emitted for bare
+    /// operands.
+    fn fexpr_into(&mut self, e: &FExpr, reg: u16, fops: &mut Vec<FOp>) {
+        let out = self.fexpr(e, fops);
+        match (out, fops.last_mut()) {
+            (FVal::Slot(s), Some(op)) if op_dst(op) == s => retarget(op, reg),
+            _ => fops.push(FOp::Copy(reg, out)),
+        }
+    }
+
+    /// FLOP weight of an expression (`sqrt` counts 3), matching the
+    /// interpreter's accounting.
+    fn flop_weight(e: &FExpr) -> u64 {
+        match e {
+            FExpr::Reg(_) | FExpr::Const(_) => 0,
+            FExpr::Add(a, b) | FExpr::Sub(a, b) | FExpr::Mul(a, b) => {
+                1 + Self::flop_weight(a) + Self::flop_weight(b)
+            }
+            FExpr::Sqrt(a) => 3 + Self::flop_weight(a),
+        }
+    }
+
+    /// Lowers a spatial index against the extents of global field
+    /// `field`.
+    fn global_index(&mut self, field: usize, index: &[IExpr], prog: &mut Prog) -> FlatIndex {
+        let dims: Vec<i64> = self
+            .mem
+            .field_dims(field)
+            .iter()
+            .map(|&d| d as i64)
+            .collect();
+        self.flat_index(index, dims, 0, prog)
+    }
+
+    /// Lowers a shared-buffer index against the buffer's static extents.
+    fn shared_index(&mut self, buf: usize, index: &[IExpr], prog: &mut Prog) -> FlatIndex {
+        let dims: Vec<i64> = self.kernel.shared[buf]
+            .dims
+            .iter()
+            .map(|&d| d as i64)
+            .collect();
+        let base = self.shared_bases[buf];
+        self.flat_index(index, dims, base, prog)
+    }
+
+    fn flat_index(
+        &mut self,
+        index: &[IExpr],
+        dims: Vec<i64>,
+        base: i64,
+        prog: &mut Prog,
+    ) -> FlatIndex {
+        assert_eq!(index.len(), dims.len(), "index arity mismatch");
+        let idx: Vec<Val> = index.iter().map(|e| self.iexpr(e, prog)).collect();
+        let mut strides = vec![1i64; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        FlatIndex {
+            idx,
+            dims,
+            strides,
+            base,
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Vec<BcStmt> {
+        stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> BcStmt {
+        match stmt {
+            Stmt::SetVar { var, value } => match self.vars[*var] {
+                VarStorage::Scalar(dst) => {
+                    let mut prog = Prog::default();
+                    let value = self.iexpr(value, &mut prog);
+                    BcStmt::SetVarS { prog, value, dst }
+                }
+                VarStorage::Vector(dst) => {
+                    let mut prog = Prog::default();
+                    let out = self.iexpr(value, &mut prog);
+                    match (out, prog.vops.last_mut()) {
+                        (Val::VSlot(s), Some(op)) if vop_dst(op) == s => retarget_v(op, dst),
+                        _ => prog.vops.push(VOp::Copy(dst, out)),
+                    }
+                    BcStmt::SetVarV { prog }
+                }
+            },
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let mut prog = Prog::default();
+                let lo = self.iexpr(lo, &mut prog);
+                let hi = self.iexpr(hi, &mut prog);
+                let var = match self.vars[*var] {
+                    VarStorage::Scalar(s) => Val::SSlot(s),
+                    VarStorage::Vector(s) => Val::VSlot(s),
+                };
+                let body = self.stmts(body);
+                BcStmt::For {
+                    prog,
+                    lo,
+                    hi,
+                    step: *step,
+                    var,
+                    body,
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut prog = Prog::default();
+                let cond = self.cond(cond, &mut prog);
+                let then_ = self.stmts(then_);
+                let else_ = self.stmts(else_);
+                if matches!(cond, Val::VSlot(_)) {
+                    BcStmt::IfLane {
+                        prog,
+                        cond,
+                        then_,
+                        else_,
+                    }
+                } else {
+                    BcStmt::IfUniform {
+                        prog,
+                        cond,
+                        then_,
+                        else_,
+                    }
+                }
+            }
+            Stmt::GlobalLoad {
+                dst,
+                field,
+                plane,
+                index,
+            } => {
+                let mut prog = Prog::default();
+                let plane = self.iexpr(plane, &mut prog);
+                let flat = self.global_index(*field, index, &mut prog);
+                BcStmt::GlobalLoad {
+                    prog,
+                    dst: *dst as u16,
+                    field: *field as u32,
+                    plane,
+                    flat,
+                }
+            }
+            Stmt::GlobalStore {
+                field,
+                plane,
+                index,
+                src,
+            } => {
+                let mut prog = Prog::default();
+                let plane = self.iexpr(plane, &mut prog);
+                let flat = self.global_index(*field, index, &mut prog);
+                let mut fops = Vec::new();
+                let out = self.fexpr(src, &mut fops);
+                BcStmt::GlobalStore {
+                    prog,
+                    field: *field as u32,
+                    plane,
+                    flat,
+                    fops,
+                    src: out,
+                    flops: Self::flop_weight(src),
+                }
+            }
+            Stmt::SharedLoad { dst, buf, index } => {
+                let mut prog = Prog::default();
+                let flat = self.shared_index(*buf, index, &mut prog);
+                BcStmt::SharedLoad {
+                    prog,
+                    dst: *dst as u16,
+                    flat,
+                }
+            }
+            Stmt::SharedStore { buf, index, src } => {
+                let mut prog = Prog::default();
+                let flat = self.shared_index(*buf, index, &mut prog);
+                let mut fops = Vec::new();
+                let out = self.fexpr(src, &mut fops);
+                BcStmt::SharedStore {
+                    prog,
+                    flat,
+                    fops,
+                    src: out,
+                    flops: Self::flop_weight(src),
+                }
+            }
+            Stmt::Compute { dst, expr } => {
+                let mut fops = Vec::new();
+                self.fexpr_into(expr, *dst as u16, &mut fops);
+                BcStmt::Compute {
+                    fops,
+                    flops: Self::flop_weight(expr),
+                }
+            }
+            Stmt::Sync => BcStmt::Sync,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Ibin {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+    Le,
+    Lt,
+    Eq,
+    And,
+    Or,
+}
+
+fn op_dst(op: &FOp) -> u16 {
+    match op {
+        FOp::Copy(d, _)
+        | FOp::Add(d, _, _)
+        | FOp::Sub(d, _, _)
+        | FOp::Mul(d, _, _)
+        | FOp::Sqrt(d, _) => *d,
+    }
+}
+
+fn retarget(op: &mut FOp, dst: u16) {
+    match op {
+        FOp::Copy(d, _)
+        | FOp::Add(d, _, _)
+        | FOp::Sub(d, _, _)
+        | FOp::Mul(d, _, _)
+        | FOp::Sqrt(d, _) => *d = dst,
+    }
+}
+
+fn vop_dst(op: &VOp) -> u16 {
+    match op {
+        VOp::Copy(d, _)
+        | VOp::Add(d, _, _)
+        | VOp::Sub(d, _, _)
+        | VOp::Mul(d, _, _)
+        | VOp::FloorDiv(d, _, _)
+        | VOp::Mod(d, _, _)
+        | VOp::Min(d, _, _)
+        | VOp::Max(d, _, _)
+        | VOp::Le(d, _, _)
+        | VOp::Lt(d, _, _)
+        | VOp::Eq(d, _, _)
+        | VOp::And(d, _, _)
+        | VOp::Or(d, _, _)
+        | VOp::Not(d, _) => *d,
+    }
+}
+
+fn retarget_v(op: &mut VOp, dst: u16) {
+    match op {
+        VOp::Copy(d, _)
+        | VOp::Add(d, _, _)
+        | VOp::Sub(d, _, _)
+        | VOp::Mul(d, _, _)
+        | VOp::FloorDiv(d, _, _)
+        | VOp::Mod(d, _, _)
+        | VOp::Min(d, _, _)
+        | VOp::Max(d, _, _)
+        | VOp::Le(d, _, _)
+        | VOp::Lt(d, _, _)
+        | VOp::Eq(d, _, _)
+        | VOp::And(d, _, _)
+        | VOp::Or(d, _, _)
+        | VOp::Not(d, _) => *d = dst,
+    }
+}
+
+/// Compiles one kernel against the field extents of `mem`.
+pub(crate) fn compile_kernel(kernel: &Kernel, mem: &GlobalMem) -> BcKernel {
+    let mut c = Compiler::new(kernel, mem);
+    let body = c.stmts(&kernel.body);
+    let vector_var_slots = 3..3 + c
+        .vars
+        .iter()
+        .filter(|v| matches!(v, VarStorage::Vector(_)))
+        .count();
+    assert!(
+        c.n_sslots < u16::MAX as usize
+            && c.n_vslots < u16::MAX as usize
+            && c.n_fslots < u16::MAX as usize,
+        "kernel too large for 16-bit slot indices"
+    );
+    BcKernel {
+        body,
+        preamble: c.preamble,
+        n_threads: kernel.threads_per_block(),
+        n_params: kernel.n_params,
+        n_sslots: c.n_sslots,
+        n_vslots: c.n_vslots,
+        n_fslots: c.n_fslots,
+        vector_var_slots,
+        n_regs: kernel.n_regs,
+        shared_words: kernel.shared.iter().map(|b| b.len()).sum(),
+        block_dim: kernel.block_dim,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Reusable per-worker execution state: slot arrays, shared memory, the
+/// per-block L1 slice, warp address scratch and a mask arena — all
+/// pooled across blocks and launches so the four hot statement handlers
+/// never allocate.
+#[derive(Default, Debug)]
+pub struct ExecScratch {
+    s: Vec<i64>,
+    v: Vec<i64>,
+    f: Vec<f32>,
+    shared: Vec<f32>,
+    addrs: Vec<u64>,
+    words: Vec<usize>,
+    masks: Vec<Vec<bool>>,
+    l1: Option<L2Cache>,
+}
+
+impl ExecScratch {
+    /// Prepares the scratch for one block of `bc`: sizes the slot
+    /// arrays, zeroes vars/registers/shared memory, seeds params, block
+    /// index and thread-id vectors, resets the block-private L1 slice
+    /// and runs the scalar preamble.
+    fn bind(&mut self, bc: &BcKernel, params: &[i64], block: i64) {
+        assert_eq!(params.len(), bc.n_params, "launch parameter arity");
+        let n = bc.n_threads;
+        self.s.clear();
+        self.s.resize(bc.n_sslots, 0);
+        self.s[..bc.n_params].copy_from_slice(params);
+        self.s[bc.n_params] = block;
+        self.v.resize(bc.n_vslots * n, 0);
+        self.f.resize(bc.n_fslots * n, 0.0);
+        self.shared.clear();
+        self.shared.resize(bc.shared_words, 0.0);
+        // Zero var and register slots (temps are written before read).
+        for slot in bc.vector_var_slots.clone() {
+            self.v[slot * n..(slot + 1) * n].fill(0);
+        }
+        self.f[..bc.n_regs * n].fill(0.0);
+        // Thread-id vectors.
+        for t in 0..n {
+            self.v[t] = (t % bc.block_dim[0]) as i64;
+            self.v[n + t] = ((t / bc.block_dim[0]) % bc.block_dim[1]) as i64;
+            self.v[2 * n + t] = (t / (bc.block_dim[0] * bc.block_dim[1])) as i64;
+        }
+        // Fermi's 16 KB L1 configuration divided among ~8 resident
+        // blocks per SM: a 2 KB effective slice per block, reset (not
+        // reallocated) between blocks.
+        match &mut self.l1 {
+            Some(l1) => l1.reset(),
+            None => self.l1 = Some(L2Cache::new(2 * 1024)),
+        }
+        for op in &bc.preamble {
+            exec_sop(op, &mut self.s);
+        }
+    }
+
+    fn take_mask(&mut self, n: usize) -> Vec<bool> {
+        let mut m = self.masks.pop().unwrap_or_default();
+        m.clear();
+        m.resize(n, false);
+        m
+    }
+
+    fn return_mask(&mut self, m: Vec<bool>) {
+        self.masks.push(m);
+    }
+}
+
+#[inline]
+fn exec_sop(op: &SOp, s: &mut [i64]) {
+    #[inline]
+    fn at(s: &[i64], v: Val) -> i64 {
+        match v {
+            Val::SImm(c) => c,
+            Val::SSlot(i) => s[i as usize],
+            Val::VSlot(_) => unreachable!("scalar op with vector operand"),
+        }
+    }
+    match *op {
+        SOp::Add(d, a, b) => s[d as usize] = at(s, a) + at(s, b),
+        SOp::Sub(d, a, b) => s[d as usize] = at(s, a) - at(s, b),
+        SOp::Mul(d, a, b) => s[d as usize] = at(s, a) * at(s, b),
+        SOp::FloorDiv(d, a, k) => s[d as usize] = at(s, a).div_euclid(k),
+        SOp::Mod(d, a, k) => s[d as usize] = at(s, a).rem_euclid(k),
+        SOp::Min(d, a, b) => s[d as usize] = at(s, a).min(at(s, b)),
+        SOp::Max(d, a, b) => s[d as usize] = at(s, a).max(at(s, b)),
+        SOp::Le(d, a, b) => s[d as usize] = (at(s, a) <= at(s, b)) as i64,
+        SOp::Lt(d, a, b) => s[d as usize] = (at(s, a) < at(s, b)) as i64,
+        SOp::Eq(d, a, b) => s[d as usize] = (at(s, a) == at(s, b)) as i64,
+        SOp::And(d, a, b) => s[d as usize] = at(s, a) & at(s, b),
+        SOp::Or(d, a, b) => s[d as usize] = at(s, a) | at(s, b),
+        SOp::Not(d, a) => s[d as usize] = 1 - at(s, a),
+    }
+}
+
+/// A vector-op operand resolved once per op (not once per lane): either a
+/// lane-invariant broadcast value or a base offset into the vector slot
+/// array.
+#[derive(Clone, Copy)]
+enum VSrc {
+    Broadcast(i64),
+    Lanes(usize),
+}
+
+/// [`VSrc`] for `f32` operands.
+#[derive(Clone, Copy)]
+enum FSrc {
+    Broadcast(f32),
+    Lanes(usize),
+}
+
+/// Applies `f` to operand `a` across the active lanes, writing slot range
+/// `d..d + n`. `mask: None` means every lane is active — the common
+/// non-divergent case — and skips the per-lane mask test.
+#[inline]
+fn vmap1(
+    v: &mut [i64],
+    d: usize,
+    n: usize,
+    mask: Option<&[bool]>,
+    a: VSrc,
+    f: impl Fn(i64) -> i64,
+) {
+    match (a, mask) {
+        (VSrc::Broadcast(x), None) => v[d..d + n].fill(f(x)),
+        (VSrc::Broadcast(x), Some(mask)) => {
+            let r = f(x);
+            for (lane, &m) in mask.iter().enumerate() {
+                if m {
+                    v[d + lane] = r;
+                }
+            }
+        }
+        (VSrc::Lanes(ab), None) => {
+            for lane in 0..n {
+                v[d + lane] = f(v[ab + lane]);
+            }
+        }
+        (VSrc::Lanes(ab), Some(mask)) => {
+            for (lane, &m) in mask.iter().enumerate() {
+                if m {
+                    v[d + lane] = f(v[ab + lane]);
+                }
+            }
+        }
+    }
+}
+
+/// Binary [`vmap1`].
+#[inline]
+fn vmap2(
+    v: &mut [i64],
+    d: usize,
+    n: usize,
+    mask: Option<&[bool]>,
+    a: VSrc,
+    b: VSrc,
+    f: impl Fn(i64, i64) -> i64,
+) {
+    match (a, b) {
+        (VSrc::Broadcast(x), b) => vmap1(v, d, n, mask, b, |y| f(x, y)),
+        (VSrc::Lanes(ab), VSrc::Broadcast(y)) => vmap1(v, d, n, mask, VSrc::Lanes(ab), |x| f(x, y)),
+        (VSrc::Lanes(ab), VSrc::Lanes(bb)) => match mask {
+            None => {
+                for lane in 0..n {
+                    v[d + lane] = f(v[ab + lane], v[bb + lane]);
+                }
+            }
+            Some(mask) => {
+                for (lane, &m) in mask.iter().enumerate() {
+                    if m {
+                        v[d + lane] = f(v[ab + lane], v[bb + lane]);
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// [`vmap1`] over the `f32` slot array.
+#[inline]
+fn fmap1(
+    f32s: &mut [f32],
+    d: usize,
+    n: usize,
+    mask: Option<&[bool]>,
+    a: FSrc,
+    f: impl Fn(f32) -> f32,
+) {
+    match (a, mask) {
+        (FSrc::Broadcast(x), None) => f32s[d..d + n].fill(f(x)),
+        (FSrc::Broadcast(x), Some(mask)) => {
+            let r = f(x);
+            for (lane, &m) in mask.iter().enumerate() {
+                if m {
+                    f32s[d + lane] = r;
+                }
+            }
+        }
+        (FSrc::Lanes(ab), None) => {
+            for lane in 0..n {
+                f32s[d + lane] = f(f32s[ab + lane]);
+            }
+        }
+        (FSrc::Lanes(ab), Some(mask)) => {
+            for (lane, &m) in mask.iter().enumerate() {
+                if m {
+                    f32s[d + lane] = f(f32s[ab + lane]);
+                }
+            }
+        }
+    }
+}
+
+/// Binary [`fmap1`].
+#[inline]
+fn fmap2(
+    f32s: &mut [f32],
+    d: usize,
+    n: usize,
+    mask: Option<&[bool]>,
+    a: FSrc,
+    b: FSrc,
+    f: impl Fn(f32, f32) -> f32,
+) {
+    match (a, b) {
+        (FSrc::Broadcast(x), b) => fmap1(f32s, d, n, mask, b, |y| f(x, y)),
+        (FSrc::Lanes(ab), FSrc::Broadcast(y)) => {
+            fmap1(f32s, d, n, mask, FSrc::Lanes(ab), |x| f(x, y))
+        }
+        (FSrc::Lanes(ab), FSrc::Lanes(bb)) => match mask {
+            None => {
+                for lane in 0..n {
+                    f32s[d + lane] = f(f32s[ab + lane], f32s[bb + lane]);
+                }
+            }
+            Some(mask) => {
+                for (lane, &m) in mask.iter().enumerate() {
+                    if m {
+                        f32s[d + lane] = f(f32s[ab + lane], f32s[bb + lane]);
+                    }
+                }
+            }
+        },
+    }
+}
+
+struct CompiledExec<'a, B: GlobalBackend> {
+    bc: &'a BcKernel,
+    glob: &'a mut B,
+    counters: &'a mut Counters,
+    scratch: &'a mut ExecScratch,
+}
+
+impl<B: GlobalBackend> CompiledExec<'_, B> {
+    #[inline]
+    fn geti(&self, v: Val, lane: usize) -> i64 {
+        match v {
+            Val::SImm(c) => c,
+            Val::SSlot(i) => self.scratch.s[i as usize],
+            Val::VSlot(i) => self.scratch.v[i as usize * self.bc.n_threads + lane],
+        }
+    }
+
+    #[inline]
+    fn getf(&self, v: FVal, lane: usize) -> f32 {
+        match v {
+            FVal::Imm(c) => c,
+            FVal::Slot(i) => self.scratch.f[i as usize * self.bc.n_threads + lane],
+        }
+    }
+
+    fn run_prog(&mut self, prog: &Prog, mask: &[bool]) {
+        for op in &prog.sops {
+            exec_sop(op, &mut self.scratch.s);
+        }
+        self.run_vops(&prog.vops, mask);
+    }
+
+    /// Resolves a vector-op operand once, hoisting the per-lane `match`
+    /// out of the lane loops.
+    #[inline]
+    fn vsrc(&self, v: Val) -> VSrc {
+        match v {
+            Val::SImm(c) => VSrc::Broadcast(c),
+            Val::SSlot(i) => VSrc::Broadcast(self.scratch.s[i as usize]),
+            Val::VSlot(i) => VSrc::Lanes(i as usize * self.bc.n_threads),
+        }
+    }
+
+    /// [`CompiledExec::vsrc`] for `f32` operands.
+    #[inline]
+    fn fsrc(&self, v: FVal) -> FSrc {
+        match v {
+            FVal::Imm(c) => FSrc::Broadcast(c),
+            FVal::Slot(i) => FSrc::Lanes(i as usize * self.bc.n_threads),
+        }
+    }
+
+    fn run_vops(&mut self, vops: &[VOp], mask: &[bool]) {
+        let n = self.bc.n_threads;
+        let mask = if mask.iter().all(|&m| m) {
+            None
+        } else {
+            Some(mask)
+        };
+        for op in vops {
+            macro_rules! vbin {
+                ($d:expr, $a:expr, $b:expr, $f:expr) => {{
+                    let a = self.vsrc(*$a);
+                    let b = self.vsrc(*$b);
+                    vmap2(&mut self.scratch.v, *$d as usize * n, n, mask, a, b, $f);
+                }};
+            }
+            macro_rules! vun {
+                ($d:expr, $a:expr, $f:expr) => {{
+                    let a = self.vsrc(*$a);
+                    vmap1(&mut self.scratch.v, *$d as usize * n, n, mask, a, $f);
+                }};
+            }
+            match op {
+                VOp::Copy(d, a) => vun!(d, a, |x: i64| x),
+                VOp::Add(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x + y),
+                VOp::Sub(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x - y),
+                VOp::Mul(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x * y),
+                VOp::Min(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x.min(y)),
+                VOp::Max(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x.max(y)),
+                VOp::Le(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| (x <= y) as i64),
+                VOp::Lt(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| (x < y) as i64),
+                VOp::Eq(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| (x == y) as i64),
+                VOp::And(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x & y),
+                VOp::Or(d, a, b) => vbin!(d, a, b, |x: i64, y: i64| x | y),
+                VOp::FloorDiv(d, a, k) => {
+                    let k = *k;
+                    vun!(d, a, move |x: i64| x.div_euclid(k))
+                }
+                VOp::Mod(d, a, k) => {
+                    let k = *k;
+                    vun!(d, a, move |x: i64| x.rem_euclid(k))
+                }
+                VOp::Not(d, a) => vun!(d, a, |x: i64| 1 - x),
+            }
+        }
+    }
+
+    fn run_fops(&mut self, fops: &[FOp], mask: &[bool]) {
+        let n = self.bc.n_threads;
+        let mask = if mask.iter().all(|&m| m) {
+            None
+        } else {
+            Some(mask)
+        };
+        for op in fops {
+            macro_rules! fbin {
+                ($d:expr, $a:expr, $b:expr, $f:expr) => {{
+                    let a = self.fsrc(*$a);
+                    let b = self.fsrc(*$b);
+                    fmap2(&mut self.scratch.f, *$d as usize * n, n, mask, a, b, $f);
+                }};
+            }
+            match op {
+                FOp::Copy(d, a) => {
+                    let a = self.fsrc(*a);
+                    fmap1(&mut self.scratch.f, *d as usize * n, n, mask, a, |x: f32| x);
+                }
+                FOp::Add(d, a, b) => fbin!(d, a, b, |x: f32, y: f32| x + y),
+                FOp::Sub(d, a, b) => fbin!(d, a, b, |x: f32, y: f32| x - y),
+                FOp::Mul(d, a, b) => fbin!(d, a, b, |x: f32, y: f32| x * y),
+                FOp::Sqrt(d, a) => {
+                    let a = self.fsrc(*a);
+                    fmap1(&mut self.scratch.f, *d as usize * n, n, mask, a, f32::sqrt);
+                }
+            }
+        }
+    }
+
+    fn active_warps(mask: &[bool]) -> u64 {
+        mask.chunks(32).filter(|w| w.iter().any(|&m| m)).count() as u64
+    }
+
+    fn run(&mut self, stmts: &[BcStmt], mask: &[bool]) {
+        for s in stmts {
+            self.exec(s, mask);
+        }
+    }
+
+    fn exec(&mut self, stmt: &BcStmt, mask: &[bool]) {
+        if !mask.iter().any(|&m| m) {
+            return;
+        }
+        self.counters.warp_instructions += Self::active_warps(mask);
+        let n = self.bc.n_threads;
+        match stmt {
+            BcStmt::SetVarS { prog, value, dst } => {
+                self.run_prog(prog, mask);
+                self.scratch.s[*dst as usize] = self.geti(*value, 0);
+            }
+            BcStmt::SetVarV { prog } => {
+                self.run_prog(prog, mask);
+            }
+            BcStmt::For {
+                prog,
+                lo,
+                hi,
+                step,
+                var,
+                body,
+            } => {
+                assert!(*step > 0, "loop step must be positive");
+                self.run_prog(prog, mask);
+                let first = mask.iter().position(|&m| m).expect("non-empty mask");
+                let lo_v = self.geti(*lo, first);
+                let hi_v = self.geti(*hi, first);
+                debug_assert!(
+                    mask.iter()
+                        .enumerate()
+                        .filter(|&(_, &m)| m)
+                        .all(|(l, _)| self.geti(*lo, l) == lo_v && self.geti(*hi, l) == hi_v),
+                    "loop bounds must be uniform across active lanes"
+                );
+                let mut v = lo_v;
+                while v < hi_v {
+                    match *var {
+                        Val::SSlot(s) => self.scratch.s[s as usize] = v,
+                        Val::VSlot(s) => {
+                            let d = s as usize * n;
+                            for (lane, &m) in mask.iter().enumerate() {
+                                if m {
+                                    self.scratch.v[d + lane] = v;
+                                }
+                            }
+                        }
+                        Val::SImm(_) => unreachable!("loop var is a slot"),
+                    }
+                    self.run(body, mask);
+                    v += step;
+                }
+            }
+            BcStmt::IfUniform {
+                prog,
+                cond,
+                then_,
+                else_,
+            } => {
+                self.run_prog(prog, mask);
+                if self.geti(*cond, 0) != 0 {
+                    self.run(then_, mask);
+                } else if !else_.is_empty() {
+                    self.run(else_, mask);
+                }
+            }
+            BcStmt::IfLane {
+                prog,
+                cond,
+                then_,
+                else_,
+            } => {
+                self.run_prog(prog, mask);
+                let mut tmask = self.scratch.take_mask(n);
+                let mut emask = self.scratch.take_mask(n);
+                let c = match *cond {
+                    Val::VSlot(s) => s as usize * n,
+                    _ => unreachable!("lane If has a vector condition"),
+                };
+                for (lane, &m) in mask.iter().enumerate() {
+                    if m {
+                        if self.scratch.v[c + lane] != 0 {
+                            tmask[lane] = true;
+                        } else {
+                            emask[lane] = true;
+                        }
+                    }
+                }
+                // Divergence: warps where both sub-masks are non-empty.
+                for w in 0..mask.len().div_ceil(32) {
+                    let r = w * 32..((w + 1) * 32).min(mask.len());
+                    let t = tmask[r.clone()].iter().any(|&m| m);
+                    let e = emask[r].iter().any(|&m| m);
+                    if t && e {
+                        self.counters.divergent_branches += 1;
+                    }
+                }
+                self.run(then_, &tmask);
+                if !else_.is_empty() {
+                    self.run(else_, &emask);
+                }
+                self.scratch.return_mask(tmask);
+                self.scratch.return_mask(emask);
+            }
+            BcStmt::GlobalLoad {
+                prog,
+                dst,
+                field,
+                plane,
+                flat,
+            } => {
+                self.run_prog(prog, mask);
+                let field = *field as usize;
+                let d = *dst as usize * n;
+                for warp in 0..n.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(n);
+                    let mut addrs = std::mem::take(&mut self.scratch.addrs);
+                    addrs.clear();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let pl = self.geti(*plane, lane) as usize;
+                        let off = flat.offset(|v| self.geti(v, lane));
+                        addrs.push(self.glob.byte_address_flat(field, pl, off));
+                        self.scratch.f[d + lane] = self.glob.read_flat(field, pl, off);
+                    }
+                    let l1 = self.scratch.l1.as_mut().expect("bound scratch has an L1");
+                    self.glob.charge_load(self.counters, l1, &addrs);
+                    self.scratch.addrs = addrs;
+                }
+            }
+            BcStmt::GlobalStore {
+                prog,
+                field,
+                plane,
+                flat,
+                fops,
+                src,
+                flops,
+            } => {
+                self.run_prog(prog, mask);
+                self.run_fops(fops, mask);
+                let field = *field as usize;
+                for warp in 0..n.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(n);
+                    let mut addrs = std::mem::take(&mut self.scratch.addrs);
+                    addrs.clear();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let pl = self.geti(*plane, lane) as usize;
+                        let off = flat.offset(|v| self.geti(v, lane));
+                        addrs.push(self.glob.byte_address_flat(field, pl, off));
+                        let v = self.getf(*src, lane);
+                        self.counters.flops += flops;
+                        self.glob.write_flat(field, pl, off, v);
+                    }
+                    self.glob.charge_store(self.counters, &addrs);
+                    self.scratch.addrs = addrs;
+                }
+            }
+            BcStmt::SharedLoad { prog, dst, flat } => {
+                self.run_prog(prog, mask);
+                let d = *dst as usize * n;
+                for warp in 0..n.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(n);
+                    let mut words = std::mem::take(&mut self.scratch.words);
+                    words.clear();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let off = flat.offset(|v| self.geti(v, lane));
+                        words.push(off);
+                        self.scratch.f[d + lane] = self.scratch.shared[off];
+                    }
+                    charge_shared_load(self.counters, &words);
+                    self.scratch.words = words;
+                }
+            }
+            BcStmt::SharedStore {
+                prog,
+                flat,
+                fops,
+                src,
+                flops,
+            } => {
+                self.run_prog(prog, mask);
+                self.run_fops(fops, mask);
+                for warp in 0..n.div_ceil(32) {
+                    let lanes = warp * 32..((warp + 1) * 32).min(n);
+                    let mut words = std::mem::take(&mut self.scratch.words);
+                    words.clear();
+                    for lane in lanes {
+                        if !mask[lane] {
+                            continue;
+                        }
+                        let off = flat.offset(|v| self.geti(v, lane));
+                        words.push(off);
+                        let v = self.getf(*src, lane);
+                        self.counters.flops += flops;
+                        self.scratch.shared[off] = v;
+                    }
+                    charge_shared_store(self.counters, &words);
+                    self.scratch.words = words;
+                }
+            }
+            BcStmt::Compute { fops, flops } => {
+                self.run_fops(fops, mask);
+                self.counters.flops += flops * mask.iter().filter(|&&m| m).count() as u64;
+            }
+            BcStmt::Sync => {
+                self.counters.syncs += 1;
+            }
+        }
+    }
+}
+
+/// Executes one block of a compiled kernel against `glob`, charging
+/// `counters`, using (and reusing) `scratch`. Bit-exact with
+/// [`crate::exec::exec_block`] on the same backend.
+pub(crate) fn exec_block_compiled<B: GlobalBackend>(
+    bc: &BcKernel,
+    params: &[i64],
+    block: i64,
+    glob: &mut B,
+    counters: &mut Counters,
+    scratch: &mut ExecScratch,
+) {
+    scratch.bind(bc, params, block);
+    let mut full = scratch.take_mask(bc.n_threads);
+    full.fill(true);
+    let mut exec = CompiledExec {
+        bc,
+        glob,
+        counters,
+        scratch: &mut *scratch,
+    };
+    exec.run(&bc.body, &full);
+    scratch.return_mask(full);
+}
+
+impl GpuSim {
+    /// Runs every launch of the plan through the compiled-bytecode
+    /// executor — bit-exact with [`GpuSim::run_plan`] (grids *and*
+    /// counters), typically several times faster single-threaded. The
+    /// interpreter remains the oracle; this is the production path.
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly where [`GpuSim::run_plan`] does: shared-memory
+    /// demand over the device limit, or out-of-bounds accesses
+    /// (code-generation bugs).
+    pub fn run_plan_compiled(&mut self, plan: &LaunchPlan) {
+        let compiled = CompiledPlan::new(plan, &self.mem);
+        let mut scratch = ExecScratch::default();
+        self.run_plan_precompiled(plan, &compiled, &mut scratch);
+    }
+
+    /// [`GpuSim::run_plan_compiled`] with caller-owned compilation and
+    /// scratch, so repeated runs of one plan (a tuning sweep) pay for
+    /// neither compilation nor allocation twice.
+    pub(crate) fn run_plan_precompiled(
+        &mut self,
+        plan: &LaunchPlan,
+        compiled: &CompiledPlan,
+        scratch: &mut ExecScratch,
+    ) {
+        for launch in &plan.launches {
+            let kernel = &plan.kernels[launch.kernel];
+            self.check_kernel(kernel);
+            self.counters.launches += 1;
+            let bc = compiled.kernel(launch.kernel);
+            for b in 0..launch.blocks {
+                let mut backend = crate::exec::DirectBackend {
+                    mem: &mut self.mem,
+                    l2: &mut self.l2,
+                };
+                exec_block_compiled(
+                    bc,
+                    &launch.params,
+                    b as i64,
+                    &mut backend,
+                    &mut self.counters,
+                    scratch,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use gpu_codegen::ir::{Launch, SharedBuf};
+    use stencil::Grid;
+
+    /// The hand-written kernels of `exec.rs`'s tests, re-run through the
+    /// compiled path and compared bit-for-bit.
+    fn assert_compiled_matches(plan: &LaunchPlan, init: &[Grid], planes: usize) {
+        let mut seq = GpuSim::new(DeviceConfig::gtx470(), init, planes);
+        seq.run_plan(plan);
+        let mut comp = GpuSim::new(DeviceConfig::gtx470(), init, planes);
+        comp.run_plan_compiled(plan);
+        assert_eq!(comp.counters(), seq.counters(), "counters diverged");
+        for f in 0..init.len() {
+            for p in 0..planes {
+                assert!(
+                    comp.plane(f, p).bit_equal(seq.plane(f, p)),
+                    "field {f} plane {p} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_copy_kernel_matches_interpreter() {
+        let idx = IExpr::BlockIdx.scale(32).add(IExpr::ThreadIdx(0));
+        let kernel = Kernel {
+            name: "copy".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![idx.clone()],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![idx],
+                    src: FExpr::Add(Box::new(FExpr::Reg(0)), Box::new(FExpr::Const(1.0))),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 4,
+            }],
+            description: "copy".into(),
+        };
+        let mut g = Grid::zeros(&[128]);
+        for i in 0..128 {
+            g.set(&[i], i as f32);
+        }
+        assert_compiled_matches(&plan, &[g], 2);
+    }
+
+    #[test]
+    fn compiled_divergent_if_counts_divergence() {
+        let kernel = Kernel {
+            name: "div".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 1,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                // A var assigned inside the If must be demoted to a
+                // vector slot; a top-level uniform one stays scalar.
+                Stmt::If {
+                    cond: Cond::Lt(IExpr::ThreadIdx(0), IExpr::Const(16)),
+                    then_: vec![
+                        Stmt::SetVar {
+                            var: 0,
+                            value: IExpr::Const(3),
+                        },
+                        Stmt::Compute {
+                            dst: 0,
+                            expr: FExpr::Const(1.0),
+                        },
+                    ],
+                    else_: vec![Stmt::Compute {
+                        dst: 0,
+                        expr: FExpr::Const(2.0),
+                    }],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![IExpr::ThreadIdx(0)],
+                    src: FExpr::Reg(0),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "divergence".into(),
+        };
+        assert_compiled_matches(&plan, &[Grid::zeros(&[32])], 1);
+    }
+
+    #[test]
+    fn compiled_shared_roundtrip_matches() {
+        let tx = IExpr::ThreadIdx(0);
+        let kernel = Kernel {
+            name: "stage".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![SharedBuf {
+                name: "s".into(),
+                dims: vec![32],
+            }],
+            n_vars: 0,
+            n_regs: 2,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![tx.clone()],
+                },
+                Stmt::SharedStore {
+                    buf: 0,
+                    index: vec![tx.clone()],
+                    src: FExpr::Reg(0),
+                },
+                Stmt::Sync,
+                Stmt::SharedLoad {
+                    dst: 1,
+                    buf: 0,
+                    index: vec![IExpr::Const(31).sub(tx.clone())],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![tx],
+                    src: FExpr::Reg(1),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "shared stage".into(),
+        };
+        let mut g = Grid::zeros(&[32]);
+        for i in 0..32 {
+            g.set(&[i], i as f32);
+        }
+        assert_compiled_matches(&plan, &[g], 2);
+    }
+
+    #[test]
+    fn compiled_loop_with_params_matches() {
+        let tx = IExpr::ThreadIdx(0);
+        let kernel = Kernel {
+            name: "loop".into(),
+            block_dim: [8, 1, 1],
+            shared: vec![],
+            n_vars: 2,
+            n_regs: 2,
+            n_params: 1,
+            body: vec![
+                // Scalar var from a param — exercises the hoisted
+                // preamble.
+                Stmt::SetVar {
+                    var: 1,
+                    value: IExpr::Param(0).scale(2).offset(1),
+                },
+                Stmt::Compute {
+                    dst: 1,
+                    expr: FExpr::Const(0.0),
+                },
+                Stmt::For {
+                    var: 0,
+                    lo: IExpr::Const(0),
+                    hi: IExpr::Var(1),
+                    step: 1,
+                    body: vec![
+                        Stmt::GlobalLoad {
+                            dst: 0,
+                            field: 0,
+                            plane: IExpr::Const(0),
+                            index: vec![tx.clone().scale(4).add(IExpr::Var(0).modulo(4))],
+                        },
+                        Stmt::Compute {
+                            dst: 1,
+                            expr: FExpr::Add(Box::new(FExpr::Reg(1)), Box::new(FExpr::Reg(0))),
+                        },
+                    ],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![tx],
+                    src: FExpr::Reg(1),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![1],
+                blocks: 1,
+            }],
+            description: "param loop".into(),
+        };
+        let g = Grid::random(&[32], 9);
+        assert_compiled_matches(&plan, &[g], 2);
+    }
+
+    #[test]
+    fn compiled_min_max_floordiv_mod_match() {
+        let tx = IExpr::ThreadIdx(0);
+        let idx = IExpr::Min(
+            Box::new(IExpr::Max(
+                Box::new(tx.clone().fdiv(2).scale(3).modulo(16)),
+                Box::new(IExpr::Const(1)),
+            )),
+            Box::new(IExpr::Const(30)),
+        );
+        let kernel = Kernel {
+            name: "mm".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![
+                Stmt::GlobalLoad {
+                    dst: 0,
+                    field: 0,
+                    plane: IExpr::Const(0),
+                    index: vec![idx],
+                },
+                Stmt::GlobalStore {
+                    field: 0,
+                    plane: IExpr::Const(1),
+                    index: vec![tx],
+                    src: FExpr::Sqrt(Box::new(FExpr::Mul(
+                        Box::new(FExpr::Reg(0)),
+                        Box::new(FExpr::Reg(0)),
+                    ))),
+                },
+            ],
+        };
+        let plan = LaunchPlan {
+            kernels: vec![kernel],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 1,
+            }],
+            description: "minmax".into(),
+        };
+        assert_compiled_matches(&plan, &[Grid::random(&[32], 5)], 2);
+    }
+
+    #[test]
+    fn interpreter_forced_reads_env_shape() {
+        // Can't mutate the process environment safely in tests; just
+        // exercise the call.
+        let _ = interpreter_forced();
+    }
+}

@@ -28,6 +28,13 @@ pub(crate) trait GlobalBackend {
     fn read(&mut self, field: usize, plane: usize, idx: &[i64]) -> f32;
     /// Writes one element.
     fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32);
+    /// [`GlobalBackend::byte_address`] with a precomputed plane-linear
+    /// offset (the compiled executor's fast path).
+    fn byte_address_flat(&self, field: usize, plane: usize, offset: usize) -> u64;
+    /// [`GlobalBackend::read`] by plane-linear offset.
+    fn read_flat(&mut self, field: usize, plane: usize, offset: usize) -> f32;
+    /// [`GlobalBackend::write`] by plane-linear offset.
+    fn write_flat(&mut self, field: usize, plane: usize, offset: usize, v: f32);
     /// Charges one warp's coalesced *load* addresses. `l1` is the block's
     /// private first-level cache.
     fn charge_load(&mut self, counters: &mut Counters, l1: &mut L2Cache, addrs: &[u64]);
@@ -53,6 +60,18 @@ impl GlobalBackend for DirectBackend<'_> {
 
     fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
         self.mem.write(field, plane, idx, v);
+    }
+
+    fn byte_address_flat(&self, field: usize, plane: usize, offset: usize) -> u64 {
+        self.mem.byte_address_flat(field, plane, offset)
+    }
+
+    fn read_flat(&mut self, field: usize, plane: usize, offset: usize) -> f32 {
+        self.mem.read_flat(field, plane, offset)
+    }
+
+    fn write_flat(&mut self, field: usize, plane: usize, offset: usize, v: f32) {
+        self.mem.write_flat(field, plane, offset, v);
     }
 
     fn charge_load(&mut self, counters: &mut Counters, l1: &mut L2Cache, addrs: &[u64]) {
@@ -392,7 +411,7 @@ impl<B: GlobalBackend> BlockExec<'_, B> {
                     }
                 }
                 self.run(then_, &tmask);
-                if else_.iter().len() > 0 {
+                if !else_.is_empty() {
                     self.run(else_, &emask);
                 }
             }

@@ -28,7 +28,15 @@
 //! ([`GpuSim::run_plan_parallel`], module [`parallel`]), which is
 //! bit-exact with the sequential path — same grids, same counters — for
 //! any worker count.
+//!
+//! Production paths execute blocks through a compiled bytecode
+//! ([`GpuSim::run_plan_compiled`], module [`bytecode`]) instead of
+//! re-interpreting the kernel AST per point — several times faster,
+//! still bit-exact. `run_plan` keeps interpreting and serves as the
+//! oracle; set `HYBRID_SIM_INTERPRET=1` to force the interpreter
+//! everywhere.
 
+pub mod bytecode;
 pub mod counters;
 pub mod device;
 pub mod exec;
@@ -37,8 +45,9 @@ pub mod parallel;
 pub mod shared;
 pub mod timing;
 
+pub use bytecode::interpreter_forced;
 pub use counters::Counters;
 pub use device::DeviceConfig;
 pub use exec::GpuSim;
-pub use parallel::{sim_threads, ExecError};
+pub use parallel::{resolve_sim_threads, sim_threads, ExecError};
 pub use timing::{estimate_time, TimeBreakdown};

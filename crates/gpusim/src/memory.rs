@@ -53,6 +53,15 @@ impl GlobalMem {
         &self.dims
     }
 
+    /// Grid extents of one specific field (fields may differ in shape;
+    /// [`GlobalMem::dims`] reports only the first field's).
+    pub fn field_dims(&self, field: usize) -> &[usize] {
+        self.fields[field]
+            .first()
+            .map(|g| g.dims())
+            .unwrap_or_default()
+    }
+
     /// Number of planes per field.
     pub fn planes(&self) -> usize {
         self.fields.first().map_or(0, Vec::len)
@@ -66,6 +75,12 @@ impl GlobalMem {
     /// The byte address of an element (for coalescing analysis).
     pub fn byte_address(&self, field: usize, plane: usize, idx: &[i64]) -> u64 {
         self.bases[field][plane] + self.fields[field][plane].offset(idx) as u64 * 4
+    }
+
+    /// [`GlobalMem::byte_address`] with a precomputed plane-linear offset
+    /// (the compiled executor resolves indices to flat offsets once).
+    pub fn byte_address_flat(&self, field: usize, plane: usize, offset: usize) -> u64 {
+        self.bases[field][plane] + offset as u64 * 4
     }
 
     /// Reads one element.
@@ -118,6 +133,15 @@ impl L2Cache {
         }
     }
 
+    /// Empties the cache in place, keeping its allocation (the compiled
+    /// executor reuses one pooled per-block L1 slice across blocks).
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stamp = 0;
+    }
+
     /// Accesses the 128-byte line containing `addr`; returns `true` on hit.
     /// Misses allocate (write-allocate for stores as on Fermi).
     pub fn access(&mut self, addr: u64) -> bool {
@@ -157,12 +181,25 @@ pub struct L2Access {
     pub store: bool,
 }
 
-/// Deduplicated, sorted 128-byte segments of one warp's addresses.
-fn warp_segments(addrs: &[u64]) -> Vec<u64> {
-    let mut segments: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
-    segments.sort_unstable();
-    segments.dedup();
-    segments
+/// Deduplicated, sorted 128-byte segments of one warp's addresses,
+/// written into `buf` — a warp has at most 32 lanes, so the segments fit
+/// on the stack and the hot path stays allocation-free. Returns the
+/// filled prefix.
+fn warp_segments<'a>(addrs: &[u64], buf: &'a mut [u64; 32]) -> &'a [u64] {
+    assert!(addrs.len() <= 32, "a warp has at most 32 lanes");
+    for (b, a) in buf.iter_mut().zip(addrs) {
+        *b = *a / 128;
+    }
+    let seg = &mut buf[..addrs.len()];
+    seg.sort_unstable();
+    let mut m = 0;
+    for i in 0..addrs.len() {
+        if m == 0 || buf[i] != buf[m - 1] {
+            buf[m] = buf[i];
+            m += 1;
+        }
+    }
+    &buf[..m]
 }
 
 /// Coalesces one warp's worth of byte addresses into 128-byte segments and
@@ -180,10 +217,11 @@ pub fn charge_warp_load(
     }
     counters.gld_inst += addrs.len() as u64;
     counters.gld_requested_bytes += addrs.len() as u64 * 4;
-    let segments = warp_segments(addrs);
+    let mut buf = [0u64; 32];
+    let segments = warp_segments(addrs, &mut buf);
     counters.gld_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
-    for seg in &segments {
+    for seg in segments {
         if l1.access(seg * 128) {
             continue;
         }
@@ -202,10 +240,11 @@ pub fn charge_warp_store(counters: &mut Counters, l2: &mut L2Cache, addrs: &[u64
         return 0;
     }
     counters.gst_inst += addrs.len() as u64;
-    let segments = warp_segments(addrs);
+    let mut buf = [0u64; 32];
+    let segments = warp_segments(addrs, &mut buf);
     counters.gst_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
-    for seg in &segments {
+    for seg in segments {
         counters.l2_write_transactions += 4;
         if !l2.access(seg * 128) {
             // Write-allocate miss: the line is fetched... unless the warp
@@ -234,10 +273,11 @@ pub fn charge_warp_load_logged(
     }
     counters.gld_inst += addrs.len() as u64;
     counters.gld_requested_bytes += addrs.len() as u64 * 4;
-    let segments = warp_segments(addrs);
+    let mut buf = [0u64; 32];
+    let segments = warp_segments(addrs, &mut buf);
     counters.gld_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
-    for seg in &segments {
+    for seg in segments {
         if l1.access(seg * 128) {
             continue;
         }
@@ -261,10 +301,11 @@ pub fn charge_warp_store_logged(
         return 0;
     }
     counters.gst_inst += addrs.len() as u64;
-    let segments = warp_segments(addrs);
+    let mut buf = [0u64; 32];
+    let segments = warp_segments(addrs, &mut buf);
     counters.gst_transactions += segments.len() as u64;
     counters.l1_transactions += segments.len() as u64;
-    for seg in &segments {
+    for seg in segments {
         counters.l2_write_transactions += 4;
         log.push(L2Access {
             segment: seg * 128,

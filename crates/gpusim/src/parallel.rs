@@ -41,12 +41,14 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 use gpu_codegen::ir::LaunchPlan;
 
+use crate::bytecode::{exec_block_compiled, interpreter_forced, CompiledPlan, ExecScratch};
 use crate::counters::Counters;
-use crate::exec::{exec_block, GlobalBackend, GpuSim};
+use crate::exec::{exec_block, DirectBackend, GlobalBackend, GpuSim};
 use crate::memory::{
     charge_warp_load_logged, charge_warp_store_logged, replay_l2, GlobalMem, L2Access, L2Cache,
 };
@@ -98,6 +100,17 @@ pub enum ExecError {
         /// Bytes the device allows.
         limit: u64,
     },
+    /// A worker thread panicked while executing a block — an
+    /// out-of-bounds access or similar code-generation bug. Surfaced as
+    /// a typed error so abort-free callers (the compile service, the
+    /// fleet) survive a bad plan instead of tearing down the process;
+    /// the panicking wrappers re-raise it.
+    WorkerPanicked {
+        /// Name of the launched kernel.
+        kernel: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -135,6 +148,10 @@ impl fmt::Display for ExecError {
                 f,
                 "kernel {kernel} needs {needed} bytes of shared memory; the device \
                  allows {limit}"
+            ),
+            ExecError::WorkerPanicked { kernel, message } => write!(
+                f,
+                "simulator worker panicked in launch of kernel {kernel}: {message}"
             ),
         }
     }
@@ -190,25 +207,42 @@ pub(crate) struct LoggedBackend<'a> {
 }
 
 impl<'a> LoggedBackend<'a> {
-    fn new(base: &'a GlobalMem) -> LoggedBackend<'a> {
+    /// Builds a backend from pooled buffers: the overlay map keeps its
+    /// capacity across blocks and launches; `writes`/`l2_log` are
+    /// recycled outcome buffers (cleared by the pool). Allocation-free
+    /// after the pools warm up.
+    fn from_parts(
+        base: &'a GlobalMem,
+        overlay: HashMap<u64, f32>,
+        writes: Vec<WriteRec>,
+        l2_log: Vec<L2Access>,
+    ) -> LoggedBackend<'a> {
+        debug_assert!(overlay.is_empty() && writes.is_empty() && l2_log.is_empty());
         LoggedBackend {
             base,
-            overlay: HashMap::new(),
-            writes: Vec::new(),
-            l2_log: Vec::new(),
+            overlay,
+            writes,
+            l2_log,
             #[cfg(debug_assertions)]
             base_reads: std::collections::HashSet::new(),
         }
     }
 
-    fn into_outcome(self, counters: Counters) -> BlockOutcome {
-        BlockOutcome {
-            counters,
-            writes: self.writes,
-            l2_log: self.l2_log,
-            #[cfg(debug_assertions)]
-            base_reads: self.base_reads,
-        }
+    /// Splits the backend into the block's outcome (which travels to the
+    /// merge) and the overlay map (cleared, returned to the worker's
+    /// pool slot).
+    fn into_parts(mut self, counters: Counters) -> (BlockOutcome, HashMap<u64, f32>) {
+        self.overlay.clear();
+        (
+            BlockOutcome {
+                counters,
+                writes: self.writes,
+                l2_log: self.l2_log,
+                #[cfg(debug_assertions)]
+                base_reads: self.base_reads,
+            },
+            self.overlay,
+        )
     }
 }
 
@@ -219,6 +253,19 @@ impl GlobalBackend for LoggedBackend<'_> {
 
     fn read(&mut self, field: usize, plane: usize, idx: &[i64]) -> f32 {
         let offset = self.base.flat_offset(field, plane, idx);
+        self.read_flat(field, plane, offset)
+    }
+
+    fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
+        let offset = self.base.flat_offset(field, plane, idx);
+        self.write_flat(field, plane, offset, v);
+    }
+
+    fn byte_address_flat(&self, field: usize, plane: usize, offset: usize) -> u64 {
+        self.base.byte_address_flat(field, plane, offset)
+    }
+
+    fn read_flat(&mut self, field: usize, plane: usize, offset: usize) -> f32 {
         let key = WriteRec::key(field, plane, offset);
         if !self.overlay.is_empty() {
             if let Some(&v) = self.overlay.get(&key) {
@@ -230,8 +277,7 @@ impl GlobalBackend for LoggedBackend<'_> {
         self.base.read_flat(field, plane, offset)
     }
 
-    fn write(&mut self, field: usize, plane: usize, idx: &[i64], v: f32) {
-        let offset = self.base.flat_offset(field, plane, idx);
+    fn write_flat(&mut self, field: usize, plane: usize, offset: usize, v: f32) {
         self.overlay.insert(WriteRec::key(field, plane, offset), v);
         self.writes.push(WriteRec {
             field: field as u32,
@@ -252,23 +298,62 @@ impl GlobalBackend for LoggedBackend<'_> {
 
 /// The worker-pool width used by [`GpuSim::run_plan_parallel`]: the
 /// `HYBRID_SIM_THREADS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`].
+/// otherwise [`std::thread::available_parallelism`]. `HYBRID_SIM_THREADS=0`
+/// explicitly requests "auto" (the same fallback); see
+/// [`resolve_sim_threads`], which `hybridc --threads` routes through so
+/// the flag and the env var agree on that meaning of `0`.
 pub fn sim_threads() -> usize {
     sim_threads_from(std::env::var("HYBRID_SIM_THREADS").ok().as_deref())
 }
 
-/// [`sim_threads`] with the override value injected: a positive integer
-/// (whitespace tolerated) wins; anything else falls back to the machine's
-/// available parallelism.
-fn sim_threads_from(override_value: Option<&str>) -> usize {
-    if let Some(v) = override_value {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Resolves a requested worker count to an effective one: `0` means
+/// **auto** — the machine's available parallelism (at least 1) — and any
+/// positive value is used as-is. This is the single definition of what
+/// "0 workers" means, shared by `HYBRID_SIM_THREADS=0` and
+/// `hybridc --threads 0`.
+pub fn resolve_sim_threads(requested: usize) -> usize {
+    if requested == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
     }
-    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// [`sim_threads`] with the override value injected: a positive integer
+/// (whitespace tolerated) wins; `0` and anything unparsable resolve to
+/// auto via [`resolve_sim_threads`].
+fn sim_threads_from(override_value: Option<&str>) -> usize {
+    let requested = override_value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    resolve_sim_threads(requested)
+}
+
+/// Per-worker reusable state: the compiled executor's slot arrays plus
+/// the write-overlay map, pooled across blocks *and* launches.
+#[derive(Default)]
+struct WorkerSlot {
+    scratch: ExecScratch,
+    overlay: HashMap<u64, f32>,
+}
+
+/// Locks a pool mutex, tolerating poisoning: pools hold only recycled
+/// scratch buffers (cleared before reuse), so a worker that panicked
+/// while touching a pool cannot corrupt anything observable — and the
+/// abort-free contract forbids propagating the poison panic.
+fn lock_pool<T>(pool: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    pool.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Renders a worker's panic payload for [`ExecError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl GpuSim {
@@ -329,6 +414,19 @@ impl GpuSim {
         plan: &LaunchPlan,
         threads: usize,
     ) -> Result<(), ExecError> {
+        // Compile every kernel once per plan; all launches (and all
+        // blocks) replay the compiled form. `HYBRID_SIM_INTERPRET`
+        // forces the tree-walking interpreter for debugging.
+        let compiled = if interpreter_forced() {
+            None
+        } else {
+            Some(CompiledPlan::new(plan, &self.mem))
+        };
+        // Pools shared across every launch of the plan: per-worker slot
+        // arrays and overlay maps, plus recycled outcome buffers (write
+        // logs, L2 logs) that the merge hands back after each launch.
+        let slot_pool: Mutex<Vec<WorkerSlot>> = Mutex::new(Vec::new());
+        let out_pool: Mutex<Vec<(Vec<WriteRec>, Vec<L2Access>)>> = Mutex::new(Vec::new());
         for launch in &plan.launches {
             let kernel = &plan.kernels[launch.kernel];
             if kernel.shared_bytes() > self.device.shared_limit {
@@ -343,9 +441,35 @@ impl GpuSim {
             if n == 0 {
                 continue;
             }
+            let bc = compiled.as_ref().map(|cp| cp.kernel(launch.kernel));
             if threads <= 1 || n == 1 {
-                for b in 0..n {
-                    self.run_block(kernel, &launch.params, b as i64);
+                // Sequential fallback — still through the compiled path
+                // (single-core hosts get the speedup too), with the
+                // direct backend so no logging overhead remains.
+                match bc {
+                    Some(bc) => {
+                        let mut slot = lock_pool(&slot_pool).pop().unwrap_or_default();
+                        for b in 0..n {
+                            let mut backend = DirectBackend {
+                                mem: &mut self.mem,
+                                l2: &mut self.l2,
+                            };
+                            exec_block_compiled(
+                                bc,
+                                &launch.params,
+                                b as i64,
+                                &mut backend,
+                                &mut self.counters,
+                                &mut slot.scratch,
+                            );
+                        }
+                        lock_pool(&slot_pool).push(slot);
+                    }
+                    None => {
+                        for b in 0..n {
+                            self.run_block(kernel, &launch.params, b as i64);
+                        }
+                    }
                 }
                 continue;
             }
@@ -354,30 +478,71 @@ impl GpuSim {
             let next = AtomicUsize::new(0);
             let mem = &self.mem;
             let params = &launch.params;
-            let mut results: Vec<(usize, BlockOutcome)> = thread::scope(|s| {
+            let joined: Vec<Result<Vec<(usize, BlockOutcome)>, _>> = thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         s.spawn(|| {
+                            let mut slot = lock_pool(&slot_pool).pop().unwrap_or_default();
                             let mut done = Vec::new();
                             loop {
                                 let b = next.fetch_add(1, Ordering::Relaxed);
                                 if b >= n {
                                     break;
                                 }
-                                let mut backend = LoggedBackend::new(mem);
+                                let (writes, l2_log) =
+                                    lock_pool(&out_pool).pop().unwrap_or_default();
+                                let overlay = std::mem::take(&mut slot.overlay);
+                                let mut backend =
+                                    LoggedBackend::from_parts(mem, overlay, writes, l2_log);
                                 let mut counters = Counters::default();
-                                exec_block(kernel, params, b as i64, &mut backend, &mut counters);
-                                done.push((b, backend.into_outcome(counters)));
+                                match bc {
+                                    Some(bc) => exec_block_compiled(
+                                        bc,
+                                        params,
+                                        b as i64,
+                                        &mut backend,
+                                        &mut counters,
+                                        &mut slot.scratch,
+                                    ),
+                                    None => exec_block(
+                                        kernel,
+                                        params,
+                                        b as i64,
+                                        &mut backend,
+                                        &mut counters,
+                                    ),
+                                }
+                                let (outcome, overlay) = backend.into_parts(counters);
+                                slot.overlay = overlay;
+                                done.push((b, outcome));
                             }
+                            lock_pool(&slot_pool).push(slot);
                             done
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("simulator worker panicked"))
-                    .collect()
+                // Join every worker before mapping panics, so no thread
+                // outlives the error path.
+                handles.into_iter().map(|h| h.join()).collect()
             });
+            let mut results: Vec<(usize, BlockOutcome)> = Vec::with_capacity(n);
+            let mut panicked = None;
+            for r in joined {
+                match r {
+                    Ok(done) => results.extend(done),
+                    Err(payload) => {
+                        if panicked.is_none() {
+                            panicked = Some(panic_message(payload));
+                        }
+                    }
+                }
+            }
+            if let Some(message) = panicked {
+                return Err(ExecError::WorkerPanicked {
+                    kernel: kernel.name.clone(),
+                    message,
+                });
+            }
             // Deterministic merge order regardless of worker scheduling.
             results.sort_unstable_by_key(|(b, _)| *b);
 
@@ -423,6 +588,13 @@ impl GpuSim {
                         }
                     }
                 }
+            }
+            // Recycle the merged outcome buffers for the next launch.
+            let mut op = lock_pool(&out_pool);
+            for (_, mut outcome) in results {
+                outcome.writes.clear();
+                outcome.l2_log.clear();
+                op.push((outcome.writes, outcome.l2_log));
             }
         }
         Ok(())
@@ -713,6 +885,88 @@ mod tests {
             sim.try_run_plan_parallel_with(&plan, 2),
             Err(ExecError::SharedMemExceeded { .. })
         ));
+    }
+
+    /// A kernel whose single store runs off the end of the grid — the
+    /// injected panic for the worker-panic regression tests.
+    fn oob_plan() -> LaunchPlan {
+        let k = Kernel {
+            name: "oob".into(),
+            block_dim: [32, 1, 1],
+            shared: vec![],
+            n_vars: 0,
+            n_regs: 1,
+            n_params: 0,
+            body: vec![Stmt::GlobalStore {
+                field: 0,
+                plane: IExpr::Const(0),
+                index: vec![IExpr::ThreadIdx(0).offset(1 << 30)],
+                src: FExpr::Const(1.0),
+            }],
+        };
+        LaunchPlan {
+            kernels: vec![k],
+            launches: vec![Launch {
+                kernel: 0,
+                params: vec![],
+                blocks: 2,
+            }],
+            description: "oob".into(),
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        // Two blocks on two workers, so the parallel path (not the
+        // sequential fallback) executes the panicking kernel: the panic
+        // must come back as ExecError::WorkerPanicked, not abort the
+        // process via a join().expect().
+        let plan = oob_plan();
+        let mut sim = GpuSim::new(DeviceConfig::gtx470(), &[Grid::zeros(&[64])], 1);
+        let err = sim.try_run_plan_parallel_with(&plan, 2).unwrap_err();
+        match err {
+            ExecError::WorkerPanicked {
+                ref kernel,
+                ref message,
+            } => {
+                assert_eq!(kernel, "oob");
+                assert!(
+                    message.contains("out of bounds"),
+                    "payload should carry the original panic text, got: {message}"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("worker panicked"));
+        // The simulator object itself must remain usable for a fresh,
+        // clean plan (the per-request contract of the compile service).
+        let (clean, init) = two_launch_plan();
+        let mut fresh = GpuSim::new(DeviceConfig::gtx470(), &init, 2);
+        fresh.try_run_plan_parallel_with(&clean, 2).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn panicking_wrapper_still_panics_on_worker_panic() {
+        let plan = oob_plan();
+        let mut sim = GpuSim::new(DeviceConfig::gtx470(), &[Grid::zeros(&[64])], 1);
+        sim.run_plan_parallel_with(&plan, 2);
+    }
+
+    #[test]
+    fn resolve_zero_threads_means_auto() {
+        // `0` is "auto" for both the env var and `hybridc --threads`;
+        // this is the single shared definition.
+        assert!(resolve_sim_threads(0) >= 1);
+        assert_eq!(
+            resolve_sim_threads(0),
+            thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        assert_eq!(resolve_sim_threads(1), 1);
+        assert_eq!(resolve_sim_threads(7), 7);
+        // The env-var path routes through the same resolution.
+        assert_eq!(sim_threads_from(Some("0")), resolve_sim_threads(0));
+        assert_eq!(sim_threads_from(Some("garbage")), resolve_sim_threads(0));
     }
 
     #[test]

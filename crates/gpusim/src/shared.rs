@@ -69,14 +69,16 @@ impl SharedMem {
 /// needs: the maximum, over the 32 banks, of the number of *distinct words*
 /// addressed in that bank. Identical words broadcast for free.
 pub fn bank_transactions(word_addrs: &[usize]) -> u64 {
-    let mut per_bank: [Vec<usize>; 32] = Default::default();
-    for &w in word_addrs {
-        let bank = w % 32;
-        if !per_bank[bank].contains(&w) {
-            per_bank[bank].push(w);
+    // A warp has at most 32 lanes, so a quadratic first-occurrence scan
+    // over a stack array beats per-bank heap sets.
+    let mut distinct_per_bank = [0u64; 32];
+    for (i, &w) in word_addrs.iter().enumerate() {
+        // A repeated word broadcasts for free; count its first occurrence.
+        if !word_addrs[..i].contains(&w) {
+            distinct_per_bank[w % 32] += 1;
         }
     }
-    per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1) as u64
+    distinct_per_bank.iter().copied().max().unwrap_or(0).max(1)
 }
 
 /// Charges a warp shared-memory load.

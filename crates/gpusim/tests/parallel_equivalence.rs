@@ -1,13 +1,18 @@
-//! Property: the block-parallel executor is bit-exact with the sequential
-//! one — identical grids and identical merged counters — across random
-//! gallery stencils, tile sizes, codegen strategies and worker-pool widths
-//! (1, 2 and 8 threads).
+//! Property: the block-parallel executor AND the compiled-bytecode
+//! executor are bit-exact with the sequential interpreter — identical
+//! grids and identical merged counters — across random gallery stencils,
+//! tile sizes, codegen strategies and worker-pool widths (1, 2 and 8
+//! threads).
 //!
-//! This is the executable form of the determinism contract in
-//! [`gpusim::parallel`]: concurrent `S0` tiles of a hybrid schedule are
-//! independent (the §3.3.3 property `hybrid_tiling::verify` checks
-//! exhaustively at the schedule level), so any interleaving of block
-//! execution merges to the same state.
+//! This is the executable form of two contracts at once: the determinism
+//! argument in [`gpusim::parallel`] (concurrent `S0` tiles of a hybrid
+//! schedule are independent — the §3.3.3 property `hybrid_tiling::verify`
+//! checks exhaustively at the schedule level, so any interleaving of
+//! block execution merges to the same state), and the equivalence
+//! contract in [`gpusim::bytecode`] (`run_plan` stays the interpreting
+//! oracle; the compiled executor must reproduce its grids and counters
+//! bit-for-bit, both standalone and underneath the parallel workers,
+//! which use it by default).
 
 use gpu_codegen::{generate_hybrid, CodegenOptions, SmemStrategy};
 use gpusim::{DeviceConfig, GpuSim};
@@ -51,7 +56,8 @@ fn tile_params(program: &StencilProgram, h: i64, w0: i64, wi: i64) -> TileParams
     TileParams::new(h, &w)
 }
 
-/// Runs one plan on both executors and asserts bitwise agreement.
+/// Runs one plan on all three executors — interpreting oracle, compiled
+/// sequential, compiled parallel — and asserts bitwise agreement.
 fn assert_bit_exact(program: &StencilProgram, plan: &gpu_codegen::ir::LaunchPlan, dims: &[usize]) {
     let init: Vec<Grid> = (0..program.num_fields())
         .map(|f| Grid::random(dims, 41 + f as u64))
@@ -60,6 +66,28 @@ fn assert_bit_exact(program: &StencilProgram, plan: &gpu_codegen::ir::LaunchPlan
 
     let mut seq = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
     seq.run_plan(plan);
+
+    // The compiled-bytecode executor against the interpreting oracle:
+    // grids and counters, single-threaded, no logging backend involved.
+    let mut compiled = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
+    compiled.run_plan_compiled(plan);
+    assert_eq!(
+        compiled.counters(),
+        seq.counters(),
+        "{}: compiled counters diverged from run_plan oracle",
+        program.name()
+    );
+    for f in 0..program.num_fields() {
+        for p in 0..planes {
+            assert!(
+                compiled.plane(f, p).bit_equal(seq.plane(f, p)),
+                "{}: compiled field {} plane {} diverged from run_plan oracle",
+                program.name(),
+                f,
+                p
+            );
+        }
+    }
 
     for threads in [1usize, 2, 8] {
         let mut par = GpuSim::new(DeviceConfig::gtx470(), &init, planes);
