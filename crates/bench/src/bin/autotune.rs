@@ -28,6 +28,14 @@
 //!   no host-cpu escape hatch: compilation must never lose to
 //!   re-interpretation, even on one core.
 //! * `--out PATH` — where to write the JSON (default `BENCH_autotune.json`).
+//! * `--baseline PATH` — compare this run's per-stencil
+//!   `points_per_sec_compiled` against a checked-in earlier run of the
+//!   same shape (e.g. `BENCH_baseline.json`) and exit non-zero if any
+//!   stencil regressed more than 30%. Because absolute throughput
+//!   tracks the host, the comparison is normalized by each run's
+//!   aggregate *interpreter* throughput — the interpreter is the
+//!   stable code path, so the ratio isolates regressions in the
+//!   compiled executor from runner-speed variance.
 
 use gpusim::DeviceConfig;
 use hybrid_bench::autotune::{autotune_program, measure_exec_throughput, measure_speedup};
@@ -41,6 +49,7 @@ struct Args {
     min_speedup: Option<f64>,
     min_compiled_speedup: Option<f64>,
     out: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +60,7 @@ fn parse_args() -> Args {
         min_speedup: None,
         min_compiled_speedup: None,
         out: "BENCH_autotune.json".into(),
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,6 +91,7 @@ fn parse_args() -> Args {
                     Some(v.parse().expect("--min-compiled-speedup takes a number"));
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -346,5 +357,114 @@ fn main() {
         } else {
             println!("compiled-executor gate passed: {compiled_aggregate:.2}x >= {min:.2}x");
         }
+    }
+
+    if let Some(path) = &args.baseline {
+        let current = doc.get("exec_throughput").expect("doc has exec_throughput");
+        if let Err(msg) = compare_against_baseline(path, current) {
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Regression window of the `--baseline` gate: a stencil may lose at
+/// most 30% of its (machine-speed-normalized) compiled throughput.
+const BASELINE_FLOOR: f64 = 0.70;
+
+/// Compares this run's `exec_throughput` block against a checked-in
+/// baseline file, normalizing for host speed via each run's aggregate
+/// interpreter throughput. Fails when any stencil's normalized
+/// `points_per_sec_compiled` fell below [`BASELINE_FLOOR`] of the
+/// baseline's, or when a baseline stencil is missing from this run
+/// (silent coverage loss would shrink the gate).
+struct BaselineSample {
+    stencil: String,
+    pps_compiled: f64,
+    points: f64,
+    interpreted_seconds: f64,
+}
+
+fn compare_against_baseline(path: &str, current: &Json) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let base = Json::parse(&text).map_err(|e| format!("baseline {path} is not JSON: {e}"))?;
+    let base = base
+        .get("exec_throughput")
+        .ok_or_else(|| format!("baseline {path} has no exec_throughput block"))?;
+
+    let per_stencil = |doc: &Json| -> Vec<BaselineSample> {
+        doc.get("per_stencil")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|s| {
+                Some(BaselineSample {
+                    stencil: s.get("stencil")?.as_str()?.to_string(),
+                    pps_compiled: s.get("points_per_sec_compiled")?.as_f64()?,
+                    points: s.get("points")?.as_f64()?,
+                    interpreted_seconds: s.get("interpreted_seconds")?.as_f64()?,
+                })
+            })
+            .collect()
+    };
+    // Host-speed proxy: aggregate interpreter points/sec of a run
+    // (same estimator on both sides). The interpreter is the code path
+    // neither the tuner nor the compiler touches, so the ratio of the
+    // two runs' interpreter throughput is the machine-speed scale
+    // between them.
+    let machine_speed = |stencils: &[BaselineSample]| -> f64 {
+        let secs: f64 = stencils.iter().map(|s| s.interpreted_seconds).sum();
+        if secs > 0.0 {
+            stencils.iter().map(|s| s.points).sum::<f64>() / secs
+        } else {
+            0.0
+        }
+    };
+    let base_stencils = per_stencil(base);
+    let cur_stencils = per_stencil(current);
+    if base_stencils.is_empty() {
+        return Err(format!("baseline {path} has no per-stencil samples"));
+    }
+    let base_speed = machine_speed(&base_stencils);
+    let scale = if base_speed > 0.0 {
+        machine_speed(&cur_stencils) / base_speed
+    } else {
+        1.0
+    };
+    println!(
+        "\nbaseline gate ({path}): host-speed scale {scale:.2}x, floor {:.0}%:",
+        BASELINE_FLOOR * 100.0
+    );
+
+    let mut failures = Vec::new();
+    for b in &base_stencils {
+        let name = &b.stencil;
+        let Some(c) = cur_stencils.iter().find(|c| c.stencil == *name) else {
+            failures.push(format!(
+                "stencil {name} is in the baseline but not this run"
+            ));
+            continue;
+        };
+        let required = BASELINE_FLOOR * b.pps_compiled * scale;
+        let cur_pps = c.pps_compiled;
+        let verdict = if cur_pps < required { "FAIL" } else { "ok" };
+        println!(
+            "  {name:<14} compiled {cur_pps:>14.0} pts/s vs required {required:>14.0}  {verdict}"
+        );
+        if cur_pps < required {
+            failures.push(format!(
+                "{name}: points_per_sec_compiled {cur_pps:.0} is below {required:.0} \
+                 ({:.0}% of the baseline's {:.0} at scale {scale:.2}x)",
+                BASELINE_FLOOR * 100.0,
+                b.pps_compiled
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("baseline gate passed: no stencil regressed more than 30%");
+        Ok(())
+    } else {
+        Err(failures.join("; "))
     }
 }

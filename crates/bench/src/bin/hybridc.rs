@@ -29,7 +29,18 @@
 //!
 //! serve mode (`hybridd` / `hybridfleet`):
 //!   --listen ADDR            serve TCP connections on ADDR instead of stdin
+//!   --listen-unix PATH       serve unix-socket connections on PATH (no
+//!                            hello handshake; may combine with --listen)
 //!   --workers N              request worker threads (default --jobs, min 1)
+//!   --sched fifo|edf         worker queue order (default edf: earliest
+//!                            arrival-anchored deadline first)
+//!   --secret S               shared secret TCP clients must present via
+//!                            {"op":"hello","secret":S} before any other op
+//!                            (default $HYBRID_SECRET; unset = no auth)
+//!   --metrics ADDR           HTTP listener answering every request with
+//!                            the Prometheus metrics text
+//!   --status-out PATH        write the final aggregated status JSON to
+//!                            PATH on shutdown
 //!   --mem-cap-bytes N        cap each device's in-memory plan cache (LRU
 //!                            eviction; default unbounded)
 //!   --max-devices N          per-device service states spun up lazily
@@ -60,7 +71,7 @@ use hybrid_bench::driver::{
     collect_stencil_files, compile_batch, report_json, DriverConfig, TuneMode,
 };
 use hybrid_bench::fleet::{FleetOptions, FleetRouter};
-use hybrid_bench::serve::{serve, serve_tcp};
+use hybrid_bench::serve::{serve_metrics_http, serve_tcp_with, serve_with_policy, SchedPolicy};
 
 struct Args {
     cfg: DriverConfig,
@@ -70,6 +81,11 @@ struct Args {
     /// `hybridc serve` mode: run as the resident `hybridd` service.
     serve: bool,
     listen: Option<String>,
+    listen_unix: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    status_out: Option<PathBuf>,
+    sched: SchedPolicy,
+    secret: Option<String>,
     workers: Option<usize>,
     fleet: FleetOptions,
 }
@@ -80,9 +96,11 @@ fn usage() -> ! {
          [--autotune] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
          [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
          \n\
-         hybridc serve [common options] [--listen ADDR] [--workers N] \
-         [--mem-cap-bytes N] [--max-devices N] [--default-deadline-ms N]\n\
-         (reads newline-delimited JSON requests from stdin or ADDR; see README)"
+         hybridc serve [common options] [--listen ADDR] [--listen-unix PATH] \
+         [--workers N] [--sched fifo|edf] [--secret S] [--metrics ADDR] \
+         [--status-out PATH] [--mem-cap-bytes N] [--max-devices N] \
+         [--default-deadline-ms N]\n\
+         (reads newline-delimited JSON requests from stdin or the listeners; see README)"
     );
     std::process::exit(1);
 }
@@ -105,6 +123,11 @@ fn parse_args() -> Args {
     let mut steps: Option<usize> = None;
     let mut serve = false;
     let mut listen = None;
+    let mut listen_unix = None;
+    let mut metrics_addr = None;
+    let mut status_out = None;
+    let mut sched = SchedPolicy::default();
+    let mut secret = None;
     let mut workers = None;
     let mut fleet = FleetOptions::default();
 
@@ -168,6 +191,13 @@ fn parse_args() -> Args {
             }
             "--report" => report = Some(PathBuf::from(value("--report"))),
             "--listen" if serve => listen = Some(value("--listen")),
+            "--listen-unix" if serve => listen_unix = Some(PathBuf::from(value("--listen-unix"))),
+            "--metrics" if serve => metrics_addr = Some(value("--metrics")),
+            "--status-out" if serve => status_out = Some(PathBuf::from(value("--status-out"))),
+            "--sched" if serve => {
+                sched = SchedPolicy::parse(&value("--sched")).unwrap_or_else(|e| fail(&e))
+            }
+            "--secret" if serve => secret = Some(value("--secret")),
             "--workers" if serve => {
                 workers = Some(
                     value("--workers")
@@ -210,7 +240,14 @@ fn parse_args() -> Args {
         }
     }
     if serve && !inputs.is_empty() {
-        fail("serve mode takes requests on stdin or --listen, not file arguments");
+        fail("serve mode takes requests on stdin or --listen/--listen-unix, not file arguments");
+    }
+    // The shared secret defaults to the environment so process listings
+    // don't have to carry it.
+    if serve && secret.is_none() {
+        secret = std::env::var("HYBRID_SECRET")
+            .ok()
+            .filter(|s| !s.is_empty());
     }
     if !serve && inputs.is_empty() {
         usage();
@@ -231,21 +268,50 @@ fn parse_args() -> Args {
         require_cached,
         serve,
         listen,
+        listen_unix,
+        metrics_addr,
+        status_out,
+        sched,
+        secret,
         workers,
         fleet,
     }
 }
 
 /// The resident-service mode (`hybridd` behind the `hybridfleet`
-/// device-sharded router).
+/// device-sharded router). TCP, unix-socket, and metrics listeners run
+/// concurrently over one router (one shutdown stops them all); with no
+/// listener, requests come from stdin.
 fn run_serve(args: Args) -> ! {
     let workers = args.workers.unwrap_or(args.cfg.jobs).max(1);
     let router = FleetRouter::new(args.cfg.clone(), args.fleet.clone());
+    let transports: Vec<String> = args
+        .listen
+        .iter()
+        .map(|a| format!("tcp {a}"))
+        .chain(
+            args.listen_unix
+                .iter()
+                .map(|p| format!("unix {}", p.display())),
+        )
+        .collect();
     eprintln!(
-        "hybridd: serving on {}, {} worker(s), default device = {}, tune = {}, disk cache = {}, \
+        "hybridd: serving on {}, {} worker(s), sched = {}, auth = {}, metrics = {}, \
+         default device = {}, tune = {}, disk cache = {}, \
          max devices = {}, mem cap = {}, default deadline = {}",
-        args.listen.as_deref().unwrap_or("stdin"),
+        if transports.is_empty() {
+            "stdin".to_string()
+        } else {
+            transports.join(" + ")
+        },
         workers,
+        args.sched.name(),
+        if args.secret.is_some() {
+            "secret"
+        } else {
+            "off"
+        },
+        args.metrics_addr.as_deref().unwrap_or("off"),
         args.cfg.device.name,
         args.cfg.tune.name(),
         args.cfg
@@ -260,17 +326,54 @@ fn run_serve(args: Args) -> ! {
             .default_deadline_ms
             .map_or("none".to_string(), |ms| format!("{ms} ms")),
     );
-    match args.listen {
-        Some(addr) => {
-            let listener = TcpListener::bind(&addr)
+    let policy = args.sched;
+    let secret = args.secret.as_deref();
+    std::thread::scope(|scope| {
+        if let Some(addr) = &args.metrics_addr {
+            let listener = TcpListener::bind(addr)
                 .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
-            if let Err(e) = serve_tcp(&router, listener, workers) {
-                fail(&format!("listener error: {e}"));
-            }
+            let router = &router;
+            scope.spawn(move || {
+                if let Err(e) = serve_metrics_http(router, listener) {
+                    eprintln!("hybridd: metrics listener error: {e}");
+                }
+            });
         }
-        None => {
+        let mut have_socket = false;
+        if let Some(addr) = &args.listen {
+            let listener = TcpListener::bind(addr)
+                .unwrap_or_else(|e| fail(&format!("cannot listen on {addr}: {e}")));
+            have_socket = true;
+            let router = &router;
+            scope.spawn(move || {
+                if let Err(e) = serve_tcp_with(router, listener, workers, policy, secret) {
+                    eprintln!("hybridd: listener error: {e}");
+                }
+            });
+        }
+        #[cfg(unix)]
+        if let Some(path) = &args.listen_unix {
+            use hybrid_bench::serve::serve_unix;
+            // A stale socket file from a previous run would make bind
+            // fail; replacing it is the standard daemon move.
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .unwrap_or_else(|e| fail(&format!("cannot listen on {}: {e}", path.display())));
+            have_socket = true;
+            let router = &router;
+            scope.spawn(move || {
+                if let Err(e) = serve_unix(router, listener, workers, policy) {
+                    eprintln!("hybridd: unix listener error: {e}");
+                }
+            });
+        }
+        #[cfg(not(unix))]
+        if args.listen_unix.is_some() {
+            fail("--listen-unix is only supported on unix platforms");
+        }
+        if !have_socket {
             let stdin = std::io::stdin();
-            match serve(&router, stdin.lock(), std::io::stdout(), workers) {
+            match serve_with_policy(&router, stdin.lock(), std::io::stdout(), workers, policy) {
                 Ok(summary) => {
                     let members = router.members();
                     let (hits, coalesced, misses, evictions) =
@@ -296,9 +399,26 @@ fn run_serve(args: Args) -> ! {
                         evictions,
                     );
                 }
-                Err(e) => fail(&format!("stdin error: {e}")),
+                Err(e) => {
+                    eprintln!("hybridd: stdin error: {e}");
+                }
             }
+            // End of stdin without a shutdown op: stop anyway so the
+            // metrics listener (if any) returns and the scope joins.
+            router.request_stop();
         }
+    });
+    if let Some(path) = &args.status_out {
+        let doc = router.status_payload();
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("hybridd: cannot write --status-out {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("hybridd: wrote {}", path.display());
+    }
+    #[cfg(unix)]
+    if let Some(path) = &args.listen_unix {
+        let _ = std::fs::remove_file(path);
     }
     std::process::exit(0);
 }

@@ -377,6 +377,16 @@ pub fn mem_entry_bytes(fp: &str, device_fp: &str, program: &str, params: &TilePa
         + MEM_ENTRY_OVERHEAD
 }
 
+/// Splits `cap` bytes over `shards` budgets exactly: every budget gets
+/// `cap / shards`, and the remainder goes one byte at a time to the
+/// first budgets, so the sum is always exactly `cap`.
+fn even_split(cap: u64, shards: usize) -> Vec<u64> {
+    let n = shards.max(1) as u64;
+    let base = cap / n;
+    let rem = cap % n;
+    (0..n).map(|i| base + u64::from(i < rem)).collect()
+}
+
 /// One resolved plan in the in-memory cache. The program text rides along
 /// so fingerprint collisions degrade to a bypass, exactly like the
 /// on-disk cache; the device fingerprint and timestamps drive the
@@ -405,6 +415,12 @@ enum MemSlot {
 /// so the fleet sees up to `shards x` this many samples).
 const HIT_AGE_SAMPLES_PER_SHARD: usize = 64;
 
+/// Fulfills between two budget rebalances ([`MemCache::rebalance`]): the
+/// shard caps are recomputed from recent hit mass after this many plan
+/// publishes. Small enough that a traffic shift re-shapes the budgets
+/// within one burst, large enough that steady traffic pays nothing.
+const REBALANCE_EVERY: u64 = 64;
+
 struct ShardInner {
     map: HashMap<String, MemSlot>,
     /// Total byte cost of the Ready entries (in-flight markers are free).
@@ -414,6 +430,10 @@ struct ShardInner {
     /// metric never adds cross-shard contention.
     hit_ages: Vec<u64>,
     hit_age_next: usize,
+    /// Recent hit mass (hits + coalesced + publishes since the last
+    /// rebalance, decayed by half at each one): the demand signal that
+    /// earns this shard its slice of the byte budget.
+    demand: u64,
 }
 
 impl ShardInner {
@@ -449,10 +469,15 @@ struct MemShard {
 ///
 /// The map is sharded by the *device fingerprint plus plan fingerprint*,
 /// so requests for different devices (and unrelated programs) never
-/// contend on one lock. With a byte cap set, each shard holds its slice
-/// of the budget (`cap / shards`) and evicts its least-recently-used
-/// ready entries on insert — under the same per-shard lock, so eviction
-/// never blocks other shards. In-flight markers are never evicted.
+/// contend on one lock. With a byte cap set, each shard owns an
+/// **adaptive slice of the budget**: budgets start as an even split and
+/// are periodically rebalanced in proportion to each shard's recent hit
+/// mass (hits + coalesced hits + publishes, decayed), floor-clamped so a
+/// cold shard can always admit an entry, with `Σ shard_caps == cap`
+/// preserved exactly at every rebalance. Each shard evicts its
+/// least-recently-used ready entries against its own slice — under the
+/// same per-shard lock, so eviction never blocks other shards. In-flight
+/// markers are never evicted.
 ///
 /// Counters are disjoint: every lookup is exactly one of `hits`
 /// (immediately ready), `coalesced` (ready after waiting on an in-flight
@@ -462,6 +487,15 @@ pub struct MemCache {
     shards: Vec<MemShard>,
     /// Total byte cap across all shards; `None` = unbounded.
     cap_bytes: Option<u64>,
+    /// Current per-shard byte budgets. Starts as an even split of
+    /// `cap_bytes` (exact: `Σ == cap`), reshaped by [`MemCache::rebalance`]
+    /// toward the shards with the most recent hit mass. Meaningless when
+    /// `cap_bytes` is `None`.
+    shard_caps: Vec<AtomicU64>,
+    /// Fulfills since the last rebalance (rebalance cadence clock).
+    fulfills_since_rebalance: AtomicU64,
+    /// One rebalance at a time; a second caller skips rather than queues.
+    rebalance_gate: Mutex<()>,
     /// Monotonic LRU clock.
     tick: AtomicU64,
     lookups: AtomicU64,
@@ -471,6 +505,7 @@ pub struct MemCache {
     bypasses: AtomicU64,
     evictions: AtomicU64,
     cancelled_waits: AtomicU64,
+    rebalances: AtomicU64,
 }
 
 /// Outcome of a memory-cache lookup.
@@ -504,10 +539,10 @@ impl MemCache {
     }
 
     /// A cache with `shards` shards capped at `cap_bytes` total bytes
-    /// (`None` = unbounded). Each shard owns `cap_bytes / shards` of the
-    /// budget; an entry larger than one shard's slice is evicted
-    /// immediately after insert (the cap is a hard invariant, not a
-    /// hint).
+    /// (`None` = unbounded). Budgets start as an exact even split
+    /// (`Σ shard_caps == cap`) and adapt to demand from there; an entry
+    /// larger than its shard's current slice is evicted immediately
+    /// after insert (the cap is a hard invariant, not a hint).
     pub fn with_config(shards: usize, cap_bytes: Option<u64>) -> MemCache {
         let shards = shards.max(1);
         MemCache {
@@ -518,10 +553,17 @@ impl MemCache {
                         ready_bytes: 0,
                         hit_ages: Vec::new(),
                         hit_age_next: 0,
+                        demand: 0,
                     }),
                     cv: Condvar::new(),
                 })
                 .collect(),
+            shard_caps: even_split(cap_bytes.unwrap_or(0), shards)
+                .into_iter()
+                .map(AtomicU64::new)
+                .collect(),
+            fulfills_since_rebalance: AtomicU64::new(0),
+            rebalance_gate: Mutex::new(()),
             cap_bytes,
             tick: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
@@ -531,27 +573,28 @@ impl MemCache {
             bypasses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             cancelled_waits: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, device_fp: &str, fp: &str) -> &MemShard {
+    fn shard_idx(&self, device_fp: &str, fp: &str) -> usize {
         let mut h = fnv1a64(device_fp.as_bytes());
         h ^= fnv1a64(fp.as_bytes()).rotate_left(17);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
     }
 
-    fn per_shard_cap(&self) -> Option<u64> {
-        self.cap_bytes
-            .map(|cap| (cap / self.shards.len() as u64).max(1))
+    fn shard(&self, device_fp: &str, fp: &str) -> &MemShard {
+        &self.shards[self.shard_idx(device_fp, fp)]
     }
 
     /// Evicts least-recently-used ready entries until the shard fits its
-    /// slice of the byte cap. Runs under the shard lock; in-flight
-    /// markers are never touched.
-    fn evict_locked(&self, inner: &mut ShardInner) {
-        let Some(cap) = self.per_shard_cap() else {
+    /// current slice of the byte cap. Runs under the shard lock;
+    /// in-flight markers are never touched.
+    fn evict_shard_locked(&self, idx: usize, inner: &mut ShardInner) {
+        if self.cap_bytes.is_none() {
             return;
-        };
+        }
+        let cap = self.shard_caps[idx].load(Ordering::Relaxed);
         while inner.ready_bytes > cap {
             // Select the LRU victim by reference; clone only the one
             // winning key (the scan runs under the shard lock).
@@ -577,6 +620,14 @@ impl MemCache {
     /// Median age (milliseconds between insert and hit) over the most
     /// recent hits across all shards; `None` before the first hit.
     pub fn hit_age_p50_ms(&self) -> Option<u64> {
+        self.hit_age_quantiles_ms().map(|(p50, _, _)| p50)
+    }
+
+    /// The (p50, p90, p99) hit-age quantiles in milliseconds over the
+    /// most recent hits across all shards; `None` before the first hit.
+    /// Quantile index = `q * (len - 1)` rounded to nearest, so a single
+    /// sample reports itself at every quantile.
+    pub fn hit_age_quantiles_ms(&self) -> Option<(u64, u64, u64)> {
         let mut ages: Vec<u64> = self
             .shards
             .iter()
@@ -586,7 +637,8 @@ impl MemCache {
             return None;
         }
         ages.sort_unstable();
-        Some(ages[ages.len() / 2])
+        let at = |q: f64| ages[((ages.len() - 1) as f64 * q).round() as usize];
+        Some((at(0.5), at(0.9), at(0.99)))
     }
 
     /// Ready entries across all shards (in-flight markers not counted).
@@ -659,6 +711,90 @@ impl MemCache {
         self.cancelled_waits.load(Ordering::Relaxed)
     }
 
+    /// Budget rebalances performed so far (see [`MemCache::rebalance`]).
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Relaxed)
+    }
+
+    /// The current per-shard byte budgets. With a cap set their sum is
+    /// exactly [`MemCache::cap_bytes`] — the invariant every rebalance
+    /// preserves; without a cap the values are meaningless zeros.
+    pub fn shard_caps(&self) -> Vec<u64> {
+        self.shard_caps
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The floor any shard's budget is clamped to under a cap of `cap`:
+    /// a quarter of the even split (at least one byte), so a shard going
+    /// cold keeps enough budget to admit new entries and re-earn mass.
+    pub fn shard_floor(cap: u64, shards: usize) -> u64 {
+        (cap / (4 * shards.max(1) as u64)).max(1)
+    }
+
+    /// Recomputes the per-shard budgets from recent hit mass:
+    /// `cap_i = floor + spare * demand_i / Σ demand`, where
+    /// `floor` is [`MemCache::shard_floor`] and `spare = cap - shards*floor`,
+    /// with the integer remainder granted to the highest-demand shard so
+    /// `Σ shard_caps == cap` holds exactly. Demand decays by half at each
+    /// rebalance, so budgets track *recent* traffic. Shards left over
+    /// their shrunken slice are evicted down immediately — the total cap
+    /// stays a hard invariant, never a hint.
+    ///
+    /// Runs automatically every `REBALANCE_EVERY` publishes; public so
+    /// tests and operators can force a deterministic rebalance.
+    pub fn rebalance(&self) {
+        let Some(cap) = self.cap_bytes else {
+            return;
+        };
+        // One rebalancer at a time; a concurrent caller's pass would
+        // recompute the same budgets, so it just skips.
+        let Ok(_gate) = self.rebalance_gate.try_lock() else {
+            return;
+        };
+        let n = self.shards.len();
+        let floor = MemCache::shard_floor(cap, n);
+        let mut demand = Vec::with_capacity(n);
+        for shard in &self.shards {
+            let mut inner = lock_ignore_poison(&shard.inner);
+            demand.push(inner.demand);
+            inner.demand /= 2;
+        }
+        let total: u64 = demand.iter().sum();
+        let caps = if cap < n as u64 * floor || total == 0 {
+            // Degenerate cap or no signal yet: exact even split.
+            even_split(cap, n)
+        } else {
+            let spare = cap - n as u64 * floor;
+            let mut caps: Vec<u64> = demand
+                .iter()
+                .map(|&d| floor + (spare as u128 * d as u128 / total as u128) as u64)
+                .collect();
+            // Integer remainder to the hottest shard (first on ties)
+            // keeps the sum exactly at cap.
+            let assigned: u64 = caps.iter().sum();
+            let hottest = demand
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            caps[hottest] += cap - assigned;
+            caps
+        };
+        for (slot, cap_i) in self.shard_caps.iter().zip(&caps) {
+            slot.store(*cap_i, Ordering::Relaxed);
+        }
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        // Enforce the shrunken slices now, not at the next insert: the
+        // total cap must hold the moment the budgets change.
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let mut inner = lock_ignore_poison(&shard.inner);
+            self.evict_shard_locked(idx, &mut inner);
+        }
+    }
+
     /// Ready entries whose device fingerprint equals `device_fp` — the
     /// per-device view behind cache-isolation assertions and fleet
     /// introspection.
@@ -716,6 +852,7 @@ impl MemCache {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
                     inner.record_hit_age(inserted_at);
+                    inner.demand += 1;
                     return MemLookup::Hit(params);
                 }
                 Some(MemSlot::InFlight) => {
@@ -759,26 +896,45 @@ impl Default for MemCache {
 
 impl MemCacheGuard<'_> {
     /// Publishes the tuned plan, wakes every waiter, and evicts LRU
-    /// entries if the shard now exceeds its slice of the byte cap.
+    /// entries if the shard now exceeds its slice of the byte cap. Every
+    /// `REBALANCE_EVERY` publishes the per-shard budgets are reshaped
+    /// toward recent demand ([`MemCache::rebalance`]).
     pub fn fulfill(mut self, program: &str, params: &TileParams) {
-        let shard = self.cache.shard(&self.device_fp, &self.fp);
-        let mut inner = lock_ignore_poison(&shard.inner);
-        let bytes = mem_entry_bytes(&self.fp, &self.device_fp, program, params);
-        inner.map.insert(
-            self.fp.clone(),
-            MemSlot::Ready(MemEntry {
-                program: program.to_string(),
-                device_fp: self.device_fp.clone(),
-                params: params.clone(),
-                bytes,
-                inserted_at: Instant::now(),
-                last_used: self.cache.tick.fetch_add(1, Ordering::Relaxed),
-            }),
-        );
-        inner.ready_bytes += bytes;
-        self.cache.evict_locked(&mut inner);
+        let idx = self.cache.shard_idx(&self.device_fp, &self.fp);
+        let shard = &self.cache.shards[idx];
+        {
+            let mut inner = lock_ignore_poison(&shard.inner);
+            let bytes = mem_entry_bytes(&self.fp, &self.device_fp, program, params);
+            inner.map.insert(
+                self.fp.clone(),
+                MemSlot::Ready(MemEntry {
+                    program: program.to_string(),
+                    device_fp: self.device_fp.clone(),
+                    params: params.clone(),
+                    bytes,
+                    inserted_at: Instant::now(),
+                    last_used: self.cache.tick.fetch_add(1, Ordering::Relaxed),
+                }),
+            );
+            inner.ready_bytes += bytes;
+            inner.demand += 1;
+            self.cache.evict_shard_locked(idx, &mut inner);
+        }
         self.done = true;
         shard.cv.notify_all();
+        // The rebalance takes shard locks itself, so it must run after
+        // this shard's lock is released.
+        let published = self
+            .cache
+            .fulfills_since_rebalance
+            .fetch_add(1, Ordering::Relaxed)
+            + 1;
+        if published >= REBALANCE_EVERY {
+            self.cache
+                .fulfills_since_rebalance
+                .store(0, Ordering::Relaxed);
+            self.cache.rebalance();
+        }
     }
 }
 

@@ -36,8 +36,8 @@ use std::time::Instant;
 use crate::driver::{device_fingerprint, DriverConfig};
 use crate::json::Json;
 use crate::serve::{
-    cancel_response, check_version, error_response, resolve_device, validate_compile_request,
-    with_envelope, RequestHandler, ServeOptions, ServeState,
+    cancel_response, check_version, error_response, metrics_response, resolve_device,
+    validate_compile_request, with_envelope, RequestHandler, ServeOptions, ServeState, ServeStats,
 };
 
 /// Fleet-level knobs (`hybridc serve` flags).
@@ -85,6 +85,8 @@ pub struct FleetRouter {
     /// Non-error responses produced by the router itself.
     router_ok: AtomicU64,
     stop: AtomicBool,
+    /// Scheduling/auth counters of the loops driving this fleet.
+    stats: ServeStats,
 }
 
 impl FleetRouter {
@@ -102,6 +104,7 @@ impl FleetRouter {
             router_errors: AtomicU64::new(0),
             router_ok: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            stats: ServeStats::default(),
         };
         let _ = router.member_for(&base.device.clone());
         router
@@ -118,6 +121,16 @@ impl FleetRouter {
     /// Lines handled so far (including router-level rejections).
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the fleet as a served `shutdown` would: raises the router's
+    /// stop flag and broadcasts the stop to every member, so every
+    /// serving loop (stdin, TCP, unix, metrics) returns.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for (_, member) in self.members() {
+            member.request_stop();
+        }
     }
 
     /// True when a member for `device` already exists.
@@ -210,12 +223,12 @@ impl FleetRouter {
         }
         match req.get("op").and_then(Json::as_str) {
             Some("status") => Some(self.track(self.status_response(seq, id.as_ref()))),
+            Some("metrics") => {
+                Some(self.track(metrics_response(seq, id.as_ref(), self.metrics_text())))
+            }
             Some("cancel") => Some(self.track(self.handle_cancel(seq, id.as_ref(), &req))),
             Some("shutdown") => {
-                self.stop.store(true, Ordering::SeqCst);
-                for (_, member) in self.members() {
-                    member.request_stop();
-                }
+                self.request_stop();
                 Some(self.track(with_envelope(
                     seq,
                     id.as_ref(),
@@ -329,6 +342,17 @@ impl FleetRouter {
                     None => Json::Null,
                 },
             ),
+            ("sched_policy", Json::str(self.stats.policy().name())),
+            ("queue_depth", Json::UInt(self.stats.queue_depth())),
+            (
+                "queue_depth_peak",
+                Json::UInt(self.stats.queue_depth_peak()),
+            ),
+            ("deadline_misses", Json::UInt(self.stats.deadline_misses())),
+            ("edf_promotions", Json::UInt(self.stats.edf_promotions())),
+            ("auth_ok", Json::UInt(self.stats.auth_ok())),
+            ("auth_failures", Json::UInt(self.stats.auth_failures())),
+            ("auth_rejected", Json::UInt(self.stats.auth_rejected())),
             (
                 "devices",
                 Json::Arr(members.iter().map(|(_, m)| m.status_payload()).collect()),
@@ -339,6 +363,27 @@ impl FleetRouter {
     fn status_response(&self, seq: u64, id: Option<&Json>) -> Json {
         with_envelope(seq, id, self.status_payload())
     }
+
+    /// The scheduling/auth counters of this fleet's loops.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The fleet's full metric set as a [`MetricsSnapshot`](crate::metrics::MetricsSnapshot): one
+    /// [`DeviceMetrics`](crate::metrics::DeviceMetrics) per member
+    /// (labeled by its canonical device fingerprint) plus the router's
+    /// scheduling and auth counters.
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let mut snap =
+            crate::metrics::snapshot_stats(&self.stats, self.started.elapsed().as_millis() as u64);
+        snap.max_devices = Some(self.opts.max_devices as u64);
+        snap.devices = self
+            .members()
+            .iter()
+            .map(|(fp, m)| crate::metrics::device_metrics(fp, m))
+            .collect();
+        snap
+    }
 }
 
 impl RequestHandler for FleetRouter {
@@ -347,6 +392,12 @@ impl RequestHandler for FleetRouter {
     }
     fn stopped(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+    fn stats(&self) -> &ServeStats {
+        FleetRouter::stats(self)
+    }
+    fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.metrics_snapshot())
     }
 }
 

@@ -13,6 +13,7 @@ pub mod autotune;
 pub mod driver;
 pub mod fleet;
 pub mod json;
+pub mod metrics;
 pub mod serve;
 
 use baselines::{generate_overtile, generate_par4all, generate_patus, generate_ppcg};

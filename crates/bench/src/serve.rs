@@ -58,13 +58,13 @@
 //! so N concurrent clients compiling the same stencil cost one tuning
 //! sweep.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{self, BufRead, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gpusim::DeviceConfig;
@@ -79,6 +79,152 @@ use crate::json::Json;
 /// The protocol version this service speaks. Responses always carry
 /// `"v": 1`; requests may omit `v` (treated as version 1) or must match.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// How a serving loop orders queued requests across its worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict arrival order (the pre-EDF behavior).
+    Fifo,
+    /// Earliest-deadline-first: requests carrying a `deadline_ms` run
+    /// before requests without one; among deadlines, the earliest
+    /// arrival-anchored deadline wins; requests without deadlines keep
+    /// FIFO order among themselves.
+    #[default]
+    Edf,
+}
+
+impl SchedPolicy {
+    /// Parses a `--sched` value.
+    pub fn parse(name: &str) -> Result<SchedPolicy, String> {
+        match name {
+            "fifo" => Ok(SchedPolicy::Fifo),
+            "edf" => Ok(SchedPolicy::Edf),
+            other => Err(format!("unknown scheduling policy {other:?} (fifo | edf)")),
+        }
+    }
+
+    /// The wire name (`"fifo"` | `"edf"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Edf => "edf",
+        }
+    }
+}
+
+/// Scheduling and transport counters of one service, shared by every
+/// serving loop (stdin, TCP connections, unix connections) that drives
+/// the same handler — the `status`/`metrics` ops and the Prometheus
+/// exporter all read one set. Owned by [`ServeState`] and by
+/// [`FleetRouter`](crate::fleet::FleetRouter) (whichever is the loop's
+/// handler records here).
+#[derive(Debug)]
+pub struct ServeStats {
+    /// 0 = fifo, 1 = edf; the most recently started loop's policy.
+    policy: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    deadline_misses: AtomicU64,
+    edf_promotions: AtomicU64,
+    auth_ok: AtomicU64,
+    auth_failures: AtomicU64,
+    auth_rejected: AtomicU64,
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats {
+            policy: AtomicU64::new(1),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            edf_promotions: AtomicU64::new(0),
+            auth_ok: AtomicU64::new(0),
+            auth_failures: AtomicU64::new(0),
+            auth_rejected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeStats {
+    /// The scheduling policy of the most recently started serving loop.
+    pub fn policy(&self) -> SchedPolicy {
+        match self.policy.load(Ordering::Relaxed) {
+            0 => SchedPolicy::Fifo,
+            _ => SchedPolicy::Edf,
+        }
+    }
+
+    pub(crate) fn set_policy(&self, policy: SchedPolicy) {
+        let v = match policy {
+            SchedPolicy::Fifo => 0,
+            SchedPolicy::Edf => 1,
+        };
+        self.policy.store(v, Ordering::Relaxed);
+    }
+
+    /// Requests currently queued (enqueued, not yet picked up).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`ServeStats::queue_depth`].
+    pub fn queue_depth_peak(&self) -> u64 {
+        self.queue_depth_peak.load(Ordering::Relaxed)
+    }
+
+    /// Responses produced after the request's arrival-anchored deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Times an EDF pop ran a deadline request ahead of an
+    /// earlier-arrived request still waiting in the queue.
+    pub fn edf_promotions(&self) -> u64 {
+        self.edf_promotions.load(Ordering::Relaxed)
+    }
+
+    /// Successful `hello` handshakes.
+    pub fn auth_ok(&self) -> u64 {
+        self.auth_ok.load(Ordering::Relaxed)
+    }
+
+    /// `hello` handshakes with a wrong secret.
+    pub fn auth_failures(&self) -> u64 {
+        self.auth_failures.load(Ordering::Relaxed)
+    }
+
+    /// Non-`hello` ops rejected because the connection never
+    /// authenticated (`auth_required` errors).
+    pub fn auth_rejected(&self) -> u64 {
+        self.auth_rejected.load(Ordering::Relaxed)
+    }
+
+    fn note_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_edf_promotion(&self) {
+        self.edf_promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_auth_ok(&self) {
+        self.auth_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_auth_failure(&self) {
+        self.auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_auth_rejected(&self) {
+        self.auth_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Service-level knobs shared by `hybridd` and the fleet layer.
 #[derive(Clone, Debug, Default)]
@@ -113,6 +259,8 @@ pub struct ServeState {
     /// registers its own flag, `cancel` raises them all, and each
     /// guard's drop removes exactly its own flag.
     inflight: Mutex<HashMap<String, Vec<Arc<std::sync::atomic::AtomicBool>>>>,
+    /// Scheduling/auth counters of the loops driving this service.
+    stats: ServeStats,
 }
 
 /// Removes an in-flight registry entry when the compile finishes — on
@@ -163,7 +311,13 @@ impl ServeState {
             panics: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
+            stats: ServeStats::default(),
         }
+    }
+
+    /// The scheduling/auth counters of this service's loops.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
     }
 
     /// The shared in-memory plan cache.
@@ -281,6 +435,7 @@ impl ServeState {
         match op {
             "compile" => self.handle_compile(seq, id.as_ref(), &req),
             "status" => self.status_response(seq, id.as_ref()),
+            "metrics" => metrics_response(seq, id.as_ref(), crate::metrics::render_state(self)),
             "cancel" => self.handle_cancel(seq, id.as_ref(), &req),
             "shutdown" => {
                 self.stop.store(true, Ordering::SeqCst);
@@ -294,7 +449,7 @@ impl ServeState {
                 seq,
                 id.as_ref(),
                 "bad_request",
-                &format!("unknown op {other:?} (compile | status | cancel | shutdown)"),
+                &format!("unknown op {other:?} (compile | status | metrics | cancel | shutdown)"),
             ),
         }
     }
@@ -389,6 +544,7 @@ impl ServeState {
             ("mem_coalesced", Json::UInt(self.mem.coalesced())),
             ("mem_bypasses", Json::UInt(self.mem.bypasses())),
             ("mem_evictions", Json::UInt(self.mem.evictions())),
+            ("mem_rebalances", Json::UInt(self.mem.rebalances())),
             (
                 "mem_cancelled_waits",
                 Json::UInt(self.mem.cancelled_waits()),
@@ -420,7 +576,23 @@ impl ServeState {
                     None => Json::Null,
                 },
             ),
+            ("sched_policy", Json::str(self.stats.policy().name())),
+            ("queue_depth", Json::UInt(self.stats.queue_depth())),
+            (
+                "queue_depth_peak",
+                Json::UInt(self.stats.queue_depth_peak()),
+            ),
+            ("deadline_misses", Json::UInt(self.stats.deadline_misses())),
+            ("edf_promotions", Json::UInt(self.stats.edf_promotions())),
+            ("auth_ok", Json::UInt(self.stats.auth_ok())),
+            ("auth_failures", Json::UInt(self.stats.auth_failures())),
+            ("auth_rejected", Json::UInt(self.stats.auth_rejected())),
         ])
+    }
+
+    /// Time since this service was created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     fn status_response(&self, seq: u64, id: Option<&Json>) -> Json {
@@ -706,6 +878,26 @@ pub(crate) fn with_envelope(seq: u64, id: Option<&Json>, payload: Json) -> Json 
     Json::Obj(pairs)
 }
 
+/// The `metrics` op's response: the Prometheus exposition text as one
+/// JSON string field (scrapers that cannot speak the protocol use the
+/// `--metrics` HTTP listener instead). Shared by the single-device and
+/// fleet dispatchers.
+pub(crate) fn metrics_response(seq: u64, id: Option<&Json>, text: String) -> Json {
+    with_envelope(
+        seq,
+        id,
+        Json::obj(vec![
+            ("status", Json::str("ok")),
+            ("op", Json::str("metrics")),
+            (
+                "content_type",
+                Json::str("text/plain; version=0.0.4; charset=utf-8"),
+            ),
+            ("text", Json::Str(text)),
+        ]),
+    )
+}
+
 pub(crate) fn error_response(seq: u64, id: Option<&Json>, kind: &str, message: &str) -> Json {
     with_envelope(
         seq,
@@ -747,6 +939,14 @@ pub trait RequestHandler: Sync {
     fn handle_line(&self, seq: u64, line: &str) -> Option<Json>;
     /// True once a `shutdown` request was served.
     fn stopped(&self) -> bool;
+    /// The scheduling/auth counters shared by every loop of this
+    /// service; the serving loops record queue depth, deadline misses
+    /// and EDF promotions here.
+    fn stats(&self) -> &ServeStats;
+    /// Every counter of this service rendered in Prometheus text
+    /// exposition format (the `metrics` op and the `--metrics` HTTP
+    /// listener serve this verbatim).
+    fn metrics_text(&self) -> String;
 }
 
 impl RequestHandler for ServeState {
@@ -755,6 +955,12 @@ impl RequestHandler for ServeState {
     }
     fn stopped(&self) -> bool {
         ServeState::stopped(self)
+    }
+    fn stats(&self) -> &ServeStats {
+        ServeState::stats(self)
+    }
+    fn metrics_text(&self) -> String {
+        crate::metrics::render_state(self)
     }
 }
 
@@ -767,10 +973,139 @@ pub struct ServeSummary {
     pub errors: u64,
 }
 
+/// One queued request: the wire line plus its scheduling key. The
+/// `deadline` is **arrival-anchored** (enqueue time + the request's own
+/// `deadline_ms`) and is used for queue ordering and miss accounting;
+/// the compile itself still anchors its execution deadline at pickup,
+/// so queue wait never eats a request's compute budget.
+struct Job {
+    seq: u64,
+    line: String,
+    /// Arrival-anchored deadline (miss accounting, both policies).
+    deadline: Option<Instant>,
+    /// The EDF ordering key: `deadline` under [`SchedPolicy::Edf`],
+    /// `None` under FIFO (so ordering degenerates to `seq`).
+    edf_key: Option<Instant>,
+}
+
+impl Job {
+    fn new(seq: u64, line: String, policy: SchedPolicy) -> Job {
+        let deadline = arrival_deadline(&line, Instant::now());
+        let edf_key = match policy {
+            SchedPolicy::Edf => deadline,
+            SchedPolicy::Fifo => None,
+        };
+        Job {
+            seq,
+            line,
+            deadline,
+            edf_key,
+        }
+    }
+
+    /// Min-ordering key: deadline-bearing jobs first (earliest deadline
+    /// wins), then arrival order.
+    fn rank(&self) -> (bool, Option<Instant>, u64) {
+        (self.edf_key.is_none(), self.edf_key, self.seq)
+    }
+}
+
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+
+impl Eq for Job {}
+
+/// The request's own `deadline_ms` anchored at `now`, best-effort: a
+/// line that is not valid JSON (or carries no usable `deadline_ms`)
+/// simply has no scheduling deadline — dispatch reports its typed error
+/// on the worker as usual.
+fn arrival_deadline(line: &str, now: Instant) -> Option<Instant> {
+    if !line.contains("deadline_ms") {
+        return None;
+    }
+    let ms = Json::parse(line.trim())
+        .ok()?
+        .get("deadline_ms")?
+        .as_u64()?;
+    Some(now + Duration::from_millis(ms))
+}
+
+/// The worker pool's priority queue: a min-heap over [`Job::rank`]
+/// under a mutex + condvar (closed flag included). Replaces the PR-4
+/// mpsc channel so the pool can pick the most urgent request instead of
+/// the oldest.
+#[derive(Default)]
+struct JobQueue {
+    heap: Mutex<(BinaryHeap<std::cmp::Reverse<Job>>, bool)>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    /// Enqueues `job`; returns false when the queue mutex is poisoned
+    /// (a worker panicked while holding it — unreachable through the
+    /// catch_unwind barrier, but never a reason to panic the reader).
+    fn push(&self, job: Job, stats: &ServeStats) -> bool {
+        let Ok(mut q) = self.heap.lock() else {
+            return false;
+        };
+        q.0.push(std::cmp::Reverse(job));
+        stats.note_depth(q.0.len() as u64);
+        drop(q);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Closes the queue: pops drain what is left, then return `None`.
+    fn close(&self) {
+        if let Ok(mut q) = self.heap.lock() {
+            q.1 = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the most urgent job, recording queue depth and EDF
+    /// promotions (a deadline job overtaking an earlier arrival still
+    /// queued). `None` once the queue is closed and drained.
+    fn pop(&self, stats: &ServeStats) -> Option<Job> {
+        let mut q = self.heap.lock().ok()?;
+        loop {
+            if let Some(std::cmp::Reverse(job)) = q.0.pop() {
+                stats.note_depth(q.0.len() as u64);
+                let overtook =
+                    job.edf_key.is_some() && q.0.iter().any(|std::cmp::Reverse(j)| j.seq < job.seq);
+                if overtook {
+                    stats.note_edf_promotion();
+                }
+                return Some(job);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.cv.wait(q).ok()?;
+        }
+    }
+}
+
 /// Serves newline-delimited requests from `reader`, writing one
 /// compact-JSON response line per request to `writer`, fanning requests
-/// out across `workers` pool threads. Returns at end of input or after a
-/// `shutdown` request; queued requests are drained either way.
+/// out across `workers` pool threads under the default
+/// [`SchedPolicy::Edf`]. Returns at end of input or after a `shutdown`
+/// request; queued requests are drained either way.
 ///
 /// Responses are written as workers finish, so they may be out of request
 /// order — clients match on `seq` (input line number, starting at 1) or
@@ -787,9 +1122,21 @@ pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
     writer: W,
     workers: usize,
 ) -> io::Result<ServeSummary> {
+    serve_with_policy(state, reader, writer, workers, SchedPolicy::default())
+}
+
+/// [`serve`] with an explicit scheduling policy (`--sched fifo|edf`).
+pub fn serve_with_policy<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
+    state: &H,
+    reader: R,
+    writer: W,
+    workers: usize,
+    policy: SchedPolicy,
+) -> io::Result<ServeSummary> {
     let workers = workers.max(1);
-    let (tx, rx) = mpsc::channel::<(u64, String)>();
-    let rx = Mutex::new(rx);
+    let stats = state.stats();
+    stats.set_policy(policy);
+    let queue = JobQueue::default();
     let writer = Mutex::new(writer);
     let responses = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
@@ -798,24 +1145,28 @@ pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let job = match rx.lock() {
-                        Ok(rx) => rx.recv(),
-                        Err(_) => break,
-                    };
-                    let Ok((seq, line)) = job else { break };
-                    let Some(response) = state.handle_line(seq, &line) else {
-                        continue;
-                    };
-                    if response.get("status").and_then(Json::as_str) == Some("error") {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    responses.fetch_add(1, Ordering::Relaxed);
-                    let mut line = response.render_compact();
-                    line.push('\n');
-                    if let Ok(mut w) = writer.lock() {
-                        let _ = w.write_all(line.as_bytes());
-                        let _ = w.flush();
+                scope.spawn(|| {
+                    while let Some(job) = queue.pop(stats) {
+                        let Some(response) = state.handle_line(job.seq, &job.line) else {
+                            continue;
+                        };
+                        // A response produced after the arrival-anchored
+                        // deadline is a miss under either policy — this
+                        // is the number the EDF-vs-FIFO load comparison
+                        // measures.
+                        if job.deadline.is_some_and(|d| Instant::now() > d) {
+                            stats.note_deadline_miss();
+                        }
+                        if response.get("status").and_then(Json::as_str) == Some("error") {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        responses.fetch_add(1, Ordering::Relaxed);
+                        let mut line = response.render_compact();
+                        line.push('\n');
+                        if let Ok(mut w) = writer.lock() {
+                            let _ = w.write_all(line.as_bytes());
+                            let _ = w.flush();
+                        }
                     }
                 })
             })
@@ -831,7 +1182,7 @@ pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
                     // client line (or EOF) to notice the stop flag. The
                     // worker still answers the queued request.
                     let stop_after = is_shutdown_request(&line);
-                    if tx.send((seq, line)).is_err() || stop_after {
+                    if !queue.push(Job::new(seq, line, policy), stats) || stop_after {
                         break;
                     }
                 }
@@ -844,7 +1195,7 @@ pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
                 break;
             }
         }
-        drop(tx);
+        queue.close();
         for h in handles {
             let _ = h.join();
         }
@@ -859,8 +1210,112 @@ pub fn serve<H: RequestHandler + ?Sized, R: BufRead, W: Write + Send>(
     }
 }
 
+/// Per-connection authentication wrapper: when a shared secret is
+/// configured, every op except `hello` is answered with a typed
+/// `auth_required` error until this connection's `hello` presented the
+/// secret. The TCP transport wraps every connection in one of these;
+/// stdin and unix-socket loops trust their transport and skip it.
+///
+/// `hello` itself is always handled here (never forwarded), so a
+/// secret-less listener still answers it idempotently — clients can
+/// send the handshake unconditionally.
+struct AuthGate<'a, H: RequestHandler + ?Sized> {
+    inner: &'a H,
+    secret: Option<&'a str>,
+    authed: AtomicBool,
+}
+
+impl<'a, H: RequestHandler + ?Sized> AuthGate<'a, H> {
+    fn new(inner: &'a H, secret: Option<&'a str>) -> AuthGate<'a, H> {
+        AuthGate {
+            inner,
+            // No secret configured: the connection starts authenticated.
+            authed: AtomicBool::new(secret.is_none()),
+            secret,
+        }
+    }
+
+    fn handle_hello(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
+        match self.secret {
+            None => {}
+            Some(want) => match req.get("secret").and_then(Json::as_str) {
+                Some(got) if got == want => {}
+                _ => {
+                    self.inner.stats().note_auth_failure();
+                    return error_response(
+                        seq,
+                        id,
+                        "auth_failed",
+                        "hello: wrong or missing \"secret\"",
+                    );
+                }
+            },
+        }
+        self.authed.store(true, Ordering::SeqCst);
+        self.inner.stats().note_auth_ok();
+        with_envelope(
+            seq,
+            id,
+            Json::obj(vec![
+                ("status", Json::str("ok")),
+                ("op", Json::str("hello")),
+                ("authenticated", Json::Bool(true)),
+            ]),
+        )
+    }
+}
+
+impl<H: RequestHandler + ?Sized> RequestHandler for AuthGate<'_, H> {
+    fn handle_line(&self, seq: u64, line: &str) -> Option<Json> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        let parsed = Json::parse(trimmed).ok();
+        let op = parsed
+            .as_ref()
+            .and_then(|r| r.get("op"))
+            .and_then(Json::as_str);
+        if op == Some("hello") {
+            let req = parsed.as_ref().expect("op implies a parsed request");
+            let id = req.get("id").cloned();
+            if let Some(resp) = check_version(seq, id.as_ref(), req) {
+                return Some(resp);
+            }
+            return Some(self.handle_hello(seq, id.as_ref(), req));
+        }
+        if self.authed.load(Ordering::SeqCst) {
+            return self.inner.handle_line(seq, line);
+        }
+        // Unauthenticated and not a hello: typed rejection, and the
+        // request never reaches the real handler (malformed JSON
+        // included — an anonymous peer learns nothing about the parser).
+        self.inner.stats().note_auth_rejected();
+        let id = parsed.as_ref().and_then(|r| r.get("id")).cloned();
+        Some(error_response(
+            seq,
+            id.as_ref(),
+            "auth_required",
+            "this transport requires {\"op\":\"hello\",\"secret\":...} before any other op",
+        ))
+    }
+
+    fn stopped(&self) -> bool {
+        self.inner.stopped()
+    }
+
+    fn stats(&self) -> &ServeStats {
+        self.inner.stats()
+    }
+
+    fn metrics_text(&self) -> String {
+        self.inner.metrics_text()
+    }
+}
+
 /// Serves TCP connections on `listener`, one serving loop per connection,
-/// all sharing `state` (and therefore the in-memory plan cache). Returns
+/// all sharing `state` (and therefore the in-memory plan cache), under
+/// the default policy and without authentication. Returns
 /// after a `shutdown` request has been served and every live connection
 /// drained — idle connections are actively disconnected (socket
 /// shutdown) so a blocked read on one client cannot keep the daemon
@@ -870,6 +1325,22 @@ pub fn serve_tcp<H: RequestHandler + ?Sized>(
     state: &H,
     listener: TcpListener,
     workers: usize,
+) -> io::Result<()> {
+    serve_tcp_with(state, listener, workers, SchedPolicy::default(), None)
+}
+
+/// [`serve_tcp`] with an explicit scheduling policy and an optional
+/// shared secret. With a secret, every connection must open with
+/// `{"op":"hello","secret":"..."}` before any other op (see
+/// `AuthGate`); note an unauthenticated `shutdown` line is *rejected*
+/// but still ends that one connection's reader — the daemon itself
+/// keeps serving.
+pub fn serve_tcp_with<H: RequestHandler + ?Sized>(
+    state: &H,
+    listener: TcpListener,
+    workers: usize,
+    policy: SchedPolicy,
+    secret: Option<&str>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let conns: Mutex<Vec<std::net::TcpStream>> = Mutex::new(Vec::new());
@@ -895,7 +1366,14 @@ pub fn serve_tcp<H: RequestHandler + ?Sized>(
                         let Ok(read_half) = stream.try_clone() else {
                             return;
                         };
-                        let _ = serve(state, io::BufReader::new(read_half), stream, workers);
+                        let gate = AuthGate::new(state, secret);
+                        let _ = serve_with_policy(
+                            &gate,
+                            io::BufReader::new(read_half),
+                            stream,
+                            workers,
+                            policy,
+                        );
                     });
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -905,6 +1383,99 @@ pub fn serve_tcp<H: RequestHandler + ?Sized>(
             }
         }
     })
+}
+
+/// Serves unix-socket connections on `listener` — same protocol and
+/// shutdown semantics as [`serve_tcp_with`], but **without** the hello
+/// handshake: filesystem permissions on the socket path are the trust
+/// boundary for local clients.
+#[cfg(unix)]
+pub fn serve_unix<H: RequestHandler + ?Sized>(
+    state: &H,
+    listener: std::os::unix::net::UnixListener,
+    workers: usize,
+    policy: SchedPolicy,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let conns: Mutex<Vec<std::os::unix::net::UnixStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| -> io::Result<()> {
+        loop {
+            if state.stopped() {
+                if let Ok(conns) = conns.lock() {
+                    for c in conns.iter() {
+                        let _ = c.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    if let (Ok(watch), Ok(mut conns)) = (stream.try_clone(), conns.lock()) {
+                        conns.push(watch);
+                    }
+                    scope.spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let _ = serve_with_policy(
+                            state,
+                            io::BufReader::new(read_half),
+                            stream,
+                            workers,
+                            policy,
+                        );
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}
+
+/// A minimal Prometheus scrape endpoint: answers **every** HTTP request
+/// on `listener` with a `200 text/plain` body of
+/// [`RequestHandler::metrics_text`] and closes the connection. Returns
+/// once the service stops. Request bytes are drained best-effort — the
+/// path and method are ignored, which is exactly what a scraper needs
+/// and nothing more.
+pub fn serve_metrics_http<H: RequestHandler + ?Sized>(
+    state: &H,
+    listener: TcpListener,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if state.stopped() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut head = [0u8; 2048];
+                let _ = io::Read::read(&mut stream, &mut head);
+                let body = state.metrics_text();
+                let header = format!(
+                    "HTTP/1.1 200 OK\r\n\
+                     content-type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     content-length: {}\r\n\
+                     connection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(header.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1351,6 +1922,7 @@ mod tests {
             "mem_coalesced",
             "mem_bypasses",
             "mem_evictions",
+            "mem_rebalances",
             "mem_cancelled_waits",
             "hit_age_p50_ms",
             "disk_cache",
@@ -1358,6 +1930,14 @@ mod tests {
             "device_fingerprint",
             "tune",
             "default_deadline_ms",
+            "sched_policy",
+            "queue_depth",
+            "queue_depth_peak",
+            "deadline_misses",
+            "edf_promotions",
+            "auth_ok",
+            "auth_failures",
+            "auth_rejected",
         ] {
             assert!(status.get(key).is_some(), "status must report {key}");
         }
@@ -1412,6 +1992,162 @@ mod tests {
             "{\"op\":\"compile\",\"program\":\"// shutdown valve\"}"
         ));
         assert!(is_shutdown_request("  {\"op\": \"shutdown\"} "));
+    }
+
+    #[test]
+    fn edf_queue_orders_by_deadline_then_arrival() {
+        let stats = ServeStats::default();
+        let q = JobQueue::default();
+        let now = Instant::now();
+        let mk = |seq: u64, dl_ms: Option<u64>| {
+            let deadline = dl_ms.map(|ms| now + Duration::from_millis(ms));
+            Job {
+                seq,
+                line: String::new(),
+                deadline,
+                edf_key: deadline,
+            }
+        };
+        // Arrival order: no-deadline, far deadline, near deadline.
+        assert!(q.push(mk(1, None), &stats));
+        assert!(q.push(mk(2, Some(5000)), &stats));
+        assert!(q.push(mk(3, Some(100)), &stats));
+        q.close();
+        // Pop order: nearest deadline, then farther, then deadline-less.
+        assert_eq!(q.pop(&stats).unwrap().seq, 3);
+        assert_eq!(q.pop(&stats).unwrap().seq, 2);
+        assert_eq!(q.pop(&stats).unwrap().seq, 1);
+        assert!(q.pop(&stats).is_none(), "closed and drained");
+        // seq 3 and seq 2 each overtook the still-queued seq 1.
+        assert_eq!(stats.edf_promotions(), 2);
+        assert_eq!(stats.queue_depth_peak(), 3);
+        assert_eq!(stats.queue_depth(), 0);
+    }
+
+    #[test]
+    fn fifo_jobs_ignore_deadlines_and_keep_arrival_order() {
+        let stats = ServeStats::default();
+        let q = JobQueue::default();
+        let line_with_deadline = "{\"op\":\"compile\",\"program\":\"x\",\"deadline_ms\":1}";
+        assert!(q.push(
+            Job::new(1, "{\"op\":\"status\"}".to_string(), SchedPolicy::Fifo),
+            &stats
+        ));
+        assert!(q.push(
+            Job::new(2, line_with_deadline.to_string(), SchedPolicy::Fifo),
+            &stats
+        ));
+        q.close();
+        let first = q.pop(&stats).unwrap();
+        assert_eq!(first.seq, 1);
+        let second = q.pop(&stats).unwrap();
+        assert_eq!(second.seq, 2);
+        // FIFO still *records* the deadline (miss accounting applies to
+        // both policies) — it just never orders by it.
+        assert!(second.deadline.is_some());
+        assert!(second.edf_key.is_none());
+        assert_eq!(stats.edf_promotions(), 0);
+        // Under EDF the same line gets a scheduling key.
+        let edf = Job::new(3, line_with_deadline.to_string(), SchedPolicy::Edf);
+        assert!(edf.edf_key.is_some());
+    }
+
+    #[test]
+    fn deadline_misses_and_policy_are_tracked_by_the_loop() {
+        let state = test_state("edf_stats");
+        let input = format!(
+            "{}\n{}\n",
+            // deadline_ms 0: already expired on arrival — a guaranteed
+            // miss whichever worker picks it up.
+            "{\"op\":\"compile\",\"program\":\"x\",\"deadline_ms\":0}",
+            "{\"op\":\"shutdown\"}",
+        );
+        let mut out = Vec::new();
+        let summary =
+            serve_with_policy(&state, Cursor::new(input), &mut out, 2, SchedPolicy::Edf).unwrap();
+        assert_eq!(summary.responses, 2);
+        assert_eq!(state.stats().deadline_misses(), 1);
+        assert_eq!(state.stats().policy(), SchedPolicy::Edf);
+        let status = state.status_payload();
+        assert_eq!(
+            status.get("sched_policy").and_then(Json::as_str),
+            Some("edf")
+        );
+        assert_eq!(
+            status.get("deadline_misses").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn auth_gate_rejects_everything_until_hello() {
+        let state = test_state("auth");
+        let gate = AuthGate::new(&state, Some("s3cret"));
+        // Any op (and even malformed JSON) before hello: auth_required.
+        for line in [
+            "{\"op\":\"status\",\"id\":\"x\"}",
+            "{\"op\":\"compile\",\"program\":\"x\"}",
+            "not json at all",
+        ] {
+            let resp = gate.handle_line(1, line).unwrap();
+            assert_eq!(
+                resp.get("error_kind").and_then(Json::as_str),
+                Some("auth_required"),
+                "{line}"
+            );
+        }
+        // Wrong secret: typed auth_failed, still locked.
+        let bad = gate
+            .handle_line(2, "{\"op\":\"hello\",\"secret\":\"wrong\"}")
+            .unwrap();
+        assert_eq!(
+            bad.get("error_kind").and_then(Json::as_str),
+            Some("auth_failed")
+        );
+        // Version gate applies to hello like any other op.
+        let v9 = gate
+            .handle_line(3, "{\"v\":9,\"op\":\"hello\",\"secret\":\"s3cret\"}")
+            .unwrap();
+        assert_eq!(
+            v9.get("error_kind").and_then(Json::as_str),
+            Some("unsupported_version")
+        );
+        // Right secret: authenticated, and ops flow to the real handler.
+        let ok = gate
+            .handle_line(4, "{\"op\":\"hello\",\"id\":\"h\",\"secret\":\"s3cret\"}")
+            .unwrap();
+        assert_eq!(ok.get("authenticated"), Some(&Json::Bool(true)));
+        let status = gate.handle_line(5, "{\"op\":\"status\"}").unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+        assert_eq!(state.stats().auth_rejected(), 3);
+        assert_eq!(state.stats().auth_failures(), 1);
+        assert_eq!(state.stats().auth_ok(), 1);
+        // A gate without a secret answers hello idempotently and
+        // forwards everything else straight away.
+        let open = AuthGate::new(&state, None);
+        let hello = open.handle_line(1, "{\"op\":\"hello\"}").unwrap();
+        assert_eq!(hello.get("authenticated"), Some(&Json::Bool(true)));
+        let status = open.handle_line(2, "{\"op\":\"status\"}").unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
+    }
+
+    #[test]
+    fn metrics_op_returns_parseable_exposition_text() {
+        let state = test_state("metrics_op");
+        let _ = state.handle_line(1, &compile_req("jac", JACOBI)).unwrap();
+        let resp = state
+            .handle_line(2, "{\"op\":\"metrics\",\"id\":\"m\"}")
+            .unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let text = resp.get("text").and_then(Json::as_str).unwrap();
+        let samples = crate::metrics::parse_exposition(text).unwrap();
+        assert!(!samples.is_empty());
+        assert!(
+            samples
+                .iter()
+                .any(|(s, v)| s.starts_with("hybrid_requests_total") && *v >= 1.0),
+            "metrics must include the request counter"
+        );
     }
 
     #[test]

@@ -91,25 +91,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Invariants 1 + 3 on the production shape (16 shards): the cap
-    /// holds after every insert, and the counters always balance.
+    /// holds after every insert — including across adaptive budget
+    /// rebalances forced mid-workload — and the counters always balance.
     #[test]
     fn cap_and_counter_invariants_hold_under_random_workloads(
         cap_kb in 1usize..4,
-        ops in proptest::collection::vec((0usize..24, 0usize..2), 1..60),
+        ops in proptest::collection::vec((0usize..24, 0usize..3), 1..60),
     ) {
         let cap = cap_kb as u64 * 1024;
         let cache = MemCache::with_config(16, Some(cap));
-        for (key_pick, is_touch) in ops {
-            let is_touch = is_touch == 1;
+        for (key_pick, op_kind) in ops {
             let key = format!("fp{key_pick:02}");
             // Entry sizes vary per key but are stable across re-inserts
             // of the same key (a changed program under one fingerprint
             // would be a collision bypass, a different code path).
             let text_len = 20 + key_pick * 17;
-            if is_touch {
-                touch(&cache, &key, text_len);
-            } else {
-                insert(&cache, &key, text_len);
+            match op_kind {
+                0 => {
+                    insert(&cache, &key, text_len);
+                }
+                1 => {
+                    touch(&cache, &key, text_len);
+                }
+                // Forced rebalance: the demand-weighted budgets reshape
+                // mid-workload, exactly like the production cadence.
+                _ => cache.rebalance(),
             }
             // (1) the byte cap is a hard invariant after every op.
             prop_assert!(
@@ -118,6 +124,8 @@ proptest! {
                 cache.bytes(),
                 cap
             );
+            // Adaptive budgets always partition the cap exactly.
+            prop_assert_eq!(cache.shard_caps().iter().sum::<u64>(), cap);
             // (3) disjoint, complete accounting.
             prop_assert_eq!(
                 cache.lookups(),
@@ -170,6 +178,48 @@ proptest! {
             prop_assert_eq!(cache.len(), model.entries.len());
         }
     }
+}
+
+/// Demand-weighted rebalancing: a shard that serves nearly all of the
+/// hit traffic must end up with more than its even-split share of the
+/// byte budget, while every shard keeps at least the floor and the caps
+/// still partition the total exactly.
+#[test]
+fn hot_shard_earns_budget_after_rebalance() {
+    let shards = 4usize;
+    let cap = 4096u64;
+    let cache = MemCache::with_config(shards, Some(cap));
+    let even = cap / shards as u64;
+    assert_eq!(cache.shard_caps(), vec![even; shards], "initial even split");
+
+    // Seed a handful of keys, then hammer one of them: its shard
+    // accumulates nearly all the demand mass.
+    for i in 0..6 {
+        insert(&cache, &format!("fp{i:02}"), 40 + i * 13);
+    }
+    // A miss re-publishes the entry, and both hits and fulfills count
+    // as demand, so the loop accrues demand either way.
+    for _ in 0..100 {
+        touch(&cache, "fp00", 40);
+    }
+
+    let before = cache.rebalances();
+    cache.rebalance();
+    cache.rebalance();
+    assert!(cache.rebalances() >= before + 2);
+
+    let caps = cache.shard_caps();
+    assert_eq!(caps.iter().sum::<u64>(), cap, "caps partition the total");
+    let floor = MemCache::shard_floor(cap, shards);
+    assert!(
+        caps.iter().all(|&c| c >= floor),
+        "every shard keeps the floor: {caps:?} (floor {floor})"
+    );
+    assert!(
+        caps.iter().copied().max().unwrap() > even,
+        "the hot shard outgrew the even split: {caps:?}"
+    );
+    assert!(cache.bytes() <= cap);
 }
 
 /// The counter identity from the issue, verbatim, on a workload with no
