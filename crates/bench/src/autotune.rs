@@ -124,6 +124,89 @@ pub fn autotune_program(
     })
 }
 
+/// Shortlist width per spatial dimensionality, calibrated so the
+/// analytical merit retains the simulator-best plan across the gallery
+/// (2-D needs 3 survivors, 3-D 6, 1-D 2).
+pub fn default_top_k(spatial_dims: usize) -> usize {
+    match spatial_dims {
+        2 => 3,
+        3 => 6,
+        _ => 2,
+    }
+}
+
+/// Exhaustive-vs-model-guided sweep comparison for one stencil: same
+/// full (non-smoke) space, same scorer and workload; only the analytical
+/// shortlist differs. The evidence behind the `--model-gate` CI gate.
+#[derive(Clone, Debug)]
+pub struct ModelGateSample {
+    /// Stencil name.
+    pub stencil: String,
+    /// Shortlist width used for the model-guided run.
+    pub top_k: usize,
+    /// Simulator scorings the exhaustive (`top_k = 0`) sweep paid.
+    pub exhaustive_simulations: usize,
+    /// Simulator scorings the shortlisted sweep paid.
+    pub shortlist_simulations: usize,
+    /// Best GStencils/s found by the exhaustive sweep.
+    pub exhaustive_best: f64,
+    /// Best GStencils/s found by the shortlisted sweep.
+    pub shortlist_best: f64,
+}
+
+impl ModelGateSample {
+    /// Exhaustive scorings per shortlist scoring (> 1 = the model saves work).
+    pub fn sim_reduction(&self) -> f64 {
+        if self.shortlist_simulations == 0 {
+            return f64::INFINITY;
+        }
+        self.exhaustive_simulations as f64 / self.shortlist_simulations as f64
+    }
+
+    /// Shortlist winner's score as a fraction of the exhaustive winner's
+    /// (1.0 = the shortlist retained the true best plan).
+    pub fn quality(&self) -> f64 {
+        if self.exhaustive_best <= 0.0 {
+            return 1.0;
+        }
+        self.shortlist_best / self.exhaustive_best
+    }
+}
+
+/// Runs one stencil's exhaustive and model-guided sweeps over the full
+/// §6 space (no `max_candidates` truncation, so the simulation counts
+/// measure the shortlist alone) and returns the paired sample.
+pub fn model_gate_sample(
+    program: &StencilProgram,
+    device: &DeviceConfig,
+    threads: usize,
+) -> ModelGateSample {
+    let space = sweep_space(program.spatial_dims(), false);
+    let (dims, steps) = autotune_workload(program);
+    let run = |top_k: usize| -> AutotuneReport {
+        let cfg = AutotuneConfig {
+            smem_limit: device.shared_limit as u64,
+            max_candidates: usize::MAX,
+            top_k,
+            ..AutotuneConfig::fermi()
+        };
+        autotune(program, &space, &cfg, |model| {
+            simulate_score(program, &model.params, device, &dims, steps, threads)
+        })
+    };
+    let top_k = default_top_k(program.spatial_dims());
+    let exhaustive = run(0);
+    let shortlist = run(top_k);
+    ModelGateSample {
+        stencil: program.name().to_string(),
+        top_k,
+        exhaustive_simulations: exhaustive.simulated,
+        shortlist_simulations: shortlist.simulated,
+        exhaustive_best: exhaustive.ranked.first().map_or(0.0, |e| e.score),
+        shortlist_best: shortlist.ranked.first().map_or(0.0, |e| e.score),
+    }
+}
+
 /// Wall-clock comparison of one plan on the sequential vs. the parallel
 /// executor, with a bit-exactness cross-check of the merged counters.
 #[derive(Clone, Debug)]

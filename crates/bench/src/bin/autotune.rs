@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! autotune [--smoke] [--threads N] [--device gtx470|nvs5200m]
-//!          [--min-speedup X] [--min-compiled-speedup X] [--out PATH]
+//!          [--min-speedup X] [--min-compiled-speedup X] [--model-gate]
+//!          [--out PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sweep and workloads (the CI `bench-smoke` mode);
@@ -27,6 +28,10 @@
 //!   interpreter falls below `X`. Unlike the parallel gate this one has
 //!   no host-cpu escape hatch: compilation must never lose to
 //!   re-interpretation, even on one core.
+//! * `--model-gate` — exit non-zero unless the analytical shortlist pays
+//!   at least 5x fewer simulator scorings than the exhaustive sweep over
+//!   the full 2-D space while every stencil's shortlist winner scores
+//!   within 10% of the exhaustive winner.
 //! * `--out PATH` — where to write the JSON (default `BENCH_autotune.json`).
 //! * `--baseline PATH` — compare this run's per-stencil
 //!   `points_per_sec_compiled` against a checked-in earlier run of the
@@ -38,7 +43,9 @@
 //!   compiled executor from runner-speed variance.
 
 use gpusim::DeviceConfig;
-use hybrid_bench::autotune::{autotune_program, measure_exec_throughput, measure_speedup};
+use hybrid_bench::autotune::{
+    autotune_program, measure_exec_throughput, measure_speedup, model_gate_sample,
+};
 use hybrid_bench::json::Json;
 use stencil::gallery;
 
@@ -48,6 +55,7 @@ struct Args {
     device: DeviceConfig,
     min_speedup: Option<f64>,
     min_compiled_speedup: Option<f64>,
+    model_gate: bool,
     out: String,
     baseline: Option<String>,
 }
@@ -59,6 +67,7 @@ fn parse_args() -> Args {
         device: DeviceConfig::gtx470(),
         min_speedup: None,
         min_compiled_speedup: None,
+        model_gate: false,
         out: "BENCH_autotune.json".into(),
         baseline: None,
     };
@@ -90,6 +99,7 @@ fn parse_args() -> Args {
                 args.min_compiled_speedup =
                     Some(v.parse().expect("--min-compiled-speedup takes a number"));
             }
+            "--model-gate" => args.model_gate = true,
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
             other => panic!("unknown argument {other:?}"),
@@ -183,6 +193,46 @@ fn main() {
         ]));
     }
 
+    // --- Model gate: exhaustive vs analytical-shortlist sweeps. ---
+    // Always over the *full* 2-D space so the simulation counts are
+    // meaningful even in smoke mode (the smoke space has too few
+    // candidates for a shortlist to save anything).
+    println!("\nmodel-guided shortlist vs exhaustive sweep (full 2-D space):");
+    println!(
+        "{:<14} {:>5} {:>10} {:>10} {:>10} {:>9}",
+        "stencil", "k", "sims full", "sims top-k", "reduction", "quality"
+    );
+    let gate_stencils = vec![
+        gallery::laplacian2d(),
+        gallery::heat2d(),
+        gallery::jacobi2d(),
+    ];
+    let mut gate_samples = Vec::new();
+    for program in &gate_stencils {
+        let s = model_gate_sample(program, &args.device, args.threads);
+        println!(
+            "{:<14} {:>5} {:>10} {:>10} {:>9.1}x {:>8.1}%",
+            s.stencil,
+            s.top_k,
+            s.exhaustive_simulations,
+            s.shortlist_simulations,
+            s.sim_reduction(),
+            s.quality() * 100.0,
+        );
+        gate_samples.push(s);
+    }
+    let gate_exhaustive: usize = gate_samples.iter().map(|s| s.exhaustive_simulations).sum();
+    let gate_shortlist: usize = gate_samples.iter().map(|s| s.shortlist_simulations).sum();
+    let gate_reduction = if gate_shortlist > 0 {
+        gate_exhaustive as f64 / gate_shortlist as f64
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{:<14} {:>5} {:>10} {:>10} {:>9.1}x",
+        "total", "", gate_exhaustive, gate_shortlist, gate_reduction
+    );
+
     // --- Speedup: sequential vs parallel executor on the Table-3 gallery. ---
     println!("\nparallel executor vs sequential (Table-3 gallery):");
     println!(
@@ -265,6 +315,40 @@ fn main() {
             ]),
         ),
         ("autotune", Json::Arr(sweep_json)),
+        (
+            "model_guided",
+            Json::obj(vec![
+                ("aggregate_sim_reduction", Json::Num(gate_reduction)),
+                ("exhaustive_simulations", Json::UInt(gate_exhaustive as u64)),
+                ("shortlist_simulations", Json::UInt(gate_shortlist as u64)),
+                (
+                    "per_stencil",
+                    Json::Arr(
+                        gate_samples
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stencil", Json::str(s.stencil.clone())),
+                                    ("top_k", Json::UInt(s.top_k as u64)),
+                                    (
+                                        "exhaustive_simulations",
+                                        Json::UInt(s.exhaustive_simulations as u64),
+                                    ),
+                                    (
+                                        "shortlist_simulations",
+                                        Json::UInt(s.shortlist_simulations as u64),
+                                    ),
+                                    ("exhaustive_best", Json::Num(s.exhaustive_best)),
+                                    ("shortlist_best", Json::Num(s.shortlist_best)),
+                                    ("sim_reduction", Json::Num(s.sim_reduction())),
+                                    ("quality", Json::Num(s.quality())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
         (
             "parallel_speedup",
             Json::obj(vec![
@@ -359,6 +443,41 @@ fn main() {
         }
     }
 
+    if args.model_gate {
+        let mut failures = Vec::new();
+        if gate_reduction < MODEL_GATE_MIN_REDUCTION {
+            failures.push(format!(
+                "aggregate simulation reduction {gate_reduction:.1}x is below the \
+                 required {MODEL_GATE_MIN_REDUCTION:.0}x"
+            ));
+        }
+        for s in &gate_samples {
+            if s.quality() < MODEL_GATE_MIN_QUALITY {
+                failures.push(format!(
+                    "{}: shortlist best {:.3} GSt/s is only {:.0}% of the exhaustive \
+                     best {:.3} (floor {:.0}%)",
+                    s.stencil,
+                    s.shortlist_best,
+                    s.quality() * 100.0,
+                    s.exhaustive_best,
+                    MODEL_GATE_MIN_QUALITY * 100.0,
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "model gate passed: {gate_reduction:.1}x fewer simulations, every \
+                 stencil within {:.0}% of the exhaustive best",
+                (1.0 - MODEL_GATE_MIN_QUALITY) * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = &args.baseline {
         let current = doc.get("exec_throughput").expect("doc has exec_throughput");
         if let Err(msg) = compare_against_baseline(path, current) {
@@ -371,6 +490,13 @@ fn main() {
 /// Regression window of the `--baseline` gate: a stencil may lose at
 /// most 30% of its (machine-speed-normalized) compiled throughput.
 const BASELINE_FLOOR: f64 = 0.70;
+
+/// `--model-gate` floors: the analytical shortlist must pay at least 5x
+/// fewer simulator scorings than the exhaustive sweep...
+const MODEL_GATE_MIN_REDUCTION: f64 = 5.0;
+/// ...while each stencil's shortlist winner scores within 10% of the
+/// exhaustive winner.
+const MODEL_GATE_MIN_QUALITY: f64 = 0.90;
 
 /// Compares this run's `exec_throughput` block against a checked-in
 /// baseline file, normalizing for host speed via each run's aggregate

@@ -17,6 +17,8 @@
 //!   --no-cache         disable the plan cache
 //!   --require-cached   exit non-zero if any plan misses the cache
 //!   --autotune         score tile sizes on the simulator (default: static model)
+//!   --top-k K          model-guided shortlist: only the K best candidates by
+//!                      the analytical merit reach the scorer (0 = exhaustive)
 //!   --smoke            shrink the sweep space (CI mode)
 //!   --device NAME      gtx470 | nvs5200m (default gtx470)
 //!   --threads N        simulator worker threads; 0 = auto-detect, same as
@@ -93,7 +95,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: hybridc [--out DIR] [--cache DIR | --no-cache] [--require-cached] \
-         [--autotune] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
+         [--autotune] [--top-k K] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
          [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
          \n\
          hybridc serve [common options] [--listen ADDR] [--listen-unix PATH] \
@@ -147,6 +149,11 @@ fn parse_args() -> Args {
             "--no-cache" => cache_override = Some(None),
             "--require-cached" => require_cached = true,
             "--autotune" => cfg.tune = TuneMode::Simulated,
+            "--top-k" => {
+                cfg.top_k = value("--top-k").parse().unwrap_or_else(|_| {
+                    fail("--top-k takes a non-negative integer (0 = exhaustive)")
+                });
+            }
             "--smoke" => cfg.smoke = true,
             "--device" => {
                 cfg.device = match value("--device").as_str() {

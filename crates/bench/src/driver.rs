@@ -48,8 +48,10 @@ use gpu_codegen::ptx_emit::core_tile_ptx;
 use gpu_codegen::{generate_hybrid, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
 use hybrid_tiling::cancel::{CancelKind, CancelToken};
-use hybrid_tiling::tilesize::autotune::{autotune_cancellable, AutotuneConfig, AutotuneError};
-use hybrid_tiling::tilesize::TileSizeModel;
+use hybrid_tiling::tilesize::autotune::{
+    autotune_cancellable, estimated_regs_per_block, AutotuneConfig, AutotuneEntry, AutotuneError,
+};
+use hybrid_tiling::tilesize::{evaluate_tile, TileSizeModel};
 use hybrid_tiling::TileParams;
 use stencil::characteristics::{flop_count, load_count};
 use stencil::parse::{parse_stencil, ParseError};
@@ -119,10 +121,29 @@ pub struct DriverConfig {
     pub cancel: CancelToken,
     /// Age after which another process's tuning lock file (the
     /// cross-process single-flight marker next to the disk cache) is
-    /// considered abandoned and stolen. Must comfortably exceed one
-    /// tuning sweep; a premature steal only costs a redundant sweep,
+    /// considered abandoned and stolen. The holder heartbeats the lock
+    /// mtime between scored candidates, so a live sweep of any length
+    /// keeps its lock; a premature steal only costs a redundant sweep,
     /// never a wrong plan (entries are stored atomically).
     pub lock_stale: Duration,
+    /// Model-guided shortlist size: when > 0, only the `top_k`
+    /// candidates ranked best by the analytical figure of merit
+    /// ([`hybrid_tiling::tilesize::autotune::analytical_merit`]) reach
+    /// the scorer. `0` (the default) scores every candidate surviving
+    /// the budgets — the exhaustive oracle. Participates in the plan
+    /// fingerprint, so shortlist and exhaustive plans never share a
+    /// cache entry.
+    pub top_k: usize,
+    /// Warm-start hints: `(canonical program text, tile params)` pairs
+    /// seeded from a near device's cached plans (the fleet router fills
+    /// this for cold members). Hints whose program text matches the
+    /// compile are **re-verified** — scored through the same scorer as
+    /// swept candidates, never copied blindly — and merged into the
+    /// ranked table, so a transferred plan wins only if it actually
+    /// scores best on *this* device. Not part of the fingerprint: hints
+    /// can only add scored candidates, so the chosen plan is never worse
+    /// than the unhinted sweep's.
+    pub warm_hints: Vec<(String, TileParams)>,
 }
 
 impl DriverConfig {
@@ -145,6 +166,8 @@ impl DriverConfig {
             scorer: None,
             cancel: CancelToken::never(),
             lock_stale: Duration::from_secs(120),
+            top_k: 0,
+            warm_hints: Vec::new(),
         }
     }
 }
@@ -254,6 +277,17 @@ pub struct CompileOutcome {
     pub cache: CacheSource,
     /// Candidates examined by the tuning sweep (0 on a cache hit).
     pub examined: usize,
+    /// Candidates surviving the model shortlist (0 on a cache hit; the
+    /// whole feasible set when `top_k == 0`).
+    pub shortlisted: usize,
+    /// Scorer invocations, including warm-hint re-verifications (0 on a
+    /// cache hit).
+    pub simulated: usize,
+    /// True when a cross-device warm hint matched this program and was
+    /// re-verified during tuning.
+    pub warm_start: bool,
+    /// True when the chosen plan's parameters came from a warm hint.
+    pub warm_start_hit: bool,
     /// True if the bit-exact check against the oracle ran and passed
     /// (false only when `cfg.verify` is off).
     pub verified: bool,
@@ -321,7 +355,7 @@ pub fn device_fingerprint(device: &DeviceConfig) -> String {
 /// workload override (tuning scores candidates on the workload).
 pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     let ident = format!(
-        "{}|{}|{:?}|{}|{}|{:?}|{:?}",
+        "{}|{}|{:?}|{}|{}|{:?}|{:?}|k={}",
         program.to_c_like(),
         device_fingerprint(&cfg.device),
         cfg.opts,
@@ -329,8 +363,35 @@ pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
         cfg.smoke,
         cfg.workload,
         cfg.scorer.map(|f| f as usize),
+        cfg.top_k,
     );
     format!("{:016x}", fnv1a64(ident.as_bytes()))
+}
+
+/// Distance between two device descriptions: the sum of relative
+/// differences over every numeric architectural parameter of
+/// [`device_fingerprint`] (`|a−b| / max(|a|,|b|)`, so each parameter
+/// contributes 0 for equal values and at most 1 for wildly different
+/// ones). The name is deliberately excluded — a renamed but otherwise
+/// identical device is distance 0. Used by the fleet router to pick the
+/// *nearest* warm member when seeding a cold one's tuning shortlist.
+pub fn device_distance(a: &DeviceConfig, b: &DeviceConfig) -> f64 {
+    fn rel(x: f64, y: f64) -> f64 {
+        let denom = x.abs().max(y.abs());
+        if denom == 0.0 {
+            0.0
+        } else {
+            (x - y).abs() / denom
+        }
+    }
+    rel(a.sms as f64, b.sms as f64)
+        + rel(a.cores_per_sm as f64, b.cores_per_sm as f64)
+        + rel(a.clock_ghz, b.clock_ghz)
+        + rel(a.dram_gbps, b.dram_gbps)
+        + rel(a.l2_gbps, b.l2_gbps)
+        + rel(a.l2_bytes as f64, b.l2_bytes as f64)
+        + rel(a.shared_limit as f64, b.shared_limit as f64)
+        + rel(a.launch_overhead_s, b.launch_overhead_s)
 }
 
 /// Maps a cancellation into the driver's typed error for `what` (a
@@ -811,6 +872,33 @@ impl MemCache {
             .sum()
     }
 
+    /// Snapshot of the ready plans cached for `device_fp`, as
+    /// `(program text, tile params)` pairs — the donor side of fleet
+    /// warm-starting. No counters and no LRU touch (this is not a
+    /// lookup); at most `limit` entries are returned, newest-used first,
+    /// so a huge donor cache seeds a bounded hint list.
+    pub fn device_plans(&self, device_fp: &str, limit: usize) -> Vec<(String, TileParams)> {
+        let mut entries: Vec<(u64, String, TileParams)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                lock_ignore_poison(&s.inner)
+                    .map
+                    .values()
+                    .filter_map(|v| match v {
+                        MemSlot::Ready(e) if e.device_fp == device_fp => {
+                            Some((e.last_used, e.program.clone(), e.params.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        entries.truncate(limit);
+        entries.into_iter().map(|(_, p, t)| (p, t)).collect()
+    }
+
     /// Read-only presence probe (no counters, no LRU touch) — for tests
     /// and introspection only; real lookups go through
     /// [`MemCache::lookup_or_begin`].
@@ -956,11 +1044,18 @@ impl Drop for MemCacheGuard<'_> {
 /// concurrent `hybridd` processes wait for the entry to appear instead
 /// of tuning redundantly. A lock older than [`DriverConfig::lock_stale`]
 /// (by mtime) is presumed abandoned — crashed process, dead container —
-/// and stolen. Stealing from a live-but-slow holder costs only a
-/// redundant sweep: entries are stored by atomic rename, so the last
-/// writer wins with an identical (deterministic) plan.
+/// and stolen. A *live* holder keeps its lock by heartbeating the file's
+/// mtime between scored candidates ([`DiskLock::heartbeat`]), so sweeps
+/// longer than `lock_stale` are never stolen from under a live process.
+/// Stealing from a crashed holder costs only a redundant sweep: entries
+/// are stored by atomic rename, so the last writer wins with an
+/// identical (deterministic) plan.
 struct DiskLock {
     path: PathBuf,
+    /// When the lock file's mtime was last refreshed; heartbeats are
+    /// rate-limited against this so a fast scorer doesn't turn the sweep
+    /// into an fsync storm.
+    last_touch: std::cell::Cell<Instant>,
 }
 
 /// Outcome of [`DiskLock::acquire`].
@@ -994,7 +1089,10 @@ impl DiskLock {
                 Ok(mut f) => {
                     // Advisory content only; existence is the lock.
                     let _ = writeln!(f, "{}", std::process::id());
-                    let lock = DiskLock { path };
+                    let lock = DiskLock {
+                        path,
+                        last_touch: std::cell::Cell::new(Instant::now()),
+                    };
                     // Double-check: the previous holder may have stored
                     // the entry and unlocked between our disk-cache
                     // probe and this acquisition.
@@ -1028,6 +1126,21 @@ impl DiskLock {
                 Err(_) => return Ok(DiskFlight::Skip),
             }
         }
+    }
+
+    /// Refreshes the lock file's mtime so peers keep seeing a live
+    /// holder. Called from the sweep between scored candidates;
+    /// rate-limited to a quarter of `stale` so the common fast-scorer
+    /// case costs nothing but a `Cell` read. Rewriting (rather than
+    /// `utime`-style touching) keeps this on `std` alone; failures are
+    /// ignored — the worst case is the pre-fix behavior (a steal and one
+    /// redundant sweep).
+    fn heartbeat(&self, stale: Duration) {
+        if self.last_touch.get().elapsed() < stale / 4 {
+            return;
+        }
+        let _ = fs::write(&self.path, format!("{}\n", std::process::id()));
+        self.last_touch.set(Instant::now());
     }
 }
 
@@ -1168,22 +1281,58 @@ fn workload(program: &StencilProgram, cfg: &DriverConfig) -> (Vec<usize>, usize)
         .unwrap_or_else(|| autotune_workload(program))
 }
 
-/// Runs the tuning sweep and returns `(params, examined, smem, score)`.
+/// Tuning-stage statistics for one fresh plan resolution (all zero /
+/// false on a cache hit). `examined`/`shortlisted`/`simulated` mirror the
+/// [`hybrid_tiling::tilesize::autotune::AutotuneReport`] counts (plus
+/// re-verified warm hints in `simulated`); the warm flags record
+/// cross-device plan transfer.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TuneStats {
+    /// Candidates examined by the sweep.
+    pub examined: usize,
+    /// Candidates surviving the model shortlist (the whole feasible set
+    /// when `top_k == 0`).
+    pub shortlisted: usize,
+    /// Scorer invocations — simulator runs in [`TuneMode::Simulated`] —
+    /// including warm-hint re-verifications.
+    pub simulated: usize,
+    /// At least one warm hint matched this program and entered
+    /// re-verification.
+    pub warm_start: bool,
+    /// The winning plan's parameters came from a warm hint.
+    pub warm_start_hit: bool,
+}
+
+/// Runs the tuning sweep and returns `(params, smem, score, stats)`.
 /// The sweep observes `cfg.cancel` between candidates; a fired token
 /// becomes [`DriverError::DeadlineExceeded`] / [`DriverError::Cancelled`].
+/// `heartbeat` (when given) is invoked at every scorer call — the hook
+/// the disk-lock holder uses to refresh its lock's mtime mid-sweep.
+///
+/// Warm hints whose program text matches are **re-verified**: evaluated,
+/// budget-checked, and scored through the same scorer as swept
+/// candidates, then merged into the ranking. Hints can only add
+/// candidates, so the chosen plan is never worse than the unhinted
+/// sweep's — and with `top_k > 0` a transferred plan effectively costs
+/// one extra simulation instead of a full sweep.
 fn choose_params(
     program: &StencilProgram,
     cfg: &DriverConfig,
-) -> Result<(TileParams, usize, u64, f64), DriverError> {
+    heartbeat: Option<&dyn Fn()>,
+) -> Result<(TileParams, u64, f64, TuneStats), DriverError> {
     let space = sweep_space(program.spatial_dims(), cfg.smoke);
     let tune_cfg = AutotuneConfig {
         smem_limit: cfg.device.shared_limit as u64,
         verify_domain: None,
         max_candidates: if cfg.smoke { 4 } else { 12 },
+        top_k: cfg.top_k,
         ..AutotuneConfig::fermi()
     };
     let (dims, steps) = workload(program, cfg);
-    let sweep = autotune_cancellable(program, &space, &tune_cfg, &cfg.cancel, |model| {
+    let mut score_model = |model: &TileSizeModel| -> Option<f64> {
+        if let Some(hb) = heartbeat {
+            hb();
+        }
         if let Some(f) = cfg.scorer {
             return f(model);
         }
@@ -1211,8 +1360,9 @@ fn choose_params(
                 cfg.opts,
             ),
         }
-    });
-    let report = match sweep {
+    };
+    let sweep = autotune_cancellable(program, &space, &tune_cfg, &cfg.cancel, &mut score_model);
+    let mut report = match sweep {
         Ok(report) => report,
         Err(AutotuneError::Cancelled { kind, .. }) => {
             // The partial ranking is intentionally discarded: serving a
@@ -1222,13 +1372,64 @@ fn choose_params(
             return Err(cancel_error(kind, program.name()));
         }
     };
+    let mut stats = TuneStats {
+        examined: report.examined,
+        shortlisted: report.shortlisted,
+        simulated: report.simulated,
+        warm_start: false,
+        warm_start_hit: false,
+    };
+
+    // Cross-device warm hints: dedup the ones for this program, then
+    // re-verify each against this device's budgets and scorer.
+    let mut hint_params: Vec<TileParams> = Vec::new();
+    if !cfg.warm_hints.is_empty() {
+        let program_text = program.to_c_like();
+        for (text, params) in &cfg.warm_hints {
+            if *text == program_text && !hint_params.contains(params) {
+                hint_params.push(params.clone());
+            }
+        }
+    }
+    stats.warm_start = !hint_params.is_empty();
+    for params in &hint_params {
+        check_cancel(&cfg.cancel, program.name())?;
+        if report.ranked.iter().any(|e| &e.model.params == params) {
+            // The sweep already scored this exact candidate.
+            continue;
+        }
+        let Ok(model) = evaluate_tile(program, params) else {
+            continue;
+        };
+        if model.smem_bytes > tune_cfg.smem_limit
+            || estimated_regs_per_block(program, params) > tune_cfg.regs_per_block
+        {
+            continue;
+        }
+        stats.simulated += 1;
+        if let Some(score) = score_model(&model) {
+            report.ranked.push(AutotuneEntry { model, score });
+        }
+    }
+    if stats.warm_start {
+        // Same comparator as the sweep's final ranking, so a merged hint
+        // wins only by strictly scoring better (ratio breaks ties).
+        report.ranked.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.model.ratio().total_cmp(&b.model.ratio()))
+        });
+    }
     match report.best() {
-        Some(best) => Ok((
-            best.model.params.clone(),
-            report.examined,
-            best.model.smem_bytes,
-            best.score,
-        )),
+        Some(best) => {
+            stats.warm_start_hit = hint_params.contains(&best.model.params);
+            Ok((
+                best.model.params.clone(),
+                best.model.smem_bytes,
+                best.score,
+                stats,
+            ))
+        }
         None => Err(DriverError::NoFeasibleTiling(format!(
             "{}: {} candidates examined ({} unschedulable, {} over shared memory, \
              {} over registers, {} rejected at codegen/scoring)",
@@ -1308,7 +1509,7 @@ fn resolve_plan(
     steps: usize,
     cfg: &DriverConfig,
     mem: Option<&MemCache>,
-) -> Result<(TileParams, gpu_codegen::LaunchPlan, usize, CacheSource), DriverError> {
+) -> Result<(TileParams, gpu_codegen::LaunchPlan, TuneStats, CacheSource), DriverError> {
     // Cache layer 1: the shared in-memory cache (single-flight — an
     // in-flight compile of the same fingerprint is awaited, not repeated).
     let mut guard = None;
@@ -1344,7 +1545,7 @@ fn resolve_plan(
             // memory layer so waiters and later requests skip the disk.
             g.fulfill(program_text, &params);
         }
-        return Ok((params, plan, 0, source));
+        return Ok((params, plan, TuneStats::default(), source));
     }
 
     // Cache layer 3: the cross-process single-flight. A concurrent
@@ -1359,7 +1560,7 @@ fn resolve_plan(
                     if let Some(g) = guard.take() {
                         g.fulfill(program_text, &params);
                     }
-                    return Ok((params, plan, 0, CacheSource::Disk));
+                    return Ok((params, plan, TuneStats::default(), CacheSource::Disk));
                 }
                 // The other process stored a stale/incompatible entry:
                 // tune for ourselves, without re-contending for the lock.
@@ -1371,7 +1572,20 @@ fn resolve_plan(
     // On any failure below, dropping `guard` clears the in-flight marker
     // and wakes single-flight waiters to tune themselves; dropping
     // `disk_flight` removes the lock file so other processes proceed.
-    let (params, examined, smem, score) = choose_params(program, cfg)?;
+    // While we hold the disk lock, every scorer call heartbeats the lock
+    // file's mtime so peers never mistake a long live sweep for an
+    // abandoned one.
+    let (params, smem, score, stats) = {
+        let hb;
+        let heartbeat: Option<&dyn Fn()> = match &disk_flight {
+            Some(lock) => {
+                hb = || lock.heartbeat(cfg.lock_stale);
+                Some(&hb)
+            }
+            None => None,
+        };
+        choose_params(program, cfg, heartbeat)?
+    };
     if let Some(dir) = cfg.cache_dir.as_deref() {
         store_cached_params(dir, fp, program, cfg, &params, smem, score)?;
     }
@@ -1381,7 +1595,7 @@ fn resolve_plan(
         g.fulfill(program_text, &params);
     }
     drop(disk_flight);
-    Ok((params, plan, examined, CacheSource::Fresh))
+    Ok((params, plan, stats, CacheSource::Fresh))
 }
 
 /// Compiles one stencil file end to end: parse, validate, plan (through
@@ -1462,7 +1676,7 @@ pub fn compile_source_with(
     let program_text = program.to_c_like();
     let (dims, steps) = workload(&program, cfg);
 
-    let (params, plan, examined, cache) = resolve_plan(
+    let (params, plan, stats, cache) = resolve_plan(
         &program,
         &program_text,
         &fp,
@@ -1520,7 +1734,11 @@ pub fn compile_source_with(
         fingerprint: fp,
         cache_hit: cache.is_hit(),
         cache,
-        examined,
+        examined: stats.examined,
+        shortlisted: stats.shortlisted,
+        simulated: stats.simulated,
+        warm_start: stats.warm_start,
+        warm_start_hit: stats.warm_start_hit,
         verified,
         gstencils: timing::gstencils_per_s(sim.counters(), sim.device()),
         seconds: t.total,
@@ -1689,6 +1907,10 @@ pub fn outcome_json(source: &str, result: &Result<CompileOutcome, DriverError>) 
             ("cache_hit", Json::Bool(o.cache_hit)),
             ("cache", Json::str(o.cache.name())),
             ("examined", Json::UInt(o.examined as u64)),
+            ("shortlisted", Json::UInt(o.shortlisted as u64)),
+            ("simulated", Json::UInt(o.simulated as u64)),
+            ("warm_start", Json::Bool(o.warm_start)),
+            ("warm_start_hit", Json::Bool(o.warm_start_hit)),
             ("h", Json::Int(o.params.h)),
             (
                 "w",
@@ -2149,6 +2371,124 @@ for (t = 0; t < T; t++)
     }
 
     #[test]
+    fn live_slow_tuner_keeps_its_disk_lock() {
+        // Satellite regression: before the mtime heartbeat, any sweep
+        // longer than `lock_stale` had its lock stolen and peers retuned
+        // redundantly. A deliberately slow scorer (4 smoke candidates x
+        // ~60 ms) under a 120 ms `lock_stale` must still coalesce: one
+        // fresh tune, one disk hit, never two fresh tunes.
+        fn slow_scorer(m: &TileSizeModel) -> Option<f64> {
+            std::thread::sleep(Duration::from_millis(60));
+            Some(-m.ratio())
+        }
+        let dir = scratch("hb_lock");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = DriverConfig {
+            lock_stale: Duration::from_millis(120),
+            scorer: Some(slow_scorer),
+            ..smoke_cfg(dir.join("out"))
+        };
+        let outcomes: Vec<CompileOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| s.spawn(|| compile_file(&file, &cfg).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let fresh = outcomes
+            .iter()
+            .filter(|o| o.cache == CacheSource::Fresh)
+            .count();
+        let disk = outcomes
+            .iter()
+            .filter(|o| o.cache == CacheSource::Disk)
+            .count();
+        assert_eq!(
+            (fresh, disk),
+            (1, 1),
+            "a live holder's lock must not be stolen: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn warm_hints_are_reverified_and_counted() {
+        let dir = scratch("warm");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        // Cold sweep: learn the smoke-space best without hints.
+        let cold_cfg = DriverConfig {
+            cache_dir: None,
+            ..smoke_cfg(dir.join("cold"))
+        };
+        let cold = compile_file(&file, &cold_cfg).unwrap();
+        assert!(!cold.warm_start && !cold.warm_start_hit);
+        assert!(cold.shortlisted > 0 && cold.simulated > 0);
+
+        // Warm compile on a shortlist of 1, hinted with the cold plan:
+        // the transfer is re-verified (scored), wins, and the plan is
+        // bit-identical to the cold sweep's at ~top_k + 1 scorings.
+        let program = parse_stencil("jacobi", JACOBI).unwrap();
+        let warm_cfg = DriverConfig {
+            cache_dir: None,
+            top_k: 1,
+            warm_hints: vec![(program.to_c_like(), cold.params.clone())],
+            ..smoke_cfg(dir.join("warm"))
+        };
+        let warm = compile_file(&file, &warm_cfg).unwrap();
+        assert!(warm.warm_start);
+        assert!(warm.warm_start_hit);
+        assert_eq!(warm.params, cold.params, "transfer must be bit-identical");
+        assert_eq!(warm.shortlisted, 1);
+        assert!(warm.simulated <= 2, "≈ top_k + 1 scorings, got {warm:?}");
+
+        // Hints for a different program are ignored entirely.
+        let stranger_cfg = DriverConfig {
+            cache_dir: None,
+            warm_hints: vec![("other program".to_string(), cold.params.clone())],
+            ..smoke_cfg(dir.join("stranger"))
+        };
+        let out = compile_file(&file, &stranger_cfg).unwrap();
+        assert!(!out.warm_start && !out.warm_start_hit);
+        assert_eq!(out.params, cold.params);
+    }
+
+    #[test]
+    fn device_distance_ranks_near_devices_below_far_ones() {
+        let a = DeviceConfig::gtx470();
+        assert_eq!(device_distance(&a, &a), 0.0);
+        // The name is cosmetic: a renamed identical device is distance 0.
+        let mut renamed = a.clone();
+        renamed.name = "GTX 470 (relabelled)".to_string();
+        assert_eq!(device_distance(&a, &renamed), 0.0);
+        let mut near = a.clone();
+        near.clock_ghz *= 1.05;
+        let far = DeviceConfig::nvs5200m();
+        let d_near = device_distance(&a, &near);
+        let d_far = device_distance(&a, &far);
+        assert!(d_near > 0.0);
+        assert!(d_near < d_far, "{d_near} vs {d_far}");
+        assert_eq!(d_far, device_distance(&far, &a), "distance is symmetric");
+    }
+
+    #[test]
+    fn mem_cache_exports_per_device_plans_for_warm_seeding() {
+        let mem = MemCache::new();
+        let params = TileParams::new(2, &[3, 32]);
+        for (fp, dev) in [("f1", "devA"), ("f2", "devA"), ("f3", "devB")] {
+            match mem.lookup_or_begin(fp, dev, fp, &CancelToken::never()) {
+                MemLookup::Miss(g) => g.fulfill(fp, &params),
+                _ => panic!("expected miss for {fp}"),
+            }
+        }
+        let plans = mem.device_plans("devA", 16);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|(_, p)| *p == params));
+        assert_eq!(mem.device_plans("devB", 16).len(), 1);
+        assert_eq!(mem.device_plans("devA", 1).len(), 1, "limit is honored");
+        assert!(mem.device_plans("devC", 16).is_empty());
+        // Exports are not lookups: counters untouched.
+        assert_eq!(mem.lookups(), 3);
+    }
+
+    #[test]
     fn expired_deadline_is_a_typed_error_not_a_compile() {
         let dir = scratch("deadline");
         let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
@@ -2211,6 +2551,19 @@ for (t = 0; t < T; t++)
         assert_ne!(base, fingerprint(&program, &other_device));
         assert_ne!(base, fingerprint(&program, &other_tune));
         assert_eq!(base, fingerprint(&program, &cfg.clone()));
+        // The shortlist size changes which candidates get scored, so it
+        // keys separately; warm hints only add re-verified candidates
+        // and deliberately share the key.
+        let other_topk = DriverConfig {
+            top_k: 3,
+            ..cfg.clone()
+        };
+        assert_ne!(base, fingerprint(&program, &other_topk));
+        let hinted = DriverConfig {
+            warm_hints: vec![(program.to_c_like(), TileParams::new(1, &[3, 32]))],
+            ..cfg.clone()
+        };
+        assert_eq!(base, fingerprint(&program, &hinted));
         // The workload feeds tuning scores, so an override keys separately
         // — a plan tuned for one workload must not serve another.
         let other_workload = DriverConfig {

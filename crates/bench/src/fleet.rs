@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::driver::{device_fingerprint, DriverConfig};
+use crate::driver::{device_distance, device_fingerprint, DriverConfig};
 use crate::json::Json;
 use crate::serve::{
     cancel_response, check_version, error_response, metrics_response, resolve_device,
@@ -53,6 +53,12 @@ pub struct FleetOptions {
     /// (`--default-deadline-ms`); `None` = no default.
     pub default_deadline_ms: Option<u64>,
 }
+
+/// Most warm hints a cold member inherits from its donor: enough to
+/// cover a realistic working set of programs, small enough that a huge
+/// donor cache never turns a cold member's first tune into a sweep of
+/// its own.
+const WARM_HINT_CAP: usize = 32;
 
 impl Default for FleetOptions {
     fn default() -> FleetOptions {
@@ -161,10 +167,22 @@ impl FleetRouter {
                 device.name
             ));
         }
-        let cfg = DriverConfig {
+        let mut cfg = DriverConfig {
             device: device.clone(),
             ..self.base.clone()
         };
+        // Cross-device warm start: seed the cold member with the
+        // *nearest* existing member's cached plans ([`device_distance`]
+        // over the fingerprint parameters). The hints are re-verified on
+        // the new device during its first tunes — never copied blindly —
+        // so a near-identical replica pays ~top_k + 1 scorings instead
+        // of a full sweep, and a far device simply re-ranks them away.
+        if let Some((donor_fp, donor)) = members.iter().min_by(|(_, a), (_, b)| {
+            device_distance(device, &a.cfg().device)
+                .total_cmp(&device_distance(device, &b.cfg().device))
+        }) {
+            cfg.warm_hints = donor.mem().device_plans(donor_fp, WARM_HINT_CAP);
+        }
         let state = Arc::new(ServeState::with_options(
             cfg,
             ServeOptions {
@@ -326,6 +344,12 @@ impl FleetRouter {
                 Json::UInt(sum(&|m| m.error_count()) + self.router_errors.load(Ordering::Relaxed)),
             ),
             ("contained_panics", Json::UInt(sum(&|m| m.panic_count()))),
+            ("warm_starts", Json::UInt(sum(&|m| m.warm_starts()))),
+            ("warm_start_hits", Json::UInt(sum(&|m| m.warm_start_hits()))),
+            (
+                "tune_simulations",
+                Json::UInt(sum(&|m| m.tune_simulations())),
+            ),
             ("device_count", Json::UInt(members.len() as u64)),
             ("max_devices", Json::UInt(self.opts.max_devices as u64)),
             (
@@ -469,6 +493,63 @@ mod tests {
             assert_eq!(member.mem().len_for_device(fp), 1);
             assert_eq!(member.requests(), 2);
         }
+    }
+
+    #[test]
+    fn cold_members_warm_start_from_the_nearest_device() {
+        let router = test_router("warm", FleetOptions::default());
+        let sim_req = |id: &str, device: Json| {
+            Json::obj(vec![
+                ("op", Json::str("compile")),
+                ("id", Json::str(id)),
+                ("name", Json::str("jac")),
+                ("program", Json::str(JACOBI)),
+                ("device", device),
+                ("tune", Json::str("simulated")),
+                ("top_k", Json::UInt(2)),
+            ])
+            .render_compact()
+        };
+        // Seed the donor: the default GTX 470 member tunes and caches.
+        let donor = router
+            .handle_line(1, &sim_req("d", Json::str("gtx470")))
+            .unwrap();
+        assert_eq!(donor.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(donor.get("warm_start"), Some(&Json::Bool(false)));
+        // A near device (same GTX 470, faster clock) spins up cold and
+        // inherits the donor's plan as a re-verified hint.
+        let near = Json::obj(vec![
+            ("base", Json::str("gtx470")),
+            ("clock_ghz", Json::Num(1.4)),
+        ]);
+        let warm = router.handle_line(2, &sim_req("w", near)).unwrap();
+        assert_eq!(
+            warm.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{warm:?}"
+        );
+        assert_eq!(warm.get("warm_start"), Some(&Json::Bool(true)));
+        // ≈ top_k + 1 scorings, never the full sweep.
+        let simulated = warm.get("simulated").and_then(Json::as_u64).unwrap();
+        assert!(simulated <= 3, "cold member must pay ~k sims: {warm:?}");
+        // Counters surface on the warm member and in the fleet totals.
+        let members = router.members();
+        assert_eq!(members.len(), 2);
+        let warm_member = members
+            .iter()
+            .map(|(_, m)| m)
+            .find(|m| m.warm_starts() > 0)
+            .expect("one member must have warm-started");
+        assert!(warm_member.tune_simulations() <= 3);
+        let status = router.handle_line(3, "{\"op\":\"status\"}").unwrap();
+        assert_eq!(status.get("warm_starts").and_then(Json::as_u64), Some(1));
+        assert!(
+            status
+                .get("tune_simulations")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]

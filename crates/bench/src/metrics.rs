@@ -35,6 +35,13 @@ pub struct DeviceMetrics {
     pub ok: u64,
     pub errors: u64,
     pub contained_panics: u64,
+    /// Compiles that re-verified cross-device warm hints.
+    pub warm_starts: u64,
+    /// Compiles whose winning plan came from a warm hint.
+    pub warm_start_hits: u64,
+    /// Tuning scorer invocations (simulator runs in simulated mode),
+    /// warm-hint re-verifications included.
+    pub tune_simulations: u64,
     pub mem_entries: u64,
     pub mem_bytes: u64,
     /// `None` renders no `hybrid_mem_cache_cap_bytes` series (an
@@ -119,6 +126,9 @@ pub fn device_metrics(device: &str, state: &ServeState) -> DeviceMetrics {
         ok: state.ok_count(),
         errors: state.error_count(),
         contained_panics: state.panic_count(),
+        warm_starts: state.warm_starts(),
+        warm_start_hits: state.warm_start_hits(),
+        tune_simulations: state.tune_simulations(),
         mem_entries: mem.len() as u64,
         mem_bytes: mem.bytes(),
         mem_cap_bytes: mem.cap_bytes(),
@@ -186,6 +196,24 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "counter",
         "Panics contained at the request boundary.",
         &per_device(|d| d.contained_panics),
+    );
+    family(
+        "hybrid_warm_starts_total",
+        "counter",
+        "Compiles that re-verified cross-device warm-start hints.",
+        &per_device(|d| d.warm_starts),
+    );
+    family(
+        "hybrid_warm_start_hits_total",
+        "counter",
+        "Compiles whose winning plan came from a warm-start hint.",
+        &per_device(|d| d.warm_start_hits),
+    );
+    family(
+        "hybrid_tune_simulations_total",
+        "counter",
+        "Tuning scorer invocations, warm-hint re-verifications included.",
+        &per_device(|d| d.tune_simulations),
     );
     let lookups: Vec<(String, u64)> = snap
         .devices

@@ -68,7 +68,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gpusim::DeviceConfig;
-use hybrid_tiling::cancel::CancelToken;
+use hybrid_tiling::cancel::{saturating_deadline, CancelToken};
 
 use crate::driver::{
     compile_file_with, compile_source_with, device_fingerprint, outcome_json,
@@ -251,6 +251,14 @@ pub struct ServeState {
     ok: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    /// Compiles where a cross-device warm hint matched the program and
+    /// was re-verified (the warm-start path ran at all).
+    warm_starts: AtomicU64,
+    /// Compiles whose winning plan came from a warm hint.
+    warm_start_hits: AtomicU64,
+    /// Total scorer invocations across fresh tunes (simulator runs in
+    /// simulated mode), including warm-hint re-verifications.
+    tune_simulations: AtomicU64,
     stop: AtomicBool,
     /// Compiles currently executing, keyed by the request's rendered
     /// `id`: the `cancel` op raises the flags and the workers stop at
@@ -309,6 +317,9 @@ impl ServeState {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            warm_start_hits: AtomicU64::new(0),
+            tune_simulations: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
             stats: ServeStats::default(),
@@ -359,6 +370,23 @@ impl ServeState {
     /// Panics contained at the request boundary.
     pub fn panic_count(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Compiles that re-verified at least one cross-device warm hint.
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts.load(Ordering::Relaxed)
+    }
+
+    /// Compiles whose winning plan came from a warm hint.
+    pub fn warm_start_hits(&self) -> u64 {
+        self.warm_start_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total tuning scorer invocations (simulator runs in simulated
+    /// mode) across this service's fresh compiles, warm-hint
+    /// re-verifications included.
+    pub fn tune_simulations(&self) -> u64 {
+        self.tune_simulations.load(Ordering::Relaxed)
     }
 
     /// Raises the cancel flags of every in-flight compile registered
@@ -481,7 +509,9 @@ impl ServeState {
         let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut token = CancelToken::with_flag(flag.clone());
         if let Some(ms) = deadline_ms {
-            token = token.and_deadline(Instant::now() + Duration::from_millis(ms));
+            // Saturating: a client-supplied u64::MAX must clamp to a
+            // far-future deadline, not panic `Instant + Duration`.
+            token = token.and_deadline_after(Duration::from_millis(ms));
         }
         let _inflight = InflightGuard {
             state: self,
@@ -505,6 +535,16 @@ impl ServeState {
                 (p, result)
             }
         };
+        if let Ok(o) = &result {
+            if o.warm_start {
+                self.warm_starts.fetch_add(1, Ordering::Relaxed);
+            }
+            if o.warm_start_hit {
+                self.warm_start_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            self.tune_simulations
+                .fetch_add(o.simulated as u64, Ordering::Relaxed);
+        }
         with_envelope(seq, id, outcome_json(&source_label, &result))
     }
 
@@ -569,6 +609,10 @@ impl ServeState {
                 Json::str(device_fingerprint(&self.cfg.device)),
             ),
             ("tune", Json::str(self.cfg.tune.name())),
+            ("top_k", Json::UInt(self.cfg.top_k as u64)),
+            ("warm_starts", Json::UInt(self.warm_starts())),
+            ("warm_start_hits", Json::UInt(self.warm_start_hits())),
+            ("tune_simulations", Json::UInt(self.tune_simulations())),
             (
                 "default_deadline_ms",
                 match self.opts.default_deadline_ms {
@@ -648,6 +692,12 @@ pub(crate) fn request_config(base: &DriverConfig, req: &Json) -> Result<DriverCo
         (Some(d), Some(s)) => cfg.workload = Some((d, s)),
         (None, None) => {}
         _ => return Err("\"size\" and \"steps\" must be given together".to_string()),
+    }
+    if let Some(k) = req.get("top_k") {
+        cfg.top_k = k
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or("\"top_k\" must be a non-negative integer")?;
     }
     Ok(cfg)
 }
@@ -1042,7 +1092,9 @@ fn arrival_deadline(line: &str, now: Instant) -> Option<Instant> {
         .ok()?
         .get("deadline_ms")?
         .as_u64()?;
-    Some(now + Duration::from_millis(ms))
+    // Saturating: an absurd deadline_ms schedules like "far future"
+    // instead of panicking the queueing thread.
+    Some(saturating_deadline(now, Duration::from_millis(ms)))
 }
 
 /// The worker pool's priority queue: a min-heap over [`Job::rank`]

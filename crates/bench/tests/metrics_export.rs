@@ -209,6 +209,9 @@ fn golden_snapshot() -> MetricsSnapshot {
                 ok: 90,
                 errors: 10,
                 contained_panics: 1,
+                warm_starts: 6,
+                warm_start_hits: 4,
+                tune_simulations: 38,
                 mem_entries: 12,
                 mem_bytes: 4096,
                 mem_cap_bytes: Some(65536),
@@ -227,6 +230,9 @@ fn golden_snapshot() -> MetricsSnapshot {
                 ok: 7,
                 errors: 0,
                 contained_panics: 0,
+                warm_starts: 0,
+                warm_start_hits: 0,
+                tune_simulations: 8,
                 mem_entries: 3,
                 mem_bytes: 512,
                 mem_cap_bytes: Some(65536),

@@ -1,0 +1,119 @@
+//! Accuracy of the analytical figure of merit behind model-guided
+//! autotuning, end to end.
+//!
+//! Two properties keep the `top_k` shortlist honest:
+//!
+//! 1. **Retention** — over the full §6 sweep space, the analytical
+//!    shortlist must retain the plan the exhaustive simulator sweep
+//!    would have picked, for every gallery dimensionality. The model is
+//!    allowed to reorder the also-rans; it is not allowed to drop the
+//!    winner.
+//!
+//! 2. **Warm-start bit-identity** — a compile seeded with cross-device
+//!    warm hints must emit the same plan as a cold model-guided sweep of
+//!    the same program on the same device: hints are extra candidates
+//!    under the same scorer, never a shortcut past it.
+
+use gpusim::DeviceConfig;
+use hybrid_bench::autotune::{default_top_k, model_gate_sample};
+use hybrid_bench::driver::{compile_source_with, DriverConfig, TuneMode};
+use stencil::gallery;
+
+/// Over the full sweep space, the shortlist's winner matches the
+/// exhaustive sweep's winner — one stencil per dimensionality so the
+/// debug-mode test stays affordable (the 2-D gallery is swept
+/// exhaustively every CI run by `autotune --model-gate`).
+#[test]
+fn shortlist_retains_the_exhaustive_simulator_best() {
+    let device = DeviceConfig::gtx470();
+    for program in [gallery::jacobi2d(), gallery::contrived1d()] {
+        let s = model_gate_sample(&program, &device, 1);
+        assert!(
+            s.shortlist_simulations < s.exhaustive_simulations,
+            "{}: shortlist must pay fewer scorings ({} vs {})",
+            s.stencil,
+            s.shortlist_simulations,
+            s.exhaustive_simulations,
+        );
+        assert!(
+            s.shortlist_simulations <= default_top_k(program.spatial_dims()),
+            "{}: shortlist paid {} scorings for top_k {}",
+            s.stencil,
+            s.shortlist_simulations,
+            default_top_k(program.spatial_dims()),
+        );
+        // Retention is bit-level: same winning score, not merely close.
+        assert_eq!(
+            s.shortlist_best.to_bits(),
+            s.exhaustive_best.to_bits(),
+            "{}: shortlist best {} dropped the exhaustive best {}",
+            s.stencil,
+            s.shortlist_best,
+            s.exhaustive_best,
+        );
+    }
+}
+
+/// A warm-started compile (hints seeded from a *different* device's
+/// plan) emits a plan bit-identical to a cold model-guided sweep on the
+/// same device: re-verification scores hints under this device's model,
+/// so a transferred plan can only win by actually being better here too.
+#[test]
+fn warm_started_compiles_match_cold_sweeps_bit_exactly() {
+    let scratch = std::env::temp_dir().join(format!("model_accuracy_warm_{}", std::process::id()));
+    let program = gallery::jacobi2d();
+    let source = program.to_c_like();
+    let base = DriverConfig {
+        smoke: true,
+        verify: false,
+        cache_dir: None,
+        tune: TuneMode::Simulated,
+        top_k: 2,
+        ..DriverConfig::new(scratch)
+    };
+
+    // The donor device sweeps on its own; its winning plan becomes the
+    // hint a near-identical device receives when it joins cold.
+    let donor_cfg = DriverConfig {
+        device: DeviceConfig::gtx470(),
+        ..base.clone()
+    };
+    let label = std::path::PathBuf::from("<model_accuracy>");
+    let donor =
+        compile_source_with("jacobi2d", &source, &label, &donor_cfg, None).expect("donor compile");
+
+    let mut near = DeviceConfig::gtx470();
+    near.clock_ghz *= 1.05;
+    let cold_cfg = DriverConfig {
+        device: near.clone(),
+        ..base.clone()
+    };
+    let warm_cfg = DriverConfig {
+        device: near,
+        warm_hints: vec![(source.clone(), donor.params.clone())],
+        ..base
+    };
+    let cold =
+        compile_source_with("jacobi2d", &source, &label, &cold_cfg, None).expect("cold compile");
+    let warm =
+        compile_source_with("jacobi2d", &source, &label, &warm_cfg, None).expect("warm compile");
+
+    assert!(warm.warm_start, "the hint matched this program");
+    assert_eq!(
+        warm.params, cold.params,
+        "warm-started plan diverged from the cold sweep"
+    );
+    assert_eq!(
+        (warm.kernels, warm.launches, warm.smem_bytes),
+        (cold.kernels, cold.launches, cold.smem_bytes),
+        "warm-started plan geometry diverged"
+    );
+    // The hint rides along with the shortlist; it may add at most one
+    // extra scoring beyond the cold sweep's.
+    assert!(
+        warm.simulated <= cold.simulated + 1,
+        "warm sweep paid {} scorings vs cold {}",
+        warm.simulated,
+        cold.simulated,
+    );
+}

@@ -113,6 +113,28 @@ proptest! {
         let status = state.handle_line(2, "{\"op\": \"status\"}").unwrap();
         prop_assert_eq!(status.get("status").and_then(Json::as_str), Some("alive"));
     }
+
+    /// Extreme client deadlines — `u64::MAX` downwards — must saturate
+    /// instead of overflowing `Instant + Duration` and panicking the
+    /// worker behind the containment barrier.
+    #[test]
+    fn extreme_deadlines_saturate_instead_of_panicking(
+        shift in 0u32..24,
+        sub in 0u32..4,
+    ) {
+        let ms = (u64::MAX >> shift).saturating_sub(u64::from(sub));
+        let req = format!(
+            "{{\"op\": \"compile\", \"name\": \"p\", \"program\": \"for (t = 0; t < T; t++)\\n  for (i = 1; i < N-1; i++)\\n    A[t+1][i] = A[t][i];\\n\", \"size\": [64], \"steps\": 4, \"deadline_ms\": {ms}}}"
+        );
+        let state = ServeState::new(cheap_cfg("extreme_deadline"));
+        let resp = state.handle_line(1, &req).unwrap();
+        prop_assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "deadline_ms {} should be treated as far-future: {:?}", ms, resp
+        );
+        prop_assert_eq!(state.panic_count(), 0, "deadline_ms {} tripped the panic barrier", ms);
+    }
 }
 
 /// N concurrent clients get bit-exact identical reports to the one-shot
@@ -189,7 +211,15 @@ fn concurrent_clients_match_one_shot_reports_bit_exactly() {
                     .filter(|(k, _)| {
                         !matches!(
                             k.as_str(),
-                            "v" | "seq" | "id" | "cache" | "cache_hit" | "examined"
+                            "v" | "seq"
+                                | "id"
+                                | "cache"
+                                | "cache_hit"
+                                | "examined"
+                                | "shortlisted"
+                                | "simulated"
+                                | "warm_start"
+                                | "warm_start_hit"
                         )
                     })
                     .cloned()

@@ -66,12 +66,7 @@ impl CancelToken {
 
     /// A token that cancels `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> CancelToken {
-        // Saturate instead of panicking on absurd timeouts: a deadline
-        // ~30 years out is indistinguishable from "never" in practice.
-        let deadline = Instant::now()
-            .checked_add(timeout)
-            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86400 * 10000));
-        CancelToken::with_deadline(deadline)
+        CancelToken::with_deadline(saturating_deadline(Instant::now(), timeout))
     }
 
     /// A token that cancels once `flag` is raised (see
@@ -91,6 +86,14 @@ impl CancelToken {
             None => deadline,
         });
         self
+    }
+
+    /// This token, additionally bounded by a deadline `timeout` from now.
+    /// Saturates like [`CancelToken::with_timeout`], so a client-supplied
+    /// `u64::MAX`-millisecond deadline clamps to far-future instead of
+    /// panicking in `Instant + Duration`.
+    pub fn and_deadline_after(self, timeout: Duration) -> CancelToken {
+        self.and_deadline(saturating_deadline(Instant::now(), timeout))
     }
 
     /// Raises the shared flag (a no-op for tokens without one). Every
@@ -136,6 +139,15 @@ impl CancelToken {
     }
 }
 
+/// `base + timeout`, clamped to a far-future instant instead of panicking
+/// on absurd durations: a deadline ~30 years out is indistinguishable from
+/// "never" in practice. Every deadline computed from untrusted input
+/// (e.g. a wire request's `deadline_ms`) must go through this.
+pub fn saturating_deadline(base: Instant, timeout: Duration) -> Instant {
+    base.checked_add(timeout)
+        .unwrap_or_else(|| base + Duration::from_secs(86400 * 10000))
+}
+
 impl std::fmt::Debug for CancelToken {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CancelToken")
@@ -174,6 +186,22 @@ mod tests {
         let clone = t.clone();
         clone.cancel();
         assert_eq!(t.cancelled(), Some(CancelKind::Flag));
+    }
+
+    #[test]
+    fn extreme_timeouts_saturate_instead_of_panicking() {
+        // u64::MAX milliseconds overflows Instant arithmetic on every
+        // platform; the saturating constructors must clamp, not panic.
+        let huge = Duration::from_millis(u64::MAX);
+        let t = CancelToken::with_timeout(huge);
+        assert_eq!(t.cancelled(), None, "a far-future deadline has not fired");
+        let t = CancelToken::with_flag(Arc::new(AtomicBool::new(false))).and_deadline_after(huge);
+        assert_eq!(t.cancelled(), None);
+        assert!(t.deadline().is_some());
+        // And the saturated deadline still behaves as an upper bound: a
+        // nearer deadline added afterwards wins.
+        let near = Instant::now();
+        assert_eq!(t.and_deadline(near).cancelled(), Some(CancelKind::Deadline));
     }
 
     #[test]

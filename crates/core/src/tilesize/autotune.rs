@@ -52,17 +52,25 @@ pub struct AutotuneConfig {
     /// Keep at most this many candidates (best static load-to-compute
     /// ratio first) for the verify/score stages.
     pub max_candidates: usize,
+    /// Model-guided shortlist: score only the `top_k` candidates ranked
+    /// best by the [`analytical_merit`] figure of merit. `0` disables the
+    /// shortlist — every candidate surviving the budgets (and
+    /// `max_candidates`) reaches the scorer, which preserves the
+    /// exhaustive sweep as the oracle.
+    pub top_k: usize,
 }
 
 impl AutotuneConfig {
     /// Fermi-class budgets (GTX 470 / NVS 5200M): 48 KB shared memory and
-    /// a 32 K-register file, no candidate cap, no verification domain.
+    /// a 32 K-register file, no candidate cap, no verification domain,
+    /// no model-guided shortlist.
     pub fn fermi() -> AutotuneConfig {
         AutotuneConfig {
             smem_limit: 48 * 1024,
             regs_per_block: 32 * 1024,
             verify_domain: None,
             max_candidates: usize::MAX,
+            top_k: 0,
         }
     }
 }
@@ -95,6 +103,13 @@ pub struct AutotuneReport {
     pub rejected_regs: usize,
     /// Dropped by the `max_candidates` cap after static ranking.
     pub pruned: usize,
+    /// Candidates that survived the budgets and (when `top_k > 0`) the
+    /// model-guided shortlist — the population the scorer sees.
+    pub shortlisted: usize,
+    /// Scorer invocations actually performed (simulator runs under a
+    /// simulator-backed scorer). Differs from `shortlisted` only when a
+    /// cancellation stopped the sweep mid-scoring.
+    pub simulated: usize,
     /// Rejected by the scorer (`None` — e.g. device limits at codegen).
     pub rejected_scorer: usize,
 }
@@ -174,6 +189,76 @@ pub fn estimated_regs_per_block(program: &StencilProgram, params: &TileParams) -
         .max()
         .unwrap_or(0);
     (max_loads + 1 + 8) * estimated_threads_per_block(params)
+}
+
+/// Fermi's per-SM residency ceilings (§6 hardware limits): at most 8
+/// resident blocks and 1536 resident threads per multiprocessor.
+const MAX_RESIDENT_BLOCKS: u64 = 8;
+const MAX_RESIDENT_THREADS: u64 = 1536;
+
+/// The pure analytical figure of merit behind the model-guided shortlist
+/// (`AutotuneConfig::top_k`): **occupancy × compute-to-load ratio**,
+/// penalized by shared-memory and register pressure against the device
+/// budgets. No simulation runs — everything comes from the static
+/// [`TileSizeModel`] and the [`AutotuneConfig`] budgets, so ranking a
+/// whole sweep space costs microseconds.
+///
+/// * *compute-to-load* (`iterations / steady_loads`) is the inverse of
+///   the §3.7 ratio the paper minimizes: points computed per value
+///   fetched from global memory — the DRAM-roof term.
+/// * *occupancy* is the resident-thread fraction per SM implied by how
+///   many blocks fit under the shared-memory and register budgets
+///   (capped at Fermi's 8 blocks / 1536 threads): wide shallow tiles
+///   with tiny footprints score close to 1, monster tiles that
+///   serialize the SM score near `threads / 1536`. The merit uses its
+///   **fourth root**: occupancy buys latency hiding with steeply
+///   diminishing returns, and on a bandwidth-limited roofline device a
+///   half-occupied SM already sustains close to peak DRAM throughput —
+///   a linear term was observed to evict the simulator-best plan from
+///   the shortlist on the multi-field and 3D gallery stencils.
+/// * the *pressure penalty* discounts candidates sitting close to either
+///   budget — those are the ones whose real kernels spill registers or
+///   fail codegen-time shared-memory checks even though the static model
+///   squeaked under the limit.
+///
+/// Higher is better. The merit is a *ranking* device, not a throughput
+/// prediction: `autotune_cancellable` uses it to decide which candidates
+/// deserve a (expensive, simulator-backed) scoring pass.
+pub fn analytical_merit(
+    program: &StencilProgram,
+    model: &TileSizeModel,
+    cfg: &AutotuneConfig,
+) -> f64 {
+    let threads = estimated_threads_per_block(&model.params);
+    let regs = estimated_regs_per_block(program, &model.params);
+    let smem_limit = cfg.smem_limit.max(1);
+    let regs_limit = cfg.regs_per_block.max(1);
+
+    let blocks_by_smem = smem_limit
+        .checked_div(model.smem_bytes)
+        .map_or(MAX_RESIDENT_BLOCKS, |b| b.min(MAX_RESIDENT_BLOCKS));
+    let blocks_by_regs = regs_limit
+        .checked_div(regs)
+        .map_or(MAX_RESIDENT_BLOCKS, |b| b.min(MAX_RESIDENT_BLOCKS));
+    let resident = blocks_by_smem.min(blocks_by_regs);
+    let occupancy = ((resident * threads) as f64 / MAX_RESIDENT_THREADS as f64)
+        .clamp(0.0, 1.0)
+        .sqrt()
+        .sqrt();
+
+    let compute_per_load = if model.steady_loads == 0 {
+        model.iterations as f64
+    } else {
+        model.iterations as f64 / model.steady_loads as f64
+    };
+
+    // Pressure against either budget in [0, 1]; candidates at > 100% of
+    // a budget never reach this function (the prune stage rejects them).
+    let smem_pressure = (model.smem_bytes as f64 / smem_limit as f64).clamp(0.0, 1.0);
+    let reg_pressure = (regs as f64 / regs_limit as f64).clamp(0.0, 1.0);
+    let penalty = 1.0 - 0.5 * smem_pressure.max(reg_pressure);
+
+    occupancy * compute_per_load * penalty
 }
 
 /// Every parameter combination of the space, in deterministic sweep order
@@ -313,6 +398,31 @@ where
         feasible.truncate(cfg.max_candidates);
     }
 
+    // Model-guided shortlist: rank the survivors by the analytical figure
+    // of merit and keep only the best `top_k` for the expensive
+    // verify/score stages. `top_k == 0` keeps everyone — the exhaustive
+    // oracle the shortlist is validated against.
+    if cfg.top_k > 0 && feasible.len() > cfg.top_k {
+        let mut merited: Vec<(f64, TileSizeModel)> = feasible
+            .drain(..)
+            .map(|m| (analytical_merit(program, &m, cfg), m))
+            .collect();
+        merited.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then(a.1.ratio().total_cmp(&b.1.ratio()))
+        });
+        merited.truncate(cfg.top_k);
+        feasible = merited.into_iter().map(|(_, m)| m).collect();
+        // Restore the static sweep order so verification and scoring
+        // proceed deterministically regardless of merit ties.
+        feasible.sort_by(|a, b| {
+            a.ratio()
+                .total_cmp(&b.ratio())
+                .then(b.iterations.cmp(&a.iterations))
+        });
+    }
+    report.shortlisted = feasible.len();
+
     if let Some((dims, steps)) = &cfg.verify_domain {
         for model in &feasible {
             if let Some(kind) = cancel.cancelled() {
@@ -334,6 +444,7 @@ where
         if let Some(kind) = cancel.cancelled() {
             return stop(kind, report);
         }
+        report.simulated += 1;
         match scorer(&model) {
             Some(score) => report.ranked.push(AutotuneEntry { model, score }),
             None => report.rejected_scorer += 1,
@@ -518,6 +629,90 @@ mod tests {
             plain.best().map(|e| e.model.params.clone()),
             via_token.best().map(|e| e.model.params.clone())
         );
+    }
+
+    #[test]
+    fn top_k_shortlist_caps_scorer_invocations() {
+        let p = gallery::jacobi2d();
+        let mut scored = 0usize;
+        let cfg = AutotuneConfig {
+            top_k: 2,
+            ..AutotuneConfig::fermi()
+        };
+        let report = autotune(&p, &small_space(), &cfg, |m| {
+            scored += 1;
+            Some(-m.ratio())
+        });
+        assert_eq!(scored, 2, "only the shortlist reaches the scorer");
+        assert_eq!(report.shortlisted, 2);
+        assert_eq!(report.simulated, 2);
+        assert_eq!(report.ranked.len(), 2);
+        // The shortlist discards candidates without counting them as
+        // budget rejections or max_candidates pruning.
+        assert_eq!(report.pruned, 0);
+    }
+
+    #[test]
+    fn top_k_zero_preserves_the_exhaustive_oracle() {
+        let p = gallery::jacobi2d();
+        let exhaustive = autotune(&p, &small_space(), &AutotuneConfig::fermi(), |m| {
+            Some(-m.ratio())
+        });
+        assert_eq!(exhaustive.shortlisted, exhaustive.simulated);
+        assert_eq!(exhaustive.simulated, exhaustive.ranked.len());
+        // A top_k at least as large as the feasible set is also exhaustive.
+        let wide = AutotuneConfig {
+            top_k: exhaustive.shortlisted,
+            ..AutotuneConfig::fermi()
+        };
+        let via_k = autotune(&p, &small_space(), &wide, |m| Some(-m.ratio()));
+        assert_eq!(via_k.simulated, exhaustive.simulated);
+        assert_eq!(
+            via_k.best().map(|e| e.model.params.clone()),
+            exhaustive.best().map(|e| e.model.params.clone())
+        );
+    }
+
+    #[test]
+    fn merit_is_deterministic_and_positive_for_feasible_candidates() {
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig::fermi();
+        let report = autotune(&p, &small_space(), &cfg, |_| Some(1.0));
+        assert!(!report.ranked.is_empty());
+        for entry in &report.ranked {
+            let m1 = analytical_merit(&p, &entry.model, &cfg);
+            let m2 = analytical_merit(&p, &entry.model, &cfg);
+            assert!(
+                m1.is_finite() && m1 > 0.0,
+                "merit {m1} for {:?}",
+                entry.model.params
+            );
+            assert_eq!(m1.to_bits(), m2.to_bits(), "merit must be deterministic");
+        }
+    }
+
+    #[test]
+    fn shortlist_retains_a_high_merit_candidate() {
+        // The top-1 shortlist must keep exactly the merit argmax.
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig {
+            top_k: 1,
+            ..AutotuneConfig::fermi()
+        };
+        let exhaustive = autotune(&p, &small_space(), &AutotuneConfig::fermi(), |_| Some(1.0));
+        let best_by_merit = exhaustive
+            .ranked
+            .iter()
+            .map(|e| &e.model)
+            .max_by(|a, b| {
+                analytical_merit(&p, a, &cfg)
+                    .total_cmp(&analytical_merit(&p, b, &cfg))
+                    .then(b.ratio().total_cmp(&a.ratio()))
+            })
+            .unwrap();
+        let short = autotune(&p, &small_space(), &cfg, |_| Some(1.0));
+        assert_eq!(short.ranked.len(), 1);
+        assert_eq!(short.ranked[0].model.params, best_by_merit.params);
     }
 
     #[test]
