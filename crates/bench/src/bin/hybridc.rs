@@ -21,6 +21,9 @@
 //!                      the analytical merit reach the scorer (0 = exhaustive)
 //!   --smoke            shrink the sweep space (CI mode)
 //!   --device NAME      gtx470 | nvs5200m (default gtx470)
+//!   --backend NAME     cuda | wgsl | hip | cpu (default cuda); selects the
+//!                      code-generation backend and resets the codegen
+//!                      options to that backend's defaults
 //!   --threads N        simulator worker threads; 0 = auto-detect, same as
 //!                      HYBRID_SIM_THREADS=0 (default HYBRID_SIM_THREADS)
 //!   --jobs N           concurrent file compiles (default 1)
@@ -95,7 +98,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: hybridc [--out DIR] [--cache DIR | --no-cache] [--require-cached] \
-         [--autotune] [--top-k K] [--smoke] [--device gtx470|nvs5200m] [--threads N] [--jobs N] \
+         [--autotune] [--top-k K] [--smoke] [--device gtx470|nvs5200m] \
+         [--backend cuda|wgsl|hip|cpu] [--threads N] [--jobs N] \
          [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
          \n\
          hybridc serve [common options] [--listen ADDR] [--listen-unix PATH] \
@@ -161,6 +165,17 @@ fn parse_args() -> Args {
                     "nvs5200m" => DeviceConfig::nvs5200m(),
                     other => fail(&format!("unknown device {other:?} (gtx470|nvs5200m)")),
                 }
+            }
+            "--backend" => {
+                let name = value("--backend");
+                let kind = gpu_codegen::BackendKind::parse(&name).unwrap_or_else(|| {
+                    fail(&format!("unknown backend {name:?} (cuda|wgsl|hip|cpu)"))
+                });
+                cfg.backend = kind;
+                // Each backend's defaults are the strongest options it
+                // supports (WGSL cannot address workgroup arrays
+                // dynamically, so it clamps ReuseDynamic to ReuseStatic).
+                cfg.opts = kind.backend().default_options();
             }
             "--threads" => {
                 // 0 means auto-detect, the same contract as
@@ -446,9 +461,11 @@ fn main() {
         }
     }
     println!(
-        "hybridc: {} file(s), device = {}, tune = {}, cache = {}, jobs = {}, sim threads = {}",
+        "hybridc: {} file(s), device = {}, backend = {}, tune = {}, cache = {}, jobs = {}, \
+         sim threads = {}",
         files.len(),
         args.cfg.device.name,
+        args.cfg.backend.name(),
         args.cfg.tune.name(),
         args.cfg
             .cache_dir

@@ -42,10 +42,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gpu_codegen::cuda_emit::kernel_to_cuda;
 use gpu_codegen::hybrid_gen::alignment_offset_words;
-use gpu_codegen::ptx_emit::core_tile_ptx;
-use gpu_codegen::{generate_hybrid, CodegenOptions};
+use gpu_codegen::{generate_hybrid, BackendKind, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
 use hybrid_tiling::cancel::{CancelKind, CancelToken};
 use hybrid_tiling::tilesize::autotune::{
@@ -89,6 +87,11 @@ pub struct DriverConfig {
     pub device: DeviceConfig,
     /// Code-generation options (defaults to the full Table 4 ladder top).
     pub opts: CodegenOptions,
+    /// Emission backend for artifacts (defaults to CUDA). Joins the
+    /// plan fingerprint — a WGSL plan never aliases a CUDA one — and
+    /// options the backend cannot lower are rejected up front with
+    /// [`DriverError::Unsupported`].
+    pub backend: BackendKind,
     /// Worker threads for one simulation ([`gpusim::parallel`]).
     pub sim_threads: usize,
     /// Concurrent file compiles in [`compile_batch`].
@@ -100,7 +103,8 @@ pub struct DriverConfig {
     /// Run the simulated plan and require bit-exact agreement with the
     /// reference executor.
     pub verify: bool,
-    /// Where `.cu` / `.ptx` artifacts are written.
+    /// Where source artifacts are written (extension per backend:
+    /// `.cu`+`.ptx`, `.wgsl`, `.hip.cpp`, `.cpu.c`).
     pub out_dir: PathBuf,
     /// Plan-cache directory; `None` disables the cache.
     pub cache_dir: Option<PathBuf>,
@@ -155,6 +159,7 @@ impl DriverConfig {
         DriverConfig {
             device: DeviceConfig::gtx470(),
             opts: CodegenOptions::best(),
+            backend: BackendKind::Cuda,
             sim_threads: 1,
             jobs: 1,
             tune: TuneMode::Static,
@@ -309,10 +314,13 @@ pub struct CompileOutcome {
     pub dims: Vec<usize>,
     /// Time steps executed.
     pub steps: usize,
-    /// Emitted CUDA-C artifact.
-    pub cuda_path: PathBuf,
-    /// Emitted pseudo-PTX artifact.
-    pub ptx_path: PathBuf,
+    /// Backend that emitted the artifacts.
+    pub backend: BackendKind,
+    /// Emitted source artifact (extension per backend).
+    pub source_path: PathBuf,
+    /// Emitted secondary artifact, if the backend has one (the CUDA
+    /// backend's pseudo-PTX).
+    pub aux_path: Option<PathBuf>,
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -333,8 +341,9 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// just the clock, which changes simulated tuning scores) key apart.
 pub fn device_fingerprint(device: &DeviceConfig) -> String {
     format!(
-        "{}|sms={}|cores={}|clock={}|dram={}|l2={}|l2b={}|smem={}|launch={}",
+        "{}|vendor={}|sms={}|cores={}|clock={}|dram={}|l2={}|l2b={}|smem={}|launch={}",
         device.name,
+        device.vendor,
         device.sms,
         device.cores_per_sm,
         device.clock_ghz,
@@ -355,10 +364,11 @@ pub fn device_fingerprint(device: &DeviceConfig) -> String {
 /// workload override (tuning scores candidates on the workload).
 pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     let ident = format!(
-        "{}|{}|{:?}|{}|{}|{:?}|{:?}|k={}",
+        "{}|{}|{:?}|backend={}|{}|{}|{:?}|{:?}|k={}",
         program.to_c_like(),
         device_fingerprint(&cfg.device),
         cfg.opts,
+        cfg.backend.name(),
         cfg.tune.name(),
         cfg.smoke,
         cfg.workload,
@@ -373,9 +383,14 @@ pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
 /// [`device_fingerprint`] (`|a−b| / max(|a|,|b|)`, so each parameter
 /// contributes 0 for equal values and at most 1 for wildly different
 /// ones). The name is deliberately excluded — a renamed but otherwise
-/// identical device is distance 0. Used by the fleet router to pick the
-/// *nearest* warm member when seeding a cold one's tuning shortlist.
+/// identical device is distance 0. A **vendor** mismatch, by contrast,
+/// adds a penalty far above any numeric distance: tuning plans do not
+/// transfer across architecture families, so the fleet router must
+/// never pick a cross-vendor member as "nearest" while a same-vendor
+/// one exists. Used by the fleet router to pick the *nearest* warm
+/// member when seeding a cold one's tuning shortlist.
 pub fn device_distance(a: &DeviceConfig, b: &DeviceConfig) -> f64 {
+    let vendor_penalty = if a.vendor == b.vendor { 0.0 } else { 1000.0 };
     fn rel(x: f64, y: f64) -> f64 {
         let denom = x.abs().max(y.abs());
         if denom == 0.0 {
@@ -384,7 +399,8 @@ pub fn device_distance(a: &DeviceConfig, b: &DeviceConfig) -> f64 {
             (x - y).abs() / denom
         }
     }
-    rel(a.sms as f64, b.sms as f64)
+    vendor_penalty
+        + rel(a.sms as f64, b.sms as f64)
         + rel(a.cores_per_sm as f64, b.cores_per_sm as f64)
         + rel(a.clock_ghz, b.clock_ghz)
         + rel(a.dram_gbps, b.dram_gbps)
@@ -1075,6 +1091,7 @@ impl DiskLock {
         dir: &Path,
         fp: &str,
         program_text: &str,
+        backend: BackendKind,
         cancel: &CancelToken,
         stale: Duration,
     ) -> Result<DiskFlight, DriverError> {
@@ -1096,7 +1113,7 @@ impl DiskLock {
                     // Double-check: the previous holder may have stored
                     // the entry and unlocked between our disk-cache
                     // probe and this acquisition.
-                    if let Some(params) = load_cached_params(dir, fp, program_text) {
+                    if let Some(params) = load_cached_params(dir, fp, program_text, backend) {
                         return Ok(DiskFlight::Ready(params));
                     }
                     return Ok(DiskFlight::Acquired(lock));
@@ -1104,7 +1121,7 @@ impl DiskLock {
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     // Another process is tuning. Its entry may already be
                     // there (it stores before unlocking).
-                    if let Some(params) = load_cached_params(dir, fp, program_text) {
+                    if let Some(params) = load_cached_params(dir, fp, program_text, backend) {
                         return Ok(DiskFlight::Ready(params));
                     }
                     check_cancel(cancel, fp)?;
@@ -1210,10 +1227,20 @@ fn program_name(path: &Path) -> String {
 /// Loads a cached plan for `fp`, returning the tile parameters if the
 /// entry exists, parses, and was produced from the same program text
 /// (fingerprint collisions degrade to a miss).
-fn load_cached_params(dir: &Path, fp: &str, program_text: &str) -> Option<TileParams> {
+fn load_cached_params(
+    dir: &Path,
+    fp: &str,
+    program_text: &str,
+    backend: BackendKind,
+) -> Option<TileParams> {
     let text = fs::read_to_string(dir.join(format!("{fp}.json"))).ok()?;
     let v = Json::parse(&text).ok()?;
     if v.get("program")?.as_str()? != program_text {
+        return None;
+    }
+    // Legacy/corrupt entries without a backend field (or with the wrong
+    // one — a hash collision would be required) degrade to a miss.
+    if v.get("backend")?.as_str()? != backend.name() {
         return None;
     }
     let h = v.get("h")?.as_i64()?;
@@ -1244,6 +1271,7 @@ fn store_cached_params(
         ("stencil", Json::str(program.name())),
         ("program", Json::str(program.to_c_like())),
         ("device", Json::str(cfg.device.name.clone())),
+        ("backend", Json::str(cfg.backend.name())),
         ("tune", Json::str(cfg.tune.name())),
         ("h", Json::Int(params.h)),
         (
@@ -1443,21 +1471,23 @@ fn choose_params(
     }
 }
 
-/// Emits the CUDA-C and pseudo-PTX artifacts for `plan` and returns their
-/// paths. Filenames carry a fingerprint prefix (`<name>-<fp8>.cu`) so
-/// concurrent serve requests compiling *different* programs under the
-/// same name land on distinct files — two writers on one path would race
-/// and a response could otherwise point at the other program's code.
+/// Emits the source (and, if the backend has one, secondary) artifact
+/// for `plan` and returns the paths. Filenames carry a fingerprint
+/// prefix (`<name>-<fp8>.<ext>`) so concurrent serve requests compiling
+/// *different* programs under the same name land on distinct files —
+/// two writers on one path would race and a response could otherwise
+/// point at the other program's code.
 fn emit_artifacts(
     program: &StencilProgram,
     params: &TileParams,
     plan: &gpu_codegen::LaunchPlan,
     fp: &str,
     cfg: &DriverConfig,
-) -> Result<(PathBuf, PathBuf), DriverError> {
+) -> Result<(PathBuf, Option<PathBuf>), DriverError> {
     fs::create_dir_all(&cfg.out_dir)
         .map_err(|e| DriverError::Io(format!("{}: {e}", cfg.out_dir.display())))?;
-    let mut cuda = format!(
+    let backend = cfg.backend.backend();
+    let mut source = format!(
         "// {} — hybrid hexagonal/classical tiling, h = {}, w = {:?}\n\
          // {} kernel(s), {} launch(es); generated by hybridc\n\n",
         program.name(),
@@ -1466,26 +1496,25 @@ fn emit_artifacts(
         plan.kernels.len(),
         plan.launches.len(),
     );
-    let mut ptx = String::new();
-    for kernel in &plan.kernels {
-        cuda.push_str(&kernel_to_cuda(kernel));
-        cuda.push('\n');
-        let (text, stats) = core_tile_ptx(kernel, 4);
-        ptx.push_str(&format!(
-            "// kernel {} — core tile, first 4 points: {} loads, {} stores, {} arith\n",
-            kernel.name, stats.loads, stats.stores, stats.arith
-        ));
-        ptx.push_str(&text);
-        ptx.push('\n');
-    }
+    source.push_str(&backend.emit_plan(plan));
     let tag = &fp[..8.min(fp.len())];
-    let cuda_path = cfg.out_dir.join(format!("{}-{tag}.cu", program.name()));
-    let ptx_path = cfg.out_dir.join(format!("{}-{tag}.ptx", program.name()));
-    fs::write(&cuda_path, cuda)
-        .map_err(|e| DriverError::Io(format!("{}: {e}", cuda_path.display())))?;
-    fs::write(&ptx_path, ptx)
-        .map_err(|e| DriverError::Io(format!("{}: {e}", ptx_path.display())))?;
-    Ok((cuda_path, ptx_path))
+    let source_path = cfg.out_dir.join(format!(
+        "{}-{tag}.{}",
+        program.name(),
+        backend.source_extension()
+    ));
+    fs::write(&source_path, source)
+        .map_err(|e| DriverError::Io(format!("{}: {e}", source_path.display())))?;
+    let aux_path = match (backend.emit_aux(plan), backend.aux_extension()) {
+        (Some(aux), Some(ext)) => {
+            let path = cfg.out_dir.join(format!("{}-{tag}.{ext}", program.name()));
+            fs::write(&path, aux)
+                .map_err(|e| DriverError::Io(format!("{}: {e}", path.display())))?;
+            Some(path)
+        }
+        _ => None,
+    };
+    Ok((source_path, aux_path))
 }
 
 /// Resolves the tile plan for one compile through every cache layer:
@@ -1527,7 +1556,7 @@ fn resolve_plan(
         if let Some(params) = cfg
             .cache_dir
             .as_deref()
-            .and_then(|dir| load_cached_params(dir, fp, program_text))
+            .and_then(|dir| load_cached_params(dir, fp, program_text, cfg.backend))
         {
             cached = Some((params, CacheSource::Disk));
         }
@@ -1553,7 +1582,14 @@ fn resolve_plan(
     // its stored entry then counts as a disk hit.
     let mut disk_flight = None;
     if let Some(dir) = cfg.cache_dir.as_deref() {
-        match DiskLock::acquire(dir, fp, program_text, &cfg.cancel, cfg.lock_stale)? {
+        match DiskLock::acquire(
+            dir,
+            fp,
+            program_text,
+            cfg.backend,
+            &cfg.cancel,
+            cfg.lock_stale,
+        )? {
             DiskFlight::Acquired(lock) => disk_flight = Some(lock),
             DiskFlight::Ready(params) => {
                 if let Ok(plan) = generate_hybrid(program, &params, dims, steps, cfg.opts) {
@@ -1599,8 +1635,8 @@ fn resolve_plan(
 }
 
 /// Compiles one stencil file end to end: parse, validate, plan (through
-/// the cache), emit CUDA + PTX, execute on the simulator, and verify
-/// bit-exactly against the reference oracle.
+/// the cache), emit source for the configured backend, execute on the
+/// simulator, and verify bit-exactly against the reference oracle.
 ///
 /// # Errors
 ///
@@ -1667,6 +1703,12 @@ pub fn compile_source_with(
         }
     }
 
+    // Options the requested backend cannot lower are rejected before
+    // any planning work (typed error, not an assert deep in emission).
+    if let Err(e) = cfg.backend.backend().check_options(&cfg.opts) {
+        return Err(DriverError::Unsupported(format!("{name}: {e}")));
+    }
+
     // A request whose deadline already passed must not be served, not
     // even from the cache: the client has stopped waiting.
     check_cancel(&cfg.cancel, &name)?;
@@ -1686,7 +1728,7 @@ pub fn compile_source_with(
         cfg,
         mem,
     )?;
-    let (cuda_path, ptx_path) = emit_artifacts(&program, &params, &plan, &fp, cfg)?;
+    let (source_path, aux_path) = emit_artifacts(&program, &params, &plan, &fp, cfg)?;
 
     // Execute the plan on the simulator (stage boundary: a fired
     // deadline stops here rather than entering a long simulation).
@@ -1763,8 +1805,9 @@ pub fn compile_source_with(
         params,
         dims,
         steps,
-        cuda_path,
-        ptx_path,
+        backend: cfg.backend,
+        source_path,
+        aux_path,
     })
 }
 
@@ -1865,6 +1908,7 @@ pub fn report_json(
             "meta",
             Json::obj(vec![
                 ("device", Json::str(cfg.device.name.clone())),
+                ("backend", Json::str(cfg.backend.name())),
                 ("tune", Json::str(cfg.tune.name())),
                 ("smoke", Json::Bool(cfg.smoke)),
                 ("verify", Json::Bool(cfg.verify)),
@@ -1935,8 +1979,15 @@ pub fn outcome_json(source: &str, result: &Result<CompileOutcome, DriverError>) 
                 "flops",
                 Json::Arr(o.flops.iter().map(|&x| Json::UInt(x as u64)).collect()),
             ),
-            ("cuda", Json::str(o.cuda_path.display().to_string())),
-            ("ptx", Json::str(o.ptx_path.display().to_string())),
+            ("backend", Json::str(o.backend.name())),
+            ("artifact", Json::str(o.source_path.display().to_string())),
+            (
+                "aux_artifact",
+                match &o.aux_path {
+                    Some(p) => Json::str(p.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
         ]),
         Err(e) => Json::obj(vec![
             ("source", Json::str(source)),
@@ -2001,9 +2052,12 @@ for (t = 0; t < T; t++)
         assert!(first.examined > 0);
         assert!(first.verified);
         assert!(first.gstencils > 0.0);
-        assert!(first.cuda_path.is_file());
-        assert!(first.ptx_path.is_file());
-        let cuda = fs::read_to_string(&first.cuda_path).unwrap();
+        assert_eq!(first.backend, BackendKind::Cuda);
+        assert!(first.source_path.is_file());
+        assert!(first.source_path.extension().is_some_and(|e| e == "cu"));
+        let ptx = first.aux_path.as_ref().expect("CUDA emits a PTX artifact");
+        assert!(ptx.is_file());
+        let cuda = fs::read_to_string(&first.source_path).unwrap();
         assert!(cuda.contains("__global__ void"), "{cuda}");
 
         // Second compile: same fingerprint, served from the cache.
@@ -2571,6 +2625,138 @@ for (t = 0; t < T; t++)
             ..cfg.clone()
         };
         assert_ne!(base, fingerprint(&program, &other_workload));
+    }
+
+    #[test]
+    fn fingerprint_separates_backends_and_vendors() {
+        let dir = scratch("fp_backend");
+        let file = write_stencil(&dir, "j.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let program = parse_stencil("j", &fs::read_to_string(&file).unwrap()).unwrap();
+        let base = fingerprint(&program, &cfg);
+        // Every backend keys apart from every other: a WGSL plan can
+        // never alias a CUDA one.
+        let mut fps = vec![base.clone()];
+        for kind in BackendKind::ALL.into_iter().skip(1) {
+            let other = DriverConfig {
+                backend: kind,
+                ..cfg.clone()
+            };
+            fps.push(fingerprint(&program, &other));
+        }
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // A vendor change is a device change even with identical
+        // numeric parameters.
+        let mut amd = cfg.device.clone();
+        amd.vendor = "amd".to_string();
+        let other_vendor = DriverConfig {
+            device: amd,
+            ..cfg.clone()
+        };
+        assert_ne!(base, fingerprint(&program, &other_vendor));
+    }
+
+    #[test]
+    fn device_distance_penalizes_vendor_mismatch_above_any_numeric_gap() {
+        let a = DeviceConfig::gtx470();
+        let mut rebadged = DeviceConfig::gtx470();
+        rebadged.vendor = "amd".to_string();
+        // Same silicon numbers, different vendor: farther than the most
+        // different same-vendor device in the fleet.
+        let far_same_vendor = DeviceConfig::nvs5200m();
+        assert!(device_distance(&a, &rebadged) > device_distance(&a, &far_same_vendor));
+    }
+
+    #[test]
+    fn unsupported_backend_strategy_is_a_typed_error() {
+        let dir = scratch("backend_caps");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        // WGSL cannot lower ladder step (f); best() requests it.
+        let cfg = DriverConfig {
+            backend: BackendKind::Wgsl,
+            ..smoke_cfg(dir.join("out"))
+        };
+        match compile_file(&file, &cfg) {
+            Err(DriverError::Unsupported(msg)) => {
+                assert!(msg.contains("does not support"), "{msg}");
+                assert!(msg.contains("ReuseDynamic"), "{msg}");
+            }
+            other => panic!("expected a typed Unsupported error, got {other:?}"),
+        }
+        // The backend's own default options compile and verify.
+        let cfg = DriverConfig {
+            opts: BackendKind::Wgsl.backend().default_options(),
+            ..cfg
+        };
+        let outcome = compile_file(&file, &cfg).unwrap();
+        assert!(outcome.verified);
+    }
+
+    #[test]
+    fn each_backend_emits_its_own_artifact_and_caches_round_trip() {
+        let dir = scratch("backends");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        for kind in BackendKind::ALL {
+            let backend = kind.backend();
+            let cfg = DriverConfig {
+                backend: kind,
+                opts: backend.default_options(),
+                ..smoke_cfg(dir.join(format!("out_{kind}")))
+            };
+            let first = compile_file(&file, &cfg).unwrap();
+            assert_eq!(first.backend, kind);
+            assert!(first.verified, "{kind}");
+            let name = first
+                .source_path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned();
+            assert!(
+                name.ends_with(&format!(".{}", backend.source_extension())),
+                "{kind}: {name}"
+            );
+            assert_eq!(first.aux_path.is_some(), backend.aux_extension().is_some());
+            let emitted = fs::read_to_string(&first.source_path).unwrap();
+            // Cache round-trip: the stored entry carries the backend and
+            // serves the second compile; re-emission is byte-identical.
+            let second = compile_file(&file, &cfg).unwrap();
+            assert!(second.cache_hit, "{kind}");
+            assert_eq!(emitted, fs::read_to_string(&second.source_path).unwrap());
+        }
+    }
+
+    #[test]
+    fn legacy_cache_entries_without_a_backend_degrade_to_a_miss() {
+        let dir = scratch("legacy_backend");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        let cfg = smoke_cfg(dir.join("out"));
+        let first = compile_file(&file, &cfg).unwrap();
+        let entry = cfg
+            .cache_dir
+            .as_ref()
+            .unwrap()
+            .join(format!("{}.json", first.fingerprint));
+        // Strip the backend field, simulating an entry written before
+        // the backend split.
+        let text = fs::read_to_string(&entry).unwrap();
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.contains("\"backend\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(text, legacy, "entry should have carried a backend field");
+        fs::write(&entry, legacy).unwrap();
+        let second = compile_file(&file, &cfg).unwrap();
+        assert!(!second.cache_hit, "legacy entry must miss, not panic");
+        assert_eq!(second.params, first.params);
+        // The miss re-tuned and rewrote a complete entry: third hits.
+        let third = compile_file(&file, &cfg).unwrap();
+        assert!(third.cache_hit);
     }
 
     #[test]

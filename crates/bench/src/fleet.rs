@@ -36,8 +36,9 @@ use std::time::Instant;
 use crate::driver::{device_distance, device_fingerprint, DriverConfig};
 use crate::json::Json;
 use crate::serve::{
-    cancel_response, check_version, error_response, metrics_response, resolve_device,
-    validate_compile_request, with_envelope, RequestHandler, ServeOptions, ServeState, ServeStats,
+    backend_compiles_json, cancel_response, check_version, error_response, metrics_response,
+    resolve_device, validate_compile_request, with_envelope, RequestHandler, ServeOptions,
+    ServeState, ServeStats,
 };
 
 /// Fleet-level knobs (`hybridc serve` flags).
@@ -273,12 +274,12 @@ impl FleetRouter {
                 // stream of garbage compiles naming fresh devices must
                 // not exhaust --max-devices.
                 if !self.has_member(&device) {
-                    if let Err(msg) = validate_compile_request(&self.base, &req) {
+                    if let Err(e) = validate_compile_request(&self.base, &req) {
                         return Some(self.track(error_response(
                             seq,
                             id.as_ref(),
-                            "bad_request",
-                            &msg,
+                            e.kind(),
+                            e.message(),
                         )));
                     }
                 }
@@ -350,6 +351,15 @@ impl FleetRouter {
                 "tune_simulations",
                 Json::UInt(sum(&|m| m.tune_simulations())),
             ),
+            ("backend_compiles", {
+                let mut totals = [0u64; 4];
+                for (_, m) in &members {
+                    for (i, c) in m.backend_compiles().into_iter().enumerate() {
+                        totals[i] += c;
+                    }
+                }
+                backend_compiles_json(totals)
+            }),
             ("device_count", Json::UInt(members.len() as u64)),
             ("max_devices", Json::UInt(self.opts.max_devices as u64)),
             (

@@ -42,6 +42,9 @@ pub struct DeviceMetrics {
     /// Tuning scorer invocations (simulator runs in simulated mode),
     /// warm-hint re-verifications included.
     pub tune_simulations: u64,
+    /// Successful compiles per code-generation backend, indexed by
+    /// [`BackendKind::index`](gpu_codegen::BackendKind::index).
+    pub backend_compiles: [u64; 4],
     pub mem_entries: u64,
     pub mem_bytes: u64,
     /// `None` renders no `hybrid_mem_cache_cap_bytes` series (an
@@ -129,6 +132,7 @@ pub fn device_metrics(device: &str, state: &ServeState) -> DeviceMetrics {
         warm_starts: state.warm_starts(),
         warm_start_hits: state.warm_start_hits(),
         tune_simulations: state.tune_simulations(),
+        backend_compiles: state.backend_compiles(),
         mem_entries: mem.len() as u64,
         mem_bytes: mem.bytes(),
         mem_cap_bytes: mem.cap_bytes(),
@@ -214,6 +218,28 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "counter",
         "Tuning scorer invocations, warm-hint re-verifications included.",
         &per_device(|d| d.tune_simulations),
+    );
+    let compiles: Vec<(String, u64)> = snap
+        .devices
+        .iter()
+        .flat_map(|d| {
+            gpu_codegen::BackendKind::ALL.map(|kind| {
+                (
+                    format!(
+                        "{{device=\"{}\",backend=\"{}\"}}",
+                        escape_label(&d.device),
+                        kind.name()
+                    ),
+                    d.backend_compiles[kind.index()],
+                )
+            })
+        })
+        .collect();
+    family(
+        "hybrid_backend_compiles_total",
+        "counter",
+        "Successful compiles by code-generation backend.",
+        &compiles,
     );
     let lookups: Vec<(String, u64)> = snap
         .devices

@@ -67,6 +67,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gpu_codegen::{BackendKind, SmemStrategy};
 use gpusim::DeviceConfig;
 use hybrid_tiling::cancel::{saturating_deadline, CancelToken};
 
@@ -259,6 +260,9 @@ pub struct ServeState {
     /// Total scorer invocations across fresh tunes (simulator runs in
     /// simulated mode), including warm-hint re-verifications.
     tune_simulations: AtomicU64,
+    /// Successful compiles per emission backend, indexed by
+    /// [`BackendKind::index`].
+    backend_compiles: [AtomicU64; 4],
     stop: AtomicBool,
     /// Compiles currently executing, keyed by the request's rendered
     /// `id`: the `cancel` op raises the flags and the workers stop at
@@ -320,6 +324,7 @@ impl ServeState {
             warm_starts: AtomicU64::new(0),
             warm_start_hits: AtomicU64::new(0),
             tune_simulations: AtomicU64::new(0),
+            backend_compiles: std::array::from_fn(|_| AtomicU64::new(0)),
             stop: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
             stats: ServeStats::default(),
@@ -387,6 +392,12 @@ impl ServeState {
     /// re-verifications included.
     pub fn tune_simulations(&self) -> u64 {
         self.tune_simulations.load(Ordering::Relaxed)
+    }
+
+    /// Successful compiles per emission backend, in
+    /// [`BackendKind::ALL`] order.
+    pub fn backend_compiles(&self) -> [u64; 4] {
+        std::array::from_fn(|i| self.backend_compiles[i].load(Ordering::Relaxed))
     }
 
     /// Raises the cancel flags of every in-flight compile registered
@@ -492,7 +503,7 @@ impl ServeState {
     fn handle_compile(&self, seq: u64, id: Option<&Json>, req: &Json) -> Json {
         let mut cfg = match request_config(&self.cfg, req) {
             Ok(cfg) => cfg,
-            Err(msg) => return error_response(seq, id, "bad_request", &msg),
+            Err(e) => return error_response(seq, id, e.kind(), e.message()),
         };
         // Deadline: the request's own deadline_ms, else the service
         // default. The clock starts when the worker picks the request up.
@@ -536,6 +547,7 @@ impl ServeState {
             }
         };
         if let Ok(o) = &result {
+            self.backend_compiles[o.backend.index()].fetch_add(1, Ordering::Relaxed);
             if o.warm_start {
                 self.warm_starts.fetch_add(1, Ordering::Relaxed);
             }
@@ -609,6 +621,11 @@ impl ServeState {
                 Json::str(device_fingerprint(&self.cfg.device)),
             ),
             ("tune", Json::str(self.cfg.tune.name())),
+            ("backend", Json::str(self.cfg.backend.name())),
+            (
+                "backend_compiles",
+                backend_compiles_json(self.backend_compiles()),
+            ),
             ("top_k", Json::UInt(self.cfg.top_k as u64)),
             ("warm_starts", Json::UInt(self.warm_starts())),
             ("warm_start_hits", Json::UInt(self.warm_start_hits())),
@@ -644,21 +661,108 @@ impl ServeState {
     }
 }
 
+/// The per-backend successful-compile counters as a JSON object keyed
+/// by backend name, in [`BackendKind::ALL`] order. Shared by the
+/// single-device status payload and the fleet's aggregated one.
+pub(crate) fn backend_compiles_json(counts: [u64; 4]) -> Json {
+    Json::Obj(
+        BackendKind::ALL
+            .into_iter()
+            .map(|kind| (kind.name().to_string(), Json::UInt(counts[kind.index()])))
+            .collect(),
+    )
+}
+
+/// A typed request-validation failure: the serve protocol distinguishes
+/// a malformed request (`bad_request`) from a well-formed one naming an
+/// emission backend this service does not know
+/// (`unsupported_backend`) — clients probing for backend support need
+/// the distinction to fall back rather than fix their request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum RequestError {
+    /// Malformed or invalid request field.
+    Bad(String),
+    /// Unknown `"backend"` value.
+    UnsupportedBackend(String),
+}
+
+impl RequestError {
+    /// The protocol `error_kind` discriminant.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            RequestError::Bad(_) => "bad_request",
+            RequestError::UnsupportedBackend(_) => "unsupported_backend",
+        }
+    }
+
+    /// Human-readable description for the `error` field.
+    pub(crate) fn message(&self) -> &str {
+        match self {
+            RequestError::Bad(m) | RequestError::UnsupportedBackend(m) => m,
+        }
+    }
+}
+
+impl From<String> for RequestError {
+    fn from(m: String) -> RequestError {
+        RequestError::Bad(m)
+    }
+}
+
+impl From<&str> for RequestError {
+    fn from(m: &str) -> RequestError {
+        RequestError::Bad(m.to_string())
+    }
+}
+
 /// Builds the per-request [`DriverConfig`] from `base` plus the
-/// request's overrides, or a typed error description. Shared by the
-/// single-device compile path and the fleet router's request
-/// validation, so the two can never diverge.
-pub(crate) fn request_config(base: &DriverConfig, req: &Json) -> Result<DriverConfig, String> {
+/// request's overrides, or a typed error. Shared by the single-device
+/// compile path and the fleet router's request validation, so the two
+/// can never diverge.
+pub(crate) fn request_config(
+    base: &DriverConfig,
+    req: &Json,
+) -> Result<DriverConfig, RequestError> {
     let mut cfg = base.clone();
     if let Some(d) = req.get("device") {
         cfg.device = resolve_device(d, &base.device)?;
+    }
+    if let Some(b) = req.get("backend") {
+        let name = b.as_str().ok_or("\"backend\" must be a string")?;
+        match BackendKind::parse(name) {
+            Some(kind) => {
+                cfg.backend = kind;
+                // Each backend defaults to the best ladder step it can
+                // lower (WGSL clamps (f) to (e)); an explicit "smem"
+                // field below can still override it.
+                cfg.opts = kind.backend().default_options();
+            }
+            None => {
+                return Err(RequestError::UnsupportedBackend(format!(
+                    "unknown backend {name:?} (cuda | wgsl | hip | cpu)"
+                )))
+            }
+        }
+    }
+    if let Some(s) = req.get("smem") {
+        let name = s.as_str().ok_or("\"smem\" must be a string")?;
+        cfg.opts.smem = SmemStrategy::parse(name).ok_or_else(|| {
+            RequestError::Bad(format!(
+                "unknown smem strategy {name:?} (global_only | copy_in_out | \
+                 interleaved_copy_out | reuse_static | reuse_dynamic)"
+            ))
+        })?;
     }
     if let Some(t) = req.get("tune") {
         let name = t.as_str().ok_or("\"tune\" must be a string")?;
         cfg.tune = match name {
             "static" => TuneMode::Static,
             "simulated" => TuneMode::Simulated,
-            other => return Err(format!("unknown tune mode {other:?} (static | simulated)")),
+            other => {
+                return Err(RequestError::Bad(format!(
+                    "unknown tune mode {other:?} (static | simulated)"
+                )))
+            }
         };
     }
     if let Some(s) = req.get("smoke") {
@@ -691,7 +795,11 @@ pub(crate) fn request_config(base: &DriverConfig, req: &Json) -> Result<DriverCo
     match (size, steps) {
         (Some(d), Some(s)) => cfg.workload = Some((d, s)),
         (None, None) => {}
-        _ => return Err("\"size\" and \"steps\" must be given together".to_string()),
+        _ => {
+            return Err(RequestError::from(
+                "\"size\" and \"steps\" must be given together",
+            ))
+        }
     }
     if let Some(k) = req.get("top_k") {
         cfg.top_k = k
@@ -754,7 +862,10 @@ fn compile_source(req: &Json) -> Result<CompileSource, String> {
 /// performs before real work starts. The fleet router runs this before
 /// spending a device slot on an unknown device, so garbage requests can
 /// never exhaust `--max-devices`.
-pub(crate) fn validate_compile_request(base: &DriverConfig, req: &Json) -> Result<(), String> {
+pub(crate) fn validate_compile_request(
+    base: &DriverConfig,
+    req: &Json,
+) -> Result<(), RequestError> {
     request_config(base, req)?;
     parse_deadline_ms(req)?;
     compile_source(req)?;
@@ -843,6 +954,9 @@ pub fn resolve_device(v: &Json, default: &DeviceConfig) -> Result<DeviceConfig, 
                     "name" => {
                         device.name = value.as_str().ok_or_else(|| bad("a string"))?.to_string()
                     }
+                    "vendor" => {
+                        device.vendor = value.as_str().ok_or_else(|| bad("a string"))?.to_string()
+                    }
                     "sms" => {
                         device.sms = value
                             .as_u64()
@@ -897,9 +1011,9 @@ pub fn resolve_device(v: &Json, default: &DeviceConfig) -> Result<DeviceConfig, 
                     }
                     other => {
                         return Err(format!(
-                            "unknown device field {other:?} (base | name | sms | cores_per_sm | \
-                             clock_ghz | dram_gbps | l2_gbps | l2_bytes | shared_limit | \
-                             launch_overhead_s)"
+                            "unknown device field {other:?} (base | name | vendor | sms | \
+                             cores_per_sm | clock_ghz | dram_gbps | l2_gbps | l2_bytes | \
+                             shared_limit | launch_overhead_s)"
                         ))
                     }
                 }
@@ -1943,6 +2057,17 @@ mod tests {
             .handle_line(3, &req("{\"base\":\"nvs5200m\",\"shared_limit\":16384}"))
             .unwrap();
         assert_eq!(third.get("cache").and_then(Json::as_str), Some("miss"));
+        // So is a different vendor: cross-vendor devices never share
+        // plans even when every numeric parameter matches.
+        let amd = state
+            .handle_line(
+                5,
+                &req("{\"base\":\"nvs5200m\",\"shared_limit\":32768,\"vendor\":\"amd\"}"),
+            )
+            .unwrap();
+        assert_eq!(amd.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(amd.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_ne!(first.get("fingerprint"), amd.get("fingerprint"));
         // Unknown device fields are typed errors, not silent typos.
         let bad = state.handle_line(4, &req("{\"shred_limit\":1}")).unwrap();
         assert_eq!(
@@ -1981,6 +2106,8 @@ mod tests {
             "device",
             "device_fingerprint",
             "tune",
+            "backend",
+            "backend_compiles",
             "default_deadline_ms",
             "sched_policy",
             "queue_depth",
@@ -2000,6 +2127,94 @@ mod tests {
             .get("hit_age_p50_ms")
             .and_then(Json::as_u64)
             .is_some());
+    }
+
+    /// A request's `"backend"` field selects the emission backend: the
+    /// artifact carries the backend's extension, and the per-backend
+    /// compile counters in `status` move accordingly.
+    #[test]
+    fn backend_request_field_selects_the_emitter() {
+        let state = test_state("backend_field");
+        let req = |id: &str, backend: &str| {
+            Json::obj(vec![
+                ("op", Json::str("compile")),
+                ("id", Json::str(id)),
+                ("name", Json::str(id)),
+                ("program", Json::str(JACOBI)),
+                ("backend", Json::str(backend)),
+            ])
+            .render_compact()
+        };
+        let resp = state.handle_line(1, &req("w", "wgsl")).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.get("backend").and_then(Json::as_str), Some("wgsl"));
+        let artifact = resp.get("artifact").and_then(Json::as_str).unwrap();
+        assert!(artifact.ends_with(".wgsl"), "{artifact}");
+        let resp = state.handle_line(2, &req("c", "cuda")).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        let status = state.handle_line(3, "{\"op\":\"status\"}").unwrap();
+        let compiles = status.get("backend_compiles").unwrap();
+        assert_eq!(compiles.get("cuda").and_then(Json::as_u64), Some(1));
+        assert_eq!(compiles.get("wgsl").and_then(Json::as_u64), Some(1));
+        assert_eq!(compiles.get("hip").and_then(Json::as_u64), Some(0));
+        assert_eq!(compiles.get("cpu").and_then(Json::as_u64), Some(0));
+    }
+
+    /// An unknown backend name is its own error kind
+    /// (`unsupported_backend`), distinct from plain `bad_request`, so
+    /// clients probing for backend support can tell "this service does
+    /// not speak WGSL" from "my request was malformed".
+    #[test]
+    fn unknown_backend_is_a_typed_unsupported_backend_error() {
+        let state = test_state("backend_unknown");
+        let resp = state
+            .handle_line(
+                1,
+                "{\"op\":\"compile\",\"program\":\"x\",\"backend\":\"metal\"}",
+            )
+            .unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("unsupported_backend")
+        );
+        let msg = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("metal"), "{msg}");
+        assert!(msg.contains("cuda | wgsl | hip | cpu"), "{msg}");
+    }
+
+    /// `"smem"` overrides the backend's default strategy. Forcing one
+    /// the backend cannot express surfaces the driver's typed
+    /// capability rejection; forcing a supported one compiles.
+    #[test]
+    fn smem_override_hits_the_backend_capability_gate() {
+        let state = test_state("backend_smem");
+        let req = |id: &str, smem: &str| {
+            Json::obj(vec![
+                ("op", Json::str("compile")),
+                ("id", Json::str(id)),
+                ("name", Json::str(id)),
+                ("program", Json::str(JACOBI)),
+                ("backend", Json::str("wgsl")),
+                ("smem", Json::str(smem)),
+            ])
+            .render_compact()
+        };
+        // WGSL has no dynamically-addressed workgroup arrays.
+        let resp = state.handle_line(1, &req("bad", "reuse_dynamic")).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        let msg = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("does not support"), "{msg}");
+        let resp = state.handle_line(2, &req("ok", "reuse_static")).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        // And a typo'd strategy name is a plain bad_request.
+        let resp = state
+            .handle_line(3, &req("typo", "reuse_dynamite"))
+            .unwrap();
+        assert_eq!(
+            resp.get("error_kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
     }
 
     #[test]

@@ -212,6 +212,7 @@ fn golden_snapshot() -> MetricsSnapshot {
                 warm_starts: 6,
                 warm_start_hits: 4,
                 tune_simulations: 38,
+                backend_compiles: [80, 5, 3, 2],
                 mem_entries: 12,
                 mem_bytes: 4096,
                 mem_cap_bytes: Some(65536),
@@ -233,6 +234,7 @@ fn golden_snapshot() -> MetricsSnapshot {
                 warm_starts: 0,
                 warm_start_hits: 0,
                 tune_simulations: 8,
+                backend_compiles: [7, 0, 0, 0],
                 mem_entries: 3,
                 mem_bytes: 512,
                 mem_cap_bytes: Some(65536),

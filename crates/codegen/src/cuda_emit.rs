@@ -3,177 +3,26 @@
 //! The emitted source is for inspection and documentation (the executable
 //! artifact is the IR itself, interpreted by `gpusim`); it mirrors what
 //! PPCG's CUDA backend would print for the same schedule.
+//!
+//! The actual grammar lives in [`crate::c_like`], shared with the HIP
+//! backend; this module pins the CUDA dialect and keeps the historical
+//! entry points stable (and byte-identical — the golden files under
+//! `tests/golden/*.cu` prove it).
 
-use crate::ir::{Cond, FExpr, IExpr, Kernel, Stmt};
-use std::fmt::Write;
+use crate::c_like::{kernel_to_c, CUDA_DIALECT};
+use crate::ir::Kernel;
 
-/// Renders an integer expression as C.
-pub fn iexpr_to_c(e: &IExpr) -> String {
-    match e {
-        IExpr::Const(c) => format!("{c}"),
-        IExpr::Var(v) => format!("v{v}"),
-        IExpr::Param(p) => format!("p{p}"),
-        IExpr::ThreadIdx(0) => "threadIdx.x".into(),
-        IExpr::ThreadIdx(1) => "threadIdx.y".into(),
-        IExpr::ThreadIdx(_) => "threadIdx.z".into(),
-        IExpr::BlockIdx => "blockIdx.x".into(),
-        IExpr::Add(a, b) => format!("({} + {})", iexpr_to_c(a), iexpr_to_c(b)),
-        IExpr::Sub(a, b) => format!("({} - {})", iexpr_to_c(a), iexpr_to_c(b)),
-        IExpr::Mul(a, b) => format!("({} * {})", iexpr_to_c(a), iexpr_to_c(b)),
-        IExpr::FloorDiv(a, k) => format!("floord({}, {k})", iexpr_to_c(a)),
-        IExpr::Mod(a, k) => format!("pmod({}, {k})", iexpr_to_c(a)),
-        IExpr::Min(a, b) => format!("min({}, {})", iexpr_to_c(a), iexpr_to_c(b)),
-        IExpr::Max(a, b) => format!("max({}, {})", iexpr_to_c(a), iexpr_to_c(b)),
-    }
-}
-
-/// Renders a condition as C.
-pub fn cond_to_c(c: &Cond) -> String {
-    match c {
-        Cond::True => "1".into(),
-        Cond::Le(a, b) => format!("{} <= {}", iexpr_to_c(a), iexpr_to_c(b)),
-        Cond::Lt(a, b) => format!("{} < {}", iexpr_to_c(a), iexpr_to_c(b)),
-        Cond::Eq(a, b) => format!("{} == {}", iexpr_to_c(a), iexpr_to_c(b)),
-        Cond::And(a, b) => format!("({} && {})", cond_to_c(a), cond_to_c(b)),
-        Cond::Or(a, b) => format!("({} || {})", cond_to_c(a), cond_to_c(b)),
-        Cond::Not(a) => format!("!({})", cond_to_c(a)),
-    }
-}
-
-/// Renders a float expression as C.
-pub fn fexpr_to_c(e: &FExpr) -> String {
-    match e {
-        FExpr::Reg(r) => format!("r{r}"),
-        FExpr::Const(c) => format!("{c:?}f"),
-        FExpr::Add(a, b) => format!("({} + {})", fexpr_to_c(a), fexpr_to_c(b)),
-        FExpr::Sub(a, b) => format!("({} - {})", fexpr_to_c(a), fexpr_to_c(b)),
-        FExpr::Mul(a, b) => format!("({} * {})", fexpr_to_c(a), fexpr_to_c(b)),
-        FExpr::Sqrt(a) => format!("sqrtf({})", fexpr_to_c(a)),
-    }
-}
-
-fn idx_to_c(index: &[IExpr]) -> String {
-    index
-        .iter()
-        .map(|e| format!("[{}]", iexpr_to_c(e)))
-        .collect()
-}
-
-fn emit_stmts(out: &mut String, stmts: &[Stmt], kernel: &Kernel, depth: usize) {
-    let pad = "  ".repeat(depth);
-    for s in stmts {
-        match s {
-            Stmt::SetVar { var, value } => {
-                let _ = writeln!(out, "{pad}int v{var} = {};", iexpr_to_c(value));
-            }
-            Stmt::For {
-                var,
-                lo,
-                hi,
-                step,
-                body,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}for (int v{var} = {}; v{var} < {}; v{var} += {step}) {{",
-                    iexpr_to_c(lo),
-                    iexpr_to_c(hi)
-                );
-                emit_stmts(out, body, kernel, depth + 1);
-                let _ = writeln!(out, "{pad}}}");
-            }
-            Stmt::If { cond, then_, else_ } => {
-                let _ = writeln!(out, "{pad}if ({}) {{", cond_to_c(cond));
-                emit_stmts(out, then_, kernel, depth + 1);
-                if else_.is_empty() {
-                    let _ = writeln!(out, "{pad}}}");
-                } else {
-                    let _ = writeln!(out, "{pad}}} else {{");
-                    emit_stmts(out, else_, kernel, depth + 1);
-                    let _ = writeln!(out, "{pad}}}");
-                }
-            }
-            Stmt::GlobalLoad {
-                dst,
-                field,
-                plane,
-                index,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}r{dst} = g{field}[{}]{};",
-                    iexpr_to_c(plane),
-                    idx_to_c(index)
-                );
-            }
-            Stmt::GlobalStore {
-                field,
-                plane,
-                index,
-                src,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}g{field}[{}]{} = {};",
-                    iexpr_to_c(plane),
-                    idx_to_c(index),
-                    fexpr_to_c(src)
-                );
-            }
-            Stmt::SharedLoad { dst, buf, index } => {
-                let name = &kernel.shared[*buf].name;
-                let _ = writeln!(out, "{pad}r{dst} = {name}{};", idx_to_c(index));
-            }
-            Stmt::SharedStore { buf, index, src } => {
-                let name = &kernel.shared[*buf].name;
-                let _ = writeln!(out, "{pad}{name}{} = {};", idx_to_c(index), fexpr_to_c(src));
-            }
-            Stmt::Compute { dst, expr } => {
-                let _ = writeln!(out, "{pad}r{dst} = {};", fexpr_to_c(expr));
-            }
-            Stmt::Sync => {
-                let _ = writeln!(out, "{pad}__syncthreads();");
-            }
-        }
-    }
-}
+pub use crate::c_like::{cond_to_c, fexpr_to_c, iexpr_to_c};
 
 /// Renders a full kernel as CUDA-like C source.
 pub fn kernel_to_cuda(kernel: &Kernel) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "// block {}x{}x{}, {} bytes shared",
-        kernel.block_dim[0],
-        kernel.block_dim[1],
-        kernel.block_dim[2],
-        kernel.shared_bytes()
-    );
-    let params: Vec<String> = (0..kernel.n_params).map(|p| format!("int p{p}")).collect();
-    let _ = writeln!(
-        out,
-        "__global__ void {}(float *g0 /* .. per field */, {}) {{",
-        kernel.name,
-        params.join(", ")
-    );
-    for b in &kernel.shared {
-        let dims: String = b.dims.iter().map(|d| format!("[{d}]")).collect();
-        let _ = writeln!(out, "  __shared__ float {}{dims};", b.name);
-    }
-    let _ = writeln!(
-        out,
-        "  float r0 /* .. r{} */;",
-        kernel.n_regs.saturating_sub(1)
-    );
-    emit_stmts(&mut out, &kernel.body, kernel, 1);
-    out.push_str("}\n");
-    out
+    kernel_to_c(kernel, &CUDA_DIALECT)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::SharedBuf;
+    use crate::ir::{Cond, FExpr, IExpr, SharedBuf, Stmt};
 
     #[test]
     fn emits_compilable_looking_source() {

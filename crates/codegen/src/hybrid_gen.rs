@@ -79,6 +79,16 @@ pub enum CodegenError {
         /// Statements per outer iteration.
         k: i64,
     },
+    /// The requested emission backend cannot lower the requested
+    /// shared-memory strategy (e.g. WGSL has no dynamically-addressed
+    /// workgroup-array equivalent of ladder step (f)). Raised by
+    /// [`crate::backend::Backend::check_options`] before any IR is built.
+    UnsupportedStrategy {
+        /// Name of the rejecting backend.
+        backend: &'static str,
+        /// The strategy it cannot lower.
+        smem: SmemStrategy,
+    },
 }
 
 impl fmt::Display for CodegenError {
@@ -107,6 +117,10 @@ impl fmt::Display for CodegenError {
                 f,
                 "multi-statement kernels need the tile height 2h+2 = {height} to be a \
                  multiple of k = {k} (choose h so that h+1 is a multiple of k)"
+            ),
+            CodegenError::UnsupportedStrategy { backend, smem } => write!(
+                f,
+                "backend `{backend}` does not support shared-memory strategy {smem:?}"
             ),
         }
     }

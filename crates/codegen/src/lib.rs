@@ -4,7 +4,10 @@
 //! stencil-specific strategies. Here the target is a small, explicit
 //! [kernel IR](ir) interpreted warp-synchronously by the `gpusim` crate; the
 //! same IR pretty-prints to CUDA-C-like source ([`cuda_emit`]) and to the
-//! pseudo-PTX view of the paper's Fig. 2 ([`ptx_emit`]).
+//! pseudo-PTX view of the paper's Fig. 2 ([`ptx_emit`]), and — through the
+//! [`backend::Backend`] trait — to WGSL ([`wgsl_emit`]), HIP C++
+//! ([`c_like`] with the HIP dialect) and whole-block vectorized CPU C
+//! ([`cpu_emit`]).
 //!
 //! Code-generation strategies implemented (paper §4.2–§4.3):
 //!
@@ -17,12 +20,17 @@
 //!   inter-tile reuse (mod-mapped shared addresses), `(f)` dynamic
 //!   inter-tile reuse (dense addresses plus an explicit move phase).
 
+pub mod backend;
+pub mod c_like;
+pub mod cpu_emit;
 pub mod cuda_emit;
 pub mod hybrid_gen;
 pub mod ir;
 pub mod options;
 pub mod ptx_emit;
+pub mod wgsl_emit;
 
+pub use backend::{Backend, BackendCaps, BackendKind};
 pub use hybrid_gen::{generate_hybrid, CodegenError, HybridCodegen};
 pub use ir::{Cond, FExpr, IExpr, Kernel, LaunchPlan, SharedBuf, Stmt};
 pub use options::{CodegenOptions, SmemStrategy};

@@ -24,6 +24,31 @@ pub enum SmemStrategy {
 }
 
 impl SmemStrategy {
+    /// Every strategy, in ladder order.
+    pub const ALL: [SmemStrategy; 5] = [
+        SmemStrategy::GlobalOnly,
+        SmemStrategy::CopyInOut,
+        SmemStrategy::InterleavedCopyOut,
+        SmemStrategy::ReuseStatic,
+        SmemStrategy::ReuseDynamic,
+    ];
+
+    /// Stable wire/CLI name (`parse` inverts it).
+    pub fn name(self) -> &'static str {
+        match self {
+            SmemStrategy::GlobalOnly => "global_only",
+            SmemStrategy::CopyInOut => "copy_in_out",
+            SmemStrategy::InterleavedCopyOut => "interleaved_copy_out",
+            SmemStrategy::ReuseStatic => "reuse_static",
+            SmemStrategy::ReuseDynamic => "reuse_dynamic",
+        }
+    }
+
+    /// Parses a wire/CLI name back into a strategy.
+    pub fn parse(s: &str) -> Option<SmemStrategy> {
+        SmemStrategy::ALL.into_iter().find(|m| m.name() == s)
+    }
+
     /// True if the strategy stages data through shared memory.
     pub fn uses_shared(self) -> bool {
         !matches!(self, SmemStrategy::GlobalOnly)
@@ -134,6 +159,14 @@ mod tests {
         assert_eq!(l.len(), 6);
         assert_eq!(l[0].1.smem, SmemStrategy::GlobalOnly);
         assert!(l[5].1.smem.inter_tile_reuse());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in SmemStrategy::ALL {
+            assert_eq!(SmemStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(SmemStrategy::parse("texture"), None);
     }
 
     #[test]

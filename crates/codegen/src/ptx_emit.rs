@@ -130,6 +130,13 @@ pub struct PtxStats {
     pub arith: u64,
 }
 
+/// How many unrolled point computations the driver's PTX artifact shows
+/// per kernel. Four points is enough to exhibit every property Fig. 2
+/// highlights (straight-line code, register reuse across points, the
+/// load/arith ratio) while keeping the artifact readable; callers wanting
+/// a different window pass their own `max_points` to [`core_tile_ptx`].
+pub const DEFAULT_CORE_TILE_POINTS: usize = 4;
+
 /// Extracts the full-tile branch of a hybrid kernel and lowers its first
 /// `max_points` unrolled point computations to pseudo-PTX. Returns the
 /// text and its instruction statistics.

@@ -1,0 +1,894 @@
+#include <hip/hip_runtime.h>
+
+// block 8x1x1, 2520 bytes shared
+__global__ __launch_bounds__(8) void hybrid_fdtd2d_phase0(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_ey[2][7][15];
+  __shared__ float s_ex[2][7][15];
+  __shared__ float s_hz[2][7][15];
+  float r0 /* .. r5 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = ((p0 * 6) + -3);
+  int v2 = (((v0 * 7) - (p0 * -1)) + -4);
+  for (int v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (int v5 = 0; v5 < 14; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ey[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ex[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_hz[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 14; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ey[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ex[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_hz[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+      }
+      __syncthreads();
+    } else {
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 49) {
+          r0 = s_ey[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ey[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_ex[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ex[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_hz[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_hz[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 49) {
+          r0 = s_ey[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ey[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_ex[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ex[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_hz[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_hz[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+      }
+      __syncthreads();
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ey[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ex[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_hz[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ey[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ex[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_hz[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+      }
+      __syncthreads();
+    }
+    if ((((((0 <= v1 && (v1 + 5) <= 17) && 1 <= v2) && (v2 + 4) <= 18) && 6 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_ey[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][1][(threadIdx.x + 6)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][2][(threadIdx.x + 6)] = r0;
+      g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      r1 = s_ey[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][3][(threadIdx.x + 6)] = r0;
+      g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      __syncthreads();
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      __syncthreads();
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      __syncthreads();
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      __syncthreads();
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      __syncthreads();
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][(threadIdx.x + 1)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 2)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)] = r0;
+      g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][(threadIdx.x + 1)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 2)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][(threadIdx.x + 1)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)] = r0;
+      g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      __syncthreads();
+    } else {
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][1][(threadIdx.x + 6)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][2][(threadIdx.x + 6)] = r0;
+        g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][3][(threadIdx.x + 6)] = r0;
+        g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -5) && (((v3 * 8) + threadIdx.x) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][(threadIdx.x + 1)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 2)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)] = r0;
+        g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      }
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -5) && (((v3 * 8) + threadIdx.x) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][(threadIdx.x + 1)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 2)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][(threadIdx.x + 1)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)] = r0;
+        g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      }
+      __syncthreads();
+    }
+  }
+}
+
+// block 8x1x1, 2520 bytes shared
+__global__ __launch_bounds__(8) void hybrid_fdtd2d_phase1(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_ey[2][7][15];
+  __shared__ float s_ex[2][7][15];
+  __shared__ float s_hz[2][7][15];
+  float r0 /* .. r5 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = (p0 * 6);
+  int v2 = ((v0 * 7) - (p0 * -1));
+  for (int v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (int v5 = 0; v5 < 14; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ey[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ex[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[0][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_hz[0][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 14; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ey[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_ex[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[1][((v2 + -1) + pmod(floord(v6, 15), 7))][(((v3 * 8) + -6) + pmod(v6, 15))];
+          s_hz[1][pmod(floord(v6, 15), 7)][pmod(v6, 15)] = r0;
+        }
+      }
+      __syncthreads();
+    } else {
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 49) {
+          r0 = s_ey[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ey[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_ex[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ex[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_hz[0][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_hz[0][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 49) {
+          r0 = s_ey[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ey[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_ex[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_ex[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+        if (v6 < 49) {
+          r0 = s_hz[1][pmod(floord(v6, 7), 7)][(pmod(v6, 7) + 8)];
+          s_hz[1][pmod(floord(v6, 7), 7)][pmod(v6, 7)] = r0;
+        }
+      }
+      __syncthreads();
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ey[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ex[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[0][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_hz[0][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 7; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ey[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_ex[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[1][((v2 + -1) + pmod(floord(v6, 8), 7))][(((v3 * 8) + -6) + (pmod(v6, 8) + 7))];
+          s_hz[1][pmod(floord(v6, 8), 7)][(pmod(v6, 8) + 7)] = r0;
+        }
+      }
+      __syncthreads();
+    }
+    if ((((((0 <= v1 && (v1 + 5) <= 17) && 1 <= v2) && (v2 + 4) <= 18) && 6 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_ey[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][1][(threadIdx.x + 6)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][2][(threadIdx.x + 6)] = r0;
+      g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      r1 = s_ey[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][3][(threadIdx.x + 6)] = r0;
+      g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      __syncthreads();
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 4)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][(threadIdx.x + 5)] = r0;
+      g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      __syncthreads();
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][(threadIdx.x + 4)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 5)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][(threadIdx.x + 4)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)] = r0;
+      g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      __syncthreads();
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][(threadIdx.x + 3)] = r0;
+      g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      __syncthreads();
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 1)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][(threadIdx.x + 2)] = r0;
+      g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      __syncthreads();
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][(threadIdx.x + 1)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 2)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)] = r0;
+      g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][(threadIdx.x + 1)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 2)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][(threadIdx.x + 1)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)] = r0;
+      g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      __syncthreads();
+    } else {
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][1][(threadIdx.x + 6)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][2][(threadIdx.x + 6)] = r0;
+        g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][3][(threadIdx.x + 6)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][2][(threadIdx.x + 6)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][3][(threadIdx.x + 6)] = r0;
+        g0[pmod((floord(v1, 3) + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 5)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][(threadIdx.x + 4)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][(threadIdx.x + 5)] = r0;
+        g1[pmod((floord((v1 + 1), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][(threadIdx.x + 4)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 5)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][(threadIdx.x + 4)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][(threadIdx.x + 4)] = r0;
+        g2[pmod((floord((v1 + 2), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][v2][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][(threadIdx.x + 3)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][(threadIdx.x + 3)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][(threadIdx.x + 3)] = r0;
+        g0[pmod((floord((v1 + 3), 3) + 1), 2)][(v2 + 4)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -4) && (((v3 * 8) + threadIdx.x) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 2)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][(threadIdx.x + 1)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][(threadIdx.x + 2)] = r0;
+        g1[pmod((floord((v1 + 4), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -4)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -5) && (((v3 * 8) + threadIdx.x) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][(threadIdx.x + 1)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 2)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][(threadIdx.x + 1)] = r0;
+        g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      }
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -5) && (((v3 * 8) + threadIdx.x) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][(threadIdx.x + 1)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 2)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][(threadIdx.x + 1)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][(threadIdx.x + 1)] = r0;
+        g2[pmod((floord((v1 + 5), 3) + 1), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -5)] = r0;
+      }
+      __syncthreads();
+    }
+  }
+}
+

@@ -1,0 +1,876 @@
+// block 8x1x1, 2520 bytes workgroup memory
+@group(0) @binding(0) var<storage, read_write> g0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> g1: array<f32>;
+@group(0) @binding(2) var<storage, read_write> g2: array<f32>;
+struct Params { p0: i32, p1: i32 }
+@group(1) @binding(0) var<uniform> P: Params;
+var<workgroup> s_ey: array<array<array<f32, 15>, 7>, 2>;
+var<workgroup> s_ex: array<array<array<f32, 15>, 7>, 2>;
+var<workgroup> s_hz: array<array<array<f32, 15>, 7>, 2>;
+override plane_stride: i32 = 1;
+override stride0: i32 = 1;
+fn gidx(plane: i32, i0: i32, i1: i32) -> u32 { return u32(plane * plane_stride + i0 * stride0 + i1); }
+fn floord(a: i32, b: i32) -> i32 { var q = a / b; if ((a % b != 0) && ((a < 0) != (b < 0))) { q = q - 1; } return q; }
+fn pmod(a: i32, b: i32) -> i32 { let r = a % b; if (r < 0) { return r + b; } return r; }
+@compute @workgroup_size(8, 1, 1)
+fn hybrid_fdtd2d_phase0(@builtin(local_invocation_id) lid: vec3<u32>, @builtin(workgroup_id) wid: vec3<u32>) {
+  var v0: i32 = 0;
+  var v1: i32 = 0;
+  var v2: i32 = 0;
+  var v3: i32 = 0;
+  var v4: i32 = 0;
+  var v5: i32 = 0;
+  var v6: i32 = 0;
+  var r0: f32 = 0.0;
+  var r1: f32 = 0.0;
+  var r2: f32 = 0.0;
+  var r3: f32 = 0.0;
+  var r4: f32 = 0.0;
+  var r5: f32 = 0.0;
+  v0 = (i32(wid.x) + P.p1);
+  v1 = ((P.p0 * 6) + -3);
+  v2 = (((v0 * 7) - (P.p0 * -1)) + -4);
+  for (v3 = 0; v3 < 3; v3 = v3 + 1) {
+    if (v3 == 0) {
+      for (v5 = 0; v5 < 14; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ey[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ex[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_hz[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+      }
+      for (v5 = 0; v5 < 14; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ey[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ex[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_hz[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+      }
+      workgroupBarrier();
+    } else {
+      for (v5 = 0; v5 < 7; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ey[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ex[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_hz[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+      }
+      for (v5 = 0; v5 < 7; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ey[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ex[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_hz[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+      }
+      workgroupBarrier();
+    }
+    if ((((((0 <= v1 && (v1 + 5) <= 17) && 1 <= v2) && (v2 + 4) <= 18) && 6 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_ey[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][1][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+      g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 1), ((v3 * 8) + i32(lid.x)))] = r0;
+      r1 = s_ey[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+      g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 2), ((v3 * 8) + i32(lid.x)))] = r0;
+      workgroupBarrier();
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      workgroupBarrier();
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      workgroupBarrier();
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      workgroupBarrier();
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      workgroupBarrier();
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      workgroupBarrier();
+    } else {
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + i32(lid.x)) && ((v3 * 8) + i32(lid.x)) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][1][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+        g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 1), ((v3 * 8) + i32(lid.x)))] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + i32(lid.x)) && ((v3 * 8) + i32(lid.x)) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+        g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 2), ((v3 * 8) + i32(lid.x)))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -5) && (((v3 * 8) + i32(lid.x)) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      }
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -5) && (((v3 * 8) + i32(lid.x)) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      }
+      workgroupBarrier();
+    }
+  }
+}
+
+// block 8x1x1, 2520 bytes workgroup memory
+@group(0) @binding(0) var<storage, read_write> g0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> g1: array<f32>;
+@group(0) @binding(2) var<storage, read_write> g2: array<f32>;
+struct Params { p0: i32, p1: i32 }
+@group(1) @binding(0) var<uniform> P: Params;
+var<workgroup> s_ey: array<array<array<f32, 15>, 7>, 2>;
+var<workgroup> s_ex: array<array<array<f32, 15>, 7>, 2>;
+var<workgroup> s_hz: array<array<array<f32, 15>, 7>, 2>;
+override plane_stride: i32 = 1;
+override stride0: i32 = 1;
+fn gidx(plane: i32, i0: i32, i1: i32) -> u32 { return u32(plane * plane_stride + i0 * stride0 + i1); }
+fn floord(a: i32, b: i32) -> i32 { var q = a / b; if ((a % b != 0) && ((a < 0) != (b < 0))) { q = q - 1; } return q; }
+fn pmod(a: i32, b: i32) -> i32 { let r = a % b; if (r < 0) { return r + b; } return r; }
+@compute @workgroup_size(8, 1, 1)
+fn hybrid_fdtd2d_phase1(@builtin(local_invocation_id) lid: vec3<u32>, @builtin(workgroup_id) wid: vec3<u32>) {
+  var v0: i32 = 0;
+  var v1: i32 = 0;
+  var v2: i32 = 0;
+  var v3: i32 = 0;
+  var v4: i32 = 0;
+  var v5: i32 = 0;
+  var v6: i32 = 0;
+  var r0: f32 = 0.0;
+  var r1: f32 = 0.0;
+  var r2: f32 = 0.0;
+  var r3: f32 = 0.0;
+  var r4: f32 = 0.0;
+  var r5: f32 = 0.0;
+  v0 = (i32(wid.x) + P.p1);
+  v1 = (P.p0 * 6);
+  v2 = ((v0 * 7) - (P.p0 * -1));
+  for (v3 = 0; v3 < 3; v3 = v3 + 1) {
+    if (v3 == 0) {
+      for (v5 = 0; v5 < 14; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ey[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ex[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[gidx(0, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_hz[0][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+      }
+      for (v5 = 0; v5 < 14; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ey[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g1[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_ex[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+        if (((v6 < 105 && (0 <= ((v2 + -1) + pmod(floord(v6, 15), 7)) && ((v2 + -1) + pmod(floord(v6, 15), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + pmod(v6, 15)) && (((v3 * 8) + -6) + pmod(v6, 15)) <= 19))) {
+          r0 = g2[gidx(1, ((v2 + -1) + pmod(floord(v6, 15), 7)), (((v3 * 8) + -6) + pmod(v6, 15)))];
+          s_hz[1][pmod(floord(v6, 15), 7)][pmod((((v3 * 8) + -6) + pmod(v6, 15)), 15)] = r0;
+        }
+      }
+      workgroupBarrier();
+    } else {
+      for (v5 = 0; v5 < 7; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ey[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ex[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[gidx(0, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_hz[0][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+      }
+      for (v5 = 0; v5 < 7; v5 = v5 + 1) {
+        v6 = ((v5 * 8) + (i32(lid.x) + (i32(lid.y) * 8)));
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ey[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g1[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_ex[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+        if (((v6 < 56 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 7)) && ((v2 + -1) + pmod(floord(v6, 8), 7)) <= 19)) && (0 <= (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) && (((v3 * 8) + -6) + (pmod(v6, 8) + 7)) <= 19))) {
+          r0 = g2[gidx(1, ((v2 + -1) + pmod(floord(v6, 8), 7)), (((v3 * 8) + -6) + (pmod(v6, 8) + 7)))];
+          s_hz[1][pmod(floord(v6, 8), 7)][pmod((((v3 * 8) + -6) + (pmod(v6, 8) + 7)), 15)] = r0;
+        }
+      }
+      workgroupBarrier();
+    }
+    if ((((((0 <= v1 && (v1 + 5) <= 17) && 1 <= v2) && (v2 + 4) <= 18) && 6 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_ey[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][1][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+      g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 1), ((v3 * 8) + i32(lid.x)))] = r0;
+      r1 = s_ey[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r2 = s_hz[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r3 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord(v1, 3) + 1), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+      g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 2), ((v3 * 8) + i32(lid.x)))] = r0;
+      workgroupBarrier();
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      workgroupBarrier();
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+      r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      workgroupBarrier();
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+      g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      workgroupBarrier();
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.5f * (r2 - r3)));
+      s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+      g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      workgroupBarrier();
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+      r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+      r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+      s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+      g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      workgroupBarrier();
+    } else {
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + i32(lid.x)) && ((v3 * 8) + i32(lid.x)) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][1][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+        g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 1), ((v3 * 8) + i32(lid.x)))] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + i32(lid.x)) && ((v3 * 8) + i32(lid.x)) <= 18))) {
+        r1 = s_ey[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r2 = s_hz[pmod(floord(v1, 3), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r3 = s_hz[pmod(floord(v1, 3), 2)][2][pmod(((v3 * 8) + i32(lid.x)), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord(v1, 3) + 1), 2)][3][pmod(((v3 * 8) + i32(lid.x)), 15)] = r0;
+        g0[gidx(pmod((floord(v1, 3) + 1), 2), (v2 + 2), ((v3 * 8) + i32(lid.x)))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -1) && (((v3 * 8) + i32(lid.x)) + -1) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r2 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_hz[pmod(floord((v1 + 1), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 1), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 1), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -1))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -2) && (((v3 * 8) + i32(lid.x)) + -2) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 2), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r2 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -1), 15)];
+        r3 = s_ex[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r4 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][6][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r5 = s_ey[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 2), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -2), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 2), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -2))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][0][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), v2, (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][1][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 17) && (1 <= (v2 + 4) && (v2 + 4) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -3) && (((v3 * 8) + i32(lid.x)) + -3) <= 18))) {
+        r1 = s_ey[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r2 = s_hz[pmod(floord((v1 + 3), 3), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r3 = s_hz[pmod(floord((v1 + 3), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ey[pmod((floord((v1 + 3), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -3), 15)] = r0;
+        g0[gidx(pmod((floord((v1 + 3), 3) + 1), 2), (v2 + 4), (((v3 * 8) + i32(lid.x)) + -3))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][2][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 1), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      if ((((0 <= (v1 + 4) && (v1 + 4) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -4) && (((v3 * 8) + i32(lid.x)) + -4) <= 18))) {
+        r1 = s_ex[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r2 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_hz[pmod(floord((v1 + 4), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.5f * (r2 - r3)));
+        s_ex[pmod((floord((v1 + 4), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)] = r0;
+        g1[gidx(pmod((floord((v1 + 4), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -4))] = r0;
+      }
+      workgroupBarrier();
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -5) && (((v3 * 8) + i32(lid.x)) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][3][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 2), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      }
+      if ((((0 <= (v1 + 5) && (v1 + 5) <= 17) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + i32(lid.x)) + -5) && (((v3 * 8) + i32(lid.x)) + -5) <= 18))) {
+        r1 = s_hz[pmod(floord((v1 + 5), 3), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r2 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -4), 15)];
+        r3 = s_ex[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r4 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][5][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r5 = s_ey[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)];
+        r0 = (r1 - (0.7f * ((r2 - r3) + (r4 - r5))));
+        s_hz[pmod((floord((v1 + 5), 3) + 1), 2)][4][pmod((((v3 * 8) + i32(lid.x)) + -5), 15)] = r0;
+        g2[gidx(pmod((floord((v1 + 5), 3) + 1), 2), (v2 + 3), (((v3 * 8) + i32(lid.x)) + -5))] = r0;
+      }
+      workgroupBarrier();
+    }
+  }
+}
+

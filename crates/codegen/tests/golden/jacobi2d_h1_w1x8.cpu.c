@@ -1,0 +1,1704 @@
+// Vectorized whole-block CPU lowering: one function per kernel, one
+// `lane` loop iteration per GPU thread. Statement-level lockstep makes
+// every former __syncthreads() barrier-synchronous by construction.
+#include <math.h>
+
+static inline int floord(int a, int b) {
+  int q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+static inline int pmod(int a, int b) { int r = a % b; return r < 0 ? r + b : r; }
+static inline int min(int a, int b) { return a < b ? a : b; }
+static inline int max(int a, int b) { return a > b ? a : b; }
+
+// block 8x1x1 = 8 lanes, 624 bytes block-local
+static void hybrid_jacobi2d_phase0(float *g0, long plane_stride, long stride0, int p0, int p1, int blockIdx) {
+  float s_A[2][6][13];
+  int v0 = 0;
+  int v1 = 0;
+  int v2 = 0;
+  int v3 = 0;
+  int v4 = 0;
+  int v5 = 0;
+  int v6[8];
+  float r0[8];
+  float r1[8];
+  float r2[8];
+  float r3[8];
+  float r4[8];
+  float r5[8];
+  int m0[8];
+  v0 = (blockIdx + p1);
+  v1 = ((p0 * 4) + -2);
+  v2 = ((v0 * 6) + -3);
+  for (v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (v5 = 0; v5 < 10; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 78 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6[lane], 13)) && (((v3 * 8) + -4) + pmod(v6[lane], 13)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) * stride0 + (((v3 * 8) + -4) + pmod(v6[lane], 13))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 13), 6)][pmod(v6[lane], 13)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 10; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 78 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6[lane], 13)) && (((v3 * 8) + -4) + pmod(v6[lane], 13)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) * stride0 + (((v3 * 8) + -4) + pmod(v6[lane], 13))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 13), 6)][pmod(v6[lane], 13)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    } else {
+      for (v5 = 0; v5 < 4; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (v6[lane] < 30);
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = s_A[0][pmod(floord(v6[lane], 5), 6)][(pmod(v6[lane], 5) + 8)];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 5), 6)][pmod(v6[lane], 5)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 4; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (v6[lane] < 30);
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = s_A[1][pmod(floord(v6[lane], 5), 6)][(pmod(v6[lane], 5) + 8)];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 5), 6)][pmod(v6[lane], 5)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (v5 = 0; v5 < 6; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 48 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) * stride0 + (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 8), 6)][(pmod(v6[lane], 8) + 5)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 6; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 48 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) * stride0 + (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 8), 6)][(pmod(v6[lane], 8) + 5)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    }
+    if ((((((0 <= v1 && (v1 + 3) <= 3) && 1 <= v2) && (v2 + 3) <= 18) && 4 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod(v1, 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod(v1, 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 2) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][0][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][5][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][0][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][5][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 3), 2)][2][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 4), 2)][2][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 3), 2)][3][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 4), 2)][3][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    } else {
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + (lane % 8)) && ((v3 * 8) + (lane % 8)) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod(v1, 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + (lane % 8)) && ((v3 * 8) + (lane % 8)) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod(v1, 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 2) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][0][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][5][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][0][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][5][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -3) && (((v3 * 8) + (lane % 8)) + -3) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 3), 2)][2][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 4), 2)][2][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -3) && (((v3 * 8) + (lane % 8)) + -3) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 3), 2)][3][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 4), 2)][3][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    }
+  }
+}
+
+// block 8x1x1 = 8 lanes, 624 bytes block-local
+static void hybrid_jacobi2d_phase1(float *g0, long plane_stride, long stride0, int p0, int p1, int blockIdx) {
+  float s_A[2][6][13];
+  int v0 = 0;
+  int v1 = 0;
+  int v2 = 0;
+  int v3 = 0;
+  int v4 = 0;
+  int v5 = 0;
+  int v6[8];
+  float r0[8];
+  float r1[8];
+  float r2[8];
+  float r3[8];
+  float r4[8];
+  float r5[8];
+  int m0[8];
+  v0 = (blockIdx + p1);
+  v1 = (p0 * 4);
+  v2 = (v0 * 6);
+  for (v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (v5 = 0; v5 < 10; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 78 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6[lane], 13)) && (((v3 * 8) + -4) + pmod(v6[lane], 13)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) * stride0 + (((v3 * 8) + -4) + pmod(v6[lane], 13))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 13), 6)][pmod(v6[lane], 13)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 10; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 78 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6[lane], 13)) && (((v3 * 8) + -4) + pmod(v6[lane], 13)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 13), 6)) * stride0 + (((v3 * 8) + -4) + pmod(v6[lane], 13))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 13), 6)][pmod(v6[lane], 13)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    } else {
+      for (v5 = 0; v5 < 4; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (v6[lane] < 30);
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = s_A[0][pmod(floord(v6[lane], 5), 6)][(pmod(v6[lane], 5) + 8)];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 5), 6)][pmod(v6[lane], 5)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 4; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (v6[lane] < 30);
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = s_A[1][pmod(floord(v6[lane], 5), 6)][(pmod(v6[lane], 5) + 8)];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 5), 6)][pmod(v6[lane], 5)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (v5 = 0; v5 < 6; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 48 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) * stride0 + (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[0][pmod(floord(v6[lane], 8), 6)][(pmod(v6[lane], 8) + 5)] = r0[lane];
+        }
+      }
+      for (v5 = 0; v5 < 6; v5 += 1) {
+        for (int lane = 0; lane < 8; ++lane) {
+          v6[lane] = ((v5 * 8) + ((lane % 8) + (((lane / 8) % 1) * 8)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          m0[lane] = (((v6[lane] < 48 && (0 <= ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) && ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5)) <= 19)));
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v6[lane], 8), 6)) * stride0 + (((v3 * 8) + -4) + (pmod(v6[lane], 8) + 5))];
+        }
+        for (int lane = 0; lane < 8; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[1][pmod(floord(v6[lane], 8), 6)][(pmod(v6[lane], 8) + 5)] = r0[lane];
+        }
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    }
+    if ((((((0 <= v1 && (v1 + 3) <= 3) && 1 <= v2) && (v2 + 3) <= 18) && 4 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod(v1, 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod(v1, 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 2) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][0][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 1), 2)][5][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][0][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 2), 2)][5][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 3), 2)][2][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 4), 2)][2][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r1[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r2[lane] = s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r3[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r4[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r5[lane] = s_A[pmod((v1 + 3), 2)][3][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        s_A[pmod((v1 + 4), 2)][3][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    } else {
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + (lane % 8)) && ((v3 * 8) + (lane % 8)) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod(v1, 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + (lane % 8)) && ((v3 * 8) + (lane % 8)) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod(v1, 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod(v1, 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 5)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod(v1, 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 2) * stride0 + ((v3 * 8) + (lane % 8))] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][0][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -1) && (((v3 * 8) + (lane % 8)) + -1) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 1), 2)][5][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 1), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 4)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 1), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -1)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][0][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + v2 * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][1][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -2) && (((v3 * 8) + (lane % 8)) + -2) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 2), 2)][5][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 2), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 3)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 2), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 2)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 3), 2) * plane_stride + (v2 + 3) * stride0 + (((v3 * 8) + (lane % 8)) + -2)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -3) && (((v3 * 8) + (lane % 8)) + -3) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 3), 2)][1][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 3), 2)][2][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 4), 2)][2][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        m0[lane] = ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + (lane % 8)) + -3) && (((v3 * 8) + (lane % 8)) + -3) <= 18)));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r1[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r2[lane] = s_A[pmod((v1 + 3), 2)][4][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r3[lane] = s_A[pmod((v1 + 3), 2)][2][((lane % 8) + 1)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r4[lane] = s_A[pmod((v1 + 3), 2)][3][((lane % 8) + 2)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r5[lane] = s_A[pmod((v1 + 3), 2)][3][(lane % 8)];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        r0[lane] = (0.2f * ((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]));
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        s_A[pmod((v1 + 4), 2)][3][((lane % 8) + 1)] = r0[lane];
+      }
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!m0[lane]) continue;
+        g0[pmod((v1 + 4), 2) * plane_stride + (v2 + 2) * stride0 + (((v3 * 8) + (lane % 8)) + -3)] = r0[lane];
+      }
+      /* __syncthreads(): lane loops run in statement lockstep */
+    }
+  }
+}
+

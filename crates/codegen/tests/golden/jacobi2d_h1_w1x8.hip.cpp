@@ -1,0 +1,574 @@
+#include <hip/hip_runtime.h>
+
+// block 8x1x1, 624 bytes shared
+__global__ __launch_bounds__(8) void hybrid_jacobi2d_phase0(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_A[2][6][13];
+  float r0 /* .. r5 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = ((p0 * 4) + -2);
+  int v2 = ((v0 * 6) + -3);
+  for (int v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (int v5 = 0; v5 < 10; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 78 && (0 <= ((v2 + -1) + pmod(floord(v6, 13), 6)) && ((v2 + -1) + pmod(floord(v6, 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6, 13)) && (((v3 * 8) + -4) + pmod(v6, 13)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 13), 6))][(((v3 * 8) + -4) + pmod(v6, 13))];
+          s_A[0][pmod(floord(v6, 13), 6)][pmod(v6, 13)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 10; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 78 && (0 <= ((v2 + -1) + pmod(floord(v6, 13), 6)) && ((v2 + -1) + pmod(floord(v6, 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6, 13)) && (((v3 * 8) + -4) + pmod(v6, 13)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 13), 6))][(((v3 * 8) + -4) + pmod(v6, 13))];
+          s_A[1][pmod(floord(v6, 13), 6)][pmod(v6, 13)] = r0;
+        }
+      }
+      __syncthreads();
+    } else {
+      for (int v5 = 0; v5 < 4; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 30) {
+          r0 = s_A[0][pmod(floord(v6, 5), 6)][(pmod(v6, 5) + 8)];
+          s_A[0][pmod(floord(v6, 5), 6)][pmod(v6, 5)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 4; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 30) {
+          r0 = s_A[1][pmod(floord(v6, 5), 6)][(pmod(v6, 5) + 8)];
+          s_A[1][pmod(floord(v6, 5), 6)][pmod(v6, 5)] = r0;
+        }
+      }
+      __syncthreads();
+      for (int v5 = 0; v5 < 6; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 48 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 6)) && ((v2 + -1) + pmod(floord(v6, 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 8), 6))][(((v3 * 8) + -4) + (pmod(v6, 8) + 5))];
+          s_A[0][pmod(floord(v6, 8), 6)][(pmod(v6, 8) + 5)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 6; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 48 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 6)) && ((v2 + -1) + pmod(floord(v6, 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 8), 6))][(((v3 * 8) + -4) + (pmod(v6, 8) + 5))];
+          s_A[1][pmod(floord(v6, 8), 6)][(pmod(v6, 8) + 5)] = r0;
+        }
+      }
+      __syncthreads();
+    }
+    if ((((((0 <= v1 && (v1 + 3) <= 3) && 1 <= v2) && (v2 + 3) <= 18) && 4 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+      r2 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+      r3 = s_A[pmod(v1, 2)][1][(threadIdx.x + 4)];
+      r4 = s_A[pmod(v1, 2)][2][(threadIdx.x + 5)];
+      r5 = s_A[pmod(v1, 2)][2][(threadIdx.x + 3)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)] = r0;
+      g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      r1 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+      r2 = s_A[pmod(v1, 2)][4][(threadIdx.x + 4)];
+      r3 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+      r4 = s_A[pmod(v1, 2)][3][(threadIdx.x + 5)];
+      r5 = s_A[pmod(v1, 2)][3][(threadIdx.x + 3)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)] = r0;
+      g0[pmod((v1 + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][5][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][0][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][5][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+      r2 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+      r3 = s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 1)];
+      r4 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)];
+      r5 = s_A[pmod((v1 + 3), 2)][2][threadIdx.x];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 4), 2)][2][(threadIdx.x + 1)] = r0;
+      g0[pmod((v1 + 4), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+      r2 = s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 1)];
+      r3 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+      r4 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)];
+      r5 = s_A[pmod((v1 + 3), 2)][3][threadIdx.x];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 4), 2)][3][(threadIdx.x + 1)] = r0;
+      g0[pmod((v1 + 4), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      __syncthreads();
+    } else {
+      if ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+        r2 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+        r3 = s_A[pmod(v1, 2)][1][(threadIdx.x + 4)];
+        r4 = s_A[pmod(v1, 2)][2][(threadIdx.x + 5)];
+        r5 = s_A[pmod(v1, 2)][2][(threadIdx.x + 3)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+        r2 = s_A[pmod(v1, 2)][4][(threadIdx.x + 4)];
+        r3 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+        r4 = s_A[pmod(v1, 2)][3][(threadIdx.x + 5)];
+        r5 = s_A[pmod(v1, 2)][3][(threadIdx.x + 3)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][5][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][0][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][5][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)];
+        r5 = s_A[pmod((v1 + 3), 2)][2][threadIdx.x];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 4), 2)][2][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 4), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)];
+        r5 = s_A[pmod((v1 + 3), 2)][3][threadIdx.x];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 4), 2)][3][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 4), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      __syncthreads();
+    }
+  }
+}
+
+// block 8x1x1, 624 bytes shared
+__global__ __launch_bounds__(8) void hybrid_jacobi2d_phase1(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_A[2][6][13];
+  float r0 /* .. r5 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = (p0 * 4);
+  int v2 = (v0 * 6);
+  for (int v3 = 0; v3 < 3; v3 += 1) {
+    if (v3 == 0) {
+      for (int v5 = 0; v5 < 10; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 78 && (0 <= ((v2 + -1) + pmod(floord(v6, 13), 6)) && ((v2 + -1) + pmod(floord(v6, 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6, 13)) && (((v3 * 8) + -4) + pmod(v6, 13)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 13), 6))][(((v3 * 8) + -4) + pmod(v6, 13))];
+          s_A[0][pmod(floord(v6, 13), 6)][pmod(v6, 13)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 10; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 78 && (0 <= ((v2 + -1) + pmod(floord(v6, 13), 6)) && ((v2 + -1) + pmod(floord(v6, 13), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + pmod(v6, 13)) && (((v3 * 8) + -4) + pmod(v6, 13)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 13), 6))][(((v3 * 8) + -4) + pmod(v6, 13))];
+          s_A[1][pmod(floord(v6, 13), 6)][pmod(v6, 13)] = r0;
+        }
+      }
+      __syncthreads();
+    } else {
+      for (int v5 = 0; v5 < 4; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 30) {
+          r0 = s_A[0][pmod(floord(v6, 5), 6)][(pmod(v6, 5) + 8)];
+          s_A[0][pmod(floord(v6, 5), 6)][pmod(v6, 5)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 4; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (v6 < 30) {
+          r0 = s_A[1][pmod(floord(v6, 5), 6)][(pmod(v6, 5) + 8)];
+          s_A[1][pmod(floord(v6, 5), 6)][pmod(v6, 5)] = r0;
+        }
+      }
+      __syncthreads();
+      for (int v5 = 0; v5 < 6; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 48 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 6)) && ((v2 + -1) + pmod(floord(v6, 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) <= 19))) {
+          r0 = g0[0][((v2 + -1) + pmod(floord(v6, 8), 6))][(((v3 * 8) + -4) + (pmod(v6, 8) + 5))];
+          s_A[0][pmod(floord(v6, 8), 6)][(pmod(v6, 8) + 5)] = r0;
+        }
+      }
+      for (int v5 = 0; v5 < 6; v5 += 1) {
+        int v6 = ((v5 * 8) + (threadIdx.x + (threadIdx.y * 8)));
+        if (((v6 < 48 && (0 <= ((v2 + -1) + pmod(floord(v6, 8), 6)) && ((v2 + -1) + pmod(floord(v6, 8), 6)) <= 19)) && (0 <= (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) && (((v3 * 8) + -4) + (pmod(v6, 8) + 5)) <= 19))) {
+          r0 = g0[1][((v2 + -1) + pmod(floord(v6, 8), 6))][(((v3 * 8) + -4) + (pmod(v6, 8) + 5))];
+          s_A[1][pmod(floord(v6, 8), 6)][(pmod(v6, 8) + 5)] = r0;
+        }
+      }
+      __syncthreads();
+    }
+    if ((((((0 <= v1 && (v1 + 3) <= 3) && 1 <= v2) && (v2 + 3) <= 18) && 4 <= (v3 * 8)) && ((v3 * 8) + 7) <= 18)) {
+      r1 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+      r2 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+      r3 = s_A[pmod(v1, 2)][1][(threadIdx.x + 4)];
+      r4 = s_A[pmod(v1, 2)][2][(threadIdx.x + 5)];
+      r5 = s_A[pmod(v1, 2)][2][(threadIdx.x + 3)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)] = r0;
+      g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      r1 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+      r2 = s_A[pmod(v1, 2)][4][(threadIdx.x + 4)];
+      r3 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+      r4 = s_A[pmod(v1, 2)][3][(threadIdx.x + 5)];
+      r5 = s_A[pmod(v1, 2)][3][(threadIdx.x + 3)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)] = r0;
+      g0[pmod((v1 + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      r1 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+      r2 = s_A[pmod((v1 + 1), 2)][5][(threadIdx.x + 3)];
+      r3 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+      r4 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 4)];
+      r5 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 2)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)] = r0;
+      g0[pmod((v1 + 2), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][0][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      r1 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+      r2 = s_A[pmod((v1 + 2), 2)][5][(threadIdx.x + 2)];
+      r3 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+      r4 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)];
+      r5 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 1)];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 2)] = r0;
+      g0[pmod((v1 + 3), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      __syncthreads();
+      r1 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+      r2 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+      r3 = s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 1)];
+      r4 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)];
+      r5 = s_A[pmod((v1 + 3), 2)][2][threadIdx.x];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 4), 2)][2][(threadIdx.x + 1)] = r0;
+      g0[pmod((v1 + 4), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      r1 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+      r2 = s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 1)];
+      r3 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+      r4 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)];
+      r5 = s_A[pmod((v1 + 3), 2)][3][threadIdx.x];
+      r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+      s_A[pmod((v1 + 4), 2)][3][(threadIdx.x + 1)] = r0;
+      g0[pmod((v1 + 4), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      __syncthreads();
+    } else {
+      if ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+        r2 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+        r3 = s_A[pmod(v1, 2)][1][(threadIdx.x + 4)];
+        r4 = s_A[pmod(v1, 2)][2][(threadIdx.x + 5)];
+        r5 = s_A[pmod(v1, 2)][2][(threadIdx.x + 3)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      if ((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= ((v3 * 8) + threadIdx.x) && ((v3 * 8) + threadIdx.x) <= 18))) {
+        r1 = s_A[pmod(v1, 2)][3][(threadIdx.x + 4)];
+        r2 = s_A[pmod(v1, 2)][4][(threadIdx.x + 4)];
+        r3 = s_A[pmod(v1, 2)][2][(threadIdx.x + 4)];
+        r4 = s_A[pmod(v1, 2)][3][(threadIdx.x + 5)];
+        r5 = s_A[pmod(v1, 2)][3][(threadIdx.x + 3)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 2)][((v3 * 8) + threadIdx.x)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][v2][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      if ((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -1) && (((v3 * 8) + threadIdx.x) + -1) <= 18))) {
+        r1 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 3)];
+        r2 = s_A[pmod((v1 + 1), 2)][5][(threadIdx.x + 3)];
+        r3 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.x + 3)];
+        r4 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 4)];
+        r5 = s_A[pmod((v1 + 1), 2)][4][(threadIdx.x + 2)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -1)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= v2 && v2 <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][0][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][v2][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][1][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][2][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      if ((((0 <= (v1 + 2) && (v1 + 2) <= 3) && (1 <= (v2 + 3) && (v2 + 3) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -2) && (((v3 * 8) + threadIdx.x) + -2) <= 18))) {
+        r1 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 2)];
+        r2 = s_A[pmod((v1 + 2), 2)][5][(threadIdx.x + 2)];
+        r3 = s_A[pmod((v1 + 2), 2)][3][(threadIdx.x + 2)];
+        r4 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 3)];
+        r5 = s_A[pmod((v1 + 2), 2)][4][(threadIdx.x + 1)];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 3), 2)][(v2 + 3)][(((v3 * 8) + threadIdx.x) + -2)] = r0;
+      }
+      __syncthreads();
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 3), 2)][1][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 2)];
+        r5 = s_A[pmod((v1 + 3), 2)][2][threadIdx.x];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 4), 2)][2][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 4), 2)][(v2 + 1)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      if ((((0 <= (v1 + 3) && (v1 + 3) <= 3) && (1 <= (v2 + 2) && (v2 + 2) <= 18)) && (1 <= (((v3 * 8) + threadIdx.x) + -3) && (((v3 * 8) + threadIdx.x) + -3) <= 18))) {
+        r1 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 3), 2)][4][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 3), 2)][2][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 3), 2)][3][(threadIdx.x + 2)];
+        r5 = s_A[pmod((v1 + 3), 2)][3][threadIdx.x];
+        r0 = (0.2f * ((((r1 + r2) + r3) + r4) + r5));
+        s_A[pmod((v1 + 4), 2)][3][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 4), 2)][(v2 + 2)][(((v3 * 8) + threadIdx.x) + -3)] = r0;
+      }
+      __syncthreads();
+    }
+  }
+}
+

@@ -1,0 +1,874 @@
+// Vectorized whole-block CPU lowering: one function per kernel, one
+// `lane` loop iteration per GPU thread. Statement-level lockstep makes
+// every former __syncthreads() barrier-synchronous by construction.
+#include <math.h>
+
+static inline int floord(int a, int b) {
+  int q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+static inline int pmod(int a, int b) { int r = a % b; return r < 0 ? r + b : r; }
+static inline int min(int a, int b) { return a < b ? a : b; }
+static inline int max(int a, int b) { return a > b ? a : b; }
+
+// block 8x2x1 = 16 lanes, 1760 bytes block-local
+static void hybrid_laplacian3d_phase0(float *g0, long plane_stride, long stride0, long stride1, int p0, int p1, int blockIdx) {
+  float s_A[2][4][5][11];
+  int v0 = 0;
+  int v1 = 0;
+  int v2 = 0;
+  int v3 = 0;
+  int v4 = 0;
+  int v5 = 0;
+  int v6 = 0;
+  int v7[16];
+  float r0[16];
+  float r1[16];
+  float r2[16];
+  float r3[16];
+  float r4[16];
+  float r5[16];
+  float r6[16];
+  float r7[16];
+  int m0[16];
+  v0 = (blockIdx + p1);
+  v1 = ((p0 * 2) + -1);
+  v2 = ((v0 * 4) + -2);
+  for (v3 = 0; v3 < 5; v3 += 1) {
+    for (v4 = 0; v4 < 2; v4 += 1) {
+      if (v4 == 0) {
+        for (v6 = 0; v6 < 14; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 220 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7[lane], 11)) && (((v4 * 8) + -2) + pmod(v7[lane], 11)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) * stride1 + (((v4 * 8) + -2) + pmod(v7[lane], 11))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 55), 4)][pmod(floord(v7[lane], 11), 5)][pmod(v7[lane], 11)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 14; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 220 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7[lane], 11)) && (((v4 * 8) + -2) + pmod(v7[lane], 11)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) * stride1 + (((v4 * 8) + -2) + pmod(v7[lane], 11))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 55), 4)][pmod(floord(v7[lane], 11), 5)][pmod(v7[lane], 11)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      } else {
+        for (v6 = 0; v6 < 4; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = (v7[lane] < 60);
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = s_A[0][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][(pmod(v7[lane], 3) + 8)];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][pmod(v7[lane], 3)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 4; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = (v7[lane] < 60);
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = s_A[1][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][(pmod(v7[lane], 3) + 8)];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][pmod(v7[lane], 3)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (v6 = 0; v6 < 10; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 160 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) * stride1 + (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 40), 4)][pmod(floord(v7[lane], 8), 5)][(pmod(v7[lane], 8) + 3)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 10; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 160 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) * stride1 + (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 40), 4)][pmod(floord(v7[lane], 8), 5)][(pmod(v7[lane], 8) + 3)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod(v1, 2)][0][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 1), 2) * plane_stride + v2 * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod(v1, 2)][3][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod((v1 + 1), 2)][0][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 2), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod((v1 + 1), 2)][3][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 2), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      } else {
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + ((lane / 8) % 2)) && ((v3 * 2) + ((lane / 8) % 2)) <= 8)) && (1 <= ((v4 * 8) + (lane % 8)) && ((v4 * 8) + (lane % 8)) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod(v1, 2)][0][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 1), 2) * plane_stride + v2 * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + ((lane / 8) % 2)) && ((v3 * 2) + ((lane / 8) % 2)) <= 8)) && (1 <= ((v4 * 8) + (lane % 8)) && ((v4 * 8) + (lane % 8)) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod(v1, 2)][3][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + ((lane / 8) % 2)) + -1) && (((v3 * 2) + ((lane / 8) % 2)) + -1) <= 8)) && (1 <= (((v4 * 8) + (lane % 8)) + -1) && (((v4 * 8) + (lane % 8)) + -1) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod((v1 + 1), 2)][0][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 2), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + ((lane / 8) % 2)) + -1) && (((v3 * 2) + ((lane / 8) % 2)) + -1) <= 8)) && (1 <= (((v4 * 8) + (lane % 8)) + -1) && (((v4 * 8) + (lane % 8)) + -1) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod((v1 + 1), 2)][3][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 2), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      }
+    }
+  }
+}
+
+// block 8x2x1 = 16 lanes, 1760 bytes block-local
+static void hybrid_laplacian3d_phase1(float *g0, long plane_stride, long stride0, long stride1, int p0, int p1, int blockIdx) {
+  float s_A[2][4][5][11];
+  int v0 = 0;
+  int v1 = 0;
+  int v2 = 0;
+  int v3 = 0;
+  int v4 = 0;
+  int v5 = 0;
+  int v6 = 0;
+  int v7[16];
+  float r0[16];
+  float r1[16];
+  float r2[16];
+  float r3[16];
+  float r4[16];
+  float r5[16];
+  float r6[16];
+  float r7[16];
+  int m0[16];
+  v0 = (blockIdx + p1);
+  v1 = (p0 * 2);
+  v2 = (v0 * 4);
+  for (v3 = 0; v3 < 5; v3 += 1) {
+    for (v4 = 0; v4 < 2; v4 += 1) {
+      if (v4 == 0) {
+        for (v6 = 0; v6 < 14; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 220 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7[lane], 11)) && (((v4 * 8) + -2) + pmod(v7[lane], 11)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) * stride1 + (((v4 * 8) + -2) + pmod(v7[lane], 11))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 55), 4)][pmod(floord(v7[lane], 11), 5)][pmod(v7[lane], 11)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 14; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 220 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7[lane], 11)) && (((v4 * 8) + -2) + pmod(v7[lane], 11)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 55), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 11), 5)) * stride1 + (((v4 * 8) + -2) + pmod(v7[lane], 11))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 55), 4)][pmod(floord(v7[lane], 11), 5)][pmod(v7[lane], 11)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      } else {
+        for (v6 = 0; v6 < 4; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = (v7[lane] < 60);
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = s_A[0][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][(pmod(v7[lane], 3) + 8)];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][pmod(v7[lane], 3)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 4; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = (v7[lane] < 60);
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = s_A[1][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][(pmod(v7[lane], 3) + 8)];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 15), 4)][pmod(floord(v7[lane], 3), 5)][pmod(v7[lane], 3)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (v6 = 0; v6 < 10; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 160 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[0 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) * stride1 + (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[0][pmod(floord(v7[lane], 40), 4)][pmod(floord(v7[lane], 8), 5)][(pmod(v7[lane], 8) + 3)] = r0[lane];
+          }
+        }
+        for (v6 = 0; v6 < 10; v6 += 1) {
+          for (int lane = 0; lane < 16; ++lane) {
+            v7[lane] = ((v6 * 16) + ((lane % 8) + (((lane / 8) % 2) * 8)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            m0[lane] = ((((v7[lane] < 160 && (0 <= ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) && ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3)) <= 11)));
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            r0[lane] = g0[1 * plane_stride + ((v2 + -1) + pmod(floord(v7[lane], 40), 4)) * stride0 + (((v3 * 2) + -2) + pmod(floord(v7[lane], 8), 5)) * stride1 + (((v4 * 8) + -2) + (pmod(v7[lane], 8) + 3))];
+          }
+          for (int lane = 0; lane < 16; ++lane) {
+            if (!m0[lane]) continue;
+            s_A[1][pmod(floord(v7[lane], 40), 4)][pmod(floord(v7[lane], 8), 5)][(pmod(v7[lane], 8) + 3)] = r0[lane];
+          }
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod(v1, 2)][0][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 1), 2) * plane_stride + v2 * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod(v1, 2)][3][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod((v1 + 1), 2)][0][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 2), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r1[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r2[lane] = s_A[pmod((v1 + 1), 2)][3][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r4[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r5[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r6[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r7[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          s_A[pmod((v1 + 2), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      } else {
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + ((lane / 8) % 2)) && ((v3 * 2) + ((lane / 8) % 2)) <= 8)) && (1 <= ((v4 * 8) + (lane % 8)) && ((v4 * 8) + (lane % 8)) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod(v1, 2)][0][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 1), 2) * plane_stride + v2 * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + ((lane / 8) % 2)) && ((v3 * 2) + ((lane / 8) % 2)) <= 8)) && (1 <= ((v4 * 8) + (lane % 8)) && ((v4 * 8) + (lane % 8)) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod(v1, 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod(v1, 2)][3][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 3)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 3)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod(v1, 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 2)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 1), 2) * plane_stride + (v2 + 1) * stride0 + ((v3 * 2) + ((lane / 8) % 2)) * stride1 + ((v4 * 8) + (lane % 8))] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + ((lane / 8) % 2)) + -1) && (((v3 * 2) + ((lane / 8) % 2)) + -1) <= 8)) && (1 <= (((v4 * 8) + (lane % 8)) + -1) && (((v4 * 8) + (lane % 8)) + -1) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod((v1 + 1), 2)][0][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod((v1 + 1), 2)][1][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 2), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 2), 2) * plane_stride + v2 * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          m0[lane] = (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + ((lane / 8) % 2)) + -1) && (((v3 * 2) + ((lane / 8) % 2)) + -1) <= 8)) && (1 <= (((v4 * 8) + (lane % 8)) + -1) && (((v4 * 8) + (lane % 8)) + -1) <= 10)));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r1[lane] = s_A[pmod((v1 + 1), 2)][1][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r2[lane] = s_A[pmod((v1 + 1), 2)][3][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r3[lane] = s_A[pmod((v1 + 1), 2)][2][((lane / 8) % 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r4[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 2)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r5[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][(lane % 8)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r6[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 2)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r7[lane] = s_A[pmod((v1 + 1), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          r0[lane] = (0.125f * ((((((r1[lane] + r2[lane]) + r3[lane]) + r4[lane]) + r5[lane]) + r6[lane]) + (-6.0f * r7[lane])));
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          s_A[pmod((v1 + 2), 2)][2][(((lane / 8) % 2) + 1)][((lane % 8) + 1)] = r0[lane];
+        }
+        for (int lane = 0; lane < 16; ++lane) {
+          if (!m0[lane]) continue;
+          g0[pmod((v1 + 2), 2) * plane_stride + (v2 + 1) * stride0 + (((v3 * 2) + ((lane / 8) % 2)) + -1) * stride1 + (((v4 * 8) + (lane % 8)) + -1)] = r0[lane];
+        }
+        /* __syncthreads(): lane loops run in statement lockstep */
+      }
+    }
+  }
+}
+

@@ -1,0 +1,314 @@
+#include <hip/hip_runtime.h>
+
+// block 8x2x1, 1760 bytes shared
+__global__ __launch_bounds__(16) void hybrid_laplacian3d_phase0(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_A[2][4][5][11];
+  float r0 /* .. r7 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = ((p0 * 2) + -1);
+  int v2 = ((v0 * 4) + -2);
+  for (int v3 = 0; v3 < 5; v3 += 1) {
+    for (int v4 = 0; v4 < 2; v4 += 1) {
+      if (v4 == 0) {
+        for (int v6 = 0; v6 < 14; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[0][((v2 + -1) + pmod(floord(v7, 55), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 11), 5))][(((v4 * 8) + -2) + pmod(v7, 11))];
+            s_A[0][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod(v7, 11)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 14; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[1][((v2 + -1) + pmod(floord(v7, 55), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 11), 5))][(((v4 * 8) + -2) + pmod(v7, 11))];
+            s_A[1][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod(v7, 11)] = r0;
+          }
+        }
+        __syncthreads();
+      } else {
+        for (int v6 = 0; v6 < 4; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if (v7 < 60) {
+            r0 = s_A[0][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][(pmod(v7, 3) + 8)];
+            s_A[0][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][pmod(v7, 3)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 4; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if (v7 < 60) {
+            r0 = s_A[1][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][(pmod(v7, 3) + 8)];
+            s_A[1][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][pmod(v7, 3)] = r0;
+          }
+        }
+        __syncthreads();
+        for (int v6 = 0; v6 < 10; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[0][((v2 + -1) + pmod(floord(v7, 40), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 8), 5))][(((v4 * 8) + -2) + (pmod(v7, 8) + 3))];
+            s_A[0][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][(pmod(v7, 8) + 3)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 10; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[1][((v2 + -1) + pmod(floord(v7, 40), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 8), 5))][(((v4 * 8) + -2) + (pmod(v7, 8) + 3))];
+            s_A[1][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][(pmod(v7, 8) + 3)] = r0;
+          }
+        }
+        __syncthreads();
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        r1 = s_A[pmod(v1, 2)][0][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r2 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r3 = s_A[pmod(v1, 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r4 = s_A[pmod(v1, 2)][1][(threadIdx.y + 3)][(threadIdx.x + 2)];
+        r5 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r6 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 3)];
+        r7 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 1), 2)][v2][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        r1 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r2 = s_A[pmod(v1, 2)][3][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r3 = s_A[pmod(v1, 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r4 = s_A[pmod(v1, 2)][2][(threadIdx.y + 3)][(threadIdx.x + 2)];
+        r5 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r6 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 3)];
+        r7 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        __syncthreads();
+        r1 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][threadIdx.y][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][threadIdx.x];
+        r6 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r7 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 2), 2)][v2][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][threadIdx.y][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][threadIdx.x];
+        r6 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r7 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        __syncthreads();
+      } else {
+        if (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + threadIdx.y) && ((v3 * 2) + threadIdx.y) <= 8)) && (1 <= ((v4 * 8) + threadIdx.x) && ((v4 * 8) + threadIdx.x) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][0][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r2 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r3 = s_A[pmod(v1, 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r4 = s_A[pmod(v1, 2)][1][(threadIdx.y + 3)][(threadIdx.x + 2)];
+          r5 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r6 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 3)];
+          r7 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+          g0[pmod((v1 + 1), 2)][v2][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        }
+        if (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + threadIdx.y) && ((v3 * 2) + threadIdx.y) <= 8)) && (1 <= ((v4 * 8) + threadIdx.x) && ((v4 * 8) + threadIdx.x) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r2 = s_A[pmod(v1, 2)][3][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r3 = s_A[pmod(v1, 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r4 = s_A[pmod(v1, 2)][2][(threadIdx.y + 3)][(threadIdx.x + 2)];
+          r5 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r6 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 3)];
+          r7 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+          g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        }
+        __syncthreads();
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + threadIdx.y) + -1) && (((v3 * 2) + threadIdx.y) + -1) <= 8)) && (1 <= (((v4 * 8) + threadIdx.x) + -1) && (((v4 * 8) + threadIdx.x) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r3 = s_A[pmod((v1 + 1), 2)][1][threadIdx.y][(threadIdx.x + 1)];
+          r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][threadIdx.x];
+          r6 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r7 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+          g0[pmod((v1 + 2), 2)][v2][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        }
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + threadIdx.y) + -1) && (((v3 * 2) + threadIdx.y) + -1) <= 8)) && (1 <= (((v4 * 8) + threadIdx.x) + -1) && (((v4 * 8) + threadIdx.x) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r3 = s_A[pmod((v1 + 1), 2)][2][threadIdx.y][(threadIdx.x + 1)];
+          r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][threadIdx.x];
+          r6 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r7 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+          g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        }
+        __syncthreads();
+      }
+    }
+  }
+}
+
+// block 8x2x1, 1760 bytes shared
+__global__ __launch_bounds__(16) void hybrid_laplacian3d_phase1(float *g0 /* .. per field */, int p0, int p1) {
+  __shared__ float s_A[2][4][5][11];
+  float r0 /* .. r7 */;
+  int v0 = (blockIdx.x + p1);
+  int v1 = (p0 * 2);
+  int v2 = (v0 * 4);
+  for (int v3 = 0; v3 < 5; v3 += 1) {
+    for (int v4 = 0; v4 < 2; v4 += 1) {
+      if (v4 == 0) {
+        for (int v6 = 0; v6 < 14; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[0][((v2 + -1) + pmod(floord(v7, 55), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 11), 5))][(((v4 * 8) + -2) + pmod(v7, 11))];
+            s_A[0][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod(v7, 11)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 14; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[1][((v2 + -1) + pmod(floord(v7, 55), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 11), 5))][(((v4 * 8) + -2) + pmod(v7, 11))];
+            s_A[1][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod(v7, 11)] = r0;
+          }
+        }
+        __syncthreads();
+      } else {
+        for (int v6 = 0; v6 < 4; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if (v7 < 60) {
+            r0 = s_A[0][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][(pmod(v7, 3) + 8)];
+            s_A[0][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][pmod(v7, 3)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 4; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if (v7 < 60) {
+            r0 = s_A[1][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][(pmod(v7, 3) + 8)];
+            s_A[1][pmod(floord(v7, 15), 4)][pmod(floord(v7, 3), 5)][pmod(v7, 3)] = r0;
+          }
+        }
+        __syncthreads();
+        for (int v6 = 0; v6 < 10; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[0][((v2 + -1) + pmod(floord(v7, 40), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 8), 5))][(((v4 * 8) + -2) + (pmod(v7, 8) + 3))];
+            s_A[0][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][(pmod(v7, 8) + 3)] = r0;
+          }
+        }
+        for (int v6 = 0; v6 < 10; v6 += 1) {
+          int v7 = ((v6 * 16) + (threadIdx.x + (threadIdx.y * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[1][((v2 + -1) + pmod(floord(v7, 40), 4))][(((v3 * 2) + -2) + pmod(floord(v7, 8), 5))][(((v4 * 8) + -2) + (pmod(v7, 8) + 3))];
+            s_A[1][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][(pmod(v7, 8) + 3)] = r0;
+          }
+        }
+        __syncthreads();
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        r1 = s_A[pmod(v1, 2)][0][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r2 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r3 = s_A[pmod(v1, 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r4 = s_A[pmod(v1, 2)][1][(threadIdx.y + 3)][(threadIdx.x + 2)];
+        r5 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r6 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 3)];
+        r7 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 1), 2)][v2][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        r1 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r2 = s_A[pmod(v1, 2)][3][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r3 = s_A[pmod(v1, 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r4 = s_A[pmod(v1, 2)][2][(threadIdx.y + 3)][(threadIdx.x + 2)];
+        r5 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r6 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 3)];
+        r7 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+        g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        __syncthreads();
+        r1 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][threadIdx.y][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][threadIdx.x];
+        r6 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r7 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 2), 2)][v2][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][threadIdx.y][(threadIdx.x + 1)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][threadIdx.x];
+        r6 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+        r7 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+        g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        __syncthreads();
+      } else {
+        if (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + threadIdx.y) && ((v3 * 2) + threadIdx.y) <= 8)) && (1 <= ((v4 * 8) + threadIdx.x) && ((v4 * 8) + threadIdx.x) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][0][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r2 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r3 = s_A[pmod(v1, 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r4 = s_A[pmod(v1, 2)][1][(threadIdx.y + 3)][(threadIdx.x + 2)];
+          r5 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r6 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 3)];
+          r7 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+          g0[pmod((v1 + 1), 2)][v2][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        }
+        if (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + threadIdx.y) && ((v3 * 2) + threadIdx.y) <= 8)) && (1 <= ((v4 * 8) + threadIdx.x) && ((v4 * 8) + threadIdx.x) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][1][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r2 = s_A[pmod(v1, 2)][3][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r3 = s_A[pmod(v1, 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r4 = s_A[pmod(v1, 2)][2][(threadIdx.y + 3)][(threadIdx.x + 2)];
+          r5 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r6 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 3)];
+          r7 = s_A[pmod(v1, 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 2)] = r0;
+          g0[pmod((v1 + 1), 2)][(v2 + 1)][((v3 * 2) + threadIdx.y)][((v4 * 8) + threadIdx.x)] = r0;
+        }
+        __syncthreads();
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + threadIdx.y) + -1) && (((v3 * 2) + threadIdx.y) + -1) <= 8)) && (1 <= (((v4 * 8) + threadIdx.x) + -1) && (((v4 * 8) + threadIdx.x) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][0][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r2 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r3 = s_A[pmod((v1 + 1), 2)][1][threadIdx.y][(threadIdx.x + 1)];
+          r4 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r5 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][threadIdx.x];
+          r6 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r7 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+          g0[pmod((v1 + 2), 2)][v2][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        }
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + threadIdx.y) + -1) && (((v3 * 2) + threadIdx.y) + -1) <= 8)) && (1 <= (((v4 * 8) + threadIdx.x) + -1) && (((v4 * 8) + threadIdx.x) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][1][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r2 = s_A[pmod((v1 + 1), 2)][3][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r3 = s_A[pmod((v1 + 1), 2)][2][threadIdx.y][(threadIdx.x + 1)];
+          r4 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 2)][(threadIdx.x + 1)];
+          r5 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][threadIdx.x];
+          r6 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 2)];
+          r7 = s_A[pmod((v1 + 1), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][2][(threadIdx.y + 1)][(threadIdx.x + 1)] = r0;
+          g0[pmod((v1 + 2), 2)][(v2 + 1)][(((v3 * 2) + threadIdx.y) + -1)][(((v4 * 8) + threadIdx.x) + -1)] = r0;
+        }
+        __syncthreads();
+      }
+    }
+  }
+}
+

@@ -1,0 +1,332 @@
+// block 8x2x1, 1760 bytes workgroup memory
+@group(0) @binding(0) var<storage, read_write> g0: array<f32>;
+struct Params { p0: i32, p1: i32 }
+@group(1) @binding(0) var<uniform> P: Params;
+var<workgroup> s_A: array<array<array<array<f32, 11>, 5>, 4>, 2>;
+override plane_stride: i32 = 1;
+override stride0: i32 = 1;
+override stride1: i32 = 1;
+fn gidx(plane: i32, i0: i32, i1: i32, i2: i32) -> u32 { return u32(plane * plane_stride + i0 * stride0 + i1 * stride1 + i2); }
+fn floord(a: i32, b: i32) -> i32 { var q = a / b; if ((a % b != 0) && ((a < 0) != (b < 0))) { q = q - 1; } return q; }
+fn pmod(a: i32, b: i32) -> i32 { let r = a % b; if (r < 0) { return r + b; } return r; }
+@compute @workgroup_size(8, 2, 1)
+fn hybrid_laplacian3d_phase0(@builtin(local_invocation_id) lid: vec3<u32>, @builtin(workgroup_id) wid: vec3<u32>) {
+  var v0: i32 = 0;
+  var v1: i32 = 0;
+  var v2: i32 = 0;
+  var v3: i32 = 0;
+  var v4: i32 = 0;
+  var v5: i32 = 0;
+  var v6: i32 = 0;
+  var v7: i32 = 0;
+  var r0: f32 = 0.0;
+  var r1: f32 = 0.0;
+  var r2: f32 = 0.0;
+  var r3: f32 = 0.0;
+  var r4: f32 = 0.0;
+  var r5: f32 = 0.0;
+  var r6: f32 = 0.0;
+  var r7: f32 = 0.0;
+  v0 = (i32(wid.x) + P.p1);
+  v1 = ((P.p0 * 2) + -1);
+  v2 = ((v0 * 4) + -2);
+  for (v3 = 0; v3 < 5; v3 = v3 + 1) {
+    for (v4 = 0; v4 < 2; v4 = v4 + 1) {
+      if (v4 == 0) {
+        for (v6 = 0; v6 < 14; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v7, 55), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)), (((v4 * 8) + -2) + pmod(v7, 11)))];
+            s_A[0][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod((((v4 * 8) + -2) + pmod(v7, 11)), 11)] = r0;
+          }
+        }
+        for (v6 = 0; v6 < 14; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v7, 55), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)), (((v4 * 8) + -2) + pmod(v7, 11)))];
+            s_A[1][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod((((v4 * 8) + -2) + pmod(v7, 11)), 11)] = r0;
+          }
+        }
+        workgroupBarrier();
+      } else {
+        for (v6 = 0; v6 < 10; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v7, 40), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)), (((v4 * 8) + -2) + (pmod(v7, 8) + 3)))];
+            s_A[0][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][pmod((((v4 * 8) + -2) + (pmod(v7, 8) + 3)), 11)] = r0;
+          }
+        }
+        for (v6 = 0; v6 < 10; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v7, 40), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)), (((v4 * 8) + -2) + (pmod(v7, 8) + 3)))];
+            s_A[1][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][pmod((((v4 * 8) + -2) + (pmod(v7, 8) + 3)), 11)] = r0;
+          }
+        }
+        workgroupBarrier();
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        r1 = s_A[pmod(v1, 2)][0][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r2 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r3 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r4 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r5 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r6 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+        r7 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+        g0[gidx(pmod((v1 + 1), 2), v2, ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        r1 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r2 = s_A[pmod(v1, 2)][3][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r3 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r4 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r5 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r6 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+        r7 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+        g0[gidx(pmod((v1 + 1), 2), (v2 + 1), ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        workgroupBarrier();
+        r1 = s_A[pmod((v1 + 1), 2)][0][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+        r6 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r7 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+        g0[gidx(pmod((v1 + 2), 2), v2, (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        r1 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+        r6 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r7 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+        g0[gidx(pmod((v1 + 2), 2), (v2 + 1), (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        workgroupBarrier();
+      } else {
+        if (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + i32(lid.y)) && ((v3 * 2) + i32(lid.y)) <= 8)) && (1 <= ((v4 * 8) + i32(lid.x)) && ((v4 * 8) + i32(lid.x)) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][0][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r2 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r3 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r4 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r5 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r6 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+          r7 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+          g0[gidx(pmod((v1 + 1), 2), v2, ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        }
+        if (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + i32(lid.y)) && ((v3 * 2) + i32(lid.y)) <= 8)) && (1 <= ((v4 * 8) + i32(lid.x)) && ((v4 * 8) + i32(lid.x)) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r2 = s_A[pmod(v1, 2)][3][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r3 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r4 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r5 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r6 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+          r7 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+          g0[gidx(pmod((v1 + 1), 2), (v2 + 1), ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        }
+        workgroupBarrier();
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + i32(lid.y)) + -1) && (((v3 * 2) + i32(lid.y)) + -1) <= 8)) && (1 <= (((v4 * 8) + i32(lid.x)) + -1) && (((v4 * 8) + i32(lid.x)) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][0][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r2 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r3 = s_A[pmod((v1 + 1), 2)][1][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r4 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r5 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+          r6 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r7 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+          g0[gidx(pmod((v1 + 2), 2), v2, (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        }
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + i32(lid.y)) + -1) && (((v3 * 2) + i32(lid.y)) + -1) <= 8)) && (1 <= (((v4 * 8) + i32(lid.x)) + -1) && (((v4 * 8) + i32(lid.x)) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r2 = s_A[pmod((v1 + 1), 2)][3][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r3 = s_A[pmod((v1 + 1), 2)][2][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r4 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r5 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+          r6 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r7 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+          g0[gidx(pmod((v1 + 2), 2), (v2 + 1), (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        }
+        workgroupBarrier();
+      }
+    }
+  }
+}
+
+// block 8x2x1, 1760 bytes workgroup memory
+@group(0) @binding(0) var<storage, read_write> g0: array<f32>;
+struct Params { p0: i32, p1: i32 }
+@group(1) @binding(0) var<uniform> P: Params;
+var<workgroup> s_A: array<array<array<array<f32, 11>, 5>, 4>, 2>;
+override plane_stride: i32 = 1;
+override stride0: i32 = 1;
+override stride1: i32 = 1;
+fn gidx(plane: i32, i0: i32, i1: i32, i2: i32) -> u32 { return u32(plane * plane_stride + i0 * stride0 + i1 * stride1 + i2); }
+fn floord(a: i32, b: i32) -> i32 { var q = a / b; if ((a % b != 0) && ((a < 0) != (b < 0))) { q = q - 1; } return q; }
+fn pmod(a: i32, b: i32) -> i32 { let r = a % b; if (r < 0) { return r + b; } return r; }
+@compute @workgroup_size(8, 2, 1)
+fn hybrid_laplacian3d_phase1(@builtin(local_invocation_id) lid: vec3<u32>, @builtin(workgroup_id) wid: vec3<u32>) {
+  var v0: i32 = 0;
+  var v1: i32 = 0;
+  var v2: i32 = 0;
+  var v3: i32 = 0;
+  var v4: i32 = 0;
+  var v5: i32 = 0;
+  var v6: i32 = 0;
+  var v7: i32 = 0;
+  var r0: f32 = 0.0;
+  var r1: f32 = 0.0;
+  var r2: f32 = 0.0;
+  var r3: f32 = 0.0;
+  var r4: f32 = 0.0;
+  var r5: f32 = 0.0;
+  var r6: f32 = 0.0;
+  var r7: f32 = 0.0;
+  v0 = (i32(wid.x) + P.p1);
+  v1 = (P.p0 * 2);
+  v2 = (v0 * 4);
+  for (v3 = 0; v3 < 5; v3 = v3 + 1) {
+    for (v4 = 0; v4 < 2; v4 = v4 + 1) {
+      if (v4 == 0) {
+        for (v6 = 0; v6 < 14; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v7, 55), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)), (((v4 * 8) + -2) + pmod(v7, 11)))];
+            s_A[0][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod((((v4 * 8) + -2) + pmod(v7, 11)), 11)] = r0;
+          }
+        }
+        for (v6 = 0; v6 < 14; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 220 && (0 <= ((v2 + -1) + pmod(floord(v7, 55), 4)) && ((v2 + -1) + pmod(floord(v7, 55), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + pmod(v7, 11)) && (((v4 * 8) + -2) + pmod(v7, 11)) <= 11))) {
+            r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v7, 55), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 11), 5)), (((v4 * 8) + -2) + pmod(v7, 11)))];
+            s_A[1][pmod(floord(v7, 55), 4)][pmod(floord(v7, 11), 5)][pmod((((v4 * 8) + -2) + pmod(v7, 11)), 11)] = r0;
+          }
+        }
+        workgroupBarrier();
+      } else {
+        for (v6 = 0; v6 < 10; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[gidx(0, ((v2 + -1) + pmod(floord(v7, 40), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)), (((v4 * 8) + -2) + (pmod(v7, 8) + 3)))];
+            s_A[0][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][pmod((((v4 * 8) + -2) + (pmod(v7, 8) + 3)), 11)] = r0;
+          }
+        }
+        for (v6 = 0; v6 < 10; v6 = v6 + 1) {
+          v7 = ((v6 * 16) + (i32(lid.x) + (i32(lid.y) * 8)));
+          if ((((v7 < 160 && (0 <= ((v2 + -1) + pmod(floord(v7, 40), 4)) && ((v2 + -1) + pmod(floord(v7, 40), 4)) <= 9)) && (0 <= (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) && (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)) <= 9)) && (0 <= (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) && (((v4 * 8) + -2) + (pmod(v7, 8) + 3)) <= 11))) {
+            r0 = g0[gidx(1, ((v2 + -1) + pmod(floord(v7, 40), 4)), (((v3 * 2) + -2) + pmod(floord(v7, 8), 5)), (((v4 * 8) + -2) + (pmod(v7, 8) + 3)))];
+            s_A[1][pmod(floord(v7, 40), 4)][pmod(floord(v7, 8), 5)][pmod((((v4 * 8) + -2) + (pmod(v7, 8) + 3)), 11)] = r0;
+          }
+        }
+        workgroupBarrier();
+      }
+      if ((((((((0 <= v1 && (v1 + 1) <= 3) && 1 <= v2) && (v2 + 1) <= 8) && 2 <= (v3 * 2)) && ((v3 * 2) + 1) <= 8) && 2 <= (v4 * 8)) && ((v4 * 8) + 7) <= 10)) {
+        r1 = s_A[pmod(v1, 2)][0][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r2 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r3 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r4 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r5 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r6 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+        r7 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+        g0[gidx(pmod((v1 + 1), 2), v2, ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        r1 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r2 = s_A[pmod(v1, 2)][3][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r3 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r4 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r5 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r6 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+        r7 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+        g0[gidx(pmod((v1 + 1), 2), (v2 + 1), ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        workgroupBarrier();
+        r1 = s_A[pmod((v1 + 1), 2)][0][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r2 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r3 = s_A[pmod((v1 + 1), 2)][1][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r4 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r5 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+        r6 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r7 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+        g0[gidx(pmod((v1 + 2), 2), v2, (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        r1 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r2 = s_A[pmod((v1 + 1), 2)][3][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r3 = s_A[pmod((v1 + 1), 2)][2][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r4 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r5 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+        r6 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+        r7 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+        r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+        s_A[pmod((v1 + 2), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+        g0[gidx(pmod((v1 + 2), 2), (v2 + 1), (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        workgroupBarrier();
+      } else {
+        if (((((0 <= v1 && v1 <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= ((v3 * 2) + i32(lid.y)) && ((v3 * 2) + i32(lid.y)) <= 8)) && (1 <= ((v4 * 8) + i32(lid.x)) && ((v4 * 8) + i32(lid.x)) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][0][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r2 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r3 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r4 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r5 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r6 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+          r7 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+          g0[gidx(pmod((v1 + 1), 2), v2, ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        }
+        if (((((0 <= v1 && v1 <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= ((v3 * 2) + i32(lid.y)) && ((v3 * 2) + i32(lid.y)) <= 8)) && (1 <= ((v4 * 8) + i32(lid.x)) && ((v4 * 8) + i32(lid.x)) <= 10))) {
+          r1 = s_A[pmod(v1, 2)][1][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r2 = s_A[pmod(v1, 2)][3][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r3 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r4 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 3)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r5 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r6 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + 1), 11)];
+          r7 = s_A[pmod(v1, 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod(((v4 * 8) + i32(lid.x)), 11)] = r0;
+          g0[gidx(pmod((v1 + 1), 2), (v2 + 1), ((v3 * 2) + i32(lid.y)), ((v4 * 8) + i32(lid.x)))] = r0;
+        }
+        workgroupBarrier();
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= v2 && v2 <= 8)) && (1 <= (((v3 * 2) + i32(lid.y)) + -1) && (((v3 * 2) + i32(lid.y)) + -1) <= 8)) && (1 <= (((v4 * 8) + i32(lid.x)) + -1) && (((v4 * 8) + i32(lid.x)) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][0][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r2 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r3 = s_A[pmod((v1 + 1), 2)][1][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r4 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r5 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+          r6 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r7 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+          g0[gidx(pmod((v1 + 2), 2), v2, (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        }
+        if (((((0 <= (v1 + 1) && (v1 + 1) <= 3) && (1 <= (v2 + 1) && (v2 + 1) <= 8)) && (1 <= (((v3 * 2) + i32(lid.y)) + -1) && (((v3 * 2) + i32(lid.y)) + -1) <= 8)) && (1 <= (((v4 * 8) + i32(lid.x)) + -1) && (((v4 * 8) + i32(lid.x)) + -1) <= 10))) {
+          r1 = s_A[pmod((v1 + 1), 2)][1][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r2 = s_A[pmod((v1 + 1), 2)][3][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r3 = s_A[pmod((v1 + 1), 2)][2][i32(lid.y)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r4 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 2)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r5 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -2), 11)];
+          r6 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod(((v4 * 8) + i32(lid.x)), 11)];
+          r7 = s_A[pmod((v1 + 1), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)];
+          r0 = (0.125f * ((((((r1 + r2) + r3) + r4) + r5) + r6) + (-6.0f * r7)));
+          s_A[pmod((v1 + 2), 2)][2][(i32(lid.y) + 1)][pmod((((v4 * 8) + i32(lid.x)) + -1), 11)] = r0;
+          g0[gidx(pmod((v1 + 2), 2), (v2 + 1), (((v3 * 2) + i32(lid.y)) + -1), (((v4 * 8) + i32(lid.x)) + -1))] = r0;
+        }
+        workgroupBarrier();
+      }
+    }
+  }
+}
+

@@ -1,4 +1,4 @@
-//! Golden-file snapshots of the CUDA and pseudo-PTX emitters.
+//! Golden-file snapshots of the CUDA, pseudo-PTX, WGSL and HIP emitters.
 //!
 //! Emitter refactors must not silently change generated kernels: for a
 //! fixed (stencil, tile size, workload, options) tuple the rendered text
@@ -15,6 +15,7 @@
 //!
 //! then review the diff like any other code change.
 
+use gpu_codegen::backend::{Backend, BackendKind};
 use gpu_codegen::cuda_emit::kernel_to_cuda;
 use gpu_codegen::ptx_emit::core_tile_ptx;
 use gpu_codegen::{generate_hybrid, CodegenOptions, LaunchPlan};
@@ -57,14 +58,18 @@ fn snapshots() -> Vec<Snapshot> {
 }
 
 fn plan_for(s: &Snapshot) -> LaunchPlan {
-    generate_hybrid(
-        &s.program,
-        &s.params,
-        &s.dims,
-        s.steps,
-        CodegenOptions::best(),
-    )
-    .expect("snapshot configuration is schedulable")
+    plan_for_opts(s, CodegenOptions::best())
+}
+
+fn plan_for_opts(s: &Snapshot, opts: CodegenOptions) -> LaunchPlan {
+    generate_hybrid(&s.program, &s.params, &s.dims, s.steps, opts)
+        .expect("snapshot configuration is schedulable")
+}
+
+/// The plan a given backend would emit for a snapshot: its own default
+/// options (WGSL clamps ladder step (f) to (e); the rest use best()).
+fn plan_for_backend(s: &Snapshot, backend: &dyn Backend) -> LaunchPlan {
+    plan_for_opts(s, backend.default_options())
 }
 
 fn render_cuda(plan: &LaunchPlan) -> String {
@@ -166,6 +171,68 @@ fn ptx_emission_matches_golden_files() {
     for s in snapshots() {
         let plan = plan_for(&s);
         check_golden(&format!("{}.ptx", s.tag), &render_ptx(&plan));
+    }
+}
+
+#[test]
+fn wgsl_emission_matches_golden_files() {
+    let backend = BackendKind::Wgsl.backend();
+    for s in snapshots() {
+        let plan = plan_for_backend(&s, backend);
+        check_golden(&format!("{}.wgsl", s.tag), &backend.emit_plan(&plan));
+    }
+}
+
+#[test]
+fn hip_emission_matches_golden_files() {
+    let backend = BackendKind::Hip.backend();
+    for s in snapshots() {
+        let plan = plan_for_backend(&s, backend);
+        check_golden(&format!("{}.hip.cpp", s.tag), &backend.emit_plan(&plan));
+    }
+}
+
+#[test]
+fn cpu_emission_matches_golden_files() {
+    let backend = BackendKind::Cpu.backend();
+    for s in snapshots() {
+        let plan = plan_for_backend(&s, backend);
+        check_golden(&format!("{}.cpu.c", s.tag), &backend.emit_plan(&plan));
+    }
+}
+
+/// The CUDA backend behind the trait is the same emitter as the direct
+/// `kernel_to_cuda` path — byte-for-byte, per kernel and per plan.
+#[test]
+fn cuda_backend_trait_is_byte_identical_to_direct_emission() {
+    let backend = BackendKind::Cuda.backend();
+    for s in snapshots() {
+        let plan = plan_for(&s);
+        assert_eq!(backend.emit_plan(&plan), render_cuda(&plan), "{}", s.tag);
+        for kernel in &plan.kernels {
+            assert_eq!(backend.emit_kernel(kernel), kernel_to_cuda(kernel));
+        }
+    }
+}
+
+/// Emission is a pure function of (program, tile, workload, options,
+/// backend): generating and rendering the same configuration twice
+/// yields byte-identical source for every backend.
+#[test]
+fn emission_is_deterministic_for_every_backend() {
+    for kind in BackendKind::ALL {
+        let backend = kind.backend();
+        for s in snapshots() {
+            let a = backend.emit_plan(&plan_for_backend(&s, backend));
+            let b = backend.emit_plan(&plan_for_backend(&s, backend));
+            assert_eq!(a, b, "{kind} emission not deterministic for {}", s.tag);
+            assert_eq!(
+                backend.emit_aux(&plan_for_backend(&s, backend)),
+                backend.emit_aux(&plan_for_backend(&s, backend)),
+                "{kind} aux emission not deterministic for {}",
+                s.tag
+            );
+        }
     }
 }
 

@@ -8,6 +8,11 @@
 pub struct DeviceConfig {
     /// Marketing name.
     pub name: String,
+    /// Hardware vendor (`"nvidia"`, `"amd"`, `"cpu"`, ...). Routing and
+    /// autotuning-plan transfer treat a vendor mismatch as a different
+    /// architecture family: cross-vendor devices never share warm-start
+    /// plans even when their numeric parameters happen to be close.
+    pub vendor: String,
     /// Streaming multiprocessors.
     pub sms: u32,
     /// CUDA cores per SM.
@@ -32,6 +37,7 @@ impl DeviceConfig {
     pub fn gtx470() -> DeviceConfig {
         DeviceConfig {
             name: "GTX 470".into(),
+            vendor: "nvidia".into(),
             sms: 14,
             cores_per_sm: 32,
             clock_ghz: 1.215,
@@ -48,6 +54,7 @@ impl DeviceConfig {
     pub fn nvs5200m() -> DeviceConfig {
         DeviceConfig {
             name: "NVS 5200M".into(),
+            vendor: "nvidia".into(),
             sms: 2,
             cores_per_sm: 48,
             clock_ghz: 1.344,
