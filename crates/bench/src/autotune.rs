@@ -13,10 +13,15 @@ use std::time::Instant;
 use gpu_codegen::hybrid_gen::alignment_offset_words;
 use gpu_codegen::{generate_hybrid, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
-use hybrid_tiling::tilesize::autotune::{autotune, AutotuneConfig, AutotuneReport};
+use hybrid_tiling::cancel::CancelToken;
+use hybrid_tiling::tilesize::autotune::{
+    autotune, autotune_parallel_cancellable, split_thread_budget, AutotuneConfig, AutotuneReport,
+    Fidelity,
+};
 use hybrid_tiling::{SearchSpace, TileParams};
 use stencil::{Grid, StencilProgram};
 
+use crate::driver::PROXY_KEEP_FRAC;
 use crate::{hybrid_params, point_updates};
 
 /// Small workload used to score autotune candidates: large enough that
@@ -28,6 +33,24 @@ pub fn autotune_workload(program: &StencilProgram) -> (Vec<usize>, usize) {
         3 => (vec![20, 20, 36], 6),
         _ => (vec![256], 12),
     }
+}
+
+/// The reduced workload of the fidelity ladder's proxy round: every
+/// dimension and the step count scaled by `frac`, floored so the grid
+/// never shrinks below the stencil halo's needs (16 points per dimension,
+/// 2 steps) and never grows past the full workload. `frac >= 1.0` returns
+/// the workload unchanged (ladder disabled).
+pub fn proxy_workload(dims: &[usize], steps: usize, frac: f64) -> (Vec<usize>, usize) {
+    if !(frac > 0.0 && frac < 1.0) {
+        return (dims.to_vec(), steps);
+    }
+    let scaled = |x: usize, floor: usize| -> usize {
+        (((x as f64) * frac).ceil() as usize).clamp(floor.min(x), x)
+    };
+    (
+        dims.iter().map(|&d| scaled(d, 16)).collect(),
+        scaled(steps, 2),
+    )
 }
 
 /// The §6 sweep space for `n` spatial dimensions. `smoke` shrinks it for
@@ -204,6 +227,130 @@ pub fn model_gate_sample(
         shortlist_simulations: shortlist.simulated,
         exhaustive_best: exhaustive.ranked.first().map_or(0.0, |e| e.score),
         shortlist_best: shortlist.ranked.first().map_or(0.0, |e| e.score),
+    }
+}
+
+/// Sequential-vs-racing sweep comparison for one stencil: the same full
+/// (non-smoke) space and scorer, swept once candidate-by-candidate at
+/// full fidelity (the pre-PR baseline) and once through the parallel
+/// worker pool with the successive-halving fidelity ladder. The evidence
+/// behind the `--race-gate` CI gate.
+#[derive(Clone, Debug)]
+pub struct RaceGateSample {
+    /// Stencil name.
+    pub stencil: String,
+    /// Candidate workers the racing sweep used.
+    pub workers: usize,
+    /// Fidelity scale of the proxy round.
+    pub proxy_frac: f64,
+    /// Sequential sweep wall-clock in milliseconds.
+    pub seq_wall_ms: f64,
+    /// Racing (parallel + ladder) sweep wall-clock in milliseconds.
+    pub ladder_wall_ms: f64,
+    /// Full-fidelity simulations the sequential sweep paid.
+    pub seq_full_simulations: usize,
+    /// Full-fidelity simulations the ladder paid (survivors only).
+    pub ladder_full_simulations: usize,
+    /// Proxy-fidelity simulations the ladder paid.
+    pub ladder_proxy_simulations: usize,
+    /// Best GStencils/s found by the sequential sweep.
+    pub seq_best: f64,
+    /// Best GStencils/s found by the racing sweep.
+    pub ladder_best: f64,
+}
+
+impl RaceGateSample {
+    /// Sequential full-fidelity simulations per ladder full-fidelity
+    /// simulation (≥ 2 = the ladder halves the expensive work).
+    pub fn full_sim_reduction(&self) -> f64 {
+        if self.ladder_full_simulations == 0 {
+            return f64::INFINITY;
+        }
+        self.seq_full_simulations as f64 / self.ladder_full_simulations as f64
+    }
+
+    /// Racing winner's score as a fraction of the sequential winner's
+    /// (1.0 = the ladder retained the true best plan).
+    pub fn quality(&self) -> f64 {
+        if self.seq_best <= 0.0 {
+            return 1.0;
+        }
+        self.ladder_best / self.seq_best
+    }
+
+    /// Sequential wall-clock over racing wall-clock (> 1 = racing wins).
+    pub fn wall_speedup(&self) -> f64 {
+        if self.ladder_wall_ms <= 0.0 {
+            return 1.0;
+        }
+        self.seq_wall_ms / self.ladder_wall_ms
+    }
+}
+
+/// Runs one stencil's sweeps both ways over the full §6 space — the
+/// sequential full-fidelity oracle, then the racing sweep with `budget`
+/// host threads split between candidate workers and per-candidate
+/// simulator threads and a `proxy_frac = 0.5` fidelity ladder keeping
+/// [`PROXY_KEEP_FRAC`] of the proxy round — and returns the paired
+/// sample.
+pub fn race_gate_sample(
+    program: &StencilProgram,
+    device: &DeviceConfig,
+    budget: usize,
+) -> RaceGateSample {
+    let space = sweep_space(program.spatial_dims(), false);
+    let (dims, steps) = autotune_workload(program);
+    let base = AutotuneConfig {
+        smem_limit: device.shared_limit as u64,
+        max_candidates: usize::MAX,
+        ..AutotuneConfig::fermi()
+    };
+
+    // The pre-PR baseline: one candidate at a time, full fidelity only,
+    // single-threaded simulations.
+    let t0 = Instant::now();
+    let seq = autotune(program, &space, &base, |model| {
+        simulate_score(program, &model.params, device, &dims, steps, 1)
+    });
+    let seq_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let proxy_frac = 0.5;
+    let cfg = AutotuneConfig {
+        proxy_frac,
+        keep_frac: PROXY_KEEP_FRAC,
+        ..base
+    };
+    let (pdims, psteps) = proxy_workload(&dims, steps, proxy_frac);
+    let (workers, sim_threads) = split_thread_budget(budget, seq.simulated.max(1));
+    let t1 = Instant::now();
+    let ladder = autotune_parallel_cancellable(
+        program,
+        &space,
+        &cfg,
+        &CancelToken::never(),
+        workers,
+        |model: &hybrid_tiling::tilesize::TileSizeModel, fidelity: Fidelity| {
+            let (d, s) = match fidelity {
+                Fidelity::Proxy => (&pdims, psteps),
+                Fidelity::Full => (&dims, steps),
+            };
+            simulate_score(program, &model.params, device, d, s, sim_threads)
+        },
+    )
+    .expect("a never-token cannot cancel the sweep");
+    let ladder_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    RaceGateSample {
+        stencil: program.name().to_string(),
+        workers,
+        proxy_frac,
+        seq_wall_ms,
+        ladder_wall_ms,
+        seq_full_simulations: seq.full_simulated,
+        ladder_full_simulations: ladder.full_simulated,
+        ladder_proxy_simulations: ladder.proxy_simulated,
+        seq_best: seq.ranked.first().map_or(0.0, |e| e.score),
+        ladder_best: ladder.ranked.first().map_or(0.0, |e| e.score),
     }
 }
 

@@ -12,7 +12,7 @@
 //! ```text
 //! autotune [--smoke] [--threads N] [--device gtx470|nvs5200m]
 //!          [--min-speedup X] [--min-compiled-speedup X] [--model-gate]
-//!          [--out PATH]
+//!          [--race-gate] [--out PATH]
 //! ```
 //!
 //! * `--smoke` — tiny sweep and workloads (the CI `bench-smoke` mode);
@@ -32,6 +32,13 @@
 //!   at least 5x fewer simulator scorings than the exhaustive sweep over
 //!   the full 2-D space while every stencil's shortlist winner scores
 //!   within 10% of the exhaustive winner.
+//! * `--race-gate` — exit non-zero unless the parallel racing sweep with
+//!   the successive-halving fidelity ladder pays at least 2x fewer
+//!   full-fidelity simulations than the sequential full-fidelity sweep,
+//!   every stencil's top-1 plan scores within 10% of the sequential
+//!   winner's, and the racing wall clock is no slower than sequential.
+//!   The paired wall clocks land in the `race` block of the JSON as a
+//!   `tune_wall_ms` trend.
 //! * `--out PATH` — where to write the JSON (default `BENCH_autotune.json`).
 //! * `--baseline PATH` — compare this run's per-stencil
 //!   `points_per_sec_compiled` against a checked-in earlier run of the
@@ -44,7 +51,7 @@
 
 use gpusim::DeviceConfig;
 use hybrid_bench::autotune::{
-    autotune_program, measure_exec_throughput, measure_speedup, model_gate_sample,
+    autotune_program, measure_exec_throughput, measure_speedup, model_gate_sample, race_gate_sample,
 };
 use hybrid_bench::json::Json;
 use stencil::gallery;
@@ -56,6 +63,7 @@ struct Args {
     min_speedup: Option<f64>,
     min_compiled_speedup: Option<f64>,
     model_gate: bool,
+    race_gate: bool,
     out: String,
     baseline: Option<String>,
 }
@@ -68,6 +76,7 @@ fn parse_args() -> Args {
         min_speedup: None,
         min_compiled_speedup: None,
         model_gate: false,
+        race_gate: false,
         out: "BENCH_autotune.json".into(),
         baseline: None,
     };
@@ -100,6 +109,7 @@ fn parse_args() -> Args {
                     Some(v.parse().expect("--min-compiled-speedup takes a number"));
             }
             "--model-gate" => args.model_gate = true,
+            "--race-gate" => args.race_gate = true,
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--baseline" => args.baseline = Some(it.next().expect("--baseline needs a path")),
             other => panic!("unknown argument {other:?}"),
@@ -233,6 +243,50 @@ fn main() {
         "total", "", gate_exhaustive, gate_shortlist, gate_reduction
     );
 
+    // --- Race gate: sequential full-fidelity vs parallel ladder sweeps. ---
+    // Same full 2-D space as the model gate so the full-simulation
+    // counts are meaningful in smoke mode too.
+    let budget = gpusim::resolve_sim_threads(args.threads);
+    println!("\nracing ladder vs sequential full-fidelity sweep (budget {budget} threads):");
+    println!(
+        "{:<14} {:>7} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "stencil", "workers", "seq full", "lad full", "lad proxy", "reduction", "quality", "wall"
+    );
+    let mut race_samples = Vec::new();
+    for program in &gate_stencils {
+        let s = race_gate_sample(program, &args.device, budget);
+        println!(
+            "{:<14} {:>7} {:>10} {:>10} {:>10} {:>8.1}x {:>7.1}% {:>7.2}x",
+            s.stencil,
+            s.workers,
+            s.seq_full_simulations,
+            s.ladder_full_simulations,
+            s.ladder_proxy_simulations,
+            s.full_sim_reduction(),
+            s.quality() * 100.0,
+            s.wall_speedup(),
+        );
+        race_samples.push(s);
+    }
+    let race_seq_full: usize = race_samples.iter().map(|s| s.seq_full_simulations).sum();
+    let race_ladder_full: usize = race_samples.iter().map(|s| s.ladder_full_simulations).sum();
+    let race_reduction = if race_ladder_full > 0 {
+        race_seq_full as f64 / race_ladder_full as f64
+    } else {
+        f64::INFINITY
+    };
+    let race_seq_wall: f64 = race_samples.iter().map(|s| s.seq_wall_ms).sum();
+    let race_ladder_wall: f64 = race_samples.iter().map(|s| s.ladder_wall_ms).sum();
+    let race_wall_speedup = if race_ladder_wall > 0.0 {
+        race_seq_wall / race_ladder_wall
+    } else {
+        1.0
+    };
+    println!(
+        "{:<14} {:>7} {:>10} {:>10} {:>10} {:>8.1}x {:>8} {:>7.2}x",
+        "total", "", race_seq_full, race_ladder_full, "", race_reduction, "", race_wall_speedup
+    );
+
     // --- Speedup: sequential vs parallel executor on the Table-3 gallery. ---
     println!("\nparallel executor vs sequential (Table-3 gallery):");
     println!(
@@ -341,6 +395,67 @@ fn main() {
                                     ("exhaustive_best", Json::Num(s.exhaustive_best)),
                                     ("shortlist_best", Json::Num(s.shortlist_best)),
                                     ("sim_reduction", Json::Num(s.sim_reduction())),
+                                    ("quality", Json::Num(s.quality())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "race",
+            Json::obj(vec![
+                ("aggregate_full_sim_reduction", Json::Num(race_reduction)),
+                ("aggregate_wall_speedup", Json::Num(race_wall_speedup)),
+                ("seq_full_simulations", Json::UInt(race_seq_full as u64)),
+                (
+                    "ladder_full_simulations",
+                    Json::UInt(race_ladder_full as u64),
+                ),
+                // The wall-clock trend CI plots across runs: sequential
+                // vs racing tune time per stencil, in milliseconds.
+                (
+                    "tune_wall_ms",
+                    Json::Arr(
+                        race_samples
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stencil", Json::str(s.stencil.clone())),
+                                    ("seq_wall_ms", Json::Num(s.seq_wall_ms)),
+                                    ("ladder_wall_ms", Json::Num(s.ladder_wall_ms)),
+                                    ("wall_speedup", Json::Num(s.wall_speedup())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "per_stencil",
+                    Json::Arr(
+                        race_samples
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("stencil", Json::str(s.stencil.clone())),
+                                    ("workers", Json::UInt(s.workers as u64)),
+                                    ("proxy_frac", Json::Num(s.proxy_frac)),
+                                    (
+                                        "seq_full_simulations",
+                                        Json::UInt(s.seq_full_simulations as u64),
+                                    ),
+                                    (
+                                        "ladder_full_simulations",
+                                        Json::UInt(s.ladder_full_simulations as u64),
+                                    ),
+                                    (
+                                        "ladder_proxy_simulations",
+                                        Json::UInt(s.ladder_proxy_simulations as u64),
+                                    ),
+                                    ("seq_best", Json::Num(s.seq_best)),
+                                    ("ladder_best", Json::Num(s.ladder_best)),
+                                    ("full_sim_reduction", Json::Num(s.full_sim_reduction())),
                                     ("quality", Json::Num(s.quality())),
                                 ])
                             })
@@ -478,6 +593,48 @@ fn main() {
         }
     }
 
+    if args.race_gate {
+        let mut failures = Vec::new();
+        if race_reduction < RACE_GATE_MIN_FULL_SIM_REDUCTION {
+            failures.push(format!(
+                "aggregate full-fidelity simulation reduction {race_reduction:.1}x is \
+                 below the required {RACE_GATE_MIN_FULL_SIM_REDUCTION:.0}x"
+            ));
+        }
+        if race_wall_speedup < RACE_GATE_MIN_WALL_SPEEDUP {
+            failures.push(format!(
+                "racing wall clock lost to sequential: {race_wall_speedup:.2}x speedup \
+                 is below the required {RACE_GATE_MIN_WALL_SPEEDUP:.2}x"
+            ));
+        }
+        for s in &race_samples {
+            if s.quality() < RACE_GATE_MIN_QUALITY {
+                failures.push(format!(
+                    "{}: ladder best {:.3} GSt/s is only {:.0}% of the sequential \
+                     best {:.3} (floor {:.0}%)",
+                    s.stencil,
+                    s.ladder_best,
+                    s.quality() * 100.0,
+                    s.seq_best,
+                    RACE_GATE_MIN_QUALITY * 100.0,
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "race gate passed: {race_reduction:.1}x fewer full-fidelity simulations \
+                 at {race_wall_speedup:.2}x wall clock, every stencil within {:.0}% of \
+                 the sequential best",
+                (1.0 - RACE_GATE_MIN_QUALITY) * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = &args.baseline {
         let current = doc.get("exec_throughput").expect("doc has exec_throughput");
         if let Err(msg) = compare_against_baseline(path, current) {
@@ -497,6 +654,15 @@ const MODEL_GATE_MIN_REDUCTION: f64 = 5.0;
 /// ...while each stencil's shortlist winner scores within 10% of the
 /// exhaustive winner.
 const MODEL_GATE_MIN_QUALITY: f64 = 0.90;
+
+/// `--race-gate` floors: the fidelity ladder must pay at least 2x fewer
+/// full-fidelity simulations than the sequential sweep...
+const RACE_GATE_MIN_FULL_SIM_REDUCTION: f64 = 2.0;
+/// ...with each stencil's racing top-1 within 10% of the sequential
+/// winner...
+const RACE_GATE_MIN_QUALITY: f64 = 0.90;
+/// ...and a racing wall clock no slower than the sequential sweep's.
+const RACE_GATE_MIN_WALL_SPEEDUP: f64 = 1.0;
 
 /// Compares this run's `exec_throughput` block against a checked-in
 /// baseline file, normalizing for host speed via each run's aggregate

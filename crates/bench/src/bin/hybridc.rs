@@ -19,6 +19,12 @@
 //!   --autotune         score tile sizes on the simulator (default: static model)
 //!   --top-k K          model-guided shortlist: only the K best candidates by
 //!                      the analytical merit reach the scorer (0 = exhaustive)
+//!   --tune-workers N   concurrent candidate scorers in the tuning sweep;
+//!                      0 = auto-split the host thread budget (default 0).
+//!                      tune-workers × sim-threads never exceeds the budget
+//!   --proxy F          successive-halving fidelity ladder: score everything
+//!                      on a workload scaled by F in (0,1), keep the best
+//!                      fraction for full fidelity; 1 disables (default 1)
 //!   --smoke            shrink the sweep space (CI mode)
 //!   --device NAME      gtx470 | nvs5200m (default gtx470)
 //!   --backend NAME     cuda | wgsl | hip | cpu (default cuda); selects the
@@ -98,7 +104,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: hybridc [--out DIR] [--cache DIR | --no-cache] [--require-cached] \
-         [--autotune] [--top-k K] [--smoke] [--device gtx470|nvs5200m] \
+         [--autotune] [--top-k K] [--tune-workers N] [--proxy F] [--smoke] \
+         [--device gtx470|nvs5200m] \
          [--backend cuda|wgsl|hip|cpu] [--threads N] [--jobs N] \
          [--no-verify] [--size N[,N..]] [--steps N] [--report PATH] <file|dir>...\n\
          \n\
@@ -157,6 +164,18 @@ fn parse_args() -> Args {
                 cfg.top_k = value("--top-k").parse().unwrap_or_else(|_| {
                     fail("--top-k takes a non-negative integer (0 = exhaustive)")
                 });
+            }
+            "--tune-workers" => {
+                cfg.tune_workers = value("--tune-workers").parse().unwrap_or_else(|_| {
+                    fail("--tune-workers takes a non-negative integer (0 = auto)")
+                });
+            }
+            "--proxy" => {
+                cfg.proxy = value("--proxy")
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0 && f <= 1.0)
+                    .unwrap_or_else(|| fail("--proxy takes a fraction in (0, 1] (1 = off)"));
             }
             "--smoke" => cfg.smoke = true,
             "--device" => {

@@ -38,8 +38,8 @@ use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use gpu_codegen::hybrid_gen::alignment_offset_words;
@@ -47,7 +47,8 @@ use gpu_codegen::{generate_hybrid, BackendKind, CodegenOptions};
 use gpusim::{timing, DeviceConfig, GpuSim};
 use hybrid_tiling::cancel::{CancelKind, CancelToken};
 use hybrid_tiling::tilesize::autotune::{
-    autotune_cancellable, estimated_regs_per_block, AutotuneConfig, AutotuneEntry, AutotuneError,
+    autotune_parallel_cancellable, estimated_regs_per_block, split_thread_budget, AutotuneConfig,
+    AutotuneEntry, AutotuneError, Fidelity,
 };
 use hybrid_tiling::tilesize::{evaluate_tile, TileSizeModel};
 use hybrid_tiling::TileParams;
@@ -55,7 +56,7 @@ use stencil::characteristics::{flop_count, load_count};
 use stencil::parse::{parse_stencil, ParseError};
 use stencil::{Grid, ReferenceExecutor, StencilProgram};
 
-use crate::autotune::{autotune_workload, simulate_score_with, sweep_space};
+use crate::autotune::{autotune_workload, proxy_workload, simulate_score_with, sweep_space};
 use crate::json::Json;
 use crate::point_updates;
 
@@ -138,6 +139,24 @@ pub struct DriverConfig {
     /// fingerprint, so shortlist and exhaustive plans never share a
     /// cache entry.
     pub top_k: usize,
+    /// Candidate-level tuning workers: how many shortlist candidates are
+    /// scored concurrently (each on `sim_threads` simulator threads).
+    /// `0` (the default) auto-splits the host's thread budget between
+    /// candidate workers and per-candidate simulator threads via
+    /// [`hybrid_tiling::tilesize::autotune::split_thread_budget`] so
+    /// `workers × sim_threads` never exceeds
+    /// [`gpusim::resolve_sim_threads`]`(0)`. Deliberately **not** part of
+    /// the plan fingerprint: the parallel sweep's ranking is bit-identical
+    /// to the sequential one, so any worker count may share a cache entry.
+    pub tune_workers: usize,
+    /// Successive-halving fidelity ladder: when in `(0, 1)`, a proxy
+    /// round first scores every shortlisted candidate on a workload
+    /// scaled down by this fraction, and only the best
+    /// `ceil(PROXY_KEEP_FRAC × scored)` survivors pay a full-fidelity
+    /// simulation. `1.0` (the default) disables the ladder. Participates
+    /// in the plan fingerprint — the ladder can change which plan wins,
+    /// so proxy-tuned and exhaustively-tuned plans never share an entry.
+    pub proxy: f64,
     /// Warm-start hints: `(canonical program text, tile params)` pairs
     /// seeded from a near device's cached plans (the fleet router fills
     /// this for cold members). Hints whose program text matches the
@@ -172,10 +191,18 @@ impl DriverConfig {
             cancel: CancelToken::never(),
             lock_stale: Duration::from_secs(120),
             top_k: 0,
+            tune_workers: 0,
+            proxy: 1.0,
             warm_hints: Vec::new(),
         }
     }
 }
+
+/// Fraction of proxy-scored candidates that survive the fidelity ladder
+/// into the full-fidelity round (`ceil(0.4 × scored)`, at least one).
+/// 0.4 rather than 0.5 so that odd survivor counts still clear a 2×
+/// full-simulation reduction — `ceil(0.5 × 21) = 11` would only be 1.9×.
+pub const PROXY_KEEP_FRAC: f64 = 0.4;
 
 /// A failure compiling one stencil file.
 #[derive(Clone, Debug)]
@@ -285,9 +312,19 @@ pub struct CompileOutcome {
     /// Candidates surviving the model shortlist (0 on a cache hit; the
     /// whole feasible set when `top_k == 0`).
     pub shortlisted: usize,
-    /// Scorer invocations, including warm-hint re-verifications (0 on a
-    /// cache hit).
+    /// Scorer invocations, including warm-hint re-verifications and both
+    /// fidelity-ladder rounds (0 on a cache hit).
     pub simulated: usize,
+    /// Proxy-fidelity scorer invocations (0 with the ladder disabled or
+    /// on a cache hit).
+    pub proxy_simulated: usize,
+    /// Full-fidelity scorer invocations; equals `simulated` minus the
+    /// proxy round (0 on a cache hit).
+    pub full_simulated: usize,
+    /// Wall-clock milliseconds the tuning sweep took (0 on a cache hit
+    /// — which is exactly why it is reported: cache-hit vs cold-tune
+    /// cost becomes visible per request).
+    pub tune_wall_ms: u64,
     /// True when a cross-device warm hint matched this program and was
     /// re-verified during tuning.
     pub warm_start: bool,
@@ -360,11 +397,15 @@ pub fn device_fingerprint(device: &DeviceConfig) -> String {
 /// rendering, the full canonical device fingerprint (all architectural
 /// parameters, not just the budgets: simulated scores depend on clocks
 /// and bandwidths too), the codegen options, the tuning mode (smoke
-/// sweeps search a smaller space, so they key separately), and any
-/// workload override (tuning scores candidates on the workload).
+/// sweeps search a smaller space, so they key separately), any workload
+/// override (tuning scores candidates on the workload), and the fidelity
+/// ladder's `proxy` fraction (the ladder can change which plan wins).
+/// `tune_workers` is deliberately absent: the parallel sweep ranks
+/// bit-identically to the sequential one, so every worker count shares
+/// one cache entry.
 pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
     let ident = format!(
-        "{}|{}|{:?}|backend={}|{}|{}|{:?}|{:?}|k={}",
+        "{}|{}|{:?}|backend={}|{}|{}|{:?}|{:?}|k={}|proxy={}",
         program.to_c_like(),
         device_fingerprint(&cfg.device),
         cfg.opts,
@@ -374,6 +415,7 @@ pub fn fingerprint(program: &StencilProgram, cfg: &DriverConfig) -> String {
         cfg.workload,
         cfg.scorer.map(|f| f as usize),
         cfg.top_k,
+        cfg.proxy,
     );
     format!("{:016x}", fnv1a64(ident.as_bytes()))
 }
@@ -1068,10 +1110,16 @@ impl Drop for MemCacheGuard<'_> {
 /// identical (deterministic) plan.
 struct DiskLock {
     path: PathBuf,
-    /// When the lock file's mtime was last refreshed; heartbeats are
-    /// rate-limited against this so a fast scorer doesn't turn the sweep
-    /// into an fsync storm.
-    last_touch: std::cell::Cell<Instant>,
+    /// Tells the heartbeat ticker thread to exit on drop.
+    stop: Arc<AtomicBool>,
+    /// Dedicated heartbeat thread: refreshes the lock file's mtime at a
+    /// quarter of `lock_stale` for as long as the guard lives. A ticker
+    /// (rather than the old between-candidates hook) keeps the lock live
+    /// even while a *single* candidate simulates for longer than
+    /// `lock_stale` — and is the only sound option once candidates score
+    /// concurrently, where no single thread reliably reaches a
+    /// between-candidates checkpoint.
+    ticker: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Outcome of [`DiskLock::acquire`].
@@ -1106,17 +1154,14 @@ impl DiskLock {
                 Ok(mut f) => {
                     // Advisory content only; existence is the lock.
                     let _ = writeln!(f, "{}", std::process::id());
-                    let lock = DiskLock {
-                        path,
-                        last_touch: std::cell::Cell::new(Instant::now()),
-                    };
                     // Double-check: the previous holder may have stored
                     // the entry and unlocked between our disk-cache
                     // probe and this acquisition.
                     if let Some(params) = load_cached_params(dir, fp, program_text, backend) {
+                        let _ = fs::remove_file(&path);
                         return Ok(DiskFlight::Ready(params));
                     }
-                    return Ok(DiskFlight::Acquired(lock));
+                    return Ok(DiskFlight::Acquired(DiskLock::held(path, stale)));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     // Another process is tuning. Its entry may already be
@@ -1145,24 +1190,47 @@ impl DiskLock {
         }
     }
 
-    /// Refreshes the lock file's mtime so peers keep seeing a live
-    /// holder. Called from the sweep between scored candidates;
-    /// rate-limited to a quarter of `stale` so the common fast-scorer
-    /// case costs nothing but a `Cell` read. Rewriting (rather than
-    /// `utime`-style touching) keeps this on `std` alone; failures are
-    /// ignored — the worst case is the pre-fix behavior (a steal and one
-    /// redundant sweep).
-    fn heartbeat(&self, stale: Duration) {
-        if self.last_touch.get().elapsed() < stale / 4 {
-            return;
+    /// Wraps a freshly created lock file in a guard that owns a
+    /// dedicated heartbeat ticker. The ticker rewrites the file (which
+    /// refreshes its mtime — rewriting rather than `utime`-style touching
+    /// keeps this on `std` alone) every `stale / 4`, so peers keep seeing
+    /// a live holder no matter how long any single candidate simulates.
+    /// Write failures are ignored: the worst case is a steal and one
+    /// redundant sweep, never a wrong plan.
+    fn held(path: PathBuf, stale: Duration) -> DiskLock {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticker = {
+            let stop = Arc::clone(&stop);
+            let path = path.clone();
+            let period = stale / 4;
+            // Sleep in short slices so dropping the guard never blocks
+            // on a long heartbeat period.
+            let slice = period.clamp(Duration::from_millis(1), Duration::from_millis(10));
+            std::thread::spawn(move || {
+                let mut last_touch = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    if last_touch.elapsed() >= period {
+                        let _ = fs::write(&path, format!("{}\n", std::process::id()));
+                        last_touch = Instant::now();
+                    }
+                    std::thread::sleep(slice);
+                }
+            })
+        };
+        DiskLock {
+            path,
+            stop,
+            ticker: Some(ticker),
         }
-        let _ = fs::write(&self.path, format!("{}\n", std::process::id()));
-        self.last_touch.set(Instant::now());
     }
 }
 
 impl Drop for DiskLock {
     fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
+        }
         let _ = fs::remove_file(&self.path);
     }
 }
@@ -1322,8 +1390,17 @@ pub struct TuneStats {
     /// when `top_k == 0`).
     pub shortlisted: usize,
     /// Scorer invocations — simulator runs in [`TuneMode::Simulated`] —
-    /// including warm-hint re-verifications.
+    /// including warm-hint re-verifications and both fidelity rungs.
     pub simulated: usize,
+    /// Proxy-fidelity scorer invocations (the ladder's cheap round).
+    pub proxy_simulated: usize,
+    /// Full-fidelity scorer invocations, including warm-hint
+    /// re-verifications. With the ladder disabled, equals `simulated`.
+    pub full_simulated: usize,
+    /// Wall-clock milliseconds of the whole tuning stage (sweep plus
+    /// warm-hint re-verification), clamped to ≥ 1 so a fresh tune is
+    /// always distinguishable from a cache hit's 0.
+    pub tune_wall_ms: u64,
     /// At least one warm hint matched this program and entered
     /// re-verification.
     pub warm_start: bool,
@@ -1331,42 +1408,74 @@ pub struct TuneStats {
     pub warm_start_hit: bool,
 }
 
+/// Splits the host's simulator-thread budget for one tuning sweep:
+/// explicit `cfg.tune_workers` wins (each worker simulating on
+/// `cfg.sim_threads` threads); `0` auto-splits
+/// [`gpusim::resolve_sim_threads`]`(0)` between candidate workers and
+/// per-candidate simulator threads — candidate-level parallelism first —
+/// so `workers × per_candidate` never exceeds the host budget.
+fn tune_thread_split(cfg: &DriverConfig) -> (usize, usize) {
+    if cfg.tune_workers > 0 {
+        return (cfg.tune_workers, cfg.sim_threads.max(1));
+    }
+    let budget = gpusim::resolve_sim_threads(0);
+    // The sweep's candidate count is bounded by the shortlist (or the
+    // max_candidates cap), so don't spin up workers past it.
+    let candidates = if cfg.top_k > 0 {
+        cfg.top_k
+    } else if cfg.smoke {
+        4
+    } else {
+        12
+    };
+    split_thread_budget(budget, candidates)
+}
+
 /// Runs the tuning sweep and returns `(params, smem, score, stats)`.
-/// The sweep observes `cfg.cancel` between candidates; a fired token
-/// becomes [`DriverError::DeadlineExceeded`] / [`DriverError::Cancelled`].
-/// `heartbeat` (when given) is invoked at every scorer call — the hook
-/// the disk-lock holder uses to refresh its lock's mtime mid-sweep.
+/// The sweep observes `cfg.cancel` between candidate pickups; a fired
+/// token becomes [`DriverError::DeadlineExceeded`] /
+/// [`DriverError::Cancelled`]. Shortlist candidates are scored
+/// concurrently on the [`tune_thread_split`] worker count, and when
+/// `cfg.proxy < 1.0` a successive-halving proxy round (workload scaled
+/// by `cfg.proxy`, survivors by [`PROXY_KEEP_FRAC`]) runs first — the
+/// ranking still uses full-fidelity scores only.
 ///
 /// Warm hints whose program text matches are **re-verified**: evaluated,
-/// budget-checked, and scored through the same scorer as swept
-/// candidates, then merged into the ranking. Hints can only add
-/// candidates, so the chosen plan is never worse than the unhinted
+/// budget-checked, and scored through the same full-fidelity scorer as
+/// swept candidates, then merged into the ranking. Hints are deduped
+/// against the candidates that actually reached the ranking — with the
+/// ladder on, the proxy round's survivors — so a hint matching a
+/// non-survivor still gets its own full-fidelity chance. Hints can only
+/// add candidates, so the chosen plan is never worse than the unhinted
 /// sweep's — and with `top_k > 0` a transferred plan effectively costs
 /// one extra simulation instead of a full sweep.
 fn choose_params(
     program: &StencilProgram,
     cfg: &DriverConfig,
-    heartbeat: Option<&dyn Fn()>,
 ) -> Result<(TileParams, u64, f64, TuneStats), DriverError> {
+    let tune_start = Instant::now();
     let space = sweep_space(program.spatial_dims(), cfg.smoke);
     let tune_cfg = AutotuneConfig {
         smem_limit: cfg.device.shared_limit as u64,
         verify_domain: None,
         max_candidates: if cfg.smoke { 4 } else { 12 },
         top_k: cfg.top_k,
+        proxy_frac: cfg.proxy,
+        keep_frac: PROXY_KEEP_FRAC,
         ..AutotuneConfig::fermi()
     };
     let (dims, steps) = workload(program, cfg);
-    let mut score_model = |model: &TileSizeModel| -> Option<f64> {
-        if let Some(hb) = heartbeat {
-            hb();
-        }
+    let (proxy_dims, proxy_steps) = proxy_workload(&dims, steps, cfg.proxy);
+    let (workers, sim_threads) = tune_thread_split(cfg);
+    let score_model = |model: &TileSizeModel, fidelity: Fidelity| -> Option<f64> {
         if let Some(f) = cfg.scorer {
             return f(model);
         }
         match cfg.tune {
             // Static mode still demands end-to-end feasibility: the candidate
-            // must survive codegen and fit the device's shared memory.
+            // must survive codegen and fit the device's shared memory. The
+            // check always uses the full workload — feasibility must not
+            // depend on the fidelity rung.
             TuneMode::Static => {
                 let plan = generate_hybrid(program, &model.params, &dims, steps, cfg.opts).ok()?;
                 if plan
@@ -1378,18 +1487,31 @@ fn choose_params(
                 }
                 Some(-model.ratio())
             }
-            TuneMode::Simulated => simulate_score_with(
-                program,
-                &model.params,
-                &cfg.device,
-                &dims,
-                steps,
-                cfg.sim_threads,
-                cfg.opts,
-            ),
+            TuneMode::Simulated => {
+                let (sdims, ssteps) = match fidelity {
+                    Fidelity::Proxy => (&proxy_dims, proxy_steps),
+                    Fidelity::Full => (&dims, steps),
+                };
+                simulate_score_with(
+                    program,
+                    &model.params,
+                    &cfg.device,
+                    sdims,
+                    ssteps,
+                    sim_threads,
+                    cfg.opts,
+                )
+            }
         }
     };
-    let sweep = autotune_cancellable(program, &space, &tune_cfg, &cfg.cancel, &mut score_model);
+    let sweep = autotune_parallel_cancellable(
+        program,
+        &space,
+        &tune_cfg,
+        &cfg.cancel,
+        workers,
+        score_model,
+    );
     let mut report = match sweep {
         Ok(report) => report,
         Err(AutotuneError::Cancelled { kind, .. }) => {
@@ -1404,6 +1526,9 @@ fn choose_params(
         examined: report.examined,
         shortlisted: report.shortlisted,
         simulated: report.simulated,
+        proxy_simulated: report.proxy_simulated,
+        full_simulated: report.full_simulated,
+        tune_wall_ms: 0,
         warm_start: false,
         warm_start_hit: false,
     };
@@ -1435,7 +1560,8 @@ fn choose_params(
             continue;
         }
         stats.simulated += 1;
-        if let Some(score) = score_model(&model) {
+        stats.full_simulated += 1;
+        if let Some(score) = score_model(&model, Fidelity::Full) {
             report.ranked.push(AutotuneEntry { model, score });
         }
     }
@@ -1448,6 +1574,7 @@ fn choose_params(
                 .then(a.model.ratio().total_cmp(&b.model.ratio()))
         });
     }
+    stats.tune_wall_ms = (tune_start.elapsed().as_millis() as u64).max(1);
     match report.best() {
         Some(best) => {
             stats.warm_start_hit = hint_params.contains(&best.model.params);
@@ -1608,20 +1735,10 @@ fn resolve_plan(
     // On any failure below, dropping `guard` clears the in-flight marker
     // and wakes single-flight waiters to tune themselves; dropping
     // `disk_flight` removes the lock file so other processes proceed.
-    // While we hold the disk lock, every scorer call heartbeats the lock
-    // file's mtime so peers never mistake a long live sweep for an
-    // abandoned one.
-    let (params, smem, score, stats) = {
-        let hb;
-        let heartbeat: Option<&dyn Fn()> = match &disk_flight {
-            Some(lock) => {
-                hb = || lock.heartbeat(cfg.lock_stale);
-                Some(&hb)
-            }
-            None => None,
-        };
-        choose_params(program, cfg, heartbeat)?
-    };
+    // While we hold the disk lock, its ticker thread heartbeats the lock
+    // file's mtime so peers never mistake a long live sweep — even one
+    // stuck inside a single slow candidate — for an abandoned one.
+    let (params, smem, score, stats) = choose_params(program, cfg)?;
     if let Some(dir) = cfg.cache_dir.as_deref() {
         store_cached_params(dir, fp, program, cfg, &params, smem, score)?;
     }
@@ -1779,6 +1896,9 @@ pub fn compile_source_with(
         examined: stats.examined,
         shortlisted: stats.shortlisted,
         simulated: stats.simulated,
+        proxy_simulated: stats.proxy_simulated,
+        full_simulated: stats.full_simulated,
+        tune_wall_ms: stats.tune_wall_ms,
         warm_start: stats.warm_start,
         warm_start_hit: stats.warm_start_hit,
         verified,
@@ -1953,6 +2073,9 @@ pub fn outcome_json(source: &str, result: &Result<CompileOutcome, DriverError>) 
             ("examined", Json::UInt(o.examined as u64)),
             ("shortlisted", Json::UInt(o.shortlisted as u64)),
             ("simulated", Json::UInt(o.simulated as u64)),
+            ("proxy_simulated", Json::UInt(o.proxy_simulated as u64)),
+            ("full_simulated", Json::UInt(o.full_simulated as u64)),
+            ("tune_wall_ms", Json::UInt(o.tune_wall_ms)),
             ("warm_start", Json::Bool(o.warm_start)),
             ("warm_start_hit", Json::Bool(o.warm_start_hit)),
             ("h", Json::Int(o.params.h)),
@@ -2426,13 +2549,16 @@ for (t = 0; t < T; t++)
 
     #[test]
     fn live_slow_tuner_keeps_its_disk_lock() {
-        // Satellite regression: before the mtime heartbeat, any sweep
-        // longer than `lock_stale` had its lock stolen and peers retuned
-        // redundantly. A deliberately slow scorer (4 smoke candidates x
-        // ~60 ms) under a 120 ms `lock_stale` must still coalesce: one
-        // fresh tune, one disk hit, never two fresh tunes.
+        // Starvation regression: the old heartbeat refreshed the lock
+        // mtime *between* candidates, so ONE candidate slower than
+        // `lock_stale` starved the refresh and peers stole the lock,
+        // retuning redundantly. The ticker thread owned by the lock
+        // guard refreshes on wall-clock instead: a single scorer call
+        // sleeping well past `lock_stale` (shortlist of 1, ~300 ms under
+        // a 120 ms stale bound) must still coalesce — one fresh tune,
+        // one disk hit, never two fresh tunes.
         fn slow_scorer(m: &TileSizeModel) -> Option<f64> {
-            std::thread::sleep(Duration::from_millis(60));
+            std::thread::sleep(Duration::from_millis(300));
             Some(-m.ratio())
         }
         let dir = scratch("hb_lock");
@@ -2440,6 +2566,7 @@ for (t = 0; t < T; t++)
         let cfg = DriverConfig {
             lock_stale: Duration::from_millis(120),
             scorer: Some(slow_scorer),
+            top_k: 1,
             ..smoke_cfg(dir.join("out"))
         };
         let outcomes: Vec<CompileOutcome> = std::thread::scope(|s| {
@@ -2461,6 +2588,39 @@ for (t = 0; t < T; t++)
             (1, 1),
             "a live holder's lock must not be stolen: {outcomes:?}"
         );
+    }
+
+    #[test]
+    fn fidelity_ladder_counters_flow_into_the_outcome() {
+        let dir = scratch("ladder_outcome");
+        let file = write_stencil(&dir, "jacobi.stencil", JACOBI);
+        // Ladder off: every scoring is full fidelity, and the wall-clock
+        // counter is clamped to at least 1 ms so a fresh tune is never
+        // mistaken for a cache hit.
+        let flat = compile_file(&file, &smoke_cfg(dir.join("flat"))).unwrap();
+        assert_eq!(flat.proxy_simulated, 0);
+        assert_eq!(flat.full_simulated, flat.simulated);
+        assert!(flat.tune_wall_ms >= 1, "{flat:?}");
+
+        // Ladder on: every shortlisted candidate pays a proxy scoring,
+        // only survivors pay full fidelity, and both rungs are counted.
+        let cfg = DriverConfig {
+            proxy: 0.5,
+            cache_dir: None,
+            ..smoke_cfg(dir.join("ladder"))
+        };
+        let out = compile_file(&file, &cfg).unwrap();
+        assert!(out.proxy_simulated > 0, "{out:?}");
+        assert!(out.full_simulated < out.proxy_simulated, "{out:?}");
+        assert_eq!(out.simulated, out.proxy_simulated + out.full_simulated);
+        assert!(out.tune_wall_ms >= 1);
+        // A memory-cache hit reports a zero wall clock: nothing was tuned.
+        let mem = MemCache::new();
+        let miss = compile_file_with(&file, &cfg, Some(&mem)).unwrap();
+        assert!(miss.tune_wall_ms >= 1);
+        let hit = compile_file_with(&file, &cfg, Some(&mem)).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.tune_wall_ms, 0, "{hit:?}");
     }
 
     #[test]
@@ -2625,6 +2785,20 @@ for (t = 0; t < T; t++)
             ..cfg.clone()
         };
         assert_ne!(base, fingerprint(&program, &other_workload));
+        // The fidelity ladder can change which candidate wins, so the
+        // proxy fraction keys separately; the worker count cannot (the
+        // parallel ranking is bit-identical to the sequential one), so
+        // plans tuned at any parallelism share the cache entry.
+        let laddered = DriverConfig {
+            proxy: 0.5,
+            ..cfg.clone()
+        };
+        assert_ne!(base, fingerprint(&program, &laddered));
+        let more_workers = DriverConfig {
+            tune_workers: 8,
+            ..cfg.clone()
+        };
+        assert_eq!(base, fingerprint(&program, &more_workers));
     }
 
     #[test]

@@ -351,6 +351,11 @@ impl FleetRouter {
                 "tune_simulations",
                 Json::UInt(sum(&|m| m.tune_simulations())),
             ),
+            (
+                "proxy_simulations",
+                Json::UInt(sum(&|m| m.proxy_simulations())),
+            ),
+            ("tune_wall_ms", Json::UInt(sum(&|m| m.tune_wall_ms()))),
             ("backend_compiles", {
                 let mut totals = [0u64; 4];
                 for (_, m) in &members {

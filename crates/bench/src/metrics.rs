@@ -42,6 +42,11 @@ pub struct DeviceMetrics {
     /// Tuning scorer invocations (simulator runs in simulated mode),
     /// warm-hint re-verifications included.
     pub tune_simulations: u64,
+    /// The proxy-fidelity subset of `tune_simulations` (reduced
+    /// grid/steps rounds of the successive-halving ladder).
+    pub proxy_simulations: u64,
+    /// Wall-clock milliseconds spent inside fresh tuning sweeps.
+    pub tune_wall_ms: u64,
     /// Successful compiles per code-generation backend, indexed by
     /// [`BackendKind::index`](gpu_codegen::BackendKind::index).
     pub backend_compiles: [u64; 4],
@@ -132,6 +137,8 @@ pub fn device_metrics(device: &str, state: &ServeState) -> DeviceMetrics {
         warm_starts: state.warm_starts(),
         warm_start_hits: state.warm_start_hits(),
         tune_simulations: state.tune_simulations(),
+        proxy_simulations: state.proxy_simulations(),
+        tune_wall_ms: state.tune_wall_ms(),
         backend_compiles: state.backend_compiles(),
         mem_entries: mem.len() as u64,
         mem_bytes: mem.bytes(),
@@ -218,6 +225,18 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         "counter",
         "Tuning scorer invocations, warm-hint re-verifications included.",
         &per_device(|d| d.tune_simulations),
+    );
+    family(
+        "hybrid_proxy_simulations_total",
+        "counter",
+        "Proxy-fidelity scorer invocations (reduced-workload ladder rounds).",
+        &per_device(|d| d.proxy_simulations),
+    );
+    family(
+        "hybrid_tune_wall_milliseconds_total",
+        "counter",
+        "Wall-clock milliseconds spent in fresh tuning sweeps.",
+        &per_device(|d| d.tune_wall_ms),
     );
     let compiles: Vec<(String, u64)> = snap
         .devices

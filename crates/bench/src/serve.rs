@@ -260,6 +260,12 @@ pub struct ServeState {
     /// Total scorer invocations across fresh tunes (simulator runs in
     /// simulated mode), including warm-hint re-verifications.
     tune_simulations: AtomicU64,
+    /// Proxy-fidelity scorer invocations across fresh tunes (the
+    /// successive-halving ladder's cheap round).
+    proxy_simulations: AtomicU64,
+    /// Wall-clock milliseconds spent in tuning sweeps across fresh
+    /// compiles (0 for cache hits, which never tune).
+    tune_wall_ms: AtomicU64,
     /// Successful compiles per emission backend, indexed by
     /// [`BackendKind::index`].
     backend_compiles: [AtomicU64; 4],
@@ -324,6 +330,8 @@ impl ServeState {
             warm_starts: AtomicU64::new(0),
             warm_start_hits: AtomicU64::new(0),
             tune_simulations: AtomicU64::new(0),
+            proxy_simulations: AtomicU64::new(0),
+            tune_wall_ms: AtomicU64::new(0),
             backend_compiles: std::array::from_fn(|_| AtomicU64::new(0)),
             stop: AtomicBool::new(false),
             inflight: Mutex::new(HashMap::new()),
@@ -392,6 +400,18 @@ impl ServeState {
     /// re-verifications included.
     pub fn tune_simulations(&self) -> u64 {
         self.tune_simulations.load(Ordering::Relaxed)
+    }
+
+    /// Proxy-fidelity scorer invocations across this service's fresh
+    /// compiles (the successive-halving ladder's cheap round).
+    pub fn proxy_simulations(&self) -> u64 {
+        self.proxy_simulations.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock milliseconds spent in tuning sweeps across this
+    /// service's fresh compiles (cache hits contribute 0).
+    pub fn tune_wall_ms(&self) -> u64 {
+        self.tune_wall_ms.load(Ordering::Relaxed)
     }
 
     /// Successful compiles per emission backend, in
@@ -556,6 +576,10 @@ impl ServeState {
             }
             self.tune_simulations
                 .fetch_add(o.simulated as u64, Ordering::Relaxed);
+            self.proxy_simulations
+                .fetch_add(o.proxy_simulated as u64, Ordering::Relaxed);
+            self.tune_wall_ms
+                .fetch_add(o.tune_wall_ms, Ordering::Relaxed);
         }
         with_envelope(seq, id, outcome_json(&source_label, &result))
     }
@@ -627,9 +651,13 @@ impl ServeState {
                 backend_compiles_json(self.backend_compiles()),
             ),
             ("top_k", Json::UInt(self.cfg.top_k as u64)),
+            ("tune_workers", Json::UInt(self.cfg.tune_workers as u64)),
+            ("proxy", Json::Num(self.cfg.proxy)),
             ("warm_starts", Json::UInt(self.warm_starts())),
             ("warm_start_hits", Json::UInt(self.warm_start_hits())),
             ("tune_simulations", Json::UInt(self.tune_simulations())),
+            ("proxy_simulations", Json::UInt(self.proxy_simulations())),
+            ("tune_wall_ms", Json::UInt(self.tune_wall_ms())),
             (
                 "default_deadline_ms",
                 match self.opts.default_deadline_ms {
@@ -806,6 +834,21 @@ pub(crate) fn request_config(
             .as_u64()
             .and_then(|v| usize::try_from(v).ok())
             .ok_or("\"top_k\" must be a non-negative integer")?;
+    }
+    if let Some(w) = req.get("tune_workers") {
+        cfg.tune_workers = w
+            .as_u64()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or("\"tune_workers\" must be a non-negative integer (0 = auto)")?;
+    }
+    if let Some(p) = req.get("proxy") {
+        let frac = p.as_f64().ok_or("\"proxy\" must be a number")?;
+        if !(frac > 0.0 && frac <= 1.0) {
+            return Err(RequestError::Bad(format!(
+                "\"proxy\" must be in (0, 1] (1 disables the ladder), got {frac}"
+            )));
+        }
+        cfg.proxy = frac;
     }
     Ok(cfg)
 }
@@ -2108,6 +2151,14 @@ mod tests {
             "tune",
             "backend",
             "backend_compiles",
+            "top_k",
+            "tune_workers",
+            "proxy",
+            "warm_starts",
+            "warm_start_hits",
+            "tune_simulations",
+            "proxy_simulations",
+            "tune_wall_ms",
             "default_deadline_ms",
             "sched_policy",
             "queue_depth",

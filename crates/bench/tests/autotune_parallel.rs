@@ -1,0 +1,182 @@
+//! Property: the racing autotune sweep is bit-identical to the
+//! sequential one.
+//!
+//! Across random gallery stencils, random sub-spaces of the §6 tile
+//! space, random shortlist widths, and a scorer that rejects a random
+//! slice of candidates, [`autotune_parallel_cancellable`] at 1, 2, and 8
+//! workers must reproduce the sequential [`autotune`] report exactly —
+//! the same ranking (parameters AND bit-equal scores), the same
+//! counters — because results are collected by static rank, never by
+//! completion order. With the ladder disabled every scoring is full
+//! fidelity (`full_simulated == simulated`); with it enabled the report
+//! is still identical across worker counts and the two rungs partition
+//! `simulated`.
+
+use hybrid_tiling::cancel::CancelToken;
+use hybrid_tiling::tilesize::autotune::{
+    autotune, autotune_parallel_cancellable, AutotuneConfig, AutotuneReport,
+};
+use hybrid_tiling::tilesize::TileSizeModel;
+use hybrid_tiling::SearchSpace;
+use proptest::prelude::*;
+use stencil::{gallery, StencilProgram};
+
+fn stencil_pool() -> Vec<StencilProgram> {
+    vec![
+        gallery::jacobi2d(),
+        gallery::laplacian2d(),
+        gallery::heat2d(),
+        gallery::contrived1d(),
+        gallery::laplacian3d(),
+    ]
+}
+
+/// A deterministic pure-function scorer: a fixed figure of merit per
+/// model (so every sweep ranks identically), rejecting the candidates
+/// whose static footprint lands on `reject_mod` (so the `rejected_scorer`
+/// path is exercised too).
+fn det_score(m: &TileSizeModel, reject_mod: u64) -> Option<f64> {
+    if (m.iterations + m.smem_bytes).is_multiple_of(reject_mod) {
+        return None;
+    }
+    Some(-m.ratio() + 0.001 * m.params.h as f64)
+}
+
+/// Full structural equality: ranking (params + bit-equal scores) and
+/// every counter.
+fn assert_reports_identical(tag: &str, a: &AutotuneReport, b: &AutotuneReport) {
+    assert_eq!(a.ranked.len(), b.ranked.len(), "{tag}: ranked length");
+    for (i, (x, y)) in a.ranked.iter().zip(&b.ranked).enumerate() {
+        assert_eq!(x.model.params, y.model.params, "{tag}: rank {i} params");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{tag}: rank {i} score bits"
+        );
+    }
+    assert_eq!(a.examined, b.examined, "{tag}: examined");
+    assert_eq!(
+        a.rejected_schedule, b.rejected_schedule,
+        "{tag}: rejected_schedule"
+    );
+    assert_eq!(a.rejected_smem, b.rejected_smem, "{tag}: rejected_smem");
+    assert_eq!(a.rejected_regs, b.rejected_regs, "{tag}: rejected_regs");
+    assert_eq!(a.pruned, b.pruned, "{tag}: pruned");
+    assert_eq!(a.shortlisted, b.shortlisted, "{tag}: shortlisted");
+    assert_eq!(a.simulated, b.simulated, "{tag}: simulated");
+    assert_eq!(
+        a.proxy_simulated, b.proxy_simulated,
+        "{tag}: proxy_simulated"
+    );
+    assert_eq!(a.full_simulated, b.full_simulated, "{tag}: full_simulated");
+    assert_eq!(
+        a.rejected_scorer, b.rejected_scorer,
+        "{tag}: rejected_scorer"
+    );
+}
+
+/// A random sub-space of the §6 sweep space, never empty in any axis.
+fn subspace(h_pick: usize, w0_pick: usize, inner_pick: usize, n: usize) -> SearchSpace {
+    let h_all = [vec![1], vec![1, 2], vec![0, 1, 2, 3]];
+    let w0_all = [vec![1], vec![1, 3], vec![1, 3, 5]];
+    let inner_all = [vec![32], vec![32, 64]];
+    SearchSpace::for_dims(
+        n,
+        h_all[h_pick].clone(),
+        w0_all[w0_pick].clone(),
+        &[4],
+        &inner_all[inner_pick],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ladder off: 1, 2, and 8 workers all reproduce the sequential
+    /// report, and every scoring is full fidelity.
+    #[test]
+    fn parallel_sweep_matches_sequential_at_any_worker_count(
+        pick in 0usize..5,
+        h_pick in 0usize..3,
+        w0_pick in 0usize..3,
+        inner_pick in 0usize..2,
+        top_k in 0usize..=4,
+        reject_mod in 2usize..=9,
+    ) {
+        let program = stencil_pool().swap_remove(pick);
+        let space = subspace(h_pick, w0_pick, inner_pick, program.spatial_dims());
+        let cfg = AutotuneConfig {
+            top_k,
+            ..AutotuneConfig::fermi()
+        };
+        let seq = autotune(&program, &space, &cfg, |m| det_score(m, reject_mod as u64));
+        prop_assert_eq!(seq.proxy_simulated, 0);
+        prop_assert_eq!(seq.full_simulated, seq.simulated);
+        for workers in [1usize, 2, 8] {
+            let par = autotune_parallel_cancellable(
+                &program,
+                &space,
+                &cfg,
+                &CancelToken::never(),
+                workers,
+                |m: &TileSizeModel, _| det_score(m, reject_mod as u64),
+            )
+            .expect("a never-token cannot cancel the sweep");
+            assert_reports_identical(
+                &format!("{} @ {workers} workers", program.name()),
+                &seq,
+                &par,
+            );
+        }
+    }
+
+    /// Ladder on: the report is still bit-identical across worker
+    /// counts, and the rungs partition the scoring counter.
+    #[test]
+    fn ladder_report_is_worker_count_invariant(
+        pick in 0usize..5,
+        h_pick in 0usize..3,
+        w0_pick in 0usize..3,
+        keep_bump in 0usize..3,
+        reject_mod in 2usize..=9,
+    ) {
+        let program = stencil_pool().swap_remove(pick);
+        let space = subspace(h_pick, w0_pick, 1, program.spatial_dims());
+        let cfg = AutotuneConfig {
+            proxy_frac: 0.5,
+            keep_frac: 0.3 + 0.2 * keep_bump as f64,
+            ..AutotuneConfig::fermi()
+        };
+        let one = autotune_parallel_cancellable(
+            &program,
+            &space,
+            &cfg,
+            &CancelToken::never(),
+            1,
+            |m: &TileSizeModel, _| det_score(m, reject_mod as u64),
+        )
+        .expect("a never-token cannot cancel the sweep");
+        prop_assert_eq!(one.simulated, one.proxy_simulated + one.full_simulated);
+        // More than one survivor scored => the ladder actually dropped
+        // someone (keep_frac < 1 keeps a strict subset of 2+).
+        if one.proxy_simulated > 1 {
+            prop_assert!(one.full_simulated <= one.proxy_simulated);
+        }
+        for workers in [2usize, 8] {
+            let par = autotune_parallel_cancellable(
+                &program,
+                &space,
+                &cfg,
+                &CancelToken::never(),
+                workers,
+                |m: &TileSizeModel, _| det_score(m, reject_mod as u64),
+            )
+            .expect("a never-token cannot cancel the sweep");
+            assert_reports_identical(
+                &format!("{} ladder @ {workers} workers", program.name()),
+                &one,
+                &par,
+            );
+        }
+    }
+}

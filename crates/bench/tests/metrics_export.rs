@@ -212,6 +212,8 @@ fn golden_snapshot() -> MetricsSnapshot {
                 warm_starts: 6,
                 warm_start_hits: 4,
                 tune_simulations: 38,
+                proxy_simulations: 21,
+                tune_wall_ms: 950,
                 backend_compiles: [80, 5, 3, 2],
                 mem_entries: 12,
                 mem_bytes: 4096,
@@ -234,6 +236,8 @@ fn golden_snapshot() -> MetricsSnapshot {
                 warm_starts: 0,
                 warm_start_hits: 0,
                 tune_simulations: 8,
+                proxy_simulations: 0,
+                tune_wall_ms: 12,
                 backend_compiles: [7, 0, 0, 0],
                 mem_entries: 3,
                 mem_bytes: 512,

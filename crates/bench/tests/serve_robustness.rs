@@ -218,6 +218,9 @@ fn concurrent_clients_match_one_shot_reports_bit_exactly() {
                                 | "examined"
                                 | "shortlisted"
                                 | "simulated"
+                                | "proxy_simulated"
+                                | "full_simulated"
+                                | "tune_wall_ms"
                                 | "warm_start"
                                 | "warm_start_hit"
                         )

@@ -25,6 +25,8 @@
 //! interest) and exposes the whole pipeline as the `autotune` binary.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use stencil::domain::ScheduledDomain;
 use stencil::StencilProgram;
@@ -58,6 +60,17 @@ pub struct AutotuneConfig {
     /// `max_candidates`) reaches the scorer, which preserves the
     /// exhaustive sweep as the oracle.
     pub top_k: usize,
+    /// Fidelity scale of the successive-halving proxy round in `(0, 1]`.
+    /// `1.0` disables the ladder entirely; anything below enables it.
+    /// The value is advisory to the *scorer*: the sweep passes
+    /// [`Fidelity::Proxy`] on the first round and the scorer is expected
+    /// to shrink its grid/steps by this fraction (the sweep itself never
+    /// simulates, so it only uses the value as the on/off switch).
+    pub proxy_frac: f64,
+    /// Fraction of proxy-scored candidates that survive to the
+    /// full-fidelity round: `ceil(keep_frac * scored)`, clamped to
+    /// `[1, scored]`. Only consulted when the ladder is enabled.
+    pub keep_frac: f64,
 }
 
 impl AutotuneConfig {
@@ -71,8 +84,23 @@ impl AutotuneConfig {
             verify_domain: None,
             max_candidates: usize::MAX,
             top_k: 0,
+            proxy_frac: 1.0,
+            keep_frac: 0.5,
         }
     }
+}
+
+/// Which rung of the successive-halving ladder a scorer invocation sits
+/// on. [`autotune_parallel_cancellable`] passes `Proxy` for the cheap
+/// first round (the scorer should simulate a grid/step count scaled by
+/// [`AutotuneConfig::proxy_frac`]) and `Full` for the final ranking round.
+/// The sequential sweep only ever runs `Full`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Reduced-size, reduced-steps estimate used to pick survivors.
+    Proxy,
+    /// Full-workload score; the only fidelity that enters the ranking.
+    Full,
 }
 
 /// One scored candidate.
@@ -107,9 +135,16 @@ pub struct AutotuneReport {
     /// model-guided shortlist — the population the scorer sees.
     pub shortlisted: usize,
     /// Scorer invocations actually performed (simulator runs under a
-    /// simulator-backed scorer). Differs from `shortlisted` only when a
-    /// cancellation stopped the sweep mid-scoring.
+    /// simulator-backed scorer), across *both* fidelity rungs. Differs
+    /// from `shortlisted` only when a cancellation stopped the sweep
+    /// mid-scoring or the fidelity ladder dropped non-survivors.
     pub simulated: usize,
+    /// Scorer invocations at [`Fidelity::Proxy`] (the cheap ladder round).
+    /// Always `0` for the sequential sweep or with the ladder disabled.
+    pub proxy_simulated: usize,
+    /// Scorer invocations at [`Fidelity::Full`]. With the ladder disabled
+    /// this equals `simulated`; with it enabled, only survivors pay one.
+    pub full_simulated: usize,
     /// Rejected by the scorer (`None` — e.g. device limits at codegen).
     pub rejected_scorer: usize,
 }
@@ -344,30 +379,60 @@ pub fn autotune_cancellable<F>(
 where
     F: FnMut(&TileSizeModel) -> Option<f64>,
 {
+    let (mut report, feasible) = prepare_candidates(program, space, cfg, cancel)?;
+    for model in feasible {
+        if let Some(kind) = cancel.cancelled() {
+            return stop(kind, report);
+        }
+        report.simulated += 1;
+        report.full_simulated += 1;
+        match scorer(&model) {
+            Some(score) => report.ranked.push(AutotuneEntry { model, score }),
+            None => report.rejected_scorer += 1,
+        }
+    }
+    Ok(finish(report))
+}
+
+/// Final ranking: score descending, ties broken toward the lower static
+/// load-to-compute ratio. The sort is stable, so candidates that tie on
+/// both keys keep their static sweep order — the property that makes the
+/// parallel sweep bit-identical to the sequential one.
+fn finish(mut report: AutotuneReport) -> AutotuneReport {
+    report.ranked.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.model.ratio().total_cmp(&b.model.ratio()))
+    });
+    report
+}
+
+fn stop(kind: CancelKind, report: AutotuneReport) -> Result<AutotuneReport, AutotuneError> {
+    Err(AutotuneError::Cancelled {
+        kind,
+        partial: finish(report),
+    })
+}
+
+/// The deterministic front half of every sweep: enumerate, prune against
+/// the budgets, statically rank, apply `max_candidates` and the
+/// model-guided shortlist, and (optionally) verify. Returns the report so
+/// far plus the candidates the scorer will see, in static sweep order.
+fn prepare_candidates(
+    program: &StencilProgram,
+    space: &SearchSpace,
+    cfg: &AutotuneConfig,
+    cancel: &CancelToken,
+) -> Result<(AutotuneReport, Vec<TileSizeModel>), AutotuneError> {
     let mut report = AutotuneReport::default();
     let mut feasible: Vec<TileSizeModel> = Vec::new();
-
-    let finish = |mut report: AutotuneReport| {
-        report.ranked.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then(a.model.ratio().total_cmp(&b.model.ratio()))
-        });
-        report
-    };
-    let stop = |kind: CancelKind, report: AutotuneReport| {
-        Err(AutotuneError::Cancelled {
-            kind,
-            partial: finish(report),
-        })
-    };
 
     for (h, w) in combinations(space) {
         if w.len() != program.spatial_dims() {
             continue;
         }
         if let Some(kind) = cancel.cancelled() {
-            return stop(kind, report);
+            return Err(cancelled(kind, report));
         }
         report.examined += 1;
         let params = TileParams::new(h, &w);
@@ -426,7 +491,7 @@ where
     if let Some((dims, steps)) = &cfg.verify_domain {
         for model in &feasible {
             if let Some(kind) = cancel.cancelled() {
-                return stop(kind, report);
+                return Err(cancelled(kind, report));
             }
             let schedule = HybridSchedule::compute_executable(program, &model.params)
                 .expect("feasible candidate must have an executable schedule");
@@ -440,17 +505,183 @@ where
         }
     }
 
-    for model in feasible {
-        if let Some(kind) = cancel.cancelled() {
-            return stop(kind, report);
+    Ok((report, feasible))
+}
+
+fn cancelled(kind: CancelKind, report: AutotuneReport) -> AutotuneError {
+    AutotuneError::Cancelled {
+        kind,
+        partial: finish(report),
+    }
+}
+
+/// Splits a host thread budget between candidate-level workers and
+/// per-candidate simulator threads: `workers × per_candidate ≤ budget`,
+/// never oversubscribing the host. Candidate-level parallelism is
+/// preferred — independent single-thread simulations beat one
+/// merge-heavy parallel simulation — so `workers` saturates first
+/// (capped by how many candidates there are to race) and only leftover
+/// budget widens each simulation.
+pub fn split_thread_budget(budget: usize, candidates: usize) -> (usize, usize) {
+    let budget = budget.max(1);
+    if candidates == 0 {
+        return (1, budget);
+    }
+    let workers = budget.min(candidates);
+    (workers, (budget / workers).max(1))
+}
+
+/// One fidelity rung of the racing sweep: score `models` through up to
+/// `workers` pool threads, each claiming the next static index from a
+/// shared counter and observing the [`CancelToken`] *between* candidate
+/// pickups. Results land in per-index slots, so completion order never
+/// influences anything downstream. Returns the per-index outcomes
+/// (`None` = never attempted, `Some(None)` = scorer rejected,
+/// `Some(Some(s))` = scored) plus the cancellation, if one fired.
+///
+/// A scorer panic is re-raised on the caller's thread with its original
+/// payload (not `thread::scope`'s opaque "a scoped thread panicked"),
+/// so batch drivers that contain per-file panics still see the message.
+fn score_round<F>(
+    models: &[TileSizeModel],
+    fidelity: Fidelity,
+    workers: usize,
+    cancel: &CancelToken,
+    scorer: &F,
+) -> (Vec<Option<Option<f64>>>, Option<CancelKind>)
+where
+    F: Fn(&TileSizeModel, Fidelity) -> Option<f64> + Sync,
+{
+    let n = models.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Option<f64>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let stopped: Mutex<Option<CancelKind>> = Mutex::new(None);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..workers.clamp(1, n.max(1)) {
+            s.spawn(|| loop {
+                if let Some(kind) = cancel.cancelled() {
+                    stopped.lock().unwrap().get_or_insert(kind);
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    scorer(&models[i], fidelity)
+                }));
+                match attempt {
+                    Ok(score) => *slots[i].lock().unwrap() = Some(score),
+                    Err(payload) => {
+                        panicked.lock().unwrap().get_or_insert(payload);
+                        return;
+                    }
+                }
+            });
         }
-        report.simulated += 1;
-        match scorer(&model) {
-            Some(score) => report.ranked.push(AutotuneEntry { model, score }),
-            None => report.rejected_scorer += 1,
+    });
+    if let Some(payload) = panicked.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap())
+        .collect();
+    (results, stopped.into_inner().unwrap())
+}
+
+/// [`autotune_cancellable`] with concurrent candidate scoring and an
+/// optional successive-halving fidelity ladder.
+///
+/// Up to `workers` pool threads race independent candidates through the
+/// (`Sync`) scorer; the ranking is **bit-identical** to the sequential
+/// sweep's under a deterministic scorer because results are collected by
+/// static rank — not completion order — and sorted with the same stable
+/// comparator. Cancellation is observed between candidate pickups.
+///
+/// When `cfg.proxy_frac < 1.0` and more than one candidate survives the
+/// shortlist, a proxy round first scores *every* candidate at
+/// [`Fidelity::Proxy`] (the scorer is expected to shrink its workload by
+/// `proxy_frac`); the best `ceil(keep_frac × scored)` candidates by proxy
+/// score (ties broken by static rank) then pay a [`Fidelity::Full`]
+/// scoring, and **only full-fidelity scores enter the ranking**.
+/// Candidates the proxy scorer rejects (`None`) are dropped as
+/// `rejected_scorer` without a full-fidelity attempt.
+///
+/// # Errors
+///
+/// [`AutotuneError::Cancelled`] when the token fires mid-sweep; the
+/// partial report ranks everything that finished a full-fidelity scoring.
+///
+/// # Panics
+///
+/// Like [`autotune`], panics if a candidate fails exhaustive schedule
+/// verification on `cfg.verify_domain`.
+pub fn autotune_parallel_cancellable<F>(
+    program: &StencilProgram,
+    space: &SearchSpace,
+    cfg: &AutotuneConfig,
+    cancel: &CancelToken,
+    workers: usize,
+    scorer: F,
+) -> Result<AutotuneReport, AutotuneError>
+where
+    F: Fn(&TileSizeModel, Fidelity) -> Option<f64> + Sync,
+{
+    let (mut report, feasible) = prepare_candidates(program, space, cfg, cancel)?;
+    let workers = workers.max(1);
+
+    // Proxy round: cheap estimates pick the survivors that deserve a
+    // full-fidelity simulation. A single candidate skips the ladder —
+    // it would pay a proxy run only to survive unconditionally.
+    let pool: Vec<TileSizeModel> = if cfg.proxy_frac < 1.0 && feasible.len() > 1 {
+        let (results, stopped) = score_round(&feasible, Fidelity::Proxy, workers, cancel, &scorer);
+        let attempted = results.iter().filter(|r| r.is_some()).count();
+        report.simulated += attempted;
+        report.proxy_simulated += attempted;
+        if let Some(kind) = stopped {
+            return Err(cancelled(kind, report));
+        }
+        // Pair each candidate with its proxy score; `None` rejections
+        // never reach the full round.
+        let mut scored: Vec<(usize, f64, TileSizeModel)> = Vec::new();
+        for (i, (model, result)) in feasible.into_iter().zip(results).enumerate() {
+            match result.expect("uncancelled round attempts every candidate") {
+                Some(s) => scored.push((i, s, model)),
+                None => report.rejected_scorer += 1,
+            }
+        }
+        let keep = if scored.is_empty() {
+            0
+        } else {
+            ((cfg.keep_frac * scored.len() as f64).ceil() as usize).clamp(1, scored.len())
+        };
+        // Best proxy score first; ties broken by static rank so the
+        // survivor set is deterministic. Then restore static order.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(keep);
+        scored.sort_by_key(|(i, _, _)| *i);
+        scored.into_iter().map(|(_, _, m)| m).collect()
+    } else {
+        feasible
+    };
+
+    let (results, stopped) = score_round(&pool, Fidelity::Full, workers, cancel, &scorer);
+    let attempted = results.iter().filter(|r| r.is_some()).count();
+    report.simulated += attempted;
+    report.full_simulated += attempted;
+    for (model, result) in pool.into_iter().zip(results) {
+        match result {
+            Some(Some(score)) => report.ranked.push(AutotuneEntry { model, score }),
+            Some(None) => report.rejected_scorer += 1,
+            None => {} // cancelled before this candidate was picked up
         }
     }
-    Ok(finish(report))
+    match stopped {
+        Some(kind) => Err(cancelled(kind, report)),
+        None => Ok(finish(report)),
+    }
 }
 
 #[cfg(test)]
@@ -713,6 +944,172 @@ mod tests {
         let short = autotune(&p, &small_space(), &cfg, |_| Some(1.0));
         assert_eq!(short.ranked.len(), 1);
         assert_eq!(short.ranked[0].model.params, best_by_merit.params);
+    }
+
+    /// A deterministic scorer both sweeps can share: prefers low ratio,
+    /// perturbed by the tile height so ties are broken interestingly.
+    fn det_score(m: &TileSizeModel) -> Option<f64> {
+        Some(-m.ratio() + 0.001 * m.params.h as f64)
+    }
+
+    fn assert_reports_identical(seq: &AutotuneReport, par: &AutotuneReport) {
+        assert_eq!(seq.examined, par.examined);
+        assert_eq!(seq.rejected_schedule, par.rejected_schedule);
+        assert_eq!(seq.rejected_smem, par.rejected_smem);
+        assert_eq!(seq.rejected_regs, par.rejected_regs);
+        assert_eq!(seq.pruned, par.pruned);
+        assert_eq!(seq.shortlisted, par.shortlisted);
+        assert_eq!(seq.simulated, par.simulated);
+        assert_eq!(seq.proxy_simulated, par.proxy_simulated);
+        assert_eq!(seq.full_simulated, par.full_simulated);
+        assert_eq!(seq.rejected_scorer, par.rejected_scorer);
+        assert_eq!(seq.ranked.len(), par.ranked.len());
+        for (a, b) in seq.ranked.iter().zip(&par.ranked) {
+            assert_eq!(a.model.params, b.model.params);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig::fermi();
+        let seq = autotune_cancellable(&p, &small_space(), &cfg, &CancelToken::never(), det_score)
+            .unwrap();
+        assert_eq!(seq.proxy_simulated, 0);
+        assert_eq!(seq.full_simulated, seq.simulated);
+        for workers in [1, 2, 8] {
+            let par = autotune_parallel_cancellable(
+                &p,
+                &small_space(),
+                &cfg,
+                &CancelToken::never(),
+                workers,
+                |m, _| det_score(m),
+            )
+            .unwrap();
+            assert_reports_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn fidelity_ladder_pays_fewer_full_simulations() {
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig {
+            proxy_frac: 0.5,
+            keep_frac: 0.4,
+            ..AutotuneConfig::fermi()
+        };
+        let par = autotune_parallel_cancellable(
+            &p,
+            &small_space(),
+            &cfg,
+            &CancelToken::never(),
+            2,
+            |m, _| det_score(m),
+        )
+        .unwrap();
+        let n = par.shortlisted;
+        assert!(n > 1, "space too small for a ladder test");
+        assert_eq!(par.proxy_simulated, n, "proxy round scores everyone");
+        let keep = ((0.4 * n as f64).ceil() as usize).clamp(1, n);
+        assert_eq!(par.full_simulated, keep, "only survivors pay full price");
+        assert_eq!(par.simulated, n + keep);
+        assert_eq!(par.ranked.len(), keep);
+        // The proxy scorer here equals the full one, so the ladder keeps
+        // the true winner: the final best matches the exhaustive sweep's.
+        let seq = autotune(&p, &small_space(), &AutotuneConfig::fermi(), det_score);
+        assert_eq!(
+            par.best().map(|e| e.model.params.clone()),
+            seq.best().map(|e| e.model.params.clone())
+        );
+    }
+
+    #[test]
+    fn proxy_survivors_are_chosen_by_proxy_score_with_static_tie_break() {
+        // A proxy scorer that inverts the full scorer demotes the true
+        // winner out of a keep_frac-sized survivor set: the ladder must
+        // rank only survivors, proving full scores alone enter the
+        // ranking and survivors come from the proxy round.
+        let p = gallery::jacobi2d();
+        let cfg = AutotuneConfig {
+            proxy_frac: 0.5,
+            keep_frac: 0.25,
+            ..AutotuneConfig::fermi()
+        };
+        let par = autotune_parallel_cancellable(
+            &p,
+            &small_space(),
+            &cfg,
+            &CancelToken::never(),
+            4,
+            |m, fidelity| match fidelity {
+                Fidelity::Proxy => det_score(m).map(|s| -s),
+                Fidelity::Full => det_score(m),
+            },
+        )
+        .unwrap();
+        let seq = autotune(&p, &small_space(), &AutotuneConfig::fermi(), det_score);
+        assert!(!par.ranked.is_empty());
+        assert_ne!(
+            par.best().map(|e| e.model.params.clone()),
+            seq.best().map(|e| e.model.params.clone()),
+            "an adversarial proxy must be able to evict the true winner"
+        );
+    }
+
+    #[test]
+    fn parallel_cancellation_stops_between_pickups() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let p = gallery::jacobi2d();
+        let flag = Arc::new(AtomicBool::new(false));
+        let token = CancelToken::with_flag(flag.clone());
+        let scored = AtomicUsize::new(0);
+        // One worker raises the flag from inside the first scoring: no
+        // second candidate may be picked up afterwards.
+        let result = autotune_parallel_cancellable(
+            &p,
+            &small_space(),
+            &AutotuneConfig::fermi(),
+            &token,
+            1,
+            |m, _| {
+                scored.fetch_add(1, Ordering::SeqCst);
+                flag.store(true, Ordering::SeqCst);
+                Some(m.params.h as f64)
+            },
+        );
+        assert_eq!(scored.load(Ordering::SeqCst), 1);
+        match result {
+            Err(AutotuneError::Cancelled { kind, partial }) => {
+                assert_eq!(kind, CancelKind::Flag);
+                assert_eq!(partial.ranked.len(), 1);
+                assert_eq!(partial.simulated, 1);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_budget_splitter_never_oversubscribes() {
+        // Candidate-level parallelism saturates first.
+        assert_eq!(split_thread_budget(8, 20), (8, 1));
+        // Leftover budget widens each simulation.
+        assert_eq!(split_thread_budget(8, 2), (2, 4));
+        assert_eq!(split_thread_budget(7, 2), (2, 3));
+        // Degenerate inputs stay sane.
+        assert_eq!(split_thread_budget(0, 5), (1, 1));
+        assert_eq!(split_thread_budget(4, 0), (1, 4));
+        assert_eq!(split_thread_budget(1, 1), (1, 1));
+        for budget in 1..32 {
+            for candidates in 0..32 {
+                let (w, per) = split_thread_budget(budget, candidates);
+                assert!(w * per <= budget.max(1), "({budget},{candidates})");
+                assert!(w >= 1 && per >= 1);
+            }
+        }
     }
 
     #[test]
